@@ -1,0 +1,78 @@
+// Ablation micro-benchmarks for the IA codec (Section 3.2's design knobs):
+// encode/decode cost vs IA size, blob sharing on/off, LZ compression on/off,
+// and the baseline BGP message codec for comparison.
+#include <benchmark/benchmark.h>
+
+#include "ia/codec.h"
+#include "workload.h"
+
+namespace {
+
+using namespace dbgp;
+
+ia::IntegratedAdvertisement make_ia(std::size_t bytes, double shared_fraction) {
+  util::Rng rng(4242);
+  bench::WorkloadConfig config;
+  return bench::synth_ia(rng, config, bytes, 4, shared_fraction);
+}
+
+void BM_IaEncode(benchmark::State& state) {
+  const auto ia = make_ia(static_cast<std::size_t>(state.range(0)), 0.9);
+  ia::CodecOptions options;
+  options.share_blobs = state.range(1) != 0;
+  std::size_t encoded_size = 0;
+  for (auto _ : state) {
+    auto bytes = ia::encode_ia(ia, options);
+    encoded_size = bytes.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["encoded_bytes"] = static_cast<double>(encoded_size);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * encoded_size));
+}
+BENCHMARK(BM_IaEncode)
+    ->Args({4 * 1024, 1})
+    ->Args({32 * 1024, 1})
+    ->Args({256 * 1024, 1})
+    ->Args({32 * 1024, 0})  // sharing disabled: the "Basic" encoding
+    ->ArgNames({"bytes", "share"});
+
+void BM_IaDecode(benchmark::State& state) {
+  const auto ia = make_ia(static_cast<std::size_t>(state.range(0)), 0.9);
+  const auto bytes = ia::encode_ia(ia, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ia::decode_ia(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_IaDecode)->Arg(4 * 1024)->Arg(32 * 1024)->Arg(256 * 1024);
+
+void BM_IaEncodeCompressed(benchmark::State& state) {
+  const auto ia = make_ia(static_cast<std::size_t>(state.range(0)), 0.9);
+  ia::CodecOptions options;
+  options.compress = true;
+  std::size_t encoded_size = 0;
+  for (auto _ : state) {
+    auto bytes = ia::encode_ia(ia, options);
+    encoded_size = bytes.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["encoded_bytes"] = static_cast<double>(encoded_size);
+}
+BENCHMARK(BM_IaEncodeCompressed)->Arg(32 * 1024)->Arg(256 * 1024);
+
+// Baseline comparator: the plain BGP UPDATE codec.
+void BM_BgpUpdateCodec(benchmark::State& state) {
+  util::Rng rng(7);
+  bench::WorkloadConfig config;
+  const auto update = bench::synth_update(rng, config);
+  const auto bytes = bgp::encode_message(bgp::Message{update});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::decode_message(bgp::encode_message(bgp::Message{update})));
+  }
+  state.counters["encoded_bytes"] = static_cast<double>(bytes.size());
+}
+BENCHMARK(BM_BgpUpdateCodec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

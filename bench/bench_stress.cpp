@@ -1,0 +1,189 @@
+// E1 — the Section 5 stress test.
+//
+// Paper setup: 6 peers each replay 150,000 RIS advertisements at the router
+// under test (Quagga vs Beagle), one core. Paper result: Beagle's
+// processing overhead for BGP-only advertisements is negligible
+// (40,700 pfx/s vs 40,900 pfx/s); with IAs attached, throughput falls with
+// IA size (7,073 pfx/s at 32 KB, 926 pfx/s at 256 KB) due to serialization.
+//
+// Here: BM_Quagga_BgpOnly is the unmodified BgpSpeaker; BM_Beagle_* is the
+// DbgpSpeaker. Counters report prefixes/s; expect near-parity for BGP-only
+// and a steep decline as IA size grows. BM_Beagle_OutOfBand measures the
+// constant external-access penalty of out-of-band dissemination (CF-R2).
+#include <benchmark/benchmark.h>
+
+#include "bgp/speaker.h"
+#include "core/speaker.h"
+#include "protocols/bgp_module.h"
+#include "workload.h"
+
+namespace {
+
+using namespace dbgp;
+
+constexpr int kPeers = 6;
+constexpr std::size_t kUpdatesPerPeer = 2000;  // scaled-down replay per iteration
+
+bench::WorkloadConfig stream_config(std::uint64_t seed) {
+  bench::WorkloadConfig config;
+  config.updates = kUpdatesPerPeer;
+  config.seed = seed;
+  return config;
+}
+
+void BM_Quagga_BgpOnly(benchmark::State& state) {
+  std::vector<std::vector<std::vector<std::uint8_t>>> streams;
+  for (int p = 0; p < kPeers; ++p) streams.push_back(bench::synth_bgp_stream(stream_config(p + 1)));
+
+  std::uint64_t prefixes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    bgp::BgpSpeaker::Config config;
+    config.asn = 65000;
+    config.router_id = net::Ipv4Address(10, 0, 0, 1);
+    config.next_hop = net::Ipv4Address(10, 0, 0, 1);
+    config.hold_time = 0;  // no timer noise
+    bgp::BgpSpeaker speaker(config);
+    std::vector<bgp::PeerId> peers;
+    for (int p = 0; p < kPeers; ++p) {
+      peers.push_back(speaker.add_peer(65001 + p));
+      speaker.start_peer(peers.back(), 0.0);
+      speaker.handle_message(peers.back(), bgp::OpenMessage{4, 65001u + p, 0,
+                                                            net::Ipv4Address(p + 1), {}},
+                             0.0);
+      speaker.handle_message(peers.back(), bgp::KeepAliveMessage{}, 0.0);
+    }
+    state.ResumeTiming();
+
+    for (std::size_t i = 0; i < kUpdatesPerPeer; ++i) {
+      for (int p = 0; p < kPeers; ++p) {
+        benchmark::DoNotOptimize(speaker.handle_bytes(peers[p], streams[p][i], 0.0));
+      }
+    }
+    prefixes += speaker.stats().prefixes_processed;
+  }
+  state.counters["prefixes/s"] =
+      benchmark::Counter(static_cast<double>(prefixes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Quagga_BgpOnly)->Unit(benchmark::kMillisecond);
+
+// The Beagle-equivalent on BGP-only advertisements (tiny IAs, no extra
+// protocol control information).
+void BM_Beagle_BgpOnly(benchmark::State& state) {
+  std::vector<std::vector<std::vector<std::uint8_t>>> streams;
+  for (int p = 0; p < kPeers; ++p) {
+    streams.push_back(bench::synth_ia_stream(stream_config(p + 1), /*target_bytes=*/0,
+                                             /*protocols_on_path=*/0));
+  }
+  std::uint64_t prefixes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::DbgpConfig config;
+    config.asn = 65000;
+    config.next_hop = net::Ipv4Address(10, 0, 0, 1);
+    core::DbgpSpeaker speaker(config);
+    speaker.add_module(std::make_unique<protocols::BgpModule>());
+    std::vector<bgp::PeerId> peers;
+    for (int p = 0; p < kPeers; ++p) peers.push_back(speaker.add_peer(65001 + p));
+    state.ResumeTiming();
+
+    for (std::size_t i = 0; i < kUpdatesPerPeer; ++i) {
+      for (int p = 0; p < kPeers; ++p) {
+        benchmark::DoNotOptimize(speaker.handle_frame(peers[p], streams[p][i]));
+      }
+    }
+    prefixes += speaker.stats().ias_received;
+  }
+  state.counters["prefixes/s"] =
+      benchmark::Counter(static_cast<double>(prefixes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Beagle_BgpOnly)->Unit(benchmark::kMillisecond);
+
+// Throughput vs IA size (the paper's 32 KB / 256 KB points plus the 4 KB
+// BGP-message ceiling from Table 2).
+void BM_Beagle_IaSize(benchmark::State& state) {
+  const std::size_t ia_bytes = static_cast<std::size_t>(state.range(0));
+  const std::size_t updates = std::max<std::size_t>(64, (1u << 22) / ia_bytes);
+  bench::WorkloadConfig config = stream_config(7);
+  config.updates = updates;
+  const auto stream = bench::synth_ia_stream(config, ia_bytes);
+
+  std::uint64_t prefixes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::DbgpConfig speaker_config;
+    speaker_config.asn = 65000;
+    speaker_config.next_hop = net::Ipv4Address(10, 0, 0, 1);
+    core::DbgpSpeaker speaker(speaker_config);
+    speaker.add_module(std::make_unique<protocols::BgpModule>());
+    const bgp::PeerId peer = speaker.add_peer(65001);
+    state.ResumeTiming();
+
+    for (const auto& frame : stream) {
+      benchmark::DoNotOptimize(speaker.handle_frame(peer, frame));
+    }
+    prefixes += updates;
+  }
+  state.counters["prefixes/s"] =
+      benchmark::Counter(static_cast<double>(prefixes), benchmark::Counter::kIsRate);
+  state.counters["ia_bytes"] = static_cast<double>(ia_bytes);
+}
+BENCHMARK(BM_Beagle_IaSize)
+    ->Arg(4 * 1024)
+    ->Arg(32 * 1024)
+    ->Arg(128 * 1024)
+    ->Arg(256 * 1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Out-of-band dissemination: same IAs, but each advertisement costs a
+// lookup-service round trip — the constant penalty Section 2.2 predicts.
+void BM_Beagle_OutOfBand(benchmark::State& state) {
+  const std::size_t ia_bytes = static_cast<std::size_t>(state.range(0));
+  bench::WorkloadConfig config = stream_config(7);
+  config.updates = 512;
+  util::Rng rng(config.seed);
+
+  std::uint64_t prefixes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::LookupService lookup;
+    core::DbgpConfig sender_config;
+    sender_config.asn = 65001;
+    sender_config.next_hop = net::Ipv4Address(1, 1, 1, 1);
+    sender_config.dissemination = core::Dissemination::kOutOfBand;
+    core::DbgpSpeaker sender(sender_config, &lookup);
+    sender.add_module(std::make_unique<protocols::BgpModule>());
+    sender.add_peer(65000);
+
+    core::DbgpConfig receiver_config;
+    receiver_config.asn = 65000;
+    receiver_config.next_hop = net::Ipv4Address(10, 0, 0, 1);
+    core::DbgpSpeaker receiver(receiver_config, &lookup);
+    receiver.add_module(std::make_unique<protocols::BgpModule>());
+    const bgp::PeerId from = receiver.add_peer(65001);
+
+    // Pre-generate distinct IAs and originate them at the sender so the
+    // lookup service holds the full advertisement per prefix.
+    std::vector<std::vector<std::uint8_t>> notices;
+    for (std::size_t i = 0; i < config.updates; ++i) {
+      auto ia = bench::synth_ia(rng, config, ia_bytes);
+      lookup.put(core::LookupService::ia_key(65001, 65000, ia.destination),
+                 ia::encode_ia(ia, {}));
+      notices.push_back(core::DbgpSpeaker::encode_notice(ia.destination));
+    }
+    state.ResumeTiming();
+
+    for (const auto& notice : notices) {
+      benchmark::DoNotOptimize(receiver.handle_frame(from, notice));
+    }
+    prefixes += config.updates;
+  }
+  state.counters["prefixes/s"] =
+      benchmark::Counter(static_cast<double>(prefixes), benchmark::Counter::kIsRate);
+  state.counters["ia_bytes"] = static_cast<double>(ia_bytes);
+}
+BENCHMARK(BM_Beagle_OutOfBand)->Arg(32 * 1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+#include "workload.h"
+
+#include "core/speaker.h"
+
+namespace dbgp::bench {
+
+namespace {
+
+// Prefix-length distribution loosely following global-table statistics:
+// ~55% /24, the rest spread over /16../23 and a few shorter.
+std::uint8_t synth_prefix_length(util::Rng& rng) {
+  const std::uint32_t roll = rng.next_below(100);
+  if (roll < 55) return 24;
+  if (roll < 65) return 22;
+  if (roll < 75) return 20;
+  if (roll < 85) return 19;
+  if (roll < 93) return 16;
+  if (roll < 97) return 21;
+  return 12;
+}
+
+net::Prefix synth_prefix(util::Rng& rng) {
+  return net::Prefix(net::Ipv4Address(rng.next_u32()), synth_prefix_length(rng));
+}
+
+bgp::AsPath synth_path(util::Rng& rng, const WorkloadConfig& config) {
+  const std::size_t len =
+      config.path_min +
+      rng.next_below(static_cast<std::uint32_t>(config.path_max - config.path_min + 1));
+  std::vector<bgp::AsNumber> asns;
+  asns.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) asns.push_back(rng.next_u32() % 64000 + 1);
+  return bgp::AsPath(std::move(asns));
+}
+
+}  // namespace
+
+bgp::UpdateMessage synth_update(util::Rng& rng, const WorkloadConfig& config) {
+  bgp::UpdateMessage update;
+  bgp::PathAttributes attrs;
+  attrs.origin = static_cast<bgp::Origin>(rng.next_below(3));
+  attrs.as_path = synth_path(rng, config);
+  attrs.next_hop = net::Ipv4Address(rng.next_u32());
+  if (rng.next_bool(0.3)) attrs.med = rng.next_u32() % 1000;
+  if (rng.next_bool(0.4)) {
+    const auto n = rng.next_below(3) + 1;
+    for (std::uint32_t i = 0; i < n; ++i) attrs.communities.push_back(rng.next_u32());
+  }
+  update.attributes = std::move(attrs);
+  update.nlri.push_back(synth_prefix(rng));
+  return update;
+}
+
+std::vector<std::vector<std::uint8_t>> synth_bgp_stream(const WorkloadConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<std::vector<std::uint8_t>> stream;
+  stream.reserve(config.updates);
+  for (std::size_t i = 0; i < config.updates; ++i) {
+    stream.push_back(bgp::encode_message(bgp::Message{synth_update(rng, config)}));
+  }
+  return stream;
+}
+
+ia::IntegratedAdvertisement synth_ia(util::Rng& rng, const WorkloadConfig& config,
+                                     std::size_t target_bytes,
+                                     std::size_t protocols_on_path, double shared_fraction) {
+  ia::IntegratedAdvertisement out;
+  out.destination = synth_prefix(rng);
+  const bgp::AsPath path = synth_path(rng, config);
+  for (auto it = path.segments()[0].asns.rbegin(); it != path.segments()[0].asns.rend();
+       ++it) {
+    out.path_vector.prepend_as(*it);
+  }
+  out.baseline.origin = bgp::Origin::kIgp;
+  out.baseline.as_path = path;
+  out.baseline.next_hop = net::Ipv4Address(rng.next_u32());
+
+  if (protocols_on_path == 0 || target_bytes == 0) return out;
+
+  // Split the byte budget across the protocols on the path: a shared blob
+  // all critical fixes reference, plus per-protocol unique payloads — the
+  // Section 3.2 sharing structure.
+  const std::size_t budget = target_bytes;
+  const std::size_t shared_size =
+      static_cast<std::size_t>(static_cast<double>(budget) * shared_fraction);
+  std::vector<std::uint8_t> shared(shared_size);
+  for (auto& b : shared) b = static_cast<std::uint8_t>(rng.next_u32());
+  const std::size_t unique_each =
+      protocols_on_path == 0 ? 0 : (budget - shared_size) / protocols_on_path;
+  for (std::size_t p = 0; p < protocols_on_path; ++p) {
+    const ia::ProtocolId proto = static_cast<ia::ProtocolId>(100 + p);
+    out.set_path_descriptor(proto, 1, shared);  // deduplicated by the codec
+    std::vector<std::uint8_t> unique(unique_each);
+    for (auto& b : unique) b = static_cast<std::uint8_t>(rng.next_u32());
+    out.set_path_descriptor(proto, 2, std::move(unique));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> synth_ia_stream(const WorkloadConfig& config,
+                                                       std::size_t target_bytes,
+                                                       std::size_t protocols_on_path,
+                                                       double shared_fraction) {
+  util::Rng rng(config.seed);
+  std::vector<std::vector<std::uint8_t>> stream;
+  stream.reserve(config.updates);
+  for (std::size_t i = 0; i < config.updates; ++i) {
+    const auto ia = synth_ia(rng, config, target_bytes, protocols_on_path, shared_fraction);
+    stream.push_back(core::DbgpSpeaker::encode_announce(ia, {}));
+  }
+  return stream;
+}
+
+}  // namespace dbgp::bench

@@ -1,0 +1,50 @@
+// Synthetic RIS-like workloads for the benchmarks.
+//
+// The paper's stress test replayed 150,000 advertisements per peer collected
+// from RIPE RIS. We have no traces here (DESIGN.md substitution), so this
+// generator synthesizes streams with the distributions the paper's overhead
+// analysis cites: prefix lengths concentrated at /24 and /16-/22, AS-path
+// lengths 3-5 ([7] in the paper), and a realistic attribute mix. IA
+// workloads additionally pad per-protocol descriptors to hit a target
+// advertisement size (4 KB - 256 KB, Table 2's CI/CF range).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/message.h"
+#include "ia/codec.h"
+#include "ia/integrated_advertisement.h"
+#include "util/rng.h"
+
+namespace dbgp::bench {
+
+struct WorkloadConfig {
+  std::size_t updates = 10000;
+  std::uint64_t seed = 1;
+  // AS-path length range (paper: average BGP path length 3-5).
+  std::size_t path_min = 3;
+  std::size_t path_max = 5;
+};
+
+// One synthetic BGP UPDATE (announce, single NLRI).
+bgp::UpdateMessage synth_update(util::Rng& rng, const WorkloadConfig& config);
+
+// A stream of encoded BGP UPDATE messages.
+std::vector<std::vector<std::uint8_t>> synth_bgp_stream(const WorkloadConfig& config);
+
+// One synthetic IA whose encoded size is approximately `target_bytes`
+// (padded via per-protocol descriptors; `protocols_on_path` descriptors are
+// attached, sharing a `shared_fraction` of their control information).
+ia::IntegratedAdvertisement synth_ia(util::Rng& rng, const WorkloadConfig& config,
+                                     std::size_t target_bytes,
+                                     std::size_t protocols_on_path = 4,
+                                     double shared_fraction = 0.9);
+
+// A stream of encoded D-BGP announce frames with IAs of ~target_bytes.
+std::vector<std::vector<std::uint8_t>> synth_ia_stream(const WorkloadConfig& config,
+                                                       std::size_t target_bytes,
+                                                       std::size_t protocols_on_path = 4,
+                                                       double shared_fraction = 0.9);
+
+}  // namespace dbgp::bench

@@ -1,0 +1,117 @@
+// An evolution timeline: the Internet-wide story of Section 2, animated.
+//
+// A 30-AS hierarchy starts as pure BGP. Waves of ASes then deploy Wiser.
+// After every wave we re-run route selection and report (a) how many
+// upgraded ASes can actually see path costs for their selected routes and
+// (b) the average cost of the paths chosen — the benefit adopters get at
+// each adoption level, with D-BGP's pass-through doing the bootstrapping.
+#include <cstdio>
+#include <map>
+
+#include "protocols/bgp_module.h"
+#include "protocols/wiser.h"
+#include "simnet/network.h"
+#include "topology/hierarchy.h"
+#include "util/rng.h"
+
+using namespace dbgp;
+
+namespace {
+
+simnet::DbgpNetwork* g_net = nullptr;
+
+core::DbgpSpeaker& make_as(simnet::DbgpNetwork& net, bgp::AsNumber asn, bool upgraded,
+                           std::uint64_t cost) {
+  core::DbgpConfig config;
+  config.asn = asn;
+  config.next_hop = net::Ipv4Address(asn);
+  if (upgraded) {
+    config.island = ia::IslandId::from_as(asn);
+    config.island_protocol = ia::kProtoWiser;
+    config.active_protocol = ia::kProtoWiser;
+  }
+  auto& speaker = net.add_as(config);
+  if (upgraded) {
+    speaker.add_module(std::make_unique<protocols::WiserModule>(
+        protocols::WiserModule::Config{ia::IslandId::from_as(asn), cost,
+                                       net::Ipv4Address(asn)},
+        nullptr));
+  }
+  speaker.add_module(std::make_unique<protocols::BgpModule>());
+  return speaker;
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(2017);
+  topology::HierarchyConfig topo_config;
+  topo_config.tier1 = 3;
+  topo_config.transits = 7;
+  topo_config.stubs = 20;
+  const auto hierarchy = topology::generate_hierarchy(topo_config, rng);
+  const std::size_t n = hierarchy.graph.size();
+
+  // Each AS gets a fixed internal cost; upgrade order is a fixed shuffle.
+  std::vector<std::uint64_t> costs(n);
+  for (auto& c : costs) c = rng.next_below(90) + 10;
+  std::vector<std::size_t> upgrade_order(n);
+  for (std::size_t i = 0; i < n; ++i) upgrade_order[i] = i;
+  rng.shuffle(upgrade_order);
+
+  const auto prefix = *net::Prefix::parse("198.51.100.0/24");
+  const topology::NodeId dest_node = static_cast<topology::NodeId>(n - 1);
+
+  std::printf("Evolution timeline: %zu ASes, Wiser deployed in waves of 20%%\n", n);
+  std::printf("(destination prefix %s hosted by AS %u)\n\n", prefix.to_string().c_str(),
+              dest_node + 1);
+  std::printf("%9s | %9s | %16s | %14s\n", "adoption", "upgraded", "see path costs",
+              "avg cost seen");
+  std::printf("----------+-----------+------------------+---------------\n");
+
+  for (int wave = 0; wave <= 5; ++wave) {
+    const std::size_t upgraded_count = n * wave / 5;
+    std::vector<bool> upgraded(n, false);
+    for (std::size_t i = 0; i < upgraded_count; ++i) upgraded[upgrade_order[i]] = true;
+
+    // Rebuild the network at this adoption level (a fresh control plane —
+    // real deployments converge in place; rebuilding keeps runs independent
+    // and deterministic).
+    simnet::DbgpNetwork net;
+    g_net = &net;
+    for (std::size_t u = 0; u < n; ++u) {
+      make_as(net, static_cast<bgp::AsNumber>(u + 1), upgraded[u], costs[u]);
+    }
+    for (topology::NodeId u = 0; u < n; ++u) {
+      for (const auto& edge : hierarchy.graph.neighbors(u)) {
+        if (edge.neighbor > u) net.connect(u + 1, edge.neighbor + 1);
+      }
+    }
+    net.originate(dest_node + 1, prefix);
+    net.run_to_convergence();
+
+    std::size_t can_see = 0;
+    std::uint64_t cost_sum = 0;
+    std::size_t with_route = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (!upgraded[u] || u == dest_node) continue;
+      const auto* best = net.speaker(static_cast<bgp::AsNumber>(u + 1)).best(prefix);
+      if (best == nullptr) continue;
+      ++with_route;
+      const std::uint64_t cost = protocols::WiserModule::path_cost(*best);
+      if (cost > 0) {
+        ++can_see;
+        cost_sum += cost;
+      }
+    }
+    std::printf("%8d%% | %9zu | %10zu of %3zu | %14.1f\n", wave * 20, upgraded_count,
+                can_see, with_route,
+                can_see > 0 ? static_cast<double>(cost_sum) / static_cast<double>(can_see)
+                            : 0.0);
+  }
+
+  std::printf("\nEvery upgraded AS whose selected path crosses at least one other\n");
+  std::printf("adopter sees costs immediately — no contiguity required. That is the\n");
+  std::printf("incremental-benefit acceleration of Figure 9/10, in miniature.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 2 / Section 3.4: off-path discovery of a custom protocol (MIRO).
+//
+// Island M sells alternate paths. Under plain BGP, a remote transit island
+// T has no way to learn the service exists. Under D-BGP, M attaches a
+// service-portal island descriptor to its own prefix advertisements; the
+// descriptor crosses the gulf via pass-through, T discovers the portal,
+// negotiates a path purchase out-of-band, and tunnels traffic over it.
+#include <cstdio>
+
+#include "protocols/bgp_module.h"
+#include "protocols/miro.h"
+#include "simnet/dataplane.h"
+#include "simnet/network.h"
+
+using namespace dbgp;
+
+int main() {
+  core::LookupService lookup;  // plays every out-of-band portal
+  simnet::DbgpNetwork net(&lookup);
+  const auto island_m = ia::IslandId::assigned(0xE1);
+  const auto miro_prefix = *net::Prefix::parse("173.82.2.0/24");
+  const auto dest = *net::Prefix::parse("131.2.0.0/24");
+
+  protocols::MiroService service(&lookup, island_m, net::Ipv4Address(173, 82, 2, 0),
+                                 net::Ipv4Address(173, 82, 2, 99));
+
+  // M = AS 30 (sells MIRO), gulf = AS 20, T = AS 10 (wants a better path).
+  core::DbgpConfig m_config;
+  m_config.asn = 30;
+  m_config.next_hop = net::Ipv4Address(30);
+  m_config.island = island_m;
+  m_config.island_protocol = ia::kProtoMiro;
+  auto& m_speaker = net.add_as(m_config);
+  m_speaker.add_module(std::make_unique<protocols::BgpModule>());
+  m_speaker.export_filters().add(
+      "miro-portal", [&service](ia::IntegratedAdvertisement& ia, const core::FilterContext&) {
+        service.attach_descriptor(ia);
+        return true;
+      });
+  for (bgp::AsNumber asn : {20u, 10u}) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    net.add_as(config).add_module(std::make_unique<protocols::BgpModule>());
+  }
+  net.connect(30, 20);
+  net.connect(20, 10);
+  net.originate(30, miro_prefix);
+  net.run_to_convergence();
+
+  // M publishes two purchasable alternate paths toward the destination.
+  protocols::MiroOffer cheap;
+  cheap.offer_id = 1;
+  cheap.path.prepend_as(32);
+  cheap.path.prepend_as(30);
+  cheap.price = 100;
+  protocols::MiroOffer premium;
+  premium.offer_id = 2;
+  premium.path.prepend_as(31);
+  premium.path.prepend_as(30);
+  premium.price = 400;
+  service.publish_offers(dest, {cheap, premium});
+
+  // T discovers the portal from the IA that crossed the gulf.
+  const auto* at_t = net.speaker(10).best(miro_prefix);
+  if (at_t == nullptr) {
+    std::printf("T never received M's advertisement\n");
+    return 1;
+  }
+  const auto found = protocols::MiroClient::discover(at_t->ia);
+  if (found.empty()) {
+    std::printf("T could not discover the MIRO service — Figure 2's failure mode\n");
+    return 1;
+  }
+  std::printf("T discovered a MIRO service: island %s, portal %s\n",
+              found[0].island.to_string().c_str(), found[0].portal_addr.to_string().c_str());
+
+  protocols::MiroClient client(&lookup);
+  const auto offers = client.fetch_offers(found[0].island, dest);
+  std::printf("offers toward %s:\n", dest.to_string().c_str());
+  for (const auto& offer : offers) {
+    std::printf("  #%u: path [%s], price %llu\n", offer.offer_id,
+                offer.path.to_string().c_str(),
+                static_cast<unsigned long long>(offer.price));
+  }
+
+  const auto grant = service.handle_purchase(dest, 2, 400);
+  if (!grant) {
+    std::printf("purchase failed\n");
+    return 1;
+  }
+  std::printf("T purchased offer #2; tunnel endpoint %s (island revenue: %llu)\n",
+              grant->tunnel_endpoint.to_string().c_str(),
+              static_cast<unsigned long long>(service.revenue()));
+
+  // T tunnels traffic to the endpoint; M forwards over the sold path.
+  simnet::DataPlane dp;
+  dp.set_next_hop(10, miro_prefix, 20);
+  dp.set_next_hop(20, miro_prefix, 30);
+  dp.set_address_owner(grant->tunnel_endpoint, 30);
+  dp.set_next_hop(30, dest, 31);
+  dp.set_local_delivery(31, dest);
+  dp.add_link(30, 31);
+  simnet::Packet packet;
+  packet.stack.push_back(simnet::Header::ipv4(net::Ipv4Address(131, 2, 0, 1)));
+  packet.stack.push_back(simnet::Header::tunnel(grant->tunnel_endpoint));
+  const auto trace = dp.forward(10, packet);
+  std::printf("tunneled packet traversed [");
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    std::printf("%s%u", i ? " " : "", trace.hops[i]);
+  }
+  std::printf("] delivered=%s\n", trace.delivered ? "yes" : trace.drop_reason.c_str());
+  return trace.delivered ? 0 : 1;
+}

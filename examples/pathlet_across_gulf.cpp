@@ -1,0 +1,97 @@
+// Figure 8 / Section 6.1: deploying Pathlet Routing (a replacement
+// protocol) across a BGP gulf.
+//
+// Island A holds four one-hop pathlets toward the destination; border AS A2
+// composes two of them into a two-hop pathlet, translates everything into
+// an Integrated Advertisement, and sends it across the gulf. Island B's
+// ingress translates the IA back into pathlet advertisements: the source S
+// ends up with all five pathlets, exactly as the paper's experiment
+// verified.
+#include <cstdio>
+
+#include "protocols/bgp_module.h"
+#include "protocols/pathlet.h"
+#include "simnet/dataplane.h"
+#include "simnet/network.h"
+
+using namespace dbgp;
+
+int main() {
+  simnet::DbgpNetwork net;
+  const auto island_a = ia::IslandId::assigned(0xA);
+  const auto island_b = ia::IslandId::assigned(0xB);
+  const auto dest = *net::Prefix::parse("131.1.4.0/24");
+
+  protocols::PathletStore store_a2, store_s;
+  auto add_pathlet_as = [&](bgp::AsNumber asn, ia::IslandId island,
+                            protocols::PathletStore* store) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    config.island = island;
+    config.island_protocol = ia::kProtoPathlets;
+    config.active_protocol = ia::kProtoPathlets;
+    auto& speaker = net.add_as(config);
+    speaker.add_module(std::make_unique<protocols::PathletModule>(
+        protocols::PathletModule::Config{island}, store));
+    speaker.add_module(std::make_unique<protocols::BgpModule>());
+  };
+
+  add_pathlet_as(1, island_a, nullptr);   // A1 (hosts the destination)
+  add_pathlet_as(2, island_a, &store_a2); // A2 (composing border AS)
+  core::DbgpConfig gulf;
+  gulf.asn = 7;
+  gulf.next_hop = net::Ipv4Address(7);
+  net.add_as(gulf).add_module(std::make_unique<protocols::BgpModule>());  // the gulf
+  add_pathlet_as(9, island_b, &store_s);  // S
+
+  // The four one-hop pathlets disseminated within island A. Vnode IDs play
+  // the role of the paper's br1/br2... router names.
+  store_a2.add_local({1, {101, 102}, std::nullopt});
+  store_a2.add_local({2, {102, 104}, dest});
+  store_a2.add_local({3, {101, 103}, std::nullopt});
+  store_a2.add_local({4, {103, 104}, dest});
+  // A2 composes pathlets 1 and 2 into two-hop pathlet 50.
+  store_a2.compose(1, 2, 50);
+
+  net.connect(1, 2, /*same_island=*/true);
+  net.connect(2, 7);
+  net.connect(7, 9);
+  net.originate(1, dest);
+  net.run_to_convergence();
+
+  const auto* best = net.speaker(9).best(dest);
+  if (best == nullptr) {
+    std::printf("S has no route\n");
+    return 1;
+  }
+  std::printf("IA received by S:\n\n%s\n", best->ia.dump().c_str());
+  std::printf("pathlets S learned (%zu):\n", store_s.all().size());
+  for (const auto& p : store_s.all()) {
+    std::printf("  fid %u: vias [", p.fid);
+    for (std::size_t i = 0; i < p.vias.size(); ++i) {
+      std::printf("%s%u", i ? " " : "", p.vias[i]);
+    }
+    std::printf("]%s\n", p.delivers ? (" -> " + p.delivers->to_string()).c_str() : "");
+  }
+
+  // S picks the composed two-hop pathlet and forwards over it: at the AS
+  // level the traffic crosses the gulf inside an IPv4 header and uses
+  // pathlet forwarding inside island A (multi-network-protocol headers).
+  simnet::DataPlane dp;
+  dp.set_next_hop(9, dest, 7);
+  dp.set_next_hop(7, dest, 2);
+  dp.set_local_delivery(2, dest);  // island A border: pathlet takes over
+  dp.add_link(2, 1);
+  simnet::Packet packet;
+  packet.stack.push_back(simnet::Header::source_route({1}));  // pathlet leg
+  packet.stack.push_back(simnet::Header::ipv4(net::Ipv4Address(131 << 24 | 1 << 16 | 4 << 8 | 1)));
+  const auto trace = dp.forward(9, packet);
+  std::printf("\ndata plane: packet from S traversed ASes [");
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    std::printf("%s%u", i ? " " : "", trace.hops[i]);
+  }
+  std::printf("] delivered=%s\n", trace.delivered ? "yes" : trace.drop_reason.c_str());
+
+  return store_s.all().size() == 5 && trace.delivered ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+// Figures 6 & 7: the rich, evolvable Internet D-BGP enables.
+//
+// Chain (destination -> source):
+//   island D (Pathlet Routing, {21, 22}) -> AS 14 (BGP gulf) ->
+//   island F (SCION, {41}) -> island 11 (Wiser // MIRO) ->
+//   island G (Pathlet Routing, {61, 62}) -> island 8 (BGP)
+//
+// Prints the Integrated Advertisement island 8 receives for 131.4.0.0/24 —
+// the Figure-7 IA: one advertisement simultaneously carrying BGP, Wiser,
+// MIRO, SCION, and Pathlet Routing control information.
+#include <cstdio>
+
+#include "protocols/bgp_module.h"
+#include "protocols/miro.h"
+#include "protocols/pathlet.h"
+#include "protocols/scion.h"
+#include "protocols/wiser.h"
+#include "simnet/network.h"
+
+using namespace dbgp;
+
+int main() {
+  core::LookupService lookup;
+  simnet::DbgpNetwork net(&lookup);
+  const auto island_d = ia::IslandId::assigned(0xD0);
+  const auto island_f = ia::IslandId::assigned(0xF0);
+  const auto island_g = ia::IslandId::assigned(0x60);
+  const auto island_11 = ia::IslandId::from_as(11);
+  const auto dest = *net::Prefix::parse("131.4.0.0/24");
+
+  auto base = [](bgp::AsNumber asn) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    return config;
+  };
+
+  // Island D: Pathlet Routing ({21, 22}, abstracted at egress).
+  protocols::PathletStore store_d;
+  store_d.add_local({1, {201, 202}, std::nullopt});
+  store_d.add_local({5, {202, 204}, std::nullopt});
+  store_d.add_local({9, {204}, dest});
+  for (bgp::AsNumber asn : {21u, 22u}) {
+    auto config = base(asn);
+    config.island = island_d;
+    config.island_protocol = ia::kProtoPathlets;
+    config.abstract_island = true;
+    config.island_members = {21, 22};
+    config.active_protocol = ia::kProtoPathlets;
+    auto& speaker = net.add_as(config);
+    speaker.add_module(std::make_unique<protocols::PathletModule>(
+        protocols::PathletModule::Config{island_d}, &store_d));
+    speaker.add_module(std::make_unique<protocols::BgpModule>());
+  }
+
+  // AS 14: a plain BGP gulf AS.
+  net.add_as(base(14)).add_module(std::make_unique<protocols::BgpModule>());
+
+  // Island F: SCION with two within-island paths (fr-granularity).
+  {
+    auto config = base(41);
+    config.island = island_f;
+    config.island_protocol = ia::kProtoScion;
+    config.abstract_island = true;
+    config.island_members = {41};
+    config.active_protocol = ia::kProtoScion;
+    auto& speaker = net.add_as(config);
+    speaker.add_module(std::make_unique<protocols::ScionModule>(protocols::ScionModule::Config{
+        island_f, {{{401, 409, 411, 407}}, {{401, 402, 403, 407}}}}));
+    speaker.add_module(std::make_unique<protocols::BgpModule>());
+  }
+
+  // Island 11: Wiser (cost 75) in parallel with a MIRO service.
+  protocols::MiroService miro(&lookup, island_11, net::Ipv4Address(154, 63, 23, 2),
+                              net::Ipv4Address(154, 63, 23, 99));
+  {
+    auto config = base(11);
+    config.island = island_11;
+    config.island_protocol = ia::kProtoWiser;
+    config.active_protocol = ia::kProtoWiser;
+    auto& speaker = net.add_as(config);
+    speaker.add_module(std::make_unique<protocols::WiserModule>(
+        protocols::WiserModule::Config{island_11, 75, net::Ipv4Address(154, 63, 23, 1)},
+        nullptr));
+    speaker.add_module(std::make_unique<protocols::BgpModule>());
+    speaker.export_filters().add(
+        "miro-portal", [&miro](ia::IntegratedAdvertisement& ia, const core::FilterContext&) {
+          miro.attach_descriptor(ia);
+          return true;
+        });
+  }
+
+  // Island G: Pathlet Routing ({61, 62}), with the inter-island pathlet
+  // (gr10 -> dr1) of Figure 6.
+  protocols::PathletStore store_g;
+  store_g.add_local({3, {601, 604}, std::nullopt});
+  store_g.add_local({7, {603, 610}, std::nullopt});
+  store_g.add_local({8, {610, 201}, std::nullopt});
+  for (bgp::AsNumber asn : {61u, 62u}) {
+    auto config = base(asn);
+    config.island = island_g;
+    config.island_protocol = ia::kProtoPathlets;
+    config.abstract_island = true;
+    config.island_members = {61, 62};
+    config.active_protocol = ia::kProtoPathlets;
+    auto& speaker = net.add_as(config);
+    speaker.add_module(std::make_unique<protocols::PathletModule>(
+        protocols::PathletModule::Config{island_g}, &store_g));
+    speaker.add_module(std::make_unique<protocols::BgpModule>());
+  }
+
+  // Island 8: a plain BGP island — yet it can see everything.
+  net.add_as(base(8)).add_module(std::make_unique<protocols::BgpModule>());
+
+  net.connect(21, 22, /*same_island=*/true);
+  net.connect(22, 14);
+  net.connect(14, 41);
+  net.connect(41, 11);
+  net.connect(11, 61);
+  net.connect(61, 62, /*same_island=*/true);
+  net.connect(62, 8);
+
+  net.originate(21, dest);
+  net.run_to_convergence();
+
+  const auto* best = net.speaker(8).best(dest);
+  if (best == nullptr) {
+    std::printf("island 8 has no route to %s\n", dest.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("The Figure-7 IA, as received by island 8 for %s:\n\n%s\n",
+              dest.to_string().c_str(), best->ia.dump().c_str());
+
+  std::printf("protocols on this path:");
+  const auto registry = ia::default_registry();
+  for (ia::ProtocolId protocol : best->ia.protocols_on_path()) {
+    std::printf(" %s", registry.name(protocol).c_str());
+  }
+  std::printf("\nencoded IA size: %zu bytes (with sharing), %zu bytes (compressed)\n",
+              ia::encode_ia(best->ia, {.compress = false, .share_blobs = true}).size(),
+              ia::encode_ia(best->ia, {.compress = true, .share_blobs = true}).size());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 1 / Section 3.4: deploying Wiser (a critical fix) across a BGP
+// gulf.
+//
+// A Wiser island containing the destination D exposes two egress paths: a
+// short one with a high path cost (via E1) and a longer, cheap one (via
+// E2). The source S is a Wiser island on the far side of a BGP gulf.
+//
+//   D(1) -- E1(2, cost 100) -- 4 ------\
+//   D(1) -- E2(3, cost   5) -- 5 -- 6 --+-- S(9)
+//
+// Run with --legacy to simulate plain-BGP gulf ASes that drop Wiser's
+// control information: S then picks the expensive short path — exactly the
+// failure Figure 1 illustrates.
+#include <cstdio>
+#include <string>
+
+#include "protocols/bgp_module.h"
+#include "protocols/wiser.h"
+#include "simnet/network.h"
+#include "util/flags.h"
+
+using namespace dbgp;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  std::string error;
+  if (!flags.parse(argc, argv, error)) {
+    std::fprintf(stderr, "bad flags: %s\n", error.c_str());
+    return 1;
+  }
+  const bool legacy = flags.get_bool("legacy", false);
+
+  core::LookupService lookup;
+  simnet::DbgpNetwork net(&lookup);
+  const auto island_a = ia::IslandId::assigned(0xA);
+  const auto island_b = ia::IslandId::assigned(0xB);
+  const auto dest = *net::Prefix::parse("128.6.0.0/16");
+
+  auto add_wiser = [&](bgp::AsNumber asn, ia::IslandId island, std::uint64_t cost) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    config.island = island;
+    config.island_protocol = ia::kProtoWiser;
+    config.active_protocol = ia::kProtoWiser;
+    auto& speaker = net.add_as(config);
+    speaker.add_module(std::make_unique<protocols::WiserModule>(
+        protocols::WiserModule::Config{island, cost, net::Ipv4Address(asn)}, nullptr));
+    speaker.add_module(std::make_unique<protocols::BgpModule>());
+  };
+  auto add_gulf = [&](bgp::AsNumber asn) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    auto& speaker = net.add_as(config);
+    speaker.add_module(std::make_unique<protocols::BgpModule>());
+    if (legacy) {
+      speaker.import_filters().add("legacy-strip",
+                                   core::strip_protocol_filter(ia::kProtoWiser));
+    }
+  };
+
+  add_wiser(1, island_a, 1);    // D
+  add_wiser(2, island_a, 100);  // E1
+  add_wiser(3, island_a, 5);    // E2
+  add_gulf(4);
+  add_gulf(5);
+  add_gulf(6);
+  add_wiser(9, island_b, 1);  // S
+
+  net.connect(1, 2, /*same_island=*/true);
+  net.connect(1, 3, /*same_island=*/true);
+  net.connect(2, 4);
+  net.connect(4, 9);
+  net.connect(3, 5);
+  net.connect(5, 6);
+  net.connect(6, 9);
+
+  net.originate(1, dest);
+  net.run_to_convergence();
+
+  std::printf("gulf mode: %s\n\n", legacy ? "legacy BGP (drops Wiser info)"
+                                          : "D-BGP (passes Wiser info through)");
+
+  const auto* best = net.speaker(9).best(dest);
+  if (best == nullptr) {
+    std::printf("S has no route to %s\n", dest.to_string().c_str());
+    return 1;
+  }
+  std::printf("S's selected IA for %s:\n\n%s\n", dest.to_string().c_str(),
+              best->ia.dump().c_str());
+
+  const std::uint64_t cost = protocols::WiserModule::path_cost(*best);
+  const bool via_cheap_egress = best->ia.path_vector.contains_as(3);
+  std::printf("path: %s\n", best->ia.path_vector.to_string().c_str());
+  std::printf("Wiser cost visible at S: %llu\n", static_cast<unsigned long long>(cost));
+  std::printf("S chose the %s path (%s)\n",
+              via_cheap_egress ? "LOW-cost longer" : "HIGH-cost shorter",
+              via_cheap_egress
+                  ? "D-BGP's pass-through made the costs visible across the gulf"
+                  : "without cost information S falls back to shortest-path — "
+                    "Figure 1's failure mode");
+  return 0;
+}

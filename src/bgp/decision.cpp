@@ -1,0 +1,37 @@
+#include "bgp/decision.h"
+
+namespace dbgp::bgp {
+
+bool better_route(const Route& a, const Route& b) noexcept {
+  const std::uint32_t lp_a = a.attrs.local_pref.value_or(kDefaultLocalPref);
+  const std::uint32_t lp_b = b.attrs.local_pref.value_or(kDefaultLocalPref);
+  if (lp_a != lp_b) return lp_a > lp_b;
+
+  const std::size_t len_a = a.attrs.as_path.hop_count();
+  const std::size_t len_b = b.attrs.as_path.hop_count();
+  if (len_a != len_b) return len_a < len_b;
+
+  if (a.attrs.origin != b.attrs.origin) {
+    return static_cast<int>(a.attrs.origin) < static_cast<int>(b.attrs.origin);
+  }
+
+  // MED applies only between routes from the same neighboring AS.
+  if (a.neighbor_as == b.neighbor_as && a.neighbor_as != 0) {
+    const std::uint32_t med_a = a.attrs.med.value_or(0);
+    const std::uint32_t med_b = b.attrs.med.value_or(0);
+    if (med_a != med_b) return med_a < med_b;
+  }
+
+  if (a.from_peer != b.from_peer) return a.from_peer < b.from_peer;
+  return a.sequence < b.sequence;
+}
+
+const Route* select_best(const std::vector<const Route*>& candidates) noexcept {
+  const Route* best = nullptr;
+  for (const Route* r : candidates) {
+    if (best == nullptr || better_route(*r, *best)) best = r;
+  }
+  return best;
+}
+
+}  // namespace dbgp::bgp

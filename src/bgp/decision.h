@@ -1,0 +1,26 @@
+// The BGP decision process (RFC 4271 section 9.1.2.2), phase 2.
+//
+// Selection order, all eBGP (the simulator models one speaker per AS):
+//   1. highest LOCAL_PREF (absent treated as 100, the conventional default)
+//   2. shortest AS_PATH hop count (AS_SET counts as one hop)
+//   3. lowest ORIGIN (IGP < EGP < INCOMPLETE)
+//   4. lowest MED, compared only between routes from the same neighbor AS
+//   5. lowest peer id (stands in for lowest BGP identifier / peer address)
+//   6. lowest arrival sequence (deterministic final tie-break)
+#pragma once
+
+#include <vector>
+
+#include "bgp/rib.h"
+
+namespace dbgp::bgp {
+
+inline constexpr std::uint32_t kDefaultLocalPref = 100;
+
+// Returns true if `a` is preferred over `b`.
+bool better_route(const Route& a, const Route& b) noexcept;
+
+// Picks the best candidate; nullptr for an empty set.
+const Route* select_best(const std::vector<const Route*>& candidates) noexcept;
+
+}  // namespace dbgp::bgp

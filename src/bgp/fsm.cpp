@@ -1,0 +1,129 @@
+#include "bgp/fsm.h"
+
+namespace dbgp::bgp {
+
+const char* to_string(FsmState state) noexcept {
+  switch (state) {
+    case FsmState::kIdle: return "Idle";
+    case FsmState::kConnect: return "Connect";
+    case FsmState::kActive: return "Active";
+    case FsmState::kOpenSent: return "OpenSent";
+    case FsmState::kOpenConfirm: return "OpenConfirm";
+    case FsmState::kEstablished: return "Established";
+  }
+  return "?";
+}
+
+SessionFsm::SessionFsm(std::uint32_t hold_time_secs) noexcept
+    : configured_hold_time_(hold_time_secs), hold_time_(hold_time_secs) {}
+
+void SessionFsm::negotiate_hold_time(std::uint32_t peer_hold_time) noexcept {
+  hold_time_ = peer_hold_time < hold_time_ ? peer_hold_time : hold_time_;
+}
+
+void SessionFsm::arm_timers(double now_secs) noexcept {
+  if (hold_time_ == 0) return;
+  hold_deadline_ = now_secs + hold_time_;
+  // RFC 4271 suggests keepalive = hold/3.
+  keepalive_deadline_ = now_secs + hold_time_ / 3.0;
+}
+
+void SessionFsm::reset() noexcept {
+  state_ = FsmState::kIdle;
+  hold_time_ = configured_hold_time_;
+  hold_deadline_ = 0.0;
+  keepalive_deadline_ = 0.0;
+}
+
+FsmAction SessionFsm::handle(FsmEvent event, double now_secs) noexcept {
+  switch (event) {
+    case FsmEvent::kManualStart:
+      if (state_ == FsmState::kIdle) {
+        state_ = FsmState::kConnect;
+      }
+      return FsmAction::kNone;
+
+    case FsmEvent::kManualStop: {
+      const bool was_up = established();
+      reset();
+      return was_up ? FsmAction::kSessionDown : FsmAction::kNone;
+    }
+
+    case FsmEvent::kTcpConnected:
+      if (state_ == FsmState::kConnect || state_ == FsmState::kActive) {
+        state_ = FsmState::kOpenSent;
+        return FsmAction::kSendOpen;
+      }
+      return FsmAction::kNone;
+
+    case FsmEvent::kTcpFailed:
+      if (state_ == FsmState::kConnect) {
+        state_ = FsmState::kActive;  // retry path
+        return FsmAction::kNone;
+      }
+      if (established()) {
+        reset();
+        return FsmAction::kSessionDown;
+      }
+      reset();
+      return FsmAction::kNone;
+
+    case FsmEvent::kOpenReceived:
+      if (state_ == FsmState::kOpenSent) {
+        state_ = FsmState::kOpenConfirm;
+        arm_timers(now_secs);
+        return FsmAction::kSendKeepAlive;
+      }
+      if (state_ == FsmState::kConnect || state_ == FsmState::kActive) {
+        // Collision-simplified: treat as passive open.
+        state_ = FsmState::kOpenConfirm;
+        arm_timers(now_secs);
+        return FsmAction::kSendOpen;  // speaker sends OPEN then KEEPALIVE
+      }
+      return FsmAction::kSendNotificationAndDrop;
+
+    case FsmEvent::kKeepAliveReceived:
+      if (state_ == FsmState::kOpenConfirm) {
+        state_ = FsmState::kEstablished;
+        arm_timers(now_secs);
+        return FsmAction::kSessionUp;
+      }
+      if (established()) {
+        if (hold_time_ != 0) hold_deadline_ = now_secs + hold_time_;
+        return FsmAction::kNone;
+      }
+      return FsmAction::kSendNotificationAndDrop;
+
+    case FsmEvent::kUpdateReceived:
+      if (!established()) return FsmAction::kSendNotificationAndDrop;
+      if (hold_time_ != 0) hold_deadline_ = now_secs + hold_time_;
+      return FsmAction::kNone;
+
+    case FsmEvent::kNotificationReceived: {
+      const bool was_up = established();
+      reset();
+      return was_up ? FsmAction::kSessionDown : FsmAction::kNone;
+    }
+
+    case FsmEvent::kHoldTimerExpired: {
+      const bool was_up = established();
+      reset();
+      return was_up ? FsmAction::kSessionDown : FsmAction::kSendNotificationAndDrop;
+    }
+  }
+  return FsmAction::kNone;
+}
+
+FsmAction SessionFsm::tick(double now_secs) noexcept {
+  if (hold_time_ == 0) return FsmAction::kNone;
+  if ((state_ == FsmState::kOpenConfirm || established()) && now_secs >= hold_deadline_) {
+    return handle(FsmEvent::kHoldTimerExpired, now_secs);
+  }
+  if (established() && now_secs >= keepalive_deadline_) {
+    keepalive_deadline_ = now_secs + hold_time_ / 3.0;
+    return FsmAction::kSendKeepAlive;
+  }
+  return FsmAction::kNone;
+}
+
+}  // namespace dbgp::bgp

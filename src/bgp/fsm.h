@@ -1,0 +1,79 @@
+// BGP session finite state machine (RFC 4271 section 8, simplified to the
+// transport model of the discrete-event simulator: "TCP" connections succeed
+// instantly when both ends have started, so Connect/Active collapse quickly).
+//
+// The FSM owns hold/keepalive timing; the embedding speaker supplies the
+// current simulation time and polls for timer-driven actions via tick().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dbgp::bgp {
+
+enum class FsmState : std::uint8_t {
+  kIdle,
+  kConnect,
+  kActive,
+  kOpenSent,
+  kOpenConfirm,
+  kEstablished,
+};
+
+const char* to_string(FsmState state) noexcept;
+
+enum class FsmEvent : std::uint8_t {
+  kManualStart,
+  kManualStop,
+  kTcpConnected,
+  kTcpFailed,
+  kOpenReceived,
+  kKeepAliveReceived,
+  kUpdateReceived,
+  kNotificationReceived,
+  kHoldTimerExpired,
+};
+
+// What the embedding speaker must do after feeding an event / ticking.
+enum class FsmAction : std::uint8_t {
+  kNone,
+  kSendOpen,
+  kSendKeepAlive,          // ack an OPEN or refresh the keepalive timer
+  kSendNotificationAndDrop,  // protocol error: tear down
+  kSessionUp,              // entered Established: send initial table
+  kSessionDown,            // left Established: flush routes learned here
+};
+
+class SessionFsm {
+ public:
+  // hold_time of 0 disables keepalive/hold supervision (RFC 4271 allows 0).
+  explicit SessionFsm(std::uint32_t hold_time_secs = 90) noexcept;
+
+  FsmState state() const noexcept { return state_; }
+  bool established() const noexcept { return state_ == FsmState::kEstablished; }
+  std::uint32_t hold_time() const noexcept { return hold_time_; }
+
+  // Negotiated hold time is the min of ours and the peer's (RFC 4271 4.2).
+  void negotiate_hold_time(std::uint32_t peer_hold_time) noexcept;
+
+  // Feeds one event at simulation time `now_secs`; returns the action the
+  // speaker must carry out.
+  FsmAction handle(FsmEvent event, double now_secs) noexcept;
+
+  // Advances timers; returns kSendKeepAlive when the keepalive interval has
+  // elapsed, kSessionDown (after internal reset) when the hold timer fired.
+  FsmAction tick(double now_secs) noexcept;
+
+ private:
+  void arm_timers(double now_secs) noexcept;
+  void reset() noexcept;
+
+  FsmState state_ = FsmState::kIdle;
+  std::uint32_t configured_hold_time_;
+  std::uint32_t hold_time_;
+  double hold_deadline_ = 0.0;
+  double keepalive_deadline_ = 0.0;
+};
+
+}  // namespace dbgp::bgp

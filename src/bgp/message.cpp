@@ -1,0 +1,221 @@
+#include "bgp/message.h"
+
+namespace dbgp::bgp {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::DecodeError;
+
+MessageType message_type(const Message& m) noexcept {
+  if (std::holds_alternative<OpenMessage>(m)) return MessageType::kOpen;
+  if (std::holds_alternative<UpdateMessage>(m)) return MessageType::kUpdate;
+  if (std::holds_alternative<NotificationMessage>(m)) return MessageType::kNotification;
+  if (std::holds_alternative<RouteRefreshMessage>(m)) return MessageType::kRouteRefresh;
+  return MessageType::kKeepAlive;
+}
+
+void encode_nlri_prefix(ByteWriter& out, const net::Prefix& p) {
+  out.put_u8(p.length());
+  const std::uint32_t addr = p.address().value();
+  const int octets = (p.length() + 7) / 8;
+  for (int i = 0; i < octets; ++i) {
+    out.put_u8(static_cast<std::uint8_t>(addr >> (24 - 8 * i)));
+  }
+}
+
+net::Prefix decode_nlri_prefix(ByteReader& in) {
+  const std::uint8_t len = in.get_u8();
+  if (len > 32) throw DecodeError("NLRI prefix length > 32");
+  const int octets = (len + 7) / 8;
+  std::uint32_t addr = 0;
+  for (int i = 0; i < octets; ++i) {
+    addr |= static_cast<std::uint32_t>(in.get_u8()) << (24 - 8 * i);
+  }
+  return net::Prefix(net::Ipv4Address(addr), len);
+}
+
+namespace {
+
+// Capability codes (RFC 5492 registry subset).
+constexpr std::uint8_t kCapMultiprotocol = 1;
+constexpr std::uint8_t kCapRouteRefresh = 2;
+constexpr std::uint8_t kCapFourOctetAs = 65;
+
+void encode_open(ByteWriter& out, const OpenMessage& open) {
+  out.put_u8(open.version);
+  out.put_u16(open.asn <= 65535 ? static_cast<std::uint16_t>(open.asn)
+                                : static_cast<std::uint16_t>(kAsTrans));
+  out.put_u16(open.hold_time);
+  out.put_u32(open.router_id.value());
+  // Optional parameters: one capabilities parameter (type 2).
+  ByteWriter caps;
+  for (const auto& [afi, safi] : open.capabilities.multiprotocol) {
+    caps.put_u8(kCapMultiprotocol);
+    caps.put_u8(4);
+    caps.put_u16(afi);
+    caps.put_u8(0);
+    caps.put_u8(safi);
+  }
+  if (open.capabilities.route_refresh) {
+    caps.put_u8(kCapRouteRefresh);
+    caps.put_u8(0);
+  }
+  if (open.capabilities.four_octet_as) {
+    caps.put_u8(kCapFourOctetAs);
+    caps.put_u8(4);
+    caps.put_u32(open.asn);
+  }
+  const auto& cap_bytes = caps.bytes();
+  if (cap_bytes.empty()) {
+    out.put_u8(0);  // no optional parameters
+  } else {
+    out.put_u8(static_cast<std::uint8_t>(cap_bytes.size() + 2));
+    out.put_u8(2);  // parameter type: capabilities
+    out.put_u8(static_cast<std::uint8_t>(cap_bytes.size()));
+    out.put_bytes(cap_bytes);
+  }
+}
+
+OpenMessage decode_open(ByteReader& r) {
+  OpenMessage open;
+  open.version = r.get_u8();
+  if (open.version != 4) throw DecodeError("unsupported BGP version");
+  open.asn = r.get_u16();
+  open.hold_time = r.get_u16();
+  open.router_id = net::Ipv4Address(r.get_u32());
+  open.capabilities.multiprotocol.clear();
+  open.capabilities.four_octet_as = false;
+  const std::size_t opt_len = r.get_u8();
+  ByteReader params = r.sub_reader(opt_len);
+  while (!params.at_end()) {
+    const std::uint8_t param_type = params.get_u8();
+    const std::size_t param_len = params.get_u8();
+    ByteReader body = params.sub_reader(param_len);
+    if (param_type != 2) continue;  // ignore non-capability parameters
+    while (!body.at_end()) {
+      const std::uint8_t cap = body.get_u8();
+      const std::size_t cap_len = body.get_u8();
+      ByteReader cap_body = body.sub_reader(cap_len);
+      switch (cap) {
+        case kCapMultiprotocol: {
+          const std::uint16_t afi = cap_body.get_u16();
+          cap_body.get_u8();  // reserved
+          open.capabilities.multiprotocol.push_back({afi, cap_body.get_u8()});
+          break;
+        }
+        case kCapRouteRefresh:
+          open.capabilities.route_refresh = true;
+          break;
+        case kCapFourOctetAs:
+          open.capabilities.four_octet_as = true;
+          open.asn = cap_body.get_u32();
+          break;
+        default:
+          break;  // unknown capabilities are ignored
+      }
+    }
+  }
+  return open;
+}
+
+void encode_update(ByteWriter& out, const UpdateMessage& update) {
+  // Withdrawn routes.
+  const std::size_t withdrawn_len_at = out.reserve_u16();
+  const std::size_t before_withdrawn = out.size();
+  for (const auto& p : update.withdrawn) encode_nlri_prefix(out, p);
+  out.patch_u16(withdrawn_len_at, static_cast<std::uint16_t>(out.size() - before_withdrawn));
+  // Path attributes.
+  const std::size_t attrs_len_at = out.reserve_u16();
+  const std::size_t before_attrs = out.size();
+  if (update.attributes) update.attributes->encode(out);
+  out.patch_u16(attrs_len_at, static_cast<std::uint16_t>(out.size() - before_attrs));
+  // NLRI.
+  for (const auto& p : update.nlri) encode_nlri_prefix(out, p);
+}
+
+UpdateMessage decode_update(ByteReader& r) {
+  UpdateMessage update;
+  const std::size_t withdrawn_len = r.get_u16();
+  ByteReader withdrawn = r.sub_reader(withdrawn_len);
+  while (!withdrawn.at_end()) update.withdrawn.push_back(decode_nlri_prefix(withdrawn));
+  const std::size_t attrs_len = r.get_u16();
+  if (attrs_len > 0) update.attributes = PathAttributes::decode(r, attrs_len);
+  while (!r.at_end()) update.nlri.push_back(decode_nlri_prefix(r));
+  if (!update.nlri.empty() && !update.attributes) {
+    throw DecodeError("UPDATE has NLRI but no path attributes");
+  }
+  return update;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const Message& m) {
+  ByteWriter out;
+  for (int i = 0; i < 16; ++i) out.put_u8(0xff);  // marker
+  const std::size_t length_at = out.reserve_u16();
+  out.put_u8(static_cast<std::uint8_t>(message_type(m)));
+  std::visit(
+      [&out](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, OpenMessage>) {
+          encode_open(out, msg);
+        } else if constexpr (std::is_same_v<T, UpdateMessage>) {
+          encode_update(out, msg);
+        } else if constexpr (std::is_same_v<T, NotificationMessage>) {
+          out.put_u8(msg.code);
+          out.put_u8(msg.subcode);
+          out.put_bytes(msg.data);
+        } else if constexpr (std::is_same_v<T, RouteRefreshMessage>) {
+          out.put_u16(msg.afi);
+          out.put_u8(0);  // reserved
+          out.put_u8(msg.safi);
+        }
+        // KEEPALIVE has no body.
+      },
+      m);
+  if (out.size() > kMaxMessageSize) {
+    throw DecodeError("message exceeds RFC 4271 4096-byte limit");
+  }
+  out.patch_u16(length_at, static_cast<std::uint16_t>(out.size()));
+  return out.take();
+}
+
+Message decode_message(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  for (int i = 0; i < 16; ++i) {
+    if (r.get_u8() != 0xff) throw DecodeError("bad marker");
+  }
+  const std::size_t length = r.get_u16();
+  if (length < kHeaderSize || length > kMaxMessageSize || length != data.size()) {
+    throw DecodeError("bad message length");
+  }
+  const std::uint8_t type = r.get_u8();
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kOpen:
+      return decode_open(r);
+    case MessageType::kUpdate:
+      return decode_update(r);
+    case MessageType::kNotification: {
+      NotificationMessage n;
+      n.code = r.get_u8();
+      n.subcode = r.get_u8();
+      auto rest = r.get_bytes(r.remaining());
+      n.data.assign(rest.begin(), rest.end());
+      return n;
+    }
+    case MessageType::kKeepAlive:
+      if (!r.at_end()) throw DecodeError("KEEPALIVE with body");
+      return KeepAliveMessage{};
+    case MessageType::kRouteRefresh: {
+      RouteRefreshMessage refresh;
+      refresh.afi = r.get_u16();
+      r.get_u8();  // reserved
+      refresh.safi = r.get_u8();
+      if (!r.at_end()) throw DecodeError("ROUTE-REFRESH with trailing bytes");
+      return refresh;
+    }
+  }
+  throw DecodeError("unknown message type " + std::to_string(type));
+}
+
+}  // namespace dbgp::bgp

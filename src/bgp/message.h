@@ -1,0 +1,99 @@
+// BGP-4 message formats and wire codec (RFC 4271 section 4).
+//
+// OPEN, UPDATE, NOTIFICATION, and KEEPALIVE are encoded exactly as on the
+// wire: 16-byte all-ones marker, 2-byte length, 1-byte type, body. The
+// stress benchmark (E1) measures this codec head-to-head against the IA
+// codec, mirroring the paper's Beagle-vs-Quagga comparison.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bgp/path_attributes.h"
+#include "bgp/types.h"
+#include "net/ipv4.h"
+#include "util/bytes.h"
+
+namespace dbgp::bgp {
+
+enum class MessageType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepAlive = 4,
+  kRouteRefresh = 5,  // RFC 2918
+};
+
+inline constexpr std::size_t kHeaderSize = 19;
+inline constexpr std::size_t kMaxMessageSize = 4096;  // RFC 4271 limit
+
+// Capabilities advertised in OPEN (RFC 5492 subset).
+struct Capabilities {
+  bool four_octet_as = true;   // RFC 6793
+  bool route_refresh = false;  // RFC 2918
+  // Multiprotocol AFI/SAFI pairs (RFC 4760); (1,1) = IPv4 unicast.
+  std::vector<std::pair<std::uint16_t, std::uint8_t>> multiprotocol = {{1, 1}};
+
+  bool operator==(const Capabilities&) const = default;
+};
+
+struct OpenMessage {
+  std::uint8_t version = 4;
+  AsNumber asn = 0;  // encoded as AS_TRANS in the 2-byte field when > 65535
+  std::uint16_t hold_time = 90;
+  RouterId router_id;
+  Capabilities capabilities;
+
+  bool operator==(const OpenMessage&) const = default;
+};
+
+struct UpdateMessage {
+  std::vector<net::Prefix> withdrawn;
+  // Attributes are present iff there is NLRI (or attribute-only updates).
+  std::optional<PathAttributes> attributes;
+  std::vector<net::Prefix> nlri;
+
+  bool operator==(const UpdateMessage&) const = default;
+};
+
+struct NotificationMessage {
+  std::uint8_t code = 0;
+  std::uint8_t subcode = 0;
+  std::vector<std::uint8_t> data;
+
+  bool operator==(const NotificationMessage&) const = default;
+};
+
+struct KeepAliveMessage {
+  bool operator==(const KeepAliveMessage&) const = default;
+};
+
+// RFC 2918: ask the peer to resend its Adj-RIB-Out for one AFI/SAFI.
+struct RouteRefreshMessage {
+  std::uint16_t afi = 1;   // IPv4
+  std::uint8_t safi = 1;   // unicast
+
+  bool operator==(const RouteRefreshMessage&) const = default;
+};
+
+using Message = std::variant<OpenMessage, UpdateMessage, NotificationMessage,
+                             KeepAliveMessage, RouteRefreshMessage>;
+
+MessageType message_type(const Message& m) noexcept;
+
+// Serializes one message, including the 19-byte header.
+// Throws DecodeError if the result would exceed kMaxMessageSize.
+std::vector<std::uint8_t> encode_message(const Message& m);
+
+// Decodes one complete message from `data`; throws DecodeError on anything
+// malformed (bad marker, bad length, unknown type, truncated body).
+Message decode_message(std::span<const std::uint8_t> data);
+
+// NLRI helpers (shared with the UPDATE codec): length byte + minimal octets.
+void encode_nlri_prefix(util::ByteWriter& out, const net::Prefix& p);
+net::Prefix decode_nlri_prefix(util::ByteReader& in);
+
+}  // namespace dbgp::bgp

@@ -1,0 +1,224 @@
+#include "bgp/path_attributes.h"
+
+#include <algorithm>
+
+namespace dbgp::bgp {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::DecodeError;
+
+AsPath::AsPath(std::vector<AsNumber> sequence) {
+  if (!sequence.empty()) {
+    segments_.push_back({AsPathSegment::Type::kSequence, std::move(sequence)});
+  }
+}
+
+void AsPath::prepend(AsNumber asn) {
+  if (segments_.empty() || segments_.front().type != AsPathSegment::Type::kSequence ||
+      segments_.front().asns.size() >= 255) {
+    segments_.insert(segments_.begin(), {AsPathSegment::Type::kSequence, {asn}});
+  } else {
+    auto& seq = segments_.front().asns;
+    seq.insert(seq.begin(), asn);
+  }
+}
+
+void AsPath::prepend_set(std::vector<AsNumber> asns) {
+  segments_.insert(segments_.begin(), {AsPathSegment::Type::kSet, std::move(asns)});
+}
+
+bool AsPath::contains(AsNumber asn) const noexcept {
+  for (const auto& seg : segments_) {
+    if (std::find(seg.asns.begin(), seg.asns.end(), asn) != seg.asns.end()) return true;
+  }
+  return false;
+}
+
+std::size_t AsPath::hop_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& seg : segments_) {
+    count += seg.type == AsPathSegment::Type::kSequence ? seg.asns.size() : 1;
+  }
+  return count;
+}
+
+std::size_t AsPath::total_asns() const noexcept {
+  std::size_t count = 0;
+  for (const auto& seg : segments_) count += seg.asns.size();
+  return count;
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (const auto& seg : segments_) {
+    if (!out.empty()) out.push_back(' ');
+    const bool set = seg.type == AsPathSegment::Type::kSet;
+    if (set) out.push_back('{');
+    for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+      if (i != 0) out.push_back(set ? ',' : ' ');
+      out += std::to_string(seg.asns[i]);
+    }
+    if (set) out.push_back('}');
+  }
+  return out;
+}
+
+namespace {
+
+// Writes one attribute: flags, type, length (1 or 2 bytes), payload.
+void write_attribute(ByteWriter& out, std::uint8_t flags, std::uint8_t type,
+                     const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > 255) flags |= kAttrFlagExtendedLength;
+  out.put_u8(flags);
+  out.put_u8(type);
+  if ((flags & kAttrFlagExtendedLength) != 0) {
+    out.put_u16(static_cast<std::uint16_t>(payload.size()));
+  } else {
+    out.put_u8(static_cast<std::uint8_t>(payload.size()));
+  }
+  out.put_bytes(payload);
+}
+
+std::vector<std::uint8_t> encode_as_path(const AsPath& path) {
+  ByteWriter w;
+  for (const auto& seg : path.segments()) {
+    w.put_u8(static_cast<std::uint8_t>(seg.type));
+    w.put_u8(static_cast<std::uint8_t>(seg.asns.size()));
+    for (AsNumber asn : seg.asns) w.put_u32(asn);
+  }
+  return w.take();
+}
+
+AsPath decode_as_path(ByteReader r) {
+  AsPath path;
+  while (!r.at_end()) {
+    const auto type = static_cast<AsPathSegment::Type>(r.get_u8());
+    if (type != AsPathSegment::Type::kSet && type != AsPathSegment::Type::kSequence) {
+      throw DecodeError("bad AS_PATH segment type");
+    }
+    const std::size_t n = r.get_u8();
+    AsPathSegment seg;
+    seg.type = type;
+    seg.asns.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) seg.asns.push_back(r.get_u32());
+    path.segments().push_back(std::move(seg));
+  }
+  return path;
+}
+
+std::vector<std::uint8_t> u32_payload(std::uint32_t v) {
+  ByteWriter w;
+  w.put_u32(v);
+  return w.take();
+}
+
+}  // namespace
+
+void PathAttributes::encode(ByteWriter& out) const {
+  // Well-known mandatory attributes in canonical (ascending type) order.
+  write_attribute(out, kAttrFlagTransitive, static_cast<std::uint8_t>(AttrType::kOrigin),
+                  {static_cast<std::uint8_t>(origin)});
+  write_attribute(out, kAttrFlagTransitive, static_cast<std::uint8_t>(AttrType::kAsPath),
+                  encode_as_path(as_path));
+  write_attribute(out, kAttrFlagTransitive, static_cast<std::uint8_t>(AttrType::kNextHop),
+                  u32_payload(next_hop.value()));
+  if (med) {
+    write_attribute(out, kAttrFlagOptional,
+                    static_cast<std::uint8_t>(AttrType::kMultiExitDisc), u32_payload(*med));
+  }
+  if (local_pref) {
+    write_attribute(out, kAttrFlagTransitive,
+                    static_cast<std::uint8_t>(AttrType::kLocalPref), u32_payload(*local_pref));
+  }
+  if (atomic_aggregate) {
+    write_attribute(out, kAttrFlagTransitive,
+                    static_cast<std::uint8_t>(AttrType::kAtomicAggregate), {});
+  }
+  if (aggregator) {
+    ByteWriter w;
+    w.put_u32(aggregator->first);
+    w.put_u32(aggregator->second.value());
+    write_attribute(out, kAttrFlagOptional | kAttrFlagTransitive,
+                    static_cast<std::uint8_t>(AttrType::kAggregator), w.take());
+  }
+  if (!communities.empty()) {
+    ByteWriter w;
+    for (std::uint32_t c : communities) w.put_u32(c);
+    write_attribute(out, kAttrFlagOptional | kAttrFlagTransitive,
+                    static_cast<std::uint8_t>(AttrType::kCommunities), w.take());
+  }
+  for (const auto& attr : unknown) {
+    // Forwarded unknowns carry the Partial bit per RFC 4271 (set by the
+    // first speaker that did not recognize them).
+    write_attribute(out, static_cast<std::uint8_t>(attr.flags | kAttrFlagPartial), attr.type,
+                    attr.value);
+  }
+}
+
+PathAttributes PathAttributes::decode(ByteReader& in, std::size_t length) {
+  PathAttributes attrs;
+  ByteReader block = in.sub_reader(length);
+  bool saw_origin = false, saw_as_path = false, saw_next_hop = false;
+  while (!block.at_end()) {
+    const std::uint8_t flags = block.get_u8();
+    const std::uint8_t type = block.get_u8();
+    const std::size_t len = (flags & kAttrFlagExtendedLength) != 0
+                                ? block.get_u16()
+                                : block.get_u8();
+    ByteReader payload = block.sub_reader(len);
+    switch (static_cast<AttrType>(type)) {
+      case AttrType::kOrigin: {
+        const std::uint8_t v = payload.get_u8();
+        if (v > 2) throw DecodeError("bad ORIGIN value");
+        attrs.origin = static_cast<Origin>(v);
+        saw_origin = true;
+        break;
+      }
+      case AttrType::kAsPath:
+        attrs.as_path = decode_as_path(payload);
+        saw_as_path = true;
+        break;
+      case AttrType::kNextHop:
+        attrs.next_hop = net::Ipv4Address(payload.get_u32());
+        saw_next_hop = true;
+        break;
+      case AttrType::kMultiExitDisc:
+        attrs.med = payload.get_u32();
+        break;
+      case AttrType::kLocalPref:
+        attrs.local_pref = payload.get_u32();
+        break;
+      case AttrType::kAtomicAggregate:
+        attrs.atomic_aggregate = true;
+        break;
+      case AttrType::kAggregator: {
+        const AsNumber asn = payload.get_u32();
+        attrs.aggregator = {asn, net::Ipv4Address(payload.get_u32())};
+        break;
+      }
+      case AttrType::kCommunities:
+        while (!payload.at_end()) attrs.communities.push_back(payload.get_u32());
+        break;
+      default: {
+        if ((flags & kAttrFlagOptional) == 0) {
+          throw DecodeError("unrecognized well-known attribute type " + std::to_string(type));
+        }
+        if ((flags & kAttrFlagTransitive) != 0) {
+          // Pass-through: keep for re-advertisement.
+          auto bytes = payload.get_bytes(payload.remaining());
+          attrs.unknown.push_back(
+              {flags, type, std::vector<std::uint8_t>(bytes.begin(), bytes.end())});
+        }
+        // Optional non-transitive unknowns are silently dropped.
+        break;
+      }
+    }
+  }
+  if (!saw_origin || !saw_as_path || !saw_next_hop) {
+    throw DecodeError("missing well-known mandatory attribute");
+  }
+  return attrs;
+}
+
+}  // namespace dbgp::bgp

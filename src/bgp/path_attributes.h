@@ -1,0 +1,112 @@
+// BGP-4 path attributes (RFC 4271 section 4.3 / 5), including the wire codec
+// and the optional-transitive pass-through mechanism the paper identifies as
+// BGP's existing (but under-used) evolvability hook (Section 2.6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/types.h"
+#include "util/bytes.h"
+
+namespace dbgp::bgp {
+
+// Well-known attribute type codes.
+enum class AttrType : std::uint8_t {
+  kOrigin = 1,
+  kAsPath = 2,
+  kNextHop = 3,
+  kMultiExitDisc = 4,
+  kLocalPref = 5,
+  kAtomicAggregate = 6,
+  kAggregator = 7,
+  kCommunities = 8,
+};
+
+// Attribute flag bits (high nibble of the flags octet).
+inline constexpr std::uint8_t kAttrFlagOptional = 0x80;
+inline constexpr std::uint8_t kAttrFlagTransitive = 0x40;
+inline constexpr std::uint8_t kAttrFlagPartial = 0x20;
+inline constexpr std::uint8_t kAttrFlagExtendedLength = 0x10;
+
+// One segment of an AS_PATH: an ordered AS_SEQUENCE or an unordered AS_SET
+// (used when aggregating, and by D-BGP islands to list member ASes without
+// inflating the path length — Section 3.2).
+struct AsPathSegment {
+  enum class Type : std::uint8_t { kSet = 1, kSequence = 2 };
+  Type type = Type::kSequence;
+  std::vector<AsNumber> asns;
+
+  bool operator==(const AsPathSegment&) const = default;
+};
+
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<AsNumber> sequence);
+
+  // Prepends one AS to the leading AS_SEQUENCE (creating it if needed).
+  void prepend(AsNumber asn);
+  // Prepends an AS_SET segment (aggregation / island membership).
+  void prepend_set(std::vector<AsNumber> asns);
+
+  // True if any segment mentions `asn` — the RFC 4271 loop check.
+  bool contains(AsNumber asn) const noexcept;
+
+  // Path length for the decision process: each AS in a SEQUENCE counts 1,
+  // each AS_SET counts 1 total (RFC 4271 9.1.2.2a).
+  std::size_t hop_count() const noexcept;
+
+  // Total number of ASes mentioned across all segments.
+  std::size_t total_asns() const noexcept;
+
+  const std::vector<AsPathSegment>& segments() const noexcept { return segments_; }
+  std::vector<AsPathSegment>& segments() noexcept { return segments_; }
+
+  std::string to_string() const;
+
+  bool operator==(const AsPath&) const = default;
+
+ private:
+  std::vector<AsPathSegment> segments_;
+};
+
+// An attribute this speaker does not recognize. Optional-transitive unknowns
+// are forwarded unmodified with the Partial bit set; optional-non-transitive
+// unknowns are dropped; unrecognized well-known attributes are a session
+// error (we surface them as DecodeError).
+struct UnknownAttribute {
+  std::uint8_t flags = 0;
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> value;
+
+  bool transitive() const noexcept { return (flags & kAttrFlagTransitive) != 0; }
+  bool optional() const noexcept { return (flags & kAttrFlagOptional) != 0; }
+  bool operator==(const UnknownAttribute&) const = default;
+};
+
+// The full decoded attribute set of one UPDATE.
+struct PathAttributes {
+  Origin origin = Origin::kIgp;
+  AsPath as_path;
+  net::Ipv4Address next_hop;
+  std::optional<std::uint32_t> med;
+  std::optional<std::uint32_t> local_pref;
+  bool atomic_aggregate = false;
+  std::optional<std::pair<AsNumber, net::Ipv4Address>> aggregator;
+  std::vector<std::uint32_t> communities;
+  std::vector<UnknownAttribute> unknown;  // pass-through payloads
+
+  // Serializes as an RFC 4271 path-attribute block (without the 2-byte total
+  // length field, which the UPDATE codec writes). 4-octet ASes are encoded
+  // natively (we model an RFC 6793-capable mesh).
+  void encode(util::ByteWriter& out) const;
+  // Decodes a path-attribute block of exactly `length` bytes.
+  static PathAttributes decode(util::ByteReader& in, std::size_t length);
+
+  bool operator==(const PathAttributes&) const = default;
+};
+
+}  // namespace dbgp::bgp

@@ -1,0 +1,45 @@
+#include "bgp/policy.h"
+
+#include <algorithm>
+
+namespace dbgp::bgp {
+
+bool MatchCondition::matches(const net::Prefix& prefix, const PathAttributes& attrs) const noexcept {
+  if (prefix_exact && !(prefix == *prefix_exact)) return false;
+  if (prefix_covered_by && !prefix_covered_by->covers(prefix)) return false;
+  if (as_path_contains && !attrs.as_path.contains(*as_path_contains)) return false;
+  if (has_community) {
+    const auto& cs = attrs.communities;
+    if (std::find(cs.begin(), cs.end(), *has_community) == cs.end()) return false;
+  }
+  return true;
+}
+
+void AttributeActions::apply(PathAttributes& attrs, AsNumber own_as) const {
+  if (set_local_pref) attrs.local_pref = *set_local_pref;
+  if (set_med) attrs.med = *set_med;
+  for (std::uint8_t i = 0; i < prepend_count; ++i) attrs.as_path.prepend(own_as);
+  for (std::uint32_t c : add_communities) {
+    if (std::find(attrs.communities.begin(), attrs.communities.end(), c) ==
+        attrs.communities.end()) {
+      attrs.communities.push_back(c);
+    }
+  }
+  for (std::uint32_t c : strip_communities) {
+    attrs.communities.erase(std::remove(attrs.communities.begin(), attrs.communities.end(), c),
+                            attrs.communities.end());
+  }
+}
+
+bool PolicyChain::apply(const net::Prefix& prefix, PathAttributes& attrs, AsNumber own_as) const {
+  for (const PolicyRule& rule : rules_) {
+    if (rule.match.matches(prefix, attrs)) {
+      if (!rule.accept) return false;
+      rule.actions.apply(attrs, own_as);
+      return true;
+    }
+  }
+  return true;  // empty / no-match => accept unmodified
+}
+
+}  // namespace dbgp::bgp

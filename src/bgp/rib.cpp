@@ -1,0 +1,107 @@
+#include "bgp/rib.h"
+
+namespace dbgp::bgp {
+
+std::optional<Route> AdjRibIn::upsert(Route route) {
+  auto& per_peer = routes_[route.prefix];
+  auto it = per_peer.find(route.from_peer);
+  std::optional<Route> previous;
+  if (it != per_peer.end()) {
+    previous = std::move(it->second);
+    it->second = std::move(route);
+  } else {
+    per_peer.emplace(route.from_peer, std::move(route));
+    ++size_;
+  }
+  return previous;
+}
+
+bool AdjRibIn::remove(PeerId peer, const net::Prefix& prefix) {
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return false;
+  const bool removed = it->second.erase(peer) > 0;
+  if (removed) {
+    --size_;
+    if (it->second.empty()) routes_.erase(it);
+  }
+  return removed;
+}
+
+std::vector<net::Prefix> AdjRibIn::remove_peer(PeerId peer) {
+  std::vector<net::Prefix> affected;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (it->second.erase(peer) > 0) {
+      --size_;
+      affected.push_back(it->first);
+    }
+    it = it->second.empty() ? routes_.erase(it) : std::next(it);
+  }
+  return affected;
+}
+
+std::vector<const Route*> AdjRibIn::candidates(const net::Prefix& prefix) const {
+  std::vector<const Route*> out;
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [peer, route] : it->second) out.push_back(&route);
+  return out;
+}
+
+const Route* AdjRibIn::find(PeerId peer, const net::Prefix& prefix) const {
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return nullptr;
+  auto pit = it->second.find(peer);
+  return pit == it->second.end() ? nullptr : &pit->second;
+}
+
+bool LocRib::install(const Route& route) {
+  auto it = routes_.find(route.prefix);
+  if (it != routes_.end() && it->second.attrs == route.attrs &&
+      it->second.from_peer == route.from_peer) {
+    return false;
+  }
+  routes_[route.prefix] = route;
+  return true;
+}
+
+bool LocRib::remove(const net::Prefix& prefix) { return routes_.erase(prefix) > 0; }
+
+const Route* LocRib::find(const net::Prefix& prefix) const {
+  auto it = routes_.find(prefix);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+bool AdjRibOut::advertise(PeerId peer, const net::Prefix& prefix, const PathAttributes& attrs) {
+  auto& table = per_peer_[peer];
+  auto it = table.find(prefix);
+  if (it != table.end() && it->second == attrs) return false;
+  table[prefix] = attrs;
+  return true;
+}
+
+bool AdjRibOut::withdraw(PeerId peer, const net::Prefix& prefix) {
+  auto it = per_peer_.find(peer);
+  if (it == per_peer_.end()) return false;
+  return it->second.erase(prefix) > 0;
+}
+
+void AdjRibOut::clear_peer(PeerId peer) { per_peer_.erase(peer); }
+
+const PathAttributes* AdjRibOut::find(PeerId peer, const net::Prefix& prefix) const {
+  auto it = per_peer_.find(peer);
+  if (it == per_peer_.end()) return nullptr;
+  auto pit = it->second.find(prefix);
+  return pit == it->second.end() ? nullptr : &pit->second;
+}
+
+std::vector<std::pair<net::Prefix, PathAttributes>> AdjRibOut::advertised(PeerId peer) const {
+  std::vector<std::pair<net::Prefix, PathAttributes>> out;
+  auto it = per_peer_.find(peer);
+  if (it == per_peer_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [prefix, attrs] : it->second) out.emplace_back(prefix, attrs);
+  return out;
+}
+
+}  // namespace dbgp::bgp

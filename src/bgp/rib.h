@@ -1,0 +1,88 @@
+// Routing Information Bases (RFC 4271 section 3.2).
+//
+// AdjRibIn holds the routes learned from each peer after import policy;
+// LocRib holds the selected best route per prefix; AdjRibOut tracks what was
+// last advertised to each peer so the speaker only sends deltas.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/path_attributes.h"
+#include "bgp/types.h"
+#include "net/ipv4.h"
+
+namespace dbgp::bgp {
+
+// One candidate route as stored in Adj-RIB-In.
+struct Route {
+  net::Prefix prefix;
+  PathAttributes attrs;
+  PeerId from_peer = kInvalidPeer;
+  AsNumber neighbor_as = 0;  // first AS of the sending peer (for MED rule)
+  std::uint64_t sequence = 0;  // arrival order; final deterministic tie-break
+
+  bool operator==(const Route&) const = default;
+};
+
+class AdjRibIn {
+ public:
+  // Inserts/replaces the route from (peer, prefix). Returns previous route
+  // if one existed.
+  std::optional<Route> upsert(Route route);
+  // Removes (peer, prefix); returns true if something was removed.
+  bool remove(PeerId peer, const net::Prefix& prefix);
+  // Removes everything learned from a peer (session down); returns the
+  // affected prefixes.
+  std::vector<net::Prefix> remove_peer(PeerId peer);
+
+  // All candidate routes for a prefix (any peer), in peer order.
+  std::vector<const Route*> candidates(const net::Prefix& prefix) const;
+  const Route* find(PeerId peer, const net::Prefix& prefix) const;
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  // prefix -> (peer -> route). std::map keeps deterministic iteration.
+  std::map<net::Prefix, std::map<PeerId, Route>> routes_;
+  std::size_t size_ = 0;
+};
+
+class LocRib {
+ public:
+  // Installs a best route; returns true if it changed (different attrs or
+  // newly present).
+  bool install(const Route& route);
+  // Removes the best route for a prefix; returns true if present.
+  bool remove(const net::Prefix& prefix);
+
+  const Route* find(const net::Prefix& prefix) const;
+  const std::map<net::Prefix, Route>& routes() const noexcept { return routes_; }
+  std::size_t size() const noexcept { return routes_.size(); }
+
+ private:
+  std::map<net::Prefix, Route> routes_;
+};
+
+// Tracks per-peer advertised state for delta generation.
+class AdjRibOut {
+ public:
+  // Records an advertisement; returns true if it differs from what was last
+  // sent (i.e., a real UPDATE is needed).
+  bool advertise(PeerId peer, const net::Prefix& prefix, const PathAttributes& attrs);
+  // Records a withdrawal; returns true if the peer had the prefix.
+  bool withdraw(PeerId peer, const net::Prefix& prefix);
+  void clear_peer(PeerId peer);
+
+  const PathAttributes* find(PeerId peer, const net::Prefix& prefix) const;
+  // Everything currently advertised to `peer` (for initial table dump).
+  std::vector<std::pair<net::Prefix, PathAttributes>> advertised(PeerId peer) const;
+
+ private:
+  std::map<PeerId, std::map<net::Prefix, PathAttributes>> per_peer_;
+};
+
+}  // namespace dbgp::bgp

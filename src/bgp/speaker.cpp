@@ -1,0 +1,362 @@
+#include "bgp/speaker.h"
+
+#include "util/logging.h"
+
+namespace dbgp::bgp {
+
+namespace {
+constexpr auto kLog = "bgp.speaker";
+}
+
+PeerId BgpSpeaker::add_peer(AsNumber peer_as, PolicyChain import_policy,
+                            PolicyChain export_policy) {
+  Peer peer;
+  peer.asn = peer_as;
+  peer.fsm = SessionFsm(config_.hold_time);
+  peer.import_policy = std::move(import_policy);
+  peer.export_policy = std::move(export_policy);
+  peers_.push_back(std::move(peer));
+  return static_cast<PeerId>(peers_.size() - 1);
+}
+
+Message BgpSpeaker::make_open() const {
+  OpenMessage open;
+  open.asn = config_.asn;
+  open.hold_time = static_cast<std::uint16_t>(config_.hold_time);
+  open.router_id = config_.router_id;
+  return open;
+}
+
+std::vector<Outgoing> BgpSpeaker::start_peer(PeerId peer, double now) {
+  std::vector<Outgoing> out;
+  Peer& p = peers_.at(peer);
+  p.fsm.handle(FsmEvent::kManualStart, now);
+  if (p.fsm.handle(FsmEvent::kTcpConnected, now) == FsmAction::kSendOpen) {
+    out.push_back({peer, encode_message(make_open())});
+  }
+  return out;
+}
+
+std::vector<Outgoing> BgpSpeaker::stop_peer(PeerId peer, double now) {
+  std::vector<Outgoing> out;
+  Peer& p = peers_.at(peer);
+  const bool was_up = p.fsm.established();
+  if (p.fsm.handle(FsmEvent::kManualStop, now) == FsmAction::kSessionDown) {
+    // RFC 4271: administrative shutdown sends a Cease NOTIFICATION.
+    out.push_back({peer, encode_message(Message{NotificationMessage{6 /* Cease */, 0, {}}})});
+    session_down(peer, out, now);
+  } else if (was_up) {
+    session_down(peer, out, now);
+  }
+  return out;
+}
+
+bool BgpSpeaker::session_established(PeerId peer) const {
+  return peers_.at(peer).fsm.established();
+}
+
+FsmState BgpSpeaker::session_state(PeerId peer) const { return peers_.at(peer).fsm.state(); }
+
+std::vector<Outgoing> BgpSpeaker::handle_bytes(PeerId from, std::span<const std::uint8_t> data,
+                                               double now) {
+  try {
+    return handle_message(from, decode_message(data), now);
+  } catch (const util::DecodeError& e) {
+    ++stats_.decode_errors;
+    DBGP_LOG(util::LogLevel::kWarn, kLog) << "decode error from peer " << from << ": "
+                                          << e.what();
+    // RFC 4271: message error -> NOTIFICATION + close.
+    std::vector<Outgoing> out;
+    NotificationMessage notif{1 /* Message Header Error */, 0, {}};
+    out.push_back({from, encode_message(Message{notif})});
+    Peer& p = peers_.at(from);
+    if (p.fsm.handle(FsmEvent::kManualStop, now) == FsmAction::kSessionDown) {
+      session_down(from, out, now);
+    }
+    return out;
+  }
+}
+
+std::vector<Outgoing> BgpSpeaker::handle_message(PeerId from, const Message& m, double now) {
+  std::vector<Outgoing> out;
+  Peer& p = peers_.at(from);
+  switch (message_type(m)) {
+    case MessageType::kOpen: {
+      const auto& open = std::get<OpenMessage>(m);
+      p.fsm.negotiate_hold_time(open.hold_time);
+      const FsmAction action = p.fsm.handle(FsmEvent::kOpenReceived, now);
+      if (action == FsmAction::kSendKeepAlive) {
+        out.push_back({from, encode_message(Message{KeepAliveMessage{}})});
+      } else if (action == FsmAction::kSendOpen) {
+        // Passive side: answer with our OPEN, then confirm with KEEPALIVE.
+        out.push_back({from, encode_message(make_open())});
+        out.push_back({from, encode_message(Message{KeepAliveMessage{}})});
+      } else if (action == FsmAction::kSendNotificationAndDrop) {
+        out.push_back({from, encode_message(Message{NotificationMessage{6, 0, {}}})});
+      }
+      break;
+    }
+    case MessageType::kKeepAlive: {
+      const FsmAction action = p.fsm.handle(FsmEvent::kKeepAliveReceived, now);
+      if (action == FsmAction::kSessionUp) {
+        DBGP_LOG(util::LogLevel::kInfo, kLog)
+            << "AS" << config_.asn << ": session up with peer " << from;
+        send_full_table(from, out, now);
+      }
+      break;
+    }
+    case MessageType::kUpdate: {
+      const FsmAction action = p.fsm.handle(FsmEvent::kUpdateReceived, now);
+      if (action == FsmAction::kSendNotificationAndDrop) {
+        out.push_back(
+            {from, encode_message(Message{NotificationMessage{5 /* FSM error */, 0, {}}})});
+        break;
+      }
+      auto more = process_update(from, std::get<UpdateMessage>(m), now);
+      out.insert(out.end(), std::make_move_iterator(more.begin()),
+                 std::make_move_iterator(more.end()));
+      break;
+    }
+    case MessageType::kNotification: {
+      if (p.fsm.handle(FsmEvent::kNotificationReceived, now) == FsmAction::kSessionDown) {
+        session_down(from, out, now);
+      }
+      break;
+    }
+    case MessageType::kRouteRefresh: {
+      // RFC 2918: resend our Adj-RIB-Out toward this peer from scratch.
+      if (!p.fsm.established()) {
+        out.push_back(
+            {from, encode_message(Message{NotificationMessage{5 /* FSM error */, 0, {}}})});
+        break;
+      }
+      ++stats_.refreshes_received;
+      adj_rib_out_.clear_peer(from);
+      p.pending.clear();
+      send_full_table(from, out, now);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Outgoing> BgpSpeaker::request_refresh(PeerId peer, double /*now*/) {
+  std::vector<Outgoing> out;
+  if (peers_.at(peer).fsm.established()) {
+    out.push_back({peer, encode_message(Message{RouteRefreshMessage{}})});
+  }
+  return out;
+}
+
+std::vector<Outgoing> BgpSpeaker::process_update(PeerId from, const UpdateMessage& update,
+                                                 double now) {
+  std::vector<Outgoing> out;
+  ++stats_.updates_received;
+  Peer& p = peers_.at(from);
+
+  for (const auto& prefix : update.withdrawn) {
+    ++stats_.prefixes_processed;
+    if (adj_rib_in_.remove(from, prefix)) run_decision(prefix, out, now);
+  }
+
+  if (!update.attributes) return out;
+  for (const auto& prefix : update.nlri) {
+    ++stats_.prefixes_processed;
+    PathAttributes attrs = *update.attributes;
+    // RFC 4271 loop detection: our own AS in the path means discard.
+    if (attrs.as_path.contains(config_.asn)) {
+      ++stats_.routes_rejected_by_loop;
+      if (adj_rib_in_.remove(from, prefix)) run_decision(prefix, out, now);
+      continue;
+    }
+    if (!p.import_policy.apply(prefix, attrs, config_.asn)) {
+      ++stats_.routes_rejected_by_policy;
+      // Policy reject acts as an implicit withdraw of the previous route.
+      if (adj_rib_in_.remove(from, prefix)) run_decision(prefix, out, now);
+      continue;
+    }
+    Route route;
+    route.prefix = prefix;
+    route.attrs = std::move(attrs);
+    route.from_peer = from;
+    route.neighbor_as = p.asn;
+    route.sequence = ++sequence_;
+    adj_rib_in_.upsert(std::move(route));
+    run_decision(prefix, out, now);
+  }
+  return out;
+}
+
+void BgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<Outgoing>& out,
+                              double now) {
+  // Locally originated routes always win (they model LOCAL_PREF infinity /
+  // the IGP route to our own prefix).
+  const Route* best = nullptr;
+  Route local_route;
+  auto origin_it = originated_.find(prefix);
+  if (origin_it != originated_.end()) {
+    local_route.prefix = prefix;
+    local_route.attrs = origin_it->second;
+    local_route.from_peer = kInvalidPeer;
+    best = &local_route;
+  } else {
+    best = select_best(adj_rib_in_.candidates(prefix));
+  }
+
+  if (best == nullptr) {
+    // Prefix lost entirely: withdraw everywhere it was advertised.
+    if (loc_rib_.remove(prefix)) {
+      for (PeerId peer = 0; peer < peers_.size(); ++peer) {
+        if (!peers_[peer].fsm.established()) continue;
+        if (adj_rib_out_.withdraw(peer, prefix)) {
+          queue_delta(peer, prefix, std::nullopt, out, now);
+        }
+      }
+    }
+    return;
+  }
+
+  if (!loc_rib_.install(*best)) return;  // unchanged
+
+  for (PeerId peer = 0; peer < peers_.size(); ++peer) {
+    if (!peers_[peer].fsm.established()) continue;
+    if (peer == best->from_peer) {
+      // Split horizon: never advertise a route back to the peer it came
+      // from; withdraw anything previously sent.
+      if (adj_rib_out_.withdraw(peer, prefix)) {
+        queue_delta(peer, prefix, std::nullopt, out, now);
+      }
+      continue;
+    }
+    PathAttributes export_attrs;
+    if (!export_route(peer, *best, export_attrs)) {
+      if (adj_rib_out_.withdraw(peer, prefix)) {
+        queue_delta(peer, prefix, std::nullopt, out, now);
+      }
+      continue;
+    }
+    if (adj_rib_out_.advertise(peer, prefix, export_attrs)) {
+      queue_delta(peer, prefix, std::move(export_attrs), out, now);
+    }
+  }
+}
+
+bool BgpSpeaker::export_route(PeerId to, const Route& route, PathAttributes& out_attrs) const {
+  out_attrs = route.attrs;
+  // eBGP export: prepend own AS, set next-hop-self, strip LOCAL_PREF and MED
+  // (MED is non-transitive beyond the neighboring AS).
+  out_attrs.as_path.prepend(config_.asn);
+  out_attrs.next_hop = config_.next_hop;
+  out_attrs.local_pref.reset();
+  if (route.from_peer != kInvalidPeer) out_attrs.med.reset();
+  PathAttributes modified = out_attrs;
+  if (!peers_.at(to).export_policy.apply(route.prefix, modified, config_.asn)) return false;
+  out_attrs = std::move(modified);
+  return true;
+}
+
+void BgpSpeaker::queue_delta(PeerId to, const net::Prefix& prefix,
+                             std::optional<PathAttributes> attrs, std::vector<Outgoing>& out,
+                             double now) {
+  Peer& p = peers_.at(to);
+  if (config_.mrai <= 0.0) {
+    UpdateMessage update;
+    if (attrs) {
+      update.attributes = std::move(*attrs);
+      update.nlri.push_back(prefix);
+    } else {
+      update.withdrawn.push_back(prefix);
+    }
+    emit_update(to, update, out);
+    return;
+  }
+  // MRAI pacing: coalesce (latest state per prefix wins) and flush when the
+  // interval allows.
+  p.pending[prefix] = std::move(attrs);
+  if (now >= p.next_send) flush_pending(to, out, now);
+}
+
+void BgpSpeaker::flush_pending(PeerId to, std::vector<Outgoing>& out, double now) {
+  Peer& p = peers_.at(to);
+  if (p.pending.empty()) return;
+  // One UPDATE carries all withdrawals; announces are grouped per distinct
+  // attribute set (here: one message per prefix for simplicity, except the
+  // shared withdrawal block).
+  UpdateMessage withdraws;
+  for (auto& [prefix, attrs] : p.pending) {
+    if (attrs) {
+      UpdateMessage update;
+      update.attributes = std::move(*attrs);
+      update.nlri.push_back(prefix);
+      emit_update(to, update, out);
+    } else {
+      withdraws.withdrawn.push_back(prefix);
+    }
+  }
+  if (!withdraws.withdrawn.empty()) emit_update(to, withdraws, out);
+  p.pending.clear();
+  p.next_send = now + config_.mrai;
+}
+
+void BgpSpeaker::emit_update(PeerId to, const UpdateMessage& update, std::vector<Outgoing>& out) {
+  ++stats_.updates_sent;
+  out.push_back({to, encode_message(Message{update})});
+}
+
+void BgpSpeaker::send_full_table(PeerId to, std::vector<Outgoing>& out, double now) {
+  for (const auto& [prefix, route] : loc_rib_.routes()) {
+    if (route.from_peer == to) continue;
+    PathAttributes export_attrs;
+    if (!export_route(to, route, export_attrs)) continue;
+    if (adj_rib_out_.advertise(to, prefix, export_attrs)) {
+      queue_delta(to, prefix, std::move(export_attrs), out, now);
+    }
+  }
+}
+
+void BgpSpeaker::session_down(PeerId peer, std::vector<Outgoing>& out, double now) {
+  DBGP_LOG(util::LogLevel::kInfo, kLog)
+      << "AS" << config_.asn << ": session down with peer " << peer;
+  adj_rib_out_.clear_peer(peer);
+  peers_.at(peer).pending.clear();
+  for (const auto& prefix : adj_rib_in_.remove_peer(peer)) {
+    run_decision(prefix, out, now);
+  }
+}
+
+std::vector<Outgoing> BgpSpeaker::tick(double now) {
+  std::vector<Outgoing> out;
+  for (PeerId peer = 0; peer < peers_.size(); ++peer) {
+    const FsmAction action = peers_[peer].fsm.tick(now);
+    if (action == FsmAction::kSendKeepAlive) {
+      out.push_back({peer, encode_message(Message{KeepAliveMessage{}})});
+    } else if (action == FsmAction::kSessionDown) {
+      NotificationMessage notif{4 /* Hold Timer Expired */, 0, {}};
+      out.push_back({peer, encode_message(Message{notif})});
+      session_down(peer, out, now);
+    }
+    // Flush MRAI-paced deltas whose interval has elapsed.
+    if (peers_[peer].fsm.established() && now >= peers_[peer].next_send) {
+      flush_pending(peer, out, now);
+    }
+  }
+  return out;
+}
+
+std::vector<Outgoing> BgpSpeaker::originate(const net::Prefix& prefix, double now) {
+  PathAttributes attrs;
+  attrs.origin = Origin::kIgp;
+  attrs.next_hop = config_.next_hop;
+  originated_[prefix] = attrs;
+  std::vector<Outgoing> out;
+  run_decision(prefix, out, now);
+  return out;
+}
+
+std::vector<Outgoing> BgpSpeaker::withdraw_origin(const net::Prefix& prefix, double now) {
+  std::vector<Outgoing> out;
+  if (originated_.erase(prefix) > 0) run_decision(prefix, out, now);
+  return out;
+}
+
+}  // namespace dbgp::bgp

@@ -1,0 +1,35 @@
+// Core BGP scalar types shared across the bgp module.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+
+namespace dbgp::bgp {
+
+// 4-octet AS numbers (RFC 6793). 2-octet ASes are the subset <= 65535.
+using AsNumber = std::uint32_t;
+
+// AS_TRANS: placeholder advertised in OPEN by 4-octet-AS speakers when
+// talking to peers that only understand 2-octet AS numbers.
+inline constexpr AsNumber kAsTrans = 23456;
+
+// BGP identifier: an IPv4 address per RFC 4271.
+using RouterId = net::Ipv4Address;
+
+// Identifies a configured peer within one speaker (dense index).
+using PeerId = std::uint32_t;
+inline constexpr PeerId kInvalidPeer = ~0u;
+
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+inline const char* to_string(Origin origin) noexcept {
+  switch (origin) {
+    case Origin::kIgp: return "IGP";
+    case Origin::kEgp: return "EGP";
+    case Origin::kIncomplete: return "INCOMPLETE";
+  }
+  return "?";
+}
+
+}  // namespace dbgp::bgp

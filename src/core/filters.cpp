@@ -1,0 +1,72 @@
+#include "core/filters.h"
+
+#include <algorithm>
+
+namespace dbgp::core {
+
+bool GlobalFilterChain::apply(ia::IntegratedAdvertisement& ia, const FilterContext& ctx) const {
+  for (const auto& filter : filters_) {
+    if (!filter.fn(ia, ctx)) return false;
+  }
+  return true;
+}
+
+GlobalFilterFn loop_detection_filter() {
+  return [](ia::IntegratedAdvertisement& ia, const FilterContext& ctx) {
+    return !ia.path_vector.would_loop(ctx.own_as, ctx.own_island);
+  };
+}
+
+GlobalFilterFn strip_protocol_filter(ia::ProtocolId protocol) {
+  return [protocol](ia::IntegratedAdvertisement& ia, const FilterContext&) {
+    ia.remove_path_descriptors(protocol);
+    std::erase_if(ia.island_descriptors,
+                  [protocol](const ia::IslandDescriptor& d) { return d.protocol == protocol; });
+    return true;
+  };
+}
+
+GlobalFilterFn island_abstraction_filter(std::vector<bgp::AsNumber> members,
+                                         ia::ProtocolId island_protocol) {
+  return [members = std::move(members), island_protocol](ia::IntegratedAdvertisement& ia,
+                                                         const FilterContext& ctx) {
+    if (!ctx.ingress && ctx.own_island.valid()) {
+      const std::size_t replaced =
+          ia.path_vector.abstract_leading_members(ctx.own_island, members);
+      if (replaced > 0) {
+        // Abstracted membership hides the member list (competitive reasons,
+        // Section 3.2) but still names the island and its protocol.
+        ia.add_membership({ctx.own_island, {}, island_protocol});
+      }
+    }
+    return true;
+  };
+}
+
+GlobalFilterFn membership_stamp_filter(ia::ProtocolId island_protocol) {
+  return [island_protocol](ia::IntegratedAdvertisement& ia, const FilterContext& ctx) {
+    if (!ctx.ingress && ctx.own_island.valid()) {
+      ia::IslandMembership membership;
+      if (const auto* existing = ia.find_membership(ctx.own_island)) {
+        membership = *existing;
+      } else {
+        membership.island = ctx.own_island;
+        membership.protocol = island_protocol;
+      }
+      if (std::find(membership.members.begin(), membership.members.end(), ctx.own_as) ==
+          membership.members.end()) {
+        membership.members.push_back(ctx.own_as);
+      }
+      ia.add_membership(std::move(membership));
+    }
+    return true;
+  };
+}
+
+GlobalFilterFn max_path_length_filter(std::size_t max_hops) {
+  return [max_hops](ia::IntegratedAdvertisement& ia, const FilterContext&) {
+    return ia.path_vector.hop_count() <= max_hops;
+  };
+}
+
+}  // namespace dbgp::core

@@ -1,0 +1,71 @@
+// Global import/export filters (Figure 5, stage 1 and 7).
+//
+// Global filters enforce policies common to all protocols: loop detection,
+// island-membership stamping, island abstraction, and gulf operators'
+// limited control (e.g., stripping control information of protocols known to
+// be problematic — Section 3.3: "they would only need to know the protocol
+// ID to do so").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ia/integrated_advertisement.h"
+#include "ia/ids.h"
+
+namespace dbgp::core {
+
+struct FilterContext {
+  bgp::AsNumber own_as = 0;
+  ia::IslandId own_island;
+  bgp::PeerId peer = bgp::kInvalidPeer;  // sender (import) or receiver (export)
+  bgp::AsNumber peer_as = 0;
+  bool ingress = true;
+};
+
+// Returns false to drop the IA entirely; may mutate it.
+using GlobalFilterFn = std::function<bool(ia::IntegratedAdvertisement&, const FilterContext&)>;
+
+struct GlobalFilter {
+  std::string name;
+  GlobalFilterFn fn;
+};
+
+class GlobalFilterChain {
+ public:
+  void add(std::string name, GlobalFilterFn fn) { filters_.push_back({std::move(name), std::move(fn)}); }
+  // Applies filters in order; false as soon as one drops the IA.
+  bool apply(ia::IntegratedAdvertisement& ia, const FilterContext& ctx) const;
+  std::size_t size() const noexcept { return filters_.size(); }
+
+ private:
+  std::vector<GlobalFilter> filters_;
+};
+
+// -- Built-in filters -------------------------------------------------------
+
+// Unified loop detection over the IA path vector (G-R5). Drops IAs whose
+// path already mentions our AS or island.
+GlobalFilterFn loop_detection_filter();
+
+// Strips all control information (path + island descriptors) of a protocol;
+// gulf operators use this against problematic protocols. The path vector and
+// baseline info are untouched, so reachability is preserved.
+GlobalFilterFn strip_protocol_filter(ia::ProtocolId protocol);
+
+// Egress filter that replaces the leading run of own-island member ASes in
+// the path vector with the island ID (Section 3.2 abstraction) and records
+// the membership statement.
+GlobalFilterFn island_abstraction_filter(std::vector<bgp::AsNumber> members,
+                                         ia::ProtocolId island_protocol);
+
+// Egress filter for islands that keep per-AS paths visible: stamps an
+// island-membership statement naming this AS as a member without collapsing
+// the path vector.
+GlobalFilterFn membership_stamp_filter(ia::ProtocolId island_protocol);
+
+// Drops IAs whose path vector is longer than `max_hops` (sanity policy).
+GlobalFilterFn max_path_length_filter(std::size_t max_hops);
+
+}  // namespace dbgp::core

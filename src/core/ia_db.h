@@ -1,0 +1,55 @@
+// The IA DB (Figure 5): stores every Integrated Advertisement received, so
+// the IA factory can provide pass-through — when a best path is selected,
+// the factory re-reads the *incoming* IA for that path and copies over
+// control information for protocols that were not used in selection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/types.h"
+#include "ia/integrated_advertisement.h"
+#include "net/ipv4.h"
+
+namespace dbgp::core {
+
+// One received IA plus arrival metadata.
+struct IaRoute {
+  ia::IntegratedAdvertisement ia;
+  bgp::PeerId from_peer = bgp::kInvalidPeer;
+  bgp::AsNumber neighbor_as = 0;
+  std::uint64_t sequence = 0;  // arrival order; deterministic tie-break
+  // Set by the active decision module's import filter. Ineligible routes are
+  // never selected but remain stored: their control information must still
+  // pass through if another route drags them along, and they become
+  // candidates again if the active protocol changes.
+  bool eligible = true;
+};
+
+class IaDb {
+ public:
+  // Inserts or replaces the IA from (peer, prefix).
+  void upsert(IaRoute route);
+  // Removes (peer, prefix); true if present.
+  bool remove(bgp::PeerId peer, const net::Prefix& prefix);
+  // Drops everything from a peer; returns affected prefixes.
+  std::vector<net::Prefix> remove_peer(bgp::PeerId peer);
+
+  const IaRoute* find(bgp::PeerId peer, const net::Prefix& prefix) const;
+  IaRoute* find_mutable(bgp::PeerId peer, const net::Prefix& prefix);
+  // All candidates for a prefix in peer order (deterministic).
+  std::vector<const IaRoute*> candidates(const net::Prefix& prefix) const;
+  std::vector<IaRoute*> candidates_mutable(const net::Prefix& prefix);
+  // All prefixes currently known (for full-table dumps to new peers).
+  std::vector<net::Prefix> prefixes() const;
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::map<net::Prefix, std::map<bgp::PeerId, IaRoute>> routes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dbgp::core

@@ -1,0 +1,38 @@
+#include "core/ia_factory.h"
+
+namespace dbgp::core {
+
+ia::IntegratedAdvertisement IaFactory::create_from_best(const IaRoute& best,
+                                                        DecisionModule* active,
+                                                        const ExportContext& ctx) const {
+  // Pass-through: start from the incoming IA so unused protocols' control
+  // information (path descriptors, island descriptors, memberships) is
+  // copied verbatim into the new advertisement.
+  ia::IntegratedAdvertisement out = best.ia;
+
+  // Baseline updates common to every protocol.
+  if (params_.prepend_own_as) out.path_vector.prepend_as(params_.own_as);
+  out.baseline.as_path = out.path_vector.to_bgp_as_path();
+  out.baseline.next_hop = params_.next_hop;
+  out.baseline.local_pref.reset();
+  out.baseline.med.reset();
+
+  // Active protocol rewrites its own control information.
+  if (active != nullptr) active->annotate_export(best, out, ctx);
+  return out;
+}
+
+ia::IntegratedAdvertisement IaFactory::create_origin(const net::Prefix& prefix,
+                                                     DecisionModule* active,
+                                                     const ExportContext& ctx) const {
+  ia::IntegratedAdvertisement out;
+  out.destination = prefix;
+  if (params_.prepend_own_as) out.path_vector.prepend_as(params_.own_as);
+  out.baseline.origin = bgp::Origin::kIgp;
+  out.baseline.as_path = out.path_vector.to_bgp_as_path();
+  out.baseline.next_hop = params_.next_hop;
+  if (active != nullptr) active->annotate_origin(out, ctx);
+  return out;
+}
+
+}  // namespace dbgp::core

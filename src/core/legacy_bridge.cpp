@@ -1,0 +1,107 @@
+#include "core/legacy_bridge.h"
+
+#include "bgp/path_attributes.h"
+
+namespace dbgp::core {
+
+ia::IntegratedAdvertisement ia_from_attributes(const net::Prefix& prefix,
+                                               const bgp::PathAttributes& attrs) {
+  ia::IntegratedAdvertisement out;
+  out.destination = prefix;
+  out.baseline = attrs;
+  // Rebuild the unified path vector from the AS_PATH: sequences become AS
+  // entries, AS_SETs stay sets.
+  for (const auto& segment : attrs.as_path.segments()) {
+    if (segment.type == bgp::AsPathSegment::Type::kSequence) {
+      for (bgp::AsNumber asn : segment.asns) {
+        out.path_vector.elements().push_back(ia::PathElement::as(asn));
+      }
+    } else {
+      out.path_vector.elements().push_back(ia::PathElement::as_set(segment.asns));
+    }
+  }
+  return out;
+}
+
+bgp::UpdateMessage LegacyBridge::ia_to_update(const ia::IntegratedAdvertisement& ia) {
+  bgp::UpdateMessage update;
+  update.nlri.push_back(ia.destination);
+
+  bgp::PathAttributes attrs = ia.baseline;
+  // The legacy world routes on the AS_PATH; make sure it reflects the
+  // current path vector (island entries collapse per to_bgp_as_path).
+  attrs.as_path = ia.path_vector.to_bgp_as_path();
+
+  // Try to carry the full IA in the transit attribute.
+  auto encoded = ia::encode_ia(ia, codec_);
+  bgp::UnknownAttribute transit;
+  transit.flags = bgp::kAttrFlagOptional | bgp::kAttrFlagTransitive;
+  transit.type = kDbgpTransitAttr;
+  transit.value = std::move(encoded);
+  attrs.unknown.push_back(std::move(transit));
+  update.attributes = attrs;
+  try {
+    (void)bgp::encode_message(bgp::Message{update});
+    ++stats_.packed;
+    return update;
+  } catch (const util::DecodeError&) {
+    // Too large for RFC 4271's 4096-byte limit: drop the extras and send
+    // baseline reachability only (the paper's transitional fallback).
+    ++stats_.dropped_oversize;
+    attrs.unknown.pop_back();
+    update.attributes = std::move(attrs);
+    return update;
+  }
+}
+
+std::vector<ia::IntegratedAdvertisement> LegacyBridge::update_to_ia(
+    const bgp::UpdateMessage& update) {
+  std::vector<ia::IntegratedAdvertisement> out;
+  if (!update.attributes) return out;
+
+  // Look for the D-BGP transit attribute among the pass-through unknowns.
+  const bgp::UnknownAttribute* transit = nullptr;
+  for (const auto& attr : update.attributes->unknown) {
+    if (attr.type == kDbgpTransitAttr) {
+      transit = &attr;
+      break;
+    }
+  }
+
+  for (const auto& prefix : update.nlri) {
+    if (transit != nullptr) {
+      try {
+        ia::IntegratedAdvertisement ia = ia::decode_ia(transit->value);
+        // Trust the wire prefix over the embedded one (a legacy speaker may
+        // have split the NLRI) and refresh the baseline attributes, which
+        // legacy hops legitimately modified (AS_PATH prepends, next hop).
+        ia.destination = prefix;
+        ia.baseline = *update.attributes;
+        ia.baseline.unknown.clear();  // the transit attr itself is consumed
+        // Extend the path vector with legacy hops that prepended themselves
+        // to the AS_PATH but could not touch the path vector.
+        const auto synthesized = ia_from_attributes(prefix, *update.attributes);
+        if (synthesized.path_vector.hop_count() > ia.path_vector.hop_count()) {
+          const auto& full = synthesized.path_vector.elements();
+          const std::size_t extra = full.size() - ia.path_vector.elements().size();
+          ia.path_vector.elements().insert(ia.path_vector.elements().begin(),
+                                           full.begin(),
+                                           full.begin() + static_cast<std::ptrdiff_t>(extra));
+        }
+        ++stats_.recovered;
+        out.push_back(std::move(ia));
+        continue;
+      } catch (const util::DecodeError&) {
+        ++stats_.malformed;
+        // fall through to baseline synthesis
+      }
+    }
+    auto ia = ia_from_attributes(prefix, *update.attributes);
+    ia.baseline.unknown.clear();
+    ++stats_.synthesized;
+    out.push_back(std::move(ia));
+  }
+  return out;
+}
+
+}  // namespace dbgp::core

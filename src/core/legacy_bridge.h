@@ -1,0 +1,68 @@
+// The D-BGP transition phase (Section 3.5, "Deployment of D-BGP itself",
+// and Section 7's observation that optional transitive attributes are "a
+// promising avenue for deploying D-BGP").
+//
+// While D-BGP is only partially deployed, D-BGP speakers must interoperate
+// with legacy BGP-4 speakers. The bridge converts between the two worlds:
+//
+//   * ia_to_update: packs an IA into a plain RFC 4271 UPDATE. The IA's
+//     multi-protocol extras ride in optional transitive attribute
+//     kDbgpTransitAttr, so legacy speakers pass them through untouched. If
+//     the encoded IA would blow BGP's 4096-byte message limit the extras
+//     are dropped (the paper's fallback: "D-BGP speakers could simply drop
+//     IAs' extra fields before sending advertisements to legacy ones") and
+//     only baseline reachability survives.
+//   * update_to_ia: recovers the IA on the far side — either the full one
+//     from the transit attribute, or a baseline-only IA synthesized from
+//     the UPDATE's path attributes (AS_PATH becomes the path vector).
+//
+// This is exactly how two D-BGP islands separated by a legacy-BGP gulf keep
+// exchanging new protocols' control information before the gulf upgrades.
+#pragma once
+
+#include <optional>
+
+#include "bgp/message.h"
+#include "ia/codec.h"
+#include "ia/integrated_advertisement.h"
+
+namespace dbgp::core {
+
+// Attribute type code used for the IA payload (from the "reserved for
+// development" range legacy implementations treat as opaque).
+inline constexpr std::uint8_t kDbgpTransitAttr = 240;
+
+struct BridgeStats {
+  std::uint64_t packed = 0;           // IAs carried in attr 240
+  std::uint64_t dropped_oversize = 0; // extras dropped: message would exceed 4 KB
+  std::uint64_t recovered = 0;        // IAs recovered from attr 240
+  std::uint64_t synthesized = 0;      // baseline-only IAs built from plain updates
+  std::uint64_t malformed = 0;        // attr 240 present but undecodable
+};
+
+class LegacyBridge {
+ public:
+  explicit LegacyBridge(ia::CodecOptions codec = {}) : codec_(codec) {}
+
+  // Converts an IA into a legacy UPDATE announcing ia.destination. Extras
+  // are dropped (not an error) when they cannot fit; the returned UPDATE is
+  // always encodable within kMaxMessageSize.
+  bgp::UpdateMessage ia_to_update(const ia::IntegratedAdvertisement& ia);
+
+  // Converts an UPDATE received from a legacy peer back into IAs, one per
+  // NLRI prefix. Withdrawals are reported separately by the caller.
+  std::vector<ia::IntegratedAdvertisement> update_to_ia(const bgp::UpdateMessage& update);
+
+  const BridgeStats& stats() const noexcept { return stats_; }
+
+ private:
+  ia::CodecOptions codec_;
+  BridgeStats stats_;
+};
+
+// Builds a baseline-only IA from plain BGP path attributes (the synthesized
+// path vector mirrors the AS_PATH). Exposed for reuse by redistribution.
+ia::IntegratedAdvertisement ia_from_attributes(const net::Prefix& prefix,
+                                               const bgp::PathAttributes& attrs);
+
+}  // namespace dbgp::core

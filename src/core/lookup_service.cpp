@@ -1,0 +1,34 @@
+#include "core/lookup_service.h"
+
+namespace dbgp::core {
+
+void LookupService::put(const std::string& key, std::vector<std::uint8_t> value) {
+  ++puts_;
+  store_[key] = std::move(value);
+}
+
+std::optional<std::vector<std::uint8_t>> LookupService::get(const std::string& key) const {
+  ++gets_;
+  auto it = store_.find(key);
+  if (it == store_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool LookupService::erase(const std::string& key) { return store_.erase(key) > 0; }
+
+std::vector<std::string> LookupService::keys_with_prefix(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = store_.lower_bound(prefix); it != store_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::string LookupService::ia_key(std::uint32_t speaker_as, std::uint32_t peer_as,
+                                  const net::Prefix& prefix) {
+  return "ia/" + std::to_string(speaker_as) + "/" + std::to_string(peer_as) + "/" +
+         prefix.to_string();
+}
+
+}  // namespace dbgp::core

@@ -1,0 +1,51 @@
+// Out-of-band lookup service (Section 5: Beagle "disseminates IAs
+// out-of-band by storing them in a lookup service"; Section 3.4: Wiser
+// cost-exchange portals and MIRO service portals).
+//
+// A LookupService is an addressable key/value store reachable at an IPv4
+// address. Islands publish full IAs, portal records, or negotiation state;
+// remote speakers fetch by key. Access counters let the overhead benchmark
+// charge the "constant performance penalty due to the overhead of external
+// accesses" the paper attributes to out-of-band dissemination (CF-R2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace dbgp::core {
+
+class LookupService {
+ public:
+  explicit LookupService(net::Ipv4Address address = net::Ipv4Address(0x0a000001))
+      : address_(address) {}
+
+  net::Ipv4Address address() const noexcept { return address_; }
+
+  void put(const std::string& key, std::vector<std::uint8_t> value);
+  std::optional<std::vector<std::uint8_t>> get(const std::string& key) const;
+  bool erase(const std::string& key);
+  // All keys with a given prefix (portal discovery, debugging).
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  std::uint64_t put_count() const noexcept { return puts_; }
+  std::uint64_t get_count() const noexcept { return gets_; }
+  std::size_t size() const noexcept { return store_.size(); }
+
+  // Canonical key for the full-IA record advertised by `speaker_as` for
+  // `prefix` toward `peer_as` (Beagle's out-of-band IA exchange).
+  static std::string ia_key(std::uint32_t speaker_as, std::uint32_t peer_as,
+                            const net::Prefix& prefix);
+
+ private:
+  net::Ipv4Address address_;
+  std::map<std::string, std::vector<std::uint8_t>> store_;
+  mutable std::uint64_t gets_ = 0;
+  std::uint64_t puts_ = 0;
+};
+
+}  // namespace dbgp::core

@@ -1,0 +1,395 @@
+#include "core/speaker.h"
+
+#include "util/bytes.h"
+#include "util/logging.h"
+
+namespace dbgp::core {
+
+namespace {
+constexpr auto kLog = "dbgp.speaker";
+}
+
+DbgpSpeaker::DbgpSpeaker(DbgpConfig config, LookupService* lookup)
+    : config_(std::move(config)),
+      lookup_(lookup),
+      factory_(IaFactory::Params{config_.asn, config_.island, config_.next_hop,
+                                 /*prepend_own_as=*/true}) {
+  // Default global filters per Figure 5: unified loop detection on import;
+  // island handling on export.
+  import_filters_.add("loop-detection", loop_detection_filter());
+  if (config_.island.valid()) {
+    if (config_.abstract_island) {
+      export_filters_.add("island-abstraction",
+                          island_abstraction_filter(config_.island_members,
+                                                    config_.island_protocol));
+    } else {
+      export_filters_.add("membership-stamp", membership_stamp_filter(config_.island_protocol));
+    }
+  }
+}
+
+bgp::PeerId DbgpSpeaker::add_peer(bgp::AsNumber peer_as, bool same_island) {
+  peers_.push_back({peer_as, same_island});
+  return static_cast<bgp::PeerId>(peers_.size() - 1);
+}
+
+void DbgpSpeaker::add_module(std::unique_ptr<DecisionModule> module) {
+  modules_.push_back(std::move(module));
+}
+
+DecisionModule* DbgpSpeaker::module(ia::ProtocolId protocol) const {
+  for (const auto& m : modules_) {
+    if (m->protocol() == protocol) return m.get();
+  }
+  return nullptr;
+}
+
+void DbgpSpeaker::set_active_protocol(const net::Prefix& range, ia::ProtocolId protocol) {
+  active_ranges_.insert(range, protocol);
+}
+
+ia::ProtocolId DbgpSpeaker::active_protocol_for(const net::Prefix& prefix) const {
+  const ia::ProtocolId* assigned = active_ranges_.longest_match(prefix.address());
+  return assigned != nullptr ? *assigned : config_.active_protocol;
+}
+
+DecisionModule* DbgpSpeaker::active_module(const net::Prefix& prefix) const {
+  return module(active_protocol_for(prefix));
+}
+
+// -- Frame codec -------------------------------------------------------------
+
+std::vector<std::uint8_t> DbgpSpeaker::encode_announce(const ia::IntegratedAdvertisement& ia,
+                                                       const ia::CodecOptions& codec) {
+  util::ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(FrameType::kAnnounce));
+  w.put_bytes(ia::encode_ia(ia, codec));
+  return w.take();
+}
+
+namespace {
+std::vector<std::uint8_t> encode_prefix_frame(FrameType type, const net::Prefix& prefix) {
+  util::ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_u32(prefix.address().value());
+  w.put_u8(prefix.length());
+  return w.take();
+}
+}  // namespace
+
+std::vector<std::uint8_t> DbgpSpeaker::encode_withdraw(const net::Prefix& prefix) {
+  return encode_prefix_frame(FrameType::kWithdraw, prefix);
+}
+
+std::vector<std::uint8_t> DbgpSpeaker::encode_notice(const net::Prefix& prefix) {
+  return encode_prefix_frame(FrameType::kNotice, prefix);
+}
+
+// -- Input -------------------------------------------------------------------
+
+std::vector<DbgpOutgoing> DbgpSpeaker::handle_frame(bgp::PeerId from,
+                                                    std::span<const std::uint8_t> bytes) {
+  stats_.bytes_received += bytes.size();
+  util::ByteReader r(bytes);
+  const auto type = static_cast<FrameType>(r.get_u8());
+  switch (type) {
+    case FrameType::kAnnounce:
+      return handle_ia(from, ia::decode_ia(r.get_bytes(r.remaining())));
+    case FrameType::kWithdraw: {
+      const std::uint32_t addr = r.get_u32();
+      const std::uint8_t len = r.get_u8();
+      ++stats_.withdraws_received;
+      return remove_route(from, net::Prefix(net::Ipv4Address(addr), len));
+    }
+    case FrameType::kNotice: {
+      const std::uint32_t addr = r.get_u32();
+      const std::uint8_t len = r.get_u8();
+      const net::Prefix prefix(net::Ipv4Address(addr), len);
+      ++stats_.lookup_fetches;
+      if (lookup_ == nullptr) {
+        ++stats_.lookup_misses;
+        return {};
+      }
+      const auto key =
+          LookupService::ia_key(peers_.at(from).asn, config_.asn, prefix);
+      auto stored = lookup_->get(key);
+      if (!stored) {
+        ++stats_.lookup_misses;
+        DBGP_LOG(util::LogLevel::kWarn, kLog)
+            << "AS" << config_.asn << ": notice for " << prefix.to_string()
+            << " but lookup service has no IA under " << key;
+        return {};
+      }
+      return handle_ia(from, ia::decode_ia(*stored));
+    }
+  }
+  throw util::DecodeError("unknown D-BGP frame type");
+}
+
+std::vector<DbgpOutgoing> DbgpSpeaker::handle_ia(bgp::PeerId from,
+                                                 ia::IntegratedAdvertisement ia) {
+  return ingest(from, std::move(ia));
+}
+
+std::vector<DbgpOutgoing> DbgpSpeaker::ingest(bgp::PeerId from, ia::IntegratedAdvertisement ia) {
+  std::vector<DbgpOutgoing> out;
+  ++stats_.ias_received;
+
+  // Stage 1: global import filters.
+  FilterContext ctx;
+  ctx.own_as = config_.asn;
+  ctx.own_island = config_.island;
+  ctx.peer = from;
+  ctx.peer_as = peers_.at(from).asn;
+  ctx.ingress = true;
+  if (!import_filters_.apply(ia, ctx)) {
+    ++stats_.dropped_by_global_filter;
+    // A dropped IA acts as an implicit withdraw of the prior route.
+    if (ia_db_.find(from, ia.destination) != nullptr) {
+      return remove_route(from, ia.destination);
+    }
+    return out;
+  }
+
+  const net::Prefix prefix = ia.destination;
+
+  // Stages 2-3: extractor picks the active module; its import filter runs.
+  IaRoute route;
+  route.ia = std::move(ia);
+  route.from_peer = from;
+  route.neighbor_as = peers_.at(from).asn;
+  route.sequence = ++sequence_;
+  if (DecisionModule* active = active_module(prefix)) {
+    route.eligible = active->import_filter(route);
+    if (!route.eligible) ++stats_.rejected_by_module;
+  }
+  ia_db_.upsert(std::move(route));
+
+  // Stages 4-7.
+  run_decision(prefix, out);
+  return out;
+}
+
+std::vector<DbgpOutgoing> DbgpSpeaker::remove_route(bgp::PeerId from, const net::Prefix& prefix) {
+  std::vector<DbgpOutgoing> out;
+  if (ia_db_.remove(from, prefix)) run_decision(prefix, out);
+  return out;
+}
+
+std::vector<DbgpOutgoing> DbgpSpeaker::peer_down(bgp::PeerId peer) {
+  std::vector<DbgpOutgoing> out;
+  adj_out_.erase(peer);
+  for (const auto& prefix : ia_db_.remove_peer(peer)) run_decision(prefix, out);
+  return out;
+}
+
+// -- Origination ---------------------------------------------------------------
+
+std::vector<DbgpOutgoing> DbgpSpeaker::originate(const net::Prefix& prefix) {
+  std::vector<DbgpOutgoing> out;
+  originated_[prefix] = true;
+  run_decision(prefix, out);
+  return out;
+}
+
+std::vector<DbgpOutgoing> DbgpSpeaker::withdraw_origin(const net::Prefix& prefix) {
+  std::vector<DbgpOutgoing> out;
+  if (originated_.erase(prefix) > 0) run_decision(prefix, out);
+  return out;
+}
+
+// -- Decision ------------------------------------------------------------------
+
+void DbgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoing>& out) {
+  DecisionModule* active = active_module(prefix);
+
+  if (originated_.count(prefix) > 0) {
+    // Locally originated prefixes always win.
+    ExportContext octx;
+    octx.own_as = config_.asn;
+    octx.own_island = config_.island;
+    IaRoute origin;
+    origin.ia = factory_.create_origin(prefix, active, octx);
+    origin.from_peer = bgp::kInvalidPeer;
+    const bool changed =
+        selected_.count(prefix) == 0 || !(selected_[prefix].ia == origin.ia) ||
+        selected_[prefix].from_peer != bgp::kInvalidPeer;
+    selected_[prefix] = origin;
+    if (changed && active != nullptr) active->on_best_changed(prefix, &selected_[prefix]);
+    advertise_to_peers(prefix, selected_[prefix], /*origin=*/true, out);
+    return;
+  }
+
+  const auto candidates = ia_db_.candidates(prefix);
+  const IaRoute* best = nullptr;
+  if (active != nullptr) {
+    for (const IaRoute* c : candidates) {
+      if (!c->eligible) continue;
+      if (best == nullptr || active->better(*c, *best)) best = c;
+    }
+  }
+  if (best == nullptr && !candidates.empty()) {
+    // Baseline fallback: no module or no eligible candidates — preserve
+    // connectivity by shortest path vector, then arrival order.
+    for (const IaRoute* c : candidates) {
+      if (best == nullptr ||
+          c->ia.path_vector.hop_count() < best->ia.path_vector.hop_count() ||
+          (c->ia.path_vector.hop_count() == best->ia.path_vector.hop_count() &&
+           c->sequence < best->sequence)) {
+        best = c;
+      }
+    }
+  }
+
+  if (best == nullptr) {
+    if (selected_.erase(prefix) > 0) {
+      if (active != nullptr) active->on_best_changed(prefix, nullptr);
+      for (bgp::PeerId peer = 0; peer < peers_.size(); ++peer) {
+        withdraw_from_peer(peer, prefix, out);
+      }
+    }
+    return;
+  }
+
+  auto it = selected_.find(prefix);
+  const bool changed = it == selected_.end() || it->second.from_peer != best->from_peer ||
+                       !(it->second.ia == best->ia);
+  if (changed) {
+    selected_[prefix] = *best;
+    if (active != nullptr) active->on_best_changed(prefix, &selected_[prefix]);
+  }
+  // Even when the selection is unchanged we re-advertise through delta
+  // suppression, which is a no-op if nothing differs.
+  advertise_to_peers(prefix, selected_[prefix], /*origin=*/false, out);
+}
+
+void DbgpSpeaker::advertise_to_peers(const net::Prefix& prefix, const IaRoute& best, bool origin,
+                                     std::vector<DbgpOutgoing>& out) {
+  DecisionModule* active = active_module(prefix);
+  for (bgp::PeerId peer = 0; peer < peers_.size(); ++peer) {
+    if (!origin && peer == best.from_peer) {
+      // Split horizon.
+      withdraw_from_peer(peer, prefix, out);
+      continue;
+    }
+    ExportContext ectx;
+    ectx.own_as = config_.asn;
+    ectx.own_island = config_.island;
+    ectx.to_peer = peer;
+    ectx.to_peer_as = peers_[peer].asn;
+    ectx.to_peer_in_same_island = peers_[peer].same_island;
+
+    // Origins are rebuilt per peer: some protocols (e.g., BGPSec) bind their
+    // control information to the specific peer the IA is sent to.
+    ia::IntegratedAdvertisement ia_out =
+        origin ? factory_.create_origin(prefix, active, ectx)
+               : factory_.create_from_best(best, active, ectx);
+
+    // Stage 7: global export filters (skip island handling toward peers in
+    // our own island — abstraction happens only at the true egress).
+    if (!peers_[peer].same_island) {
+      FilterContext fctx;
+      fctx.own_as = config_.asn;
+      fctx.own_island = config_.island;
+      fctx.peer = peer;
+      fctx.peer_as = peers_[peer].asn;
+      fctx.ingress = false;
+      if (!export_filters_.apply(ia_out, fctx)) {
+        withdraw_from_peer(peer, prefix, out);
+        continue;
+      }
+    }
+    emit(peer, prefix, ia_out, out);
+  }
+}
+
+void DbgpSpeaker::withdraw_from_peer(bgp::PeerId peer, const net::Prefix& prefix,
+                                     std::vector<DbgpOutgoing>& out) {
+  auto it = adj_out_.find(peer);
+  if (it == adj_out_.end() || it->second.erase(prefix) == 0) return;
+  ++stats_.withdraws_sent;
+  auto bytes = encode_withdraw(prefix);
+  stats_.bytes_sent += bytes.size();
+  out.push_back({peer, std::move(bytes)});
+}
+
+void DbgpSpeaker::emit(bgp::PeerId peer, const net::Prefix& prefix,
+                       const ia::IntegratedAdvertisement& ia, std::vector<DbgpOutgoing>& out) {
+  auto encoded = ia::encode_ia(ia, config_.codec);
+  auto& sent = adj_out_[peer][prefix];
+  if (sent == encoded) return;  // delta suppression
+  sent = encoded;
+  ++stats_.ias_sent;
+  if (config_.dissemination == Dissemination::kOutOfBand && lookup_ != nullptr) {
+    lookup_->put(LookupService::ia_key(config_.asn, peers_.at(peer).asn, prefix),
+                 std::move(encoded));
+    auto notice = encode_notice(prefix);
+    stats_.bytes_sent += notice.size();
+    out.push_back({peer, std::move(notice)});
+  } else {
+    util::ByteWriter w;
+    w.put_u8(static_cast<std::uint8_t>(FrameType::kAnnounce));
+    w.put_bytes(encoded);
+    auto frame = w.take();
+    stats_.bytes_sent += frame.size();
+    out.push_back({peer, std::move(frame)});
+  }
+}
+
+std::vector<DbgpOutgoing> DbgpSpeaker::sync_peer(bgp::PeerId peer) {
+  std::vector<DbgpOutgoing> out;
+  DecisionModule* active = nullptr;
+  for (const auto& [prefix, best] : selected_) {
+    if (best.from_peer == peer) continue;
+    active = active_module(prefix);
+    ExportContext ectx;
+    ectx.own_as = config_.asn;
+    ectx.own_island = config_.island;
+    ectx.to_peer = peer;
+    ectx.to_peer_as = peers_.at(peer).asn;
+    ectx.to_peer_in_same_island = peers_.at(peer).same_island;
+    const bool origin = best.from_peer == bgp::kInvalidPeer;
+    ia::IntegratedAdvertisement ia_out =
+        origin ? factory_.create_origin(prefix, active, ectx)
+               : factory_.create_from_best(best, active, ectx);
+    if (!peers_[peer].same_island) {
+      FilterContext fctx;
+      fctx.own_as = config_.asn;
+      fctx.own_island = config_.island;
+      fctx.peer = peer;
+      fctx.peer_as = peers_[peer].asn;
+      fctx.ingress = false;
+      if (!export_filters_.apply(ia_out, fctx)) continue;
+    }
+    emit(peer, prefix, ia_out, out);
+  }
+  return out;
+}
+
+std::vector<DbgpOutgoing> DbgpSpeaker::reevaluate_all() {
+  std::vector<DbgpOutgoing> out;
+  // Re-run module import filters (the active protocol may have changed).
+  for (const auto& prefix : ia_db_.prefixes()) {
+    DecisionModule* active = active_module(prefix);
+    for (IaRoute* route : ia_db_.candidates_mutable(prefix)) {
+      route->eligible = active == nullptr || active->import_filter(*route);
+    }
+  }
+  for (const auto& prefix : ia_db_.prefixes()) run_decision(prefix, out);
+  for (const auto& [prefix, unused] : originated_) run_decision(prefix, out);
+  return out;
+}
+
+const IaRoute* DbgpSpeaker::best(const net::Prefix& prefix) const {
+  auto it = selected_.find(prefix);
+  return it == selected_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::Prefix> DbgpSpeaker::selected_prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(selected_.size());
+  for (const auto& [prefix, route] : selected_) out.push_back(prefix);
+  return out;
+}
+
+}  // namespace dbgp::core

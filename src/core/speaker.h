@@ -1,0 +1,157 @@
+// DbgpSpeaker: the Beagle-equivalent D-BGP speaker (Figure 5).
+//
+// One speaker per AS (distributed control) or per island controller
+// (centralized control). It implements the full IA-processing pipeline:
+//
+//   (1) global import filters (loop detection, operator policy)
+//   (2) protocol extractor: picks the active decision module for the prefix
+//   (3) the module's import filter stores/adjusts control info (IA DB)
+//   (4) the module's path-selection algorithm picks the best path
+//   (5) the module's export hook rewrites its control info
+//   (6) the IA factory builds the new IA with pass-through of unused
+//       protocols' control information
+//   (7) global export filters (island abstraction / membership stamping)
+//
+// Dissemination is in-band (IA bytes in the frame — CF-R2's preferred mode)
+// or out-of-band (frame carries only a notice; the full IA is stored in a
+// LookupService, as Beagle did). Both paths exercise the same pipeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/decision_module.h"
+#include "core/filters.h"
+#include "core/ia_db.h"
+#include "core/ia_factory.h"
+#include "core/lookup_service.h"
+#include "ia/codec.h"
+#include "net/prefix_trie.h"
+
+namespace dbgp::core {
+
+enum class Dissemination { kInBand, kOutOfBand };
+
+struct DbgpConfig {
+  bgp::AsNumber asn = 0;
+  net::Ipv4Address next_hop;
+  // Invalid island => this AS is in a gulf (baseline-only, pass-through).
+  ia::IslandId island;
+  ia::ProtocolId island_protocol = ia::kProtoBgp;
+  // Abstract away member ASes at egress (list island ID in the path vector).
+  bool abstract_island = false;
+  std::vector<bgp::AsNumber> island_members;
+  Dissemination dissemination = Dissemination::kInBand;
+  ia::CodecOptions codec;
+  // Default active protocol (per-prefix overrides via set_active_protocol).
+  ia::ProtocolId active_protocol = ia::kProtoBgp;
+};
+
+// Wire frames exchanged between D-BGP peers (sessions are managed by the
+// host network; Beagle similarly reused Quagga's session layer).
+enum class FrameType : std::uint8_t { kAnnounce = 1, kWithdraw = 2, kNotice = 3 };
+
+struct DbgpOutgoing {
+  bgp::PeerId peer = bgp::kInvalidPeer;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct DbgpStats {
+  std::uint64_t ias_received = 0;
+  std::uint64_t ias_sent = 0;
+  std::uint64_t withdraws_received = 0;
+  std::uint64_t withdraws_sent = 0;
+  std::uint64_t dropped_by_global_filter = 0;
+  std::uint64_t rejected_by_module = 0;  // kept for pass-through, not selected
+  std::uint64_t lookup_fetches = 0;
+  std::uint64_t lookup_misses = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class DbgpSpeaker {
+ public:
+  explicit DbgpSpeaker(DbgpConfig config, LookupService* lookup = nullptr);
+
+  // -- Configuration -------------------------------------------------------
+  bgp::PeerId add_peer(bgp::AsNumber peer_as, bool same_island = false);
+  void add_module(std::unique_ptr<DecisionModule> module);
+  DecisionModule* module(ia::ProtocolId protocol) const;
+  // Sets the active protocol for an address range (longest match wins);
+  // ranges default to config.active_protocol.
+  void set_active_protocol(const net::Prefix& range, ia::ProtocolId protocol);
+  ia::ProtocolId active_protocol_for(const net::Prefix& prefix) const;
+
+  GlobalFilterChain& import_filters() noexcept { return import_filters_; }
+  GlobalFilterChain& export_filters() noexcept { return export_filters_; }
+
+  const DbgpConfig& config() const noexcept { return config_; }
+
+  // -- Control-plane input/output -----------------------------------------
+  std::vector<DbgpOutgoing> originate(const net::Prefix& prefix);
+  std::vector<DbgpOutgoing> withdraw_origin(const net::Prefix& prefix);
+  std::vector<DbgpOutgoing> handle_frame(bgp::PeerId from, std::span<const std::uint8_t> bytes);
+  // Convenience: feed a decoded IA as if announced by `from`.
+  std::vector<DbgpOutgoing> handle_ia(bgp::PeerId from, ia::IntegratedAdvertisement ia);
+  std::vector<DbgpOutgoing> peer_down(bgp::PeerId peer);
+  // Sends the current table to a (newly established) peer.
+  std::vector<DbgpOutgoing> sync_peer(bgp::PeerId peer);
+  // Re-runs selection for every known prefix (after activating a protocol).
+  std::vector<DbgpOutgoing> reevaluate_all();
+
+  // -- Inspection -----------------------------------------------------------
+  // Selected best route; nullptr if unreachable. Originated prefixes return
+  // a synthetic route with from_peer == kInvalidPeer.
+  const IaRoute* best(const net::Prefix& prefix) const;
+  const IaDb& ia_db() const noexcept { return ia_db_; }
+  const DbgpStats& stats() const noexcept { return stats_; }
+  std::size_t peer_count() const noexcept { return peers_.size(); }
+  bgp::AsNumber peer_as(bgp::PeerId peer) const { return peers_.at(peer).asn; }
+  std::vector<net::Prefix> selected_prefixes() const;
+
+  // Frame helpers (exposed for tests/benchmarks).
+  static std::vector<std::uint8_t> encode_announce(const ia::IntegratedAdvertisement& ia,
+                                                   const ia::CodecOptions& codec);
+  static std::vector<std::uint8_t> encode_withdraw(const net::Prefix& prefix);
+  static std::vector<std::uint8_t> encode_notice(const net::Prefix& prefix);
+
+ private:
+  struct Peer {
+    bgp::AsNumber asn = 0;
+    bool same_island = false;
+  };
+
+  std::vector<DbgpOutgoing> ingest(bgp::PeerId from, ia::IntegratedAdvertisement ia);
+  std::vector<DbgpOutgoing> remove_route(bgp::PeerId from, const net::Prefix& prefix);
+  // Decision + dissemination for one prefix (stages 4-7).
+  void run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoing>& out);
+  void advertise_to_peers(const net::Prefix& prefix, const IaRoute& best, bool origin,
+                          std::vector<DbgpOutgoing>& out);
+  void withdraw_from_peer(bgp::PeerId peer, const net::Prefix& prefix,
+                          std::vector<DbgpOutgoing>& out);
+  void emit(bgp::PeerId peer, const net::Prefix& prefix, const ia::IntegratedAdvertisement& ia,
+            std::vector<DbgpOutgoing>& out);
+  DecisionModule* active_module(const net::Prefix& prefix) const;
+
+  DbgpConfig config_;
+  LookupService* lookup_;
+  IaFactory factory_;
+  std::vector<Peer> peers_;
+  std::vector<std::unique_ptr<DecisionModule>> modules_;
+  net::PrefixTrie<ia::ProtocolId> active_ranges_;
+  GlobalFilterChain import_filters_;
+  GlobalFilterChain export_filters_;
+  IaDb ia_db_;
+  // Selected best per prefix (the Loc-RIB analog).
+  std::map<net::Prefix, IaRoute> selected_;
+  std::map<net::Prefix, bool> originated_;  // value unused; set semantics
+  // Last advertisement bytes per (peer, prefix) for delta suppression.
+  std::map<bgp::PeerId, std::map<net::Prefix, std::vector<std::uint8_t>>> adj_out_;
+  std::uint64_t sequence_ = 0;
+  DbgpStats stats_;
+};
+
+}  // namespace dbgp::core

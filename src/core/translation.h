@@ -1,0 +1,58 @@
+// Module APIs for replacement protocols (Section 3.3, "Supporting islands
+// running replacement protocols").
+//
+// A replacement protocol (e.g., Pathlet Routing, SCION) keeps its own
+// advertisement format inside its island and uses D-BGP only at the island's
+// borders. Each replacement provides, in addition to a decision module:
+//   * an ingress translation module — maps arriving IAs into the protocol's
+//     within-island advertisement format (preserving the D-BGP path vector),
+//   * an egress translation module — encodes within-island state into IAs
+//     that cross gulfs,
+//   * a redistribution module — exports a usable route into plain BGP so
+//     ASes in gulfs can still reach destinations behind the island.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgp/path_attributes.h"
+#include "ia/integrated_advertisement.h"
+
+namespace dbgp::core {
+
+// A protocol-specific within-island advertisement, opaque to D-BGP.
+struct WithinIslandAd {
+  ia::ProtocolId protocol = 0;
+  std::vector<std::uint8_t> payload;
+  // The D-BGP path vector at ingress, preserved so the island's egress can
+  // re-attach it ("the ingress module is responsible for preserving D-BGP
+  // path vectors").
+  ia::IaPathVector ingress_path_vector;
+};
+
+class IngressTranslationModule {
+ public:
+  virtual ~IngressTranslationModule() = default;
+  // Translates one arriving IA into zero or more within-island ads.
+  virtual std::vector<WithinIslandAd> from_ia(const ia::IntegratedAdvertisement& ia) = 0;
+};
+
+class EgressTranslationModule {
+ public:
+  virtual ~EgressTranslationModule() = default;
+  // Folds within-island advertisements into the IA that will cross the gulf
+  // (fills island descriptors; encodes within-island paths).
+  virtual void to_ia(const std::vector<WithinIslandAd>& ads,
+                     ia::IntegratedAdvertisement& out) = 0;
+};
+
+class RedistributionModule {
+ public:
+  virtual ~RedistributionModule() = default;
+  // Produces the plain-BGP route (attributes) to redistribute for `prefix`,
+  // or nullopt if the protocol cannot expose a baseline-compatible route.
+  virtual std::optional<bgp::PathAttributes> redistribute(
+      const net::Prefix& prefix, const ia::IntegratedAdvertisement& ia) = 0;
+};
+
+}  // namespace dbgp::core

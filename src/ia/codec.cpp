@@ -1,0 +1,279 @@
+#include "ia/codec.h"
+
+#include <map>
+
+#include "ia/compress.h"
+#include "util/bytes.h"
+
+namespace dbgp::ia {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::DecodeError;
+
+namespace {
+
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kFlagCompressed = 0x01;
+
+void encode_path_vector(ByteWriter& w, const IaPathVector& pv) {
+  w.put_varint(pv.elements().size());
+  for (const auto& e : pv.elements()) {
+    w.put_u8(static_cast<std::uint8_t>(e.kind));
+    switch (e.kind) {
+      case PathElement::Kind::kAs:
+        w.put_varint(e.asn);
+        break;
+      case PathElement::Kind::kIsland:
+        w.put_varint(e.island_id.raw());
+        break;
+      case PathElement::Kind::kAsSet:
+        w.put_varint(e.set.size());
+        for (auto a : e.set) w.put_varint(a);
+        break;
+    }
+  }
+}
+
+IaPathVector decode_path_vector(ByteReader& r) {
+  const std::uint64_t raw_count = r.get_varint();
+  r.expect_items(raw_count, 2);  // kind byte + at least one payload byte
+  const std::size_t count = static_cast<std::size_t>(raw_count);
+  std::vector<PathElement> elements;
+  elements.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto kind = static_cast<PathElement::Kind>(r.get_u8());
+    switch (kind) {
+      case PathElement::Kind::kAs:
+        elements.push_back(PathElement::as(static_cast<bgp::AsNumber>(r.get_varint())));
+        break;
+      case PathElement::Kind::kIsland:
+        elements.push_back(PathElement::island(IslandId::from_raw(r.get_varint())));
+        break;
+      case PathElement::Kind::kAsSet: {
+        const std::uint64_t raw_n = r.get_varint();
+        r.expect_items(raw_n);
+        const std::size_t n = static_cast<std::size_t>(raw_n);
+        std::vector<bgp::AsNumber> set;
+        set.reserve(n);
+        for (std::size_t j = 0; j < n; ++j) {
+          set.push_back(static_cast<bgp::AsNumber>(r.get_varint()));
+        }
+        elements.push_back(PathElement::as_set(std::move(set)));
+        break;
+      }
+      default:
+        throw DecodeError("bad path-vector element kind");
+    }
+  }
+  return IaPathVector(std::move(elements));
+}
+
+struct BlobTable {
+  std::vector<const std::vector<std::uint8_t>*> blobs;
+  std::map<std::vector<std::uint8_t>, std::size_t> index;
+  std::size_t shared_savings = 0;
+  bool share = true;
+
+  std::size_t intern(const std::vector<std::uint8_t>& value) {
+    if (share) {
+      auto it = index.find(value);
+      if (it != index.end()) {
+        shared_savings += value.size();
+        return it->second;
+      }
+      const std::size_t id = blobs.size();
+      blobs.push_back(&value);
+      index.emplace(value, id);
+      return id;
+    }
+    blobs.push_back(&value);
+    return blobs.size() - 1;
+  }
+};
+
+struct EncodeResult {
+  std::vector<std::uint8_t> body;
+  std::size_t baseline_bytes = 0;
+  std::size_t descriptor_bytes = 0;
+  std::size_t shared_savings = 0;
+};
+
+EncodeResult encode_body(const IntegratedAdvertisement& ia, bool share_blobs) {
+  ByteWriter w;
+  w.put_u32(ia.destination.address().value());
+  w.put_u8(ia.destination.length());
+
+  encode_path_vector(w, ia.path_vector);
+
+  w.put_varint(ia.island_ids.size());
+  for (const auto& m : ia.island_ids) {
+    w.put_varint(m.island.raw());
+    w.put_varint(m.protocol);
+    w.put_varint(m.members.size());
+    for (auto a : m.members) w.put_varint(a);
+  }
+
+  // Baseline attributes: an RFC 4271 attribute block with a 16-bit length.
+  const std::size_t baseline_len_at = w.reserve_u16();
+  const std::size_t before_baseline = w.size();
+  ia.baseline.encode(w);
+  const std::size_t baseline_bytes = w.size() - before_baseline;
+  w.patch_u16(baseline_len_at, static_cast<std::uint16_t>(baseline_bytes));
+
+  // Collect descriptor payloads through the blob table.
+  BlobTable table;
+  table.share = share_blobs;
+  std::vector<std::size_t> path_blob(ia.path_descriptors.size());
+  for (std::size_t i = 0; i < ia.path_descriptors.size(); ++i) {
+    path_blob[i] = table.intern(ia.path_descriptors[i].value);
+  }
+  std::vector<std::size_t> island_blob(ia.island_descriptors.size());
+  for (std::size_t i = 0; i < ia.island_descriptors.size(); ++i) {
+    island_blob[i] = table.intern(ia.island_descriptors[i].value);
+  }
+
+  std::size_t descriptor_bytes = 0;
+  w.put_varint(table.blobs.size());
+  for (const auto* blob : table.blobs) {
+    descriptor_bytes += blob->size();
+    w.put_varint(blob->size());
+    w.put_bytes(*blob);
+  }
+
+  w.put_varint(ia.path_descriptors.size());
+  for (std::size_t i = 0; i < ia.path_descriptors.size(); ++i) {
+    w.put_varint(ia.path_descriptors[i].protocol);
+    w.put_varint(ia.path_descriptors[i].key);
+    w.put_varint(path_blob[i]);
+  }
+
+  w.put_varint(ia.island_descriptors.size());
+  for (std::size_t i = 0; i < ia.island_descriptors.size(); ++i) {
+    w.put_varint(ia.island_descriptors[i].island.raw());
+    w.put_varint(ia.island_descriptors[i].protocol);
+    w.put_varint(ia.island_descriptors[i].key);
+    w.put_varint(island_blob[i]);
+  }
+
+  return {w.take(), baseline_bytes, descriptor_bytes, table.shared_savings};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_ia(const IntegratedAdvertisement& ia,
+                                    const CodecOptions& options) {
+  EncodeResult result = encode_body(ia, options.share_blobs);
+  ByteWriter out;
+  out.put_u8(kVersion);
+  if (options.compress) {
+    auto compressed = lz_compress(result.body);
+    if (compressed.size() < result.body.size()) {
+      out.put_u8(kFlagCompressed);
+      out.put_varint(result.body.size());
+      out.put_bytes(compressed);
+      return out.take();
+    }
+  }
+  out.put_u8(0);
+  out.put_bytes(result.body);
+  return out.take();
+}
+
+IntegratedAdvertisement decode_ia(std::span<const std::uint8_t> data) {
+  ByteReader outer(data);
+  const std::uint8_t version = outer.get_u8();
+  if (version != kVersion) throw DecodeError("unsupported IA version");
+  const std::uint8_t flags = outer.get_u8();
+
+  std::vector<std::uint8_t> decompressed;
+  ByteReader r(std::span<const std::uint8_t>{});
+  if ((flags & kFlagCompressed) != 0) {
+    const std::size_t size = static_cast<std::size_t>(outer.get_varint());
+    decompressed = lz_decompress(outer.get_bytes(outer.remaining()), size);
+    r = ByteReader(decompressed);
+  } else {
+    r = ByteReader(outer.get_bytes(outer.remaining()));
+  }
+
+  IntegratedAdvertisement ia;
+  const std::uint32_t addr = r.get_u32();
+  const std::uint8_t len = r.get_u8();
+  if (len > 32) throw DecodeError("bad IA prefix length");
+  ia.destination = net::Prefix(net::Ipv4Address(addr), len);
+
+  ia.path_vector = decode_path_vector(r);
+
+  const std::uint64_t raw_memberships = r.get_varint();
+  r.expect_items(raw_memberships, 3);  // island + protocol + count
+  const std::size_t memberships = static_cast<std::size_t>(raw_memberships);
+  for (std::size_t i = 0; i < memberships; ++i) {
+    IslandMembership m;
+    m.island = IslandId::from_raw(r.get_varint());
+    m.protocol = static_cast<ProtocolId>(r.get_varint());
+    const std::uint64_t raw_count = r.get_varint();
+    r.expect_items(raw_count);
+    const std::size_t count = static_cast<std::size_t>(raw_count);
+    m.members.reserve(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      m.members.push_back(static_cast<bgp::AsNumber>(r.get_varint()));
+    }
+    ia.island_ids.push_back(std::move(m));
+  }
+
+  const std::size_t baseline_len = r.get_u16();
+  ia.baseline = bgp::PathAttributes::decode(r, baseline_len);
+
+  const std::uint64_t raw_blob_count = r.get_varint();
+  r.expect_items(raw_blob_count);  // length varint per blob
+  const std::size_t blob_count = static_cast<std::size_t>(raw_blob_count);
+  std::vector<std::vector<std::uint8_t>> blobs;
+  blobs.reserve(blob_count);
+  for (std::size_t i = 0; i < blob_count; ++i) {
+    const std::size_t size = static_cast<std::size_t>(r.get_varint());
+    auto bytes = r.get_bytes(size);
+    blobs.emplace_back(bytes.begin(), bytes.end());
+  }
+  auto blob_at = [&blobs](std::uint64_t idx) -> const std::vector<std::uint8_t>& {
+    if (idx >= blobs.size()) throw DecodeError("blob index out of range");
+    return blobs[static_cast<std::size_t>(idx)];
+  };
+
+  const std::uint64_t raw_pd_count = r.get_varint();
+  r.expect_items(raw_pd_count, 3);  // protocol + key + blob index
+  const std::size_t pd_count = static_cast<std::size_t>(raw_pd_count);
+  for (std::size_t i = 0; i < pd_count; ++i) {
+    PathDescriptor d;
+    d.protocol = static_cast<ProtocolId>(r.get_varint());
+    d.key = static_cast<std::uint16_t>(r.get_varint());
+    d.value = blob_at(r.get_varint());
+    ia.path_descriptors.push_back(std::move(d));
+  }
+
+  const std::uint64_t raw_id_count = r.get_varint();
+  r.expect_items(raw_id_count, 4);  // island + protocol + key + blob index
+  const std::size_t id_count = static_cast<std::size_t>(raw_id_count);
+  for (std::size_t i = 0; i < id_count; ++i) {
+    IslandDescriptor d;
+    d.island = IslandId::from_raw(r.get_varint());
+    d.protocol = static_cast<ProtocolId>(r.get_varint());
+    d.key = static_cast<std::uint16_t>(r.get_varint());
+    d.value = blob_at(r.get_varint());
+    ia.island_descriptors.push_back(std::move(d));
+  }
+
+  if (!r.at_end()) throw DecodeError("trailing bytes after IA body");
+  return ia;
+}
+
+IaSizeBreakdown measure_ia(const IntegratedAdvertisement& ia, const CodecOptions& options) {
+  IaSizeBreakdown b;
+  EncodeResult result = encode_body(ia, options.share_blobs);
+  b.baseline_bytes = result.baseline_bytes;
+  b.descriptor_bytes = result.descriptor_bytes;
+  b.shared_savings = result.shared_savings;
+  b.total = encode_ia(ia, options).size();
+  return b;
+}
+
+}  // namespace dbgp::ia

@@ -1,0 +1,57 @@
+// Wire codec for Integrated Advertisements.
+//
+// The paper's prototype serialized IAs with protocol buffers; we use a
+// purpose-built varint/TLV encoding with one extra feature protobuf lacks:
+// a *blob table* that deduplicates identical descriptor payloads within an
+// IA. This directly implements Section 3.2's "critical fixes listed in IAs
+// can share control information that is identical across them and BGP", the
+// mechanism behind Table 3's "+ Sharing" row.
+//
+// Layout (big-endian / LEB128 varints):
+//   u8  version (=1)
+//   u8  flags (bit0: body is LZ-compressed)
+//   [varint uncompressed body size, if compressed]
+//   body:
+//     u32 prefix address, u8 prefix length
+//     path vector: varint count, then per element (u8 kind + payload)
+//     island memberships
+//     baseline attributes (reuses the RFC 4271 attribute block codec)
+//     blob table: varint count, then varint length + bytes each
+//     path descriptors: (proto, key, blob index)
+//     island descriptors: (island, proto, key, blob index)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ia/integrated_advertisement.h"
+
+namespace dbgp::ia {
+
+struct CodecOptions {
+  bool compress = false;
+  // When false the blob table stores each descriptor payload verbatim even
+  // if identical to another (the "Basic" row of Table 3) — used by the
+  // overhead benchmarks to isolate sharing's contribution.
+  bool share_blobs = true;
+};
+
+std::vector<std::uint8_t> encode_ia(const IntegratedAdvertisement& ia,
+                                    const CodecOptions& options = {});
+
+// Throws util::DecodeError on malformed input.
+IntegratedAdvertisement decode_ia(std::span<const std::uint8_t> data);
+
+// Size accounting for the overhead analysis (E3).
+struct IaSizeBreakdown {
+  std::size_t total = 0;             // encoded size with the given options
+  std::size_t baseline_bytes = 0;    // shared BGP attribute block
+  std::size_t descriptor_bytes = 0;  // unique blob bytes actually stored
+  std::size_t shared_savings = 0;    // bytes avoided by blob deduplication
+};
+
+IaSizeBreakdown measure_ia(const IntegratedAdvertisement& ia,
+                           const CodecOptions& options = {});
+
+}  // namespace dbgp::ia

@@ -1,0 +1,96 @@
+#include "ia/compress.h"
+
+#include <cstring>
+
+#include "util/bytes.h"
+
+namespace dbgp::ia {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxDistance = 64 * 1024;
+constexpr std::size_t kHashBits = 15;
+
+std::uint32_t hash4(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> input) {
+  util::ByteWriter out;
+  const std::size_t n = input.size();
+  std::vector<std::int64_t> table(1u << kHashBits, -1);
+
+  std::size_t literal_start = 0;
+  auto flush_literals = [&](std::size_t end) {
+    if (end <= literal_start) return;
+    out.put_u8(0x00);
+    out.put_varint(end - literal_start);
+    out.put_bytes(input.subspan(literal_start, end - literal_start));
+  };
+
+  std::size_t i = 0;
+  while (i + kMinMatch <= n) {
+    const std::uint32_t h = hash4(input.data() + i);
+    const std::int64_t candidate = table[h];
+    table[h] = static_cast<std::int64_t>(i);
+    if (candidate >= 0 && i - static_cast<std::size_t>(candidate) <= kMaxDistance) {
+      const std::size_t cand = static_cast<std::size_t>(candidate);
+      // Extend the match as far as it goes.
+      std::size_t len = 0;
+      while (i + len < n && input[cand + len] == input[i + len]) ++len;
+      if (len >= kMinMatch) {
+        flush_literals(i);
+        out.put_u8(0x01);
+        out.put_varint(len);
+        out.put_varint(i - cand);
+        // Insert hash anchors inside the match so later data can refer back.
+        const std::size_t stop = i + len;
+        for (std::size_t j = i + 1; j + kMinMatch <= stop && j + kMinMatch <= n; j += 2) {
+          table[hash4(input.data() + j)] = static_cast<std::int64_t>(j);
+        }
+        i = stop;
+        literal_start = i;
+        continue;
+      }
+    }
+    ++i;
+  }
+  flush_literals(n);
+  return out.take();
+}
+
+std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> input,
+                                        std::size_t expected_size) {
+  util::ByteReader r(input);
+  std::vector<std::uint8_t> out;
+  out.reserve(expected_size);
+  while (!r.at_end()) {
+    const std::uint8_t tag = r.get_u8();
+    if (tag == 0x00) {
+      const std::size_t len = static_cast<std::size_t>(r.get_varint());
+      auto bytes = r.get_bytes(len);
+      out.insert(out.end(), bytes.begin(), bytes.end());
+    } else if (tag == 0x01) {
+      const std::size_t len = static_cast<std::size_t>(r.get_varint());
+      const std::size_t dist = static_cast<std::size_t>(r.get_varint());
+      if (dist == 0 || dist > out.size() || len < kMinMatch) {
+        throw util::DecodeError("bad LZ match token");
+      }
+      // Byte-by-byte copy: matches may overlap their own output.
+      const std::size_t start = out.size() - dist;
+      for (std::size_t j = 0; j < len; ++j) out.push_back(out[start + j]);
+    } else {
+      throw util::DecodeError("bad LZ token tag");
+    }
+    if (out.size() > expected_size) throw util::DecodeError("LZ output exceeds declared size");
+  }
+  if (out.size() != expected_size) throw util::DecodeError("LZ output shorter than declared");
+  return out;
+}
+
+}  // namespace dbgp::ia

@@ -1,0 +1,24 @@
+// Byte-level compression for Integrated Advertisements (Section 3.2: "IAs
+// can be compressed to further reduce their size").
+//
+// A small self-contained LZ77 variant: greedy longest-match with a hash
+// table over 4-byte anchors, 64 KiB window. The format is a token stream:
+//   0x00 <varint len> <len literal bytes>
+//   0x01 <varint len> <varint distance>     (len >= 4, distance >= 1)
+// It is not meant to beat zlib — it exists so compression can be measured as
+// a real design knob in the overhead benchmarks with zero dependencies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dbgp::ia {
+
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> input);
+
+// Throws util::DecodeError on malformed input.
+std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> input,
+                                        std::size_t expected_size);
+
+}  // namespace dbgp::ia

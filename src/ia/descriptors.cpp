@@ -1,0 +1,6 @@
+#include "ia/descriptors.h"
+
+// Descriptors are plain data; all behaviour lives in the protocol plugins
+// that define payload encodings. This TU exists to anchor the header.
+
+namespace dbgp::ia {}  // namespace dbgp::ia

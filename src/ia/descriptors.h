@@ -1,0 +1,66 @@
+// Path descriptors and island descriptors (Section 3.2).
+//
+// Path descriptors describe per-protocol attributes of the *entire* path
+// (e.g., Wiser's scaled cost, BGPSec's attestation chain). Island
+// descriptors encode attributes specific to one island (e.g., a SCION
+// island's within-island paths, a MIRO island's service portal address, a
+// Wiser island's cost-exchange portal).
+//
+// Payloads are opaque bytes; each protocol plugin defines its own keys and
+// payload encodings. This opacity is load-bearing: it is exactly what lets
+// gulf ASes pass the data through without understanding it (CF-R1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ia/ids.h"
+
+namespace dbgp::ia {
+
+// Descriptor keys are protocol-scoped; these are the conventional key
+// numbers used by the bundled protocol plugins (documented here so dumps are
+// readable; plugins are the source of truth for payload layout).
+namespace keys {
+inline constexpr std::uint16_t kWiserPathCost = 1;       // path descriptor
+inline constexpr std::uint16_t kWiserPortalAddr = 2;     // island descriptor
+inline constexpr std::uint16_t kBgpSecAttestation = 1;   // path descriptor
+inline constexpr std::uint16_t kScionPaths = 1;          // island descriptor
+inline constexpr std::uint16_t kPathletList = 1;         // island descriptor
+inline constexpr std::uint16_t kMiroPortalAddr = 1;      // island descriptor
+inline constexpr std::uint16_t kEqBgpQos = 1;            // path descriptor
+inline constexpr std::uint16_t kRBgpBackupPath = 1;      // path descriptor
+inline constexpr std::uint16_t kLispMapping = 1;         // island descriptor
+}  // namespace keys
+
+struct PathDescriptor {
+  ProtocolId protocol = 0;
+  std::uint16_t key = 0;
+  std::vector<std::uint8_t> value;
+
+  bool operator==(const PathDescriptor&) const = default;
+};
+
+struct IslandDescriptor {
+  IslandId island;
+  ProtocolId protocol = 0;
+  std::uint16_t key = 0;
+  std::vector<std::uint8_t> value;
+
+  bool operator==(const IslandDescriptor&) const = default;
+};
+
+// Membership statement emitted by island egress filters: which contiguous
+// path-vector ASes belong to which island (the "island IDs" field of
+// Figure 4). Needed by sources to build multi-network-protocol headers.
+struct IslandMembership {
+  IslandId island;
+  std::vector<bgp::AsNumber> members;  // may be empty if abstracted away
+  ProtocolId protocol = 0;             // protocol the island runs
+
+  bool operator==(const IslandMembership&) const = default;
+};
+
+}  // namespace dbgp::ia

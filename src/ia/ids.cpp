@@ -1,0 +1,62 @@
+#include "ia/ids.h"
+
+#include "util/rng.h"
+
+namespace dbgp::ia {
+
+ProtocolRegistry::ProtocolRegistry() {
+  const std::pair<ProtocolId, const char*> builtin[] = {
+      {kProtoBgp, "bgp"},        {kProtoWiser, "wiser"}, {kProtoBgpSec, "bgpsec"},
+      {kProtoPathlets, "pathlets"}, {kProtoScion, "scion"}, {kProtoMiro, "miro"},
+      {kProtoEqBgp, "eq-bgp"},   {kProtoRBgp, "r-bgp"},  {kProtoLisp, "lisp"},
+      {kProtoHlp, "hlp"},
+  };
+  for (const auto& [id, name] : builtin) {
+    names_[id] = name;
+    ids_[name] = id;
+  }
+}
+
+ProtocolId ProtocolRegistry::register_protocol(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const ProtocolId id = next_++;
+  names_[id] = std::string(name);
+  ids_[std::string(name)] = id;
+  return id;
+}
+
+std::string ProtocolRegistry::name(ProtocolId id) const {
+  auto it = names_.find(id);
+  return it == names_.end() ? "proto-" + std::to_string(id) : it->second;
+}
+
+ProtocolId ProtocolRegistry::find(std::string_view name) const noexcept {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? 0 : it->second;
+}
+
+const ProtocolRegistry& default_registry() {
+  static const ProtocolRegistry registry;
+  return registry;
+}
+
+IslandId IslandId::derive(std::span<const bgp::AsNumber> border_ases) noexcept {
+  // Order-independent hash so every border AS derives the same ID.
+  std::uint64_t acc = 0;
+  for (bgp::AsNumber asn : border_ases) {
+    std::uint64_t s = asn;
+    acc ^= util::splitmix64(s);
+  }
+  // Fold into the assigned space (32 bits + tag) so it cannot collide with
+  // a raw AS number.
+  return IslandId::assigned(static_cast<std::uint32_t>(acc ^ (acc >> 32)) | 1u);
+}
+
+std::string IslandId::to_string() const {
+  if (!valid()) return "island:none";
+  if (is_singleton_as()) return "AS" + std::to_string(as_number());
+  return "island:" + std::to_string(value_ & 0xffffffffULL);
+}
+
+}  // namespace dbgp::ia

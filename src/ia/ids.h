@@ -1,0 +1,96 @@
+// Protocol and island identifiers (Section 3.1).
+//
+// The paper assumes a governing body (IETF/ARIN) assigns unique protocol IDs
+// and optionally island IDs; alternatively islands derive an ID by hashing
+// their border ASes' numbers. We model both: ProtocolId is a small integer
+// from a registry; IslandId is either an AS number (singleton islands) or an
+// assigned/derived 64-bit value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "bgp/types.h"
+
+namespace dbgp::ia {
+
+using ProtocolId = std::uint32_t;
+
+// Well-known protocol IDs used throughout the library and tests. New
+// protocols register at runtime via ProtocolRegistry.
+inline constexpr ProtocolId kProtoBgp = 1;
+inline constexpr ProtocolId kProtoWiser = 2;
+inline constexpr ProtocolId kProtoBgpSec = 3;
+inline constexpr ProtocolId kProtoPathlets = 4;
+inline constexpr ProtocolId kProtoScion = 5;
+inline constexpr ProtocolId kProtoMiro = 6;
+inline constexpr ProtocolId kProtoEqBgp = 7;
+inline constexpr ProtocolId kProtoRBgp = 8;
+inline constexpr ProtocolId kProtoLisp = 9;
+inline constexpr ProtocolId kProtoHlp = 10;
+inline constexpr ProtocolId kFirstDynamicProtocolId = 100;
+
+// Maps protocol IDs to names. A registry instance is plain data (no
+// singleton); default_registry() returns one pre-seeded with the well-known
+// protocols above.
+class ProtocolRegistry {
+ public:
+  ProtocolRegistry();
+
+  // Registers a new protocol; returns its assigned ID. Registering the same
+  // name twice returns the existing ID (idempotent).
+  ProtocolId register_protocol(std::string_view name);
+  // Name for an ID; "proto-<id>" if unknown.
+  std::string name(ProtocolId id) const;
+  // ID for a name; 0 if unknown.
+  ProtocolId find(std::string_view name) const noexcept;
+
+ private:
+  std::map<ProtocolId, std::string> names_;
+  std::map<std::string, ProtocolId, std::less<>> ids_;
+  ProtocolId next_ = kFirstDynamicProtocolId;
+};
+
+const ProtocolRegistry& default_registry();
+
+// Island identifier: an AS number for singleton islands, or an assigned /
+// hash-derived value for multi-AS islands. The tag bit keeps the two spaces
+// disjoint.
+class IslandId {
+ public:
+  constexpr IslandId() noexcept = default;
+
+  static constexpr IslandId from_as(bgp::AsNumber asn) noexcept {
+    return IslandId(static_cast<std::uint64_t>(asn));
+  }
+  static constexpr IslandId assigned(std::uint32_t value) noexcept {
+    return IslandId(kAssignedTag | value);
+  }
+  // Derives an ID by hashing border-AS numbers (Section 3.1 alternative).
+  static IslandId derive(std::span<const bgp::AsNumber> border_ases) noexcept;
+
+  constexpr bool valid() const noexcept { return value_ != 0; }
+  constexpr bool is_singleton_as() const noexcept {
+    return valid() && (value_ & kAssignedTag) == 0;
+  }
+  constexpr bgp::AsNumber as_number() const noexcept {
+    return static_cast<bgp::AsNumber>(value_);
+  }
+  constexpr std::uint64_t raw() const noexcept { return value_; }
+  static constexpr IslandId from_raw(std::uint64_t raw) noexcept { return IslandId(raw); }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(IslandId, IslandId) noexcept = default;
+
+ private:
+  constexpr explicit IslandId(std::uint64_t value) noexcept : value_(value) {}
+
+  static constexpr std::uint64_t kAssignedTag = 1ULL << 40;
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace dbgp::ia

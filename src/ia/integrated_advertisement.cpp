@@ -1,0 +1,130 @@
+#include "ia/integrated_advertisement.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dbgp::ia {
+
+const PathDescriptor* IntegratedAdvertisement::find_path_descriptor(
+    ProtocolId protocol, std::uint16_t key) const noexcept {
+  for (const auto& d : path_descriptors) {
+    if (d.protocol == protocol && d.key == key) return &d;
+  }
+  return nullptr;
+}
+
+void IntegratedAdvertisement::set_path_descriptor(ProtocolId protocol, std::uint16_t key,
+                                                  std::vector<std::uint8_t> value) {
+  for (auto& d : path_descriptors) {
+    if (d.protocol == protocol && d.key == key) {
+      d.value = std::move(value);
+      return;
+    }
+  }
+  path_descriptors.push_back({protocol, key, std::move(value)});
+}
+
+void IntegratedAdvertisement::remove_path_descriptors(ProtocolId protocol) {
+  std::erase_if(path_descriptors,
+                [protocol](const PathDescriptor& d) { return d.protocol == protocol; });
+}
+
+const IslandDescriptor* IntegratedAdvertisement::find_island_descriptor(
+    IslandId island, ProtocolId protocol, std::uint16_t key) const noexcept {
+  for (const auto& d : island_descriptors) {
+    if (d.island == island && d.protocol == protocol && d.key == key) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<const IslandDescriptor*> IntegratedAdvertisement::island_descriptors_for(
+    ProtocolId protocol) const {
+  std::vector<const IslandDescriptor*> out;
+  for (const auto& d : island_descriptors) {
+    if (d.protocol == protocol) out.push_back(&d);
+  }
+  return out;
+}
+
+void IntegratedAdvertisement::add_island_descriptor(IslandId island, ProtocolId protocol,
+                                                    std::uint16_t key,
+                                                    std::vector<std::uint8_t> value) {
+  for (auto& d : island_descriptors) {
+    if (d.island == island && d.protocol == protocol && d.key == key) {
+      d.value = std::move(value);
+      return;
+    }
+  }
+  island_descriptors.push_back({island, protocol, key, std::move(value)});
+}
+
+void IntegratedAdvertisement::remove_island_descriptors(IslandId island, ProtocolId protocol) {
+  std::erase_if(island_descriptors, [&](const IslandDescriptor& d) {
+    return d.island == island && d.protocol == protocol;
+  });
+}
+
+const IslandMembership* IntegratedAdvertisement::find_membership(IslandId island) const noexcept {
+  for (const auto& m : island_ids) {
+    if (m.island == island) return &m;
+  }
+  return nullptr;
+}
+
+void IntegratedAdvertisement::add_membership(IslandMembership membership) {
+  for (auto& m : island_ids) {
+    if (m.island == membership.island) {
+      m = std::move(membership);
+      return;
+    }
+  }
+  island_ids.push_back(std::move(membership));
+}
+
+std::set<ProtocolId> IntegratedAdvertisement::protocols_on_path() const {
+  std::set<ProtocolId> protocols;
+  protocols.insert(kProtoBgp);  // the baseline is always present
+  for (const auto& d : path_descriptors) protocols.insert(d.protocol);
+  for (const auto& d : island_descriptors) protocols.insert(d.protocol);
+  for (const auto& m : island_ids) {
+    if (m.protocol != 0) protocols.insert(m.protocol);
+  }
+  return protocols;
+}
+
+std::string IntegratedAdvertisement::dump(const ProtocolRegistry& registry) const {
+  std::ostringstream out;
+  out << "Baseline Address: " << destination.to_string() << "\n";
+  out << "Path vector: " << path_vector.to_string() << "\n";
+  if (!island_ids.empty()) {
+    out << "Island IDs:\n";
+    for (const auto& m : island_ids) {
+      out << "  " << m.island.to_string();
+      if (m.protocol != 0) out << " (" << registry.name(m.protocol) << ")";
+      if (!m.members.empty()) {
+        out << " members:";
+        for (auto a : m.members) out << " " << a;
+      }
+      out << "\n";
+    }
+  }
+  out << "Shared baseline fields: origin=" << bgp::to_string(baseline.origin)
+      << " next-hop=" << baseline.next_hop.to_string() << "\n";
+  if (!path_descriptors.empty()) {
+    out << "Path descriptors:\n";
+    for (const auto& d : path_descriptors) {
+      out << "  " << registry.name(d.protocol) << " key=" << d.key << " (" << d.value.size()
+          << " bytes)\n";
+    }
+  }
+  if (!island_descriptors.empty()) {
+    out << "Island descriptors:\n";
+    for (const auto& d : island_descriptors) {
+      out << "  " << d.island.to_string() << " " << registry.name(d.protocol)
+          << " key=" << d.key << " (" << d.value.size() << " bytes)\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dbgp::ia

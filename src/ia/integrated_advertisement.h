@@ -1,0 +1,65 @@
+// The Integrated Advertisement (IA) — Figure 4 of the paper.
+//
+// An IA extends a BGP advertisement into a shared container that carries
+// multiple protocols' control information for one destination prefix:
+//   * the baseline address (an IPv4 prefix),
+//   * the unified path vector (loop avoidance for all protocols),
+//   * island membership statements,
+//   * shared baseline control info (BGP's own attributes — origin, next hop,
+//     MED, ... — which critical fixes share rather than duplicate),
+//   * path descriptors (per-protocol, whole-path),
+//   * island descriptors (per-island).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/path_attributes.h"
+#include "ia/descriptors.h"
+#include "ia/ids.h"
+#include "ia/path_vector.h"
+#include "net/ipv4.h"
+
+namespace dbgp::ia {
+
+struct IntegratedAdvertisement {
+  net::Prefix destination;
+  IaPathVector path_vector;
+  std::vector<IslandMembership> island_ids;
+  bgp::PathAttributes baseline;  // shared control information (Section 3.2)
+  std::vector<PathDescriptor> path_descriptors;
+  std::vector<IslandDescriptor> island_descriptors;
+
+  // -- Descriptor accessors ----------------------------------------------
+  const PathDescriptor* find_path_descriptor(ProtocolId protocol,
+                                             std::uint16_t key) const noexcept;
+  // Replaces an existing (protocol, key) descriptor or appends a new one.
+  void set_path_descriptor(ProtocolId protocol, std::uint16_t key,
+                           std::vector<std::uint8_t> value);
+  void remove_path_descriptors(ProtocolId protocol);
+
+  const IslandDescriptor* find_island_descriptor(IslandId island, ProtocolId protocol,
+                                                 std::uint16_t key) const noexcept;
+  std::vector<const IslandDescriptor*> island_descriptors_for(ProtocolId protocol) const;
+  void add_island_descriptor(IslandId island, ProtocolId protocol, std::uint16_t key,
+                             std::vector<std::uint8_t> value);
+  void remove_island_descriptors(IslandId island, ProtocolId protocol);
+
+  // -- Membership ----------------------------------------------------------
+  const IslandMembership* find_membership(IslandId island) const noexcept;
+  void add_membership(IslandMembership membership);
+
+  // All protocols with any control information on this path (G-R4: "inform
+  // islands and gulf ASes of what protocols are used on routing paths").
+  std::set<ProtocolId> protocols_on_path() const;
+
+  // Human-readable dump resembling Figure 4/7 (used by examples).
+  std::string dump(const ProtocolRegistry& registry = default_registry()) const;
+
+  bool operator==(const IntegratedAdvertisement&) const = default;
+};
+
+}  // namespace dbgp::ia

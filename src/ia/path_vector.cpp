@@ -1,0 +1,182 @@
+#include "ia/path_vector.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+
+namespace dbgp::ia {
+
+bool PathElement::mentions_as(bgp::AsNumber a) const noexcept {
+  switch (kind) {
+    case Kind::kAs:
+      return asn == a;
+    case Kind::kIsland:
+      return island_id.is_singleton_as() && island_id.as_number() == a;
+    case Kind::kAsSet:
+      return std::find(set.begin(), set.end(), a) != set.end();
+  }
+  return false;
+}
+
+void IaPathVector::prepend_as(bgp::AsNumber asn) {
+  elements_.insert(elements_.begin(), PathElement::as(asn));
+}
+
+void IaPathVector::prepend_island(IslandId id) {
+  elements_.insert(elements_.begin(), PathElement::island(id));
+}
+
+void IaPathVector::prepend_as_set(std::vector<bgp::AsNumber> asns) {
+  elements_.insert(elements_.begin(), PathElement::as_set(std::move(asns)));
+}
+
+bool IaPathVector::contains_as(bgp::AsNumber asn) const noexcept {
+  for (const auto& e : elements_) {
+    if (e.mentions_as(asn)) return true;
+  }
+  return false;
+}
+
+bool IaPathVector::contains_island(IslandId id) const noexcept {
+  if (!id.valid()) return false;
+  for (const auto& e : elements_) {
+    if (e.kind == PathElement::Kind::kIsland && e.island_id == id) return true;
+  }
+  return false;
+}
+
+bool IaPathVector::would_loop(bgp::AsNumber asn, IslandId island) const noexcept {
+  // Island-granularity check first: paths re-entering an island that listed
+  // only its ID are rejected even if the AS itself is new (the path-diversity
+  // cost Section 3.2 describes).
+  if (island.valid() && contains_island(island)) return true;
+  return contains_as(asn);
+}
+
+std::size_t IaPathVector::hop_count() const noexcept { return elements_.size(); }
+
+std::size_t IaPathVector::abstract_leading_members(IslandId id,
+                                                   std::span<const bgp::AsNumber> members) {
+  auto is_member = [&members](const PathElement& e) {
+    if (e.kind == PathElement::Kind::kAs) {
+      return std::find(members.begin(), members.end(), e.asn) != members.end();
+    }
+    if (e.kind == PathElement::Kind::kAsSet) {
+      return std::all_of(e.set.begin(), e.set.end(), [&members](bgp::AsNumber a) {
+        return std::find(members.begin(), members.end(), a) != members.end();
+      });
+    }
+    return false;
+  };
+  std::size_t run = 0;
+  while (run < elements_.size() && is_member(elements_[run])) ++run;
+  if (run == 0) return 0;
+  elements_.erase(elements_.begin(), elements_.begin() + static_cast<std::ptrdiff_t>(run));
+  elements_.insert(elements_.begin(), PathElement::island(id));
+  return run;
+}
+
+bgp::AsPath IaPathVector::to_bgp_as_path() const {
+  // Reserved AS used to represent multi-AS islands whose membership is
+  // hidden (private-use range so legacy speakers treat it as opaque).
+  constexpr bgp::AsNumber kOpaqueIslandAs = 64512;
+  bgp::AsPath path;
+  // Build back-to-front so prepends land in order.
+  for (auto it = elements_.rbegin(); it != elements_.rend(); ++it) {
+    switch (it->kind) {
+      case PathElement::Kind::kAs:
+        path.prepend(it->asn);
+        break;
+      case PathElement::Kind::kIsland:
+        path.prepend(it->island_id.is_singleton_as() ? it->island_id.as_number()
+                                                     : kOpaqueIslandAs);
+        break;
+      case PathElement::Kind::kAsSet:
+        path.prepend_set(it->set);
+        break;
+    }
+  }
+  return path;
+}
+
+std::vector<std::uint8_t> IaPathVector::to_payload() const {
+  util::ByteWriter w;
+  w.put_varint(elements_.size());
+  for (const auto& e : elements_) {
+    w.put_u8(static_cast<std::uint8_t>(e.kind));
+    switch (e.kind) {
+      case PathElement::Kind::kAs:
+        w.put_varint(e.asn);
+        break;
+      case PathElement::Kind::kIsland:
+        w.put_varint(e.island_id.raw());
+        break;
+      case PathElement::Kind::kAsSet:
+        w.put_varint(e.set.size());
+        for (auto a : e.set) w.put_varint(a);
+        break;
+    }
+  }
+  return w.take();
+}
+
+IaPathVector IaPathVector::from_payload(std::span<const std::uint8_t> payload) {
+  util::ByteReader r(payload);
+  const std::uint64_t raw_count = r.get_varint();
+  r.expect_items(raw_count, 2);
+  const std::size_t count = static_cast<std::size_t>(raw_count);
+  std::vector<PathElement> elements;
+  elements.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto kind = static_cast<PathElement::Kind>(r.get_u8());
+    switch (kind) {
+      case PathElement::Kind::kAs:
+        elements.push_back(PathElement::as(static_cast<bgp::AsNumber>(r.get_varint())));
+        break;
+      case PathElement::Kind::kIsland:
+        elements.push_back(PathElement::island(IslandId::from_raw(r.get_varint())));
+        break;
+      case PathElement::Kind::kAsSet: {
+        const std::uint64_t raw_n = r.get_varint();
+        r.expect_items(raw_n);
+        std::vector<bgp::AsNumber> set;
+        set.reserve(static_cast<std::size_t>(raw_n));
+        for (std::uint64_t j = 0; j < raw_n; ++j) {
+          set.push_back(static_cast<bgp::AsNumber>(r.get_varint()));
+        }
+        elements.push_back(PathElement::as_set(std::move(set)));
+        break;
+      }
+      default:
+        throw util::DecodeError("bad path-vector element kind in payload");
+    }
+  }
+  return IaPathVector(std::move(elements));
+}
+
+std::string IaPathVector::to_string() const {
+  std::string out;
+  for (const auto& e : elements_) {
+    if (!out.empty()) out.push_back(' ');
+    switch (e.kind) {
+      case PathElement::Kind::kAs:
+        out += std::to_string(e.asn);
+        break;
+      case PathElement::Kind::kIsland:
+        out += e.island_id.to_string();
+        break;
+      case PathElement::Kind::kAsSet: {
+        out.push_back('{');
+        for (std::size_t i = 0; i < e.set.size(); ++i) {
+          if (i != 0) out.push_back(',');
+          out += std::to_string(e.set[i]);
+        }
+        out.push_back('}');
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dbgp::ia

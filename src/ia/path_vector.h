@@ -1,0 +1,102 @@
+// The IA path vector (Section 3.2): the common denominator all protocols on
+// a path must use for loop avoidance (requirement G-R5).
+//
+// Entries are AS numbers, island IDs (islands that abstract away their
+// intra-island paths), or AS_SETs (used by islands that list member ASes
+// without inflating the BGP-visible path length). Loop detection works over
+// all entry kinds at once, which is what lets multiple diverse protocols
+// share one mechanism.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/path_attributes.h"
+#include "bgp/types.h"
+#include "ia/ids.h"
+
+namespace dbgp::ia {
+
+struct PathElement {
+  enum class Kind : std::uint8_t { kAs = 1, kIsland = 2, kAsSet = 3 };
+
+  static PathElement as(bgp::AsNumber asn) {
+    PathElement e;
+    e.kind = Kind::kAs;
+    e.asn = asn;
+    return e;
+  }
+  static PathElement island(IslandId id) {
+    PathElement e;
+    e.kind = Kind::kIsland;
+    e.island_id = id;
+    return e;
+  }
+  static PathElement as_set(std::vector<bgp::AsNumber> asns) {
+    PathElement e;
+    e.kind = Kind::kAsSet;
+    e.set = std::move(asns);
+    return e;
+  }
+
+  Kind kind = Kind::kAs;
+  bgp::AsNumber asn = 0;                // kAs
+  IslandId island_id;                   // kIsland
+  std::vector<bgp::AsNumber> set;       // kAsSet
+
+  bool mentions_as(bgp::AsNumber a) const noexcept;
+  bool operator==(const PathElement&) const = default;
+};
+
+class IaPathVector {
+ public:
+  IaPathVector() = default;
+  explicit IaPathVector(std::vector<PathElement> elements)
+      : elements_(std::move(elements)) {}
+
+  void prepend_as(bgp::AsNumber asn);
+  void prepend_island(IslandId id);
+  void prepend_as_set(std::vector<bgp::AsNumber> asns);
+
+  bool contains_as(bgp::AsNumber asn) const noexcept;
+  bool contains_island(IslandId id) const noexcept;
+
+  // The unified loop check: true if advertising through (asn, island) would
+  // create a loop. An invalid island id checks only the AS.
+  bool would_loop(bgp::AsNumber asn, IslandId island = {}) const noexcept;
+
+  // Decision-process length: AS and island entries count 1; AS_SET counts 1
+  // (matching RFC 4271's AS_SET rule, Section 3.2's length discussion).
+  std::size_t hop_count() const noexcept;
+
+  // Replaces the leading contiguous run of elements whose ASes are all in
+  // `members` with a single island-ID entry — the egress "abstract away
+  // intra-island details" filter (Section 3.3). Returns how many elements
+  // were replaced.
+  std::size_t abstract_leading_members(IslandId id, std::span<const bgp::AsNumber> members);
+
+  // Converts to a plain BGP AS_PATH for redistribution to legacy speakers:
+  // island entries become the island's representative AS if singleton, or an
+  // AS_SET of `members` if known, else a reserved placeholder AS.
+  bgp::AsPath to_bgp_as_path() const;
+
+  const std::vector<PathElement>& elements() const noexcept { return elements_; }
+  std::vector<PathElement>& elements() noexcept { return elements_; }
+  bool empty() const noexcept { return elements_.empty(); }
+
+  // Standalone payload codec (varint TLV), used wherever a path vector is
+  // embedded inside another payload (MIRO offers, R-BGP backup paths, ...).
+  std::vector<std::uint8_t> to_payload() const;
+  static IaPathVector from_payload(std::span<const std::uint8_t> payload);
+
+  std::string to_string() const;
+  bool operator==(const IaPathVector&) const = default;
+
+ private:
+  std::vector<PathElement> elements_;
+};
+
+}  // namespace dbgp::ia

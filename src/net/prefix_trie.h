@@ -1,0 +1,127 @@
+// Binary radix trie keyed by IPv4 prefix, supporting exact match and
+// longest-prefix match. Used for forwarding tables in the data plane and as
+// the index for Loc-RIBs.
+//
+// Header-only template: the value type varies per user (route entries,
+// forwarding actions). The trie owns its nodes via unique_ptr; depth is
+// bounded at 32 so recursion is safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace dbgp::net {
+
+template <typename V>
+class PrefixTrie {
+ public:
+  // Inserts or replaces; returns true if a new entry was created.
+  bool insert(const Prefix& prefix, V value) {
+    Node* node = descend_or_create(prefix);
+    const bool created = !node->value.has_value();
+    node->value = std::move(value);
+    if (created) ++size_;
+    return created;
+  }
+
+  // Removes an exact prefix; returns true if it existed.
+  bool erase(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  // Exact-match lookup.
+  const V* find(const Prefix& prefix) const {
+    const Node* node = descend(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value : nullptr;
+  }
+  V* find(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value : nullptr;
+  }
+
+  // Longest-prefix match for an address; nullptr if no covering prefix.
+  const V* longest_match(Ipv4Address addr, Prefix* matched = nullptr) const {
+    const Node* best = nullptr;
+    const Node* node = root_.get();
+    std::uint8_t depth = 0;
+    Prefix best_prefix;
+    while (node != nullptr) {
+      if (node->value.has_value()) {
+        best = node;
+        best_prefix = Prefix(addr, depth);
+      }
+      if (depth == 32) break;
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      ++depth;
+    }
+    if (best == nullptr) return nullptr;
+    if (matched != nullptr) *matched = best_prefix;
+    return &*best->value;
+  }
+
+  // Visits all (prefix, value) pairs in lexicographic prefix order.
+  void for_each(const std::function<void(const Prefix&, const V&)>& fn) const {
+    walk(root_.get(), 0, 0, fn);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<V> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  Node* descend_or_create(const Prefix& prefix) {
+    Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.address().value() >> (31 - depth)) & 1;
+      if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  const Node* descend(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length() && node != nullptr; ++depth) {
+      const int bit = (prefix.address().value() >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+  Node* descend(const Prefix& prefix) {
+    return const_cast<Node*>(static_cast<const PrefixTrie*>(this)->descend(prefix));
+  }
+
+  void walk(const Node* node, std::uint32_t bits, std::uint8_t depth,
+            const std::function<void(const Prefix&, const V&)>& fn) const {
+    if (node == nullptr) return;
+    if (node->value.has_value()) {
+      fn(Prefix(Ipv4Address(depth == 0 ? 0 : bits << (32 - depth)), depth), *node->value);
+    }
+    if (depth == 32) return;
+    walk(node->child[0].get(), bits << 1, static_cast<std::uint8_t>(depth + 1), fn);
+    walk(node->child[1].get(), (bits << 1) | 1, static_cast<std::uint8_t>(depth + 1), fn);
+  }
+
+  std::unique_ptr<Node> root_ = std::make_unique<Node>();
+  std::size_t size_ = 0;
+};
+
+}  // namespace dbgp::net

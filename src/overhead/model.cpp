@@ -1,0 +1,100 @@
+#include "overhead/model.h"
+
+#include "util/strings.h"
+
+namespace dbgp::overhead {
+
+namespace {
+
+Range mul(Range a, Range b) { return {a.min * b.min, a.max * b.max}; }
+Range add(Range a, Range b) { return {a.min + b.min, a.max + b.max}; }
+
+}  // namespace
+
+std::vector<AnalysisRow> analyze(const Parameters& p) {
+  std::vector<AnalysisRow> rows;
+
+  // Basic: every IA carries control info for ALL critical fixes and ALL
+  // custom/replacement protocols.
+  {
+    AnalysisRow row;
+    row.name = "Basic";
+    row.ia_size_cf_bytes = mul(p.critical_fixes, p.control_info_per_fix);
+    row.ia_size_cr_bytes = mul(p.custom_replacements, p.control_info_per_cr);
+    row.advertisements = p.dbgp_prefixes;
+    row.total_bytes = mul(add(row.ia_size_cf_bytes, row.ia_size_cr_bytes), p.dbgp_prefixes);
+    rows.push_back(row);
+  }
+
+  // + Avg path lengths: only the protocols on the path contribute (one
+  // critical fix / custom protocol per hop).
+  {
+    AnalysisRow row;
+    row.name = "+ Avg path lengths";
+    row.ia_size_cf_bytes = mul(p.critical_fixes_per_path, p.control_info_per_fix);
+    row.ia_size_cr_bytes = mul(p.custom_replacements_per_path, p.control_info_per_cr);
+    row.advertisements = p.dbgp_prefixes;
+    row.total_bytes = mul(add(row.ia_size_cf_bytes, row.ia_size_cr_bytes), p.dbgp_prefixes);
+    rows.push_back(row);
+  }
+
+  // + Sharing: each critical fix contributes only its unique fraction CFu;
+  // one full copy of the shared control information remains.
+  {
+    AnalysisRow row;
+    row.name = "+ Sharing";
+    const Range unique_part =
+        mul(mul(p.critical_fixes_per_path, p.control_info_per_fix), p.unique_fraction);
+    const Range shared_part = {p.control_info_per_fix.min * (1.0 - p.unique_fraction.min),
+                               p.control_info_per_fix.max * (1.0 - p.unique_fraction.max)};
+    row.ia_size_cf_bytes = add(unique_part, shared_part);
+    row.ia_size_cr_bytes = mul(p.custom_replacements_per_path, p.control_info_per_cr);
+    row.advertisements = p.dbgp_prefixes;
+    row.total_bytes = mul(add(row.ia_size_cf_bytes, row.ia_size_cr_bytes), p.dbgp_prefixes);
+    rows.push_back(row);
+  }
+
+  // Single protocol: today's BGP (or one large critical fix) for comparison.
+  {
+    AnalysisRow row;
+    row.name = "Single protocol";
+    row.ia_size_cf_bytes = p.control_info_per_fix;
+    row.ia_size_cr_bytes = {0, 0};
+    row.advertisements = p.prefixes;
+    row.total_bytes = mul(row.ia_size_cf_bytes, p.prefixes);
+    rows.push_back(row);
+  }
+
+  return rows;
+}
+
+Range overhead_factor(const Parameters& params) {
+  const auto rows = analyze(params);
+  const AnalysisRow* sharing = nullptr;
+  const AnalysisRow* single = nullptr;
+  for (const auto& row : rows) {
+    if (row.name == "+ Sharing") sharing = &row;
+    if (row.name == "Single protocol") single = &row;
+  }
+  return {sharing->total_bytes.min / single->total_bytes.min,
+          sharing->total_bytes.max / single->total_bytes.max};
+}
+
+std::string format_row(const AnalysisRow& row) {
+  auto bytes_range = [](const Range& r) {
+    return util::format_bytes(r.min) + " - " + util::format_bytes(r.max);
+  };
+  auto count_range = [](const Range& r) {
+    return std::to_string(static_cast<long long>(r.min)) + " - " +
+           std::to_string(static_cast<long long>(r.max));
+  };
+  std::string out = row.name;
+  out.resize(20, ' ');
+  out += " | CF: " + bytes_range(row.ia_size_cf_bytes);
+  out += " | CR: " + bytes_range(row.ia_size_cr_bytes);
+  out += " | ads: " + count_range(row.advertisements);
+  out += " | total: " + bytes_range(row.total_bytes);
+  return out;
+}
+
+}  // namespace dbgp::overhead

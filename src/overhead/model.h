@@ -1,0 +1,61 @@
+// The analytical control-plane overhead model of Section 6.2
+// (Tables 2 and 3): estimated IA sizes and aggregate state at a tier-1 AS.
+//
+// Four analyses, each refining the last:
+//   Basic            — every IA carries every protocol's control info
+//   +Avg path length — only protocols actually on the path contribute
+//   +Sharing         — critical fixes share all but a unique fraction CFu
+//   Single protocol  — the BGP-today comparator (one protocol's info, P ads)
+//
+// The headline result: despite 3-5 critical fixes plus 3-5 custom/
+// replacement protocols per path, sharing keeps D-BGP's aggregate overhead
+// within ~1.3x-2.5x of a single-protocol Internet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbgp::overhead {
+
+// One parameter with the range considered (Table 2).
+struct Range {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Table 2's parameters, preloaded with the paper's ranges.
+struct Parameters {
+  Range prefixes{600'000, 1'000'000};            // P
+  Range dbgp_prefixes{625'000, 1'050'000};       // Pd (room for off-path discovery)
+  Range path_length{3, 5};                       // PL
+  Range critical_fixes{10, 100};                 // CFs (governing-body-limited)
+  Range critical_fixes_per_path{3, 5};           // CFs/path
+  Range control_info_per_fix{4.0 * 1024, 256.0 * 1024};  // CI/CF (bytes)
+  Range unique_fraction{0.1, 0.3};               // CFu
+  Range custom_replacements{10, 1000};           // CRs
+  Range custom_replacements_per_path{3, 5};      // CRs/path
+  Range control_info_per_cr{100, 10.0 * 1024};   // CI/CR (bytes)
+};
+
+// One row of Table 3.
+struct AnalysisRow {
+  std::string name;
+  Range ia_size_cf_bytes;    // contribution to IA size by critical fixes
+  Range ia_size_cr_bytes;    // contribution by custom/replacement protocols
+  Range advertisements;      // number of IAs at the tier-1
+  Range total_bytes;         // aggregate overhead
+};
+
+// Computes all four rows (Basic, +Avg path lengths, +Sharing, Single
+// protocol) from the parameters.
+std::vector<AnalysisRow> analyze(const Parameters& params);
+
+// The overhead factor of the "+ Sharing" analysis relative to "Single
+// protocol" — the paper's 1.3x (min estimates) to 2.5x (max estimates).
+Range overhead_factor(const Parameters& params);
+
+// Renders a row's ranges with binary units (for the benchmark output).
+std::string format_row(const AnalysisRow& row);
+
+}  // namespace dbgp::overhead

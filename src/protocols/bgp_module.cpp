@@ -1,0 +1,30 @@
+#include "protocols/bgp_module.h"
+
+#include "bgp/decision.h"
+
+namespace dbgp::protocols {
+
+bool BgpModule::better(const core::IaRoute& a, const core::IaRoute& b) const {
+  const std::uint32_t lp_a = a.ia.baseline.local_pref.value_or(bgp::kDefaultLocalPref);
+  const std::uint32_t lp_b = b.ia.baseline.local_pref.value_or(bgp::kDefaultLocalPref);
+  if (lp_a != lp_b) return lp_a > lp_b;
+
+  const std::size_t len_a = a.ia.path_vector.hop_count();
+  const std::size_t len_b = b.ia.path_vector.hop_count();
+  if (len_a != len_b) return len_a < len_b;
+
+  if (a.ia.baseline.origin != b.ia.baseline.origin) {
+    return static_cast<int>(a.ia.baseline.origin) < static_cast<int>(b.ia.baseline.origin);
+  }
+
+  if (a.neighbor_as == b.neighbor_as && a.neighbor_as != 0) {
+    const std::uint32_t med_a = a.ia.baseline.med.value_or(0);
+    const std::uint32_t med_b = b.ia.baseline.med.value_or(0);
+    if (med_a != med_b) return med_a < med_b;
+  }
+
+  if (a.from_peer != b.from_peer) return a.from_peer < b.from_peer;
+  return a.sequence < b.sequence;
+}
+
+}  // namespace dbgp::protocols

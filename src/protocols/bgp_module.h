@@ -1,0 +1,20 @@
+// The baseline BGP decision module: BGPv4's path-selection algorithm
+// expressed against Integrated Advertisements. This is the module every
+// gulf AS runs, and the one critical fixes extend.
+#pragma once
+
+#include "core/decision_module.h"
+
+namespace dbgp::protocols {
+
+class BgpModule : public core::DecisionModule {
+ public:
+  ia::ProtocolId protocol() const noexcept override { return ia::kProtoBgp; }
+  std::string name() const override { return "bgp"; }
+
+  // RFC 4271 order over IA fields: LOCAL_PREF, path-vector length, origin,
+  // MED (same neighbor AS), then arrival order.
+  bool better(const core::IaRoute& a, const core::IaRoute& b) const override;
+};
+
+}  // namespace dbgp::protocols

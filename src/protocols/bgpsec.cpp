@@ -1,0 +1,161 @@
+#include "protocols/bgpsec.h"
+
+#include "ia/descriptors.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace dbgp::protocols {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+std::vector<std::uint8_t> encode_attestations(const std::vector<Attestation>& chain) {
+  ByteWriter w;
+  w.put_varint(chain.size());
+  for (const auto& a : chain) {
+    w.put_varint(a.signer);
+    w.put_varint(a.target);
+    w.put_u64(a.mac);
+  }
+  return w.take();
+}
+
+std::vector<Attestation> decode_attestations(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint64_t raw_n = r.get_varint();
+  r.expect_items(raw_n, 10);  // two varints + an 8-byte MAC minimum
+  const std::size_t n = static_cast<std::size_t>(raw_n);
+  std::vector<Attestation> chain;
+  chain.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Attestation a;
+    a.signer = static_cast<bgp::AsNumber>(r.get_varint());
+    a.target = static_cast<bgp::AsNumber>(r.get_varint());
+    a.mac = r.get_u64();
+    chain.push_back(a);
+  }
+  return chain;
+}
+
+std::uint64_t AttestationAuthority::key_for(bgp::AsNumber asn) const noexcept {
+  std::uint64_t s = seed_ ^ (static_cast<std::uint64_t>(asn) * 0x9e3779b97f4a7c15ULL);
+  return util::splitmix64(s);
+}
+
+std::uint64_t AttestationAuthority::sign(bgp::AsNumber signer, bgp::AsNumber target,
+                                         const net::Prefix& prefix,
+                                         std::uint64_t path_digest) const noexcept {
+  std::uint64_t s = key_for(signer);
+  s ^= util::splitmix64(s) ^ target;
+  s ^= (static_cast<std::uint64_t>(prefix.address().value()) << 8) | prefix.length();
+  s ^= path_digest * 0xbf58476d1ce4e5b9ULL;
+  return util::splitmix64(s);
+}
+
+std::uint64_t AttestationAuthority::chain_digest(const std::vector<Attestation>& chain) noexcept {
+  std::uint64_t d = 0x1234567887654321ULL;
+  for (const auto& a : chain) {
+    d ^= a.mac ^ (static_cast<std::uint64_t>(a.signer) << 32) ^ a.target;
+    d = util::splitmix64(d);
+  }
+  return d;
+}
+
+bool AttestationAuthority::verify_chain(const std::vector<Attestation>& chain,
+                                        const net::Prefix& prefix,
+                                        bgp::AsNumber receiver) const noexcept {
+  if (chain.empty()) return false;
+  std::vector<Attestation> prefix_chain;
+  prefix_chain.reserve(chain.size());
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Attestation& a = chain[i];
+    // Continuity: each attestation must target the next signer; the last
+    // must target the verifying receiver.
+    const bgp::AsNumber expected_target =
+        i + 1 < chain.size() ? chain[i + 1].signer : receiver;
+    if (a.target != expected_target) return false;
+    const std::uint64_t digest = chain_digest(prefix_chain);
+    if (sign(a.signer, a.target, prefix, digest) != a.mac) return false;
+    prefix_chain.push_back(a);
+  }
+  return true;
+}
+
+bool BgpSecModule::chain_valid(const core::IaRoute& route) const noexcept {
+  const auto* d =
+      route.ia.find_path_descriptor(ia::kProtoBgpSec, ia::keys::kBgpSecAttestation);
+  if (d == nullptr || authority_ == nullptr) return false;
+  try {
+    return authority_->verify_chain(decode_attestations(d->value), route.ia.destination,
+                                    config_.asn);
+  } catch (const util::DecodeError&) {
+    return false;
+  }
+}
+
+bool BgpSecModule::import_filter(core::IaRoute& /*route*/) {
+  // Invalid/absent chains remain selectable (they lose in `better`): BGPSec
+  // in partial deployment must not blackhole unsigned routes.
+  return true;
+}
+
+bool BgpSecModule::better(const core::IaRoute& a, const core::IaRoute& b) const {
+  // Security as the TIE-BREAK, not the primary criterion. "Security 1st"
+  // policies in partial deployment are gadget-prone and can oscillate or
+  // blackhole -- exactly the instabilities Lychev, Goldberg & Schapira
+  // (SIGCOMM'13, the paper's [31]) analyze; they recommend the tie-break
+  // placement this module uses.
+  const std::size_t len_a = a.ia.path_vector.hop_count();
+  const std::size_t len_b = b.ia.path_vector.hop_count();
+  if (len_a != len_b) return len_a < len_b;
+  const bool valid_a = chain_valid(a);
+  const bool valid_b = chain_valid(b);
+  if (valid_a != valid_b) return valid_a;
+  // Stable tie-break: peer identity, not arrival order. Sequence numbers
+  // change on every re-advertisement, and an ordering that depends on them
+  // lets two equal candidates ping-pong forever (no convergence).
+  if (a.from_peer != b.from_peer) return a.from_peer < b.from_peer;
+  return a.sequence < b.sequence;
+}
+
+void BgpSecModule::annotate_export(const core::IaRoute& best, ia::IntegratedAdvertisement& out,
+                                   const core::ExportContext& ctx) {
+  if (authority_ == nullptr) return;
+  if (config_.drop_toward_insecure && !ctx.to_peer_in_same_island) {
+    out.remove_path_descriptors(ia::kProtoBgpSec);
+    return;
+  }
+  std::vector<Attestation> chain;
+  if (const auto* d =
+          best.ia.find_path_descriptor(ia::kProtoBgpSec, ia::keys::kBgpSecAttestation)) {
+    try {
+      chain = decode_attestations(d->value);
+    } catch (const util::DecodeError&) {
+      chain.clear();
+    }
+  }
+  Attestation mine;
+  mine.signer = config_.asn;
+  mine.target = ctx.to_peer_as;
+  mine.mac = authority_->sign(config_.asn, ctx.to_peer_as, out.destination,
+                              AttestationAuthority::chain_digest(chain));
+  chain.push_back(mine);
+  out.set_path_descriptor(ia::kProtoBgpSec, ia::keys::kBgpSecAttestation,
+                          encode_attestations(chain));
+}
+
+void BgpSecModule::annotate_origin(ia::IntegratedAdvertisement& out,
+                                   const core::ExportContext& ctx) {
+  if (authority_ == nullptr) return;
+  std::vector<Attestation> chain;
+  Attestation mine;
+  mine.signer = config_.asn;
+  mine.target = ctx.to_peer_as;
+  mine.mac = authority_->sign(config_.asn, ctx.to_peer_as, out.destination,
+                              AttestationAuthority::chain_digest(chain));
+  chain.push_back(mine);
+  out.set_path_descriptor(ia::kProtoBgpSec, ia::keys::kBgpSecAttestation,
+                          encode_attestations(chain));
+}
+
+}  // namespace dbgp::protocols

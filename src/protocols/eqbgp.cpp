@@ -1,0 +1,68 @@
+#include "protocols/eqbgp.h"
+
+#include <algorithm>
+
+#include "ia/descriptors.h"
+#include "util/bytes.h"
+
+namespace dbgp::protocols {
+
+std::vector<std::uint8_t> encode_eqbgp_bandwidth(std::uint64_t bandwidth) {
+  util::ByteWriter w;
+  w.put_varint(bandwidth);
+  return w.take();
+}
+
+std::uint64_t decode_eqbgp_bandwidth(std::span<const std::uint8_t> payload) {
+  util::ByteReader r(payload);
+  return r.get_varint();
+}
+
+std::uint64_t EqBgpModule::bottleneck(const core::IaRoute& route) noexcept {
+  const auto* d = route.ia.find_path_descriptor(ia::kProtoEqBgp, ia::keys::kEqBgpQos);
+  if (d == nullptr) return 0;
+  try {
+    return decode_eqbgp_bandwidth(d->value);
+  } catch (const util::DecodeError&) {
+    return 0;
+  }
+}
+
+bool EqBgpModule::better(const core::IaRoute& a, const core::IaRoute& b) const {
+  // Widest-SHORTEST selection: hop count first, bandwidth as the tie-break.
+  // Pure widest-first is not strictly monotone (min() along a path can stay
+  // constant), which is the textbook recipe for persistent path-vector
+  // oscillation; widest-shortest is the stable variant from the QoS-routing
+  // literature. The pure bottleneck-maximizing archetype of Figure 10 is
+  // evaluated on the loop-free DAG model in src/sim.
+  const std::size_t len_a = a.ia.path_vector.hop_count();
+  const std::size_t len_b = b.ia.path_vector.hop_count();
+  if (len_a != len_b) return len_a < len_b;
+  const std::uint64_t bw_a = bottleneck(a);
+  const std::uint64_t bw_b = bottleneck(b);
+  if (bw_a != bw_b) return bw_a > bw_b;
+  // Stable tie-break: peer identity, not arrival order. Sequence numbers
+  // change on every re-advertisement, and an ordering that depends on them
+  // lets two equal candidates ping-pong forever (no convergence).
+  if (a.from_peer != b.from_peer) return a.from_peer < b.from_peer;
+  return a.sequence < b.sequence;
+}
+
+void EqBgpModule::annotate_export(const core::IaRoute& best, ia::IntegratedAdvertisement& out,
+                                  const core::ExportContext& /*ctx*/) {
+  const std::uint64_t received = bottleneck(best);
+  // A path with no QoS info yet starts at our own bandwidth; otherwise the
+  // bottleneck is the min of what we saw and our own link.
+  const std::uint64_t updated =
+      received == 0 ? config_.local_bandwidth : std::min(received, config_.local_bandwidth);
+  out.set_path_descriptor(ia::kProtoEqBgp, ia::keys::kEqBgpQos,
+                          encode_eqbgp_bandwidth(updated));
+}
+
+void EqBgpModule::annotate_origin(ia::IntegratedAdvertisement& out,
+                                  const core::ExportContext& /*ctx*/) {
+  out.set_path_descriptor(ia::kProtoEqBgp, ia::keys::kEqBgpQos,
+                          encode_eqbgp_bandwidth(config_.local_bandwidth));
+}
+
+}  // namespace dbgp::protocols

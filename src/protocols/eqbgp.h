@@ -1,0 +1,47 @@
+// EQ-BGP (Beben '06) as a D-BGP critical fix: end-to-end QoS metrics in
+// advertisements. We carry the bottleneck bandwidth of the path — the
+// paper's hardest global objective function (Section 6.3's
+// bottleneck-bandwidth archetype corresponds to this protocol).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/decision_module.h"
+
+namespace dbgp::protocols {
+
+// Path descriptor (keys::kEqBgpQos): varint bottleneck bandwidth so far.
+std::vector<std::uint8_t> encode_eqbgp_bandwidth(std::uint64_t bandwidth);
+std::uint64_t decode_eqbgp_bandwidth(std::span<const std::uint8_t> payload);
+
+class EqBgpModule : public core::DecisionModule {
+ public:
+  struct Config {
+    ia::IslandId island;
+    std::uint64_t local_bandwidth = 0;  // this AS's ingress-link bandwidth
+  };
+
+  explicit EqBgpModule(Config config) : config_(config) {}
+
+  ia::ProtocolId protocol() const noexcept override { return ia::kProtoEqBgp; }
+  std::string name() const override { return "eq-bgp"; }
+
+  // Highest bottleneck bandwidth wins; routes without QoS info (crossed a
+  // gulf without upgraded ASes beyond) count as unknown = 0.
+  bool better(const core::IaRoute& a, const core::IaRoute& b) const override;
+
+  // Bottleneck update: min(received bandwidth, our own).
+  void annotate_export(const core::IaRoute& best, ia::IntegratedAdvertisement& out,
+                       const core::ExportContext& ctx) override;
+  void annotate_origin(ia::IntegratedAdvertisement& out,
+                       const core::ExportContext& ctx) override;
+
+  static std::uint64_t bottleneck(const core::IaRoute& route) noexcept;
+
+ private:
+  Config config_;
+};
+
+}  // namespace dbgp::protocols

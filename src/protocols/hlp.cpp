@@ -1,0 +1,148 @@
+#include "protocols/hlp.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/bytes.h"
+
+namespace dbgp::protocols {
+
+void LinkStateDb::add_link(std::uint32_t a, std::uint32_t b, std::uint64_t cost) {
+  adjacency_[a][b] = cost;
+  adjacency_[b][a] = cost;
+}
+
+bool LinkStateDb::remove_link(std::uint32_t a, std::uint32_t b) {
+  auto it = adjacency_.find(a);
+  if (it == adjacency_.end() || it->second.erase(b) == 0) return false;
+  adjacency_[b].erase(a);
+  return true;
+}
+
+std::size_t LinkStateDb::link_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [node, links] : adjacency_) total += links.size();
+  return total / 2;
+}
+
+std::optional<std::uint64_t> LinkStateDb::shortest_cost(std::uint32_t from,
+                                                        std::uint32_t to) const {
+  if (from == to) return 0;
+  using Item = std::pair<std::uint64_t, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  std::map<std::uint32_t, std::uint64_t> dist;
+  dist[from] = 0;
+  queue.push({0, from});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (u == to) return d;
+    auto known = dist.find(u);
+    if (known != dist.end() && d > known->second) continue;
+    auto it = adjacency_.find(u);
+    if (it == adjacency_.end()) continue;
+    for (const auto& [v, cost] : it->second) {
+      const std::uint64_t nd = d + cost;
+      auto dv = dist.find(v);
+      if (dv == dist.end() || nd < dv->second) {
+        dist[v] = nd;
+        queue.push({nd, v});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint32_t> LinkStateDb::shortest_path(std::uint32_t from,
+                                                      std::uint32_t to) const {
+  if (from == to) return {from};
+  using Item = std::pair<std::uint64_t, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  std::map<std::uint32_t, std::uint64_t> dist;
+  std::map<std::uint32_t, std::uint32_t> parent;
+  dist[from] = 0;
+  queue.push({0, from});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (u == to) break;
+    auto known = dist.find(u);
+    if (known != dist.end() && d > known->second) continue;
+    auto it = adjacency_.find(u);
+    if (it == adjacency_.end()) continue;
+    for (const auto& [v, cost] : it->second) {
+      const std::uint64_t nd = d + cost;
+      auto dv = dist.find(v);
+      if (dv == dist.end() || nd < dv->second) {
+        dist[v] = nd;
+        parent[v] = u;
+        queue.push({nd, v});
+      }
+    }
+  }
+  if (dist.find(to) == dist.end()) return {};
+  std::vector<std::uint32_t> path{to};
+  std::uint32_t at = to;
+  while (at != from) {
+    at = parent.at(at);
+    path.push_back(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::uint8_t> encode_hlp_cost(std::uint64_t cost) {
+  util::ByteWriter w;
+  w.put_varint(cost);
+  return w.take();
+}
+
+std::uint64_t decode_hlp_cost(std::span<const std::uint8_t> payload) {
+  util::ByteReader r(payload);
+  return r.get_varint();
+}
+
+std::uint64_t HlpModule::path_cost(const core::IaRoute& route) noexcept {
+  const auto* d = route.ia.find_path_descriptor(hlp_protocol_id(), hlp_keys::kHlpCost);
+  if (d == nullptr) return 0;
+  try {
+    return decode_hlp_cost(d->value);
+  } catch (const util::DecodeError&) {
+    return 0;
+  }
+}
+
+std::uint64_t HlpModule::transit_cost() const {
+  if (lsdb_ == nullptr) return 1;
+  const auto cost = lsdb_->shortest_cost(config_.ingress_router, config_.egress_router);
+  // A partitioned island still forwards (the member's local cost estimate
+  // defaults to 1 so reachability is preserved).
+  return cost.value_or(1);
+}
+
+bool HlpModule::better(const core::IaRoute& a, const core::IaRoute& b) const {
+  const std::uint64_t cost_a = path_cost(a);
+  const std::uint64_t cost_b = path_cost(b);
+  if (cost_a != cost_b) return cost_a < cost_b;
+  const std::size_t len_a = a.ia.path_vector.hop_count();
+  const std::size_t len_b = b.ia.path_vector.hop_count();
+  if (len_a != len_b) return len_a < len_b;
+  if (a.from_peer != b.from_peer) return a.from_peer < b.from_peer;
+  return a.sequence < b.sequence;
+}
+
+void HlpModule::annotate_export(const core::IaRoute& best, ia::IntegratedAdvertisement& out,
+                                const core::ExportContext& ctx) {
+  if (ctx.to_peer_in_same_island) return;  // intra-island routing is link-state
+  const std::uint64_t total = path_cost(best) + transit_cost();
+  out.set_path_descriptor(hlp_protocol_id(), hlp_keys::kHlpCost, encode_hlp_cost(total));
+}
+
+void HlpModule::annotate_origin(ia::IntegratedAdvertisement& out,
+                                const core::ExportContext& ctx) {
+  if (ctx.to_peer_in_same_island) return;
+  out.set_path_descriptor(hlp_protocol_id(), hlp_keys::kHlpCost,
+                          encode_hlp_cost(transit_cost()));
+}
+
+}  // namespace dbgp::protocols

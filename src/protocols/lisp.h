@@ -1,0 +1,64 @@
+// LISP-like locator/ID separation (RFC 6830) as a D-BGP critical fix:
+// mobility support via *destination ingress IDs*.
+//
+// An island separates endpoint identifiers (EID prefixes) from routing
+// locators (RLOCs, the island's ingress routers). The mapping travels as an
+// island descriptor; remote ASes encapsulate traffic for the EID prefix
+// toward one of the RLOCs. When the endpoint moves, only the mapping
+// changes — the routed prefix stays stable. Under plain BGP the mapping
+// cannot cross a gulf; under D-BGP pass-through delivers it anywhere.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/decision_module.h"
+
+namespace dbgp::protocols {
+
+struct LispMapping {
+  net::Prefix eid_prefix;                  // the identifier space
+  std::vector<net::Ipv4Address> rlocs;     // ingress locators, preference order
+  std::uint32_t map_version = 0;           // bumped on mobility events
+
+  bool operator==(const LispMapping&) const = default;
+};
+
+std::vector<std::uint8_t> encode_lisp_mapping(const LispMapping& mapping);
+LispMapping decode_lisp_mapping(std::span<const std::uint8_t> payload);
+
+class LispModule : public core::DecisionModule {
+ public:
+  struct Config {
+    ia::IslandId island;
+    LispMapping mapping;
+  };
+
+  explicit LispModule(Config config) : config_(std::move(config)) {}
+
+  ia::ProtocolId protocol() const noexcept override { return ia::kProtoLisp; }
+  std::string name() const override { return "lisp"; }
+
+  // LISP does not change path preference.
+  bool better(const core::IaRoute& a, const core::IaRoute& b) const override;
+
+  void annotate_export(const core::IaRoute& best, ia::IntegratedAdvertisement& out,
+                       const core::ExportContext& ctx) override;
+  void annotate_origin(ia::IntegratedAdvertisement& out,
+                       const core::ExportContext& ctx) override;
+
+  // Mobility event: endpoint moved behind new ingress locators. Bumps the
+  // map version; the next advertisement carries the new mapping.
+  void update_mapping(std::vector<net::Ipv4Address> rlocs);
+
+  // Reader side: the freshest mapping for `island` carried in an IA.
+  static std::optional<LispMapping> mapping_for(const ia::IntegratedAdvertisement& ia,
+                                                ia::IslandId island);
+
+  const LispMapping& mapping() const noexcept { return config_.mapping; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace dbgp::protocols

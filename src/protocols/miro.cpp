@@ -1,0 +1,115 @@
+#include "protocols/miro.h"
+
+#include "ia/codec.h"
+#include "ia/descriptors.h"
+#include "util/bytes.h"
+
+namespace dbgp::protocols {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+std::vector<std::uint8_t> encode_miro_portal(net::Ipv4Address portal) {
+  ByteWriter w;
+  w.put_u32(portal.value());
+  return w.take();
+}
+
+net::Ipv4Address decode_miro_portal(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  return net::Ipv4Address(r.get_u32());
+}
+
+namespace {
+
+std::string offers_key(ia::IslandId island, const net::Prefix& dest) {
+  return "miro/" + std::to_string(island.raw()) + "/" + dest.to_string() + "/offers";
+}
+
+std::vector<std::uint8_t> encode_offers(const std::vector<MiroOffer>& offers) {
+  ByteWriter w;
+  w.put_varint(offers.size());
+  for (const auto& o : offers) {
+    w.put_varint(o.offer_id);
+    const auto path_payload = o.path.to_payload();
+    w.put_varint(path_payload.size());
+    w.put_bytes(path_payload);
+    w.put_varint(o.price);
+  }
+  return w.take();
+}
+
+std::vector<MiroOffer> decode_offers(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint64_t raw_n = r.get_varint();
+  r.expect_items(raw_n, 3);  // id + path count + price, minimum
+  const std::size_t n = static_cast<std::size_t>(raw_n);
+  std::vector<MiroOffer> offers;
+  offers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MiroOffer o;
+    o.offer_id = static_cast<std::uint32_t>(r.get_varint());
+    const std::size_t path_bytes = static_cast<std::size_t>(r.get_varint());
+    o.path = ia::IaPathVector::from_payload(r.get_bytes(path_bytes));
+    o.price = r.get_varint();
+    offers.push_back(std::move(o));
+  }
+  return offers;
+}
+
+}  // namespace
+
+MiroService::MiroService(core::LookupService* portal, ia::IslandId island,
+                         net::Ipv4Address portal_addr, net::Ipv4Address tunnel_endpoint)
+    : portal_(portal),
+      island_(island),
+      portal_addr_(portal_addr),
+      tunnel_endpoint_(tunnel_endpoint) {}
+
+void MiroService::publish_offers(const net::Prefix& dest, std::vector<MiroOffer> offers) {
+  portal_->put(offers_key(island_, dest), encode_offers(offers));
+}
+
+void MiroService::attach_descriptor(ia::IntegratedAdvertisement& ia) const {
+  ia.add_island_descriptor(island_, ia::kProtoMiro, ia::keys::kMiroPortalAddr,
+                           encode_miro_portal(portal_addr_));
+}
+
+std::optional<MiroGrant> MiroService::handle_purchase(const net::Prefix& dest,
+                                                      std::uint32_t offer_id,
+                                                      std::uint64_t payment) {
+  auto stored = portal_->get(offers_key(island_, dest));
+  if (!stored) return std::nullopt;
+  for (const auto& offer : decode_offers(*stored)) {
+    if (offer.offer_id != offer_id) continue;
+    if (payment < offer.price) return std::nullopt;  // insufficient payment
+    revenue_ += offer.price;
+    return MiroGrant{offer_id, tunnel_endpoint_, offer.price};
+  }
+  return std::nullopt;
+}
+
+std::vector<MiroClient::Discovery> MiroClient::discover(const ia::IntegratedAdvertisement& ia) {
+  std::vector<Discovery> found;
+  for (const auto& d : ia.island_descriptors) {
+    if (d.protocol != ia::kProtoMiro || d.key != ia::keys::kMiroPortalAddr) continue;
+    try {
+      found.push_back({d.island, decode_miro_portal(d.value)});
+    } catch (const util::DecodeError&) {
+    }
+  }
+  return found;
+}
+
+std::vector<MiroOffer> MiroClient::fetch_offers(ia::IslandId island,
+                                                const net::Prefix& dest) const {
+  auto stored = portal_->get(offers_key(island, dest));
+  if (!stored) return {};
+  try {
+    return decode_offers(*stored);
+  } catch (const util::DecodeError&) {
+    return {};
+  }
+}
+
+}  // namespace dbgp::protocols

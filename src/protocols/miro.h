@@ -1,0 +1,103 @@
+// MIRO (Xu & Rexford, SIGCOMM'06) as a D-BGP *custom* protocol (the
+// baseline // custom-protocol scenario, Section 2.3).
+//
+// A MIRO island sells alternate paths alongside BGP's single path. The
+// deployment problem BGP cannot solve is *discovery*: a remote island cannot
+// learn the service exists, what it offers, or how to negotiate (Figure 2).
+// Under D-BGP the island advertises a service-portal address in an island
+// descriptor that crosses gulfs via pass-through; customers contact the
+// portal out-of-band to browse offers, purchase one, and obtain the tunnel
+// endpoint that routes traffic over the purchased path (Section 3.4,
+// "Off-path discovery for custom protocols").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/lookup_service.h"
+#include "ia/integrated_advertisement.h"
+#include "ia/path_vector.h"
+
+namespace dbgp::protocols {
+
+struct MiroOffer {
+  std::uint32_t offer_id = 0;
+  ia::IaPathVector path;   // the alternate path being sold
+  std::uint64_t price = 0;
+
+  bool operator==(const MiroOffer&) const = default;
+};
+
+struct MiroGrant {
+  std::uint32_t offer_id = 0;
+  net::Ipv4Address tunnel_endpoint;  // where the customer tunnels traffic
+  std::uint64_t price_paid = 0;
+
+  bool operator==(const MiroGrant&) const = default;
+};
+
+// Island descriptor payload (keys::kMiroPortalAddr): u32 portal address.
+std::vector<std::uint8_t> encode_miro_portal(net::Ipv4Address portal);
+net::Ipv4Address decode_miro_portal(std::span<const std::uint8_t> payload);
+
+// -- Service side ---------------------------------------------------------------
+
+// The portal a MIRO island operates (backed by a LookupService, like every
+// out-of-band endpoint in this library).
+class MiroService {
+ public:
+  MiroService(core::LookupService* portal, ia::IslandId island, net::Ipv4Address portal_addr,
+              net::Ipv4Address tunnel_endpoint);
+
+  // Publishes purchasable alternate paths toward `dest`.
+  void publish_offers(const net::Prefix& dest, std::vector<MiroOffer> offers);
+
+  // Stamps the discovery descriptor into an IA this island is exporting
+  // (called from the island's export filter or by the operator).
+  void attach_descriptor(ia::IntegratedAdvertisement& ia) const;
+
+  // Server side of negotiation: grants the offer if payment covers the
+  // price. (A real deployment would do settlement; the control flow and
+  // state transitions are what the scenario exercises.)
+  std::optional<MiroGrant> handle_purchase(const net::Prefix& dest, std::uint32_t offer_id,
+                                           std::uint64_t payment);
+
+  ia::IslandId island() const noexcept { return island_; }
+  net::Ipv4Address portal_addr() const noexcept { return portal_addr_; }
+  std::uint64_t revenue() const noexcept { return revenue_; }
+
+ private:
+  core::LookupService* portal_;
+  ia::IslandId island_;
+  net::Ipv4Address portal_addr_;
+  net::Ipv4Address tunnel_endpoint_;
+  std::uint64_t revenue_ = 0;
+};
+
+// -- Customer side ----------------------------------------------------------------
+
+class MiroClient {
+ public:
+  explicit MiroClient(core::LookupService* portal) : portal_(portal) {}
+
+  // Discovery (on- or off-path): scans an IA for MIRO portal descriptors.
+  struct Discovery {
+    ia::IslandId island;
+    net::Ipv4Address portal_addr;
+  };
+  static std::vector<Discovery> discover(const ia::IntegratedAdvertisement& ia);
+
+  // Browses the offers a discovered island publishes for `dest`.
+  std::vector<MiroOffer> fetch_offers(ia::IslandId island, const net::Prefix& dest) const;
+
+ private:
+  core::LookupService* portal_;
+};
+
+// The purchase handshake needs both sides; free function so tests/examples
+// read naturally: grant = miro_purchase(client_view_of_service, ...).
+// (Negotiation is out-of-band of D-BGP per the paper.)
+
+}  // namespace dbgp::protocols

@@ -1,0 +1,145 @@
+// Pathlet Routing (Godfrey et al., SIGCOMM'09) as a D-BGP replacement
+// protocol.
+//
+// Islands expose *pathlets* — path fragments named by forwarding IDs (FIDs).
+// A pathlet traverses a sequence of routers/vnodes and may terminate by
+// delivering to a destination prefix. Other islands compose pathlets into
+// longer pathlets or end-to-end paths; sources encode chosen FIDs in packet
+// headers.
+//
+// Under D-BGP (Sections 3.3-3.4, 6.1) the protocol supplies:
+//   * a decision module (prefers advertisements exposing more pathlets),
+//   * ingress/egress translation modules mapping between within-island
+//     pathlet advertisements (which carry ONE pathlet each) and IAs crossing
+//     gulfs (which can carry MANY, in an island descriptor),
+//   * a redistribution module exposing a plain-BGP route so gulf ASes can
+//     still reach destinations behind the island.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/decision_module.h"
+#include "core/translation.h"
+
+namespace dbgp::protocols {
+
+struct Pathlet {
+  std::uint32_t fid = 0;
+  // Router/vnode IDs traversed, in order (e.g., {dr1, dr2}). The paper names
+  // them br1/dr1/gr10; we use numeric IDs.
+  std::vector<std::uint32_t> vias;
+  // Set when the pathlet terminates by delivering to a destination prefix.
+  std::optional<net::Prefix> delivers;
+
+  bool operator==(const Pathlet&) const = default;
+};
+
+// Island-descriptor payload (keys::kPathletList): a set of pathlets.
+std::vector<std::uint8_t> encode_pathlets(const std::vector<Pathlet>& pathlets);
+std::vector<Pathlet> decode_pathlets(std::span<const std::uint8_t> payload);
+
+// Within-island advertisement payload: exactly one pathlet ("within-island
+// advertisements ... only carry single pathlets", Section 6.1).
+std::vector<std::uint8_t> encode_pathlet_ad(const Pathlet& pathlet);
+Pathlet decode_pathlet_ad(std::span<const std::uint8_t> payload);
+
+// Per-AS pathlet database and composition engine (doubles as the FIB for
+// the data plane: FID -> hop sequence).
+class PathletStore {
+ public:
+  // Local pathlets are this island's own (advertised under its island ID);
+  // learned pathlets came from other islands' descriptors (used for path
+  // construction and the FIB, never re-exported as ours).
+  void add_local(Pathlet pathlet);
+  void add_learned(Pathlet pathlet);
+  const Pathlet* find(std::uint32_t fid) const;
+  // Composes a->b (a's tail must meet b's head vnode); returns the new
+  // *local* pathlet registered under `new_fid`, or nullopt if they do not
+  // join.
+  std::optional<Pathlet> compose(std::uint32_t fid_a, std::uint32_t fid_b,
+                                 std::uint32_t new_fid);
+  std::vector<Pathlet> all() const;
+  std::vector<Pathlet> locals() const;
+  // Pathlets that deliver to (a prefix covering) `prefix`.
+  std::vector<Pathlet> delivering_to(const net::Prefix& prefix) const;
+  std::size_t size() const noexcept { return pathlets_.size(); }
+
+ private:
+  struct Entry {
+    Pathlet pathlet;
+    bool local = false;
+  };
+  std::map<std::uint32_t, Entry> pathlets_;
+};
+
+// Counts pathlets carried in an IA's Pathlet-Routing island descriptors.
+std::size_t count_pathlets(const ia::IntegratedAdvertisement& ia);
+
+class PathletModule : public core::DecisionModule {
+ public:
+  struct Config {
+    ia::IslandId island;
+  };
+
+  PathletModule(Config config, PathletStore* store) : config_(config), store_(store) {}
+
+  ia::ProtocolId protocol() const noexcept override { return ia::kProtoPathlets; }
+  std::string name() const override { return "pathlets"; }
+
+  // Imports remote pathlets into the local store (learning phase).
+  bool import_filter(core::IaRoute& route) override;
+
+  // Shortest path vector wins; more pathlets (richer routing choice)
+  // breaks ties. See the .cpp for why count-first would not converge.
+  bool better(const core::IaRoute& a, const core::IaRoute& b) const override;
+
+  // Exposes this island's pathlet set in an island descriptor.
+  void annotate_export(const core::IaRoute& best, ia::IntegratedAdvertisement& out,
+                       const core::ExportContext& ctx) override;
+  void annotate_origin(ia::IntegratedAdvertisement& out,
+                       const core::ExportContext& ctx) override;
+
+ private:
+  Config config_;
+  PathletStore* store_;
+};
+
+// -- Translation / redistribution ---------------------------------------------
+
+// IA -> within-island single-pathlet advertisements.
+class PathletIngressTranslation : public core::IngressTranslationModule {
+ public:
+  std::vector<core::WithinIslandAd> from_ia(const ia::IntegratedAdvertisement& ia) override;
+};
+
+// Within-island advertisements -> one IA island descriptor.
+class PathletEgressTranslation : public core::EgressTranslationModule {
+ public:
+  explicit PathletEgressTranslation(ia::IslandId island) : island_(island) {}
+  void to_ia(const std::vector<core::WithinIslandAd>& ads,
+             ia::IntegratedAdvertisement& out) override;
+
+ private:
+  ia::IslandId island_;
+};
+
+// Exposes a pathlet-reachable prefix as a plain BGP route ("redistribute a
+// set of pathlets that could be used to reach within-island destinations or
+// islands' egress points into BGP", Section 6.1).
+class PathletRedistribution : public core::RedistributionModule {
+ public:
+  PathletRedistribution(bgp::AsNumber asn, net::Ipv4Address next_hop)
+      : asn_(asn), next_hop_(next_hop) {}
+  std::optional<bgp::PathAttributes> redistribute(
+      const net::Prefix& prefix, const ia::IntegratedAdvertisement& ia) override;
+
+ private:
+  bgp::AsNumber asn_;
+  net::Ipv4Address next_hop_;
+};
+
+}  // namespace dbgp::protocols

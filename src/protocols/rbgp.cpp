@@ -1,0 +1,99 @@
+#include "protocols/rbgp.h"
+
+#include <algorithm>
+
+#include "ia/descriptors.h"
+#include "util/bytes.h"
+
+namespace dbgp::protocols {
+
+bool RBgpModule::import_filter(core::IaRoute& route) {
+  alternatives_[route.ia.destination][route.from_peer] = route.ia.path_vector;
+  return true;
+}
+
+bool RBgpModule::better(const core::IaRoute& a, const core::IaRoute& b) const {
+  const std::size_t len_a = a.ia.path_vector.hop_count();
+  const std::size_t len_b = b.ia.path_vector.hop_count();
+  if (len_a != len_b) return len_a < len_b;
+  if (a.from_peer != b.from_peer) return a.from_peer < b.from_peer;
+  return a.sequence < b.sequence;
+}
+
+namespace {
+
+// Shared ASes between two path vectors (fewer = more disjoint = better
+// backup: a failure on the primary is less likely to hit it too).
+std::size_t overlap(const ia::IaPathVector& a, const ia::IaPathVector& b) {
+  std::size_t count = 0;
+  for (const auto& e : a.elements()) {
+    if (e.kind == ia::PathElement::Kind::kAs && b.contains_as(e.asn)) ++count;
+    if (e.kind == ia::PathElement::Kind::kIsland && b.contains_island(e.island_id)) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+void RBgpModule::annotate_export(const core::IaRoute& best, ia::IntegratedAdvertisement& out,
+                                 const core::ExportContext& ctx) {
+  auto it = alternatives_.find(best.ia.destination);
+  const ia::IaPathVector* backup = nullptr;
+  std::size_t best_overlap = ~std::size_t{0};
+  if (it != alternatives_.end()) {
+    for (const auto& [peer, path] : it->second) {
+      if (peer == best.from_peer) continue;  // that IS the primary
+      // A usable backup must not route through the peer we export to.
+      if (path.contains_as(ctx.to_peer_as)) continue;
+      const std::size_t shared = overlap(path, best.ia.path_vector);
+      if (backup == nullptr || shared < best_overlap ||
+          (shared == best_overlap && path.hop_count() < backup->hop_count())) {
+        backup = &path;
+        best_overlap = shared;
+      }
+    }
+  }
+  if (backup != nullptr) {
+    // The exported backup includes us, like the primary will.
+    ia::IaPathVector advertised = *backup;
+    advertised.prepend_as(ctx.own_as);
+    out.set_path_descriptor(ia::kProtoRBgp, ia::keys::kRBgpBackupPath,
+                            advertised.to_payload());
+  } else if (const auto* inherited =
+                 best.ia.find_path_descriptor(ia::kProtoRBgp, ia::keys::kRBgpBackupPath)) {
+    // No local alternative: extend the upstream backup with ourselves so it
+    // stays rooted at the destination.
+    try {
+      ia::IaPathVector upstream = ia::IaPathVector::from_payload(inherited->value);
+      if (!upstream.contains_as(ctx.own_as) && !upstream.contains_as(ctx.to_peer_as)) {
+        upstream.prepend_as(ctx.own_as);
+        out.set_path_descriptor(ia::kProtoRBgp, ia::keys::kRBgpBackupPath,
+                                upstream.to_payload());
+      } else {
+        out.remove_path_descriptors(ia::kProtoRBgp);
+      }
+    } catch (const util::DecodeError&) {
+      out.remove_path_descriptors(ia::kProtoRBgp);
+    }
+  }
+}
+
+void RBgpModule::on_best_changed(const net::Prefix& prefix, const core::IaRoute* best) {
+  if (best == nullptr) alternatives_.erase(prefix);
+}
+
+ia::IaPathVector RBgpModule::backup_path(const ia::IntegratedAdvertisement& ia) {
+  const auto* d = ia.find_path_descriptor(ia::kProtoRBgp, ia::keys::kRBgpBackupPath);
+  if (d == nullptr) return {};
+  try {
+    return ia::IaPathVector::from_payload(d->value);
+  } catch (const util::DecodeError&) {
+    return {};
+  }
+}
+
+ia::IaPathVector RBgpModule::backup_path(const core::IaRoute& route) {
+  return backup_path(route.ia);
+}
+
+}  // namespace dbgp::protocols

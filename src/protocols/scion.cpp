@@ -1,0 +1,133 @@
+#include "protocols/scion.h"
+
+#include "ia/descriptors.h"
+#include "util/bytes.h"
+
+namespace dbgp::protocols {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+std::vector<std::uint8_t> encode_scion_paths(const std::vector<ScionPath>& paths) {
+  ByteWriter w;
+  w.put_varint(paths.size());
+  for (const auto& p : paths) {
+    w.put_varint(p.hops.size());
+    for (std::uint32_t h : p.hops) w.put_varint(h);
+  }
+  return w.take();
+}
+
+std::vector<ScionPath> decode_scion_paths(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint64_t raw_n = r.get_varint();
+  r.expect_items(raw_n);
+  const std::size_t n = static_cast<std::size_t>(raw_n);
+  std::vector<ScionPath> paths;
+  paths.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ScionPath p;
+    const std::uint64_t raw_hops = r.get_varint();
+    r.expect_items(raw_hops);
+    const std::size_t hops = static_cast<std::size_t>(raw_hops);
+    p.hops.reserve(hops);
+    for (std::size_t j = 0; j < hops; ++j) {
+      p.hops.push_back(static_cast<std::uint32_t>(r.get_varint()));
+    }
+    paths.push_back(std::move(p));
+  }
+  return paths;
+}
+
+std::size_t count_scion_paths(const ia::IntegratedAdvertisement& ia) {
+  std::size_t count = 0;
+  for (const auto* d : ia.island_descriptors_for(ia::kProtoScion)) {
+    if (d->key != ia::keys::kScionPaths) continue;
+    try {
+      count += decode_scion_paths(d->value).size();
+    } catch (const util::DecodeError&) {
+    }
+  }
+  return count;
+}
+
+std::vector<std::uint8_t> ScionHeader::encode() const {
+  ByteWriter w;
+  w.put_varint(hops.size());
+  for (std::uint32_t h : hops) w.put_varint(h);
+  return w.take();
+}
+
+ScionHeader ScionHeader::decode(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  ScionHeader h;
+  const std::uint64_t raw_n = r.get_varint();
+  r.expect_items(raw_n);
+  const std::size_t n = static_cast<std::size_t>(raw_n);
+  h.hops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    h.hops.push_back(static_cast<std::uint32_t>(r.get_varint()));
+  }
+  return h;
+}
+
+bool ScionModule::better(const core::IaRoute& a, const core::IaRoute& b) const {
+  // Shortest path vector first, more exposed paths as the tie-break (see
+  // PathletModule::better for why count-first is unsafe in a distributed
+  // control plane; the greedy archetype lives in src/sim).
+  const std::size_t len_a = a.ia.path_vector.hop_count();
+  const std::size_t len_b = b.ia.path_vector.hop_count();
+  if (len_a != len_b) return len_a < len_b;
+  const std::size_t pa = count_scion_paths(a.ia);
+  const std::size_t pb = count_scion_paths(b.ia);
+  if (pa != pb) return pa > pb;
+  // Stable tie-break (see WiserModule::better): peer identity before
+  // arrival order, or equal candidates oscillate.
+  if (a.from_peer != b.from_peer) return a.from_peer < b.from_peer;
+  return a.sequence < b.sequence;
+}
+
+void ScionModule::annotate_export(const core::IaRoute& /*best*/,
+                                  ia::IntegratedAdvertisement& out,
+                                  const core::ExportContext& /*ctx*/) {
+  if (config_.local_paths.empty()) return;
+  out.add_island_descriptor(config_.island, ia::kProtoScion, ia::keys::kScionPaths,
+                            encode_scion_paths(config_.local_paths));
+}
+
+void ScionModule::annotate_origin(ia::IntegratedAdvertisement& out,
+                                  const core::ExportContext& ctx) {
+  annotate_export(core::IaRoute{}, out, ctx);
+}
+
+std::vector<ScionPath> ScionModule::paths_offered(const ia::IntegratedAdvertisement& ia,
+                                                  ia::IslandId island) {
+  std::vector<ScionPath> out;
+  for (const auto& d : ia.island_descriptors) {
+    if (!(d.island == island) || d.protocol != ia::kProtoScion ||
+        d.key != ia::keys::kScionPaths) {
+      continue;
+    }
+    try {
+      auto paths = decode_scion_paths(d.value);
+      out.insert(out.end(), paths.begin(), paths.end());
+    } catch (const util::DecodeError&) {
+    }
+  }
+  return out;
+}
+
+std::optional<bgp::PathAttributes> ScionRedistribution::redistribute(
+    const net::Prefix& /*prefix*/, const ia::IntegratedAdvertisement& ia) {
+  // BGP can carry only one path per router: redistribute the first exposed
+  // path; all others are dropped (this is the Figure-3 baseline behaviour).
+  if (count_scion_paths(ia) == 0) return std::nullopt;
+  bgp::PathAttributes attrs;
+  attrs.origin = bgp::Origin::kIncomplete;
+  attrs.as_path = ia.path_vector.to_bgp_as_path();
+  attrs.as_path.prepend(asn_);
+  attrs.next_hop = next_hop_;
+  return attrs;
+}
+
+}  // namespace dbgp::protocols

@@ -1,0 +1,91 @@
+// SCION-like path-based routing (Zhang et al., IEEE S&P'11) as a D-BGP
+// replacement protocol.
+//
+// Islands expose *multiple within-island paths* to a destination, specified
+// at border-router granularity; sources choose a path and encode it in a
+// packet header (path-based forwarding). Under plain BGP only one path per
+// router can be redistributed (Figure 3); under D-BGP the extra paths travel
+// in an island descriptor and survive gulfs via pass-through.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/decision_module.h"
+#include "core/translation.h"
+
+namespace dbgp::protocols {
+
+struct ScionPath {
+  std::vector<std::uint32_t> hops;  // border-router IDs, source side first
+
+  bool operator==(const ScionPath&) const = default;
+};
+
+// Island-descriptor payload (keys::kScionPaths).
+std::vector<std::uint8_t> encode_scion_paths(const std::vector<ScionPath>& paths);
+std::vector<ScionPath> decode_scion_paths(std::span<const std::uint8_t> payload);
+
+// Counts within-island paths across all SCION island descriptors in an IA.
+std::size_t count_scion_paths(const ia::IntegratedAdvertisement& ia);
+
+// The path header a source encodes into packets (Section 3.4: "chooses a
+// within-island path, and encodes it in a SCION header").
+struct ScionHeader {
+  std::vector<std::uint32_t> hops;
+
+  std::vector<std::uint8_t> encode() const;
+  static ScionHeader decode(std::span<const std::uint8_t> payload);
+  bool operator==(const ScionHeader&) const = default;
+};
+
+class ScionModule : public core::DecisionModule {
+ public:
+  struct Config {
+    ia::IslandId island;
+    // The within-island paths this island's egress exposes (set by the
+    // island operator; in a full deployment these come from SCION beaconing).
+    std::vector<ScionPath> local_paths;
+  };
+
+  explicit ScionModule(Config config) : config_(std::move(config)) {}
+
+  ia::ProtocolId protocol() const noexcept override { return ia::kProtoScion; }
+  std::string name() const override { return "scion"; }
+
+  // Shortest path vector wins; more exposed paths breaks ties (the greedy
+  // extra-paths archetype of Figure 9 is evaluated in src/sim — see the
+  // .cpp for the convergence rationale).
+  bool better(const core::IaRoute& a, const core::IaRoute& b) const override;
+
+  void annotate_export(const core::IaRoute& best, ia::IntegratedAdvertisement& out,
+                       const core::ExportContext& ctx) override;
+  void annotate_origin(ia::IntegratedAdvertisement& out,
+                       const core::ExportContext& ctx) override;
+
+  // Source-side helper: all within-island paths offered by `island` in `ia`
+  // (what a SCION source chooses from before building a header).
+  static std::vector<ScionPath> paths_offered(const ia::IntegratedAdvertisement& ia,
+                                              ia::IslandId island);
+
+ private:
+  Config config_;
+};
+
+// Redistributes exactly one SCION path into plain BGP (Figure 3: "it
+// redistributes one SCION path into BGP ... the second path cannot be
+// redistributed and is lost" — the D-BGP island descriptor is what saves it).
+class ScionRedistribution : public core::RedistributionModule {
+ public:
+  ScionRedistribution(bgp::AsNumber asn, net::Ipv4Address next_hop)
+      : asn_(asn), next_hop_(next_hop) {}
+  std::optional<bgp::PathAttributes> redistribute(
+      const net::Prefix& prefix, const ia::IntegratedAdvertisement& ia) override;
+
+ private:
+  bgp::AsNumber asn_;
+  net::Ipv4Address next_hop_;
+};
+
+}  // namespace dbgp::protocols

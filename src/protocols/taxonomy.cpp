@@ -1,0 +1,58 @@
+#include "protocols/taxonomy.h"
+
+#include <array>
+
+#include "ia/ids.h"
+
+namespace dbgp::protocols {
+
+std::string_view to_string(Scenario scenario) noexcept {
+  switch (scenario) {
+    case Scenario::kCriticalFix: return "critical-fix";
+    case Scenario::kCustom: return "custom";
+    case Scenario::kReplacement: return "replacement";
+  }
+  return "?";
+}
+
+namespace {
+
+// Table 1, verbatim structure. "Fwd w/custom hdrs" and multi-network-proto
+// headers apply to the path-based / multi-hop replacements; tunnels are the
+// custom protocols' delivery mechanism.
+constexpr std::array<ProtocolInfo, 14> kTaxonomy = {{
+    // Baseline -> critical fix
+    {"BGPSec", Scenario::kCriticalFix, "path attestations", false, false, false,
+     ia::kProtoBgpSec},
+    {"EQ-BGP", Scenario::kCriticalFix, "QoS metrics", false, false, false, ia::kProtoEqBgp},
+    {"Xiao et al.", Scenario::kCriticalFix, "QoS metrics", false, false, false, 0},
+    {"LISP", Scenario::kCriticalFix, "destination ingress IDs", false, false, false,
+     ia::kProtoLisp},
+    {"R-BGP", Scenario::kCriticalFix, "extra backup paths", false, false, false,
+     ia::kProtoRBgp},
+    {"Wiser", Scenario::kCriticalFix, "path costs", false, false, false, ia::kProtoWiser},
+    // Baseline -> custom protocol
+    {"MIRO", Scenario::kCustom, "service's existence", true, false, false, ia::kProtoMiro},
+    {"Arrow", Scenario::kCustom, "service's existence + intra-island QoS", true, false, false,
+     0},
+    {"RON", Scenario::kCustom, "service's existence", true, false, false, 0},
+    // Baseline -> replacement protocol
+    {"NIRA", Scenario::kReplacement, "multiple paths", false, true, true, 0},
+    {"SCION", Scenario::kReplacement, "multiple paths", false, true, true, ia::kProtoScion},
+    {"Pathlets", Scenario::kReplacement, "pathlets", false, true, true, ia::kProtoPathlets},
+    {"YAMR", Scenario::kReplacement, "pathlets", false, true, true, 0},
+    {"HLP", Scenario::kReplacement, "path costs", false, false, false, ia::kProtoHlp},
+}};
+
+}  // namespace
+
+std::span<const ProtocolInfo> protocol_taxonomy() noexcept { return kTaxonomy; }
+
+const ProtocolInfo* find_protocol_info(std::string_view name) noexcept {
+  for (const auto& info : kTaxonomy) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace dbgp::protocols

@@ -1,0 +1,43 @@
+// Table 1 of the paper, encoded as data: the 14 analyzed protocols, the
+// evolvability scenario each maps to, the extra control information each
+// must disseminate (⋆), and the data-plane support each needs (◇).
+//
+// This taxonomy drives the E10 tests and keeps the library's scenario
+// handling honest: every bundled protocol implementation must match its row.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace dbgp::protocols {
+
+enum class Scenario : std::uint8_t {
+  kCriticalFix,  // baseline -> baseline with critical fix (Section 2.2)
+  kCustom,       // baseline -> baseline // custom protocol (Section 2.3)
+  kReplacement,  // baseline -> replacement protocol (Section 2.4)
+};
+
+std::string_view to_string(Scenario scenario) noexcept;
+
+struct ProtocolInfo {
+  std::string_view name;
+  Scenario scenario;
+  // ⋆ extra control-plane information disseminated.
+  std::string_view extra_control_info;
+  // ◇ data-plane support needed.
+  bool needs_tunnels;                 // forced routing compliance
+  bool needs_custom_forwarding;       // forward w/ custom headers
+  bool needs_multi_proto_headers;     // multi-network-protocol headers
+  // Library protocol ID when this protocol is implemented here; 0 if the
+  // row is taxonomy-only.
+  std::uint32_t implemented_as;
+};
+
+// All 14 rows of Table 1, in paper order.
+std::span<const ProtocolInfo> protocol_taxonomy() noexcept;
+
+// Row lookup by name; nullptr if absent.
+const ProtocolInfo* find_protocol_info(std::string_view name) noexcept;
+
+}  // namespace dbgp::protocols

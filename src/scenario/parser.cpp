@@ -1,0 +1,172 @@
+#include "scenario/parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace dbgp::scenario {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("scenario line " + std::to_string(line) + ": " + message);
+}
+
+std::uint64_t parse_number(int line, std::string_view token) {
+  std::uint64_t value = 0;
+  if (!util::parse_u64(token, value)) fail(line, "expected a number, got '" + std::string(token) + "'");
+  return value;
+}
+
+net::Prefix parse_prefix(int line, std::string_view token) {
+  auto prefix = net::Prefix::parse(token);
+  if (!prefix) fail(line, "bad prefix '" + std::string(token) + "'");
+  return *prefix;
+}
+
+// Splits "a-b-c" into numbers.
+std::vector<std::uint32_t> parse_dash_list(int line, std::string_view token) {
+  std::vector<std::uint32_t> out;
+  for (const auto& part : util::split(token, '-')) {
+    out.push_back(static_cast<std::uint32_t>(parse_number(line, part)));
+  }
+  return out;
+}
+
+std::vector<bgp::AsNumber> parse_comma_list(int line, std::string_view token) {
+  std::vector<bgp::AsNumber> out;
+  for (const auto& part : util::split(token, ',')) {
+    out.push_back(static_cast<bgp::AsNumber>(parse_number(line, part)));
+  }
+  return out;
+}
+
+// Splits "key=value" -> {key, value}; bare words -> {word, ""}.
+std::pair<std::string, std::string> split_kv(std::string_view token) {
+  const auto eq = token.find('=');
+  if (eq == std::string_view::npos) return {std::string(token), ""};
+  return {std::string(token.substr(0, eq)), std::string(token.substr(eq + 1))};
+}
+
+}  // namespace
+
+Scenario parse_scenario(const std::string& text) {
+  Scenario scenario;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    std::string_view line = util::trim(
+        hash == std::string::npos ? std::string_view(raw)
+                                  : std::string_view(raw).substr(0, hash));
+    if (line.empty()) continue;
+    std::vector<std::string> tokens;
+    for (const auto& token : util::split(line, ' ')) {
+      if (!util::trim(token).empty()) tokens.emplace_back(util::trim(token));
+    }
+    const std::string& directive = tokens[0];
+
+    if (directive == "as") {
+      if (tokens.size() < 2) fail(line_no, "as: missing AS number");
+      AsDecl decl;
+      decl.asn = static_cast<bgp::AsNumber>(parse_number(line_no, tokens[1]));
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        auto [key, value] = split_kv(tokens[i]);
+        if (key == "island") decl.island = value;
+        else if (key == "protocol") decl.protocol = value;
+        else if (key == "abstract") decl.abstract_island = true;
+        else if (key == "members") decl.members = parse_comma_list(line_no, value);
+        else if (key == "cost") decl.cost = parse_number(line_no, value);
+        else if (key == "bw") decl.bandwidth = parse_number(line_no, value);
+        else fail(line_no, "as: unknown option '" + key + "'");
+      }
+      scenario.ases.push_back(std::move(decl));
+    } else if (directive == "pathlet") {
+      if (tokens.size() < 4) fail(line_no, "pathlet: need <asn> <fid> vias=...");
+      PathletDecl decl;
+      decl.asn = static_cast<bgp::AsNumber>(parse_number(line_no, tokens[1]));
+      decl.fid = static_cast<std::uint32_t>(parse_number(line_no, tokens[2]));
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        auto [key, value] = split_kv(tokens[i]);
+        if (key == "vias") decl.vias = parse_dash_list(line_no, value);
+        else if (key == "delivers") decl.delivers = parse_prefix(line_no, value);
+        else fail(line_no, "pathlet: unknown option '" + key + "'");
+      }
+      if (decl.vias.empty()) fail(line_no, "pathlet: vias= is required");
+      scenario.pathlets.push_back(std::move(decl));
+    } else if (directive == "scion-path") {
+      if (tokens.size() < 3) fail(line_no, "scion-path: need <asn> hops=...");
+      ScionPathDecl decl;
+      decl.asn = static_cast<bgp::AsNumber>(parse_number(line_no, tokens[1]));
+      auto [key, value] = split_kv(tokens[2]);
+      if (key != "hops") fail(line_no, "scion-path: expected hops=");
+      decl.hops = parse_dash_list(line_no, value);
+      scenario.scion_paths.push_back(std::move(decl));
+    } else if (directive == "link") {
+      if (tokens.size() < 3) fail(line_no, "link: need two AS numbers");
+      LinkDecl decl;
+      decl.a = static_cast<bgp::AsNumber>(parse_number(line_no, tokens[1]));
+      decl.b = static_cast<bgp::AsNumber>(parse_number(line_no, tokens[2]));
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        auto [key, value] = split_kv(tokens[i]);
+        if (key == "same-island") decl.same_island = true;
+        else if (key == "latency") decl.latency = std::stod(value);
+        else fail(line_no, "link: unknown option '" + key + "'");
+      }
+      scenario.links.push_back(decl);
+    } else if (directive == "originate") {
+      if (tokens.size() != 3) fail(line_no, "originate: need <asn> <prefix>");
+      scenario.originations.push_back(
+          {static_cast<bgp::AsNumber>(parse_number(line_no, tokens[1])),
+           parse_prefix(line_no, tokens[2])});
+    } else if (directive == "strip") {
+      if (tokens.size() != 3) fail(line_no, "strip: need <asn> <protocol>");
+      scenario.strips.push_back(
+          {static_cast<bgp::AsNumber>(parse_number(line_no, tokens[1])), tokens[2]});
+    } else if (directive == "expect") {
+      if (tokens.size() < 4) fail(line_no, "expect: too few arguments");
+      Expectation e;
+      e.line = line_no;
+      const std::string& what = tokens[1];
+      e.asn = static_cast<bgp::AsNumber>(parse_number(line_no, tokens[2]));
+      e.prefix = parse_prefix(line_no, tokens[3]);
+      if (what == "reachable") {
+        e.kind = Expectation::Kind::kReachable;
+      } else if (what == "unreachable") {
+        e.kind = Expectation::Kind::kUnreachable;
+      } else if (what == "via" || what == "not-via" || what == "cost" ||
+                 what == "pathlets") {
+        if (tokens.size() != 5) fail(line_no, "expect " + what + ": missing value");
+        e.value = parse_number(line_no, tokens[4]);
+        e.kind = what == "via"       ? Expectation::Kind::kVia
+                 : what == "not-via" ? Expectation::Kind::kNotVia
+                 : what == "cost"    ? Expectation::Kind::kCost
+                                     : Expectation::Kind::kPathlets;
+      } else if (what == "descriptor") {
+        if (tokens.size() != 5) fail(line_no, "expect descriptor: missing protocol");
+        e.kind = Expectation::Kind::kDescriptor;
+        e.protocol = tokens[4];
+      } else {
+        fail(line_no, "expect: unknown kind '" + what + "'");
+      }
+      scenario.expectations.push_back(std::move(e));
+    } else {
+      fail(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+  return scenario;
+}
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open scenario file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_scenario(buffer.str());
+}
+
+}  // namespace dbgp::scenario

@@ -1,0 +1,117 @@
+// A small text format for describing evolvable-Internet scenarios, so
+// experiments like the paper's Figures 1-3 and 8 can be written as data and
+// run with the `dbgp_run` tool instead of C++.
+//
+// Line-based; '#' starts a comment. Directives:
+//
+//   as <asn> [island=<name>] [protocol=<proto>] [abstract] [members=a,b,..]
+//            [cost=<n>] [bw=<n>]
+//       Declares an AS. `protocol` activates a decision module (bgp, wiser,
+//       eq-bgp, bgpsec, r-bgp, lisp, scion, pathlets); `cost` feeds Wiser,
+//       `bw` feeds EQ-BGP. Island names map to stable island IDs.
+//
+//   pathlet <asn> <fid> vias=<v1>-<v2>-... [delivers=<prefix>]
+//       Seeds a local pathlet at an AS running pathlets.
+//
+//   scion-path <asn> hops=<h1>-<h2>-...
+//       Adds a within-island SCION path exposed by that AS's island.
+//
+//   link <a> <b> [same-island] [latency=<seconds>]
+//   originate <asn> <prefix>
+//   strip <asn> <proto>        # gulf operator drops a protocol's info
+//
+//   expect reachable <asn> <prefix>
+//   expect unreachable <asn> <prefix>
+//   expect via <asn> <prefix> <via_asn>       # path vector mentions via_asn
+//   expect not-via <asn> <prefix> <via_asn>
+//   expect cost <asn> <prefix> <cost>         # Wiser path cost
+//   expect pathlets <asn> <prefix> <count>
+//   expect descriptor <asn> <prefix> <proto>  # any descriptor of proto
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/types.h"
+#include "net/ipv4.h"
+
+namespace dbgp::scenario {
+
+struct AsDecl {
+  bgp::AsNumber asn = 0;
+  std::string island;        // empty => gulf AS
+  std::string protocol = "bgp";
+  bool abstract_island = false;
+  std::vector<bgp::AsNumber> members;
+  std::uint64_t cost = 1;    // Wiser internal cost
+  std::uint64_t bandwidth = 100;  // EQ-BGP local bandwidth
+};
+
+struct PathletDecl {
+  bgp::AsNumber asn = 0;
+  std::uint32_t fid = 0;
+  std::vector<std::uint32_t> vias;
+  std::optional<net::Prefix> delivers;
+};
+
+struct ScionPathDecl {
+  bgp::AsNumber asn = 0;
+  std::vector<std::uint32_t> hops;
+};
+
+struct LinkDecl {
+  bgp::AsNumber a = 0;
+  bgp::AsNumber b = 0;
+  bool same_island = false;
+  double latency = -1.0;
+};
+
+struct OriginateDecl {
+  bgp::AsNumber asn = 0;
+  net::Prefix prefix;
+};
+
+struct StripDecl {
+  bgp::AsNumber asn = 0;
+  std::string protocol;
+};
+
+struct Expectation {
+  enum class Kind {
+    kReachable,
+    kUnreachable,
+    kVia,
+    kNotVia,
+    kCost,
+    kPathlets,
+    kDescriptor,
+  };
+  Kind kind = Kind::kReachable;
+  bgp::AsNumber asn = 0;
+  net::Prefix prefix;
+  std::uint64_t value = 0;   // via_asn / cost / count
+  std::string protocol;      // kDescriptor
+  int line = 0;              // for error messages
+};
+
+struct Scenario {
+  std::vector<AsDecl> ases;
+  std::vector<PathletDecl> pathlets;
+  std::vector<ScionPathDecl> scion_paths;
+  std::vector<LinkDecl> links;
+  std::vector<OriginateDecl> originations;
+  std::vector<StripDecl> strips;
+  std::vector<Expectation> expectations;
+};
+
+// Parses scenario text; throws std::runtime_error with a line-numbered
+// message on any malformed directive.
+Scenario parse_scenario(const std::string& text);
+
+// Convenience: read a file and parse it.
+Scenario load_scenario(const std::string& path);
+
+}  // namespace dbgp::scenario

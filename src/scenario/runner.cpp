@@ -1,0 +1,226 @@
+#include "scenario/runner.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "protocols/bgp_module.h"
+#include "protocols/eqbgp.h"
+#include "protocols/lisp.h"
+#include "protocols/rbgp.h"
+#include "protocols/scion.h"
+#include "protocols/wiser.h"
+
+namespace dbgp::scenario {
+
+namespace {
+
+ia::IslandId island_for(const std::string& name) {
+  if (name.empty()) return {};
+  // Stable ID from the name so scenarios are deterministic.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return ia::IslandId::assigned(static_cast<std::uint32_t>(h ^ (h >> 32)) | 1u);
+}
+
+ia::ProtocolId protocol_id(const std::string& name) {
+  const ia::ProtocolId id = ia::default_registry().find(name);
+  if (id == 0) throw std::runtime_error("unknown protocol '" + name + "'");
+  return id;
+}
+
+}  // namespace
+
+bool RunResult::all_passed() const noexcept { return failures() == 0; }
+
+std::size_t RunResult::failures() const noexcept {
+  std::size_t count = 0;
+  for (const auto& r : expectations) count += r.passed ? 0 : 1;
+  return count;
+}
+
+void Runner::build(const Scenario& scenario) {
+  scenario_ = scenario;
+  net_ = std::make_unique<simnet::DbgpNetwork>(&lookup_);
+
+  // Collect scion paths / pathlets per AS so modules get them at creation.
+  std::map<bgp::AsNumber, std::vector<protocols::ScionPath>> scion_by_as;
+  for (const auto& decl : scenario.scion_paths) {
+    scion_by_as[decl.asn].push_back({decl.hops});
+  }
+  std::map<bgp::AsNumber, std::vector<PathletDecl>> pathlets_by_as;
+  for (const auto& decl : scenario.pathlets) pathlets_by_as[decl.asn].push_back(decl);
+
+  for (const auto& decl : scenario.ases) {
+    const ia::ProtocolId active = protocol_id(decl.protocol);
+    const ia::IslandId island = island_for(decl.island);
+    core::DbgpConfig config;
+    config.asn = decl.asn;
+    config.next_hop = net::Ipv4Address(decl.asn);
+    config.island = island;
+    config.island_protocol = active;
+    config.abstract_island = decl.abstract_island;
+    config.island_members = decl.members;
+    config.active_protocol = active;
+    auto& speaker = net_->add_as(config);
+
+    switch (active) {
+      case ia::kProtoWiser:
+        speaker.add_module(std::make_unique<protocols::WiserModule>(
+            protocols::WiserModule::Config{island, decl.cost, net::Ipv4Address(decl.asn)},
+            nullptr));
+        break;
+      case ia::kProtoEqBgp:
+        speaker.add_module(std::make_unique<protocols::EqBgpModule>(
+            protocols::EqBgpModule::Config{island, decl.bandwidth}));
+        break;
+      case ia::kProtoBgpSec:
+        speaker.add_module(std::make_unique<protocols::BgpSecModule>(
+            protocols::BgpSecModule::Config{decl.asn, island, false}, &authority_));
+        break;
+      case ia::kProtoRBgp:
+        speaker.add_module(std::make_unique<protocols::RBgpModule>(
+            protocols::RBgpModule::Config{island}));
+        break;
+      case ia::kProtoLisp: {
+        protocols::LispMapping mapping;
+        mapping.eid_prefix = *net::Prefix::parse("0.0.0.0/0");
+        mapping.rlocs = {net::Ipv4Address(decl.asn)};
+        speaker.add_module(std::make_unique<protocols::LispModule>(
+            protocols::LispModule::Config{island, mapping}));
+        break;
+      }
+      case ia::kProtoScion:
+        speaker.add_module(std::make_unique<protocols::ScionModule>(
+            protocols::ScionModule::Config{island, scion_by_as[decl.asn]}));
+        break;
+      case ia::kProtoPathlets: {
+        auto store = std::make_unique<protocols::PathletStore>();
+        for (const auto& p : pathlets_by_as[decl.asn]) {
+          store->add_local({p.fid, p.vias, p.delivers});
+        }
+        speaker.add_module(std::make_unique<protocols::PathletModule>(
+            protocols::PathletModule::Config{island}, store.get()));
+        pathlet_stores_[decl.asn] = std::move(store);
+        break;
+      }
+      default:
+        break;  // plain BGP below
+    }
+    speaker.add_module(std::make_unique<protocols::BgpModule>());
+  }
+
+  // Pathlets declared at ASes not running the protocol are a scenario bug.
+  for (const auto& [asn, decls] : pathlets_by_as) {
+    if (pathlet_stores_.count(asn) == 0) {
+      throw std::runtime_error("pathlet declared at AS " + std::to_string(asn) +
+                               " which does not run protocol=pathlets");
+    }
+    (void)decls;
+  }
+
+  for (const auto& decl : scenario.strips) {
+    net_->speaker(decl.asn).import_filters().add(
+        "strip-" + decl.protocol, core::strip_protocol_filter(protocol_id(decl.protocol)));
+  }
+
+  for (const auto& link : scenario.links) {
+    net_->connect(link.a, link.b, link.same_island, link.latency);
+  }
+}
+
+RunResult Runner::run() {
+  RunResult result;
+  for (const auto& decl : scenario_.originations) {
+    net_->originate(decl.asn, decl.prefix);
+  }
+  result.events = net_->run_to_convergence();
+
+  for (const auto& e : scenario_.expectations) {
+    ExpectationResult er;
+    er.expectation = e;
+    const auto* best = net_->speaker(e.asn).best(e.prefix);
+    switch (e.kind) {
+      case Expectation::Kind::kReachable:
+        er.passed = best != nullptr;
+        if (!er.passed) er.detail = "no route";
+        break;
+      case Expectation::Kind::kUnreachable:
+        er.passed = best == nullptr;
+        if (!er.passed) er.detail = "route exists via " + best->ia.path_vector.to_string();
+        break;
+      case Expectation::Kind::kVia:
+      case Expectation::Kind::kNotVia: {
+        if (best == nullptr) {
+          er.detail = "no route";
+          break;
+        }
+        const bool via = best->ia.path_vector.contains_as(
+            static_cast<bgp::AsNumber>(e.value));
+        er.passed = e.kind == Expectation::Kind::kVia ? via : !via;
+        if (!er.passed) er.detail = "path is " + best->ia.path_vector.to_string();
+        break;
+      }
+      case Expectation::Kind::kCost: {
+        if (best == nullptr) {
+          er.detail = "no route";
+          break;
+        }
+        core::IaRoute route = *best;
+        const std::uint64_t cost = protocols::WiserModule::path_cost(route);
+        er.passed = cost == e.value;
+        if (!er.passed) er.detail = "cost is " + std::to_string(cost);
+        break;
+      }
+      case Expectation::Kind::kPathlets: {
+        if (best == nullptr) {
+          er.detail = "no route";
+          break;
+        }
+        const std::size_t count = protocols::count_pathlets(best->ia);
+        er.passed = count == e.value;
+        if (!er.passed) er.detail = "sees " + std::to_string(count) + " pathlets";
+        break;
+      }
+      case Expectation::Kind::kDescriptor: {
+        if (best == nullptr) {
+          er.detail = "no route";
+          break;
+        }
+        const ia::ProtocolId proto = protocol_id(e.protocol);
+        bool found = false;
+        for (const auto& d : best->ia.path_descriptors) found |= d.protocol == proto;
+        for (const auto& d : best->ia.island_descriptors) found |= d.protocol == proto;
+        er.passed = found;
+        if (!er.passed) er.detail = "no descriptor of protocol " + e.protocol;
+        break;
+      }
+    }
+    result.expectations.push_back(std::move(er));
+  }
+  return result;
+}
+
+std::string Runner::dump_tables() const {
+  std::ostringstream out;
+  for (const auto asn : net_->as_numbers()) {
+    const auto& speaker = net_->speaker(asn);
+    out << "AS" << asn << " (" << speaker.selected_prefixes().size() << " routes)\n";
+    for (const auto& prefix : speaker.selected_prefixes()) {
+      const auto* best = speaker.best(prefix);
+      out << "  " << prefix.to_string() << " via ["
+          << best->ia.path_vector.to_string() << "]";
+      const auto protocols_on_path = best->ia.protocols_on_path();
+      out << " protocols:";
+      for (const auto p : protocols_on_path) {
+        out << " " << ia::default_registry().name(p);
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dbgp::scenario

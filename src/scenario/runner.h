@@ -1,0 +1,53 @@
+// Builds a DbgpNetwork from a parsed Scenario, runs it to convergence, and
+// evaluates the scenario's expectations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lookup_service.h"
+#include "protocols/pathlet.h"
+#include "protocols/bgpsec.h"
+#include "scenario/parser.h"
+#include "simnet/network.h"
+
+namespace dbgp::scenario {
+
+struct ExpectationResult {
+  Expectation expectation;
+  bool passed = false;
+  std::string detail;  // human-readable explanation on failure
+};
+
+struct RunResult {
+  std::size_t events = 0;
+  std::vector<ExpectationResult> expectations;
+  bool all_passed() const noexcept;
+  std::size_t failures() const noexcept;
+};
+
+class Runner {
+ public:
+  Runner() = default;
+
+  // Builds the network (throws std::runtime_error on inconsistent
+  // scenarios: unknown ASes in links, pathlets at non-pathlet ASes, ...).
+  void build(const Scenario& scenario);
+  // Originates, converges, evaluates expectations.
+  RunResult run();
+
+  simnet::DbgpNetwork& network() noexcept { return *net_; }
+  // Per-AS route-table dump for the report.
+  std::string dump_tables() const;
+
+ private:
+  Scenario scenario_;
+  core::LookupService lookup_;
+  protocols::AttestationAuthority authority_;
+  std::unique_ptr<simnet::DbgpNetwork> net_;
+  // Pathlet stores must outlive the speakers that reference them.
+  std::map<bgp::AsNumber, std::unique_ptr<protocols::PathletStore>> pathlet_stores_;
+};
+
+}  // namespace dbgp::scenario

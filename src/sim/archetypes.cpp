@@ -1,0 +1,109 @@
+#include "sim/archetypes.h"
+
+#include <algorithm>
+
+namespace dbgp::sim {
+
+using topology::NodeId;
+
+std::vector<std::uint32_t> extra_paths_counts(const PerDestinationRoutes& routes,
+                                              const std::vector<bool>& upgraded,
+                                              BaselineProtocol baseline,
+                                              const ExtraPathsParams& params) {
+  const std::size_t n = routes.route_class.size();
+  std::vector<std::uint32_t> counts(n, 0);
+
+  // What neighbor y advertises to anyone: its own usable count, clipped to
+  // the per-advertisement cap; under the BGP baseline a non-upgraded y has
+  // already dropped the protocol's information, so only the single baseline
+  // path remains.
+  auto advertised_by = [&](NodeId y) -> std::uint32_t {
+    if (y == routes.destination) return 1;
+    std::uint32_t c = counts[y];
+    if (!upgraded[y] && baseline == BaselineProtocol::kBgp) c = std::min<std::uint32_t>(c, 1);
+    return std::min(c, params.path_cap);
+  };
+
+  for (NodeId x : routes.order) {
+    if (x == routes.destination) {
+      counts[x] = 1;
+      continue;
+    }
+    if (!routes.reachable(x)) continue;
+    if (upgraded[x]) {
+      // The archetype uses every candidate's advertised paths.
+      std::uint64_t total = 0;
+      for (NodeId y : routes.candidates[x]) total += advertised_by(y);
+      counts[x] = static_cast<std::uint32_t>(std::min<std::uint64_t>(total, 1u << 20));
+      if (counts[x] == 0) counts[x] = 1;  // the baseline path always exists
+    } else {
+      // Plain BGP: one selected path; the count it carries passes through
+      // (D-BGP) or was already clipped (BGP) in advertised_by.
+      counts[x] = std::max<std::uint32_t>(1, advertised_by(routes.best_next[x]));
+    }
+  }
+  return counts;
+}
+
+BottleneckResult bottleneck_paths(const PerDestinationRoutes& routes,
+                                  const std::vector<bool>& upgraded,
+                                  const std::vector<std::uint64_t>& bandwidth,
+                                  BaselineProtocol baseline) {
+  const std::size_t n = routes.route_class.size();
+  BottleneckResult result;
+  result.known.assign(n, BottleneckParams::kNoInfo);
+  result.actual.assign(n, BottleneckParams::kNoInfo);
+
+  // What y advertises: its known bottleneck, tightened by its own ingress
+  // bandwidth if it is upgraded (only upgraded ASes expose bandwidth).
+  // Under the BGP baseline, a non-upgraded y drops the information.
+  auto advertised_by = [&](NodeId y) -> std::uint64_t {
+    std::uint64_t k =
+        y == routes.destination ? BottleneckParams::kInfinity : result.known[y];
+    if (upgraded[y]) {
+      const std::uint64_t own = bandwidth[y];
+      k = k == BottleneckParams::kNoInfo ? own : std::min(k, own);
+    } else if (y == routes.destination) {
+      // A non-upgraded destination exposes nothing.
+      k = BottleneckParams::kNoInfo;
+    } else if (baseline == BaselineProtocol::kBgp) {
+      // Legacy speaker: the QoS control information is dropped.
+      k = BottleneckParams::kNoInfo;
+    }
+    return k;
+  };
+
+  for (NodeId x : routes.order) {
+    if (x == routes.destination) {
+      result.actual[x] = BottleneckParams::kInfinity;
+      result.known[x] = BottleneckParams::kNoInfo;
+      continue;
+    }
+    if (!routes.reachable(x)) continue;
+
+    NodeId chosen = routes.best_next[x];
+    if (upgraded[x] && !routes.candidates[x].empty()) {
+      // Pick the candidate with the highest known bottleneck; candidates
+      // with no information rank lowest. Ties keep the BGP default if it is
+      // among the best, then prefer the smaller preference key.
+      std::uint64_t best_known = advertised_by(chosen);
+      for (NodeId y : routes.candidates[x]) {
+        const std::uint64_t k = advertised_by(y);
+        if (k > best_known ||
+            (k == best_known && y != chosen && chosen != routes.best_next[x] &&
+             routes.key(y) < routes.key(chosen))) {
+          best_known = k;
+          chosen = y;
+        }
+      }
+    }
+
+    result.known[x] = advertised_by(chosen);
+    const std::uint64_t downstream =
+        chosen == routes.destination ? BottleneckParams::kInfinity : result.actual[chosen];
+    result.actual[x] = std::min(downstream, bandwidth[chosen]);
+  }
+  return result;
+}
+
+}  // namespace dbgp::sim

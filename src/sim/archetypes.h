@@ -1,0 +1,58 @@
+// The two protocol archetypes of Section 6.3.
+//
+// * Extra-paths: protocols (SCION, NIRA, Pathlet Routing) whose benefit is
+//   exposing additional paths. An upgraded AS can use the paths all its
+//   candidate neighbors expose; each inter-island advertisement carries at
+//   most `path_cap` paths (the paper caps at ten). Under the BGP baseline a
+//   non-upgraded AS *drops* the path-count control information (resetting
+//   the count to the single baseline path); under the D-BGP baseline it
+//   passes the count through unchanged.
+//
+// * Bottleneck-bandwidth: protocols (EQ-BGP-like) optimizing a global
+//   objective. Upgraded ASes expose their ingress-link bandwidth and select
+//   the candidate with the highest *known* bottleneck; benefit is measured
+//   on the *actual* bottleneck of the chosen paths (which gulf ASes'
+//   bandwidths constrain even though they are invisible — the routing-
+//   compliance limitation of Section 3.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/routing.h"
+
+namespace dbgp::sim {
+
+enum class BaselineProtocol : std::uint8_t { kBgp, kDbgp };
+
+struct ExtraPathsParams {
+  std::uint32_t path_cap = 10;  // max paths per inter-island advertisement
+};
+
+// Per-source path counts toward one destination. counts[x] is the number of
+// paths AS x can use to reach routes.destination.
+std::vector<std::uint32_t> extra_paths_counts(const PerDestinationRoutes& routes,
+                                              const std::vector<bool>& upgraded,
+                                              BaselineProtocol baseline,
+                                              const ExtraPathsParams& params);
+
+struct BottleneckParams {
+  // Sentinel meaning "no bandwidth information on this path".
+  static constexpr std::uint64_t kNoInfo = 0;
+  static constexpr std::uint64_t kInfinity = ~0ULL;
+};
+
+struct BottleneckResult {
+  // known[x]: bottleneck bandwidth advertised to x (kNoInfo if none).
+  std::vector<std::uint64_t> known;
+  // actual[x]: true bottleneck of the path x's traffic takes (kInfinity at
+  // the destination itself).
+  std::vector<std::uint64_t> actual;
+};
+
+BottleneckResult bottleneck_paths(const PerDestinationRoutes& routes,
+                                  const std::vector<bool>& upgraded,
+                                  const std::vector<std::uint64_t>& bandwidth,
+                                  BaselineProtocol baseline);
+
+}  // namespace dbgp::sim

@@ -1,0 +1,161 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+
+#include "topology/adoption.h"
+
+namespace dbgp::sim {
+
+using topology::AsGraph;
+using topology::NodeId;
+
+namespace {
+
+struct TrialContext {
+  AsGraph graph;
+  std::vector<PerDestinationRoutes> routes;  // per destination
+  std::vector<std::uint64_t> bandwidth;
+  std::vector<bool> stubs;
+};
+
+TrialContext make_trial(const SweepConfig& config, std::uint64_t trial_seed) {
+  util::Rng rng(trial_seed);
+  TrialContext ctx;
+  ctx.graph = topology::generate_waxman(config.topology, rng);
+  RoutingOracle oracle(ctx.graph);
+  const std::size_t n = ctx.graph.size();
+  ctx.routes.reserve(n);
+  for (NodeId d = 0; d < n; ++d) ctx.routes.push_back(oracle.compute(d));
+  ctx.bandwidth.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    ctx.bandwidth[u] = static_cast<std::uint64_t>(rng.next_range(
+        static_cast<std::int64_t>(config.bandwidth_min),
+        static_cast<std::int64_t>(config.bandwidth_max)));
+  }
+  ctx.stubs.assign(n, false);
+  for (NodeId u : ctx.graph.stubs()) ctx.stubs[u] = true;
+  return ctx;
+}
+
+// Mean over `sources` of the per-source total across destinations.
+double mean_over_sources(const std::vector<double>& per_source_total,
+                         const std::vector<bool>& include) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < per_source_total.size(); ++s) {
+    if (!include[s]) continue;
+    sum += per_source_total[s];
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double extra_paths_benefit(const TrialContext& ctx, const std::vector<bool>& upgraded,
+                           BaselineProtocol baseline, const ExtraPathsParams& params,
+                           const std::vector<bool>& sources) {
+  const std::size_t n = ctx.graph.size();
+  std::vector<double> per_source(n, 0.0);
+  for (const auto& routes : ctx.routes) {
+    const auto counts = extra_paths_counts(routes, upgraded, baseline, params);
+    for (NodeId s = 0; s < n; ++s) {
+      if (s == routes.destination || !sources[s]) continue;
+      per_source[s] += counts[s];
+    }
+  }
+  return mean_over_sources(per_source, sources);
+}
+
+double bottleneck_benefit(const TrialContext& ctx, const std::vector<bool>& upgraded,
+                          BaselineProtocol baseline, const std::vector<bool>& sources) {
+  const std::size_t n = ctx.graph.size();
+  std::vector<double> per_source(n, 0.0);
+  for (const auto& routes : ctx.routes) {
+    const auto result = bottleneck_paths(routes, upgraded, ctx.bandwidth, baseline);
+    for (NodeId s = 0; s < n; ++s) {
+      if (s == routes.destination || !sources[s]) continue;
+      if (!routes.reachable(s)) continue;
+      per_source[s] += static_cast<double>(result.actual[s]);
+    }
+  }
+  return mean_over_sources(per_source, sources);
+}
+
+template <typename BenefitFn>
+SweepResult run_sweep(const SweepConfig& config, BenefitFn&& benefit,
+                      bool stub_sources_only) {
+  SweepResult result;
+  const std::size_t levels = config.adoption_levels.size();
+  std::vector<std::vector<double>> dbgp_samples(levels), bgp_samples(levels);
+  std::vector<double> status_quo_samples, best_case_samples;
+
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    const std::uint64_t trial_seed = config.seed + 1000003ULL * trial;
+    TrialContext ctx = make_trial(config, trial_seed);
+    const std::size_t n = ctx.graph.size();
+    util::Rng adoption_rng(trial_seed ^ 0xadULL);
+
+    const std::vector<bool> all(n, true);
+    const std::vector<bool> none(n, false);
+
+    // Status quo: nothing upgraded; measure at every potential source.
+    {
+      const std::vector<bool>& sources = stub_sources_only ? ctx.stubs : all;
+      status_quo_samples.push_back(
+          benefit(ctx, none, BaselineProtocol::kBgp, sources));
+      best_case_samples.push_back(
+          benefit(ctx, all, BaselineProtocol::kDbgp, sources));
+    }
+
+    for (std::size_t li = 0; li < levels; ++li) {
+      const double level = config.adoption_levels[li];
+      const auto upgraded = topology::random_adoption(n, level, adoption_rng);
+      std::vector<bool> sources(n, false);
+      bool any = false;
+      for (NodeId u = 0; u < n; ++u) {
+        sources[u] = upgraded[u] && (!stub_sources_only || ctx.stubs[u]);
+        any = any || sources[u];
+      }
+      if (!any) {
+        // No eligible sources at this level (can happen at tiny fractions);
+        // fall back to all upgraded ASes.
+        for (NodeId u = 0; u < n; ++u) sources[u] = upgraded[u];
+      }
+      dbgp_samples[li].push_back(benefit(ctx, upgraded, BaselineProtocol::kDbgp, sources));
+      bgp_samples[li].push_back(benefit(ctx, upgraded, BaselineProtocol::kBgp, sources));
+    }
+  }
+
+  for (std::size_t li = 0; li < levels; ++li) {
+    result.dbgp_baseline.push_back(
+        {config.adoption_levels[li], util::summarize(dbgp_samples[li])});
+    result.bgp_baseline.push_back(
+        {config.adoption_levels[li], util::summarize(bgp_samples[li])});
+  }
+  result.status_quo = util::summarize(status_quo_samples).mean;
+  result.best_case = util::summarize(best_case_samples).mean;
+  return result;
+}
+
+}  // namespace
+
+SweepResult run_extra_paths_sweep(const SweepConfig& config) {
+  return run_sweep(
+      config,
+      [&config](const TrialContext& ctx, const std::vector<bool>& upgraded,
+                BaselineProtocol baseline, const std::vector<bool>& sources) {
+        return extra_paths_benefit(ctx, upgraded, baseline, config.extra_paths, sources);
+      },
+      /*stub_sources_only=*/true);
+}
+
+SweepResult run_bottleneck_sweep(const SweepConfig& config) {
+  return run_sweep(
+      config,
+      [](const TrialContext& ctx, const std::vector<bool>& upgraded,
+         BaselineProtocol baseline, const std::vector<bool>& sources) {
+        return bottleneck_benefit(ctx, upgraded, baseline, sources);
+      },
+      /*stub_sources_only=*/false);
+}
+
+}  // namespace dbgp::sim

@@ -1,0 +1,51 @@
+// The incremental-benefit sweep harness (Section 6.3, Figures 9 & 10).
+//
+// For each trial: generate a fresh Waxman topology and bandwidth assignment
+// from the trial seed, precompute valley-free routes for every destination,
+// then for each adoption level draw a random upgraded set and evaluate both
+// baselines (BGP: new-protocol control information is dropped at gulfs;
+// D-BGP: it is passed through). Results aggregate mean and 95% CI across
+// trials, exactly as the paper plots them (9 trials, error bars).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/archetypes.h"
+#include "topology/waxman.h"
+#include "util/stats.h"
+
+namespace dbgp::sim {
+
+struct SweepConfig {
+  topology::WaxmanConfig topology;                 // paper: 1000 ASes, Waxman
+  std::vector<double> adoption_levels = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                         0.6, 0.7, 0.8, 0.9, 1.0};
+  std::size_t trials = 9;
+  std::uint64_t seed = 42;
+  ExtraPathsParams extra_paths;                    // cap = 10 paths/advert
+  std::uint64_t bandwidth_min = 10;                // paper: U[10, 1024]
+  std::uint64_t bandwidth_max = 1024;
+};
+
+struct SeriesPoint {
+  double adoption = 0.0;
+  util::Summary benefit;  // across trials
+};
+
+struct SweepResult {
+  std::vector<SeriesPoint> dbgp_baseline;
+  std::vector<SeriesPoint> bgp_baseline;
+  double status_quo = 0.0;  // benefit at 0% adoption
+  double best_case = 0.0;   // benefit at 100% adoption with full information
+};
+
+// Figure 9: benefit = average over upgraded stub ASes of the total number of
+// paths available to all destinations.
+SweepResult run_extra_paths_sweep(const SweepConfig& config);
+
+// Figure 10: benefit = average over upgraded ASes of the total actual
+// bottleneck bandwidth of chosen paths to all destinations.
+SweepResult run_bottleneck_sweep(const SweepConfig& config);
+
+}  // namespace dbgp::sim

@@ -1,0 +1,180 @@
+#include "sim/routing.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dbgp::sim {
+
+using topology::AsGraph;
+using topology::Edge;
+using topology::NodeId;
+using topology::Relationship;
+
+PerDestinationRoutes RoutingOracle::compute(NodeId destination) const {
+  const AsGraph& g = *graph_;
+  const std::size_t n = g.size();
+  PerDestinationRoutes r;
+  r.destination = destination;
+  r.route_class.assign(n, RouteClass::kNone);
+  r.hops.assign(n, kUnreachable);
+  r.best_next.assign(n, destination);
+  r.candidates.assign(n, {});
+
+  // Per-class hop counts.
+  std::vector<std::uint16_t> cust(n, kUnreachable), peer(n, kUnreachable),
+      prov(n, kUnreachable);
+
+  // Phase 1 — customer routes: BFS from d along customer->provider edges
+  // (x has a customer route when one of its customers has one, or is d).
+  {
+    std::queue<NodeId> q;
+    cust[destination] = 0;
+    q.push(destination);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (const Edge& e : g.neighbors(u)) {
+        // e.rel is u's relationship to the neighbor; the neighbor gets a
+        // customer route via u when u is the neighbor's customer, i.e. u's
+        // relationship to the neighbor is kCustomerOf.
+        if (e.rel != Relationship::kCustomerOf) continue;
+        if (cust[e.neighbor] != kUnreachable) continue;
+        cust[e.neighbor] = static_cast<std::uint16_t>(cust[u] + 1);
+        q.push(e.neighbor);
+      }
+    }
+  }
+
+  // Phase 2 — peer routes: one peer edge, then a customer-route path down.
+  for (NodeId u = 0; u < n; ++u) {
+    if (cust[u] == kUnreachable && u != destination) continue;
+    const std::uint16_t base = u == destination ? 0 : cust[u];
+    for (const Edge& e : g.neighbors(u)) {
+      if (e.rel != Relationship::kPeerOf) continue;
+      peer[e.neighbor] =
+          std::min<std::uint16_t>(peer[e.neighbor], static_cast<std::uint16_t>(base + 1));
+    }
+  }
+  peer[destination] = kUnreachable;  // d itself never uses a peer route
+
+  // Phase 3 — provider routes: Dijkstra over "provider exports anything to
+  // its customers", chaining upward through further providers.
+  {
+    using Item = std::pair<std::uint32_t, NodeId>;  // (dist, node)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> q;
+    auto seed = [&](NodeId u) -> std::uint32_t {
+      std::uint32_t best = kUnreachable;
+      if (u == destination) best = 0;
+      best = std::min<std::uint32_t>(best, cust[u]);
+      best = std::min<std::uint32_t>(best, peer[u]);
+      return best;
+    };
+    for (NodeId u = 0; u < n; ++u) {
+      const std::uint32_t s = seed(u);
+      if (s != kUnreachable) q.push({s, u});
+    }
+    std::vector<std::uint32_t> dist(n, kUnreachable);
+    while (!q.empty()) {
+      const auto [du, u] = q.top();
+      q.pop();
+      const std::uint32_t have = std::min<std::uint32_t>(seed(u), dist[u]);
+      if (du > have) continue;
+      for (const Edge& e : g.neighbors(u)) {
+        // u exports any route to its customers: e.rel == kProviderOf.
+        if (e.rel != Relationship::kProviderOf) continue;
+        const std::uint32_t nd = du + 1;
+        if (nd < dist[e.neighbor] && nd < seed(e.neighbor)) {
+          dist[e.neighbor] = nd;
+          q.push({nd, e.neighbor});
+        }
+      }
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      prov[u] = static_cast<std::uint16_t>(std::min<std::uint32_t>(dist[u], kUnreachable));
+    }
+  }
+  prov[destination] = kUnreachable;
+
+  // Best class / hops per node.
+  for (NodeId u = 0; u < n; ++u) {
+    if (u == destination) {
+      r.route_class[u] = RouteClass::kSelf;
+      r.hops[u] = 0;
+    } else if (cust[u] != kUnreachable) {
+      r.route_class[u] = RouteClass::kCustomerRoute;
+      r.hops[u] = cust[u];
+    } else if (peer[u] != kUnreachable) {
+      r.route_class[u] = RouteClass::kPeerRoute;
+      r.hops[u] = peer[u];
+    } else if (prov[u] != kUnreachable) {
+      r.route_class[u] = RouteClass::kProviderRoute;
+      r.hops[u] = prov[u];
+    }
+  }
+
+  // Candidates + default next hop. A neighbor y may export its best route to
+  // x when y == d, y's best route is a customer route, or x is y's customer.
+  // The DAG constraint keeps accounting loop-free: key(y) < key(x).
+  for (NodeId x = 0; x < n; ++x) {
+    if (x == destination || !r.reachable(x)) continue;
+    NodeId best = x;
+    std::uint64_t best_key = ~0ULL;
+    for (const Edge& e : g.neighbors(x)) {
+      const NodeId y = e.neighbor;
+      if (!r.reachable(y)) continue;
+      const bool exports = y == destination ||
+                           r.route_class[y] == RouteClass::kCustomerRoute ||
+                           e.rel == Relationship::kCustomerOf;  // x is y's customer
+      if (!exports) continue;
+      if (r.key(y) >= r.key(x)) continue;
+      r.candidates[x].push_back(y);
+      // Default next hop: the neighbor whose advertisement yields x's best
+      // route — prefer the class x would get via y, then y's hops, then id.
+      const int via_class = y == destination ? 1
+                            : e.rel == Relationship::kProviderOf
+                                ? 1  // y is x's customer -> customer route
+                                : e.rel == Relationship::kPeerOf ? 2 : 3;
+      const std::uint64_t k = (static_cast<std::uint64_t>(via_class) << 40) |
+                              (static_cast<std::uint64_t>(r.hops[y]) << 24) | y;
+      if (k < best_key) {
+        best_key = k;
+        best = y;
+      }
+    }
+    r.best_next[x] = best;
+  }
+
+  // Processing order: increasing key (destination first).
+  r.order.resize(n);
+  for (NodeId u = 0; u < n; ++u) r.order[u] = u;
+  std::sort(r.order.begin(), r.order.end(),
+            [&r](NodeId a, NodeId b) { return r.key(a) < r.key(b); });
+  return r;
+}
+
+bool is_valley_free(const AsGraph& graph, const std::vector<NodeId>& path) {
+  // Walk source -> destination. Once the path traverses a peer edge or goes
+  // provider->customer ("downhill"), it may never go uphill or peer again.
+  bool descending = false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const NodeId u = path[i];
+    const NodeId v = path[i + 1];
+    Relationship rel = Relationship::kPeerOf;
+    bool found = false;
+    for (const Edge& e : graph.neighbors(u)) {
+      if (e.neighbor == v) {
+        rel = e.rel;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;  // not even a link
+    const bool uphill = rel == Relationship::kCustomerOf;  // u pays v: going up
+    const bool flat = rel == Relationship::kPeerOf;
+    if (descending && (uphill || flat)) return false;
+    if (!uphill) descending = true;  // peer or downhill step starts descent
+  }
+  return true;
+}
+
+}  // namespace dbgp::sim

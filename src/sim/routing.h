@@ -1,0 +1,72 @@
+// Valley-free (Gao-Rexford) route computation over an annotated AS graph —
+// the routing substrate of the paper's incremental-benefit simulations
+// (Section 6.3: "Protocols' path choices are always valley-free. ASes that
+// have not been upgraded choose paths with the shortest path length").
+//
+// For each destination d we compute, per AS:
+//   * the best route class (customer < peer < provider) and hop count —
+//     BGP's default choice,
+//   * the default next hop,
+//   * the *candidate set*: neighbors whose best route may legitimately be
+//     exported to this AS. Candidates are restricted to neighbors with a
+//     strictly smaller preference key, which makes multi-path accounting a
+//     DAG (loop-free) — a deterministic approximation of the alternate
+//     paths a multipath protocol could use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace dbgp::sim {
+
+inline constexpr std::uint16_t kUnreachable = 0xffff;
+
+enum class RouteClass : std::uint8_t {
+  kSelf = 0,
+  kCustomerRoute = 1,  // next hop is a customer
+  kPeerRoute = 2,
+  kProviderRoute = 3,
+  kNone = 4,
+};
+
+struct PerDestinationRoutes {
+  topology::NodeId destination = 0;
+  std::vector<RouteClass> route_class;           // best class per node
+  std::vector<std::uint16_t> hops;               // hop count of the best route
+  std::vector<topology::NodeId> best_next;       // BGP default next hop
+  std::vector<std::vector<topology::NodeId>> candidates;  // DAG-safe exporters
+  // Nodes sorted by increasing preference key (destination first); the
+  // processing order for information propagation.
+  std::vector<topology::NodeId> order;
+
+  // Strict-weak preference key used for the DAG (class, hops, id).
+  std::uint64_t key(topology::NodeId x) const noexcept {
+    return (static_cast<std::uint64_t>(route_class[x]) << 40) |
+           (static_cast<std::uint64_t>(hops[x]) << 24) | x;
+  }
+  bool reachable(topology::NodeId x) const noexcept {
+    return route_class[x] != RouteClass::kNone;
+  }
+};
+
+class RoutingOracle {
+ public:
+  explicit RoutingOracle(const topology::AsGraph& graph) : graph_(&graph) {}
+
+  // Computes routes toward one destination. O(E log V).
+  PerDestinationRoutes compute(topology::NodeId destination) const;
+
+  const topology::AsGraph& graph() const noexcept { return *graph_; }
+
+ private:
+  const topology::AsGraph* graph_;
+};
+
+// True if the AS-level path (source first, destination last) is valley-free
+// under Gao-Rexford export rules. Exposed for property tests.
+bool is_valley_free(const topology::AsGraph& graph,
+                    const std::vector<topology::NodeId>& path);
+
+}  // namespace dbgp::sim

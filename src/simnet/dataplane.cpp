@@ -1,0 +1,93 @@
+#include "simnet/dataplane.h"
+
+#include <algorithm>
+
+namespace dbgp::simnet {
+
+void DataPlane::set_address_owner(net::Ipv4Address addr, bgp::AsNumber asn) {
+  address_owner_[addr.value()] = asn;
+}
+
+void DataPlane::set_next_hop(bgp::AsNumber asn, const net::Prefix& prefix,
+                             bgp::AsNumber next_hop_as) {
+  fibs_[asn].next_hops.insert(prefix, next_hop_as);
+}
+
+void DataPlane::set_local_delivery(bgp::AsNumber asn, const net::Prefix& prefix) {
+  fibs_[asn].local.insert(prefix, true);
+}
+
+void DataPlane::add_link(bgp::AsNumber a, bgp::AsNumber b) {
+  links_[a].push_back(b);
+  links_[b].push_back(a);
+}
+
+bool DataPlane::linked(bgp::AsNumber a, bgp::AsNumber b) const {
+  auto it = links_.find(a);
+  if (it == links_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), b) != it->second.end();
+}
+
+PacketTrace DataPlane::forward(bgp::AsNumber src, Packet packet, std::size_t max_ttl) const {
+  PacketTrace trace;
+  bgp::AsNumber at = src;
+  trace.hops.push_back(at);
+
+  for (std::size_t ttl = 0; ttl < max_ttl; ++ttl) {
+    if (packet.stack.empty()) {
+      trace.delivered = true;
+      return trace;
+    }
+    Header& top = packet.stack.back();
+    switch (top.kind) {
+      case Header::Kind::kIpv4:
+      case Header::Kind::kTunnel: {
+        // Tunnel endpoints and locally owned addresses terminate the layer.
+        auto owner = address_owner_.find(top.dst.value());
+        const bool owned_here = owner != address_owner_.end() && owner->second == at;
+        auto fib = fibs_.find(at);
+        const bool local =
+            fib != fibs_.end() && fib->second.local.longest_match(top.dst) != nullptr;
+        if (owned_here || (top.kind == Header::Kind::kIpv4 && local)) {
+          packet.stack.pop_back();
+          continue;  // next layer takes over at this AS
+        }
+        if (fib == fibs_.end()) {
+          trace.drop_reason = "no FIB at AS" + std::to_string(at);
+          return trace;
+        }
+        const bgp::AsNumber* next = fib->second.next_hops.longest_match(top.dst);
+        if (next == nullptr) {
+          trace.drop_reason = "no route for " + top.dst.to_string() + " at AS" +
+                              std::to_string(at);
+          return trace;
+        }
+        at = *next;
+        trace.hops.push_back(at);
+        break;
+      }
+      case Header::Kind::kSourceRoute: {
+        if (top.route_pos >= top.route.size()) {
+          packet.stack.pop_back();
+          continue;  // source route consumed; inner header takes over
+        }
+        const bgp::AsNumber next = top.route[top.route_pos];
+        if (next != at && !linked(at, next)) {
+          trace.drop_reason = "source route names non-adjacent AS" + std::to_string(next) +
+                              " at AS" + std::to_string(at);
+          return trace;
+        }
+        ++top.route_pos;
+        if (next != at) {
+          at = next;
+          trace.hops.push_back(at);
+        }
+        break;
+      }
+    }
+  }
+  trace.drop_reason = "TTL exceeded";
+  return trace;
+}
+
+}  // namespace dbgp::simnet

@@ -1,0 +1,81 @@
+// AS-granularity data plane with multi-network-protocol header stacks
+// (Section 2: traffic crossing gulfs "may need to be encapsulated with
+// multiple network protocols' headers").
+//
+// Packets carry a stack of headers; forwarding always acts on the top one:
+//   * kIpv4        — longest-prefix-match hop-by-hop forwarding,
+//   * kSourceRoute — explicit AS-level hop list (SCION paths / pathlet FID
+//                    expansions, at the AS granularity this plane models),
+//   * kTunnel      — an IPv4 header toward a tunnel endpoint; popped there.
+// When the top header terminates at an AS it is popped and the next header
+// takes over — exactly the layering Figure 4's island IDs field exists to
+// make possible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/types.h"
+#include "net/ipv4.h"
+#include "net/prefix_trie.h"
+
+namespace dbgp::simnet {
+
+struct Header {
+  enum class Kind : std::uint8_t { kIpv4, kSourceRoute, kTunnel };
+  Kind kind = Kind::kIpv4;
+  net::Ipv4Address dst;                  // kIpv4 / kTunnel endpoint
+  std::vector<bgp::AsNumber> route;      // kSourceRoute hops (next hop first)
+  std::size_t route_pos = 0;
+
+  static Header ipv4(net::Ipv4Address dst) { return {Kind::kIpv4, dst, {}, 0}; }
+  static Header source_route(std::vector<bgp::AsNumber> hops) {
+    return {Kind::kSourceRoute, net::Ipv4Address(), std::move(hops), 0};
+  }
+  static Header tunnel(net::Ipv4Address endpoint) { return {Kind::kTunnel, endpoint, {}, 0}; }
+};
+
+struct Packet {
+  // Bottom first; the active header is stack.back().
+  std::vector<Header> stack;
+};
+
+struct PacketTrace {
+  std::vector<bgp::AsNumber> hops;  // every AS visited, source first
+  bool delivered = false;
+  std::string drop_reason;          // empty when delivered
+};
+
+class DataPlane {
+ public:
+  // Registers which AS owns an address (for tunnel endpoints + delivery).
+  void set_address_owner(net::Ipv4Address addr, bgp::AsNumber asn);
+  // Installs a forwarding entry: at `asn`, traffic for `prefix` goes to
+  // `next_hop_as`.
+  void set_next_hop(bgp::AsNumber asn, const net::Prefix& prefix, bgp::AsNumber next_hop_as);
+  // Marks `prefix` as locally delivered at `asn`.
+  void set_local_delivery(bgp::AsNumber asn, const net::Prefix& prefix);
+  // Declares adjacency (source routes may only follow real links).
+  void add_link(bgp::AsNumber a, bgp::AsNumber b);
+
+  // Forwards a packet injected at `src`; follows headers until delivery,
+  // a forwarding failure, or `max_ttl` hops.
+  PacketTrace forward(bgp::AsNumber src, Packet packet, std::size_t max_ttl = 64) const;
+
+ private:
+  struct NodeFib {
+    net::PrefixTrie<bgp::AsNumber> next_hops;
+    net::PrefixTrie<bool> local;
+  };
+
+  bool linked(bgp::AsNumber a, bgp::AsNumber b) const;
+
+  std::map<bgp::AsNumber, NodeFib> fibs_;
+  std::map<std::uint32_t, bgp::AsNumber> address_owner_;
+  std::map<bgp::AsNumber, std::vector<bgp::AsNumber>> links_;
+};
+
+}  // namespace dbgp::simnet

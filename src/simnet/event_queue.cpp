@@ -1,0 +1,38 @@
+#include "simnet/event_queue.h"
+
+#include <cassert>
+
+namespace dbgp::simnet {
+
+void EventQueue::schedule_at(double at, Handler handler) {
+  assert(at >= now_);
+  queue_.push({at, next_seq_++, std::move(handler)});
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!queue_.empty() && processed < max_events) {
+    // Move out the event before popping so the handler may schedule more.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    event.handler();
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t EventQueue::run_until(double until, std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!queue_.empty() && processed < max_events && queue_.top().at <= until) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    event.handler();
+    ++processed;
+  }
+  if (now_ < until) now_ = until;
+  return processed;
+}
+
+}  // namespace dbgp::simnet

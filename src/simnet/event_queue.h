@@ -1,0 +1,53 @@
+// Deterministic discrete-event scheduler.
+//
+// Events at equal timestamps fire in insertion order (a strictly increasing
+// sequence number breaks ties), so simulations are bit-reproducible — the
+// property that lets the MiniNeXT-style experiments (E2, E6-E9) assert exact
+// control-plane outcomes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dbgp::simnet {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  double now() const noexcept { return now_; }
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  // Schedules `handler` at absolute time `at` (>= now).
+  void schedule_at(double at, Handler handler);
+  // Schedules after a delay from now.
+  void schedule_in(double delay, Handler handler) { schedule_at(now_ + delay, std::move(handler)); }
+
+  // Runs events until the queue drains or `max_events` fire; returns the
+  // number of events processed.
+  std::size_t run(std::size_t max_events = 10'000'000);
+  // Runs events with timestamps <= `until`.
+  std::size_t run_until(double until, std::size_t max_events = 10'000'000);
+
+ private:
+  struct Event {
+    double at;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dbgp::simnet

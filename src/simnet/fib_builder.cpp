@@ -1,0 +1,22 @@
+#include "simnet/fib_builder.h"
+
+namespace dbgp::simnet {
+
+DataPlane build_data_plane(const DbgpNetwork& net) {
+  DataPlane dp;
+  for (const bgp::AsNumber asn : net.as_numbers()) {
+    const auto& speaker = net.speaker(asn);
+    for (const auto& prefix : speaker.selected_prefixes()) {
+      const auto* best = speaker.best(prefix);
+      if (best == nullptr) continue;
+      if (best->from_peer == bgp::kInvalidPeer) {
+        dp.set_local_delivery(asn, prefix);
+      } else {
+        dp.set_next_hop(asn, prefix, net.peer_as_of(asn, best->from_peer));
+      }
+    }
+  }
+  return dp;
+}
+
+}  // namespace dbgp::simnet

@@ -1,0 +1,16 @@
+// Builds a DataPlane from a converged DbgpNetwork's control-plane state:
+// each AS forwards every selected prefix to the neighbor its best route came
+// from; originators deliver locally. This is step (4) of Figure 5 ("forwards
+// the new best path to the data plane") applied network-wide, and the
+// consistency property tests verify packets follow exactly the advertised
+// path vectors.
+#pragma once
+
+#include "simnet/dataplane.h"
+#include "simnet/network.h"
+
+namespace dbgp::simnet {
+
+DataPlane build_data_plane(const DbgpNetwork& net);
+
+}  // namespace dbgp::simnet

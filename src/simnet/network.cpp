@@ -1,0 +1,121 @@
+#include "simnet/network.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace dbgp::simnet {
+
+namespace {
+constexpr auto kLog = "simnet.network";
+}
+
+core::DbgpSpeaker& DbgpNetwork::add_as(core::DbgpConfig config) {
+  const bgp::AsNumber asn = config.asn;
+  if (nodes_.count(asn) > 0) {
+    throw std::invalid_argument("AS " + std::to_string(asn) + " already exists");
+  }
+  Node node;
+  node.speaker = std::make_unique<core::DbgpSpeaker>(std::move(config), lookup_);
+  auto [it, inserted] = nodes_.emplace(asn, std::move(node));
+  return *it->second.speaker;
+}
+
+core::DbgpSpeaker& DbgpNetwork::speaker(bgp::AsNumber asn) {
+  auto it = nodes_.find(asn);
+  if (it == nodes_.end()) throw std::out_of_range("no AS " + std::to_string(asn));
+  return *it->second.speaker;
+}
+
+const core::DbgpSpeaker& DbgpNetwork::speaker(bgp::AsNumber asn) const {
+  auto it = nodes_.find(asn);
+  if (it == nodes_.end()) throw std::out_of_range("no AS " + std::to_string(asn));
+  return *it->second.speaker;
+}
+
+bool DbgpNetwork::has_as(bgp::AsNumber asn) const noexcept { return nodes_.count(asn) > 0; }
+
+void DbgpNetwork::connect(bgp::AsNumber a, bgp::AsNumber b, bool same_island, double latency) {
+  if (latency < 0) latency = default_latency_;
+  Node& node_a = nodes_.at(a);
+  Node& node_b = nodes_.at(b);
+  const bgp::PeerId id_ab = node_a.speaker->add_peer(b, same_island);
+  const bgp::PeerId id_ba = node_b.speaker->add_peer(a, same_island);
+  node_a.adjacencies.push_back({b, latency, true});
+  node_b.adjacencies.push_back({a, latency, true});
+  // Exchange current tables (the initial-sync a real session performs).
+  dispatch(a, node_a.speaker->sync_peer(id_ab));
+  dispatch(b, node_b.speaker->sync_peer(id_ba));
+}
+
+void DbgpNetwork::disconnect(bgp::AsNumber a, bgp::AsNumber b) {
+  Node& node_a = nodes_.at(a);
+  Node& node_b = nodes_.at(b);
+  const bgp::PeerId id_ab = peer_id(a, b);
+  const bgp::PeerId id_ba = peer_id(b, a);
+  if (id_ab == bgp::kInvalidPeer || id_ba == bgp::kInvalidPeer) return;
+  node_a.adjacencies[id_ab].up = false;
+  node_b.adjacencies[id_ba].up = false;
+  dispatch(a, node_a.speaker->peer_down(id_ab));
+  dispatch(b, node_b.speaker->peer_down(id_ba));
+}
+
+void DbgpNetwork::originate(bgp::AsNumber asn, const net::Prefix& prefix) {
+  dispatch(asn, nodes_.at(asn).speaker->originate(prefix));
+}
+
+void DbgpNetwork::withdraw(bgp::AsNumber asn, const net::Prefix& prefix) {
+  dispatch(asn, nodes_.at(asn).speaker->withdraw_origin(prefix));
+}
+
+bgp::AsNumber DbgpNetwork::peer_as_of(bgp::AsNumber asn, bgp::PeerId peer) const {
+  return nodes_.at(asn).adjacencies.at(peer).neighbor;
+}
+
+bgp::PeerId DbgpNetwork::peer_id(bgp::AsNumber a, bgp::AsNumber b) const {
+  const auto& adjacencies = nodes_.at(a).adjacencies;
+  for (bgp::PeerId id = 0; id < adjacencies.size(); ++id) {
+    if (adjacencies[id].neighbor == b) return id;
+  }
+  return bgp::kInvalidPeer;
+}
+
+void DbgpNetwork::dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgoing> outgoing) {
+  Node& node = nodes_.at(origin_asn);
+  for (auto& msg : outgoing) {
+    const auto& adj = node.adjacencies.at(msg.peer);
+    if (!adj.up) continue;
+    const bgp::AsNumber to = adj.neighbor;
+    // Capture by value: the frame must survive until delivery.
+    events_.schedule_in(adj.latency, [this, origin_asn, to, bytes = std::move(msg.bytes)]() {
+      deliver(origin_asn, to, bytes);
+    });
+  }
+}
+
+void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to,
+                          std::vector<std::uint8_t> bytes) {
+  auto it = nodes_.find(to);
+  if (it == nodes_.end()) return;
+  const bgp::PeerId peer = peer_id(to, from);
+  if (peer == bgp::kInvalidPeer || !it->second.adjacencies[peer].up) return;
+  try {
+    dispatch(to, it->second.speaker->handle_frame(peer, bytes));
+  } catch (const util::DecodeError& e) {
+    DBGP_LOG(util::LogLevel::kError, kLog)
+        << "AS" << to << " failed to decode frame from AS" << from << ": " << e.what();
+  }
+}
+
+std::size_t DbgpNetwork::run_to_convergence(std::size_t max_events) {
+  return events_.run(max_events);
+}
+
+std::vector<bgp::AsNumber> DbgpNetwork::as_numbers() const {
+  std::vector<bgp::AsNumber> out;
+  out.reserve(nodes_.size());
+  for (const auto& [asn, node] : nodes_) out.push_back(asn);
+  return out;
+}
+
+}  // namespace dbgp::simnet

@@ -1,0 +1,78 @@
+// DbgpNetwork: hosts one DbgpSpeaker per AS on the event queue and moves
+// frames between them over latency links — the MiniNeXT stand-in for the
+// paper's deployment experiments (Section 6.1, Figure 8).
+//
+// Every byte crossing a link is a real serialized frame: speakers encode and
+// decode IAs exactly as they would on the wire, so the experiments exercise
+// the full codec and pipeline, not shortcuts.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/lookup_service.h"
+#include "core/speaker.h"
+#include "simnet/event_queue.h"
+
+namespace dbgp::simnet {
+
+class DbgpNetwork {
+ public:
+  explicit DbgpNetwork(core::LookupService* lookup = nullptr,
+                       double default_latency = 0.010)
+      : lookup_(lookup), default_latency_(default_latency) {}
+
+  // Adds an AS running a D-BGP speaker with the given config. The AS number
+  // in `config` must be unique within the network.
+  core::DbgpSpeaker& add_as(core::DbgpConfig config);
+  core::DbgpSpeaker& speaker(bgp::AsNumber asn);
+  const core::DbgpSpeaker& speaker(bgp::AsNumber asn) const;
+  bool has_as(bgp::AsNumber asn) const noexcept;
+
+  // Connects two ASes (registers each as the other's peer). `same_island`
+  // marks an intra-island adjacency (egress filters are skipped over it).
+  void connect(bgp::AsNumber a, bgp::AsNumber b, bool same_island = false,
+               double latency = -1.0);
+
+  // Originates a prefix at an AS and queues the resulting advertisements.
+  void originate(bgp::AsNumber asn, const net::Prefix& prefix);
+  void withdraw(bgp::AsNumber asn, const net::Prefix& prefix);
+  // Tears down the adjacency between two ASes (session failure).
+  void disconnect(bgp::AsNumber a, bgp::AsNumber b);
+
+  // Drains the event queue; returns the number of events processed. The
+  // control plane has converged when this returns.
+  std::size_t run_to_convergence(std::size_t max_events = 10'000'000);
+
+  EventQueue& events() noexcept { return events_; }
+  core::LookupService* lookup() noexcept { return lookup_; }
+  std::vector<bgp::AsNumber> as_numbers() const;
+
+  // Resolves which AS a speaker's peer id refers to.
+  bgp::AsNumber peer_as_of(bgp::AsNumber asn, bgp::PeerId peer) const;
+  // Peer id of `b` as seen from `a`; kInvalidPeer if not adjacent.
+  bgp::PeerId peer_id(bgp::AsNumber a, bgp::AsNumber b) const;
+
+ private:
+  struct Node {
+    std::unique_ptr<core::DbgpSpeaker> speaker;
+    // peer id -> (neighbor asn, latency, up?)
+    struct Adjacency {
+      bgp::AsNumber neighbor = 0;
+      double latency = 0.0;
+      bool up = true;
+    };
+    std::vector<Adjacency> adjacencies;
+  };
+
+  void deliver(bgp::AsNumber from, bgp::AsNumber to, std::vector<std::uint8_t> bytes);
+  void dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgoing> outgoing);
+
+  EventQueue events_;
+  core::LookupService* lookup_;
+  double default_latency_;
+  std::map<bgp::AsNumber, Node> nodes_;
+};
+
+}  // namespace dbgp::simnet

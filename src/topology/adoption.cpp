@@ -1,0 +1,44 @@
+#include "topology/adoption.h"
+
+#include <cmath>
+
+namespace dbgp::topology {
+
+std::vector<bool> random_adoption(std::size_t n, double fraction, util::Rng& rng) {
+  std::vector<bool> upgraded(n, false);
+  const std::size_t k = static_cast<std::size_t>(std::llround(fraction * static_cast<double>(n)));
+  for (std::size_t idx : rng.sample_indices(n, std::min(k, n))) {
+    upgraded[idx] = true;
+  }
+  return upgraded;
+}
+
+std::vector<int> upgraded_islands(const AsGraph& graph, const std::vector<bool>& upgraded,
+                                  std::vector<std::size_t>& component_sizes) {
+  std::vector<int> component(graph.size(), -1);
+  component_sizes.clear();
+  int next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < graph.size(); ++start) {
+    if (!upgraded[start] || component[start] != -1) continue;
+    const int id = next++;
+    std::size_t size = 0;
+    stack.push_back(start);
+    component[start] = id;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const Edge& e : graph.neighbors(u)) {
+        if (upgraded[e.neighbor] && component[e.neighbor] == -1) {
+          component[e.neighbor] = id;
+          stack.push_back(e.neighbor);
+        }
+      }
+    }
+    component_sizes.push_back(size);
+  }
+  return component;
+}
+
+}  // namespace dbgp::topology

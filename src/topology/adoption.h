@@ -1,0 +1,23 @@
+// Adoption assignment (Section 6.3: "upgraded ASes are chosen randomly,
+// reflecting the ideal case of providing ASes the flexibility to deploy a
+// new protocol independently of their neighbors") plus island analysis —
+// the connected components of upgraded ASes, which is what determines when
+// "large upgraded islands start to connect and see massive benefits".
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.h"
+#include "util/rng.h"
+
+namespace dbgp::topology {
+
+// Marks round(fraction * n) random ASes as upgraded.
+std::vector<bool> random_adoption(std::size_t n, double fraction, util::Rng& rng);
+
+// Connected components restricted to upgraded nodes. Returns a component id
+// per node (-1 for non-upgraded) and fills `component_sizes`.
+std::vector<int> upgraded_islands(const AsGraph& graph, const std::vector<bool>& upgraded,
+                                  std::vector<std::size_t>& component_sizes);
+
+}  // namespace dbgp::topology

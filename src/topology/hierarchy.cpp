@@ -1,0 +1,53 @@
+#include "topology/hierarchy.h"
+
+namespace dbgp::topology {
+
+Hierarchy generate_hierarchy(const HierarchyConfig& config, util::Rng& rng) {
+  Hierarchy h;
+  h.tier1 = config.tier1;
+  h.transits = config.transits;
+  const std::size_t total = config.tier1 + config.transits + config.stubs;
+  h.graph = AsGraph(total);
+
+  // Tier-1 full mesh of peers.
+  for (std::size_t i = 0; i < config.tier1; ++i) {
+    for (std::size_t j = i + 1; j < config.tier1; ++j) {
+      h.graph.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j), Relationship::kPeerOf);
+    }
+  }
+
+  // Transits buy from tier-1s (or earlier transits) and sometimes peer.
+  for (std::size_t t = 0; t < config.transits; ++t) {
+    const NodeId node = static_cast<NodeId>(config.tier1 + t);
+    const std::size_t provider_pool = config.tier1 + t;  // anyone "above" us
+    for (std::size_t k = 0; k < config.providers_per_transit; ++k) {
+      const NodeId provider =
+          static_cast<NodeId>(rng.next_below(static_cast<std::uint32_t>(provider_pool)));
+      if (!h.graph.has_edge(node, provider)) {
+        h.graph.add_edge(node, provider, Relationship::kCustomerOf);
+      }
+    }
+    if (t > 0 && rng.next_bool(config.transit_peering_probability)) {
+      const NodeId peer = static_cast<NodeId>(
+          config.tier1 + rng.next_below(static_cast<std::uint32_t>(t)));
+      if (!h.graph.has_edge(node, peer)) {
+        h.graph.add_edge(node, peer, Relationship::kPeerOf);
+      }
+    }
+  }
+
+  // Stubs buy from transits.
+  for (std::size_t s = 0; s < config.stubs; ++s) {
+    const NodeId node = static_cast<NodeId>(config.tier1 + config.transits + s);
+    for (std::size_t k = 0; k < config.providers_per_stub; ++k) {
+      const NodeId provider = static_cast<NodeId>(
+          config.tier1 + rng.next_below(static_cast<std::uint32_t>(config.transits)));
+      if (!h.graph.has_edge(node, provider)) {
+        h.graph.add_edge(node, provider, Relationship::kCustomerOf);
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace dbgp::topology

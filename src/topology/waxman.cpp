@@ -1,0 +1,68 @@
+#include "topology/waxman.h"
+
+#include <cmath>
+#include <vector>
+
+namespace dbgp::topology {
+
+AsGraph generate_waxman(const WaxmanConfig& config, util::Rng& rng) {
+  AsGraph graph(config.nodes);
+  std::vector<double> x(config.nodes), y(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    x[i] = rng.next_double() * config.plane;
+    y[i] = rng.next_double() * config.plane;
+  }
+  const double diagonal = config.plane * std::sqrt(2.0);
+
+  std::vector<std::size_t> degree(config.nodes, 0);
+
+  // Incremental growth: node i attaches to min(i, m) earlier nodes.
+  for (std::size_t i = 1; i < config.nodes; ++i) {
+    const std::size_t want = std::min<std::size_t>(config.links_per_node, i);
+    std::size_t made = 0;
+    // Rejection-sample targets by Waxman probability; fall back to the
+    // nearest unused node if sampling stalls (keeps the graph connected).
+    std::size_t attempts = 0;
+    while (made < want && attempts < 50 * config.nodes) {
+      ++attempts;
+      const std::size_t j = rng.next_below(static_cast<std::uint32_t>(i));
+      if (graph.has_edge(static_cast<NodeId>(i), static_cast<NodeId>(j))) continue;
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      const double p = config.alpha * std::exp(-dist / (config.beta * diagonal));
+      if (rng.next_double() >= p) continue;
+      const Relationship rel = degree[j] >= degree[i] ? Relationship::kCustomerOf
+                                                      : Relationship::kProviderOf;
+      graph.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j), rel);
+      ++degree[i];
+      ++degree[j];
+      ++made;
+    }
+    while (made < want) {
+      // Deterministic fallback: closest earlier node without an edge.
+      std::size_t best = i;
+      double best_dist = 0.0;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (graph.has_edge(static_cast<NodeId>(i), static_cast<NodeId>(j))) continue;
+        const double dx = x[i] - x[j];
+        const double dy = y[i] - y[j];
+        const double dist = dx * dx + dy * dy;
+        if (best == i || dist < best_dist) {
+          best = j;
+          best_dist = dist;
+        }
+      }
+      if (best == i) break;  // no candidates left
+      const Relationship rel = degree[best] >= degree[i] ? Relationship::kCustomerOf
+                                                         : Relationship::kProviderOf;
+      graph.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(best), rel);
+      ++degree[i];
+      ++degree[best];
+      ++made;
+    }
+  }
+  return graph;
+}
+
+}  // namespace dbgp::topology

@@ -1,0 +1,29 @@
+// BRITE-style Waxman topology generator (Medina et al., MASCOTS'01),
+// configured as the paper does: 1,000 ASes, Waxman alpha = 0.15,
+// beta = 0.25, incremental growth, customer/provider annotation and no
+// peering links (Section 6.3).
+//
+// Nodes are placed uniformly in a plane; each new node attaches to `m`
+// existing nodes drawn with Waxman probability
+//   P(u,v) = alpha * exp(-d(u,v) / (beta * L)),
+// where L is the plane diagonal. Incremental growth guarantees a connected
+// graph. Relationships: the endpoint with higher degree at link-creation
+// time becomes the provider (degree is BRITE's stand-in for size).
+#pragma once
+
+#include "topology/graph.h"
+#include "util/rng.h"
+
+namespace dbgp::topology {
+
+struct WaxmanConfig {
+  std::size_t nodes = 1000;
+  double alpha = 0.15;
+  double beta = 0.25;
+  std::size_t links_per_node = 2;  // BRITE's m
+  double plane = 1000.0;           // side of the placement square
+};
+
+AsGraph generate_waxman(const WaxmanConfig& config, util::Rng& rng);
+
+}  // namespace dbgp::topology

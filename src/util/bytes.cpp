@@ -1,0 +1,119 @@
+#include "util/bytes.h"
+
+namespace dbgp::util {
+
+void ByteWriter::put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::put_u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  put_u16(static_cast<std::uint16_t>(v >> 16));
+  put_u16(static_cast<std::uint16_t>(v));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+  put_u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_bytes(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::put_string(std::string_view s) {
+  put_varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::size_t ByteWriter::reserve_u16() {
+  const std::size_t offset = buf_.size();
+  buf_.push_back(0);
+  buf_.push_back(0);
+  return offset;
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+  buf_.at(offset + 1) = static_cast<std::uint8_t>(v);
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw DecodeError("truncated input: need " + std::to_string(n) + " bytes, have " +
+                      std::to_string(remaining()));
+  }
+}
+
+void ByteReader::expect_items(std::uint64_t count, std::size_t min_bytes_each) const {
+  if (min_bytes_each == 0) min_bytes_each = 1;
+  // Division avoids overflow of count * min_bytes_each for hostile counts.
+  if (count > remaining() / min_bytes_each) {
+    throw DecodeError("declared item count " + std::to_string(count) +
+                      " exceeds remaining input");
+  }
+}
+
+std::uint8_t ByteReader::get_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::get_u16() {
+  require(2);
+  const std::uint16_t v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::get_u32() {
+  const std::uint32_t hi = get_u16();
+  return (hi << 16) | get_u16();
+}
+
+std::uint64_t ByteReader::get_u64() {
+  const std::uint64_t hi = get_u32();
+  return (hi << 32) | get_u32();
+}
+
+std::uint64_t ByteReader::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (shift >= 64) throw DecodeError("varint too long");
+    const std::uint8_t byte = get_u8();
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::span<const std::uint8_t> ByteReader::get_bytes(std::size_t n) {
+  require(n);
+  auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+std::string ByteReader::get_string() {
+  const std::uint64_t n = get_varint();
+  if (n > remaining()) throw DecodeError("string length exceeds buffer");
+  auto view = get_bytes(static_cast<std::size_t>(n));
+  return std::string(view.begin(), view.end());
+}
+
+ByteReader ByteReader::sub_reader(std::size_t n) {
+  return ByteReader(get_bytes(n));
+}
+
+}  // namespace dbgp::util

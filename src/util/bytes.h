@@ -1,0 +1,85 @@
+// Big-endian byte buffer reader/writer used by all wire codecs.
+//
+// BGP (RFC 4271) and the Integrated-Advertisement TLV format are big-endian
+// on the wire. ByteWriter appends to an owned std::vector<uint8_t>;
+// ByteReader is a non-owning bounded cursor over a span of bytes. Reads past
+// the end throw DecodeError — wire decoding must never read out of bounds,
+// and malformed input is an expected (recoverable) condition for a router.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbgp::util {
+
+// Thrown when decoding malformed or truncated wire data.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void put_u8(std::uint8_t v);
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  // LEB128-style unsigned varint (7 bits/byte, MSB = continuation).
+  void put_varint(std::uint64_t v);
+  void put_bytes(std::span<const std::uint8_t> bytes);
+  void put_string(std::string_view s);  // varint length + bytes
+
+  // Reserves space for a 16-bit length at the current position; returns the
+  // offset to pass to patch_u16 once the final value is known. Used for BGP's
+  // "total path attribute length"-style back-patched fields.
+  std::size_t reserve_u16();
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::uint64_t get_varint();
+  // Returns a view into the underlying buffer (no copy).
+  std::span<const std::uint8_t> get_bytes(std::size_t n);
+  std::string get_string();  // varint length + bytes
+
+  // Throws unless at least count * min_bytes_each bytes remain. Call before
+  // reserving/looping over a count-prefixed sequence: it bounds allocations
+  // by the actual input size, so hostile counts fail fast instead of
+  // triggering multi-gigabyte reserves.
+  void expect_items(std::uint64_t count, std::size_t min_bytes_each = 1) const;
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+  std::size_t position() const noexcept { return pos_; }
+
+  // Returns a sub-reader over the next n bytes and advances past them.
+  ByteReader sub_reader(std::size_t n);
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dbgp::util

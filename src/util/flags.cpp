@@ -1,0 +1,60 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace dbgp::util {
+
+bool Flags::parse(int argc, const char* const* argv, std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg.empty()) {
+      error = "bare '--' is not a valid flag";
+      return false;
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "true";
+    }
+  }
+  return true;
+}
+
+bool Flags::has(std::string_view name) const noexcept {
+  return values_.find(name) != values_.end();
+}
+
+std::string Flags::get_string(std::string_view name, std::string_view default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? std::string(default_value) : it->second;
+}
+
+std::int64_t Flags::get_int(std::string_view name, std::int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(std::string_view name, double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(std::string_view name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace dbgp::util

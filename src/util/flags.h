@@ -1,0 +1,34 @@
+// Tiny command-line flag parser for examples and benchmark drivers.
+//
+// Supports "--name=value", "--name value", and boolean "--name". Unknown
+// flags are reported rather than ignored so experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbgp::util {
+
+class Flags {
+ public:
+  // Parses argv; returns false (and fills `error`) on malformed input.
+  bool parse(int argc, const char* const* argv, std::string& error);
+
+  bool has(std::string_view name) const noexcept;
+  std::string get_string(std::string_view name, std::string_view default_value) const;
+  std::int64_t get_int(std::string_view name, std::int64_t default_value) const;
+  double get_double(std::string_view name, double default_value) const;
+  bool get_bool(std::string_view name, bool default_value) const;
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dbgp::util

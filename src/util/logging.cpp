@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace dbgp::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty => default stderr sink
+
+void default_sink(LogLevel level, std::string_view line) {
+  std::cerr << "[" << to_string(level) << "] " << line << "\n";
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < g_level.load()) return;
+  std::string line;
+  line.reserve(component.size() + message.size() + 2);
+  line.append(component);
+  line.append(": ");
+  line.append(message);
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    default_sink(level, line);
+  }
+}
+
+LogStream::~LogStream() { log_line(level_, component_, stream_.str()); }
+
+}  // namespace dbgp::util

@@ -1,0 +1,58 @@
+// Minimal leveled logger for the D-BGP library.
+//
+// All library code logs through this facility so that tests and benchmarks
+// can silence or capture output deterministically. The logger is
+// intentionally synchronous and unbuffered: the simulator is single-threaded
+// and log ordering must match event ordering.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dbgp::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+// Returns the lowercase name of a level ("trace", "debug", ...).
+std::string_view to_string(LogLevel level) noexcept;
+
+// Global minimum level; messages below it are discarded. Defaults to kWarn
+// so tests and benchmarks are quiet unless they opt in.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+// Replaces the sink (default writes to stderr). Passing nullptr restores the
+// default sink. The sink receives fully formatted lines without a trailing
+// newline.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+void set_log_sink(LogSink sink);
+
+// Emits one log line if `level` >= the global level.
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+// Stream-style helper: LOG_AT(kInfo, "bgp") << "peer up: " << peer;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component) noexcept
+      : level_(level), component_(component) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream();
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dbgp::util
+
+#define DBGP_LOG(level, component) ::dbgp::util::LogStream((level), (component))

@@ -1,0 +1,79 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace dbgp::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  state_ = splitmix64(sm);
+  inc_ = splitmix64(sm) | 1ULL;  // stream selector must be odd
+  // Advance once so the first output depends on both words.
+  (void)next_u32();
+}
+
+std::uint32_t Rng::next_u32() noexcept {
+  // PCG-XSH-RR 64/32.
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const std::uint32_t xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+std::uint32_t Rng::next_below(std::uint32_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire's rejection method.
+  std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+  auto low = static_cast<std::uint32_t>(m);
+  if (low < bound) {
+    const std::uint32_t threshold = (0u - bound) % bound;
+    while (low < threshold) {
+      m = static_cast<std::uint64_t>(next_u32()) * bound;
+      low = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+  // 64-bit variant of next_below; span fits in 64 bits.
+  std::uint64_t value = next_u64() % span;  // modulo bias negligible for simulation spans
+  return lo + static_cast<std::int64_t>(value);
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p_true) noexcept { return next_double() < p_true; }
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  assert(k <= n);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + next_below(static_cast<std::uint32_t>(n - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace dbgp::util

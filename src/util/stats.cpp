@@ -1,0 +1,40 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbgp::util {
+
+Summary summarize(const std::vector<double>& samples) noexcept {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double ss = 0.0;
+    for (double v : samples) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(samples.size() - 1));
+    s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(samples.size()));
+  }
+  return s;
+}
+
+double percentile(std::vector<double> samples, double p) noexcept {
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace dbgp::util

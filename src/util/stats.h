@@ -1,0 +1,28 @@
+// Descriptive statistics for experiment aggregation.
+//
+// The paper reports multi-trial averages with 95% confidence intervals
+// (Figures 9 & 10); Summary provides exactly that, using the normal
+// approximation the original evaluation implies (9 trials, error bars).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dbgp::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   // sample standard deviation
+  double ci95 = 0.0;     // 95% CI half-width (1.96 * stderr)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Computes summary statistics; returns a zeroed Summary for empty input.
+Summary summarize(const std::vector<double>& samples) noexcept;
+
+// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::vector<double> samples, double p) noexcept;
+
+}  // namespace dbgp::util

@@ -1,0 +1,71 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace dbgp::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      parts.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) noexcept {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  out = v;
+  return true;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (bytes >= 100 || bytes == static_cast<double>(static_cast<long long>(bytes))) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", bytes, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace dbgp::util

@@ -1,0 +1,27 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbgp::util {
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+// Parses a non-negative integer; returns false on any non-digit or overflow.
+bool parse_u64(std::string_view s, std::uint64_t& out) noexcept;
+
+// Human-readable byte count, e.g. "4.0 KB", "1.2 MB", "3 GB".
+std::string format_bytes(double bytes);
+
+}  // namespace dbgp::util

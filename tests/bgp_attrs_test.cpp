@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "bgp/path_attributes.h"
+#include "util/rng.h"
+
+namespace dbgp::bgp {
+namespace {
+
+PathAttributes sample_attrs() {
+  PathAttributes attrs;
+  attrs.origin = Origin::kEgp;
+  attrs.as_path = AsPath({65001, 65002, 70000});
+  attrs.next_hop = net::Ipv4Address(192, 0, 2, 1);
+  attrs.med = 50;
+  attrs.local_pref = 200;
+  attrs.communities = {0x00010002, 0xffff0001};
+  return attrs;
+}
+
+TEST(AsPath, PrependExtendsLeadingSequence) {
+  AsPath path({2, 3});
+  path.prepend(1);
+  ASSERT_EQ(path.segments().size(), 1u);
+  EXPECT_EQ(path.segments()[0].asns, (std::vector<AsNumber>{1, 2, 3}));
+}
+
+TEST(AsPath, PrependAfterSetCreatesNewSegment) {
+  AsPath path;
+  path.prepend_set({5, 6});
+  path.prepend(1);
+  ASSERT_EQ(path.segments().size(), 2u);
+  EXPECT_EQ(path.segments()[0].type, AsPathSegment::Type::kSequence);
+  EXPECT_EQ(path.segments()[1].type, AsPathSegment::Type::kSet);
+}
+
+TEST(AsPath, HopCountCountsSetAsOne) {
+  AsPath path({1, 2, 3});
+  path.prepend_set({10, 11, 12});
+  EXPECT_EQ(path.hop_count(), 4u);  // 3 sequence + 1 for the whole set
+  EXPECT_EQ(path.total_asns(), 6u);
+}
+
+TEST(AsPath, ContainsLooksInsideSets) {
+  AsPath path({1, 2});
+  path.prepend_set({7, 8});
+  EXPECT_TRUE(path.contains(1));
+  EXPECT_TRUE(path.contains(8));
+  EXPECT_FALSE(path.contains(9));
+}
+
+TEST(AsPath, ToString) {
+  AsPath path({1, 2});
+  path.prepend_set({7, 8});
+  EXPECT_EQ(path.to_string(), "{7,8} 1 2");
+}
+
+TEST(PathAttributes, RoundTrip) {
+  const PathAttributes attrs = sample_attrs();
+  util::ByteWriter w;
+  attrs.encode(w);
+  util::ByteReader r(w.bytes());
+  const PathAttributes decoded = PathAttributes::decode(r, w.size());
+  EXPECT_EQ(decoded, attrs);
+}
+
+TEST(PathAttributes, RoundTripMinimal) {
+  PathAttributes attrs;
+  attrs.as_path = AsPath({1});
+  attrs.next_hop = net::Ipv4Address(10, 0, 0, 1);
+  util::ByteWriter w;
+  attrs.encode(w);
+  util::ByteReader r(w.bytes());
+  EXPECT_EQ(PathAttributes::decode(r, w.size()), attrs);
+}
+
+TEST(PathAttributes, FourOctetAsRoundTrip) {
+  PathAttributes attrs;
+  attrs.as_path = AsPath({4200000001u, 65001});
+  attrs.next_hop = net::Ipv4Address(10, 0, 0, 1);
+  util::ByteWriter w;
+  attrs.encode(w);
+  util::ByteReader r(w.bytes());
+  EXPECT_EQ(PathAttributes::decode(r, w.size()).as_path, attrs.as_path);
+}
+
+TEST(PathAttributes, UnknownOptionalTransitivePassesThrough) {
+  PathAttributes attrs;
+  attrs.as_path = AsPath({1});
+  attrs.next_hop = net::Ipv4Address(10, 0, 0, 1);
+  // An optional transitive attribute this implementation does not know —
+  // BGP's existing evolvability hook (Section 2.6 of the paper).
+  attrs.unknown.push_back({kAttrFlagOptional | kAttrFlagTransitive, 240, {1, 2, 3, 4}});
+  util::ByteWriter w;
+  attrs.encode(w);
+  util::ByteReader r(w.bytes());
+  const PathAttributes decoded = PathAttributes::decode(r, w.size());
+  ASSERT_EQ(decoded.unknown.size(), 1u);
+  EXPECT_EQ(decoded.unknown[0].type, 240);
+  EXPECT_EQ(decoded.unknown[0].value, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(decoded.unknown[0].transitive());
+  // The Partial bit must be set once forwarded.
+  EXPECT_NE(decoded.unknown[0].flags & kAttrFlagPartial, 0);
+}
+
+TEST(PathAttributes, UnknownOptionalNonTransitiveDropped) {
+  util::ByteWriter w;
+  PathAttributes base;
+  base.as_path = AsPath({1});
+  base.next_hop = net::Ipv4Address(10, 0, 0, 1);
+  base.encode(w);
+  // Append a raw optional NON-transitive unknown attribute.
+  w.put_u8(kAttrFlagOptional);
+  w.put_u8(241);
+  w.put_u8(2);
+  w.put_u8(0xaa);
+  w.put_u8(0xbb);
+  util::ByteReader r(w.bytes());
+  const PathAttributes decoded = PathAttributes::decode(r, w.size());
+  EXPECT_TRUE(decoded.unknown.empty());
+}
+
+TEST(PathAttributes, UnrecognizedWellKnownIsError) {
+  util::ByteWriter w;
+  PathAttributes base;
+  base.as_path = AsPath({1});
+  base.next_hop = net::Ipv4Address(10, 0, 0, 1);
+  base.encode(w);
+  w.put_u8(kAttrFlagTransitive);  // well-known (not optional)
+  w.put_u8(200);
+  w.put_u8(0);
+  util::ByteReader r(w.bytes());
+  EXPECT_THROW(PathAttributes::decode(r, w.size()), util::DecodeError);
+}
+
+TEST(PathAttributes, MissingMandatoryIsError) {
+  util::ByteWriter w;
+  // Only ORIGIN: no AS_PATH / NEXT_HOP.
+  w.put_u8(kAttrFlagTransitive);
+  w.put_u8(static_cast<std::uint8_t>(AttrType::kOrigin));
+  w.put_u8(1);
+  w.put_u8(0);
+  util::ByteReader r(w.bytes());
+  EXPECT_THROW(PathAttributes::decode(r, w.size()), util::DecodeError);
+}
+
+TEST(PathAttributes, ExtendedLengthForLargePayloads) {
+  PathAttributes attrs;
+  attrs.as_path = AsPath({1});
+  attrs.next_hop = net::Ipv4Address(10, 0, 0, 1);
+  std::vector<std::uint8_t> big(1000, 0x7e);
+  attrs.unknown.push_back({kAttrFlagOptional | kAttrFlagTransitive, 240, big});
+  util::ByteWriter w;
+  attrs.encode(w);
+  util::ByteReader r(w.bytes());
+  const PathAttributes decoded = PathAttributes::decode(r, w.size());
+  ASSERT_EQ(decoded.unknown.size(), 1u);
+  EXPECT_EQ(decoded.unknown[0].value.size(), 1000u);
+}
+
+TEST(PathAttributes, TruncatedBlockThrows) {
+  const PathAttributes attrs = sample_attrs();
+  util::ByteWriter w;
+  attrs.encode(w);
+  auto bytes = w.bytes();
+  bytes.pop_back();
+  util::ByteReader r(bytes);
+  EXPECT_THROW(PathAttributes::decode(r, bytes.size()), util::DecodeError);
+}
+
+TEST(PathAttributes, RandomizedRoundTrip) {
+  util::Rng rng(2024);
+  for (int iter = 0; iter < 50; ++iter) {
+    PathAttributes attrs;
+    attrs.origin = static_cast<Origin>(rng.next_below(3));
+    std::vector<AsNumber> seq;
+    const auto len = rng.next_below(6) + 1;
+    for (std::uint32_t i = 0; i < len; ++i) seq.push_back(rng.next_u32() % 100000 + 1);
+    attrs.as_path = AsPath(seq);
+    attrs.next_hop = net::Ipv4Address(rng.next_u32());
+    if (rng.next_bool(0.5)) attrs.med = rng.next_u32();
+    if (rng.next_bool(0.5)) attrs.local_pref = rng.next_u32();
+    if (rng.next_bool(0.3)) attrs.aggregator = {rng.next_u32(), net::Ipv4Address(rng.next_u32())};
+    const auto ncomm = rng.next_below(4);
+    for (std::uint32_t i = 0; i < ncomm; ++i) attrs.communities.push_back(rng.next_u32());
+    util::ByteWriter w;
+    attrs.encode(w);
+    util::ByteReader r(w.bytes());
+    EXPECT_EQ(PathAttributes::decode(r, w.size()), attrs);
+  }
+}
+
+}  // namespace
+}  // namespace dbgp::bgp

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "bgp/decision.h"
+#include "bgp/policy.h"
+
+namespace dbgp::bgp {
+namespace {
+
+Route make_route(std::vector<AsNumber> path, PeerId peer = 0, AsNumber neighbor_as = 0,
+                 std::uint64_t seq = 0) {
+  Route r;
+  r.prefix = *net::Prefix::parse("10.0.0.0/8");
+  r.attrs.as_path = AsPath(std::move(path));
+  r.attrs.next_hop = net::Ipv4Address(1, 1, 1, 1);
+  r.from_peer = peer;
+  r.neighbor_as = neighbor_as;
+  r.sequence = seq;
+  return r;
+}
+
+TEST(Decision, LocalPrefDominates) {
+  Route a = make_route({1, 2, 3, 4});
+  a.attrs.local_pref = 200;
+  Route b = make_route({1});
+  b.attrs.local_pref = 100;
+  EXPECT_TRUE(better_route(a, b));
+  EXPECT_FALSE(better_route(b, a));
+}
+
+TEST(Decision, AbsentLocalPrefTreatedAsDefault) {
+  Route a = make_route({1, 2});
+  Route b = make_route({1, 2, 3});
+  b.attrs.local_pref = kDefaultLocalPref;  // explicit default
+  EXPECT_TRUE(better_route(a, b));  // falls to path length
+}
+
+TEST(Decision, ShorterPathWins) {
+  EXPECT_TRUE(better_route(make_route({1, 2}), make_route({1, 2, 3})));
+}
+
+TEST(Decision, AsSetCountsAsOneHop) {
+  Route a = make_route({1});
+  a.attrs.as_path.prepend_set({10, 11, 12});  // hop_count 2
+  Route b = make_route({1, 2, 3});            // hop_count 3
+  EXPECT_TRUE(better_route(a, b));
+}
+
+TEST(Decision, OriginOrder) {
+  Route a = make_route({1, 2});
+  a.attrs.origin = Origin::kIgp;
+  Route b = make_route({3, 4});
+  b.attrs.origin = Origin::kEgp;
+  EXPECT_TRUE(better_route(a, b));
+  Route c = make_route({5, 6});
+  c.attrs.origin = Origin::kIncomplete;
+  EXPECT_TRUE(better_route(b, c));
+}
+
+TEST(Decision, MedOnlyComparedWithinSameNeighborAs) {
+  Route a = make_route({1, 2}, 0, 65001);
+  a.attrs.med = 100;
+  Route b = make_route({1, 3}, 1, 65001);
+  b.attrs.med = 10;
+  EXPECT_TRUE(better_route(b, a));  // same neighbor AS: lower MED wins
+
+  Route c = make_route({1, 3}, 1, 65002);
+  c.attrs.med = 10;
+  // Different neighbor AS: MED skipped, falls to peer id (0 < 1).
+  EXPECT_TRUE(better_route(a, c));
+}
+
+TEST(Decision, PeerIdAndSequenceBreakTies) {
+  Route a = make_route({1, 2}, 0, 0, 5);
+  Route b = make_route({1, 3}, 1, 0, 1);
+  EXPECT_TRUE(better_route(a, b));
+  Route c = make_route({1, 3}, 0, 0, 1);
+  EXPECT_TRUE(better_route(c, a));  // same peer: earlier arrival
+}
+
+TEST(Decision, SelectBestOverSet) {
+  Route a = make_route({1, 2, 3}, 0);
+  Route b = make_route({1, 2}, 1);
+  Route c = make_route({1, 2, 3, 4}, 2);
+  EXPECT_EQ(select_best({&a, &b, &c}), &b);
+  EXPECT_EQ(select_best({}), nullptr);
+}
+
+// -- Policy ------------------------------------------------------------------------
+
+TEST(Policy, EmptyChainAccepts) {
+  PolicyChain chain;
+  PathAttributes attrs;
+  attrs.as_path = AsPath({1});
+  EXPECT_TRUE(chain.apply(*net::Prefix::parse("10.0.0.0/8"), attrs, 65000));
+}
+
+TEST(Policy, PrefixExactMatchRejects) {
+  PolicyRule rule;
+  rule.match.prefix_exact = *net::Prefix::parse("10.0.0.0/8");
+  rule.accept = false;
+  PolicyChain chain({rule});
+  PathAttributes attrs;
+  EXPECT_FALSE(chain.apply(*net::Prefix::parse("10.0.0.0/8"), attrs, 65000));
+  EXPECT_TRUE(chain.apply(*net::Prefix::parse("10.0.0.0/9"), attrs, 65000));
+}
+
+TEST(Policy, CoveredByMatchesMoreSpecifics) {
+  PolicyRule rule;
+  rule.match.prefix_covered_by = *net::Prefix::parse("10.0.0.0/8");
+  rule.accept = false;
+  PolicyChain chain({rule});
+  PathAttributes attrs;
+  EXPECT_FALSE(chain.apply(*net::Prefix::parse("10.1.0.0/16"), attrs, 65000));
+  EXPECT_TRUE(chain.apply(*net::Prefix::parse("11.0.0.0/8"), attrs, 65000));
+}
+
+TEST(Policy, AsPathFilter) {
+  PolicyRule rule;
+  rule.match.as_path_contains = 666;
+  rule.accept = false;
+  PolicyChain chain({rule});
+  PathAttributes bad;
+  bad.as_path = AsPath({1, 666, 3});
+  PathAttributes good;
+  good.as_path = AsPath({1, 2, 3});
+  EXPECT_FALSE(chain.apply(*net::Prefix::parse("10.0.0.0/8"), bad, 65000));
+  EXPECT_TRUE(chain.apply(*net::Prefix::parse("10.0.0.0/8"), good, 65000));
+}
+
+TEST(Policy, ActionsApplyOnAccept) {
+  PolicyRule rule;
+  rule.actions.set_local_pref = 300;
+  rule.actions.prepend_count = 2;
+  rule.actions.add_communities = {0xdead};
+  PolicyChain chain({rule});
+  PathAttributes attrs;
+  attrs.as_path = AsPath({1});
+  ASSERT_TRUE(chain.apply(*net::Prefix::parse("10.0.0.0/8"), attrs, 65000));
+  EXPECT_EQ(attrs.local_pref, 300u);
+  EXPECT_EQ(attrs.as_path.hop_count(), 3u);
+  EXPECT_TRUE(attrs.as_path.contains(65000));
+  EXPECT_EQ(attrs.communities, std::vector<std::uint32_t>{0xdead});
+}
+
+TEST(Policy, CommunityMatchAndStrip) {
+  PolicyRule rule;
+  rule.match.has_community = 42;
+  rule.actions.strip_communities = {42};
+  rule.actions.set_med = 99;
+  PolicyChain chain({rule});
+  PathAttributes attrs;
+  attrs.communities = {42, 43};
+  ASSERT_TRUE(chain.apply(*net::Prefix::parse("10.0.0.0/8"), attrs, 65000));
+  EXPECT_EQ(attrs.communities, std::vector<std::uint32_t>{43});
+  EXPECT_EQ(attrs.med, 99u);
+}
+
+TEST(Policy, FirstMatchWins) {
+  PolicyRule reject_all;
+  reject_all.accept = false;
+  PolicyRule accept_specific;
+  accept_specific.match.prefix_exact = *net::Prefix::parse("10.0.0.0/8");
+  PolicyChain chain({accept_specific, reject_all});
+  PathAttributes attrs;
+  EXPECT_TRUE(chain.apply(*net::Prefix::parse("10.0.0.0/8"), attrs, 65000));
+  EXPECT_FALSE(chain.apply(*net::Prefix::parse("11.0.0.0/8"), attrs, 65000));
+}
+
+TEST(Policy, AddCommunityIsIdempotent) {
+  PolicyRule rule;
+  rule.actions.add_communities = {7};
+  PolicyChain chain({rule});
+  PathAttributes attrs;
+  attrs.communities = {7};
+  ASSERT_TRUE(chain.apply(*net::Prefix::parse("10.0.0.0/8"), attrs, 65000));
+  EXPECT_EQ(attrs.communities.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dbgp::bgp

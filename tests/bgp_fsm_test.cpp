@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "bgp/fsm.h"
+
+namespace dbgp::bgp {
+namespace {
+
+TEST(SessionFsm, HappyPathHandshake) {
+  SessionFsm fsm(90);
+  EXPECT_EQ(fsm.state(), FsmState::kIdle);
+  fsm.handle(FsmEvent::kManualStart, 0.0);
+  EXPECT_EQ(fsm.state(), FsmState::kConnect);
+  EXPECT_EQ(fsm.handle(FsmEvent::kTcpConnected, 0.0), FsmAction::kSendOpen);
+  EXPECT_EQ(fsm.state(), FsmState::kOpenSent);
+  EXPECT_EQ(fsm.handle(FsmEvent::kOpenReceived, 0.1), FsmAction::kSendKeepAlive);
+  EXPECT_EQ(fsm.state(), FsmState::kOpenConfirm);
+  EXPECT_EQ(fsm.handle(FsmEvent::kKeepAliveReceived, 0.2), FsmAction::kSessionUp);
+  EXPECT_TRUE(fsm.established());
+}
+
+TEST(SessionFsm, HoldTimeNegotiatesToMin) {
+  SessionFsm fsm(90);
+  fsm.negotiate_hold_time(30);
+  EXPECT_EQ(fsm.hold_time(), 30u);
+  fsm.negotiate_hold_time(120);
+  EXPECT_EQ(fsm.hold_time(), 30u);
+}
+
+TEST(SessionFsm, HoldTimerExpiryTearsDown) {
+  SessionFsm fsm(30);
+  fsm.handle(FsmEvent::kManualStart, 0.0);
+  fsm.handle(FsmEvent::kTcpConnected, 0.0);
+  fsm.handle(FsmEvent::kOpenReceived, 0.0);
+  fsm.handle(FsmEvent::kKeepAliveReceived, 0.0);
+  ASSERT_TRUE(fsm.established());
+  EXPECT_EQ(fsm.tick(10.0), FsmAction::kSendKeepAlive);  // keepalive at hold/3
+  EXPECT_EQ(fsm.tick(31.0), FsmAction::kSessionDown);
+  EXPECT_EQ(fsm.state(), FsmState::kIdle);
+}
+
+TEST(SessionFsm, KeepAliveRefreshesHoldTimer) {
+  SessionFsm fsm(30);
+  fsm.handle(FsmEvent::kManualStart, 0.0);
+  fsm.handle(FsmEvent::kTcpConnected, 0.0);
+  fsm.handle(FsmEvent::kOpenReceived, 0.0);
+  fsm.handle(FsmEvent::kKeepAliveReceived, 0.0);
+  fsm.handle(FsmEvent::kKeepAliveReceived, 25.0);  // refresh
+  EXPECT_NE(fsm.tick(40.0), FsmAction::kSessionDown);
+  EXPECT_TRUE(fsm.established());
+  EXPECT_EQ(fsm.tick(56.0), FsmAction::kSessionDown);
+}
+
+TEST(SessionFsm, UpdateRefreshesHoldTimer) {
+  SessionFsm fsm(30);
+  fsm.handle(FsmEvent::kManualStart, 0.0);
+  fsm.handle(FsmEvent::kTcpConnected, 0.0);
+  fsm.handle(FsmEvent::kOpenReceived, 0.0);
+  fsm.handle(FsmEvent::kKeepAliveReceived, 0.0);
+  fsm.handle(FsmEvent::kUpdateReceived, 20.0);
+  EXPECT_TRUE(fsm.established());
+  EXPECT_NE(fsm.tick(35.0), FsmAction::kSessionDown);
+}
+
+TEST(SessionFsm, ZeroHoldTimeDisablesTimers) {
+  SessionFsm fsm(0);
+  fsm.handle(FsmEvent::kManualStart, 0.0);
+  fsm.handle(FsmEvent::kTcpConnected, 0.0);
+  fsm.handle(FsmEvent::kOpenReceived, 0.0);
+  fsm.handle(FsmEvent::kKeepAliveReceived, 0.0);
+  EXPECT_EQ(fsm.tick(1e9), FsmAction::kNone);
+  EXPECT_TRUE(fsm.established());
+}
+
+TEST(SessionFsm, UpdateBeforeEstablishedIsError) {
+  SessionFsm fsm(90);
+  fsm.handle(FsmEvent::kManualStart, 0.0);
+  fsm.handle(FsmEvent::kTcpConnected, 0.0);
+  EXPECT_EQ(fsm.handle(FsmEvent::kUpdateReceived, 0.1), FsmAction::kSendNotificationAndDrop);
+}
+
+TEST(SessionFsm, NotificationTearsDownEstablishedSession) {
+  SessionFsm fsm(90);
+  fsm.handle(FsmEvent::kManualStart, 0.0);
+  fsm.handle(FsmEvent::kTcpConnected, 0.0);
+  fsm.handle(FsmEvent::kOpenReceived, 0.0);
+  fsm.handle(FsmEvent::kKeepAliveReceived, 0.0);
+  EXPECT_EQ(fsm.handle(FsmEvent::kNotificationReceived, 1.0), FsmAction::kSessionDown);
+  EXPECT_EQ(fsm.state(), FsmState::kIdle);
+}
+
+TEST(SessionFsm, PassiveOpenAnswersWithOpen) {
+  SessionFsm fsm(90);
+  fsm.handle(FsmEvent::kManualStart, 0.0);
+  // OPEN arrives before our TCP connect succeeded (collision-simplified).
+  EXPECT_EQ(fsm.handle(FsmEvent::kOpenReceived, 0.0), FsmAction::kSendOpen);
+  EXPECT_EQ(fsm.state(), FsmState::kOpenConfirm);
+  EXPECT_EQ(fsm.handle(FsmEvent::kKeepAliveReceived, 0.1), FsmAction::kSessionUp);
+}
+
+TEST(SessionFsm, ManualStopFromEstablishedFlushes) {
+  SessionFsm fsm(90);
+  fsm.handle(FsmEvent::kManualStart, 0.0);
+  fsm.handle(FsmEvent::kTcpConnected, 0.0);
+  fsm.handle(FsmEvent::kOpenReceived, 0.0);
+  fsm.handle(FsmEvent::kKeepAliveReceived, 0.0);
+  EXPECT_EQ(fsm.handle(FsmEvent::kManualStop, 1.0), FsmAction::kSessionDown);
+  // Restart works after reset.
+  fsm.handle(FsmEvent::kManualStart, 2.0);
+  EXPECT_EQ(fsm.state(), FsmState::kConnect);
+}
+
+TEST(SessionFsm, TcpFailedInConnectRetries) {
+  SessionFsm fsm(90);
+  fsm.handle(FsmEvent::kManualStart, 0.0);
+  EXPECT_EQ(fsm.handle(FsmEvent::kTcpFailed, 0.1), FsmAction::kNone);
+  EXPECT_EQ(fsm.state(), FsmState::kActive);
+  EXPECT_EQ(fsm.handle(FsmEvent::kTcpConnected, 0.2), FsmAction::kSendOpen);
+}
+
+}  // namespace
+}  // namespace dbgp::bgp

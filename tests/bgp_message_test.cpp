@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "bgp/message.h"
+
+namespace dbgp::bgp {
+namespace {
+
+TEST(Nlri, RoundTripVariousLengths) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "10.128.0.0/9", "192.168.1.0/24",
+                           "192.168.1.17/32", "172.16.0.0/12"}) {
+    const net::Prefix p = *net::Prefix::parse(text);
+    util::ByteWriter w;
+    encode_nlri_prefix(w, p);
+    util::ByteReader r(w.bytes());
+    EXPECT_EQ(decode_nlri_prefix(r), p) << text;
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(Nlri, UsesMinimalOctets) {
+  util::ByteWriter w;
+  encode_nlri_prefix(w, *net::Prefix::parse("10.0.0.0/8"));
+  EXPECT_EQ(w.size(), 2u);  // length byte + 1 octet
+  util::ByteWriter w2;
+  encode_nlri_prefix(w2, *net::Prefix::parse("10.1.0.0/16"));
+  EXPECT_EQ(w2.size(), 3u);
+}
+
+TEST(Message, OpenRoundTrip) {
+  OpenMessage open;
+  open.asn = 4200000000u;  // requires the 4-octet capability
+  open.hold_time = 180;
+  open.router_id = net::Ipv4Address(10, 0, 0, 99);
+  const auto bytes = encode_message(open);
+  EXPECT_EQ(bytes.size(), (static_cast<std::size_t>(bytes[16]) << 8) | bytes[17]);
+  const Message decoded = decode_message(bytes);
+  ASSERT_TRUE(std::holds_alternative<OpenMessage>(decoded));
+  const auto& got = std::get<OpenMessage>(decoded);
+  EXPECT_EQ(got.asn, open.asn);
+  EXPECT_EQ(got.hold_time, 180);
+  EXPECT_EQ(got.router_id, open.router_id);
+  EXPECT_TRUE(got.capabilities.four_octet_as);
+}
+
+TEST(Message, OpenTwoOctetAsInWireField) {
+  OpenMessage open;
+  open.asn = 70000;  // > 65535: the 2-byte field must carry AS_TRANS
+  open.router_id = net::Ipv4Address(1, 1, 1, 1);
+  const auto bytes = encode_message(open);
+  // Byte 19 is version; bytes 20-21 the 2-octet AS field.
+  EXPECT_EQ((bytes[20] << 8) | bytes[21], static_cast<int>(kAsTrans));
+  // But the capability restores the real ASN.
+  EXPECT_EQ(std::get<OpenMessage>(decode_message(bytes)).asn, 70000u);
+}
+
+TEST(Message, UpdateRoundTrip) {
+  UpdateMessage update;
+  update.withdrawn.push_back(*net::Prefix::parse("172.16.0.0/12"));
+  PathAttributes attrs;
+  attrs.as_path = AsPath({65001, 65002});
+  attrs.next_hop = net::Ipv4Address(10, 0, 0, 1);
+  update.attributes = attrs;
+  update.nlri.push_back(*net::Prefix::parse("192.168.0.0/16"));
+  update.nlri.push_back(*net::Prefix::parse("192.168.128.0/17"));
+  const Message decoded = decode_message(encode_message(update));
+  ASSERT_TRUE(std::holds_alternative<UpdateMessage>(decoded));
+  EXPECT_EQ(std::get<UpdateMessage>(decoded), update);
+}
+
+TEST(Message, WithdrawOnlyUpdate) {
+  UpdateMessage update;
+  update.withdrawn.push_back(*net::Prefix::parse("10.0.0.0/8"));
+  const Message decoded = decode_message(encode_message(update));
+  const auto& got = std::get<UpdateMessage>(decoded);
+  EXPECT_EQ(got.withdrawn.size(), 1u);
+  EXPECT_FALSE(got.attributes.has_value());
+  EXPECT_TRUE(got.nlri.empty());
+}
+
+TEST(Message, NlriWithoutAttributesRejected) {
+  // Craft: header + zero withdrawn + zero attrs + one NLRI.
+  util::ByteWriter w;
+  for (int i = 0; i < 16; ++i) w.put_u8(0xff);
+  const auto len_at = w.reserve_u16();
+  w.put_u8(2);  // UPDATE
+  w.put_u16(0);
+  w.put_u16(0);
+  encode_nlri_prefix(w, *net::Prefix::parse("10.0.0.0/8"));
+  w.patch_u16(len_at, static_cast<std::uint16_t>(w.size()));
+  EXPECT_THROW(decode_message(w.bytes()), util::DecodeError);
+}
+
+TEST(Message, KeepAliveRoundTrip) {
+  const auto bytes = encode_message(KeepAliveMessage{});
+  EXPECT_EQ(bytes.size(), kHeaderSize);
+  EXPECT_TRUE(std::holds_alternative<KeepAliveMessage>(decode_message(bytes)));
+}
+
+TEST(Message, NotificationRoundTrip) {
+  NotificationMessage notif{6, 2, {0xde, 0xad}};
+  const Message decoded = decode_message(encode_message(notif));
+  EXPECT_EQ(std::get<NotificationMessage>(decoded), notif);
+}
+
+TEST(Message, BadMarkerRejected) {
+  auto bytes = encode_message(KeepAliveMessage{});
+  bytes[3] = 0x00;
+  EXPECT_THROW(decode_message(bytes), util::DecodeError);
+}
+
+TEST(Message, LengthMismatchRejected) {
+  auto bytes = encode_message(KeepAliveMessage{});
+  bytes.push_back(0);  // trailing garbage makes declared != actual
+  EXPECT_THROW(decode_message(bytes), util::DecodeError);
+}
+
+TEST(Message, UnknownTypeRejected) {
+  auto bytes = encode_message(KeepAliveMessage{});
+  bytes[18] = 9;
+  EXPECT_THROW(decode_message(bytes), util::DecodeError);
+}
+
+TEST(Message, OversizeUpdateRejectedAtEncode) {
+  UpdateMessage update;
+  PathAttributes attrs;
+  attrs.as_path = AsPath({1});
+  attrs.next_hop = net::Ipv4Address(1, 1, 1, 1);
+  attrs.unknown.push_back({kAttrFlagOptional | kAttrFlagTransitive, 240,
+                           std::vector<std::uint8_t>(5000, 0)});
+  update.attributes = attrs;
+  update.nlri.push_back(*net::Prefix::parse("10.0.0.0/8"));
+  EXPECT_THROW(encode_message(update), util::DecodeError);
+}
+
+TEST(Message, KeepAliveWithBodyRejected) {
+  util::ByteWriter w;
+  for (int i = 0; i < 16; ++i) w.put_u8(0xff);
+  w.put_u16(20);  // header + 1 extra byte
+  w.put_u8(4);
+  w.put_u8(0x42);
+  EXPECT_THROW(decode_message(w.bytes()), util::DecodeError);
+}
+
+}  // namespace
+}  // namespace dbgp::bgp

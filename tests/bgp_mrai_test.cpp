@@ -1,0 +1,202 @@
+// MRAI (RFC 4271 9.2.1.1) pacing and coalescing in the BGP speaker.
+#include <gtest/gtest.h>
+
+#include "bgp/speaker.h"
+
+namespace dbgp::bgp {
+namespace {
+
+const net::Prefix kPrefix = *net::Prefix::parse("10.0.0.0/8");
+
+struct MraiFixture {
+  BgpSpeaker speaker;
+  PeerId upstream;    // routes come from here
+  PeerId downstream;  // MRAI pacing observed here
+
+  explicit MraiFixture(double mrai)
+      : speaker([mrai] {
+          BgpSpeaker::Config config;
+          config.asn = 100;
+          config.router_id = net::Ipv4Address(100);
+          config.next_hop = net::Ipv4Address(100);
+          config.hold_time = 0;
+          config.mrai = mrai;
+          return config;
+        }()) {
+    upstream = speaker.add_peer(200);
+    downstream = speaker.add_peer(300);
+    establish(upstream, 200);
+    establish(downstream, 300);
+  }
+
+  void establish(PeerId peer, AsNumber remote) {
+    speaker.start_peer(peer, 0.0);
+    speaker.handle_message(peer, OpenMessage{4, remote, 0, net::Ipv4Address(remote), {}},
+                           0.0);
+    speaker.handle_message(peer, KeepAliveMessage{}, 0.0);
+  }
+
+  // Feeds an announce from upstream with the given first AS-path hop; returns
+  // messages that went OUT toward downstream.
+  std::vector<UpdateMessage> announce(AsNumber origin, double now) {
+    UpdateMessage update;
+    PathAttributes attrs;
+    attrs.as_path = AsPath({200, origin});
+    attrs.next_hop = net::Ipv4Address(200);
+    update.attributes = attrs;
+    update.nlri.push_back(kPrefix);
+    return downstream_updates(speaker.handle_message(upstream, Message{update}, now));
+  }
+
+  std::vector<UpdateMessage> withdraw(double now) {
+    UpdateMessage update;
+    update.withdrawn.push_back(kPrefix);
+    return downstream_updates(speaker.handle_message(upstream, Message{update}, now));
+  }
+
+  std::vector<UpdateMessage> tick(double now) {
+    return downstream_updates(speaker.tick(now));
+  }
+
+  std::vector<UpdateMessage> downstream_updates(const std::vector<Outgoing>& out) {
+    std::vector<UpdateMessage> updates;
+    for (const auto& msg : out) {
+      if (msg.peer != downstream) continue;
+      const Message m = decode_message(msg.bytes);
+      if (std::holds_alternative<UpdateMessage>(m)) {
+        updates.push_back(std::get<UpdateMessage>(m));
+      }
+    }
+    return updates;
+  }
+};
+
+TEST(Mrai, ZeroMraiSendsImmediately) {
+  MraiFixture fix(0.0);
+  EXPECT_EQ(fix.announce(1, 0.0).size(), 1u);
+  EXPECT_EQ(fix.announce(2, 0.1).size(), 1u);  // every delta goes out
+}
+
+TEST(Mrai, FirstUpdateImmediateSecondPaced) {
+  MraiFixture fix(30.0);
+  // First delta: interval open, sent immediately.
+  EXPECT_EQ(fix.announce(1, 0.0).size(), 1u);
+  // Second delta 1s later: inside the interval, buffered.
+  EXPECT_TRUE(fix.announce(2, 1.0).empty());
+  // Nothing leaks before the interval elapses.
+  EXPECT_TRUE(fix.tick(10.0).empty());
+  // At 30s the pending delta flushes.
+  const auto flushed = fix.tick(30.0);
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_TRUE(flushed[0].attributes->as_path.contains(2));
+}
+
+TEST(Mrai, FlapsCoalesceToLatestState) {
+  MraiFixture fix(30.0);
+  ASSERT_EQ(fix.announce(1, 0.0).size(), 1u);
+  // Three flaps inside the interval: only the last survives.
+  EXPECT_TRUE(fix.announce(2, 1.0).empty());
+  EXPECT_TRUE(fix.announce(3, 2.0).empty());
+  EXPECT_TRUE(fix.announce(4, 3.0).empty());
+  const auto flushed = fix.tick(31.0);
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_TRUE(flushed[0].attributes->as_path.contains(4));
+  EXPECT_FALSE(flushed[0].attributes->as_path.contains(2));
+}
+
+TEST(Mrai, AnnounceThenWithdrawCoalescesToWithdraw) {
+  MraiFixture fix(30.0);
+  ASSERT_EQ(fix.announce(1, 0.0).size(), 1u);
+  EXPECT_TRUE(fix.announce(2, 1.0).empty());
+  EXPECT_TRUE(fix.withdraw(2.0).empty());
+  const auto flushed = fix.tick(31.0);
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_TRUE(flushed[0].nlri.empty());
+  ASSERT_EQ(flushed[0].withdrawn.size(), 1u);
+  EXPECT_EQ(flushed[0].withdrawn[0], kPrefix);
+}
+
+TEST(Mrai, WithdrawThenReannounceCoalescesToAnnounce) {
+  MraiFixture fix(30.0);
+  ASSERT_EQ(fix.announce(1, 0.0).size(), 1u);
+  EXPECT_TRUE(fix.withdraw(1.0).empty());
+  EXPECT_TRUE(fix.announce(5, 2.0).empty());
+  const auto flushed = fix.tick(31.0);
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_TRUE(flushed[0].withdrawn.empty());
+  ASSERT_EQ(flushed[0].nlri.size(), 1u);
+  EXPECT_TRUE(flushed[0].attributes->as_path.contains(5));
+}
+
+TEST(Mrai, IntervalReopensAfterFlush) {
+  MraiFixture fix(10.0);
+  ASSERT_EQ(fix.announce(1, 0.0).size(), 1u);
+  EXPECT_TRUE(fix.announce(2, 1.0).empty());
+  ASSERT_EQ(fix.tick(10.0).size(), 1u);
+  // A delta arriving after the flush but inside the NEW interval buffers.
+  EXPECT_TRUE(fix.announce(3, 11.0).empty());
+  // And a delta after that interval flushes straight through.
+  ASSERT_EQ(fix.tick(20.0).size(), 1u);
+  EXPECT_EQ(fix.announce(4, 35.0).size(), 1u);
+}
+
+TEST(Mrai, SessionDownDropsPendingDeltas) {
+  MraiFixture fix(30.0);
+  ASSERT_EQ(fix.announce(1, 0.0).size(), 1u);
+  EXPECT_TRUE(fix.announce(2, 1.0).empty());
+  fix.speaker.stop_peer(fix.downstream, 2.0);
+  EXPECT_TRUE(fix.tick(31.0).empty());  // nothing leaks to a dead session
+}
+
+// -- Route Refresh (RFC 2918) ------------------------------------------------------
+
+TEST(RouteRefresh, MessageRoundTrip) {
+  RouteRefreshMessage refresh{1, 1};
+  const Message decoded = decode_message(encode_message(Message{refresh}));
+  ASSERT_TRUE(std::holds_alternative<RouteRefreshMessage>(decoded));
+  EXPECT_EQ(std::get<RouteRefreshMessage>(decoded), refresh);
+}
+
+TEST(RouteRefresh, PeerResendsFullTable) {
+  MraiFixture fix(0.0);
+  ASSERT_EQ(fix.announce(1, 0.0).size(), 1u);
+  // Downstream asks for a refresh: the speaker resends its table.
+  const auto out = fix.speaker.handle_message(fix.downstream, Message{RouteRefreshMessage{}},
+                                              1.0);
+  const auto updates = fix.downstream_updates(out);
+  ASSERT_EQ(updates.size(), 1u);
+  ASSERT_EQ(updates[0].nlri.size(), 1u);
+  EXPECT_EQ(updates[0].nlri[0], kPrefix);
+  EXPECT_EQ(fix.speaker.stats().refreshes_received, 1u);
+}
+
+TEST(RouteRefresh, BeforeEstablishedIsFsmError) {
+  BgpSpeaker::Config config;
+  config.asn = 1;
+  config.router_id = net::Ipv4Address(1);
+  config.next_hop = net::Ipv4Address(1);
+  BgpSpeaker speaker(config);
+  const PeerId peer = speaker.add_peer(2);
+  const auto out = speaker.handle_message(peer, Message{RouteRefreshMessage{}}, 0.0);
+  ASSERT_EQ(out.size(), 1u);
+  const Message m = decode_message(out[0].bytes);
+  EXPECT_TRUE(std::holds_alternative<NotificationMessage>(m));
+}
+
+TEST(RouteRefresh, RequestEmitsMessageOnlyWhenEstablished) {
+  MraiFixture fix(0.0);
+  const auto out = fix.speaker.request_refresh(fix.upstream, 0.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<RouteRefreshMessage>(decode_message(out[0].bytes)));
+
+  BgpSpeaker::Config config;
+  config.asn = 1;
+  config.router_id = net::Ipv4Address(1);
+  config.next_hop = net::Ipv4Address(1);
+  BgpSpeaker idle(config);
+  const PeerId peer = idle.add_peer(2);
+  EXPECT_TRUE(idle.request_refresh(peer, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace dbgp::bgp

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "bgp/speaker.h"
+
+namespace dbgp::bgp {
+namespace {
+
+// Minimal synchronous harness: shuttles encoded messages between speakers
+// until quiescent. Peer wiring is symmetric by construction.
+class Mesh {
+ public:
+  BgpSpeaker& add(AsNumber asn) {
+    BgpSpeaker::Config config;
+    config.asn = asn;
+    config.router_id = net::Ipv4Address(asn);
+    config.next_hop = net::Ipv4Address(asn);
+    speakers_.emplace(asn, BgpSpeaker(config));
+    return speakers_.at(asn);
+  }
+
+  void connect(AsNumber a, AsNumber b, PolicyChain a_import = {}, PolicyChain a_export = {}) {
+    const PeerId id_ab = speakers_.at(a).add_peer(b, std::move(a_import), std::move(a_export));
+    const PeerId id_ba = speakers_.at(b).add_peer(a);
+    wiring_[{a, id_ab}] = {b, id_ba};
+    wiring_[{b, id_ba}] = {a, id_ab};
+    enqueue(a, speakers_.at(a).start_peer(id_ab, now_));
+    enqueue(b, speakers_.at(b).start_peer(id_ba, now_));
+    pump();
+  }
+
+  void originate(AsNumber asn, const net::Prefix& prefix) {
+    enqueue(asn, speakers_.at(asn).originate(prefix, now_));
+    pump();
+  }
+
+  void withdraw(AsNumber asn, const net::Prefix& prefix) {
+    enqueue(asn, speakers_.at(asn).withdraw_origin(prefix, now_));
+    pump();
+  }
+
+  void stop_session(AsNumber a, AsNumber b) {
+    for (const auto& [key, dest] : wiring_) {
+      if (key.first == a && dest.first == b) {
+        enqueue(a, speakers_.at(a).stop_peer(key.second, now_));
+        break;
+      }
+    }
+    pump();
+  }
+
+  BgpSpeaker& speaker(AsNumber asn) { return speakers_.at(asn); }
+
+  void pump() {
+    std::size_t guard = 0;
+    while (!queue_.empty()) {
+      ASSERT_LT(guard++, 100000u) << "message storm: no convergence";
+      auto [from, msg] = std::move(queue_.front());
+      queue_.pop_front();
+      const auto dest = wiring_.at({from, msg.peer});
+      enqueue(dest.first,
+              speakers_.at(dest.first).handle_bytes(dest.second, msg.bytes, now_));
+    }
+  }
+
+ private:
+  void enqueue(AsNumber from, std::vector<Outgoing> out) {
+    for (auto& msg : out) queue_.emplace_back(from, std::move(msg));
+  }
+
+  std::map<AsNumber, BgpSpeaker> speakers_;
+  std::map<std::pair<AsNumber, PeerId>, std::pair<AsNumber, PeerId>> wiring_;
+  std::deque<std::pair<AsNumber, Outgoing>> queue_;
+  double now_ = 0.0;
+};
+
+TEST(BgpSpeaker, SessionEstablishment) {
+  Mesh mesh;
+  mesh.add(1);
+  mesh.add(2);
+  mesh.connect(1, 2);
+  EXPECT_TRUE(mesh.speaker(1).session_established(0));
+  EXPECT_TRUE(mesh.speaker(2).session_established(0));
+}
+
+TEST(BgpSpeaker, RoutePropagatesAcrossLine) {
+  Mesh mesh;
+  for (AsNumber asn : {1, 2, 3, 4}) mesh.add(asn);
+  mesh.connect(1, 2);
+  mesh.connect(2, 3);
+  mesh.connect(3, 4);
+  const auto prefix = *net::Prefix::parse("198.51.100.0/24");
+  mesh.originate(1, prefix);
+
+  const Route* at4 = mesh.speaker(4).loc_rib().find(prefix);
+  ASSERT_NE(at4, nullptr);
+  EXPECT_EQ(at4->attrs.as_path.to_string(), "3 2 1");
+  EXPECT_EQ(at4->attrs.next_hop, net::Ipv4Address(3));  // next-hop-self at each hop
+}
+
+TEST(BgpSpeaker, PrefersShorterPathInTriangle) {
+  Mesh mesh;
+  for (AsNumber asn : {1, 2, 3}) mesh.add(asn);
+  mesh.connect(1, 2);
+  mesh.connect(2, 3);
+  mesh.connect(1, 3);
+  const auto prefix = *net::Prefix::parse("203.0.113.0/24");
+  mesh.originate(1, prefix);
+  const Route* at3 = mesh.speaker(3).loc_rib().find(prefix);
+  ASSERT_NE(at3, nullptr);
+  EXPECT_EQ(at3->attrs.as_path.hop_count(), 1u);  // direct from AS1
+}
+
+TEST(BgpSpeaker, WithdrawPropagates) {
+  Mesh mesh;
+  for (AsNumber asn : {1, 2, 3}) mesh.add(asn);
+  mesh.connect(1, 2);
+  mesh.connect(2, 3);
+  const auto prefix = *net::Prefix::parse("198.51.100.0/24");
+  mesh.originate(1, prefix);
+  ASSERT_NE(mesh.speaker(3).loc_rib().find(prefix), nullptr);
+  mesh.withdraw(1, prefix);
+  EXPECT_EQ(mesh.speaker(3).loc_rib().find(prefix), nullptr);
+  EXPECT_EQ(mesh.speaker(2).loc_rib().find(prefix), nullptr);
+}
+
+TEST(BgpSpeaker, FailoverToLongerPath) {
+  // Square: 1-2-4 and 1-3-4; 4 should fail over when 2 goes away.
+  Mesh mesh;
+  for (AsNumber asn : {1, 2, 3, 4}) mesh.add(asn);
+  mesh.connect(1, 2);
+  mesh.connect(1, 3);
+  mesh.connect(2, 4);
+  mesh.connect(3, 4);
+  const auto prefix = *net::Prefix::parse("198.51.100.0/24");
+  mesh.originate(1, prefix);
+
+  const Route* before = mesh.speaker(4).loc_rib().find(prefix);
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->attrs.as_path.hop_count(), 2u);
+
+  // Tear down whichever adjacency AS4 was using.
+  const AsNumber via = before->attrs.as_path.segments()[0].asns[0];
+  mesh.stop_session(4, via);
+  const Route* after = mesh.speaker(4).loc_rib().find(prefix);
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after->attrs.as_path.segments()[0].asns[0], via);
+}
+
+TEST(BgpSpeaker, LoopingPathRejected) {
+  Mesh mesh;
+  mesh.add(1);
+  mesh.add(2);
+  mesh.connect(1, 2);
+  // Hand-feed AS2 an update whose path already contains AS2.
+  UpdateMessage update;
+  PathAttributes attrs;
+  attrs.as_path = AsPath({1, 2, 7});
+  attrs.next_hop = net::Ipv4Address(1);
+  update.attributes = attrs;
+  update.nlri.push_back(*net::Prefix::parse("10.0.0.0/8"));
+  mesh.speaker(2).handle_message(0, Message{update}, 0.0);
+  EXPECT_EQ(mesh.speaker(2).loc_rib().find(*net::Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(mesh.speaker(2).stats().routes_rejected_by_loop, 1u);
+}
+
+TEST(BgpSpeaker, ImportPolicyRejectionActsAsWithdraw) {
+  Mesh mesh;
+  mesh.add(1);
+  mesh.add(2);
+  PolicyRule reject;
+  reject.match.as_path_contains = 1;
+  reject.accept = false;
+  mesh.connect(2, 1, PolicyChain({reject}));  // AS2 rejects paths via AS1
+  const auto prefix = *net::Prefix::parse("198.51.100.0/24");
+  mesh.originate(1, prefix);
+  EXPECT_EQ(mesh.speaker(2).loc_rib().find(prefix), nullptr);
+  EXPECT_GE(mesh.speaker(2).stats().routes_rejected_by_policy, 1u);
+}
+
+TEST(BgpSpeaker, MalformedBytesTriggerNotification) {
+  Mesh mesh;
+  mesh.add(1);
+  mesh.add(2);
+  mesh.connect(1, 2);
+  std::vector<std::uint8_t> garbage(19, 0x00);
+  const auto out = mesh.speaker(1).handle_bytes(0, garbage, 0.0);
+  ASSERT_FALSE(out.empty());
+  const Message m = decode_message(out[0].bytes);
+  EXPECT_TRUE(std::holds_alternative<NotificationMessage>(m));
+  EXPECT_EQ(mesh.speaker(1).stats().decode_errors, 1u);
+}
+
+TEST(BgpSpeaker, UnknownTransitiveAttributePassesThrough) {
+  // The optional-transitive pass-through BGP already has (and on which the
+  // paper builds): AS2 must forward attr 240 unchanged to AS3.
+  Mesh mesh;
+  for (AsNumber asn : {1, 2, 3}) mesh.add(asn);
+  mesh.connect(1, 2);
+  mesh.connect(2, 3);
+  UpdateMessage update;
+  PathAttributes attrs;
+  attrs.as_path = AsPath({1});
+  attrs.next_hop = net::Ipv4Address(1);
+  attrs.unknown.push_back({kAttrFlagOptional | kAttrFlagTransitive, 240, {9, 9, 9}});
+  update.attributes = attrs;
+  update.nlri.push_back(*net::Prefix::parse("10.0.0.0/8"));
+  mesh.speaker(2).handle_message(0, Message{update}, 0.0);  // from AS1 (peer 0)
+
+  const Route* at2 = mesh.speaker(2).loc_rib().find(*net::Prefix::parse("10.0.0.0/8"));
+  ASSERT_NE(at2, nullptr);
+  ASSERT_EQ(at2->attrs.unknown.size(), 1u);
+  EXPECT_EQ(at2->attrs.unknown[0].value, (std::vector<std::uint8_t>{9, 9, 9}));
+}
+
+TEST(BgpSpeaker, SessionDownFlushesLearnedRoutes) {
+  Mesh mesh;
+  for (AsNumber asn : {1, 2, 3}) mesh.add(asn);
+  mesh.connect(1, 2);
+  mesh.connect(2, 3);
+  const auto prefix = *net::Prefix::parse("198.51.100.0/24");
+  mesh.originate(1, prefix);
+  ASSERT_NE(mesh.speaker(3).loc_rib().find(prefix), nullptr);
+  mesh.stop_session(2, 1);
+  EXPECT_EQ(mesh.speaker(2).loc_rib().find(prefix), nullptr);
+  EXPECT_EQ(mesh.speaker(3).loc_rib().find(prefix), nullptr);
+}
+
+}  // namespace
+}  // namespace dbgp::bgp

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "protocols/bgp_module.h"
+#include "protocols/bgpsec.h"
+#include "simnet/network.h"
+
+namespace dbgp::protocols {
+namespace {
+
+const net::Prefix kPrefix = *net::Prefix::parse("203.0.113.0/24");
+
+std::vector<Attestation> make_chain(const AttestationAuthority& authority,
+                                    const std::vector<std::pair<bgp::AsNumber, bgp::AsNumber>>&
+                                        signer_target_pairs) {
+  std::vector<Attestation> chain;
+  for (const auto& [signer, target] : signer_target_pairs) {
+    Attestation a;
+    a.signer = signer;
+    a.target = target;
+    a.mac = authority.sign(signer, target, kPrefix, AttestationAuthority::chain_digest(chain));
+    chain.push_back(a);
+  }
+  return chain;
+}
+
+TEST(Attestations, CodecRoundTrip) {
+  AttestationAuthority authority;
+  const auto chain = make_chain(authority, {{1, 2}, {2, 3}});
+  EXPECT_EQ(decode_attestations(encode_attestations(chain)), chain);
+}
+
+TEST(Attestations, ValidChainVerifies) {
+  AttestationAuthority authority;
+  const auto chain = make_chain(authority, {{1, 2}, {2, 3}});
+  EXPECT_TRUE(authority.verify_chain(chain, kPrefix, 3));
+}
+
+TEST(Attestations, EmptyChainInvalid) {
+  AttestationAuthority authority;
+  EXPECT_FALSE(authority.verify_chain({}, kPrefix, 3));
+}
+
+TEST(Attestations, WrongReceiverFails) {
+  AttestationAuthority authority;
+  const auto chain = make_chain(authority, {{1, 2}, {2, 3}});
+  EXPECT_FALSE(authority.verify_chain(chain, kPrefix, 4));
+}
+
+TEST(Attestations, TamperedMacFails) {
+  AttestationAuthority authority;
+  auto chain = make_chain(authority, {{1, 2}, {2, 3}});
+  chain[0].mac ^= 1;
+  EXPECT_FALSE(authority.verify_chain(chain, kPrefix, 3));
+}
+
+TEST(Attestations, TruncatedChainFails) {
+  // Dropping the first hop (a path-shortening attack) must not verify.
+  AttestationAuthority authority;
+  auto chain = make_chain(authority, {{1, 2}, {2, 3}});
+  chain.erase(chain.begin());
+  EXPECT_FALSE(authority.verify_chain(chain, kPrefix, 3));
+}
+
+TEST(Attestations, ReorderedChainFails) {
+  AttestationAuthority authority;
+  auto chain = make_chain(authority, {{1, 2}, {2, 3}, {3, 4}});
+  std::swap(chain[0], chain[1]);
+  EXPECT_FALSE(authority.verify_chain(chain, kPrefix, 4));
+}
+
+TEST(Attestations, SpoofedSignerFails) {
+  // An attacker (AS 666) without AS 1's key forging an origin attestation.
+  AttestationAuthority authority;
+  AttestationAuthority attacker(0xbad5eed);
+  std::vector<Attestation> chain;
+  Attestation forged;
+  forged.signer = 1;
+  forged.target = 3;
+  forged.mac = attacker.sign(1, 3, kPrefix, AttestationAuthority::chain_digest(chain));
+  chain.push_back(forged);
+  EXPECT_FALSE(authority.verify_chain(chain, kPrefix, 3));
+}
+
+TEST(Attestations, DifferentPrefixFails) {
+  AttestationAuthority authority;
+  const auto chain = make_chain(authority, {{1, 2}, {2, 3}});
+  EXPECT_FALSE(authority.verify_chain(chain, *net::Prefix::parse("10.0.0.0/8"), 3));
+}
+
+TEST(BgpSecModule, ValidChainBreaksTiesAtEqualLength) {
+  // Security is the tie-break, not the primary criterion (Lychev et al.,
+  // the paper's [31]: "security 1st" in partial deployment is unstable).
+  AttestationAuthority authority;
+  BgpSecModule module({3, ia::IslandId::from_as(3), false}, &authority);
+  core::IaRoute secure, insecure;
+  secure.ia.destination = kPrefix;
+  secure.ia.set_path_descriptor(ia::kProtoBgpSec, ia::keys::kBgpSecAttestation,
+                                encode_attestations(make_chain(authority, {{1, 2}, {2, 3}})));
+  secure.ia.path_vector.prepend_as(1);
+  secure.ia.path_vector.prepend_as(2);
+  insecure.ia.destination = kPrefix;
+  insecure.ia.path_vector.prepend_as(4);  // same length, unsigned
+  insecure.ia.path_vector.prepend_as(5);
+  EXPECT_TRUE(module.chain_valid(secure));
+  EXPECT_FALSE(module.chain_valid(insecure));
+  EXPECT_TRUE(module.better(secure, insecure));
+  EXPECT_FALSE(module.better(insecure, secure));
+  // A shorter insecure route still wins (stability over security).
+  core::IaRoute shorter;
+  shorter.ia.destination = kPrefix;
+  shorter.ia.path_vector.prepend_as(9);
+  EXPECT_TRUE(module.better(shorter, secure));
+}
+
+// End-to-end over the simnet: contiguous secure deployment verifies; a gulf
+// in the middle breaks the chain — the Section 3.5 limitation D-BGP cannot
+// remove (it can only carry the attestations, not repair trust).
+struct SecureChainFixture {
+  AttestationAuthority authority;
+  simnet::DbgpNetwork net;
+
+  void add_secure(bgp::AsNumber asn) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    config.island = ia::IslandId::from_as(asn);
+    config.island_protocol = ia::kProtoBgpSec;
+    config.active_protocol = ia::kProtoBgpSec;
+    auto& speaker = net.add_as(config);
+    speaker.add_module(std::make_unique<BgpSecModule>(
+        BgpSecModule::Config{asn, ia::IslandId::from_as(asn), false}, &authority));
+  }
+
+  void add_gulf(bgp::AsNumber asn) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    net.add_as(config).add_module(std::make_unique<BgpModule>());
+  }
+};
+
+TEST(BgpSecGulf, ContiguousDeploymentVerifies) {
+  SecureChainFixture fix;
+  for (bgp::AsNumber asn : {1, 2, 3}) fix.add_secure(asn);
+  fix.net.connect(1, 2);
+  fix.net.connect(2, 3);
+  fix.net.originate(1, kPrefix);
+  fix.net.run_to_convergence();
+
+  const auto* best = fix.net.speaker(3).best(kPrefix);
+  ASSERT_NE(best, nullptr);
+  BgpSecModule verifier({3, ia::IslandId::from_as(3), false}, &fix.authority);
+  EXPECT_TRUE(verifier.chain_valid(*best));
+}
+
+TEST(BgpSecGulf, GulfBreaksChainEvenWithPassThrough) {
+  SecureChainFixture fix;
+  fix.add_secure(1);
+  fix.add_gulf(2);  // gulf AS passes attestations through but cannot sign
+  fix.add_secure(3);
+  fix.net.connect(1, 2);
+  fix.net.connect(2, 3);
+  fix.net.originate(1, kPrefix);
+  fix.net.run_to_convergence();
+
+  const auto* best = fix.net.speaker(3).best(kPrefix);
+  ASSERT_NE(best, nullptr);
+  // Pass-through preserved the descriptor...
+  EXPECT_NE(best->ia.find_path_descriptor(ia::kProtoBgpSec, ia::keys::kBgpSecAttestation),
+            nullptr);
+  // ...but the chain targets AS 2, not AS 3, so verification fails at AS 3.
+  BgpSecModule verifier({3, ia::IslandId::from_as(3), false}, &fix.authority);
+  EXPECT_FALSE(verifier.chain_valid(*best));
+}
+
+TEST(BgpSecModule, DropTowardInsecureRemovesDescriptor) {
+  AttestationAuthority authority;
+  BgpSecModule module({5, ia::IslandId::from_as(5), /*drop_toward_insecure=*/true},
+                      &authority);
+  core::IaRoute best;
+  best.ia.destination = kPrefix;
+  best.ia.set_path_descriptor(ia::kProtoBgpSec, ia::keys::kBgpSecAttestation,
+                              encode_attestations(make_chain(authority, {{1, 5}})));
+  ia::IntegratedAdvertisement out = best.ia;
+  core::ExportContext ctx;
+  ctx.own_as = 5;
+  ctx.to_peer_as = 9;
+  ctx.to_peer_in_same_island = false;
+  module.annotate_export(best, out, ctx);
+  EXPECT_EQ(out.find_path_descriptor(ia::kProtoBgpSec, ia::keys::kBgpSecAttestation), nullptr);
+}
+
+}  // namespace
+}  // namespace dbgp::protocols

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "core/speaker.h"
+#include "protocols/bgp_module.h"
+
+namespace dbgp::core {
+namespace {
+
+using protocols::BgpModule;
+
+DbgpConfig gulf_config(bgp::AsNumber asn) {
+  DbgpConfig config;
+  config.asn = asn;
+  config.next_hop = net::Ipv4Address(asn);
+  return config;  // no island: a gulf AS
+}
+
+ia::IntegratedAdvertisement make_ia(const char* prefix, std::vector<bgp::AsNumber> path) {
+  ia::IntegratedAdvertisement ia;
+  ia.destination = *net::Prefix::parse(prefix);
+  for (auto it = path.rbegin(); it != path.rend(); ++it) ia.path_vector.prepend_as(*it);
+  ia.baseline.as_path = ia.path_vector.to_bgp_as_path();
+  ia.baseline.next_hop = net::Ipv4Address(path.empty() ? 1 : path.front());
+  return ia;
+}
+
+TEST(DbgpSpeaker, OriginationAnnouncesToAllPeers) {
+  DbgpSpeaker speaker(gulf_config(100));
+  speaker.add_module(std::make_unique<BgpModule>());
+  speaker.add_peer(200);
+  speaker.add_peer(300);
+  const auto out = speaker.originate(*net::Prefix::parse("10.0.0.0/8"));
+  ASSERT_EQ(out.size(), 2u);
+  const auto ia = ia::decode_ia(std::span(out[0].bytes).subspan(1));
+  EXPECT_EQ(ia.destination.to_string(), "10.0.0.0/8");
+  EXPECT_TRUE(ia.path_vector.contains_as(100));
+}
+
+TEST(DbgpSpeaker, PassThroughPreservesUnknownProtocolControlInfo) {
+  // THE core invariant (CF-R1): a gulf AS with no module for protocol 77
+  // must forward its descriptors unmodified.
+  DbgpSpeaker speaker(gulf_config(50));
+  speaker.add_module(std::make_unique<BgpModule>());
+  const bgp::PeerId from = speaker.add_peer(49);
+  speaker.add_peer(51);
+
+  auto ia = make_ia("10.0.0.0/8", {49, 48});
+  ia.set_path_descriptor(77, 1, {0xca, 0xfe});
+  ia.add_island_descriptor(ia::IslandId::assigned(9), 77, 2, {0xbe, 0xef});
+  ia.add_membership({ia::IslandId::assigned(9), {48}, 77});
+
+  const auto out = speaker.handle_ia(from, ia);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].peer, 1u);  // toward AS51 only (split horizon on 49)
+  const auto forwarded = ia::decode_ia(std::span(out[0].bytes).subspan(1));
+  ASSERT_NE(forwarded.find_path_descriptor(77, 1), nullptr);
+  EXPECT_EQ(forwarded.find_path_descriptor(77, 1)->value,
+            (std::vector<std::uint8_t>{0xca, 0xfe}));
+  ASSERT_NE(forwarded.find_island_descriptor(ia::IslandId::assigned(9), 77, 2), nullptr);
+  EXPECT_NE(forwarded.find_membership(ia::IslandId::assigned(9)), nullptr);
+  // Baseline updates still happened.
+  EXPECT_TRUE(forwarded.path_vector.contains_as(50));
+  EXPECT_EQ(forwarded.baseline.next_hop, net::Ipv4Address(50));
+}
+
+TEST(DbgpSpeaker, LoopDetectionDropsOwnAs) {
+  DbgpSpeaker speaker(gulf_config(50));
+  speaker.add_module(std::make_unique<BgpModule>());
+  const bgp::PeerId from = speaker.add_peer(49);
+  const auto out = speaker.handle_ia(from, make_ia("10.0.0.0/8", {49, 50, 48}));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(speaker.stats().dropped_by_global_filter, 1u);
+  EXPECT_EQ(speaker.best(*net::Prefix::parse("10.0.0.0/8")), nullptr);
+}
+
+TEST(DbgpSpeaker, LoopDetectionDropsOwnIsland) {
+  DbgpConfig config = gulf_config(50);
+  config.island = ia::IslandId::assigned(5);
+  DbgpSpeaker speaker(config);
+  speaker.add_module(std::make_unique<BgpModule>());
+  const bgp::PeerId from = speaker.add_peer(49);
+  auto ia = make_ia("10.0.0.0/8", {49});
+  ia.path_vector.prepend_island(ia::IslandId::assigned(5));
+  EXPECT_TRUE(speaker.handle_ia(from, ia).empty());
+  EXPECT_EQ(speaker.stats().dropped_by_global_filter, 1u);
+}
+
+TEST(DbgpSpeaker, StripProtocolFilterRemovesDescriptors) {
+  // A gulf operator blocks protocol 77 by ID (Section 3.3).
+  DbgpSpeaker speaker(gulf_config(50));
+  speaker.add_module(std::make_unique<BgpModule>());
+  speaker.import_filters().add("strip-77", strip_protocol_filter(77));
+  const bgp::PeerId from = speaker.add_peer(49);
+  speaker.add_peer(51);
+  auto ia = make_ia("10.0.0.0/8", {49});
+  ia.set_path_descriptor(77, 1, {1});
+  ia.set_path_descriptor(78, 1, {2});
+  const auto out = speaker.handle_ia(from, ia);
+  ASSERT_EQ(out.size(), 1u);
+  const auto forwarded = ia::decode_ia(std::span(out[0].bytes).subspan(1));
+  EXPECT_EQ(forwarded.find_path_descriptor(77, 1), nullptr);   // stripped
+  EXPECT_NE(forwarded.find_path_descriptor(78, 1), nullptr);   // kept
+}
+
+TEST(DbgpSpeaker, IslandAbstractionAtEgress) {
+  DbgpConfig config = gulf_config(12);
+  config.island = ia::IslandId::assigned(5);
+  config.abstract_island = true;
+  config.island_members = {10, 11, 12};
+  config.island_protocol = ia::kProtoScion;
+  DbgpSpeaker speaker(config);
+  speaker.add_module(std::make_unique<BgpModule>());
+  const bgp::PeerId from = speaker.add_peer(11, /*same_island=*/true);
+  speaker.add_peer(99);  // across the gulf
+
+  const auto out = speaker.handle_ia(from, make_ia("10.0.0.0/8", {11, 10}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].peer, 1u);
+  const auto forwarded = ia::decode_ia(std::span(out[0].bytes).subspan(1));
+  // 12, 11, 10 all collapse into one island entry.
+  ASSERT_EQ(forwarded.path_vector.elements().size(), 1u);
+  EXPECT_EQ(forwarded.path_vector.elements()[0].kind, ia::PathElement::Kind::kIsland);
+  const auto* membership = forwarded.find_membership(ia::IslandId::assigned(5));
+  ASSERT_NE(membership, nullptr);
+  EXPECT_EQ(membership->protocol, ia::kProtoScion);
+  EXPECT_TRUE(membership->members.empty());  // hidden
+}
+
+TEST(DbgpSpeaker, MembershipStampWithoutAbstraction) {
+  DbgpConfig config = gulf_config(12);
+  config.island = ia::IslandId::assigned(5);
+  config.island_protocol = ia::kProtoWiser;
+  DbgpSpeaker speaker(config);
+  speaker.add_module(std::make_unique<BgpModule>());
+  speaker.add_peer(99);
+  const auto out = speaker.originate(*net::Prefix::parse("10.0.0.0/8"));
+  ASSERT_EQ(out.size(), 1u);
+  const auto forwarded = ia::decode_ia(std::span(out[0].bytes).subspan(1));
+  const auto* membership = forwarded.find_membership(ia::IslandId::assigned(5));
+  ASSERT_NE(membership, nullptr);
+  EXPECT_EQ(membership->members, std::vector<bgp::AsNumber>{12});
+  EXPECT_TRUE(forwarded.path_vector.contains_as(12));  // PV kept per-AS
+}
+
+TEST(DbgpSpeaker, WithdrawRemovesAndPropagates) {
+  DbgpSpeaker speaker(gulf_config(50));
+  speaker.add_module(std::make_unique<BgpModule>());
+  const bgp::PeerId from = speaker.add_peer(49);
+  speaker.add_peer(51);
+  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
+  speaker.handle_ia(from, make_ia("10.0.0.0/8", {49}));
+  ASSERT_NE(speaker.best(prefix), nullptr);
+
+  const auto out = speaker.handle_frame(from, DbgpSpeaker::encode_withdraw(prefix));
+  EXPECT_EQ(speaker.best(prefix), nullptr);
+  ASSERT_EQ(out.size(), 1u);  // withdraw propagated to AS51
+  EXPECT_EQ(out[0].bytes[0], static_cast<std::uint8_t>(FrameType::kWithdraw));
+}
+
+TEST(DbgpSpeaker, SelectsShorterPathAndSwitchesBack) {
+  DbgpSpeaker speaker(gulf_config(50));
+  speaker.add_module(std::make_unique<BgpModule>());
+  const bgp::PeerId p1 = speaker.add_peer(49);
+  const bgp::PeerId p2 = speaker.add_peer(48);
+  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
+  speaker.handle_ia(p1, make_ia("10.0.0.0/8", {49, 40, 41}));
+  EXPECT_EQ(speaker.best(prefix)->from_peer, p1);
+  speaker.handle_ia(p2, make_ia("10.0.0.0/8", {48, 40}));
+  EXPECT_EQ(speaker.best(prefix)->from_peer, p2);  // shorter
+  speaker.handle_frame(p2, DbgpSpeaker::encode_withdraw(prefix));
+  EXPECT_EQ(speaker.best(prefix)->from_peer, p1);  // falls back
+}
+
+TEST(DbgpSpeaker, PeerDownFlushesRoutes) {
+  DbgpSpeaker speaker(gulf_config(50));
+  speaker.add_module(std::make_unique<BgpModule>());
+  const bgp::PeerId p1 = speaker.add_peer(49);
+  speaker.add_peer(51);
+  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
+  speaker.handle_ia(p1, make_ia("10.0.0.0/8", {49}));
+  ASSERT_NE(speaker.best(prefix), nullptr);
+  const auto out = speaker.peer_down(p1);
+  EXPECT_EQ(speaker.best(prefix), nullptr);
+  ASSERT_EQ(out.size(), 1u);  // withdraw toward AS51
+}
+
+TEST(DbgpSpeaker, OutOfBandDisseminationUsesLookupService) {
+  LookupService lookup;
+  DbgpConfig sender_config = gulf_config(50);
+  sender_config.dissemination = Dissemination::kOutOfBand;
+  DbgpSpeaker sender(sender_config, &lookup);
+  sender.add_module(std::make_unique<BgpModule>());
+  sender.add_peer(60);
+
+  DbgpSpeaker receiver(gulf_config(60), &lookup);
+  receiver.add_module(std::make_unique<BgpModule>());
+  const bgp::PeerId from_50 = receiver.add_peer(50);
+
+  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
+  const auto out = sender.originate(prefix);
+  ASSERT_EQ(out.size(), 1u);
+  // The frame is a small notice; the IA lives in the lookup service.
+  EXPECT_EQ(out[0].bytes[0], static_cast<std::uint8_t>(FrameType::kNotice));
+  EXPECT_LT(out[0].bytes.size(), 10u);
+  EXPECT_EQ(lookup.put_count(), 1u);
+
+  receiver.handle_frame(from_50, out[0].bytes);
+  ASSERT_NE(receiver.best(prefix), nullptr);
+  EXPECT_TRUE(receiver.best(prefix)->ia.path_vector.contains_as(50));
+  EXPECT_EQ(receiver.stats().lookup_fetches, 1u);
+  EXPECT_EQ(receiver.stats().lookup_misses, 0u);
+}
+
+TEST(DbgpSpeaker, NoticeWithoutLookupServiceIsMiss) {
+  DbgpSpeaker receiver(gulf_config(60), nullptr);
+  const bgp::PeerId from = receiver.add_peer(50);
+  const auto out =
+      receiver.handle_frame(from, DbgpSpeaker::encode_notice(*net::Prefix::parse("10.0.0.0/8")));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(receiver.stats().lookup_misses, 1u);
+}
+
+TEST(DbgpSpeaker, SyncPeerSendsFullTable) {
+  DbgpSpeaker speaker(gulf_config(50));
+  speaker.add_module(std::make_unique<BgpModule>());
+  const bgp::PeerId p1 = speaker.add_peer(49);
+  speaker.handle_ia(p1, make_ia("10.0.0.0/8", {49}));
+  speaker.originate(*net::Prefix::parse("192.168.0.0/16"));
+  const bgp::PeerId p2 = speaker.add_peer(51);
+  const auto out = speaker.sync_peer(p2);
+  EXPECT_EQ(out.size(), 2u);
+  for (const auto& msg : out) EXPECT_EQ(msg.peer, p2);
+}
+
+TEST(DbgpSpeaker, ActiveProtocolPerPrefixRange) {
+  DbgpSpeaker speaker(gulf_config(50));
+  speaker.add_module(std::make_unique<BgpModule>());
+  speaker.set_active_protocol(*net::Prefix::parse("10.0.0.0/8"), ia::kProtoWiser);
+  EXPECT_EQ(speaker.active_protocol_for(*net::Prefix::parse("10.1.0.0/16")), ia::kProtoWiser);
+  EXPECT_EQ(speaker.active_protocol_for(*net::Prefix::parse("11.0.0.0/8")), ia::kProtoBgp);
+}
+
+TEST(DbgpSpeaker, DeltaSuppressionAvoidsDuplicateAnnouncements) {
+  DbgpSpeaker speaker(gulf_config(50));
+  speaker.add_module(std::make_unique<BgpModule>());
+  const bgp::PeerId p1 = speaker.add_peer(49);
+  speaker.add_peer(51);
+  const auto ia = make_ia("10.0.0.0/8", {49});
+  const auto first = speaker.handle_ia(p1, ia);
+  EXPECT_EQ(first.size(), 1u);
+  const auto second = speaker.handle_ia(p1, ia);  // identical re-announce
+  EXPECT_TRUE(second.empty());
+}
+
+TEST(GlobalFilters, MaxPathLengthFilter) {
+  GlobalFilterChain chain;
+  chain.add("max-len", max_path_length_filter(2));
+  FilterContext ctx;
+  auto short_ia = make_ia("10.0.0.0/8", {1, 2});
+  auto long_ia = make_ia("10.0.0.0/8", {1, 2, 3});
+  EXPECT_TRUE(chain.apply(short_ia, ctx));
+  EXPECT_FALSE(chain.apply(long_ia, ctx));
+}
+
+}  // namespace
+}  // namespace dbgp::core

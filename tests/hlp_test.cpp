@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "protocols/bgp_module.h"
+#include "protocols/hlp.h"
+#include "simnet/network.h"
+
+namespace dbgp::protocols {
+namespace {
+
+const net::Prefix kPrefix = *net::Prefix::parse("172.20.0.0/16");
+
+TEST(LinkStateDb, ShortestCostDijkstra) {
+  LinkStateDb lsdb;
+  lsdb.add_link(1, 2, 10);
+  lsdb.add_link(2, 3, 10);
+  lsdb.add_link(1, 3, 50);
+  lsdb.add_link(3, 4, 5);
+  EXPECT_EQ(lsdb.shortest_cost(1, 3), 20u);  // via 2, not the direct 50
+  EXPECT_EQ(lsdb.shortest_cost(1, 4), 25u);
+  EXPECT_EQ(lsdb.shortest_cost(1, 1), 0u);
+  EXPECT_FALSE(lsdb.shortest_cost(1, 99).has_value());
+  EXPECT_EQ(lsdb.link_count(), 4u);
+}
+
+TEST(LinkStateDb, ShortestPathNodes) {
+  LinkStateDb lsdb;
+  lsdb.add_link(1, 2, 10);
+  lsdb.add_link(2, 3, 10);
+  lsdb.add_link(1, 3, 50);
+  EXPECT_EQ(lsdb.shortest_path(1, 3), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(lsdb.shortest_path(1, 42).empty());
+  EXPECT_EQ(lsdb.shortest_path(2, 2), std::vector<std::uint32_t>{2});
+}
+
+TEST(LinkStateDb, LinkUpdateChangesRoutes) {
+  LinkStateDb lsdb;
+  lsdb.add_link(1, 2, 10);
+  lsdb.add_link(2, 3, 10);
+  lsdb.add_link(1, 3, 50);
+  // The link-state event: 2-3 degrades; the direct link becomes best.
+  lsdb.add_link(2, 3, 100);
+  EXPECT_EQ(lsdb.shortest_cost(1, 3), 50u);
+  ASSERT_TRUE(lsdb.remove_link(1, 3));
+  EXPECT_EQ(lsdb.shortest_cost(1, 3), 110u);
+  EXPECT_FALSE(lsdb.remove_link(1, 99));
+}
+
+TEST(Hlp, CostCodecRoundTrip) {
+  EXPECT_EQ(decode_hlp_cost(encode_hlp_cost(0)), 0u);
+  EXPECT_EQ(decode_hlp_cost(encode_hlp_cost(123456789)), 123456789u);
+}
+
+TEST(Hlp, ProtocolIdIsWellKnown) {
+  EXPECT_EQ(hlp_protocol_id(), ia::kProtoHlp);
+  EXPECT_EQ(ia::default_registry().name(ia::kProtoHlp), "hlp");
+}
+
+TEST(Hlp, TransitCostFromLsdb) {
+  LinkStateDb lsdb;
+  lsdb.add_link(10, 11, 7);
+  lsdb.add_link(11, 12, 3);
+  HlpModule module({ia::IslandId::assigned(1), 10, 12}, &lsdb);
+  EXPECT_EQ(module.transit_cost(), 10u);
+  // Partition: falls back to 1 so reachability survives.
+  lsdb.remove_link(11, 12);
+  EXPECT_EQ(module.transit_cost(), 1u);
+}
+
+TEST(Hlp, ComparatorPrefersLowerCost) {
+  HlpModule module({ia::IslandId::assigned(1), 0, 0}, nullptr);
+  core::IaRoute cheap, pricey;
+  cheap.ia.set_path_descriptor(hlp_protocol_id(), hlp_keys::kHlpCost, encode_hlp_cost(5));
+  cheap.ia.path_vector.prepend_island(ia::IslandId::assigned(7));
+  cheap.ia.path_vector.prepend_island(ia::IslandId::assigned(8));
+  pricey.ia.set_path_descriptor(hlp_protocol_id(), hlp_keys::kHlpCost, encode_hlp_cost(50));
+  pricey.ia.path_vector.prepend_island(ia::IslandId::assigned(7));
+  EXPECT_TRUE(module.better(cheap, pricey));
+  EXPECT_FALSE(module.better(pricey, cheap));
+}
+
+// HLP across a gulf: two HLP islands (which MUST abstract — their internals
+// are link-state) separated by a BGP gulf. The cumulative cost crosses the
+// gulf; the receiving island selects by cost; loop detection works at
+// island granularity for the abstracted entries.
+TEST(HlpGulf, CostCrossesGulfWithIslandAbstraction) {
+  simnet::DbgpNetwork net;
+  const auto island_a = ia::IslandId::assigned(0xA);
+  const auto island_b = ia::IslandId::assigned(0xB);
+
+  LinkStateDb lsdb_a;  // island A's internal topology
+  lsdb_a.add_link(101, 102, 7);
+  lsdb_a.add_link(102, 103, 5);
+
+  auto add_hlp = [&](bgp::AsNumber asn, ia::IslandId island, const LinkStateDb* lsdb,
+                     std::uint32_t in, std::uint32_t out,
+                     std::vector<bgp::AsNumber> members) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    config.island = island;
+    config.island_protocol = hlp_protocol_id();
+    config.abstract_island = true;  // link-state internals: must abstract
+    config.island_members = std::move(members);
+    config.active_protocol = hlp_protocol_id();
+    auto& speaker = net.add_as(config);
+    speaker.add_module(
+        std::make_unique<HlpModule>(HlpModule::Config{island, in, out}, lsdb));
+    speaker.add_module(std::make_unique<BgpModule>());
+  };
+
+  add_hlp(1, island_a, &lsdb_a, 101, 103, {1, 2});  // origin member
+  add_hlp(2, island_a, &lsdb_a, 101, 103, {1, 2});  // egress member
+  core::DbgpConfig gulf;
+  gulf.asn = 4;
+  gulf.next_hop = net::Ipv4Address(4);
+  net.add_as(gulf).add_module(std::make_unique<BgpModule>());
+  LinkStateDb lsdb_b;
+  add_hlp(9, island_b, &lsdb_b, 201, 201, {9});
+
+  net.connect(1, 2, /*same_island=*/true);
+  net.connect(2, 4);
+  net.connect(4, 9);
+  net.originate(1, kPrefix);
+  net.run_to_convergence();
+
+  const auto* best = net.speaker(9).best(kPrefix);
+  ASSERT_NE(best, nullptr);
+  // Island A abstracted itself away: the path vector is [A, 4] at ingress.
+  EXPECT_TRUE(best->ia.path_vector.contains_island(island_a));
+  EXPECT_FALSE(best->ia.path_vector.contains_as(1));
+  EXPECT_FALSE(best->ia.path_vector.contains_as(2));
+  EXPECT_TRUE(best->ia.path_vector.contains_as(4));
+  // The egress member added the LSDB transit cost 101->103 = 12.
+  EXPECT_EQ(HlpModule::path_cost(*best), 12u);
+  // Island-granularity loop detection: the IA cannot re-enter island A.
+  EXPECT_TRUE(best->ia.path_vector.would_loop(99, island_a));
+}
+
+}  // namespace
+}  // namespace dbgp::protocols

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "ia/codec.h"
+#include "ia/compress.h"
+#include "util/rng.h"
+
+namespace dbgp::ia {
+namespace {
+
+IntegratedAdvertisement sample_ia() {
+  // Approximates Figure 4: Wiser + BGPSec path descriptors, SCION / Wiser /
+  // MIRO island descriptors, mixed path vector.
+  IntegratedAdvertisement ia;
+  ia.destination = *net::Prefix::parse("128.6.0.0/32");
+  ia.path_vector.prepend_as(3);
+  ia.path_vector.prepend_island(IslandId::assigned(11));  // "K"
+  ia.path_vector.prepend_as(4000);
+  ia.path_vector.prepend_island(IslandId::assigned(7));   // "G"
+  ia.path_vector.prepend_island(IslandId::assigned(1));   // "A"
+  ia.add_membership({IslandId::assigned(1), {}, kProtoScion});
+  ia.add_membership({IslandId::assigned(7), {}, kProtoMiro});
+  ia.add_membership({IslandId::from_as(3), {3}, kProtoWiser});
+  ia.baseline.origin = bgp::Origin::kEgp;
+  ia.baseline.as_path = ia.path_vector.to_bgp_as_path();
+  ia.baseline.next_hop = net::Ipv4Address(195, 2, 27, 0);
+  ia.set_path_descriptor(kProtoWiser, keys::kWiserPathCost, {100});
+  ia.set_path_descriptor(kProtoBgpSec, keys::kBgpSecAttestation, {9, 9, 9, 9, 9, 9});
+  ia.add_island_descriptor(IslandId::assigned(1), kProtoScion, keys::kScionPaths,
+                           {1, 2, 3, 4, 5});
+  ia.add_island_descriptor(IslandId::assigned(7), kProtoMiro, keys::kMiroPortalAddr,
+                           {173, 82, 2, 0});
+  ia.add_island_descriptor(IslandId::from_as(3), kProtoWiser, keys::kWiserPortalAddr,
+                           {163, 42, 5, 0});
+  return ia;
+}
+
+TEST(IaCodec, RoundTrip) {
+  const IntegratedAdvertisement ia = sample_ia();
+  const auto bytes = encode_ia(ia);
+  EXPECT_EQ(decode_ia(bytes), ia);
+}
+
+TEST(IaCodec, RoundTripEmpty) {
+  IntegratedAdvertisement ia;
+  ia.destination = *net::Prefix::parse("0.0.0.0/0");
+  EXPECT_EQ(decode_ia(encode_ia(ia)), ia);
+}
+
+TEST(IaCodec, RoundTripCompressed) {
+  IntegratedAdvertisement ia = sample_ia();
+  // Pad with repetitive data so compression engages.
+  ia.set_path_descriptor(kProtoEqBgp, 7, std::vector<std::uint8_t>(2000, 0x55));
+  CodecOptions options;
+  options.compress = true;
+  const auto compressed = encode_ia(ia, options);
+  const auto plain = encode_ia(ia);
+  EXPECT_LT(compressed.size(), plain.size());
+  EXPECT_EQ(decode_ia(compressed), ia);
+}
+
+TEST(IaCodec, SharingDeduplicatesIdenticalPayloads) {
+  IntegratedAdvertisement ia;
+  ia.destination = *net::Prefix::parse("10.0.0.0/8");
+  const std::vector<std::uint8_t> shared(500, 0xab);
+  // Five critical fixes carrying identical control information (the
+  // Section 3.2 sharing case behind Table 3's "+ Sharing" row).
+  for (ProtocolId p = 50; p < 55; ++p) ia.set_path_descriptor(p, 1, shared);
+
+  const auto with_sharing = measure_ia(ia, {.compress = false, .share_blobs = true});
+  const auto without = measure_ia(ia, {.compress = false, .share_blobs = false});
+  EXPECT_EQ(with_sharing.shared_savings, 4 * 500u);
+  EXPECT_EQ(without.shared_savings, 0u);
+  EXPECT_LT(with_sharing.total + 4 * 490, without.total);  // ~2000 bytes saved
+  // Both decode to the same IA.
+  EXPECT_EQ(decode_ia(encode_ia(ia, {.compress = false, .share_blobs = true})), ia);
+  EXPECT_EQ(decode_ia(encode_ia(ia, {.compress = false, .share_blobs = false})), ia);
+}
+
+TEST(IaCodec, TruncatedInputThrows) {
+  const auto bytes = encode_ia(sample_ia());
+  for (std::size_t cut : {std::size_t{1}, bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_ia(truncated), util::DecodeError) << "cut=" << cut;
+  }
+}
+
+TEST(IaCodec, BadVersionThrows) {
+  auto bytes = encode_ia(sample_ia());
+  bytes[0] = 99;
+  EXPECT_THROW(decode_ia(bytes), util::DecodeError);
+}
+
+TEST(IaCodec, TrailingGarbageThrows) {
+  auto bytes = encode_ia(sample_ia());
+  bytes.push_back(0x00);
+  EXPECT_THROW(decode_ia(bytes), util::DecodeError);
+}
+
+TEST(IaCodec, FuzzDecodeNeverCrashes) {
+  // Random mutations must either decode or throw DecodeError — never UB.
+  util::Rng rng(31337);
+  const auto base = encode_ia(sample_ia());
+  for (int iter = 0; iter < 300; ++iter) {
+    auto bytes = base;
+    const auto flips = rng.next_below(8) + 1;
+    for (std::uint32_t i = 0; i < flips; ++i) {
+      bytes[rng.next_below(static_cast<std::uint32_t>(bytes.size()))] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    try {
+      (void)decode_ia(bytes);
+    } catch (const util::DecodeError&) {
+      // expected for most mutations
+    }
+  }
+}
+
+class IaRandomRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IaRandomRoundTrip, RoundTrips) {
+  util::Rng rng(GetParam());
+  IntegratedAdvertisement ia;
+  ia.destination = net::Prefix(net::Ipv4Address(rng.next_u32()),
+                               static_cast<std::uint8_t>(rng.next_below(33)));
+  const auto pv_len = rng.next_below(6);
+  for (std::uint32_t i = 0; i < pv_len; ++i) {
+    switch (rng.next_below(3)) {
+      case 0: ia.path_vector.prepend_as(rng.next_u32() % 65000 + 1); break;
+      case 1: ia.path_vector.prepend_island(IslandId::assigned(rng.next_u32() % 1000 + 1)); break;
+      default: ia.path_vector.prepend_as_set({rng.next_u32() % 100 + 1, rng.next_u32() % 100 + 101}); break;
+    }
+  }
+  ia.baseline.as_path = ia.path_vector.to_bgp_as_path();
+  ia.baseline.next_hop = net::Ipv4Address(rng.next_u32());
+  const auto pds = rng.next_below(5);
+  for (std::uint32_t i = 0; i < pds; ++i) {
+    std::vector<std::uint8_t> payload(rng.next_below(100));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u32());
+    ia.set_path_descriptor(rng.next_u32() % 20 + 1, static_cast<std::uint16_t>(i), payload);
+  }
+  const auto ids = rng.next_below(4);
+  for (std::uint32_t i = 0; i < ids; ++i) {
+    std::vector<std::uint8_t> payload(rng.next_below(60));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u32());
+    ia.add_island_descriptor(IslandId::assigned(i + 1), rng.next_u32() % 20 + 1,
+                             static_cast<std::uint16_t>(i), payload);
+  }
+  CodecOptions options;
+  options.compress = rng.next_bool(0.5);
+  EXPECT_EQ(decode_ia(encode_ia(ia, options)), ia);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IaRandomRoundTrip, ::testing::Range<std::uint64_t>(0, 25));
+
+// -- Compressor -------------------------------------------------------------------
+
+TEST(Compress, RoundTripRepetitive) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 100; ++i) {
+    for (std::uint8_t b : {0x01, 0x02, 0x03, 0x04, 0x05}) data.push_back(b);
+  }
+  const auto compressed = lz_compress(data);
+  EXPECT_LT(compressed.size(), data.size() / 2);
+  EXPECT_EQ(lz_decompress(compressed, data.size()), data);
+}
+
+TEST(Compress, RoundTripRandomData) {
+  util::Rng rng(55);
+  std::vector<std::uint8_t> data(4096);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+  EXPECT_EQ(lz_decompress(lz_compress(data), data.size()), data);
+}
+
+TEST(Compress, EmptyInput) {
+  EXPECT_TRUE(lz_compress({}).empty());
+  EXPECT_TRUE(lz_decompress({}, 0).empty());
+}
+
+TEST(Compress, OverlappingMatches) {
+  // "aaaa..." forces matches that overlap their own output.
+  std::vector<std::uint8_t> data(1000, 'a');
+  const auto compressed = lz_compress(data);
+  EXPECT_LT(compressed.size(), 50u);
+  EXPECT_EQ(lz_decompress(compressed, data.size()), data);
+}
+
+TEST(Compress, WrongDeclaredSizeThrows) {
+  std::vector<std::uint8_t> data(100, 'x');
+  const auto compressed = lz_compress(data);
+  EXPECT_THROW(lz_decompress(compressed, 99), util::DecodeError);
+  EXPECT_THROW(lz_decompress(compressed, 101), util::DecodeError);
+}
+
+}  // namespace
+}  // namespace dbgp::ia

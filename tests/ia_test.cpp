@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "ia/integrated_advertisement.h"
+
+namespace dbgp::ia {
+namespace {
+
+TEST(IslandId, SingletonUsesAsNumber) {
+  const IslandId id = IslandId::from_as(65001);
+  EXPECT_TRUE(id.valid());
+  EXPECT_TRUE(id.is_singleton_as());
+  EXPECT_EQ(id.as_number(), 65001u);
+  EXPECT_EQ(id.to_string(), "AS65001");
+}
+
+TEST(IslandId, AssignedIsDistinctFromAsSpace) {
+  EXPECT_NE(IslandId::assigned(65001).raw(), IslandId::from_as(65001).raw());
+  EXPECT_FALSE(IslandId::assigned(65001).is_singleton_as());
+}
+
+TEST(IslandId, DeriveIsOrderIndependent) {
+  const bgp::AsNumber a[] = {10, 20, 30};
+  const bgp::AsNumber b[] = {30, 10, 20};
+  EXPECT_EQ(IslandId::derive(a), IslandId::derive(b));
+  const bgp::AsNumber c[] = {10, 20, 31};
+  EXPECT_NE(IslandId::derive(a), IslandId::derive(c));
+}
+
+TEST(ProtocolRegistry, BuiltinsAndDynamicRegistration) {
+  ProtocolRegistry registry;
+  EXPECT_EQ(registry.find("bgp"), kProtoBgp);
+  EXPECT_EQ(registry.find("wiser"), kProtoWiser);
+  EXPECT_EQ(registry.name(kProtoScion), "scion");
+  const ProtocolId mine = registry.register_protocol("my-proto");
+  EXPECT_GE(mine, kFirstDynamicProtocolId);
+  EXPECT_EQ(registry.register_protocol("my-proto"), mine);  // idempotent
+  EXPECT_EQ(registry.name(999), "proto-999");
+}
+
+TEST(PathVector, PrependAndContains) {
+  IaPathVector pv;
+  pv.prepend_as(3);
+  pv.prepend_island(IslandId::assigned(7));
+  pv.prepend_as(1);
+  EXPECT_EQ(pv.hop_count(), 3u);
+  EXPECT_TRUE(pv.contains_as(1));
+  EXPECT_TRUE(pv.contains_as(3));
+  EXPECT_FALSE(pv.contains_as(2));
+  EXPECT_TRUE(pv.contains_island(IslandId::assigned(7)));
+  EXPECT_FALSE(pv.contains_island(IslandId::assigned(8)));
+}
+
+TEST(PathVector, SingletonIslandEntryMentionsItsAs) {
+  IaPathVector pv;
+  pv.prepend_island(IslandId::from_as(42));
+  EXPECT_TRUE(pv.contains_as(42));  // loop check must see through it
+}
+
+TEST(PathVector, AsSetMentionsMembers) {
+  IaPathVector pv;
+  pv.prepend_as_set({5, 6, 7});
+  EXPECT_TRUE(pv.contains_as(6));
+  EXPECT_FALSE(pv.contains_as(8));
+  EXPECT_EQ(pv.hop_count(), 1u);  // set counts once
+}
+
+TEST(PathVector, UnifiedLoopDetection) {
+  IaPathVector pv;
+  pv.prepend_as(3);
+  pv.prepend_island(IslandId::assigned(7));
+  EXPECT_TRUE(pv.would_loop(3));
+  EXPECT_TRUE(pv.would_loop(99, IslandId::assigned(7)));  // island-granularity
+  EXPECT_FALSE(pv.would_loop(99, IslandId::assigned(8)));
+  EXPECT_FALSE(pv.would_loop(99));
+}
+
+TEST(PathVector, AbstractLeadingMembers) {
+  IaPathVector pv;
+  pv.prepend_as(100);  // beyond the island
+  pv.prepend_as(12);
+  pv.prepend_as(11);
+  pv.prepend_as(10);
+  const bgp::AsNumber members[] = {10, 11, 12};
+  const IslandId island = IslandId::assigned(5);
+  EXPECT_EQ(pv.abstract_leading_members(island, members), 3u);
+  ASSERT_EQ(pv.elements().size(), 2u);
+  EXPECT_EQ(pv.elements()[0].kind, PathElement::Kind::kIsland);
+  EXPECT_EQ(pv.elements()[0].island_id, island);
+  EXPECT_EQ(pv.elements()[1].asn, 100u);
+  // Path-diversity loss: re-entering the island now loops at island level.
+  EXPECT_TRUE(pv.would_loop(999, island));
+}
+
+TEST(PathVector, AbstractStopsAtNonMember) {
+  IaPathVector pv;
+  pv.prepend_as(11);
+  pv.prepend_as(99);  // non-member leading entry
+  const bgp::AsNumber members[] = {10, 11};
+  EXPECT_EQ(pv.abstract_leading_members(IslandId::assigned(5), members), 0u);
+  EXPECT_EQ(pv.elements().size(), 2u);
+}
+
+TEST(PathVector, ToBgpAsPath) {
+  IaPathVector pv;
+  pv.prepend_as(30);
+  pv.prepend_as_set({20, 21});
+  pv.prepend_island(IslandId::from_as(10));
+  pv.prepend_island(IslandId::assigned(9));
+  const bgp::AsPath path = pv.to_bgp_as_path();
+  // assigned island -> opaque AS 64512; singleton island -> its ASN.
+  EXPECT_EQ(path.to_string(), "64512 10 {20,21} 30");
+}
+
+TEST(PathVector, ToStringFormat) {
+  IaPathVector pv;
+  pv.prepend_as(3);
+  pv.prepend_as_set({4, 5});
+  pv.prepend_island(IslandId::assigned(1));
+  EXPECT_EQ(pv.to_string(), "island:1 {4,5} 3");
+}
+
+TEST(IntegratedAdvertisement, PathDescriptorUpsert) {
+  IntegratedAdvertisement ia;
+  ia.set_path_descriptor(kProtoWiser, 1, {1, 2});
+  ia.set_path_descriptor(kProtoWiser, 1, {3});
+  ASSERT_EQ(ia.path_descriptors.size(), 1u);
+  EXPECT_EQ(ia.path_descriptors[0].value, (std::vector<std::uint8_t>{3}));
+  EXPECT_NE(ia.find_path_descriptor(kProtoWiser, 1), nullptr);
+  EXPECT_EQ(ia.find_path_descriptor(kProtoWiser, 2), nullptr);
+  ia.remove_path_descriptors(kProtoWiser);
+  EXPECT_TRUE(ia.path_descriptors.empty());
+}
+
+TEST(IntegratedAdvertisement, IslandDescriptorLookup) {
+  IntegratedAdvertisement ia;
+  const IslandId a = IslandId::assigned(1), b = IslandId::assigned(2);
+  ia.add_island_descriptor(a, kProtoScion, 1, {1});
+  ia.add_island_descriptor(b, kProtoScion, 1, {2});
+  ia.add_island_descriptor(a, kProtoMiro, 1, {3});
+  EXPECT_EQ(ia.island_descriptors_for(kProtoScion).size(), 2u);
+  EXPECT_NE(ia.find_island_descriptor(a, kProtoMiro, 1), nullptr);
+  ia.remove_island_descriptors(a, kProtoScion);
+  EXPECT_EQ(ia.island_descriptors_for(kProtoScion).size(), 1u);
+  EXPECT_NE(ia.find_island_descriptor(a, kProtoMiro, 1), nullptr);  // untouched
+}
+
+TEST(IntegratedAdvertisement, MembershipUpsert) {
+  IntegratedAdvertisement ia;
+  ia.add_membership({IslandId::assigned(1), {10, 11}, kProtoWiser});
+  ia.add_membership({IslandId::assigned(1), {10, 11, 12}, kProtoWiser});
+  ASSERT_EQ(ia.island_ids.size(), 1u);
+  EXPECT_EQ(ia.island_ids[0].members.size(), 3u);
+  EXPECT_NE(ia.find_membership(IslandId::assigned(1)), nullptr);
+  EXPECT_EQ(ia.find_membership(IslandId::assigned(2)), nullptr);
+}
+
+TEST(IntegratedAdvertisement, ProtocolsOnPath) {
+  IntegratedAdvertisement ia;
+  ia.set_path_descriptor(kProtoWiser, 1, {1});
+  ia.add_island_descriptor(IslandId::assigned(1), kProtoScion, 1, {1});
+  ia.add_membership({IslandId::assigned(2), {}, kProtoPathlets});
+  const auto protocols = ia.protocols_on_path();
+  EXPECT_TRUE(protocols.count(kProtoBgp));  // baseline always present (G-R4)
+  EXPECT_TRUE(protocols.count(kProtoWiser));
+  EXPECT_TRUE(protocols.count(kProtoScion));
+  EXPECT_TRUE(protocols.count(kProtoPathlets));
+  EXPECT_EQ(protocols.size(), 4u);
+}
+
+TEST(IntegratedAdvertisement, DumpMentionsKeyFields) {
+  IntegratedAdvertisement ia;
+  ia.destination = *net::Prefix::parse("128.6.0.0/32");
+  ia.path_vector.prepend_as(3);
+  ia.set_path_descriptor(kProtoWiser, 1, {100});
+  const std::string dump = ia.dump();
+  EXPECT_NE(dump.find("128.6.0.0/32"), std::string::npos);
+  EXPECT_NE(dump.find("wiser"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbgp::ia

@@ -1,0 +1,171 @@
+// The D-BGP transition phase (Section 3.5): interop with legacy BGP-4
+// speakers via optional transitive attribute 240.
+#include <gtest/gtest.h>
+
+#include "bgp/speaker.h"
+#include "core/legacy_bridge.h"
+
+namespace dbgp::core {
+namespace {
+
+ia::IntegratedAdvertisement rich_ia() {
+  ia::IntegratedAdvertisement ia;
+  ia.destination = *net::Prefix::parse("131.4.0.0/24");
+  ia.path_vector.prepend_as(21);
+  ia.path_vector.prepend_island(ia::IslandId::assigned(0xF0));
+  ia.baseline.as_path = ia.path_vector.to_bgp_as_path();
+  ia.baseline.next_hop = net::Ipv4Address(10, 0, 0, 1);
+  ia.set_path_descriptor(ia::kProtoWiser, ia::keys::kWiserPathCost, {75});
+  ia.add_island_descriptor(ia::IslandId::assigned(0xF0), ia::kProtoScion,
+                           ia::keys::kScionPaths, {1, 2, 3});
+  ia.add_membership({ia::IslandId::assigned(0xF0), {}, ia::kProtoScion});
+  return ia;
+}
+
+TEST(LegacyBridge, RoundTripThroughUpdate) {
+  LegacyBridge out_bridge, in_bridge;
+  const auto ia = rich_ia();
+  const auto update = out_bridge.ia_to_update(ia);
+  EXPECT_EQ(out_bridge.stats().packed, 1u);
+  // The update is a legal RFC 4271 message.
+  const auto bytes = bgp::encode_message(bgp::Message{update});
+  const auto decoded = std::get<bgp::UpdateMessage>(bgp::decode_message(bytes));
+
+  const auto recovered = in_bridge.update_to_ia(decoded);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(in_bridge.stats().recovered, 1u);
+  EXPECT_EQ(recovered[0].destination, ia.destination);
+  EXPECT_EQ(recovered[0].path_vector, ia.path_vector);
+  EXPECT_NE(recovered[0].find_path_descriptor(ia::kProtoWiser, ia::keys::kWiserPathCost),
+            nullptr);
+  EXPECT_NE(recovered[0].find_island_descriptor(ia::IslandId::assigned(0xF0),
+                                                ia::kProtoScion, ia::keys::kScionPaths),
+            nullptr);
+}
+
+TEST(LegacyBridge, OversizeExtrasAreDroppedNotFatal) {
+  LegacyBridge bridge;
+  auto ia = rich_ia();
+  ia.set_path_descriptor(77, 1, std::vector<std::uint8_t>(8000, 0x7f));  // > 4 KB limit
+  const auto update = bridge.ia_to_update(ia);
+  EXPECT_EQ(bridge.stats().dropped_oversize, 1u);
+  // Still encodable, still announces the prefix, just without attr 240.
+  EXPECT_NO_THROW(bgp::encode_message(bgp::Message{update}));
+  ASSERT_TRUE(update.attributes.has_value());
+  EXPECT_TRUE(update.attributes->unknown.empty());
+  LegacyBridge in_bridge;
+  const auto recovered = in_bridge.update_to_ia(update);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(in_bridge.stats().synthesized, 1u);  // baseline-only
+  EXPECT_EQ(recovered[0].find_path_descriptor(ia::kProtoWiser, ia::keys::kWiserPathCost),
+            nullptr);
+}
+
+TEST(LegacyBridge, PlainUpdateSynthesizesBaselineIa) {
+  LegacyBridge bridge;
+  bgp::UpdateMessage update;
+  bgp::PathAttributes attrs;
+  attrs.as_path = bgp::AsPath({3, 2, 1});
+  attrs.as_path.prepend_set({10, 11});
+  attrs.next_hop = net::Ipv4Address(9, 9, 9, 9);
+  update.attributes = attrs;
+  update.nlri.push_back(*net::Prefix::parse("10.0.0.0/8"));
+  const auto recovered = bridge.update_to_ia(update);
+  ASSERT_EQ(recovered.size(), 1u);
+  // AS_SET becomes an AS_SET path-vector element; loop check sees members.
+  EXPECT_TRUE(recovered[0].path_vector.contains_as(11));
+  EXPECT_TRUE(recovered[0].path_vector.contains_as(2));
+  EXPECT_EQ(recovered[0].path_vector.hop_count(), 4u);
+}
+
+TEST(LegacyBridge, MalformedTransitAttrFallsBackToBaseline) {
+  LegacyBridge bridge;
+  bgp::UpdateMessage update;
+  bgp::PathAttributes attrs;
+  attrs.as_path = bgp::AsPath({1});
+  attrs.next_hop = net::Ipv4Address(1, 1, 1, 1);
+  attrs.unknown.push_back({bgp::kAttrFlagOptional | bgp::kAttrFlagTransitive,
+                           kDbgpTransitAttr, {0xde, 0xad}});
+  update.attributes = attrs;
+  update.nlri.push_back(*net::Prefix::parse("10.0.0.0/8"));
+  const auto recovered = bridge.update_to_ia(update);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(bridge.stats().malformed, 1u);
+  EXPECT_EQ(bridge.stats().synthesized, 1u);
+  EXPECT_TRUE(recovered[0].path_descriptors.empty());
+}
+
+// End-to-end through REAL legacy speakers: a D-BGP island's IA crosses two
+// unmodified BgpSpeakers and reaches another D-BGP island with its control
+// information intact — this is how D-BGP itself deploys incrementally.
+TEST(LegacyBridge, SurvivesRealLegacySpeakers) {
+  // D-BGP AS 1 -> legacy AS 2 -> legacy AS 3 -> D-BGP AS 4.
+  auto make_speaker = [](bgp::AsNumber asn) {
+    bgp::BgpSpeaker::Config config;
+    config.asn = asn;
+    config.router_id = net::Ipv4Address(asn);
+    config.next_hop = net::Ipv4Address(asn);
+    config.hold_time = 0;
+    return bgp::BgpSpeaker(config);
+  };
+  bgp::BgpSpeaker legacy2 = make_speaker(2);
+  bgp::BgpSpeaker legacy3 = make_speaker(3);
+  // Wire 2<->3 plus edge peers 1 and 4 (we play those by hand).
+  const bgp::PeerId p2_from_1 = legacy2.add_peer(1);
+  const bgp::PeerId p2_to_3 = legacy2.add_peer(3);
+  const bgp::PeerId p3_from_2 = legacy3.add_peer(2);
+  const bgp::PeerId p3_to_4 = legacy3.add_peer(4);
+
+  auto establish = [](bgp::BgpSpeaker& speaker, bgp::PeerId peer, bgp::AsNumber remote) {
+    speaker.start_peer(peer, 0.0);
+    speaker.handle_message(peer,
+                           bgp::OpenMessage{4, remote, 0, net::Ipv4Address(remote), {}}, 0.0);
+    speaker.handle_message(peer, bgp::KeepAliveMessage{}, 0.0);
+  };
+  establish(legacy2, p2_from_1, 1);
+  establish(legacy2, p2_to_3, 3);
+  establish(legacy3, p3_from_2, 2);
+  establish(legacy3, p3_to_4, 4);
+
+  // AS 1 (D-BGP) packs its IA into an update and sends it to legacy AS 2.
+  LegacyBridge sender;
+  auto ia = rich_ia();  // origin path vector [F0-island, 21]; pretend AS 1 is the egress
+  ia.path_vector.prepend_as(1);
+  ia.baseline.as_path = ia.path_vector.to_bgp_as_path();
+  const auto update_from_1 = sender.ia_to_update(ia);
+
+  auto out2 = legacy2.handle_message(p2_from_1, bgp::Message{update_from_1}, 0.0);
+  // Find the update AS 2 forwards to AS 3 and deliver it.
+  std::vector<bgp::Outgoing> out3;
+  for (const auto& msg : out2) {
+    if (msg.peer == p2_to_3) {
+      auto more = legacy3.handle_bytes(p3_from_2, msg.bytes, 0.0);
+      out3.insert(out3.end(), more.begin(), more.end());
+    }
+  }
+  // AS 3 forwards toward AS 4; the D-BGP side unpacks.
+  LegacyBridge receiver;
+  std::vector<ia::IntegratedAdvertisement> arrived;
+  for (const auto& msg : out3) {
+    if (msg.peer != p3_to_4) continue;
+    const auto m = bgp::decode_message(msg.bytes);
+    if (!std::holds_alternative<bgp::UpdateMessage>(m)) continue;
+    auto more = receiver.update_to_ia(std::get<bgp::UpdateMessage>(m));
+    arrived.insert(arrived.end(), more.begin(), more.end());
+  }
+  ASSERT_EQ(arrived.size(), 1u);
+  const auto& got = arrived[0];
+  // Control information survived two unmodified legacy speakers.
+  EXPECT_NE(got.find_path_descriptor(ia::kProtoWiser, ia::keys::kWiserPathCost), nullptr);
+  EXPECT_NE(got.find_island_descriptor(ia::IslandId::assigned(0xF0), ia::kProtoScion,
+                                       ia::keys::kScionPaths),
+            nullptr);
+  // The legacy hops appear in the recovered path vector (prepended 3, 2).
+  EXPECT_TRUE(got.path_vector.contains_as(3));
+  EXPECT_TRUE(got.path_vector.contains_as(2));
+  EXPECT_TRUE(got.path_vector.contains_as(1));
+  EXPECT_EQ(receiver.stats().recovered, 1u);
+}
+
+}  // namespace
+}  // namespace dbgp::core

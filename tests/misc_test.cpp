@@ -1,0 +1,187 @@
+// Coverage for the smaller core pieces: logging, the lookup service, the IA
+// factory's pass-through contract in isolation, and the Wiser two-way cost
+// exchange running across a gulf end-to-end (Section 3.4's full loop).
+#include <gtest/gtest.h>
+
+#include "core/ia_factory.h"
+#include "core/lookup_service.h"
+#include "protocols/bgp_module.h"
+#include "protocols/wiser.h"
+#include "simnet/network.h"
+#include "util/logging.h"
+
+namespace dbgp {
+namespace {
+
+// -- Logging ---------------------------------------------------------------------
+
+TEST(Logging, LevelFiltersAndSinkCaptures) {
+  std::vector<std::string> lines;
+  util::set_log_sink([&lines](util::LogLevel, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  const auto old_level = util::log_level();
+  util::set_log_level(util::LogLevel::kInfo);
+  DBGP_LOG(util::LogLevel::kDebug, "test") << "hidden";
+  DBGP_LOG(util::LogLevel::kInfo, "test") << "visible " << 42;
+  util::set_log_level(old_level);
+  util::set_log_sink(nullptr);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "test: visible 42");
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_EQ(util::to_string(util::LogLevel::kTrace), "trace");
+  EXPECT_EQ(util::to_string(util::LogLevel::kError), "error");
+  EXPECT_EQ(util::to_string(util::LogLevel::kOff), "off");
+}
+
+// -- LookupService ------------------------------------------------------------------
+
+TEST(LookupService, PutGetEraseAndCounters) {
+  core::LookupService lookup(net::Ipv4Address(10, 0, 0, 7));
+  EXPECT_EQ(lookup.address(), net::Ipv4Address(10, 0, 0, 7));
+  EXPECT_FALSE(lookup.get("missing").has_value());
+  lookup.put("a/b", {1, 2, 3});
+  lookup.put("a/c", {4});
+  lookup.put("z", {5});
+  auto got = lookup.get("a/b");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(lookup.size(), 3u);
+  EXPECT_EQ(lookup.put_count(), 3u);
+  EXPECT_EQ(lookup.get_count(), 2u);  // the miss counted too
+  EXPECT_TRUE(lookup.erase("a/b"));
+  EXPECT_FALSE(lookup.erase("a/b"));
+  EXPECT_EQ(lookup.size(), 2u);
+}
+
+TEST(LookupService, KeysWithPrefix) {
+  core::LookupService lookup;
+  lookup.put("miro/1/x", {});
+  lookup.put("miro/2/y", {});
+  lookup.put("wiser/1", {});
+  const auto keys = lookup.keys_with_prefix("miro/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "miro/1/x");
+  EXPECT_TRUE(lookup.keys_with_prefix("nothing/").empty());
+}
+
+TEST(LookupService, IaKeyIsCanonical) {
+  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(core::LookupService::ia_key(1, 2, prefix), "ia/1/2/10.0.0.0/8");
+  EXPECT_NE(core::LookupService::ia_key(1, 2, prefix),
+            core::LookupService::ia_key(2, 1, prefix));
+}
+
+// -- IaFactory ------------------------------------------------------------------------
+
+TEST(IaFactory, PassThroughAndBaselineUpdates) {
+  core::IaFactory factory({42, ia::IslandId::from_as(42), net::Ipv4Address(42), true});
+  core::IaRoute best;
+  best.ia.destination = *net::Prefix::parse("10.0.0.0/8");
+  best.ia.path_vector.prepend_as(7);
+  best.ia.baseline.local_pref = 999;  // must be scrubbed on eBGP export
+  best.ia.baseline.med = 5;
+  best.ia.set_path_descriptor(77, 1, {0xaa});
+  best.ia.add_island_descriptor(ia::IslandId::assigned(3), 78, 2, {0xbb});
+
+  core::ExportContext ctx;
+  ctx.own_as = 42;
+  const auto out = factory.create_from_best(best, nullptr, ctx);
+  // Pass-through of everything we do not understand.
+  EXPECT_NE(out.find_path_descriptor(77, 1), nullptr);
+  EXPECT_NE(out.find_island_descriptor(ia::IslandId::assigned(3), 78, 2), nullptr);
+  // Baseline updates: prepend, next-hop-self, scrub LOCAL_PREF and MED.
+  EXPECT_TRUE(out.path_vector.contains_as(42));
+  EXPECT_EQ(out.path_vector.hop_count(), 2u);
+  EXPECT_EQ(out.baseline.next_hop, net::Ipv4Address(42));
+  EXPECT_FALSE(out.baseline.local_pref.has_value());
+  EXPECT_FALSE(out.baseline.med.has_value());
+  // The BGP-visible AS_PATH mirrors the path vector.
+  EXPECT_TRUE(out.baseline.as_path.contains(42));
+  EXPECT_TRUE(out.baseline.as_path.contains(7));
+}
+
+TEST(IaFactory, NoPrependWhenDisabled) {
+  core::IaFactory factory({42, {}, net::Ipv4Address(42), /*prepend_own_as=*/false});
+  core::IaRoute best;
+  best.ia.destination = *net::Prefix::parse("10.0.0.0/8");
+  best.ia.path_vector.prepend_as(7);
+  const auto out = factory.create_from_best(best, nullptr, {});
+  EXPECT_FALSE(out.path_vector.contains_as(42));
+  EXPECT_EQ(out.path_vector.hop_count(), 1u);
+}
+
+TEST(IaFactory, OriginHasSingleHop) {
+  core::IaFactory factory({42, {}, net::Ipv4Address(42), true});
+  const auto out = factory.create_origin(*net::Prefix::parse("10.0.0.0/8"), nullptr, {});
+  EXPECT_EQ(out.path_vector.hop_count(), 1u);
+  EXPECT_TRUE(out.path_vector.contains_as(42));
+  EXPECT_EQ(out.baseline.origin, bgp::Origin::kIgp);
+}
+
+// -- Wiser two-way cost exchange across a gulf ------------------------------------------
+
+TEST(WiserExchange, TwoWayScalingAcrossGulfEndToEnd) {
+  // Island A (cost units 10x larger) advertises across a gulf to island B.
+  // After the out-of-band exchange, B re-evaluates and sees A's costs scaled
+  // into its own units — the complete Section 3.4 loop.
+  core::LookupService lookup;
+  protocols::WiserCostExchange exchange(&lookup);
+  simnet::DbgpNetwork net(&lookup);
+  const auto island_a = ia::IslandId::assigned(0xA);
+  const auto island_b = ia::IslandId::assigned(0xB);
+  const auto prefix = *net::Prefix::parse("128.6.0.0/16");
+
+  protocols::WiserModule* module_a = nullptr;
+  protocols::WiserModule* module_b = nullptr;
+  auto add_wiser = [&](bgp::AsNumber asn, ia::IslandId island, std::uint64_t cost,
+                       protocols::WiserModule** out_module) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    config.island = island;
+    config.island_protocol = ia::kProtoWiser;
+    config.active_protocol = ia::kProtoWiser;
+    auto& speaker = net.add_as(config);
+    auto module = std::make_unique<protocols::WiserModule>(
+        protocols::WiserModule::Config{island, cost, net::Ipv4Address(asn)}, &exchange);
+    *out_module = module.get();
+    speaker.add_module(std::move(module));
+    speaker.add_module(std::make_unique<protocols::BgpModule>());
+  };
+  add_wiser(1, island_a, 500, &module_a);  // island A: big cost units
+  core::DbgpConfig gulf;
+  gulf.asn = 4;
+  gulf.next_hop = net::Ipv4Address(4);
+  net.add_as(gulf).add_module(std::make_unique<protocols::BgpModule>());
+  add_wiser(9, island_b, 5, &module_b);
+
+  net.connect(1, 4);
+  net.connect(4, 9);
+  net.originate(1, prefix);
+  net.run_to_convergence();
+
+  // Before any exchange B guessed scale 1.0: it stored A's raw cost.
+  const auto* before = net.speaker(9).best(prefix);
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(protocols::WiserModule::path_cost(*before), 500u);
+
+  // The periodic exchange: A publishes what it advertised; B already
+  // reported what it received at import time. A claims its mean advertised
+  // cost is 500 but in B's units the comparable cost would be 50: publish a
+  // deliberately-skewed report to exercise scaling.
+  exchange.report_advertised(island_a, island_b, /*cost_sum=*/50, /*count=*/1);
+  auto out = net.speaker(9).reevaluate_all();
+  const auto* after = net.speaker(9).best(prefix);
+  ASSERT_NE(after, nullptr);
+  // scale = advertised_mean / received_mean = 50 / 500 = 0.1 -> cost 50.
+  EXPECT_EQ(protocols::WiserModule::path_cost(*after), 50u);
+  (void)module_a;
+  (void)module_b;
+  (void)out;
+}
+
+}  // namespace
+}  // namespace dbgp

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4.h"
+#include "net/prefix_trie.h"
+#include "util/rng.h"
+
+namespace dbgp::net {
+namespace {
+
+TEST(Ipv4Address, ParseValid) {
+  auto a = Ipv4Address::parse("128.6.0.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0x80060001u);
+  EXPECT_EQ(a->to_string(), "128.6.0.1");
+}
+
+class Ipv4ParseInvalid : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv4ParseInvalid, Rejected) {
+  EXPECT_FALSE(Ipv4Address::parse(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, Ipv4ParseInvalid,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1..2.3",
+                                           "a.b.c.d", "1.2.3.4 ", "-1.2.3.4"));
+
+TEST(Ipv4Address, RoundTripAllOctetBoundaries) {
+  for (std::uint32_t v : {0u, 0xffffffffu, 0x01020304u, 0xc0a80101u}) {
+    EXPECT_EQ(Ipv4Address::parse(Ipv4Address(v).to_string())->value(), v);
+  }
+}
+
+TEST(Prefix, Canonicalizes) {
+  const Prefix p(Ipv4Address(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(Prefix, ParseAndFormat) {
+  auto p = Prefix::parse("192.168.1.0/24");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 24);
+  EXPECT_EQ(p->to_string(), "192.168.1.0/24");
+  EXPECT_FALSE(Prefix::parse("192.168.1.0/33"));
+  EXPECT_FALSE(Prefix::parse("192.168.1.0"));
+  EXPECT_FALSE(Prefix::parse("foo/8"));
+}
+
+TEST(Prefix, ContainsAndCovers) {
+  const Prefix p = *Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(Ipv4Address(10, 255, 0, 1)));
+  EXPECT_FALSE(p.contains(Ipv4Address(11, 0, 0, 1)));
+  EXPECT_TRUE(p.covers(*Prefix::parse("10.1.0.0/16")));
+  EXPECT_TRUE(p.covers(p));
+  EXPECT_FALSE(p.covers(*Prefix::parse("0.0.0.0/0")));
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  const Prefix any = *Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(any.contains(Ipv4Address(1, 2, 3, 4)));
+  EXPECT_TRUE(any.covers(*Prefix::parse("255.0.0.0/8")));
+}
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(*Prefix::parse("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(*Prefix::parse("10.0.0.0/8"), 2));  // replace
+  EXPECT_EQ(*trie.find(*Prefix::parse("10.0.0.0/8")), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_TRUE(trie.erase(*Prefix::parse("10.0.0.0/8")));
+  EXPECT_FALSE(trie.erase(*Prefix::parse("10.0.0.0/8")));
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, LongestPrefixMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("0.0.0.0/0"), 0);
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 24);
+
+  Prefix matched;
+  EXPECT_EQ(*trie.longest_match(Ipv4Address(10, 1, 2, 3), &matched), 24);
+  EXPECT_EQ(matched.to_string(), "10.1.2.0/24");
+  EXPECT_EQ(*trie.longest_match(Ipv4Address(10, 1, 9, 9)), 16);
+  EXPECT_EQ(*trie.longest_match(Ipv4Address(10, 9, 9, 9)), 8);
+  EXPECT_EQ(*trie.longest_match(Ipv4Address(11, 0, 0, 1)), 0);
+}
+
+TEST(PrefixTrie, NoDefaultMeansNoMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  EXPECT_EQ(trie.longest_match(Ipv4Address(11, 0, 0, 1)), nullptr);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.1/32"), 1);
+  trie.insert(*Prefix::parse("10.0.0.2/32"), 2);
+  EXPECT_EQ(*trie.longest_match(Ipv4Address(10, 0, 0, 1)), 1);
+  EXPECT_EQ(*trie.longest_match(Ipv4Address(10, 0, 0, 2)), 2);
+  EXPECT_EQ(trie.longest_match(Ipv4Address(10, 0, 0, 3)), nullptr);
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 1);
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 2);
+  trie.insert(*Prefix::parse("192.168.0.0/16"), 3);
+  std::vector<std::string> visited;
+  trie.for_each([&](const Prefix& p, const int&) { visited.push_back(p.to_string()); });
+  ASSERT_EQ(visited.size(), 3u);
+  EXPECT_EQ(visited[0], "10.0.0.0/8");
+  EXPECT_EQ(visited[1], "10.1.0.0/16");
+  EXPECT_EQ(visited[2], "192.168.0.0/16");
+}
+
+TEST(PrefixTrie, RandomizedAgainstLinearScan) {
+  // Property: LPM result equals brute-force longest covering prefix.
+  util::Rng rng(77);
+  PrefixTrie<std::size_t> trie;
+  std::vector<Prefix> prefixes;
+  for (int i = 0; i < 200; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.next_below(25) + 8);
+    const Prefix p(Ipv4Address(rng.next_u32()), len);
+    if (trie.insert(p, prefixes.size())) prefixes.push_back(p);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const Ipv4Address addr(rng.next_u32());
+    const std::size_t* got = trie.longest_match(addr);
+    const Prefix* expected = nullptr;
+    for (const auto& p : prefixes) {
+      if (p.contains(addr) && (expected == nullptr || p.length() > expected->length())) {
+        expected = &p;
+      }
+    }
+    if (expected == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(prefixes[*got].length(), expected->length());
+      EXPECT_TRUE(prefixes[*got].contains(addr));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbgp::net

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "ia/codec.h"
+#include "overhead/model.h"
+
+namespace dbgp::overhead {
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kKiB = 1024.0;
+
+const AnalysisRow& row(const std::vector<AnalysisRow>& rows, const char* name) {
+  for (const auto& r : rows) {
+    if (r.name == name) return r;
+  }
+  ADD_FAILURE() << "missing row " << name;
+  static AnalysisRow empty;
+  return empty;
+}
+
+// Table 3's published numbers, reproduced by the model (tolerances cover
+// the paper's rounding).
+TEST(OverheadModel, BasicRowMatchesTable3) {
+  const auto rows = analyze(Parameters{});
+  const auto& basic = row(rows, "Basic");
+  EXPECT_NEAR(basic.ia_size_cf_bytes.min, 40 * kKiB, 1 * kKiB);         // 40 KB
+  EXPECT_NEAR(basic.ia_size_cf_bytes.max, 25 * 1024 * kKiB, 1024 * kKiB);  // 25 MB
+  EXPECT_NEAR(basic.ia_size_cr_bytes.min, 1 * kKiB, 0.1 * kKiB);        // 1 KB
+  EXPECT_NEAR(basic.ia_size_cr_bytes.max, 9.8 * 1024 * kKiB, 512 * kKiB);  // 9.8 MB
+  EXPECT_NEAR(basic.total_bytes.min / kGiB, 24.0, 2.0);                 // 24 GB
+  EXPECT_NEAR(basic.total_bytes.max / kGiB, 36000.0, 1000.0);           // 36,000 GB
+}
+
+TEST(OverheadModel, PathLengthRowMatchesTable3) {
+  const auto rows = analyze(Parameters{});
+  const auto& r = row(rows, "+ Avg path lengths");
+  EXPECT_NEAR(r.ia_size_cf_bytes.min, 12 * kKiB, 1 * kKiB);             // 12 KB
+  EXPECT_NEAR(r.ia_size_cf_bytes.max, 1.3 * 1024 * kKiB, 64 * kKiB);    // 1.3 MB
+  EXPECT_NEAR(r.ia_size_cr_bytes.min, 0.3 * kKiB, 0.05 * kKiB);         // 0.3 KB
+  EXPECT_NEAR(r.ia_size_cr_bytes.max, 50 * kKiB, 2 * kKiB);             // 50 KB
+  EXPECT_NEAR(r.total_bytes.min / kGiB, 7.0, 1.0);                      // 7 GB
+  EXPECT_NEAR(r.total_bytes.max / kGiB, 1300.0, 50.0);                  // 1,300 GB
+}
+
+TEST(OverheadModel, SharingRowMatchesTable3) {
+  const auto rows = analyze(Parameters{});
+  const auto& r = row(rows, "+ Sharing");
+  EXPECT_NEAR(r.ia_size_cf_bytes.min, 4.8 * kKiB, 0.2 * kKiB);          // 4.8 KB
+  EXPECT_NEAR(r.ia_size_cf_bytes.max, 0.56 * 1024 * kKiB, 16 * kKiB);   // 0.56 MB
+  EXPECT_NEAR(r.total_bytes.min / kGiB, 3.0, 0.3);                      // 3 GB
+  EXPECT_NEAR(r.total_bytes.max / kGiB, 610.0, 20.0);                   // 610 GB
+}
+
+TEST(OverheadModel, SingleProtocolRowMatchesTable3) {
+  const auto rows = analyze(Parameters{});
+  const auto& r = row(rows, "Single protocol");
+  EXPECT_NEAR(r.ia_size_cf_bytes.min, 4 * kKiB, 0.01 * kKiB);
+  EXPECT_NEAR(r.ia_size_cf_bytes.max, 256 * kKiB, 0.01 * kKiB);
+  EXPECT_DOUBLE_EQ(r.ia_size_cr_bytes.max, 0.0);
+  EXPECT_DOUBLE_EQ(r.advertisements.min, 600'000);
+  EXPECT_DOUBLE_EQ(r.advertisements.max, 1'000'000);
+  EXPECT_NEAR(r.total_bytes.min / kGiB, 2.3, 0.1);                      // 2.3 GB
+  EXPECT_NEAR(r.total_bytes.max / kGiB, 240.0, 5.0);                    // 240 GB
+}
+
+TEST(OverheadModel, HeadlineFactorIs1_3To2_5) {
+  const auto factor = overhead_factor(Parameters{});
+  EXPECT_NEAR(factor.min, 1.3, 0.05);
+  EXPECT_NEAR(factor.max, 2.5, 0.05);
+}
+
+TEST(OverheadModel, EachRefinementShrinksMaxOverhead) {
+  const auto rows = analyze(Parameters{});
+  EXPECT_GT(row(rows, "Basic").total_bytes.max,
+            row(rows, "+ Avg path lengths").total_bytes.max);
+  EXPECT_GT(row(rows, "+ Avg path lengths").total_bytes.max,
+            row(rows, "+ Sharing").total_bytes.max);
+}
+
+TEST(OverheadModel, FormatRowIsHumanReadable) {
+  const auto rows = analyze(Parameters{});
+  const std::string text = format_row(rows[0]);
+  EXPECT_NE(text.find("Basic"), std::string::npos);
+  EXPECT_NE(text.find("total:"), std::string::npos);
+}
+
+// Empirical cross-check: the codec's blob sharing realizes the +Sharing
+// mechanism — N critical fixes sharing (1 - CFu) of their control info cost
+// far less than N full copies.
+TEST(OverheadEmpirical, CodecSharingMatchesModelDirection) {
+  const std::size_t control_info = 4096;
+  const double unique_fraction = 0.1;
+  const int fixes_on_path = 5;
+
+  ia::IntegratedAdvertisement ia;
+  ia.destination = *net::Prefix::parse("10.0.0.0/8");
+  const std::vector<std::uint8_t> shared(
+      static_cast<std::size_t>(control_info * (1.0 - unique_fraction)), 0x5a);
+  for (int f = 0; f < fixes_on_path; ++f) {
+    // Shared part: identical across fixes; unique part: per-fix bytes.
+    ia.set_path_descriptor(100 + f, 1, shared);
+    std::vector<std::uint8_t> unique(
+        static_cast<std::size_t>(control_info * unique_fraction),
+        static_cast<std::uint8_t>(f));
+    ia.set_path_descriptor(100 + f, 2, unique);
+  }
+  const auto with_sharing = ia::measure_ia(ia, {.compress = false, .share_blobs = true});
+  const auto without = ia::measure_ia(ia, {.compress = false, .share_blobs = false});
+
+  // Model: with sharing ~ (N*CFu + (1-CFu)) * CI; without ~ N * CI.
+  const double model_ratio =
+      (fixes_on_path * unique_fraction + (1.0 - unique_fraction)) /
+      static_cast<double>(fixes_on_path);
+  const double measured_ratio =
+      static_cast<double>(with_sharing.total) / static_cast<double>(without.total);
+  EXPECT_NEAR(measured_ratio, model_ratio, 0.05);
+  EXPECT_EQ(with_sharing.shared_savings,
+            (fixes_on_path - 1) * shared.size());
+}
+
+}  // namespace
+}  // namespace dbgp::overhead

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "protocols/bgp_module.h"
+#include "protocols/pathlet.h"
+#include "simnet/network.h"
+
+namespace dbgp::protocols {
+namespace {
+
+const net::Prefix kDest = *net::Prefix::parse("131.1.4.0/24");
+
+Pathlet make_pathlet(std::uint32_t fid, std::vector<std::uint32_t> vias,
+                     std::optional<net::Prefix> delivers = std::nullopt) {
+  Pathlet p;
+  p.fid = fid;
+  p.vias = std::move(vias);
+  p.delivers = delivers;
+  return p;
+}
+
+TEST(PathletCodec, ListRoundTrip) {
+  const std::vector<Pathlet> pathlets = {
+      make_pathlet(1, {101, 102}),
+      make_pathlet(9, {104}, kDest),
+  };
+  EXPECT_EQ(decode_pathlets(encode_pathlets(pathlets)), pathlets);
+}
+
+TEST(PathletCodec, SingleAdRoundTrip) {
+  const Pathlet p = make_pathlet(5, {102, 104}, kDest);
+  EXPECT_EQ(decode_pathlet_ad(encode_pathlet_ad(p)), p);
+}
+
+TEST(PathletStore, ComposeJoinsAtSharedVnode) {
+  PathletStore store;
+  store.add_local(make_pathlet(1, {101, 102}));
+  store.add_local(make_pathlet(2, {102, 103}, kDest));
+  const auto joined = store.compose(1, 2, 50);
+  ASSERT_TRUE(joined.has_value());
+  EXPECT_EQ(joined->vias, (std::vector<std::uint32_t>{101, 102, 103}));
+  EXPECT_EQ(joined->delivers, kDest);
+  EXPECT_NE(store.find(50), nullptr);
+}
+
+TEST(PathletStore, ComposeRejectsNonAdjacent) {
+  PathletStore store;
+  store.add_local(make_pathlet(1, {101, 102}));
+  store.add_local(make_pathlet(2, {103, 104}));
+  EXPECT_FALSE(store.compose(1, 2, 50).has_value());
+  EXPECT_FALSE(store.compose(1, 99, 50).has_value());  // missing fid
+}
+
+TEST(PathletStore, ComposeRejectsTerminatedHead) {
+  PathletStore store;
+  store.add_local(make_pathlet(1, {101, 102}, kDest));  // already delivers
+  store.add_local(make_pathlet(2, {102, 103}));
+  EXPECT_FALSE(store.compose(1, 2, 50).has_value());
+}
+
+TEST(PathletStore, LocalsExcludeLearned) {
+  PathletStore store;
+  store.add_local(make_pathlet(1, {101}));
+  store.add_learned(make_pathlet(2, {201}));
+  EXPECT_EQ(store.all().size(), 2u);
+  ASSERT_EQ(store.locals().size(), 1u);
+  EXPECT_EQ(store.locals()[0].fid, 1u);
+  // A learned pathlet must never overwrite a local one.
+  store.add_learned(make_pathlet(1, {999}));
+  EXPECT_EQ(store.find(1)->vias, std::vector<std::uint32_t>{101});
+}
+
+TEST(PathletStore, DeliveringTo) {
+  PathletStore store;
+  store.add_local(make_pathlet(1, {101}, *net::Prefix::parse("131.1.0.0/16")));
+  store.add_local(make_pathlet(2, {102}));
+  const auto delivering = store.delivering_to(kDest);  // /24 inside the /16
+  ASSERT_EQ(delivering.size(), 1u);
+  EXPECT_EQ(delivering[0].fid, 1u);
+}
+
+TEST(PathletTranslation, IngressEgressRoundTrip) {
+  // Egress folds within-island single-pathlet ads into one IA descriptor;
+  // ingress explodes it back — the Section 6.1 translation-module pair.
+  const auto island = ia::IslandId::assigned(0xA);
+  std::vector<core::WithinIslandAd> ads;
+  for (std::uint32_t fid : {1u, 2u, 3u}) {
+    core::WithinIslandAd ad;
+    ad.protocol = ia::kProtoPathlets;
+    ad.payload = encode_pathlet_ad(make_pathlet(fid, {100 + fid}, kDest));
+    ads.push_back(std::move(ad));
+  }
+  ia::IntegratedAdvertisement ia;
+  ia.destination = kDest;
+  PathletEgressTranslation egress(island);
+  egress.to_ia(ads, ia);
+  EXPECT_EQ(count_pathlets(ia), 3u);
+
+  PathletIngressTranslation ingress;
+  const auto recovered = ingress.from_ia(ia);
+  ASSERT_EQ(recovered.size(), 3u);
+  EXPECT_EQ(decode_pathlet_ad(recovered[0].payload).fid, 1u);
+}
+
+TEST(PathletTranslation, IngressPreservesPathVector) {
+  ia::IntegratedAdvertisement ia;
+  ia.destination = kDest;
+  ia.path_vector.prepend_as(7);
+  ia.path_vector.prepend_as(6);
+  ia.add_island_descriptor(ia::IslandId::assigned(1), ia::kProtoPathlets,
+                           ia::keys::kPathletList,
+                           encode_pathlets({make_pathlet(1, {101}, kDest)}));
+  PathletIngressTranslation ingress;
+  const auto ads = ingress.from_ia(ia);
+  ASSERT_EQ(ads.size(), 1u);
+  EXPECT_EQ(ads[0].ingress_path_vector, ia.path_vector);
+}
+
+TEST(PathletRedistribution, OnlyWhenDelivering) {
+  PathletRedistribution redist(42, net::Ipv4Address(42));
+  ia::IntegratedAdvertisement ia;
+  ia.destination = kDest;
+  ia.path_vector.prepend_as(7);
+  EXPECT_FALSE(redist.redistribute(kDest, ia).has_value());
+  ia.add_island_descriptor(ia::IslandId::assigned(1), ia::kProtoPathlets,
+                           ia::keys::kPathletList,
+                           encode_pathlets({make_pathlet(1, {101}, kDest)}));
+  const auto attrs = redist.redistribute(kDest, ia);
+  ASSERT_TRUE(attrs.has_value());
+  EXPECT_TRUE(attrs->as_path.contains(42));
+  EXPECT_TRUE(attrs->as_path.contains(7));
+  EXPECT_EQ(attrs->origin, bgp::Origin::kIncomplete);
+}
+
+// Figure 8, pathlet variant. Island A (ASes 1=A1, 2=A2, 3=A3) holds four
+// one-hop pathlets toward D; A2 composes two into a two-hop pathlet. A2's
+// IA crosses the gulf (AS 7); island B (AS 9 = S) must see all five
+// pathlets (four one-hop + the composed two-hop), as in Section 6.1.
+TEST(PathletGulf, SourceSeesAllFivePathlets) {
+  const auto island_a = ia::IslandId::assigned(0xA);
+  const auto island_b = ia::IslandId::assigned(0xB);
+  simnet::DbgpNetwork net;
+
+  PathletStore store_a2, store_s;
+
+  auto add_pathlet_as = [&net](bgp::AsNumber asn, ia::IslandId island, PathletStore* store) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    config.island = island;
+    config.island_protocol = ia::kProtoPathlets;
+    config.active_protocol = ia::kProtoPathlets;
+    auto& speaker = net.add_as(config);
+    speaker.add_module(
+        std::make_unique<PathletModule>(PathletModule::Config{island}, store));
+    speaker.add_module(std::make_unique<BgpModule>());
+  };
+
+  add_pathlet_as(1, island_a, nullptr);       // A1 (origin side)
+  add_pathlet_as(2, island_a, &store_a2);     // A2: composing border AS
+  core::DbgpConfig gulf;
+  gulf.asn = 7;
+  gulf.next_hop = net::Ipv4Address(7);
+  net.add_as(gulf).add_module(std::make_unique<BgpModule>());
+  add_pathlet_as(9, island_b, &store_s);      // S
+
+  // The four one-hop pathlets disseminated within island A (within-island
+  // advertisement format = single-pathlet ads).
+  const std::vector<Pathlet> one_hop = {
+      make_pathlet(1, {101, 102}),
+      make_pathlet(2, {102, 104}, kDest),
+      make_pathlet(3, {101, 103}),
+      make_pathlet(4, {103, 104}, kDest),
+  };
+  for (const auto& p : one_hop) {
+    store_a2.add_local(decode_pathlet_ad(encode_pathlet_ad(p)));  // via the ad format
+  }
+  // A2 composes pathlets 1 and 2 into a two-hop pathlet.
+  ASSERT_TRUE(store_a2.compose(1, 2, 50).has_value());
+  ASSERT_EQ(store_a2.locals().size(), 5u);
+
+  net.connect(1, 2, /*same_island=*/true);
+  net.connect(2, 7);
+  net.connect(7, 9);
+  net.originate(1, kDest);
+  net.run_to_convergence();
+
+  const auto* best = net.speaker(9).best(kDest);
+  ASSERT_NE(best, nullptr);
+  // All five pathlets crossed the gulf inside the island descriptor and
+  // were learned into S's store by the ingress side.
+  EXPECT_EQ(count_pathlets(best->ia), 5u);
+  EXPECT_EQ(store_s.all().size(), 5u);
+  EXPECT_NE(store_s.find(50), nullptr);
+  EXPECT_EQ(store_s.find(50)->vias, (std::vector<std::uint32_t>{101, 102, 104}));
+  EXPECT_EQ(store_s.locals().size(), 0u);  // learned, not local
+}
+
+}  // namespace
+}  // namespace dbgp::protocols

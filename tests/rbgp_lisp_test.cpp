@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "protocols/bgp_module.h"
+#include "protocols/lisp.h"
+#include "protocols/rbgp.h"
+#include "simnet/dataplane.h"
+#include "simnet/network.h"
+
+namespace dbgp::protocols {
+namespace {
+
+const net::Prefix kPrefix = *net::Prefix::parse("198.18.0.0/16");
+
+// -- R-BGP ---------------------------------------------------------------------
+
+TEST(RBgp, BackupPathPayloadRoundTrip) {
+  ia::IaPathVector pv;
+  pv.prepend_as(3);
+  pv.prepend_island(ia::IslandId::assigned(7));
+  pv.prepend_as_set({8, 9});
+  EXPECT_EQ(ia::IaPathVector::from_payload(pv.to_payload()), pv);
+}
+
+TEST(RBgp, ExportsMostDisjointBackup) {
+  RBgpModule module({ia::IslandId::from_as(5)});
+  // Three candidates: primary via peer 0, a heavily-overlapping alt via
+  // peer 1, a disjoint alt via peer 2.
+  core::IaRoute primary;
+  primary.ia.destination = kPrefix;
+  primary.from_peer = 0;
+  primary.ia.path_vector = ia::IaPathVector(
+      {ia::PathElement::as(10), ia::PathElement::as(11), ia::PathElement::as(1)});
+  core::IaRoute overlapping;
+  overlapping.ia.destination = kPrefix;
+  overlapping.from_peer = 1;
+  overlapping.ia.path_vector = ia::IaPathVector(
+      {ia::PathElement::as(20), ia::PathElement::as(11), ia::PathElement::as(1)});
+  core::IaRoute disjoint;
+  disjoint.ia.destination = kPrefix;
+  disjoint.from_peer = 2;
+  disjoint.ia.path_vector = ia::IaPathVector(
+      {ia::PathElement::as(30), ia::PathElement::as(31), ia::PathElement::as(1)});
+
+  ASSERT_TRUE(module.import_filter(primary));
+  ASSERT_TRUE(module.import_filter(overlapping));
+  ASSERT_TRUE(module.import_filter(disjoint));
+
+  ia::IntegratedAdvertisement out = primary.ia;
+  core::ExportContext ctx;
+  ctx.own_as = 5;
+  ctx.to_peer_as = 99;
+  module.annotate_export(primary, out, ctx);
+
+  const auto backup = RBgpModule::backup_path(out);
+  ASSERT_FALSE(backup.empty());
+  EXPECT_TRUE(backup.contains_as(30));  // the disjoint one won
+  EXPECT_TRUE(backup.contains_as(5));   // we prepended ourselves
+  // Only AS 1 (the origin) is shared with the primary.
+  EXPECT_FALSE(backup.contains_as(11));
+}
+
+TEST(RBgp, BackupNeverRoutesThroughExportTarget) {
+  RBgpModule module({ia::IslandId::from_as(5)});
+  core::IaRoute primary;
+  primary.ia.destination = kPrefix;
+  primary.from_peer = 0;
+  primary.ia.path_vector = ia::IaPathVector({ia::PathElement::as(10), ia::PathElement::as(1)});
+  core::IaRoute alt;
+  alt.ia.destination = kPrefix;
+  alt.from_peer = 1;
+  alt.ia.path_vector = ia::IaPathVector({ia::PathElement::as(99), ia::PathElement::as(1)});
+  ASSERT_TRUE(module.import_filter(primary));
+  ASSERT_TRUE(module.import_filter(alt));
+
+  ia::IntegratedAdvertisement out = primary.ia;
+  core::ExportContext ctx;
+  ctx.own_as = 5;
+  ctx.to_peer_as = 99;  // the only alternative goes through the peer itself
+  module.annotate_export(primary, out, ctx);
+  EXPECT_TRUE(RBgpModule::backup_path(out).empty());
+}
+
+// Quick failover across a gulf: the square 1-(2,3)-4 with AS 4 as an R-BGP
+// adopter. When its primary vanishes, AS 4 already knows a backup path that
+// it learned in-band — no reconvergence wait.
+TEST(RBgp, AcrossGulfBackupSurvives) {
+  simnet::DbgpNetwork net;
+  auto add_rbgp = [&](bgp::AsNumber asn) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    config.island = ia::IslandId::from_as(asn);
+    config.island_protocol = ia::kProtoRBgp;
+    config.active_protocol = ia::kProtoRBgp;
+    auto& speaker = net.add_as(config);
+    speaker.add_module(std::make_unique<RBgpModule>(RBgpModule::Config{
+        ia::IslandId::from_as(asn)}));
+    speaker.add_module(std::make_unique<BgpModule>());
+  };
+  auto add_gulf = [&](bgp::AsNumber asn) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    net.add_as(config).add_module(std::make_unique<BgpModule>());
+  };
+  add_rbgp(1);   // origin (R-BGP island)
+  add_gulf(2);   // two gulf paths
+  add_gulf(3);
+  add_rbgp(4);   // adopter that knows both paths and exports a backup
+  add_gulf(5);   // downstream receiver across another legacy hop
+  net.connect(1, 2);
+  net.connect(1, 3);
+  net.connect(2, 4);
+  net.connect(3, 4);
+  net.connect(4, 5);
+  net.originate(1, kPrefix);
+  net.run_to_convergence();
+
+  const auto* best = net.speaker(5).best(kPrefix);
+  ASSERT_NE(best, nullptr);
+  // AS 4 knew two disjoint gulf paths and attached the unused one as the
+  // backup; it survived the hop to AS 5 (and would survive any gulf).
+  const auto backup = RBgpModule::backup_path(*best);
+  ASSERT_FALSE(backup.empty());
+  const auto& primary = best->ia.path_vector;
+  // Primary and backup diverge right after AS 4: one goes via 2, the other
+  // via 3.
+  const bool primary_via_2 = primary.contains_as(2);
+  EXPECT_TRUE(backup.contains_as(primary_via_2 ? 3 : 2));
+  EXPECT_FALSE(backup.contains_as(primary_via_2 ? 2 : 3));
+  EXPECT_TRUE(backup.contains_as(1));  // still rooted at the destination
+}
+
+// -- LISP ----------------------------------------------------------------------
+
+TEST(Lisp, MappingCodecRoundTrip) {
+  LispMapping mapping;
+  mapping.eid_prefix = *net::Prefix::parse("198.18.0.0/16");
+  mapping.rlocs = {net::Ipv4Address(192, 0, 2, 1), net::Ipv4Address(192, 0, 2, 2)};
+  mapping.map_version = 3;
+  EXPECT_EQ(decode_lisp_mapping(encode_lisp_mapping(mapping)), mapping);
+}
+
+TEST(Lisp, MobilityBumpsVersion) {
+  LispMapping mapping;
+  mapping.eid_prefix = kPrefix;
+  mapping.rlocs = {net::Ipv4Address(192, 0, 2, 1)};
+  LispModule module({ia::IslandId::from_as(1), mapping});
+  module.update_mapping({net::Ipv4Address(203, 0, 113, 1)});
+  EXPECT_EQ(module.mapping().map_version, 1u);
+  EXPECT_EQ(module.mapping().rlocs[0], net::Ipv4Address(203, 0, 113, 1));
+}
+
+TEST(Lisp, FreshestMappingWins) {
+  ia::IntegratedAdvertisement ia;
+  ia.destination = kPrefix;
+  const auto island = ia::IslandId::from_as(1);
+  LispMapping old_mapping{kPrefix, {net::Ipv4Address(1, 1, 1, 1)}, 1};
+  LispMapping new_mapping{kPrefix, {net::Ipv4Address(2, 2, 2, 2)}, 5};
+  ia.island_descriptors.push_back(
+      {island, ia::kProtoLisp, ia::keys::kLispMapping, encode_lisp_mapping(old_mapping)});
+  ia.island_descriptors.push_back(
+      {island, ia::kProtoLisp, ia::keys::kLispMapping, encode_lisp_mapping(new_mapping)});
+  const auto got = LispModule::mapping_for(ia, island);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->map_version, 5u);
+  EXPECT_EQ(got->rlocs[0], net::Ipv4Address(2, 2, 2, 2));
+}
+
+// Mobility across a gulf: the mapping descriptor crosses legacy ASes; a
+// remote correspondent encapsulates to the current RLOC and reaches the
+// endpoint at its new attachment point after a move.
+TEST(Lisp, MappingCrossesGulfAndSupportsMobility) {
+  simnet::DbgpNetwork net;
+  const auto island = ia::IslandId::from_as(1);
+
+  core::DbgpConfig origin_config;
+  origin_config.asn = 1;
+  origin_config.next_hop = net::Ipv4Address(1);
+  origin_config.island = island;
+  origin_config.island_protocol = ia::kProtoLisp;
+  origin_config.active_protocol = ia::kProtoLisp;
+  auto& origin = net.add_as(origin_config);
+  LispMapping mapping{kPrefix, {net::Ipv4Address(192, 0, 2, 1)}, 0};
+  auto module = std::make_unique<LispModule>(LispModule::Config{island, mapping});
+  LispModule* lisp = module.get();
+  origin.add_module(std::move(module));
+  origin.add_module(std::make_unique<BgpModule>());
+
+  for (bgp::AsNumber asn : {2u, 3u}) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    net.add_as(config).add_module(std::make_unique<BgpModule>());
+  }
+  net.connect(1, 2);
+  net.connect(2, 3);
+  net.originate(1, kPrefix);
+  net.run_to_convergence();
+
+  const auto* at3 = net.speaker(3).best(kPrefix);
+  ASSERT_NE(at3, nullptr);
+  auto got = LispModule::mapping_for(at3->ia, island);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->rlocs[0], net::Ipv4Address(192, 0, 2, 1));
+
+  // The endpoint moves: new RLOC, version bump, re-advertise.
+  lisp->update_mapping({net::Ipv4Address(203, 0, 113, 9)});
+  net.withdraw(1, kPrefix);
+  net.run_to_convergence();
+  net.originate(1, kPrefix);
+  net.run_to_convergence();
+
+  const auto* after = net.speaker(3).best(kPrefix);
+  ASSERT_NE(after, nullptr);
+  got = LispModule::mapping_for(after->ia, island);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->map_version, 1u);
+  EXPECT_EQ(got->rlocs[0], net::Ipv4Address(203, 0, 113, 9));
+}
+
+}  // namespace
+}  // namespace dbgp::protocols

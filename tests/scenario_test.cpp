@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "scenario/parser.h"
+#include "scenario/runner.h"
+
+namespace dbgp::scenario {
+namespace {
+
+TEST(ScenarioParser, ParsesAllDirectives) {
+  const std::string text = R"(
+# comment line
+as 1 island=A protocol=wiser cost=100 abstract members=1,2
+as 2 bw=512 protocol=eq-bgp
+pathlet 3 50 vias=101-102 delivers=10.0.0.0/8
+scion-path 4 hops=1-2-3
+link 1 2 same-island latency=0.5
+originate 1 10.0.0.0/8   # trailing comment
+strip 2 wiser
+expect reachable 2 10.0.0.0/8
+expect via 2 10.0.0.0/8 1
+expect cost 2 10.0.0.0/8 100
+expect pathlets 2 10.0.0.0/8 5
+expect descriptor 2 10.0.0.0/8 scion
+expect unreachable 2 11.0.0.0/8
+)";
+  const Scenario s = parse_scenario(text);
+  ASSERT_EQ(s.ases.size(), 2u);
+  EXPECT_EQ(s.ases[0].asn, 1u);
+  EXPECT_EQ(s.ases[0].island, "A");
+  EXPECT_EQ(s.ases[0].protocol, "wiser");
+  EXPECT_EQ(s.ases[0].cost, 100u);
+  EXPECT_TRUE(s.ases[0].abstract_island);
+  EXPECT_EQ(s.ases[0].members, (std::vector<bgp::AsNumber>{1, 2}));
+  EXPECT_EQ(s.ases[1].bandwidth, 512u);
+  ASSERT_EQ(s.pathlets.size(), 1u);
+  EXPECT_EQ(s.pathlets[0].fid, 50u);
+  EXPECT_EQ(s.pathlets[0].vias, (std::vector<std::uint32_t>{101, 102}));
+  ASSERT_TRUE(s.pathlets[0].delivers.has_value());
+  ASSERT_EQ(s.scion_paths.size(), 1u);
+  ASSERT_EQ(s.links.size(), 1u);
+  EXPECT_TRUE(s.links[0].same_island);
+  EXPECT_DOUBLE_EQ(s.links[0].latency, 0.5);
+  ASSERT_EQ(s.originations.size(), 1u);
+  ASSERT_EQ(s.strips.size(), 1u);
+  ASSERT_EQ(s.expectations.size(), 6u);
+  EXPECT_EQ(s.expectations[1].kind, Expectation::Kind::kVia);
+  EXPECT_EQ(s.expectations[1].value, 1u);
+}
+
+TEST(ScenarioParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_scenario("as 1\nbogus directive\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+class ScenarioParserErrors : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScenarioParserErrors, Rejected) {
+  EXPECT_THROW(parse_scenario(GetParam()), std::runtime_error) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ScenarioParserErrors,
+    ::testing::Values("as",                                // missing ASN
+                      "as x",                              // not a number
+                      "as 1 frobnicate=2",                 // unknown option
+                      "link 1",                            // missing peer
+                      "originate 1 not-a-prefix",          //
+                      "pathlet 1 2",                       // missing vias
+                      "expect sideways 1 10.0.0.0/8",      // unknown kind
+                      "expect via 1 10.0.0.0/8",           // missing value
+                      "scion-path 1 vias=1-2"));           // wrong key
+
+TEST(ScenarioRunner, RunsFigure1Wiser) {
+  // The Figure-1 scenario inline (mirrors scenarios/figure1_wiser.dbgp).
+  const std::string text = R"(
+as 1 island=A protocol=wiser cost=1
+as 2 island=A protocol=wiser cost=100
+as 3 island=A protocol=wiser cost=5
+as 4
+as 5
+as 6
+as 9 island=B protocol=wiser cost=1
+link 1 2 same-island
+link 1 3 same-island
+link 2 4
+link 4 9
+link 3 5
+link 5 6
+link 6 9
+originate 1 128.6.0.0/16
+expect reachable 9 128.6.0.0/16
+expect via 9 128.6.0.0/16 3
+expect not-via 9 128.6.0.0/16 2
+expect cost 9 128.6.0.0/16 6
+expect descriptor 9 128.6.0.0/16 wiser
+)";
+  Runner runner;
+  runner.build(parse_scenario(text));
+  const auto result = runner.run();
+  for (const auto& er : result.expectations) {
+    EXPECT_TRUE(er.passed) << "line " << er.expectation.line << ": " << er.detail;
+  }
+  EXPECT_TRUE(result.all_passed());
+  EXPECT_GT(result.events, 0u);
+  // The table dump mentions the destination and the protocols.
+  const std::string tables = runner.dump_tables();
+  EXPECT_NE(tables.find("128.6.0.0/16"), std::string::npos);
+  EXPECT_NE(tables.find("wiser"), std::string::npos);
+}
+
+TEST(ScenarioRunner, FailedExpectationIsReportedNotThrown) {
+  const std::string text = R"(
+as 1
+as 2
+link 1 2
+originate 1 10.0.0.0/8
+expect unreachable 2 10.0.0.0/8
+)";
+  Runner runner;
+  runner.build(parse_scenario(text));
+  const auto result = runner.run();
+  ASSERT_EQ(result.expectations.size(), 1u);
+  EXPECT_FALSE(result.expectations[0].passed);
+  EXPECT_FALSE(result.all_passed());
+  EXPECT_EQ(result.failures(), 1u);
+  EXPECT_NE(result.expectations[0].detail.find("route exists"), std::string::npos);
+}
+
+TEST(ScenarioRunner, RejectsPathletsAtNonPathletAs) {
+  const std::string text = R"(
+as 1
+pathlet 1 5 vias=1-2
+)";
+  Runner runner;
+  EXPECT_THROW(runner.build(parse_scenario(text)), std::runtime_error);
+}
+
+TEST(ScenarioRunner, UnknownProtocolRejected) {
+  Runner runner;
+  EXPECT_THROW(runner.build(parse_scenario("as 1 protocol=carrier-pigeon\n")),
+               std::runtime_error);
+}
+
+TEST(ScenarioRunner, ScionAndPathletScenarios) {
+  const std::string text = R"(
+as 1 island=RIGHT protocol=scion abstract members=1
+as 4
+as 5 island=LEFT protocol=scion
+scion-path 1 hops=11-12-17
+scion-path 1 hops=11-15-17
+link 1 4
+link 4 5
+originate 1 131.2.0.0/24
+expect reachable 5 131.2.0.0/24
+expect descriptor 5 131.2.0.0/24 scion
+)";
+  Runner runner;
+  runner.build(parse_scenario(text));
+  EXPECT_TRUE(runner.run().all_passed());
+}
+
+}  // namespace
+}  // namespace dbgp::scenario

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "protocols/bgp_module.h"
+#include "protocols/miro.h"
+#include "protocols/scion.h"
+#include "simnet/dataplane.h"
+#include "simnet/network.h"
+
+namespace dbgp::protocols {
+namespace {
+
+const net::Prefix kDest = *net::Prefix::parse("131.2.0.0/24");
+
+TEST(ScionCodec, PathsRoundTrip) {
+  const std::vector<ScionPath> paths = {{{1, 9, 11, 7}}, {{1, 2, 3, 7}}};
+  EXPECT_EQ(decode_scion_paths(encode_scion_paths(paths)), paths);
+}
+
+TEST(ScionCodec, HeaderRoundTrip) {
+  ScionHeader header{{70, 50, 10, 1}};
+  EXPECT_EQ(ScionHeader::decode(header.encode()), header);
+}
+
+TEST(ScionModule, PrefersMorePathsAtEqualLength) {
+  ScionModule module({ia::IslandId::assigned(1), {}});
+  core::IaRoute rich, poor;
+  rich.ia.add_island_descriptor(ia::IslandId::assigned(2), ia::kProtoScion,
+                                ia::keys::kScionPaths,
+                                encode_scion_paths({{{1, 2}}, {{3, 4}}}));
+  rich.ia.path_vector.prepend_as(1);
+  rich.ia.path_vector.prepend_as(2);
+  poor.ia.add_island_descriptor(ia::IslandId::assigned(2), ia::kProtoScion,
+                                ia::keys::kScionPaths, encode_scion_paths({{{1, 2}}}));
+  poor.ia.path_vector.prepend_as(1);
+  poor.ia.path_vector.prepend_as(3);
+  EXPECT_TRUE(module.better(rich, poor));  // equal length: more paths wins
+  // A shorter route always beats a richer, longer one (convergence safety).
+  core::IaRoute shorter;
+  shorter.ia.path_vector.prepend_as(1);
+  EXPECT_TRUE(module.better(shorter, rich));
+}
+
+TEST(ScionRedistribution, ExposesExactlyOnePath) {
+  // Figure 3's baseline behaviour: BGP can carry only one of the paths.
+  ScionRedistribution redist(5, net::Ipv4Address(5));
+  ia::IntegratedAdvertisement ia;
+  ia.destination = kDest;
+  ia.path_vector.prepend_as(2);
+  EXPECT_FALSE(redist.redistribute(kDest, ia).has_value());
+  ia.add_island_descriptor(ia::IslandId::assigned(1), ia::kProtoScion,
+                           ia::keys::kScionPaths, encode_scion_paths({{{1, 2}}, {{3, 4}}}));
+  const auto attrs = redist.redistribute(kDest, ia);
+  ASSERT_TRUE(attrs.has_value());
+  // One BGP route regardless of how many SCION paths exist.
+  EXPECT_TRUE(attrs->as_path.contains(5));
+}
+
+// Figure 3 under D-BGP: the rightmost SCION island exposes TWO within-island
+// paths; they cross the BGP gulf in an island descriptor, so the SCION
+// source island sees both.
+TEST(ScionGulf, SourceSeesBothPaths) {
+  const auto island_right = ia::IslandId::assigned(0xD);
+  const auto island_left = ia::IslandId::assigned(0x5);
+  simnet::DbgpNetwork net;
+
+  const std::vector<ScionPath> exposed = {{{11, 12, 17}}, {{11, 15, 17}}};
+
+  core::DbgpConfig right;
+  right.asn = 1;
+  right.next_hop = net::Ipv4Address(1);
+  right.island = island_right;
+  right.island_protocol = ia::kProtoScion;
+  right.active_protocol = ia::kProtoScion;
+  auto& right_speaker = net.add_as(right);
+  right_speaker.add_module(std::make_unique<ScionModule>(
+      ScionModule::Config{island_right, exposed}));
+
+  core::DbgpConfig gulf;
+  gulf.asn = 4;
+  gulf.next_hop = net::Ipv4Address(4);
+  net.add_as(gulf).add_module(std::make_unique<BgpModule>());
+
+  core::DbgpConfig left;
+  left.asn = 5;
+  left.next_hop = net::Ipv4Address(5);
+  left.island = island_left;
+  left.island_protocol = ia::kProtoScion;
+  left.active_protocol = ia::kProtoScion;
+  auto& left_speaker = net.add_as(left);
+  left_speaker.add_module(
+      std::make_unique<ScionModule>(ScionModule::Config{island_left, {}}));
+
+  net.connect(1, 4);
+  net.connect(4, 5);
+  net.originate(1, kDest);
+  net.run_to_convergence();
+
+  const auto* best = net.speaker(5).best(kDest);
+  ASSERT_NE(best, nullptr);
+  const auto paths = ScionModule::paths_offered(best->ia, island_right);
+  ASSERT_EQ(paths.size(), 2u);  // BOTH paths survived the gulf
+  EXPECT_EQ(paths[0].hops, (std::vector<std::uint32_t>{11, 12, 17}));
+
+  // The source picks a path, encodes it in a SCION header, and wraps it in
+  // an IPv4 header to cross the gulf (multi-network-protocol headers).
+  const ScionHeader header{paths[1].hops};
+  EXPECT_EQ(ScionHeader::decode(header.encode()), header);
+}
+
+// -- MIRO (Figure 2) -------------------------------------------------------------
+
+TEST(MiroCodec, PortalRoundTrip) {
+  const net::Ipv4Address portal(173, 82, 2, 0);
+  EXPECT_EQ(decode_miro_portal(encode_miro_portal(portal)), portal);
+}
+
+TEST(MiroService, PublishDiscoverPurchase) {
+  core::LookupService lookup;
+  const auto island_m = ia::IslandId::assigned(0xE1);
+  MiroService service(&lookup, island_m, net::Ipv4Address(173, 82, 2, 0),
+                      net::Ipv4Address(173, 82, 2, 99));
+
+  MiroOffer offer;
+  offer.offer_id = 7;
+  offer.path.prepend_as(31);
+  offer.path.prepend_as(30);
+  offer.price = 250;
+  service.publish_offers(kDest, {offer});
+
+  // Discovery: island M stamps its portal into an IA; a remote island reads
+  // it after pass-through.
+  ia::IntegratedAdvertisement ia;
+  ia.destination = kDest;
+  service.attach_descriptor(ia);
+  const auto found = MiroClient::discover(ia);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].island, island_m);
+  EXPECT_EQ(found[0].portal_addr, net::Ipv4Address(173, 82, 2, 0));
+
+  MiroClient client(&lookup);
+  const auto offers = client.fetch_offers(island_m, kDest);
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_EQ(offers[0].price, 250u);
+
+  // Underpayment is refused; fair payment grants the tunnel endpoint.
+  EXPECT_FALSE(service.handle_purchase(kDest, 7, 100).has_value());
+  const auto grant = service.handle_purchase(kDest, 7, 250);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->tunnel_endpoint, net::Ipv4Address(173, 82, 2, 99));
+  EXPECT_EQ(service.revenue(), 250u);
+  EXPECT_FALSE(service.handle_purchase(kDest, 99, 250).has_value());  // no such offer
+}
+
+// Off-path discovery end-to-end (Figure 2): T cannot discover M under BGP;
+// under D-BGP the portal descriptor rides M's own prefix advertisement
+// through the gulf, then negotiation and tunneling happen out-of-band.
+TEST(MiroGulf, OffPathDiscoveryAndTunnel) {
+  core::LookupService lookup;
+  simnet::DbgpNetwork net(&lookup);
+  const auto island_m = ia::IslandId::assigned(0xE);
+  const net::Prefix miro_prefix = *net::Prefix::parse("173.82.2.0/24");
+
+  MiroService service(&lookup, island_m, net::Ipv4Address(173, 82, 2, 0),
+                      net::Ipv4Address(173, 82, 2, 99));
+
+  // M = AS 30 (MIRO island), gulf = AS 20, T = AS 10.
+  core::DbgpConfig m_config;
+  m_config.asn = 30;
+  m_config.next_hop = net::Ipv4Address(30);
+  m_config.island = island_m;
+  m_config.island_protocol = ia::kProtoMiro;
+  auto& m_speaker = net.add_as(m_config);
+  m_speaker.add_module(std::make_unique<BgpModule>());
+  // MIRO runs in parallel with BGP: the island stamps its portal descriptor
+  // on everything it exports.
+  m_speaker.export_filters().add(
+      "miro-portal", [&service](ia::IntegratedAdvertisement& ia, const core::FilterContext&) {
+        service.attach_descriptor(ia);
+        return true;
+      });
+
+  for (bgp::AsNumber asn : {20, 10}) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    net.add_as(config).add_module(std::make_unique<BgpModule>());
+  }
+  net.connect(30, 20);
+  net.connect(20, 10);
+  net.originate(30, miro_prefix);
+  net.run_to_convergence();
+
+  // T discovers the service from the IA that crossed the gulf.
+  const auto* at_t = net.speaker(10).best(miro_prefix);
+  ASSERT_NE(at_t, nullptr);
+  const auto found = MiroClient::discover(at_t->ia);
+  ASSERT_EQ(found.size(), 1u);
+
+  // T purchases an alternate path toward kDest.
+  MiroOffer offer;
+  offer.offer_id = 1;
+  offer.path.prepend_as(31);
+  offer.price = 10;
+  service.publish_offers(kDest, {offer});
+  MiroClient client(&lookup);
+  ASSERT_EQ(client.fetch_offers(found[0].island, kDest).size(), 1u);
+  const auto grant = service.handle_purchase(kDest, 1, 10);
+  ASSERT_TRUE(grant.has_value());
+
+  // T tunnels traffic to the granted endpoint; the inner header is the true
+  // destination — the gulf routes only on the outer (tunnel) header.
+  simnet::DataPlane dataplane;
+  dataplane.set_next_hop(10, miro_prefix, 20);
+  dataplane.set_next_hop(20, miro_prefix, 30);
+  dataplane.set_local_delivery(30, miro_prefix);
+  dataplane.set_address_owner(grant->tunnel_endpoint, 30);
+  dataplane.set_next_hop(30, kDest, 31);  // M forwards over the sold path
+  dataplane.set_local_delivery(31, kDest);
+  dataplane.add_link(30, 31);
+
+  simnet::Packet packet;
+  packet.stack.push_back(simnet::Header::ipv4(net::Ipv4Address(131, 2, 0, 1)));
+  packet.stack.push_back(simnet::Header::tunnel(grant->tunnel_endpoint));
+  const auto trace = dataplane.forward(10, packet);
+  EXPECT_TRUE(trace.delivered) << trace.drop_reason;
+  EXPECT_EQ(trace.hops, (std::vector<bgp::AsNumber>{10, 20, 30, 31}));
+}
+
+}  // namespace
+}  // namespace dbgp::protocols

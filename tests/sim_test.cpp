@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/routing.h"
+#include "topology/adoption.h"
+#include "topology/waxman.h"
+
+namespace dbgp::sim {
+namespace {
+
+using topology::AsGraph;
+using topology::NodeId;
+using topology::Relationship;
+
+// A small hand-built hierarchy:
+//        0 (tier-1)
+//       / \
+//      1   2     (1, 2 customers of 0)
+//     / \   \
+//    3   4   5   (stubs)
+// Plus a peer link 1 -- 2.
+AsGraph small_hierarchy() {
+  AsGraph g(6);
+  g.add_edge(0, 1, Relationship::kProviderOf);
+  g.add_edge(0, 2, Relationship::kProviderOf);
+  g.add_edge(1, 3, Relationship::kProviderOf);
+  g.add_edge(1, 4, Relationship::kProviderOf);
+  g.add_edge(2, 5, Relationship::kProviderOf);
+  g.add_edge(1, 2, Relationship::kPeerOf);
+  return g;
+}
+
+TEST(RoutingOracle, ClassesTowardStub) {
+  const AsGraph g = small_hierarchy();
+  RoutingOracle oracle(g);
+  const auto routes = oracle.compute(3);  // destination: stub 3
+
+  EXPECT_EQ(routes.route_class[3], RouteClass::kSelf);
+  // 1 is 3's provider: customer route, 1 hop.
+  EXPECT_EQ(routes.route_class[1], RouteClass::kCustomerRoute);
+  EXPECT_EQ(routes.hops[1], 1);
+  // 0 reaches 3 down through 1: customer route, 2 hops.
+  EXPECT_EQ(routes.route_class[0], RouteClass::kCustomerRoute);
+  EXPECT_EQ(routes.hops[0], 2);
+  // 2 peers with 1 (which has a customer route): peer route.
+  EXPECT_EQ(routes.route_class[2], RouteClass::kPeerRoute);
+  EXPECT_EQ(routes.hops[2], 2);
+  // 4 is a stub: only a provider route via 1.
+  EXPECT_EQ(routes.route_class[4], RouteClass::kProviderRoute);
+  EXPECT_EQ(routes.best_next[4], 1u);
+  // 5 goes up to 2: provider route.
+  EXPECT_EQ(routes.route_class[5], RouteClass::kProviderRoute);
+  EXPECT_EQ(routes.best_next[5], 2u);
+}
+
+TEST(RoutingOracle, EveryoneReachableInConnectedHierarchy) {
+  const AsGraph g = small_hierarchy();
+  RoutingOracle oracle(g);
+  for (NodeId d = 0; d < g.size(); ++d) {
+    const auto routes = oracle.compute(d);
+    for (NodeId x = 0; x < g.size(); ++x) {
+      EXPECT_TRUE(routes.reachable(x)) << "x=" << x << " d=" << d;
+    }
+  }
+}
+
+TEST(RoutingOracle, DefaultPathsAreValleyFree) {
+  util::Rng rng(17);
+  topology::WaxmanConfig config;
+  config.nodes = 120;
+  const AsGraph g = topology::generate_waxman(config, rng);
+  RoutingOracle oracle(g);
+  for (NodeId d = 0; d < 20; ++d) {  // spot-check 20 destinations
+    const auto routes = oracle.compute(d);
+    for (NodeId s = 0; s < g.size(); ++s) {
+      if (s == d || !routes.reachable(s)) continue;
+      // Follow default next hops to the destination.
+      std::vector<NodeId> path{s};
+      NodeId at = s;
+      for (std::size_t guard = 0; at != d && guard < g.size(); ++guard) {
+        at = routes.best_next[at];
+        path.push_back(at);
+      }
+      ASSERT_EQ(at, d) << "default chain did not reach destination";
+      EXPECT_TRUE(is_valley_free(g, path));
+    }
+  }
+}
+
+TEST(RoutingOracle, CandidatesFormDag) {
+  util::Rng rng(23);
+  topology::WaxmanConfig config;
+  config.nodes = 150;
+  const AsGraph g = topology::generate_waxman(config, rng);
+  RoutingOracle oracle(g);
+  const auto routes = oracle.compute(0);
+  for (NodeId x = 0; x < g.size(); ++x) {
+    for (NodeId y : routes.candidates[x]) {
+      EXPECT_LT(routes.key(y), routes.key(x));
+    }
+  }
+}
+
+TEST(ValleyFree, DetectsValleys) {
+  const AsGraph g = small_hierarchy();
+  // 3 -> 1 -> 4: up then down = fine.
+  EXPECT_TRUE(is_valley_free(g, {3, 1, 4}));
+  // 3 -> 1 -> 0 -> 2 -> 5: up, up, down, down = fine.
+  EXPECT_TRUE(is_valley_free(g, {3, 1, 0, 2, 5}));
+  // 4 -> 1 -> 2 -> 0: peer then UP = valley.
+  EXPECT_FALSE(is_valley_free(g, {4, 1, 2, 0}));
+  // 0 -> 1 -> 0: not even simple, and down then up = valley.
+  EXPECT_FALSE(is_valley_free(g, {0, 1, 0}));
+  // Non-adjacent hop.
+  EXPECT_FALSE(is_valley_free(g, {3, 5}));
+}
+
+TEST(ExtraPaths, DestinationSeedsOneAndCountsGrow) {
+  const AsGraph g = small_hierarchy();
+  RoutingOracle oracle(g);
+  const auto routes = oracle.compute(3);
+  const std::vector<bool> none(6, false);
+  const auto baseline_counts =
+      extra_paths_counts(routes, none, BaselineProtocol::kBgp, {});
+  // Nobody upgraded: everyone has exactly the one baseline path.
+  for (NodeId x = 0; x < 6; ++x) {
+    if (x == 3) continue;
+    EXPECT_EQ(baseline_counts[x], 1u) << x;
+  }
+
+  const std::vector<bool> all(6, true);
+  const auto full = extra_paths_counts(routes, all, BaselineProtocol::kDbgp, {});
+  // Node 2 can now use both its candidates (peer 1 and provider... at least
+  // as many paths as the baseline).
+  for (NodeId x = 0; x < 6; ++x) {
+    if (x == 3) continue;
+    EXPECT_GE(full[x], baseline_counts[x]) << x;
+  }
+  // Node 0 has candidate 1 only; node 2 has candidates {1 (peer), 0}.
+  EXPECT_GE(full[2], 2u);
+}
+
+TEST(ExtraPaths, CapLimitsPerAdvertisementCount) {
+  // Star: destination 0 with 15 stub children all upgraded, and one parent
+  // 16 above them... build: 0 provider-of nothing; children connect 0.
+  AsGraph g(17);
+  for (NodeId i = 1; i <= 15; ++i) g.add_edge(i, 0, Relationship::kProviderOf);
+  for (NodeId i = 1; i <= 15; ++i) g.add_edge(16, i, Relationship::kCustomerOf);
+  RoutingOracle oracle(g);
+  const auto routes = oracle.compute(0);
+  std::vector<bool> all(17, true);
+  ExtraPathsParams params;
+  params.path_cap = 10;
+  const auto counts = extra_paths_counts(routes, all, BaselineProtocol::kDbgp, params);
+  // 16 hears from up to 15 children, each advertising 1; sum <= 15 but each
+  // child's advertisement is capped at 10 (irrelevant here); 16's own count
+  // can exceed the cap internally but its advertisement would clip.
+  EXPECT_GE(counts[16], 10u);
+}
+
+TEST(ExtraPaths, DbgpNeverWorseThanBgp) {
+  // The paper's headline property: total benefits with the D-BGP baseline
+  // are always >= the BGP baseline (Section 6.3).
+  util::Rng rng(31);
+  topology::WaxmanConfig config;
+  config.nodes = 200;
+  const AsGraph g = topology::generate_waxman(config, rng);
+  RoutingOracle oracle(g);
+  for (double level : {0.2, 0.5, 0.8}) {
+    util::Rng arng(7);
+    const auto upgraded = topology::random_adoption(g.size(), level, arng);
+    for (NodeId d = 0; d < 10; ++d) {
+      const auto routes = oracle.compute(d);
+      const auto dbgp = extra_paths_counts(routes, upgraded, BaselineProtocol::kDbgp, {});
+      const auto bgp = extra_paths_counts(routes, upgraded, BaselineProtocol::kBgp, {});
+      for (NodeId x = 0; x < g.size(); ++x) {
+        ASSERT_GE(dbgp[x], bgp[x]) << "x=" << x << " d=" << d << " level=" << level;
+      }
+    }
+  }
+}
+
+TEST(Bottleneck, FullAdoptionKnowsActual) {
+  const AsGraph g = small_hierarchy();
+  RoutingOracle oracle(g);
+  const auto routes = oracle.compute(3);
+  const std::vector<bool> all(6, true);
+  const std::vector<std::uint64_t> bw{100, 50, 200, 80, 60, 70};
+  const auto result = bottleneck_paths(routes, all, bw, BaselineProtocol::kDbgp);
+  for (NodeId x = 0; x < 6; ++x) {
+    if (x == 3 || !routes.reachable(x)) continue;
+    EXPECT_EQ(result.known[x], result.actual[x]) << x;
+  }
+}
+
+TEST(Bottleneck, ZeroAdoptionFollowsDefaultPaths) {
+  const AsGraph g = small_hierarchy();
+  RoutingOracle oracle(g);
+  const auto routes = oracle.compute(3);
+  const std::vector<bool> none(6, false);
+  const std::vector<std::uint64_t> bw{100, 50, 200, 80, 60, 70};
+  const auto result = bottleneck_paths(routes, none, bw, BaselineProtocol::kBgp);
+  // Node 4's default path is 4 -> 1 -> 3: actual = min(bw[1], bw[3]) = 50.
+  EXPECT_EQ(result.actual[4], 50u);
+  // Nobody has any knowledge.
+  for (NodeId x = 0; x < 6; ++x) {
+    if (x == 3) continue;
+    EXPECT_EQ(result.known[x], BottleneckParams::kNoInfo);
+  }
+}
+
+TEST(Sweep, SmallExtraPathsShapes) {
+  SweepConfig config;
+  config.topology.nodes = 120;
+  config.trials = 3;
+  config.adoption_levels = {0.2, 0.5, 0.8};
+  const auto result = run_extra_paths_sweep(config);
+  ASSERT_EQ(result.dbgp_baseline.size(), 3u);
+  // Paper shape: D-BGP total benefit >= BGP at every level; best case is
+  // the ceiling; status quo roughly #destinations.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(result.dbgp_baseline[i].benefit.mean + 1e-9,
+              result.bgp_baseline[i].benefit.mean);
+    EXPECT_LE(result.dbgp_baseline[i].benefit.mean, result.best_case + 1e-9);
+  }
+  EXPECT_NEAR(result.status_quo, 119.0, 1.0);
+  EXPECT_GT(result.best_case, result.status_quo);
+  // Monotone-ish growth for D-BGP across these coarse levels.
+  EXPECT_GT(result.dbgp_baseline[2].benefit.mean, result.dbgp_baseline[0].benefit.mean);
+}
+
+TEST(Sweep, SmallBottleneckShapes) {
+  SweepConfig config;
+  config.topology.nodes = 120;
+  config.trials = 3;
+  config.adoption_levels = {0.1, 0.5, 1.0};
+  const auto result = run_bottleneck_sweep(config);
+  // At full adoption both baselines coincide and reach the best case.
+  EXPECT_NEAR(result.dbgp_baseline[2].benefit.mean, result.best_case,
+              result.best_case * 0.02);
+  // D-BGP at 50% should not trail BGP at 50%.
+  EXPECT_GE(result.dbgp_baseline[1].benefit.mean + 1e-9,
+            result.bgp_baseline[1].benefit.mean);
+  EXPECT_GT(result.status_quo, 0.0);
+}
+
+TEST(Sweep, DeterministicForSeed) {
+  SweepConfig config;
+  config.topology.nodes = 80;
+  config.trials = 2;
+  config.adoption_levels = {0.5};
+  const auto a = run_extra_paths_sweep(config);
+  const auto b = run_extra_paths_sweep(config);
+  EXPECT_DOUBLE_EQ(a.dbgp_baseline[0].benefit.mean, b.dbgp_baseline[0].benefit.mean);
+  config.seed = 43;
+  const auto c = run_extra_paths_sweep(config);
+  EXPECT_NE(a.dbgp_baseline[0].benefit.mean, c.dbgp_baseline[0].benefit.mean);
+}
+
+}  // namespace
+}  // namespace dbgp::sim

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "protocols/bgp_module.h"
+#include "simnet/dataplane.h"
+#include "simnet/event_queue.h"
+#include "simnet/network.h"
+
+namespace dbgp::simnet {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, HandlersMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] {
+    ++fired;
+    q.schedule_in(1.0, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(5.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, MaxEventsGuard) {
+  EventQueue q;
+  // Self-perpetuating event: the guard must stop it.
+  std::function<void()> loop = [&] { q.schedule_in(1.0, loop); };
+  q.schedule_at(0.0, loop);
+  EXPECT_EQ(q.run(100), 100u);
+}
+
+core::DbgpConfig bgp_as(bgp::AsNumber asn) {
+  core::DbgpConfig config;
+  config.asn = asn;
+  config.next_hop = net::Ipv4Address(asn);
+  return config;
+}
+
+TEST(DbgpNetwork, LineConvergence) {
+  DbgpNetwork net;
+  for (bgp::AsNumber asn = 1; asn <= 5; ++asn) {
+    net.add_as(bgp_as(asn)).add_module(std::make_unique<protocols::BgpModule>());
+  }
+  for (bgp::AsNumber asn = 1; asn < 5; ++asn) net.connect(asn, asn + 1);
+  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
+  net.originate(1, prefix);
+  net.run_to_convergence();
+  for (bgp::AsNumber asn = 2; asn <= 5; ++asn) {
+    const auto* best = net.speaker(asn).best(prefix);
+    ASSERT_NE(best, nullptr) << "AS" << asn;
+    EXPECT_EQ(best->ia.path_vector.hop_count(), static_cast<std::size_t>(asn - 1));
+  }
+}
+
+TEST(DbgpNetwork, RingPrefersShortSide) {
+  DbgpNetwork net;
+  for (bgp::AsNumber asn = 1; asn <= 6; ++asn) {
+    net.add_as(bgp_as(asn)).add_module(std::make_unique<protocols::BgpModule>());
+  }
+  for (bgp::AsNumber asn = 1; asn <= 6; ++asn) net.connect(asn, asn % 6 + 1);
+  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
+  net.originate(1, prefix);
+  net.run_to_convergence();
+  // AS 3 is two hops clockwise (3<-2<-1), four counter-clockwise.
+  const auto* best = net.speaker(3).best(prefix);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->ia.path_vector.hop_count(), 2u);
+}
+
+TEST(DbgpNetwork, DisconnectTriggersReroute) {
+  DbgpNetwork net;
+  for (bgp::AsNumber asn = 1; asn <= 4; ++asn) {
+    net.add_as(bgp_as(asn)).add_module(std::make_unique<protocols::BgpModule>());
+  }
+  // Square 1-2-4, 1-3-4.
+  net.connect(1, 2);
+  net.connect(2, 4);
+  net.connect(1, 3);
+  net.connect(3, 4);
+  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
+  net.originate(1, prefix);
+  net.run_to_convergence();
+  const auto* before = net.speaker(4).best(prefix);
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->ia.path_vector.hop_count(), 2u);
+  const bgp::AsNumber via = before->ia.path_vector.elements()[0].asn;
+
+  net.disconnect(4, via);
+  net.run_to_convergence();
+  const auto* after = net.speaker(4).best(prefix);
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after->ia.path_vector.elements()[0].asn, via);
+}
+
+TEST(DbgpNetwork, WithdrawPropagates) {
+  DbgpNetwork net;
+  for (bgp::AsNumber asn = 1; asn <= 3; ++asn) {
+    net.add_as(bgp_as(asn)).add_module(std::make_unique<protocols::BgpModule>());
+  }
+  net.connect(1, 2);
+  net.connect(2, 3);
+  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
+  net.originate(1, prefix);
+  net.run_to_convergence();
+  ASSERT_NE(net.speaker(3).best(prefix), nullptr);
+  net.withdraw(1, prefix);
+  net.run_to_convergence();
+  EXPECT_EQ(net.speaker(3).best(prefix), nullptr);
+}
+
+TEST(DbgpNetwork, LateConnectGetsFullTable) {
+  DbgpNetwork net;
+  for (bgp::AsNumber asn = 1; asn <= 3; ++asn) {
+    net.add_as(bgp_as(asn)).add_module(std::make_unique<protocols::BgpModule>());
+  }
+  net.connect(1, 2);
+  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
+  net.originate(1, prefix);
+  net.run_to_convergence();
+  // AS 3 joins after origination: connect() performs initial sync.
+  net.connect(2, 3);
+  net.run_to_convergence();
+  ASSERT_NE(net.speaker(3).best(prefix), nullptr);
+}
+
+TEST(DbgpNetwork, DuplicateAsRejected) {
+  DbgpNetwork net;
+  net.add_as(bgp_as(1));
+  EXPECT_THROW(net.add_as(bgp_as(1)), std::invalid_argument);
+}
+
+// -- Data plane -------------------------------------------------------------------
+
+TEST(DataPlane, HopByHopIpv4) {
+  DataPlane dp;
+  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
+  dp.set_next_hop(1, prefix, 2);
+  dp.set_next_hop(2, prefix, 3);
+  dp.set_local_delivery(3, prefix);
+  Packet packet;
+  packet.stack.push_back(Header::ipv4(net::Ipv4Address(10, 1, 1, 1)));
+  const auto trace = dp.forward(1, packet);
+  EXPECT_TRUE(trace.delivered) << trace.drop_reason;
+  EXPECT_EQ(trace.hops, (std::vector<bgp::AsNumber>{1, 2, 3}));
+}
+
+TEST(DataPlane, LongestPrefixWins) {
+  DataPlane dp;
+  dp.set_next_hop(1, *net::Prefix::parse("10.0.0.0/8"), 2);
+  dp.set_next_hop(1, *net::Prefix::parse("10.9.0.0/16"), 3);
+  dp.set_local_delivery(2, *net::Prefix::parse("10.0.0.0/8"));
+  dp.set_local_delivery(3, *net::Prefix::parse("10.9.0.0/16"));
+  Packet p1;
+  p1.stack.push_back(Header::ipv4(net::Ipv4Address(10, 1, 0, 1)));
+  EXPECT_EQ(dp.forward(1, p1).hops.back(), 2u);
+  Packet p2;
+  p2.stack.push_back(Header::ipv4(net::Ipv4Address(10, 9, 0, 1)));
+  EXPECT_EQ(dp.forward(1, p2).hops.back(), 3u);
+}
+
+TEST(DataPlane, NoRouteDropsWithReason) {
+  DataPlane dp;
+  dp.set_next_hop(1, *net::Prefix::parse("10.0.0.0/8"), 2);
+  Packet packet;
+  packet.stack.push_back(Header::ipv4(net::Ipv4Address(11, 0, 0, 1)));
+  const auto trace = dp.forward(1, packet);
+  EXPECT_FALSE(trace.delivered);
+  EXPECT_NE(trace.drop_reason.find("no route"), std::string::npos);
+}
+
+TEST(DataPlane, SourceRouteFollowsExplicitHops) {
+  DataPlane dp;
+  dp.add_link(1, 7);
+  dp.add_link(7, 3);
+  dp.set_local_delivery(3, *net::Prefix::parse("10.0.0.0/8"));
+  Packet packet;
+  packet.stack.push_back(Header::ipv4(net::Ipv4Address(10, 0, 0, 1)));
+  packet.stack.push_back(Header::source_route({7, 3}));
+  const auto trace = dp.forward(1, packet);
+  EXPECT_TRUE(trace.delivered) << trace.drop_reason;
+  EXPECT_EQ(trace.hops, (std::vector<bgp::AsNumber>{1, 7, 3}));
+}
+
+TEST(DataPlane, SourceRouteRejectsNonAdjacentHop) {
+  DataPlane dp;
+  dp.add_link(1, 2);
+  Packet packet;
+  packet.stack.push_back(Header::source_route({9}));
+  const auto trace = dp.forward(1, packet);
+  EXPECT_FALSE(trace.delivered);
+  EXPECT_NE(trace.drop_reason.find("non-adjacent"), std::string::npos);
+}
+
+TEST(DataPlane, TunnelPopsAtEndpoint) {
+  DataPlane dp;
+  const auto outer = *net::Prefix::parse("192.168.0.0/16");
+  const auto inner = *net::Prefix::parse("10.0.0.0/8");
+  dp.set_next_hop(1, outer, 2);
+  dp.set_address_owner(net::Ipv4Address(192, 168, 0, 9), 2);
+  dp.set_next_hop(2, inner, 3);
+  dp.set_local_delivery(3, inner);
+  Packet packet;
+  packet.stack.push_back(Header::ipv4(net::Ipv4Address(10, 0, 0, 1)));
+  packet.stack.push_back(Header::tunnel(net::Ipv4Address(192, 168, 0, 9)));
+  const auto trace = dp.forward(1, packet);
+  EXPECT_TRUE(trace.delivered) << trace.drop_reason;
+  EXPECT_EQ(trace.hops, (std::vector<bgp::AsNumber>{1, 2, 3}));
+}
+
+TEST(DataPlane, TtlGuardsAgainstLoops) {
+  DataPlane dp;
+  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
+  dp.set_next_hop(1, prefix, 2);
+  dp.set_next_hop(2, prefix, 1);  // forwarding loop
+  Packet packet;
+  packet.stack.push_back(Header::ipv4(net::Ipv4Address(10, 0, 0, 1)));
+  const auto trace = dp.forward(1, packet, 16);
+  EXPECT_FALSE(trace.delivered);
+  EXPECT_EQ(trace.drop_reason, "TTL exceeded");
+}
+
+TEST(DataPlane, EmptyStackDeliversInPlace) {
+  DataPlane dp;
+  const auto trace = dp.forward(5, Packet{});
+  EXPECT_TRUE(trace.delivered);
+  EXPECT_EQ(trace.hops, std::vector<bgp::AsNumber>{5});
+}
+
+}  // namespace
+}  // namespace dbgp::simnet

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "ia/ids.h"
+#include "protocols/taxonomy.h"
+
+namespace dbgp::protocols {
+namespace {
+
+TEST(Taxonomy, HasAllFourteenRows) {
+  EXPECT_EQ(protocol_taxonomy().size(), 14u);
+}
+
+TEST(Taxonomy, GroupCountsMatchTable1) {
+  std::size_t fixes = 0, custom = 0, replacements = 0;
+  for (const auto& info : protocol_taxonomy()) {
+    switch (info.scenario) {
+      case Scenario::kCriticalFix: ++fixes; break;
+      case Scenario::kCustom: ++custom; break;
+      case Scenario::kReplacement: ++replacements; break;
+    }
+  }
+  EXPECT_EQ(fixes, 6u);         // BGPSec, EQ-BGP, Xiao, LISP, R-BGP, Wiser
+  EXPECT_EQ(custom, 3u);        // MIRO, Arrow, RON
+  EXPECT_EQ(replacements, 5u);  // NIRA, SCION, Pathlets, YAMR, HLP
+}
+
+TEST(Taxonomy, ScenarioAssignmentsMatchPaper) {
+  EXPECT_EQ(find_protocol_info("Wiser")->scenario, Scenario::kCriticalFix);
+  EXPECT_EQ(find_protocol_info("BGPSec")->scenario, Scenario::kCriticalFix);
+  EXPECT_EQ(find_protocol_info("MIRO")->scenario, Scenario::kCustom);
+  EXPECT_EQ(find_protocol_info("SCION")->scenario, Scenario::kReplacement);
+  EXPECT_EQ(find_protocol_info("Pathlets")->scenario, Scenario::kReplacement);
+  EXPECT_EQ(find_protocol_info("HLP")->scenario, Scenario::kReplacement);
+  EXPECT_EQ(find_protocol_info("nonexistent"), nullptr);
+}
+
+TEST(Taxonomy, ExtraControlInfoMatchesPaper) {
+  EXPECT_EQ(find_protocol_info("Wiser")->extra_control_info, "path costs");
+  EXPECT_EQ(find_protocol_info("BGPSec")->extra_control_info, "path attestations");
+  EXPECT_EQ(find_protocol_info("Pathlets")->extra_control_info, "pathlets");
+  EXPECT_EQ(find_protocol_info("LISP")->extra_control_info, "destination ingress IDs");
+}
+
+TEST(Taxonomy, DataPlaneNeedsByScenario) {
+  for (const auto& info : protocol_taxonomy()) {
+    switch (info.scenario) {
+      case Scenario::kCriticalFix:
+        // Critical fixes use the baseline's network protocol: no custom
+        // forwarding, no multi-network-protocol headers.
+        EXPECT_FALSE(info.needs_custom_forwarding) << info.name;
+        EXPECT_FALSE(info.needs_multi_proto_headers) << info.name;
+        break;
+      case Scenario::kCustom:
+        // Custom protocols must reach specific islands: tunnels.
+        EXPECT_TRUE(info.needs_tunnels) << info.name;
+        break;
+      case Scenario::kReplacement:
+        // Path-based/multi-hop replacements forward with custom headers
+        // and need multi-network-protocol headers to cross gulfs (HLP is
+        // the exception: it keeps hop-based forwarding).
+        if (info.name != "HLP") {
+          EXPECT_TRUE(info.needs_custom_forwarding) << info.name;
+          EXPECT_TRUE(info.needs_multi_proto_headers) << info.name;
+        }
+        break;
+    }
+  }
+}
+
+TEST(Taxonomy, ImplementedProtocolsCoverEveryScenario) {
+  bool fix = false, custom = false, replacement = false;
+  for (const auto& info : protocol_taxonomy()) {
+    if (info.implemented_as == 0) continue;
+    switch (info.scenario) {
+      case Scenario::kCriticalFix: fix = true; break;
+      case Scenario::kCustom: custom = true; break;
+      case Scenario::kReplacement: replacement = true; break;
+    }
+  }
+  EXPECT_TRUE(fix);
+  EXPECT_TRUE(custom);
+  EXPECT_TRUE(replacement);
+}
+
+TEST(Taxonomy, ImplementedIdsAreRealProtocolIds) {
+  EXPECT_EQ(find_protocol_info("Wiser")->implemented_as, ia::kProtoWiser);
+  EXPECT_EQ(find_protocol_info("BGPSec")->implemented_as, ia::kProtoBgpSec);
+  EXPECT_EQ(find_protocol_info("SCION")->implemented_as, ia::kProtoScion);
+  EXPECT_EQ(find_protocol_info("Pathlets")->implemented_as, ia::kProtoPathlets);
+  EXPECT_EQ(find_protocol_info("MIRO")->implemented_as, ia::kProtoMiro);
+  EXPECT_EQ(find_protocol_info("EQ-BGP")->implemented_as, ia::kProtoEqBgp);
+  EXPECT_EQ(find_protocol_info("R-BGP")->implemented_as, ia::kProtoRBgp);
+  EXPECT_EQ(find_protocol_info("LISP")->implemented_as, ia::kProtoLisp);
+  EXPECT_EQ(find_protocol_info("HLP")->implemented_as, ia::kProtoHlp);
+}
+
+TEST(Taxonomy, NineOfFourteenImplemented) {
+  std::size_t implemented = 0;
+  for (const auto& info : protocol_taxonomy()) implemented += info.implemented_as != 0;
+  EXPECT_EQ(implemented, 9u);
+}
+
+TEST(Taxonomy, ScenarioNames) {
+  EXPECT_EQ(to_string(Scenario::kCriticalFix), "critical-fix");
+  EXPECT_EQ(to_string(Scenario::kCustom), "custom");
+  EXPECT_EQ(to_string(Scenario::kReplacement), "replacement");
+}
+
+}  // namespace
+}  // namespace dbgp::protocols

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "topology/adoption.h"
+#include "topology/hierarchy.h"
+#include "topology/waxman.h"
+
+namespace dbgp::topology {
+namespace {
+
+TEST(AsGraph, EdgesAreSymmetricWithInverseRelationship) {
+  AsGraph g(3);
+  g.add_edge(0, 1, Relationship::kProviderOf);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  ASSERT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].rel, Relationship::kProviderOf);
+  EXPECT_EQ(g.neighbors(1)[0].rel, Relationship::kCustomerOf);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(AsGraph, DuplicateEdgeIgnored) {
+  AsGraph g(2);
+  g.add_edge(0, 1, Relationship::kPeerOf);
+  g.add_edge(0, 1, Relationship::kProviderOf);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].rel, Relationship::kPeerOf);  // first wins
+}
+
+TEST(AsGraph, SelfLoopRejected) {
+  AsGraph g(2);
+  EXPECT_THROW(g.add_edge(1, 1, Relationship::kPeerOf), std::invalid_argument);
+}
+
+TEST(AsGraph, StubHasNoCustomers) {
+  AsGraph g(3);
+  g.add_edge(0, 1, Relationship::kProviderOf);  // 0 provides for 1
+  g.add_edge(0, 2, Relationship::kProviderOf);
+  EXPECT_FALSE(g.is_stub(0));
+  EXPECT_TRUE(g.is_stub(1));
+  EXPECT_TRUE(g.is_stub(2));
+  EXPECT_EQ(g.stubs().size(), 2u);
+}
+
+TEST(Waxman, PaperConfigurationIsConnected) {
+  util::Rng rng(42);
+  WaxmanConfig config;  // 1000 nodes, alpha 0.15, beta 0.25
+  const AsGraph g = generate_waxman(config, rng);
+  EXPECT_EQ(g.size(), 1000u);
+  EXPECT_TRUE(g.connected());
+  // Incremental growth with m=2: edge count close to 2n.
+  EXPECT_GE(g.edge_count(), g.size() - 1);
+  EXPECT_LE(g.edge_count(), 2 * g.size());
+}
+
+TEST(Waxman, DeterministicForSeed) {
+  WaxmanConfig config;
+  config.nodes = 200;
+  util::Rng rng_a(7), rng_b(7), rng_c(8);
+  const AsGraph a = generate_waxman(config, rng_a);
+  const AsGraph b = generate_waxman(config, rng_b);
+  const AsGraph c = generate_waxman(config, rng_c);
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t identical = 0, total = 0;
+  for (NodeId u = 0; u < a.size(); ++u) {
+    ASSERT_EQ(a.degree(u), b.degree(u));
+    total += a.degree(u);
+    identical += a.degree(u) == c.degree(u) ? 1 : 0;
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_LT(identical, a.size());  // different seed -> different graph
+}
+
+TEST(Waxman, EveryNodeHasAnEdge) {
+  util::Rng rng(13);
+  WaxmanConfig config;
+  config.nodes = 300;
+  const AsGraph g = generate_waxman(config, rng);
+  for (NodeId u = 0; u < g.size(); ++u) EXPECT_GE(g.degree(u), 1u) << u;
+}
+
+TEST(Waxman, AnnotatesOnlyCustomerProvider) {
+  // The paper's topology has customer/provider edges but no peering.
+  util::Rng rng(21);
+  WaxmanConfig config;
+  config.nodes = 200;
+  const AsGraph g = generate_waxman(config, rng);
+  for (NodeId u = 0; u < g.size(); ++u) {
+    for (const Edge& e : g.neighbors(u)) {
+      EXPECT_NE(e.rel, Relationship::kPeerOf);
+    }
+  }
+}
+
+TEST(Hierarchy, StructureMatchesConfig) {
+  util::Rng rng(5);
+  HierarchyConfig config;
+  const Hierarchy h = generate_hierarchy(config, rng);
+  EXPECT_EQ(h.graph.size(), config.tier1 + config.transits + config.stubs);
+  EXPECT_TRUE(h.graph.connected());
+  // Tier-1s form a full peer mesh.
+  for (std::size_t i = 0; i < config.tier1; ++i) {
+    std::size_t peers = 0;
+    for (const Edge& e : h.graph.neighbors(static_cast<NodeId>(i))) {
+      peers += e.rel == Relationship::kPeerOf ? 1 : 0;
+    }
+    EXPECT_GE(peers, config.tier1 - 1);
+  }
+  // Stubs never provide transit.
+  for (NodeId u = static_cast<NodeId>(config.tier1 + config.transits); u < h.graph.size();
+       ++u) {
+    EXPECT_TRUE(h.graph.is_stub(u));
+  }
+}
+
+TEST(Adoption, FractionRounding) {
+  util::Rng rng(3);
+  const auto upgraded = random_adoption(1000, 0.3, rng);
+  EXPECT_EQ(std::count(upgraded.begin(), upgraded.end(), true), 300);
+  const auto none = random_adoption(1000, 0.0, rng);
+  EXPECT_EQ(std::count(none.begin(), none.end(), true), 0);
+  const auto all = random_adoption(1000, 1.0, rng);
+  EXPECT_EQ(std::count(all.begin(), all.end(), true), 1000);
+}
+
+TEST(Adoption, IslandsAreConnectedComponents) {
+  // 0-1-2 chain upgraded, 3 gulf, 4-5 upgraded pair.
+  AsGraph g(6);
+  g.add_edge(0, 1, Relationship::kProviderOf);
+  g.add_edge(1, 2, Relationship::kProviderOf);
+  g.add_edge(2, 3, Relationship::kProviderOf);
+  g.add_edge(3, 4, Relationship::kProviderOf);
+  g.add_edge(4, 5, Relationship::kProviderOf);
+  std::vector<bool> upgraded{true, true, true, false, true, true};
+  std::vector<std::size_t> sizes;
+  const auto component = upgraded_islands(g, upgraded, sizes);
+  EXPECT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(component[0], component[1]);
+  EXPECT_EQ(component[1], component[2]);
+  EXPECT_EQ(component[3], -1);
+  EXPECT_EQ(component[4], component[5]);
+  EXPECT_NE(component[0], component[4]);
+  EXPECT_EQ(sizes[0] + sizes[1], 5u);
+}
+
+TEST(Adoption, IslandsMergeAsAdoptionGrows) {
+  // The Figure-9 mechanism: higher adoption -> larger max island.
+  util::Rng topo_rng(11);
+  WaxmanConfig config;
+  config.nodes = 300;
+  const AsGraph g = generate_waxman(config, topo_rng);
+  std::size_t previous_max = 0;
+  for (double level : {0.2, 0.5, 0.9}) {
+    util::Rng rng(99);
+    const auto upgraded = random_adoption(g.size(), level, rng);
+    std::vector<std::size_t> sizes;
+    upgraded_islands(g, upgraded, sizes);
+    const std::size_t max_island = *std::max_element(sizes.begin(), sizes.end());
+    EXPECT_GT(max_island, previous_max);
+    previous_max = max_island;
+  }
+}
+
+}  // namespace
+}  // namespace dbgp::topology

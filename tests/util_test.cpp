@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bytes.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace dbgp::util {
+namespace {
+
+// -- Rng -----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u32() == b.next_u32();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusiveBounds) {
+  Rng rng(3);
+  bool lo_hit = false, hi_hit = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    lo_hit = lo_hit || v == -2;
+    hi_hit = hi_hit || v == 2;
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // crude uniformity check
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(5);
+  auto sample = rng.sample_indices(100, 30);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (auto i : sample) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(4);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+// -- Bytes -----------------------------------------------------------------------
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, BigEndianLayout) {
+  ByteWriter w;
+  w.put_u16(0x0102);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[1], 0x02);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, RoundTrips) {
+  ByteWriter w;
+  w.put_varint(GetParam());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_varint(), GetParam());
+  EXPECT_TRUE(r.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintRoundTrip,
+                         ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                                           0xffffffffULL, 0xffffffffffffffffULL));
+
+TEST(Bytes, ReadPastEndThrows) {
+  ByteWriter w;
+  w.put_u16(7);
+  ByteReader r(w.bytes());
+  r.get_u8();
+  EXPECT_THROW(r.get_u32(), DecodeError);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.put_string("hello world");
+  w.put_string("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "hello world");
+  EXPECT_EQ(r.get_string(), "");
+}
+
+TEST(Bytes, PatchU16) {
+  ByteWriter w;
+  const auto at = w.reserve_u16();
+  w.put_u32(1);
+  w.patch_u16(at, 0xbeef);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u16(), 0xbeef);
+}
+
+TEST(Bytes, SubReaderBounds) {
+  ByteWriter w;
+  w.put_u32(0x01020304);
+  ByteReader r(w.bytes());
+  ByteReader sub = r.sub_reader(2);
+  EXPECT_EQ(sub.get_u16(), 0x0102);
+  EXPECT_TRUE(sub.at_end());
+  EXPECT_EQ(r.get_u16(), 0x0304);
+}
+
+TEST(Bytes, StringLengthBeyondBufferThrows) {
+  ByteWriter w;
+  w.put_varint(1000);  // claims 1000 bytes
+  w.put_u8('x');
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_string(), DecodeError);
+}
+
+// -- Strings ----------------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, JoinInverseOfSplit) {
+  EXPECT_EQ(join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, ParseU64) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("12345", v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // overflow
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("12a", v));
+  EXPECT_FALSE(parse_u64("-1", v));
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(4096), "4 KB");
+  EXPECT_EQ(format_bytes(1024.0 * 1024 * 3), "3 MB");
+}
+
+// -- Stats ------------------------------------------------------------------------
+
+TEST(Stats, SummaryBasics) {
+  const auto s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+  EXPECT_GT(s.ci95, 0.0);
+}
+
+TEST(Stats, EmptyAndSingle) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const auto s = summarize({42});
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+// -- Flags ------------------------------------------------------------------------
+
+TEST(Flags, ParsesAllForms) {
+  // Note: a bare "--flag value" form is greedy, so boolean flags must use
+  // "--flag=true", come last, or precede another "--" token.
+  const char* argv[] = {"prog", "--alpha=0.5", "--count", "7", "pos1", "--verbose"};
+  Flags flags;
+  std::string error;
+  ASSERT_TRUE(flags.parse(6, argv, error)) << error;
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0), 0.5);
+  EXPECT_EQ(flags.get_int("count", 0), 7);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_EQ(flags.get_string("missing", "dflt"), "dflt");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(Flags, ExplicitFalse) {
+  const char* argv[] = {"prog", "--feature=false"};
+  Flags flags;
+  std::string error;
+  ASSERT_TRUE(flags.parse(2, argv, error));
+  EXPECT_FALSE(flags.get_bool("feature", true));
+}
+
+}  // namespace
+}  // namespace dbgp::util

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "protocols/bgp_module.h"
+#include "protocols/wiser.h"
+#include "simnet/network.h"
+
+namespace dbgp::protocols {
+namespace {
+
+using core::DbgpConfig;
+using core::LookupService;
+using simnet::DbgpNetwork;
+
+TEST(WiserPayloads, CostRoundTrip) {
+  for (std::uint64_t cost : {0ULL, 1ULL, 100ULL, 1ULL << 40}) {
+    EXPECT_EQ(decode_wiser_cost(encode_wiser_cost(cost)), cost);
+  }
+}
+
+TEST(WiserPayloads, PortalRoundTrip) {
+  const net::Ipv4Address portal(163, 42, 5, 0);
+  EXPECT_EQ(decode_wiser_portal(encode_wiser_portal(portal)), portal);
+}
+
+TEST(WiserCostExchange, ScalingFactorFromReports) {
+  LookupService portal;
+  WiserCostExchange exchange(&portal);
+  const auto a = ia::IslandId::assigned(1);
+  const auto b = ia::IslandId::assigned(2);
+  // Before any reports: guess 1.0.
+  EXPECT_DOUBLE_EQ(exchange.scaling_factor(b, a), 1.0);
+  // Island A says it advertised mean cost 200; B observed mean 50:
+  // B must scale A's costs by 4 to compare in its own units.
+  exchange.report_advertised(a, b, 2000, 10);
+  exchange.report_received(b, a, 500, 10);
+  EXPECT_DOUBLE_EQ(exchange.scaling_factor(b, a), 4.0);
+}
+
+TEST(WiserModule, ComparatorPrefersLowerCost) {
+  WiserModule module({ia::IslandId::assigned(1), 1, net::Ipv4Address(1, 1, 1, 1)}, nullptr);
+  core::IaRoute cheap, expensive;
+  cheap.ia.set_path_descriptor(ia::kProtoWiser, ia::keys::kWiserPathCost,
+                               encode_wiser_cost(6));
+  cheap.ia.path_vector.prepend_as(1);
+  cheap.ia.path_vector.prepend_as(2);
+  cheap.ia.path_vector.prepend_as(3);
+  expensive.ia.set_path_descriptor(ia::kProtoWiser, ia::keys::kWiserPathCost,
+                                   encode_wiser_cost(101));
+  expensive.ia.path_vector.prepend_as(1);
+  EXPECT_TRUE(module.better(cheap, expensive));   // cost wins over length
+  EXPECT_FALSE(module.better(expensive, cheap));
+}
+
+TEST(WiserModule, MissingCostTreatedAsZero) {
+  WiserModule module({ia::IslandId::assigned(1), 1, net::Ipv4Address(1, 1, 1, 1)}, nullptr);
+  core::IaRoute no_info;
+  EXPECT_EQ(WiserModule::path_cost(no_info), 0u);
+}
+
+// Figure 1 / Figure 8: a Wiser source island separated from the Wiser
+// destination island by a BGP gulf. The short path has a high Wiser cost
+// (101), the long path a low one (6).
+//
+//           E1(2,cost100) -- 4 (gulf) ------\
+//   D(1) <                                   > S(9, Wiser)
+//           E2(3,cost5)  -- 5 (gulf) - 6 ---/
+struct WiserGulfFixture {
+  LookupService lookup;
+  DbgpNetwork net{&lookup};
+  const ia::IslandId island_a = ia::IslandId::assigned(0xA);
+  const ia::IslandId island_b = ia::IslandId::assigned(0xB);
+  const net::Prefix dest = *net::Prefix::parse("128.6.0.0/16");
+
+  void add_wiser_as(bgp::AsNumber asn, ia::IslandId island, std::uint64_t cost) {
+    DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    config.island = island;
+    config.island_protocol = ia::kProtoWiser;
+    config.active_protocol = ia::kProtoWiser;
+    auto& speaker = net.add_as(config);
+    speaker.add_module(std::make_unique<WiserModule>(
+        WiserModule::Config{island, cost, net::Ipv4Address(asn)}, nullptr));
+    speaker.add_module(std::make_unique<BgpModule>());
+  }
+
+  void add_gulf_as(bgp::AsNumber asn, bool legacy_strips_wiser) {
+    DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    auto& speaker = net.add_as(config);
+    speaker.add_module(std::make_unique<BgpModule>());
+    if (legacy_strips_wiser) {
+      // The plain-BGP baseline: a legacy speaker cannot carry Wiser's
+      // control information, so it is dropped at the gulf.
+      speaker.import_filters().add("legacy-strip",
+                                   core::strip_protocol_filter(ia::kProtoWiser));
+    }
+  }
+
+  void build(bool legacy_gulf) {
+    add_wiser_as(1, island_a, 1);
+    add_wiser_as(2, island_a, 100);  // E1: expensive internal path
+    add_wiser_as(3, island_a, 5);    // E2: cheap internal path
+    add_gulf_as(4, legacy_gulf);
+    add_gulf_as(5, legacy_gulf);
+    add_gulf_as(6, legacy_gulf);
+    add_wiser_as(9, island_b, 1);  // S
+    net.connect(1, 2, /*same_island=*/true);
+    net.connect(1, 3, /*same_island=*/true);
+    net.connect(2, 4);
+    net.connect(4, 9);
+    net.connect(3, 5);
+    net.connect(5, 6);
+    net.connect(6, 9);
+    net.originate(1, dest);
+    net.run_to_convergence();
+  }
+};
+
+TEST(WiserGulf, DbgpBaselineSelectsLowCostPath) {
+  WiserGulfFixture fix;
+  fix.build(/*legacy_gulf=*/false);
+  const auto* best = fix.net.speaker(9).best(fix.dest);
+  ASSERT_NE(best, nullptr);
+  // S sees the Wiser path costs (passed through the gulf) and picks the
+  // longer, cheaper path via AS 6 <- 5 <- 3.
+  EXPECT_TRUE(best->ia.path_vector.contains_as(3)) << best->ia.path_vector.to_string();
+  EXPECT_FALSE(best->ia.path_vector.contains_as(2));
+  EXPECT_EQ(WiserModule::path_cost(*best), 6u);  // 5 (E2) + 1 (D)
+  // The island descriptor with the cost-exchange portal also crossed.
+  EXPECT_NE(best->ia.find_island_descriptor(fix.island_a, ia::kProtoWiser,
+                                            ia::keys::kWiserPortalAddr),
+            nullptr);
+}
+
+TEST(WiserGulf, BgpBaselineSelectsHighCostShortPath) {
+  WiserGulfFixture fix;
+  fix.build(/*legacy_gulf=*/true);
+  const auto* best = fix.net.speaker(9).best(fix.dest);
+  ASSERT_NE(best, nullptr);
+  // Costs were dropped in the gulf: S must fall back to shortest path,
+  // which is the expensive one via E1 (AS 2) — exactly Figure 1's problem.
+  EXPECT_TRUE(best->ia.path_vector.contains_as(2)) << best->ia.path_vector.to_string();
+  EXPECT_EQ(WiserModule::path_cost(*best), 0u);  // invisible
+}
+
+TEST(WiserGulf, ScalingAppliedToIncomingCosts) {
+  // Island A's units are 10x island B's. After a cost exchange, B scales.
+  LookupService portal;
+  WiserCostExchange exchange(&portal);
+  const auto a = ia::IslandId::assigned(1), b = ia::IslandId::assigned(2);
+  exchange.report_advertised(a, b, 1000, 1);  // A claims it sent cost 1000
+  exchange.report_received(b, a, 100, 1);     // B measured 100
+
+  WiserModule module({b, 1, net::Ipv4Address(9, 9, 9, 9)}, &exchange);
+  core::IaRoute route;
+  route.ia.destination = *net::Prefix::parse("10.0.0.0/8");
+  route.ia.set_path_descriptor(ia::kProtoWiser, ia::keys::kWiserPathCost,
+                               encode_wiser_cost(50));
+  route.ia.add_membership({a, {}, ia::kProtoWiser});
+  ASSERT_TRUE(module.import_filter(route));
+  EXPECT_EQ(WiserModule::path_cost(route), 500u);  // 50 * (1000/100)
+}
+
+}  // namespace
+}  // namespace dbgp::protocols

@@ -1,0 +1,53 @@
+// dbgp_run — run a D-BGP scenario file and report routes and expectations.
+//
+//   dbgp_run <scenario-file> [--tables] [--quiet]
+//
+// Exits 0 when every `expect` in the scenario holds, 1 otherwise. See
+// scenarios/*.dbgp for examples and src/scenario/parser.h for the format.
+#include <cstdio>
+#include <exception>
+
+#include "scenario/parser.h"
+#include "scenario/runner.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  dbgp::util::Flags flags;
+  std::string error;
+  if (!flags.parse(argc, argv, error) || flags.positional().size() != 1) {
+    std::fprintf(stderr, "usage: dbgp_run <scenario-file> [--tables] [--quiet]\n");
+    return 2;
+  }
+  const bool quiet = flags.get_bool("quiet", false);
+
+  try {
+    const auto scenario = dbgp::scenario::load_scenario(flags.positional()[0]);
+    dbgp::scenario::Runner runner;
+    runner.build(scenario);
+    const auto result = runner.run();
+
+    if (!quiet) {
+      std::printf("converged after %zu events; %zu ASes, %zu originations\n",
+                  result.events, scenario.ases.size(), scenario.originations.size());
+      if (flags.get_bool("tables", false)) {
+        std::printf("\n%s", runner.dump_tables().c_str());
+      }
+    }
+    for (const auto& er : result.expectations) {
+      if (er.passed && quiet) continue;
+      std::printf("%s  expect (line %d) AS%u %s%s\n", er.passed ? "PASS" : "FAIL",
+                  er.expectation.line, er.expectation.asn,
+                  er.expectation.prefix.to_string().c_str(),
+                  er.passed ? "" : (" — " + er.detail).c_str());
+    }
+    if (!result.expectations.empty()) {
+      std::printf("%zu/%zu expectations passed\n",
+                  result.expectations.size() - result.failures(),
+                  result.expectations.size());
+    }
+    return result.all_passed() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
