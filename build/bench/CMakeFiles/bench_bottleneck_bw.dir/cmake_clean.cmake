@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bottleneck_bw.dir/bench_bottleneck_bw.cpp.o"
+  "CMakeFiles/bench_bottleneck_bw.dir/bench_bottleneck_bw.cpp.o.d"
+  "bench_bottleneck_bw"
+  "bench_bottleneck_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bottleneck_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_deployment.cpp" "bench/CMakeFiles/bench_deployment.dir/bench_deployment.cpp.o" "gcc" "bench/CMakeFiles/bench_deployment.dir/bench_deployment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dbgp_bench_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dbgp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/dbgp_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/dbgp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dbgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ia/CMakeFiles/dbgp_ia.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/dbgp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dbgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dbgp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/overhead/CMakeFiles/dbgp_overhead.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

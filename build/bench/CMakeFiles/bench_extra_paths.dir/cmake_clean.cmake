@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_paths.dir/bench_extra_paths.cpp.o"
+  "CMakeFiles/bench_extra_paths.dir/bench_extra_paths.cpp.o.d"
+  "bench_extra_paths"
+  "bench_extra_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

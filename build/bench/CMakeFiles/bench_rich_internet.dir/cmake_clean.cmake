@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rich_internet.dir/bench_rich_internet.cpp.o"
+  "CMakeFiles/bench_rich_internet.dir/bench_rich_internet.cpp.o.d"
+  "bench_rich_internet"
+  "bench_rich_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rich_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

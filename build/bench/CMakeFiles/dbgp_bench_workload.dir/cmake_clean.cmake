@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_bench_workload.dir/workload.cpp.o"
+  "CMakeFiles/dbgp_bench_workload.dir/workload.cpp.o.d"
+  "libdbgp_bench_workload.a"
+  "libdbgp_bench_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_bench_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

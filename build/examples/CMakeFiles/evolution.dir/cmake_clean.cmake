@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolution.dir/evolution.cpp.o"
+  "CMakeFiles/evolution.dir/evolution.cpp.o.d"
+  "evolution"
+  "evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miro_discovery.dir/miro_discovery.cpp.o"
+  "CMakeFiles/miro_discovery.dir/miro_discovery.cpp.o.d"
+  "miro_discovery"
+  "miro_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miro_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathlet_across_gulf.dir/pathlet_across_gulf.cpp.o"
+  "CMakeFiles/pathlet_across_gulf.dir/pathlet_across_gulf.cpp.o.d"
+  "pathlet_across_gulf"
+  "pathlet_across_gulf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathlet_across_gulf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pathlet_across_gulf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rich_internet.dir/rich_internet.cpp.o"
+  "CMakeFiles/rich_internet.dir/rich_internet.cpp.o.d"
+  "rich_internet"
+  "rich_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rich_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiser_across_gulf.dir/wiser_across_gulf.cpp.o"
+  "CMakeFiles/wiser_across_gulf.dir/wiser_across_gulf.cpp.o.d"
+  "wiser_across_gulf"
+  "wiser_across_gulf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiser_across_gulf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wiser_across_gulf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_bgp.dir/decision.cpp.o"
+  "CMakeFiles/dbgp_bgp.dir/decision.cpp.o.d"
+  "CMakeFiles/dbgp_bgp.dir/fsm.cpp.o"
+  "CMakeFiles/dbgp_bgp.dir/fsm.cpp.o.d"
+  "CMakeFiles/dbgp_bgp.dir/message.cpp.o"
+  "CMakeFiles/dbgp_bgp.dir/message.cpp.o.d"
+  "CMakeFiles/dbgp_bgp.dir/path_attributes.cpp.o"
+  "CMakeFiles/dbgp_bgp.dir/path_attributes.cpp.o.d"
+  "CMakeFiles/dbgp_bgp.dir/policy.cpp.o"
+  "CMakeFiles/dbgp_bgp.dir/policy.cpp.o.d"
+  "CMakeFiles/dbgp_bgp.dir/rib.cpp.o"
+  "CMakeFiles/dbgp_bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/dbgp_bgp.dir/speaker.cpp.o"
+  "CMakeFiles/dbgp_bgp.dir/speaker.cpp.o.d"
+  "libdbgp_bgp.a"
+  "libdbgp_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

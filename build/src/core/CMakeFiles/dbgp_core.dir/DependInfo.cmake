@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/filters.cpp" "src/core/CMakeFiles/dbgp_core.dir/filters.cpp.o" "gcc" "src/core/CMakeFiles/dbgp_core.dir/filters.cpp.o.d"
+  "/root/repo/src/core/ia_db.cpp" "src/core/CMakeFiles/dbgp_core.dir/ia_db.cpp.o" "gcc" "src/core/CMakeFiles/dbgp_core.dir/ia_db.cpp.o.d"
+  "/root/repo/src/core/ia_factory.cpp" "src/core/CMakeFiles/dbgp_core.dir/ia_factory.cpp.o" "gcc" "src/core/CMakeFiles/dbgp_core.dir/ia_factory.cpp.o.d"
+  "/root/repo/src/core/legacy_bridge.cpp" "src/core/CMakeFiles/dbgp_core.dir/legacy_bridge.cpp.o" "gcc" "src/core/CMakeFiles/dbgp_core.dir/legacy_bridge.cpp.o.d"
+  "/root/repo/src/core/lookup_service.cpp" "src/core/CMakeFiles/dbgp_core.dir/lookup_service.cpp.o" "gcc" "src/core/CMakeFiles/dbgp_core.dir/lookup_service.cpp.o.d"
+  "/root/repo/src/core/speaker.cpp" "src/core/CMakeFiles/dbgp_core.dir/speaker.cpp.o" "gcc" "src/core/CMakeFiles/dbgp_core.dir/speaker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ia/CMakeFiles/dbgp_ia.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/dbgp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dbgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

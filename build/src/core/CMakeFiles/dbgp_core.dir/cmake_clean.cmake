@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_core.dir/filters.cpp.o"
+  "CMakeFiles/dbgp_core.dir/filters.cpp.o.d"
+  "CMakeFiles/dbgp_core.dir/ia_db.cpp.o"
+  "CMakeFiles/dbgp_core.dir/ia_db.cpp.o.d"
+  "CMakeFiles/dbgp_core.dir/ia_factory.cpp.o"
+  "CMakeFiles/dbgp_core.dir/ia_factory.cpp.o.d"
+  "CMakeFiles/dbgp_core.dir/legacy_bridge.cpp.o"
+  "CMakeFiles/dbgp_core.dir/legacy_bridge.cpp.o.d"
+  "CMakeFiles/dbgp_core.dir/lookup_service.cpp.o"
+  "CMakeFiles/dbgp_core.dir/lookup_service.cpp.o.d"
+  "CMakeFiles/dbgp_core.dir/speaker.cpp.o"
+  "CMakeFiles/dbgp_core.dir/speaker.cpp.o.d"
+  "libdbgp_core.a"
+  "libdbgp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

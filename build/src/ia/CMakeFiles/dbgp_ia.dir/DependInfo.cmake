@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ia/codec.cpp" "src/ia/CMakeFiles/dbgp_ia.dir/codec.cpp.o" "gcc" "src/ia/CMakeFiles/dbgp_ia.dir/codec.cpp.o.d"
+  "/root/repo/src/ia/compress.cpp" "src/ia/CMakeFiles/dbgp_ia.dir/compress.cpp.o" "gcc" "src/ia/CMakeFiles/dbgp_ia.dir/compress.cpp.o.d"
+  "/root/repo/src/ia/descriptors.cpp" "src/ia/CMakeFiles/dbgp_ia.dir/descriptors.cpp.o" "gcc" "src/ia/CMakeFiles/dbgp_ia.dir/descriptors.cpp.o.d"
+  "/root/repo/src/ia/ids.cpp" "src/ia/CMakeFiles/dbgp_ia.dir/ids.cpp.o" "gcc" "src/ia/CMakeFiles/dbgp_ia.dir/ids.cpp.o.d"
+  "/root/repo/src/ia/integrated_advertisement.cpp" "src/ia/CMakeFiles/dbgp_ia.dir/integrated_advertisement.cpp.o" "gcc" "src/ia/CMakeFiles/dbgp_ia.dir/integrated_advertisement.cpp.o.d"
+  "/root/repo/src/ia/path_vector.cpp" "src/ia/CMakeFiles/dbgp_ia.dir/path_vector.cpp.o" "gcc" "src/ia/CMakeFiles/dbgp_ia.dir/path_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/dbgp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dbgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_ia.dir/codec.cpp.o"
+  "CMakeFiles/dbgp_ia.dir/codec.cpp.o.d"
+  "CMakeFiles/dbgp_ia.dir/compress.cpp.o"
+  "CMakeFiles/dbgp_ia.dir/compress.cpp.o.d"
+  "CMakeFiles/dbgp_ia.dir/descriptors.cpp.o"
+  "CMakeFiles/dbgp_ia.dir/descriptors.cpp.o.d"
+  "CMakeFiles/dbgp_ia.dir/ids.cpp.o"
+  "CMakeFiles/dbgp_ia.dir/ids.cpp.o.d"
+  "CMakeFiles/dbgp_ia.dir/integrated_advertisement.cpp.o"
+  "CMakeFiles/dbgp_ia.dir/integrated_advertisement.cpp.o.d"
+  "CMakeFiles/dbgp_ia.dir/path_vector.cpp.o"
+  "CMakeFiles/dbgp_ia.dir/path_vector.cpp.o.d"
+  "libdbgp_ia.a"
+  "libdbgp_ia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_ia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

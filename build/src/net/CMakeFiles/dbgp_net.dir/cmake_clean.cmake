@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_net.dir/ipv4.cpp.o"
+  "CMakeFiles/dbgp_net.dir/ipv4.cpp.o.d"
+  "libdbgp_net.a"
+  "libdbgp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_overhead.dir/model.cpp.o"
+  "CMakeFiles/dbgp_overhead.dir/model.cpp.o.d"
+  "libdbgp_overhead.a"
+  "libdbgp_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/bgp_module.cpp" "src/protocols/CMakeFiles/dbgp_protocols.dir/bgp_module.cpp.o" "gcc" "src/protocols/CMakeFiles/dbgp_protocols.dir/bgp_module.cpp.o.d"
+  "/root/repo/src/protocols/bgpsec.cpp" "src/protocols/CMakeFiles/dbgp_protocols.dir/bgpsec.cpp.o" "gcc" "src/protocols/CMakeFiles/dbgp_protocols.dir/bgpsec.cpp.o.d"
+  "/root/repo/src/protocols/eqbgp.cpp" "src/protocols/CMakeFiles/dbgp_protocols.dir/eqbgp.cpp.o" "gcc" "src/protocols/CMakeFiles/dbgp_protocols.dir/eqbgp.cpp.o.d"
+  "/root/repo/src/protocols/hlp.cpp" "src/protocols/CMakeFiles/dbgp_protocols.dir/hlp.cpp.o" "gcc" "src/protocols/CMakeFiles/dbgp_protocols.dir/hlp.cpp.o.d"
+  "/root/repo/src/protocols/lisp.cpp" "src/protocols/CMakeFiles/dbgp_protocols.dir/lisp.cpp.o" "gcc" "src/protocols/CMakeFiles/dbgp_protocols.dir/lisp.cpp.o.d"
+  "/root/repo/src/protocols/miro.cpp" "src/protocols/CMakeFiles/dbgp_protocols.dir/miro.cpp.o" "gcc" "src/protocols/CMakeFiles/dbgp_protocols.dir/miro.cpp.o.d"
+  "/root/repo/src/protocols/pathlet.cpp" "src/protocols/CMakeFiles/dbgp_protocols.dir/pathlet.cpp.o" "gcc" "src/protocols/CMakeFiles/dbgp_protocols.dir/pathlet.cpp.o.d"
+  "/root/repo/src/protocols/rbgp.cpp" "src/protocols/CMakeFiles/dbgp_protocols.dir/rbgp.cpp.o" "gcc" "src/protocols/CMakeFiles/dbgp_protocols.dir/rbgp.cpp.o.d"
+  "/root/repo/src/protocols/scion.cpp" "src/protocols/CMakeFiles/dbgp_protocols.dir/scion.cpp.o" "gcc" "src/protocols/CMakeFiles/dbgp_protocols.dir/scion.cpp.o.d"
+  "/root/repo/src/protocols/taxonomy.cpp" "src/protocols/CMakeFiles/dbgp_protocols.dir/taxonomy.cpp.o" "gcc" "src/protocols/CMakeFiles/dbgp_protocols.dir/taxonomy.cpp.o.d"
+  "/root/repo/src/protocols/wiser.cpp" "src/protocols/CMakeFiles/dbgp_protocols.dir/wiser.cpp.o" "gcc" "src/protocols/CMakeFiles/dbgp_protocols.dir/wiser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ia/CMakeFiles/dbgp_ia.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/dbgp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dbgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_protocols.dir/bgp_module.cpp.o"
+  "CMakeFiles/dbgp_protocols.dir/bgp_module.cpp.o.d"
+  "CMakeFiles/dbgp_protocols.dir/bgpsec.cpp.o"
+  "CMakeFiles/dbgp_protocols.dir/bgpsec.cpp.o.d"
+  "CMakeFiles/dbgp_protocols.dir/eqbgp.cpp.o"
+  "CMakeFiles/dbgp_protocols.dir/eqbgp.cpp.o.d"
+  "CMakeFiles/dbgp_protocols.dir/hlp.cpp.o"
+  "CMakeFiles/dbgp_protocols.dir/hlp.cpp.o.d"
+  "CMakeFiles/dbgp_protocols.dir/lisp.cpp.o"
+  "CMakeFiles/dbgp_protocols.dir/lisp.cpp.o.d"
+  "CMakeFiles/dbgp_protocols.dir/miro.cpp.o"
+  "CMakeFiles/dbgp_protocols.dir/miro.cpp.o.d"
+  "CMakeFiles/dbgp_protocols.dir/pathlet.cpp.o"
+  "CMakeFiles/dbgp_protocols.dir/pathlet.cpp.o.d"
+  "CMakeFiles/dbgp_protocols.dir/rbgp.cpp.o"
+  "CMakeFiles/dbgp_protocols.dir/rbgp.cpp.o.d"
+  "CMakeFiles/dbgp_protocols.dir/scion.cpp.o"
+  "CMakeFiles/dbgp_protocols.dir/scion.cpp.o.d"
+  "CMakeFiles/dbgp_protocols.dir/taxonomy.cpp.o"
+  "CMakeFiles/dbgp_protocols.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/dbgp_protocols.dir/wiser.cpp.o"
+  "CMakeFiles/dbgp_protocols.dir/wiser.cpp.o.d"
+  "libdbgp_protocols.a"
+  "libdbgp_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

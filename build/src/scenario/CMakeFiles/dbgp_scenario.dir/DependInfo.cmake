@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenario/parser.cpp" "src/scenario/CMakeFiles/dbgp_scenario.dir/parser.cpp.o" "gcc" "src/scenario/CMakeFiles/dbgp_scenario.dir/parser.cpp.o.d"
+  "/root/repo/src/scenario/runner.cpp" "src/scenario/CMakeFiles/dbgp_scenario.dir/runner.cpp.o" "gcc" "src/scenario/CMakeFiles/dbgp_scenario.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/dbgp_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/dbgp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dbgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbgp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ia/CMakeFiles/dbgp_ia.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/dbgp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dbgp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_scenario.dir/parser.cpp.o"
+  "CMakeFiles/dbgp_scenario.dir/parser.cpp.o.d"
+  "CMakeFiles/dbgp_scenario.dir/runner.cpp.o"
+  "CMakeFiles/dbgp_scenario.dir/runner.cpp.o.d"
+  "libdbgp_scenario.a"
+  "libdbgp_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

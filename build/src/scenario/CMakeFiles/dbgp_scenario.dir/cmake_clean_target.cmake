@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbgp_scenario.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/archetypes.cpp" "src/sim/CMakeFiles/dbgp_sim.dir/archetypes.cpp.o" "gcc" "src/sim/CMakeFiles/dbgp_sim.dir/archetypes.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/dbgp_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/dbgp_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/routing.cpp" "src/sim/CMakeFiles/dbgp_sim.dir/routing.cpp.o" "gcc" "src/sim/CMakeFiles/dbgp_sim.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/dbgp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_sim.dir/archetypes.cpp.o"
+  "CMakeFiles/dbgp_sim.dir/archetypes.cpp.o.d"
+  "CMakeFiles/dbgp_sim.dir/experiment.cpp.o"
+  "CMakeFiles/dbgp_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/dbgp_sim.dir/routing.cpp.o"
+  "CMakeFiles/dbgp_sim.dir/routing.cpp.o.d"
+  "libdbgp_sim.a"
+  "libdbgp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

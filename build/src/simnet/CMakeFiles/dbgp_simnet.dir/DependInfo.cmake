@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/dataplane.cpp" "src/simnet/CMakeFiles/dbgp_simnet.dir/dataplane.cpp.o" "gcc" "src/simnet/CMakeFiles/dbgp_simnet.dir/dataplane.cpp.o.d"
+  "/root/repo/src/simnet/event_queue.cpp" "src/simnet/CMakeFiles/dbgp_simnet.dir/event_queue.cpp.o" "gcc" "src/simnet/CMakeFiles/dbgp_simnet.dir/event_queue.cpp.o.d"
+  "/root/repo/src/simnet/fib_builder.cpp" "src/simnet/CMakeFiles/dbgp_simnet.dir/fib_builder.cpp.o" "gcc" "src/simnet/CMakeFiles/dbgp_simnet.dir/fib_builder.cpp.o.d"
+  "/root/repo/src/simnet/network.cpp" "src/simnet/CMakeFiles/dbgp_simnet.dir/network.cpp.o" "gcc" "src/simnet/CMakeFiles/dbgp_simnet.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/dbgp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/dbgp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dbgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbgp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ia/CMakeFiles/dbgp_ia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_simnet.dir/dataplane.cpp.o"
+  "CMakeFiles/dbgp_simnet.dir/dataplane.cpp.o.d"
+  "CMakeFiles/dbgp_simnet.dir/event_queue.cpp.o"
+  "CMakeFiles/dbgp_simnet.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dbgp_simnet.dir/fib_builder.cpp.o"
+  "CMakeFiles/dbgp_simnet.dir/fib_builder.cpp.o.d"
+  "CMakeFiles/dbgp_simnet.dir/network.cpp.o"
+  "CMakeFiles/dbgp_simnet.dir/network.cpp.o.d"
+  "libdbgp_simnet.a"
+  "libdbgp_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

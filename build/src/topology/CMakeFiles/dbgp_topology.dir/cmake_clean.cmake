@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_topology.dir/adoption.cpp.o"
+  "CMakeFiles/dbgp_topology.dir/adoption.cpp.o.d"
+  "CMakeFiles/dbgp_topology.dir/graph.cpp.o"
+  "CMakeFiles/dbgp_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/dbgp_topology.dir/hierarchy.cpp.o"
+  "CMakeFiles/dbgp_topology.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/dbgp_topology.dir/waxman.cpp.o"
+  "CMakeFiles/dbgp_topology.dir/waxman.cpp.o.d"
+  "libdbgp_topology.a"
+  "libdbgp_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

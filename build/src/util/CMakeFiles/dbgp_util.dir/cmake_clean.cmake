@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_util.dir/bytes.cpp.o"
+  "CMakeFiles/dbgp_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/dbgp_util.dir/flags.cpp.o"
+  "CMakeFiles/dbgp_util.dir/flags.cpp.o.d"
+  "CMakeFiles/dbgp_util.dir/logging.cpp.o"
+  "CMakeFiles/dbgp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dbgp_util.dir/rng.cpp.o"
+  "CMakeFiles/dbgp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dbgp_util.dir/stats.cpp.o"
+  "CMakeFiles/dbgp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dbgp_util.dir/strings.cpp.o"
+  "CMakeFiles/dbgp_util.dir/strings.cpp.o.d"
+  "libdbgp_util.a"
+  "libdbgp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

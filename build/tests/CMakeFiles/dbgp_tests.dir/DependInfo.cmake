@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bgp_attrs_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/bgp_attrs_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/bgp_attrs_test.cpp.o.d"
+  "/root/repo/tests/bgp_decision_policy_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/bgp_decision_policy_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/bgp_decision_policy_test.cpp.o.d"
+  "/root/repo/tests/bgp_fsm_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/bgp_fsm_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/bgp_fsm_test.cpp.o.d"
+  "/root/repo/tests/bgp_message_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/bgp_message_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/bgp_message_test.cpp.o.d"
+  "/root/repo/tests/bgp_mrai_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/bgp_mrai_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/bgp_mrai_test.cpp.o.d"
+  "/root/repo/tests/bgp_speaker_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/bgp_speaker_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/bgp_speaker_test.cpp.o.d"
+  "/root/repo/tests/bgpsec_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/bgpsec_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/bgpsec_test.cpp.o.d"
+  "/root/repo/tests/core_pipeline_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/core_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/core_pipeline_test.cpp.o.d"
+  "/root/repo/tests/hlp_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/hlp_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/hlp_test.cpp.o.d"
+  "/root/repo/tests/ia_codec_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/ia_codec_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/ia_codec_test.cpp.o.d"
+  "/root/repo/tests/ia_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/ia_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/ia_test.cpp.o.d"
+  "/root/repo/tests/legacy_bridge_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/legacy_bridge_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/legacy_bridge_test.cpp.o.d"
+  "/root/repo/tests/misc_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/misc_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/misc_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/overhead_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/overhead_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/overhead_test.cpp.o.d"
+  "/root/repo/tests/pathlet_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/pathlet_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/pathlet_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rbgp_lisp_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/rbgp_lisp_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/rbgp_lisp_test.cpp.o.d"
+  "/root/repo/tests/rich_internet_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/rich_internet_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/rich_internet_test.cpp.o.d"
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/scenario_test.cpp.o.d"
+  "/root/repo/tests/scion_miro_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/scion_miro_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/scion_miro_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/simnet_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/simnet_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/simnet_test.cpp.o.d"
+  "/root/repo/tests/taxonomy_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/taxonomy_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/taxonomy_test.cpp.o.d"
+  "/root/repo/tests/topology_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/topology_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/topology_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/wiser_test.cpp" "tests/CMakeFiles/dbgp_tests.dir/wiser_test.cpp.o" "gcc" "tests/CMakeFiles/dbgp_tests.dir/wiser_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/dbgp_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dbgp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/dbgp_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/dbgp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dbgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ia/CMakeFiles/dbgp_ia.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/dbgp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dbgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dbgp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/overhead/CMakeFiles/dbgp_overhead.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

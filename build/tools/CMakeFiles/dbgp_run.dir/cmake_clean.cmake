@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgp_run.dir/dbgp_run.cpp.o"
+  "CMakeFiles/dbgp_run.dir/dbgp_run.cpp.o.d"
+  "dbgp_run"
+  "dbgp_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgp_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
