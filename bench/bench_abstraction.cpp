@@ -12,6 +12,7 @@
 // abstraction buys (the competitive/consistency reason islands choose it).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "protocols/bgp_module.h"
 #include "simnet/network.h"
 
@@ -92,8 +93,19 @@ Outcome run(bool abstract_island) {
 
 int main() {
   std::printf("Ablation — island-ID abstraction vs per-AS path vectors (Section 3.2)\n\n");
+  bench::BenchJson out("abstraction");
+  bench::Stopwatch sw;
   const Outcome listed = run(/*abstract_island=*/false);
+  auto& listed_run = out.add_run("members_listed", 1.0, sw.elapsed_s());
+  listed_run.counters.emplace_back("reachable", static_cast<double>(listed.reachable));
+  listed_run.counters.emplace_back("bytes_sent", static_cast<double>(listed.bytes_sent));
+  sw.restart();
   const Outcome abstracted = run(/*abstract_island=*/true);
+  auto& abstracted_run = out.add_run("island_id_abstracted", 1.0, sw.elapsed_s());
+  abstracted_run.counters.emplace_back("reachable",
+                                       static_cast<double>(abstracted.reachable));
+  abstracted_run.counters.emplace_back("bytes_sent",
+                                       static_cast<double>(abstracted.bytes_sent));
 
   std::printf("%28s | %12s | %14s | %12s\n", "mode", "reachable", "loop-dropped",
               "bytes sent");
@@ -113,5 +125,5 @@ int main() {
                      abstracted.reachable <= listed.reachable;
   std::printf("shape: abstraction trades diversity for opacity: %s\n",
               shape ? "yes" : "NO (unexpected)");
-  return shape ? 0 : 1;
+  return out.write() && shape ? 0 : 1;
 }

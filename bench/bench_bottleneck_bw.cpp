@@ -11,6 +11,7 @@
 // higher below ~80%.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "sim/experiment.h"
 #include "util/flags.h"
 
@@ -37,7 +38,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.bandwidth_min),
               static_cast<unsigned long long>(config.bandwidth_max));
 
+  bench::BenchJson out("bottleneck_bw");
+  bench::Stopwatch sw;
   const auto result = sim::run_bottleneck_sweep(config);
+  out.add_run("bottleneck_sweep", static_cast<double>(config.trials), sw.elapsed_s());
 
   std::printf("%10s | %22s | %22s\n", "adoption", "D-BGP baseline (±CI95)",
               "BGP baseline (±CI95)");
@@ -76,5 +80,5 @@ int main(int argc, char** argv) {
   const bool shape_ok = dbgp_cross <= bgp_cross;
   std::printf("shape: D-BGP crosses no later than BGP: %s\n",
               shape_ok ? "yes (matches paper)" : "NO (mismatch)");
-  return shape_ok ? 0 : 1;
+  return out.write() && shape_ok ? 0 : 1;
 }

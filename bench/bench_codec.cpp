@@ -3,6 +3,7 @@
 // and the baseline BGP message codec for comparison.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "ia/codec.h"
 #include "workload.h"
 
@@ -75,4 +76,4 @@ BENCHMARK(BM_BgpUpdateCodec);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DBGP_BENCH_MAIN("codec");

@@ -9,6 +9,7 @@
 // time versus IA size.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "protocols/bgp_module.h"
 #include "simnet/network.h"
 #include "util/flags.h"
@@ -70,16 +71,22 @@ int main(int argc, char** argv) {
               chain, table);
   std::printf("%12s | %18s\n", "IA size", "convergence (sim s)");
   std::printf("-------------+--------------------\n");
+  bench::BenchJson out("convergence");
   double previous = 0.0;
   bool monotone = true;
   for (std::size_t ia_bytes : {std::size_t{0}, std::size_t{4} * 1024, std::size_t{32} * 1024,
                                std::size_t{256} * 1024}) {
+    bench::Stopwatch sw;
     const double t = run_once(ia_bytes, table, chain);
+    auto& run = out.add_run("full_table_ia" + std::to_string(ia_bytes),
+                            static_cast<double>(table), sw.elapsed_s());
+    run.counters.emplace_back("convergence_sim_s", t);
+    run.counters.emplace_back("ia_bytes", static_cast<double>(ia_bytes));
     std::printf("%12zu | %18.4f\n", ia_bytes, t);
     monotone &= t >= previous;
     previous = t;
   }
   std::printf("\nshape: convergence time grows with IA size: %s\n",
               monotone ? "yes (matches Section 3.5's concern)" : "NO");
-  return monotone ? 0 : 1;
+  return out.write() && monotone ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 // (plugin sizes; no core changes needed) is recorded in EXPERIMENTS.md.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "protocols/bgp_module.h"
 #include "protocols/pathlet.h"
 #include "protocols/wiser.h"
@@ -160,13 +161,21 @@ bool run_pathlets() {
 }  // namespace
 
 int main() {
+  bench::BenchJson out("deployment");
+  bench::Stopwatch sw;
   std::printf("E2 — Section 6.1 deployments across a BGP gulf (Figure 8 topology)\n\n");
   std::printf("Wiser (critical fix):\n");
   bool ok = run_wiser(/*legacy_gulf=*/false);
+  out.add_run("wiser_dbgp_gulf", 1.0, sw.elapsed_s());
+  sw.restart();
   ok &= run_wiser(/*legacy_gulf=*/true);
+  out.add_run("wiser_legacy_gulf", 1.0, sw.elapsed_s());
   std::printf("\nPathlet Routing (replacement protocol):\n");
+  sw.restart();
   ok &= run_pathlets();
+  out.add_run("pathlets_dbgp_gulf", 1.0, sw.elapsed_s());
   std::printf("\nresult: %s\n", ok ? "all deployments behave as the paper reports"
                                    : "MISMATCH with paper behaviour");
+  ok &= out.write();
   return ok ? 0 : 1;
 }

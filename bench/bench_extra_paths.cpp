@@ -10,6 +10,7 @@
 // Flags: --nodes, --trials, --seed, --cap (paths per advertisement).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "sim/experiment.h"
 #include "util/flags.h"
 
@@ -35,7 +36,10 @@ int main(int argc, char** argv) {
               config.topology.nodes, config.topology.alpha, config.topology.beta,
               config.trials, config.extra_paths.path_cap);
 
+  bench::BenchJson out("extra_paths");
+  bench::Stopwatch sw;
   const auto result = sim::run_extra_paths_sweep(config);
+  out.add_run("extra_paths_sweep", static_cast<double>(config.trials), sw.elapsed_s());
 
   std::printf("%10s | %22s | %22s\n", "adoption", "D-BGP baseline (±CI95)",
               "BGP baseline (±CI95)");
@@ -59,5 +63,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\nshape: D-BGP >= BGP at every adoption level: %s\n",
               dbgp_dominates ? "yes (matches paper)" : "NO (mismatch)");
-  return dbgp_dominates ? 0 : 1;
+  return out.write() && dbgp_dominates ? 0 : 1;
 }

@@ -1,0 +1,173 @@
+#include "bench_json.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "telemetry/json_export.h"
+#include "telemetry/metrics.h"
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace dbgp::bench {
+
+namespace {
+
+std::string output_path(const std::string& name) {
+  if (const char* env = std::getenv("DBGP_BENCH_OUT"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "BENCH_" + name + ".json";
+}
+
+bool is_rate_counter(const std::string& name) {
+  return name.find("/s") != std::string::npos ||
+         name.find("_per_second") != std::string::npos;
+}
+
+// Histograms consulted for operation-latency percentiles, most specific
+// first. "bench.op_seconds" is reserved for benches that time their own
+// operations; the rest are what the library records while a bench drives it.
+constexpr const char* kLatencyHistograms[] = {
+    "bench.op_seconds",
+    "dbgp.speaker.frame_seconds",
+    "dbgp.codec.decode_seconds",
+    "dbgp.codec.encode_seconds",
+};
+
+util::json::Value compose(const std::string& name, const std::vector<BenchRun>& runs) {
+  util::json::Object root;
+  root.emplace_back("bench", name);
+
+  util::json::Array bench_array;
+  double peak_ops = 0.0;
+  std::vector<double> per_run_latency;
+  for (const auto& run : runs) {
+    util::json::Object o;
+    o.emplace_back("name", run.name);
+    o.emplace_back("iterations", run.iterations);
+    o.emplace_back("real_time_s", run.real_time_s);
+    o.emplace_back("time_per_op_s", run.time_per_op_s);
+    o.emplace_back("ops_per_sec", run.ops_per_sec);
+    if (!run.counters.empty()) {
+      util::json::Object counters;
+      for (const auto& [cname, cvalue] : run.counters) counters.emplace_back(cname, cvalue);
+      o.emplace_back("counters", std::move(counters));
+    }
+    bench_array.emplace_back(std::move(o));
+    peak_ops = std::max(peak_ops, run.ops_per_sec);
+    if (run.time_per_op_s > 0.0) per_run_latency.push_back(run.time_per_op_s);
+  }
+  root.emplace_back("benchmarks", std::move(bench_array));
+  root.emplace_back("ops_per_sec", peak_ops);
+
+  const auto snapshot = telemetry::MetricsRegistry::global().snapshot();
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  std::string source = "per_run_mean";
+  bool from_histogram = false;
+  for (const char* hname : kLatencyHistograms) {
+    const auto* h = snapshot.find_histogram(hname);
+    if (h != nullptr && h->count > 0) {
+      p50 = h->p50;
+      p95 = h->p95;
+      p99 = h->p99;
+      source = hname;
+      from_histogram = true;
+      break;
+    }
+  }
+  if (!from_histogram) {
+    p50 = util::percentile(per_run_latency, 50.0);
+    p95 = util::percentile(per_run_latency, 95.0);
+    p99 = util::percentile(per_run_latency, 99.0);
+  }
+  root.emplace_back("p50_us", p50 * 1e6);
+  root.emplace_back("p95_us", p95 * 1e6);
+  root.emplace_back("p99_us", p99 * 1e6);
+  root.emplace_back("latency_source", source);
+  root.emplace_back("telemetry_enabled", telemetry::enabled());
+  root.emplace_back("metrics", telemetry::to_json(snapshot));
+  return util::json::Value(std::move(root));
+}
+
+bool write_json(const std::string& name, const std::vector<BenchRun>& runs) {
+  const std::string path = output_path(name);
+  try {
+    util::json::write_file(path, compose(name, runs));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_json: failed to write %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  std::fprintf(stderr, "bench results written to %s\n", path.c_str());
+  return true;
+}
+
+// Prints Google Benchmark's console table as usual while capturing each
+// per-iteration run (aggregates like _mean/_stddev are skipped — they would
+// double-count throughput).
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& run : reports) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      BenchRun captured;
+      captured.name = run.benchmark_name();
+      captured.iterations = static_cast<std::uint64_t>(run.iterations);
+      captured.real_time_s = run.real_accumulated_time;
+      if (run.iterations > 0) {
+        captured.time_per_op_s =
+            run.real_accumulated_time / static_cast<double>(run.iterations);
+      }
+      // Counters reach reporters already finalized: rate counters hold
+      // events/sec. Prefer an explicit rate counter (prefixes/s,
+      // bytes_per_second) over raw iteration throughput.
+      double rate = captured.time_per_op_s > 0.0 ? 1.0 / captured.time_per_op_s : 0.0;
+      for (const auto& [cname, counter] : run.counters) {
+        captured.counters.emplace_back(cname, counter.value);
+        if (is_rate_counter(cname)) rate = std::max(rate, counter.value);
+      }
+      std::sort(captured.counters.begin(), captured.counters.end());
+      captured.ops_per_sec = rate;
+      captured_.push_back(std::move(captured));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<BenchRun>& captured() const noexcept { return captured_; }
+
+ private:
+  std::vector<BenchRun> captured_;
+};
+
+}  // namespace
+
+BenchRun& BenchJson::add_run(const std::string& run_name, double ops, double seconds) {
+  BenchRun run;
+  run.name = run_name;
+  run.iterations = 1;
+  run.real_time_s = seconds;
+  if (ops > 0.0 && seconds > 0.0) {
+    run.time_per_op_s = seconds / ops;
+    run.ops_per_sec = ops / seconds;
+  }
+  runs_.push_back(std::move(run));
+  return runs_.back();
+}
+
+bool BenchJson::write() const { return write_json(name_, runs_); }
+
+int bench_main(const char* name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return write_json(name, reporter.captured()) ? 0 : 1;
+}
+
+}  // namespace dbgp::bench

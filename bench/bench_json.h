@@ -1,0 +1,100 @@
+// Machine-readable benchmark results: every bench binary writes a
+// BENCH_<name>.json alongside its console output so the perf trajectory of
+// the repo can be tracked run over run.
+//
+// Two entry points, because the benches come in two flavours:
+//
+//   1. Google Benchmark binaries (bench_stress, bench_codec) replace
+//      BENCHMARK_MAIN() with DBGP_BENCH_MAIN("<name>"): the console table
+//      still prints, and a capture reporter additionally records every
+//      per-iteration run into the JSON.
+//   2. Hand-rolled mains (the scenario-style benches) construct a
+//      `BenchJson`, time each phase with `Stopwatch`, `add_run()` it, and
+//      call `write()` before exiting.
+//
+// Both paths produce the same shape:
+//
+//   { "bench": "<name>",
+//     "benchmarks": [ {"name","iterations","real_time_s","time_per_op_s",
+//                      "ops_per_sec", "counters":{...}}, ... ],
+//     "ops_per_sec": <peak across runs>,
+//     "p50_us": p, "p95_us": p, "p99_us": p,   // operation latency, microsec
+//     "latency_source": "<histogram name>" | "per_run_mean",
+//     "telemetry_enabled": bool,
+//     "metrics": { ...full registry snapshot... } }
+//
+// Latency percentiles come from the telemetry histograms the library fills
+// while the bench runs (speaker frame timing, codec timing); when no
+// histogram saw samples the per-run mean latencies go through
+// util::percentile instead, so the fields always exist.
+//
+// DBGP_BENCH_OUT=<path> redirects the JSON; DBGP_TELEMETRY=off disables the
+// registry (the overhead-comparison configuration).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dbgp::bench {
+
+// Wall-clock stopwatch for hand-rolled bench mains.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// One captured benchmark run (a Google Benchmark iteration report or one
+// timed phase of a hand-rolled main).
+struct BenchRun {
+  std::string name;
+  std::uint64_t iterations = 0;
+  double real_time_s = 0.0;
+  double time_per_op_s = 0.0;
+  double ops_per_sec = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+// Accumulates runs and writes BENCH_<name>.json.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  // Records a phase that completed `ops` operations in `seconds` of wall
+  // time. `ops` is whatever unit the bench reports throughput in (events,
+  // prefixes, advertisements); pass 1 for a single end-to-end scenario run.
+  BenchRun& add_run(const std::string& run_name, double ops, double seconds);
+
+  // Writes the JSON file (DBGP_BENCH_OUT or ./BENCH_<name>.json). Returns
+  // true on success; prints to stderr and returns false on IO failure so
+  // bench exit codes can reflect it.
+  bool write() const;
+
+  const std::string& name() const noexcept { return name_; }
+  std::vector<BenchRun>& runs() noexcept { return runs_; }
+
+ private:
+  std::string name_;
+  std::vector<BenchRun> runs_;
+};
+
+// Google Benchmark driver: runs registered benchmarks with a capture
+// reporter and writes BENCH_<name>.json; returns the process exit code.
+int bench_main(const char* name, int argc, char** argv);
+
+}  // namespace dbgp::bench
+
+#define DBGP_BENCH_MAIN(name)                                   \
+  int main(int argc, char** argv) {                             \
+    return ::dbgp::bench::bench_main((name), argc, argv);       \
+  }

@@ -6,6 +6,7 @@
 // mechanism empirically against the real IA codec and reports compression.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "ia/codec.h"
 #include "overhead/model.h"
 #include "util/rng.h"
@@ -67,19 +68,28 @@ void empirical_sharing_check() {
 }  // namespace
 
 int main() {
+  bench::BenchJson out("overhead");
   const overhead::Parameters params;
   print_parameters(params);
 
+  bench::Stopwatch sw;
   std::printf("Table 3 — estimated IA sizes and aggregate overhead at a tier-1 AS\n");
-  for (const auto& row : overhead::analyze(params)) {
+  const auto rows = overhead::analyze(params);
+  for (const auto& row : rows) {
     std::printf("  %s\n", overhead::format_row(row).c_str());
   }
   const auto factor = overhead::overhead_factor(params);
+  auto& model_run = out.add_run("table3_model", static_cast<double>(rows.size()),
+                                sw.elapsed_s());
+  model_run.counters.emplace_back("overhead_factor_min", factor.min);
+  model_run.counters.emplace_back("overhead_factor_max", factor.max);
   std::printf("\nHeadline: D-BGP (+Sharing) vs single protocol = %.2fx (min estimates), "
               "%.2fx (max estimates)\n",
               factor.min, factor.max);
   std::printf("Paper reports: 1.3x and 2.5x\n\n");
 
+  sw.restart();
   empirical_sharing_check();
-  return 0;
+  out.add_run("empirical_sharing_check", 1.0, sw.elapsed_s());
+  return out.write() ? 0 : 1;
 }

@@ -12,9 +12,11 @@
 // constant external-access penalty of out-of-band dissemination (CF-R2).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "bgp/speaker.h"
 #include "core/speaker.h"
 #include "protocols/bgp_module.h"
+#include "telemetry/metrics.h"
 #include "workload.h"
 
 namespace {
@@ -68,8 +70,14 @@ void BM_Quagga_BgpOnly(benchmark::State& state) {
 BENCHMARK(BM_Quagga_BgpOnly)->Unit(benchmark::kMillisecond);
 
 // The Beagle-equivalent on BGP-only advertisements (tiny IAs, no extra
-// protocol control information).
-void BM_Beagle_BgpOnly(benchmark::State& state) {
+// protocol control information). Parameterized over the telemetry registry
+// kill switch: the acceptance bound for the telemetry subsystem is <5%
+// overhead here, so run with `--benchmark_filter=BM_Beagle_BgpOnly` and
+// compare the enabled/disabled rows.
+void beagle_bgp_only(benchmark::State& state, bool telemetry_on) {
+  const bool was_enabled = telemetry::enabled();
+  telemetry::set_enabled(telemetry_on);
+
   std::vector<std::vector<std::vector<std::uint8_t>>> streams;
   for (int p = 0; p < kPeers; ++p) {
     streams.push_back(bench::synth_ia_stream(stream_config(p + 1), /*target_bytes=*/0,
@@ -96,8 +104,16 @@ void BM_Beagle_BgpOnly(benchmark::State& state) {
   }
   state.counters["prefixes/s"] =
       benchmark::Counter(static_cast<double>(prefixes), benchmark::Counter::kIsRate);
+  telemetry::set_enabled(was_enabled);
 }
+
+void BM_Beagle_BgpOnly(benchmark::State& state) { beagle_bgp_only(state, true); }
 BENCHMARK(BM_Beagle_BgpOnly)->Unit(benchmark::kMillisecond);
+
+void BM_Beagle_BgpOnly_NoTelemetry(benchmark::State& state) {
+  beagle_bgp_only(state, false);
+}
+BENCHMARK(BM_Beagle_BgpOnly_NoTelemetry)->Unit(benchmark::kMillisecond);
 
 // Throughput vs IA size (the paper's 32 KB / 256 KB points plus the 4 KB
 // BGP-message ceiling from Table 2).
@@ -186,4 +202,4 @@ BENCHMARK(BM_Beagle_OutOfBand)->Arg(32 * 1024)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DBGP_BENCH_MAIN("stress");

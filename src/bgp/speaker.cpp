@@ -1,12 +1,39 @@
 #include "bgp/speaker.h"
 
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace dbgp::bgp {
 
 namespace {
 constexpr auto kLog = "bgp.speaker";
-}
+
+// Registry mirrors of SpeakerStats, aggregated across every baseline BGP
+// speaker in the process (the per-speaker struct stays authoritative).
+struct BgpMetrics {
+  telemetry::Counter* updates_received;
+  telemetry::Counter* prefixes_processed;
+  telemetry::Counter* updates_sent;
+  telemetry::Counter* routes_rejected_by_policy;
+  telemetry::Counter* routes_rejected_by_loop;
+  telemetry::Counter* decode_errors;
+  telemetry::Counter* refreshes_received;
+
+  static BgpMetrics& get() {
+    static BgpMetrics m = [] {
+      auto& reg = telemetry::MetricsRegistry::global();
+      return BgpMetrics{&reg.counter("bgp.speaker.updates_received"),
+                        &reg.counter("bgp.speaker.prefixes_processed"),
+                        &reg.counter("bgp.speaker.updates_sent"),
+                        &reg.counter("bgp.speaker.routes_rejected_by_policy"),
+                        &reg.counter("bgp.speaker.routes_rejected_by_loop"),
+                        &reg.counter("bgp.speaker.decode_errors"),
+                        &reg.counter("bgp.speaker.refreshes_received")};
+    }();
+    return m;
+  }
+};
+}  // namespace
 
 PeerId BgpSpeaker::add_peer(AsNumber peer_as, PolicyChain import_policy,
                             PolicyChain export_policy) {
@@ -63,6 +90,7 @@ std::vector<Outgoing> BgpSpeaker::handle_bytes(PeerId from, std::span<const std:
     return handle_message(from, decode_message(data), now);
   } catch (const util::DecodeError& e) {
     ++stats_.decode_errors;
+    BgpMetrics::get().decode_errors->inc();
     DBGP_LOG(util::LogLevel::kWarn, kLog) << "decode error from peer " << from << ": "
                                           << e.what();
     // RFC 4271: message error -> NOTIFICATION + close.
@@ -131,6 +159,7 @@ std::vector<Outgoing> BgpSpeaker::handle_message(PeerId from, const Message& m, 
         break;
       }
       ++stats_.refreshes_received;
+      BgpMetrics::get().refreshes_received->inc();
       adj_rib_out_.clear_peer(from);
       p.pending.clear();
       send_full_table(from, out, now);
@@ -152,25 +181,30 @@ std::vector<Outgoing> BgpSpeaker::process_update(PeerId from, const UpdateMessag
                                                  double now) {
   std::vector<Outgoing> out;
   ++stats_.updates_received;
+  BgpMetrics::get().updates_received->inc();
   Peer& p = peers_.at(from);
 
   for (const auto& prefix : update.withdrawn) {
     ++stats_.prefixes_processed;
+    BgpMetrics::get().prefixes_processed->inc();
     if (adj_rib_in_.remove(from, prefix)) run_decision(prefix, out, now);
   }
 
   if (!update.attributes) return out;
   for (const auto& prefix : update.nlri) {
     ++stats_.prefixes_processed;
+    BgpMetrics::get().prefixes_processed->inc();
     PathAttributes attrs = *update.attributes;
     // RFC 4271 loop detection: our own AS in the path means discard.
     if (attrs.as_path.contains(config_.asn)) {
       ++stats_.routes_rejected_by_loop;
+      BgpMetrics::get().routes_rejected_by_loop->inc();
       if (adj_rib_in_.remove(from, prefix)) run_decision(prefix, out, now);
       continue;
     }
     if (!p.import_policy.apply(prefix, attrs, config_.asn)) {
       ++stats_.routes_rejected_by_policy;
+      BgpMetrics::get().routes_rejected_by_policy->inc();
       // Policy reject acts as an implicit withdraw of the previous route.
       if (adj_rib_in_.remove(from, prefix)) run_decision(prefix, out, now);
       continue;
@@ -300,6 +334,7 @@ void BgpSpeaker::flush_pending(PeerId to, std::vector<Outgoing>& out, double now
 
 void BgpSpeaker::emit_update(PeerId to, const UpdateMessage& update, std::vector<Outgoing>& out) {
   ++stats_.updates_sent;
+  BgpMetrics::get().updates_sent->inc();
   out.push_back({to, encode_message(Message{update})});
 }
 

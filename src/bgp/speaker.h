@@ -28,7 +28,9 @@ struct Outgoing {
   std::vector<std::uint8_t> bytes;
 };
 
-// Counters exposed for benchmarks and tests.
+// Counters exposed for benchmarks and tests. Each field is mirrored into
+// the process-wide telemetry registry under "bgp.speaker.<field>"
+// (aggregated across speakers).
 struct SpeakerStats {
   std::uint64_t updates_received = 0;
   std::uint64_t prefixes_processed = 0;  // NLRI + withdrawals handled

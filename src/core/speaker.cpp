@@ -1,5 +1,7 @@
 #include "core/speaker.h"
 
+#include "telemetry/metrics.h"
+#include "telemetry/timer.h"
 #include "util/bytes.h"
 #include "util/logging.h"
 
@@ -7,7 +9,42 @@ namespace dbgp::core {
 
 namespace {
 constexpr auto kLog = "dbgp.speaker";
-}
+
+// Registry mirrors of DbgpStats, aggregated across every speaker in the
+// process (the per-speaker struct stays authoritative for tests). Pointers
+// are resolved once; each update is a relaxed atomic add.
+struct SpeakerMetrics {
+  telemetry::Counter* ias_received;
+  telemetry::Counter* ias_sent;
+  telemetry::Counter* withdraws_received;
+  telemetry::Counter* withdraws_sent;
+  telemetry::Counter* dropped_by_global_filter;
+  telemetry::Counter* rejected_by_module;
+  telemetry::Counter* lookup_fetches;
+  telemetry::Counter* lookup_misses;
+  telemetry::Counter* bytes_sent;
+  telemetry::Counter* bytes_received;
+  telemetry::Histogram* frame_seconds;
+
+  static SpeakerMetrics& get() {
+    static SpeakerMetrics m = [] {
+      auto& reg = telemetry::MetricsRegistry::global();
+      return SpeakerMetrics{&reg.counter("dbgp.speaker.ias_received"),
+                            &reg.counter("dbgp.speaker.ias_sent"),
+                            &reg.counter("dbgp.speaker.withdraws_received"),
+                            &reg.counter("dbgp.speaker.withdraws_sent"),
+                            &reg.counter("dbgp.speaker.dropped_by_global_filter"),
+                            &reg.counter("dbgp.speaker.rejected_by_module"),
+                            &reg.counter("dbgp.speaker.lookup_fetches"),
+                            &reg.counter("dbgp.speaker.lookup_misses"),
+                            &reg.counter("dbgp.speaker.bytes_sent"),
+                            &reg.counter("dbgp.speaker.bytes_received"),
+                            &reg.histogram("dbgp.speaker.frame_seconds")};
+    }();
+    return m;
+  }
+};
+}  // namespace
 
 DbgpSpeaker::DbgpSpeaker(DbgpConfig config, LookupService* lookup)
     : config_(std::move(config)),
@@ -89,7 +126,9 @@ std::vector<std::uint8_t> DbgpSpeaker::encode_notice(const net::Prefix& prefix) 
 
 std::vector<DbgpOutgoing> DbgpSpeaker::handle_frame(bgp::PeerId from,
                                                     std::span<const std::uint8_t> bytes) {
+  telemetry::ScopedTimer frame_timer(SpeakerMetrics::get().frame_seconds);
   stats_.bytes_received += bytes.size();
+  SpeakerMetrics::get().bytes_received->inc(bytes.size());
   util::ByteReader r(bytes);
   const auto type = static_cast<FrameType>(r.get_u8());
   switch (type) {
@@ -99,6 +138,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::handle_frame(bgp::PeerId from,
       const std::uint32_t addr = r.get_u32();
       const std::uint8_t len = r.get_u8();
       ++stats_.withdraws_received;
+      SpeakerMetrics::get().withdraws_received->inc();
       return remove_route(from, net::Prefix(net::Ipv4Address(addr), len));
     }
     case FrameType::kNotice: {
@@ -106,8 +146,10 @@ std::vector<DbgpOutgoing> DbgpSpeaker::handle_frame(bgp::PeerId from,
       const std::uint8_t len = r.get_u8();
       const net::Prefix prefix(net::Ipv4Address(addr), len);
       ++stats_.lookup_fetches;
+      SpeakerMetrics::get().lookup_fetches->inc();
       if (lookup_ == nullptr) {
         ++stats_.lookup_misses;
+        SpeakerMetrics::get().lookup_misses->inc();
         return {};
       }
       const auto key =
@@ -115,6 +157,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::handle_frame(bgp::PeerId from,
       auto stored = lookup_->get(key);
       if (!stored) {
         ++stats_.lookup_misses;
+        SpeakerMetrics::get().lookup_misses->inc();
         DBGP_LOG(util::LogLevel::kWarn, kLog)
             << "AS" << config_.asn << ": notice for " << prefix.to_string()
             << " but lookup service has no IA under " << key;
@@ -134,6 +177,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::handle_ia(bgp::PeerId from,
 std::vector<DbgpOutgoing> DbgpSpeaker::ingest(bgp::PeerId from, ia::IntegratedAdvertisement ia) {
   std::vector<DbgpOutgoing> out;
   ++stats_.ias_received;
+  SpeakerMetrics::get().ias_received->inc();
 
   // Stage 1: global import filters.
   FilterContext ctx;
@@ -144,6 +188,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::ingest(bgp::PeerId from, ia::IntegratedAd
   ctx.ingress = true;
   if (!import_filters_.apply(ia, ctx)) {
     ++stats_.dropped_by_global_filter;
+    SpeakerMetrics::get().dropped_by_global_filter->inc();
     // A dropped IA acts as an implicit withdraw of the prior route.
     if (ia_db_.find(from, ia.destination) != nullptr) {
       return remove_route(from, ia.destination);
@@ -161,7 +206,10 @@ std::vector<DbgpOutgoing> DbgpSpeaker::ingest(bgp::PeerId from, ia::IntegratedAd
   route.sequence = ++sequence_;
   if (DecisionModule* active = active_module(prefix)) {
     route.eligible = active->import_filter(route);
-    if (!route.eligible) ++stats_.rejected_by_module;
+    if (!route.eligible) {
+      ++stats_.rejected_by_module;
+      SpeakerMetrics::get().rejected_by_module->inc();
+    }
   }
   ia_db_.upsert(std::move(route));
 
@@ -308,8 +356,10 @@ void DbgpSpeaker::withdraw_from_peer(bgp::PeerId peer, const net::Prefix& prefix
   auto it = adj_out_.find(peer);
   if (it == adj_out_.end() || it->second.erase(prefix) == 0) return;
   ++stats_.withdraws_sent;
+  SpeakerMetrics::get().withdraws_sent->inc();
   auto bytes = encode_withdraw(prefix);
   stats_.bytes_sent += bytes.size();
+  SpeakerMetrics::get().bytes_sent->inc(bytes.size());
   out.push_back({peer, std::move(bytes)});
 }
 
@@ -320,11 +370,13 @@ void DbgpSpeaker::emit(bgp::PeerId peer, const net::Prefix& prefix,
   if (sent == encoded) return;  // delta suppression
   sent = encoded;
   ++stats_.ias_sent;
+  SpeakerMetrics::get().ias_sent->inc();
   if (config_.dissemination == Dissemination::kOutOfBand && lookup_ != nullptr) {
     lookup_->put(LookupService::ia_key(config_.asn, peers_.at(peer).asn, prefix),
                  std::move(encoded));
     auto notice = encode_notice(prefix);
     stats_.bytes_sent += notice.size();
+    SpeakerMetrics::get().bytes_sent->inc(notice.size());
     out.push_back({peer, std::move(notice)});
   } else {
     util::ByteWriter w;
@@ -332,6 +384,7 @@ void DbgpSpeaker::emit(bgp::PeerId peer, const net::Prefix& prefix,
     w.put_bytes(encoded);
     auto frame = w.take();
     stats_.bytes_sent += frame.size();
+    SpeakerMetrics::get().bytes_sent->inc(frame.size());
     out.push_back({peer, std::move(frame)});
   }
 }

@@ -59,6 +59,9 @@ struct DbgpOutgoing {
   std::vector<std::uint8_t> bytes;
 };
 
+// Per-speaker counters. Every field is mirrored into the process-wide
+// telemetry registry under "dbgp.speaker.<field>" (aggregated across
+// speakers); the struct remains the cheap per-instance view.
 struct DbgpStats {
   std::uint64_t ias_received = 0;
   std::uint64_t ias_sent = 0;

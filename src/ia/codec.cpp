@@ -3,6 +3,8 @@
 #include <map>
 
 #include "ia/compress.h"
+#include "telemetry/metrics.h"
+#include "telemetry/timer.h"
 #include "util/bytes.h"
 
 namespace dbgp::ia {
@@ -159,10 +161,34 @@ EncodeResult encode_body(const IntegratedAdvertisement& ia, bool share_blobs) {
   return {w.take(), baseline_bytes, descriptor_bytes, table.shared_savings};
 }
 
+// Codec latency/size histograms, shared by every encode/decode in the
+// process. These bracket exactly the serialization cost the Section 5
+// stress test attributes Beagle's throughput loss to; the registry kill
+// switch reduces each to a branch.
+struct CodecMetrics {
+  telemetry::Histogram* encode_seconds;
+  telemetry::Histogram* decode_seconds;
+  telemetry::Histogram* encode_bytes;
+  telemetry::Histogram* decode_bytes;
+
+  static CodecMetrics& get() {
+    static CodecMetrics m = [] {
+      auto& reg = telemetry::MetricsRegistry::global();
+      auto size_bounds = telemetry::Histogram::exponential_bounds(64.0, 1 << 24, 2.0);
+      return CodecMetrics{&reg.histogram("dbgp.codec.encode_seconds"),
+                          &reg.histogram("dbgp.codec.decode_seconds"),
+                          &reg.histogram("dbgp.codec.encode_bytes", size_bounds),
+                          &reg.histogram("dbgp.codec.decode_bytes", size_bounds)};
+    }();
+    return m;
+  }
+};
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_ia(const IntegratedAdvertisement& ia,
                                     const CodecOptions& options) {
+  telemetry::ScopedTimer timer(CodecMetrics::get().encode_seconds);
   EncodeResult result = encode_body(ia, options.share_blobs);
   ByteWriter out;
   out.put_u8(kVersion);
@@ -172,15 +198,21 @@ std::vector<std::uint8_t> encode_ia(const IntegratedAdvertisement& ia,
       out.put_u8(kFlagCompressed);
       out.put_varint(result.body.size());
       out.put_bytes(compressed);
-      return out.take();
+      auto bytes = out.take();
+      CodecMetrics::get().encode_bytes->record(static_cast<double>(bytes.size()));
+      return bytes;
     }
   }
   out.put_u8(0);
   out.put_bytes(result.body);
-  return out.take();
+  auto bytes = out.take();
+  CodecMetrics::get().encode_bytes->record(static_cast<double>(bytes.size()));
+  return bytes;
 }
 
 IntegratedAdvertisement decode_ia(std::span<const std::uint8_t> data) {
+  telemetry::ScopedTimer timer(CodecMetrics::get().decode_seconds);
+  CodecMetrics::get().decode_bytes->record(static_cast<double>(data.size()));
   ByteReader outer(data);
   const std::uint8_t version = outer.get_u8();
   if (version != kVersion) throw DecodeError("unsupported IA version");

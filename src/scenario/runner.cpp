@@ -41,9 +41,15 @@ std::size_t RunResult::failures() const noexcept {
   return count;
 }
 
+void Runner::enable_tracing() {
+  tracing_ = true;
+  if (net_ != nullptr) net_->set_tracer(&tracer_);
+}
+
 void Runner::build(const Scenario& scenario) {
   scenario_ = scenario;
   net_ = std::make_unique<simnet::DbgpNetwork>(&lookup_);
+  if (tracing_) net_->set_tracer(&tracer_);
 
   // Collect scion paths / pathlets per AS so modules get them at creation.
   std::map<bgp::AsNumber, std::vector<protocols::ScionPath>> scion_by_as;
@@ -136,7 +142,9 @@ RunResult Runner::run() {
   for (const auto& decl : scenario_.originations) {
     net_->originate(decl.asn, decl.prefix);
   }
-  result.events = net_->run_to_convergence();
+  const simnet::RunStats drained = net_->run_to_convergence();
+  result.events = drained.processed;
+  result.converged = !drained.capped;
 
   for (const auto& e : scenario_.expectations) {
     ExpectationResult er;

@@ -11,6 +11,7 @@
 #include "protocols/bgpsec.h"
 #include "scenario/parser.h"
 #include "simnet/network.h"
+#include "telemetry/trace.h"
 
 namespace dbgp::scenario {
 
@@ -22,6 +23,10 @@ struct ExpectationResult {
 
 struct RunResult {
   std::size_t events = 0;
+  // False when the event-queue safety cap fired before the network drained:
+  // the run was truncated and expectation results describe a network that
+  // has NOT converged. Callers must surface this, not treat it as success.
+  bool converged = true;
   std::vector<ExpectationResult> expectations;
   bool all_passed() const noexcept;
   std::size_t failures() const noexcept;
@@ -30,6 +35,12 @@ struct RunResult {
 class Runner {
  public:
   Runner() = default;
+
+  // Records per-hop IA propagation trace events during run(). Call before
+  // build() (tracing starts with the initial table sync); safe to call
+  // after, in which case tracing covers the remaining events.
+  void enable_tracing();
+  const telemetry::PropagationTracer& tracer() const noexcept { return tracer_; }
 
   // Builds the network (throws std::runtime_error on inconsistent
   // scenarios: unknown ASes in links, pathlets at non-pathlet ASes, ...).
@@ -46,6 +57,8 @@ class Runner {
   core::LookupService lookup_;
   protocols::AttestationAuthority authority_;
   std::unique_ptr<simnet::DbgpNetwork> net_;
+  telemetry::PropagationTracer tracer_;
+  bool tracing_ = false;
   // Pathlet stores must outlive the speakers that reference them.
   std::map<bgp::AsNumber, std::unique_ptr<protocols::PathletStore>> pathlet_stores_;
 };

@@ -4,35 +4,47 @@
 
 namespace dbgp::simnet {
 
+EventQueue::EventQueue()
+    : events_processed_(
+          &telemetry::MetricsRegistry::global().counter("simnet.events_processed")),
+      queue_depth_(&telemetry::MetricsRegistry::global().gauge("simnet.queue_depth")) {}
+
 void EventQueue::schedule_at(double at, Handler handler) {
   assert(at >= now_);
   queue_.push({at, next_seq_++, std::move(handler)});
+  queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
 }
 
-std::size_t EventQueue::run(std::size_t max_events) {
-  std::size_t processed = 0;
-  while (!queue_.empty() && processed < max_events) {
+RunStats EventQueue::run(std::size_t max_events) {
+  RunStats stats;
+  while (!queue_.empty() && stats.processed < max_events) {
     // Move out the event before popping so the handler may schedule more.
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = event.at;
     event.handler();
-    ++processed;
+    ++stats.processed;
   }
-  return processed;
+  events_processed_->inc(stats.processed);
+  queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+  stats.capped = !queue_.empty();
+  return stats;
 }
 
-std::size_t EventQueue::run_until(double until, std::size_t max_events) {
-  std::size_t processed = 0;
-  while (!queue_.empty() && processed < max_events && queue_.top().at <= until) {
+RunStats EventQueue::run_until(double until, std::size_t max_events) {
+  RunStats stats;
+  while (!queue_.empty() && stats.processed < max_events && queue_.top().at <= until) {
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = event.at;
     event.handler();
-    ++processed;
+    ++stats.processed;
   }
+  events_processed_->inc(stats.processed);
+  queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+  stats.capped = !queue_.empty() && queue_.top().at <= until;
   if (now_ < until) now_ = until;
-  return processed;
+  return stats;
 }
 
 }  // namespace dbgp::simnet

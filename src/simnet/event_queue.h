@@ -11,11 +11,28 @@
 #include <queue>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace dbgp::simnet {
+
+// Outcome of a run()/run_until() drain. `capped` distinguishes "the queue
+// drained" (the control plane converged) from "the max_events safety cap
+// fired with work still pending" — callers that treat a truncated run as
+// convergence silently report wrong results, so the flag is explicit. The
+// size_t conversion preserves the historical "number of events processed"
+// return for arithmetic and comparisons.
+struct RunStats {
+  std::size_t processed = 0;
+  bool capped = false;
+
+  operator std::size_t() const noexcept { return processed; }
+};
 
 class EventQueue {
  public:
   using Handler = std::function<void()>;
+
+  EventQueue();
 
   double now() const noexcept { return now_; }
   bool empty() const noexcept { return queue_.empty(); }
@@ -26,11 +43,11 @@ class EventQueue {
   // Schedules after a delay from now.
   void schedule_in(double delay, Handler handler) { schedule_at(now_ + delay, std::move(handler)); }
 
-  // Runs events until the queue drains or `max_events` fire; returns the
-  // number of events processed.
-  std::size_t run(std::size_t max_events = 10'000'000);
+  // Runs events until the queue drains or `max_events` fire; the result
+  // carries the event count and whether the cap cut the run short.
+  RunStats run(std::size_t max_events = 10'000'000);
   // Runs events with timestamps <= `until`.
-  std::size_t run_until(double until, std::size_t max_events = 10'000'000);
+  RunStats run_until(double until, std::size_t max_events = 10'000'000);
 
  private:
   struct Event {
@@ -48,6 +65,9 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  // Shared registry metrics (aggregated across all queues in the process).
+  telemetry::Counter* events_processed_;
+  telemetry::Gauge* queue_depth_;
 };
 
 }  // namespace dbgp::simnet

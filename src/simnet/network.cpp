@@ -2,13 +2,32 @@
 
 #include <stdexcept>
 
+#include "ia/codec.h"
+#include "ia/ids.h"
+#include "util/bytes.h"
 #include "util/logging.h"
 
 namespace dbgp::simnet {
 
 namespace {
 constexpr auto kLog = "simnet.network";
-}
+
+struct NetworkMetrics {
+  telemetry::Counter* frames_delivered;
+  telemetry::Counter* bytes_delivered;
+  telemetry::Gauge* messages_in_flight;
+
+  static NetworkMetrics& get() {
+    static NetworkMetrics m = [] {
+      auto& reg = telemetry::MetricsRegistry::global();
+      return NetworkMetrics{&reg.counter("simnet.frames_delivered"),
+                            &reg.counter("simnet.bytes_delivered"),
+                            &reg.gauge("simnet.messages_in_flight")};
+    }();
+    return m;
+  }
+};
+}  // namespace
 
 core::DbgpSpeaker& DbgpNetwork::add_as(core::DbgpConfig config) {
   const bgp::AsNumber asn = config.asn;
@@ -86,6 +105,7 @@ void DbgpNetwork::dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgo
     const auto& adj = node.adjacencies.at(msg.peer);
     if (!adj.up) continue;
     const bgp::AsNumber to = adj.neighbor;
+    NetworkMetrics::get().messages_in_flight->add(1);
     // Capture by value: the frame must survive until delivery.
     events_.schedule_in(adj.latency, [this, origin_asn, to, bytes = std::move(msg.bytes)]() {
       deliver(origin_asn, to, bytes);
@@ -93,12 +113,69 @@ void DbgpNetwork::dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgo
   }
 }
 
+// Reconstructs the per-hop trace record from the wire frame. Announce frames
+// are decoded a second time here (only when a tracer is attached) so the
+// trace can report the carried protocols and the IA payload size.
+void DbgpNetwork::trace_delivery(bgp::AsNumber from, bgp::AsNumber to,
+                                 const std::vector<std::uint8_t>& bytes) {
+  telemetry::TraceEvent event;
+  event.time = events_.now();
+  event.from_as = from;
+  event.to_as = to;
+  event.frame_bytes = bytes.size();
+  event.frame_type = "unknown";
+  try {
+    util::ByteReader r(bytes);
+    const auto type = static_cast<core::FrameType>(r.get_u8());
+    switch (type) {
+      case core::FrameType::kAnnounce: {
+        event.frame_type = "announce";
+        event.ia_bytes = r.remaining();
+        const auto ia = ia::decode_ia(r.get_bytes(r.remaining()));
+        const net::Prefix prefix = ia.destination;
+        event.prefix = prefix.to_string();
+        for (const auto p : ia.protocols_on_path()) {
+          event.protocols.push_back(std::string(ia::default_registry().name(p)));
+        }
+        // "Understood" means the receiver can consume the advertisement's
+        // custom control information: it runs a module for its active
+        // protocol on this prefix AND the IA carries a descriptor for that
+        // protocol. Everything else is D-BGP pass-through.
+        const auto& receiver = *nodes_.at(to).speaker;
+        const ia::ProtocolId active = receiver.active_protocol_for(prefix);
+        bool carries_active = false;
+        for (const auto& d : ia.path_descriptors) carries_active |= d.protocol == active;
+        for (const auto& d : ia.island_descriptors) {
+          carries_active |= d.protocol == active;
+        }
+        event.understood = receiver.module(active) != nullptr && carries_active;
+        break;
+      }
+      case core::FrameType::kWithdraw:
+      case core::FrameType::kNotice: {
+        event.frame_type = type == core::FrameType::kWithdraw ? "withdraw" : "notice";
+        const std::uint32_t addr = r.get_u32();
+        const std::uint8_t len = r.get_u8();
+        event.prefix = net::Prefix(net::Ipv4Address(addr), len).to_string();
+        break;
+      }
+    }
+  } catch (const util::DecodeError&) {
+    // Malformed frames still appear in the trace, as "unknown".
+  }
+  tracer_->record(std::move(event));
+}
+
 void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to,
                           std::vector<std::uint8_t> bytes) {
+  NetworkMetrics::get().messages_in_flight->add(-1);
   auto it = nodes_.find(to);
   if (it == nodes_.end()) return;
   const bgp::PeerId peer = peer_id(to, from);
   if (peer == bgp::kInvalidPeer || !it->second.adjacencies[peer].up) return;
+  NetworkMetrics::get().frames_delivered->inc();
+  NetworkMetrics::get().bytes_delivered->inc(bytes.size());
+  if (tracer_ != nullptr) trace_delivery(from, to, bytes);
   try {
     dispatch(to, it->second.speaker->handle_frame(peer, bytes));
   } catch (const util::DecodeError& e) {
@@ -107,7 +184,7 @@ void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to,
   }
 }
 
-std::size_t DbgpNetwork::run_to_convergence(std::size_t max_events) {
+RunStats DbgpNetwork::run_to_convergence(std::size_t max_events) {
   return events_.run(max_events);
 }
 

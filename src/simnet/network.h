@@ -14,6 +14,7 @@
 #include "core/lookup_service.h"
 #include "core/speaker.h"
 #include "simnet/event_queue.h"
+#include "telemetry/trace.h"
 
 namespace dbgp::simnet {
 
@@ -41,9 +42,15 @@ class DbgpNetwork {
   // Tears down the adjacency between two ASes (session failure).
   void disconnect(bgp::AsNumber a, bgp::AsNumber b);
 
-  // Drains the event queue; returns the number of events processed. The
-  // control plane has converged when this returns.
-  std::size_t run_to_convergence(std::size_t max_events = 10'000'000);
+  // Drains the event queue. The control plane has converged when the result
+  // is not capped; a capped result means the max_events safety valve fired
+  // with frames still in flight.
+  RunStats run_to_convergence(std::size_t max_events = 10'000'000);
+
+  // Attaches an IA propagation tracer: every delivered frame is recorded as
+  // a per-hop TraceEvent (announce frames are additionally decoded for the
+  // carried protocols, at a cost — leave unset on hot benchmark paths).
+  void set_tracer(telemetry::PropagationTracer* tracer) noexcept { tracer_ = tracer; }
 
   EventQueue& events() noexcept { return events_; }
   core::LookupService* lookup() noexcept { return lookup_; }
@@ -68,11 +75,14 @@ class DbgpNetwork {
 
   void deliver(bgp::AsNumber from, bgp::AsNumber to, std::vector<std::uint8_t> bytes);
   void dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgoing> outgoing);
+  void trace_delivery(bgp::AsNumber from, bgp::AsNumber to,
+                      const std::vector<std::uint8_t>& bytes);
 
   EventQueue events_;
   core::LookupService* lookup_;
   double default_latency_;
   std::map<bgp::AsNumber, Node> nodes_;
+  telemetry::PropagationTracer* tracer_ = nullptr;
 };
 
 }  // namespace dbgp::simnet

@@ -1,0 +1,39 @@
+// JSON views of telemetry state: metrics snapshots and propagation traces.
+//
+// Export shapes (consumed by tools/bench_report and by the BENCH_*.json
+// trajectory; keep stable):
+//
+//   metrics:  { "counters":   { "<name>": <value>, ... },
+//               "gauges":     { "<name>": {"value":v,"high_water":h}, ... },
+//               "histograms": { "<name>": {"count","sum","min","max","mean",
+//                                          "p50","p95","p99",
+//                                          "buckets":[{"le":b,"count":n},...,
+//                                                     {"le":"inf","count":n}]}}}
+//
+//   trace:    { "events": [ {"time","from_as","to_as","frame","prefix",
+//                            "frame_bytes","ia_bytes","protocols":[...],
+//                            "understood"}, ... ],
+//               "dropped": n }
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/json.h"
+
+namespace dbgp::telemetry {
+
+util::json::Value to_json(const MetricsSnapshot& snapshot);
+util::json::Value to_json(const PropagationTracer& tracer);
+
+// Reconstructs the numeric content of a snapshot from its JSON form (the
+// inverse of to_json up to double precision); throws std::runtime_error on
+// shape mismatch. Used by round-trip tests and external analysis tools.
+MetricsSnapshot snapshot_from_json(const util::json::Value& value);
+
+// Serializes and writes to `path` (pretty-printed); throws on IO failure.
+void write_metrics_json(const std::string& path, const MetricsSnapshot& snapshot);
+void write_trace_json(const std::string& path, const PropagationTracer& tracer);
+
+}  // namespace dbgp::telemetry

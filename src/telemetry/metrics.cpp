@@ -1,0 +1,242 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace dbgp::telemetry {
+
+namespace internal {
+std::atomic<bool> g_enabled{true};
+}  // namespace internal
+
+void set_enabled(bool on) noexcept {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Honors DBGP_TELEMETRY=0/off once, at first global-registry access.
+void apply_env_override() {
+  const char* env = std::getenv("DBGP_TELEMETRY");
+  if (env == nullptr) return;
+  const std::string v(env);
+  if (v == "0" || v == "off" || v == "false") set_enabled(false);
+}
+
+}  // namespace
+
+// -- Histogram ----------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_latency_bounds();
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::record(double v) noexcept {
+  if (!enabled()) return;
+  const std::uint64_t prior = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  if (prior == 0) {
+    // First sample seeds min/max; racing recorders correct it below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_min_double(min_, v);
+  atomic_max_double(max_, v);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = std::max(1.0, (p / 100.0) * static_cast<double>(n));
+  const double lo_clamp = min();
+  const double hi_clamp = max();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double lower = std::max(i == 0 ? lo_clamp : bounds_[i - 1], lo_clamp);
+      const double upper = std::min(i == bounds_.size() ? hi_clamp : bounds_[i], hi_clamp);
+      const double frac =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return std::clamp(lower + frac * (upper - lower), lo_clamp, hi_clamp);
+    }
+    cumulative += in_bucket;
+  }
+  return hi_clamp;
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> Histogram::exponential_bounds(double lo, double hi, double factor) {
+  std::vector<double> bounds;
+  for (double b = lo; b < hi * factor; b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> Histogram::default_latency_bounds() {
+  // 100 ns .. ~13 s doubling: 28 buckets, covering sub-microsecond codec
+  // operations through multi-second convergence runs.
+  return exponential_bounds(1e-7, 10.0, 2.0);
+}
+
+// -- Snapshot lookups ---------------------------------------------------------
+
+namespace {
+template <typename T>
+const T* find_by_name(const std::vector<T>& items, std::string_view name) noexcept {
+  for (const auto& item : items) {
+    if (item.name == name) return &item;
+  }
+  return nullptr;
+}
+}  // namespace
+
+const CounterSnapshot* MetricsSnapshot::find_counter(std::string_view name) const noexcept {
+  return find_by_name(counters, name);
+}
+const GaugeSnapshot* MetricsSnapshot::find_gauge(std::string_view name) const noexcept {
+  return find_by_name(gauges, name);
+}
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    std::string_view name) const noexcept {
+  return find_by_name(histograms, name);
+}
+
+// -- Registry -----------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = [] {
+    apply_env_override();
+    return new MetricsRegistry();  // leaked: metrics outlive static teardown
+  }();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name),
+                           std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name),
+                         std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<Histogram>(new Histogram(
+                                             std::string(name), std::move(bounds))))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value(), g->high_water()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    hs.mean = h->mean();
+    hs.p50 = h->percentile(50.0);
+    hs.p95 = h->percentile(95.0);
+    hs.p99 = h->percentile(99.0);
+    hs.bounds = h->bounds();
+    hs.buckets = h->bucket_counts();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace dbgp::telemetry

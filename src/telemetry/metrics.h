@@ -1,0 +1,207 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms.
+//
+// The paper's evaluation is built on measurement (the Section 5 stress test,
+// Tables 2-3 overhead accounting, Figures 9-10 benefit curves); this registry
+// is the substrate every layer records into. Design goals, in order:
+//
+//   1. Hot-path cheapness: metric objects are looked up once (by name, under
+//      a mutex) and then updated through plain relaxed atomics — an `inc()`
+//      is one atomic add plus one relaxed flag load. Codec and decision hot
+//      paths pay nanoseconds, and a registry-wide kill switch
+//      (`set_enabled(false)`) reduces every update to a load + branch.
+//   2. Stable references: metrics are never destroyed or moved once created,
+//      so callers may cache `Counter*` across the process lifetime.
+//   3. Determinism-friendliness: snapshots are sorted by name so exported
+//      JSON is byte-stable for identical runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbgp::telemetry {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+// Global kill switch. Disabled metrics cost one relaxed load + branch per
+// update; timers additionally skip their clock reads. Defaults to on, unless
+// the environment variable DBGP_TELEMETRY is "0" or "off" at first registry
+// access (used by the bench overhead comparison).
+inline bool enabled() noexcept {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+// Monotonic event count (messages processed, bytes moved, drops, ...).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Instantaneous level (queue depth, messages in flight) with a high-water
+// mark, the statistic the convergence analysis actually wants.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+    raise_high_water(v);
+  }
+  void add(std::int64_t delta) noexcept {
+    if (!enabled()) return;
+    const std::int64_t v = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    raise_high_water(v);
+  }
+  std::int64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  std::int64_t high_water() const noexcept {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    high_water_.store(0, std::memory_order_relaxed);
+  }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void raise_high_water(std::int64_t v) noexcept {
+    std::int64_t hw = high_water_.load(std::memory_order_relaxed);
+    while (v > hw &&
+           !high_water_.compare_exchange_weak(hw, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> high_water_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts samples <= bounds[i] (and greater
+// than bounds[i-1]); one implicit overflow bucket catches the rest. Bounds
+// are fixed at creation so recording is a binary search plus a relaxed add —
+// no allocation, no locks.
+class Histogram {
+ public:
+  void record(double v) noexcept;
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  // Smallest / largest recorded sample; 0.0 when empty.
+  double min() const noexcept;
+  double max() const noexcept;
+  double mean() const noexcept;
+  // Percentile estimate (p in [0,100]) by linear interpolation inside the
+  // owning bucket, clamped to the observed [min, max]. Returns 0.0 when
+  // empty — histograms, like util::percentile, never invoke UB on no data.
+  double percentile(double p) const noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  // Per-bucket counts; size is bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+  const std::string& name() const noexcept { return name_; }
+
+  // Exponentially spaced bounds from `lo` to >= `hi` (factor > 1), the
+  // layout used for latency (seconds) and size (bytes) histograms.
+  static std::vector<double> exponential_bounds(double lo, double hi, double factor);
+  // Default layout for latency histograms: 100 ns .. ~13 s, factor 2.
+  static std::vector<double> default_latency_bounds();
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+
+  std::string name_;
+  std::vector<double> bounds_;  // strictly increasing upper bounds
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// -- Snapshots ---------------------------------------------------------------
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t high_water = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1, last = overflow
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;      // sorted by name
+  std::vector<GaugeSnapshot> gauges;          // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+
+  const CounterSnapshot* find_counter(std::string_view name) const noexcept;
+  const GaugeSnapshot* find_gauge(std::string_view name) const noexcept;
+  const HistogramSnapshot* find_histogram(std::string_view name) const noexcept;
+};
+
+// -- Registry ----------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every subsystem records into.
+  static MetricsRegistry& global();
+
+  // Returns the metric with `name`, creating it on first use. References
+  // remain valid for the registry's lifetime. A histogram's bounds are fixed
+  // by the first call; later calls ignore `bounds`.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+  // Zeroes every metric (metrics themselves persist; cached pointers stay
+  // valid). Tests and benches call this to isolate runs.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace dbgp::telemetry

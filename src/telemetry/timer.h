@@ -1,0 +1,53 @@
+// Scoped timers that record durations into registry histograms.
+//
+// Two clock domains, matching the two ways the repo measures:
+//   - ScopedTimer: wall clock (std::chrono::steady_clock), for benchmarks
+//     and real-host latency. When telemetry is disabled the constructor
+//     skips the clock read entirely, so a disabled run pays only a branch.
+//   - SimTimer: explicit sim-time stamps supplied by the caller (the
+//     discrete-event queue's `now()`), so deterministic tests get
+//     bit-reproducible histograms independent of host speed.
+#pragma once
+
+#include <chrono>
+
+#include "telemetry/metrics.h"
+
+namespace dbgp::telemetry {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) noexcept
+      : hist_(enabled() ? hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->record(std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Sim-time interval recorder: construct with the start time, call stop()
+// with the end time. A SimTimer never reads a host clock.
+class SimTimer {
+ public:
+  SimTimer(Histogram* hist, double start_time) noexcept
+      : hist_(hist), start_(start_time) {}
+  void stop(double end_time) noexcept {
+    if (hist_ != nullptr && end_time >= start_) hist_->record(end_time - start_);
+    hist_ = nullptr;  // idempotent
+  }
+
+ private:
+  Histogram* hist_;
+  double start_;
+};
+
+}  // namespace dbgp::telemetry

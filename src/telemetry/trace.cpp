@@ -1,0 +1,35 @@
+#include "telemetry/trace.h"
+
+namespace dbgp::telemetry {
+
+void PropagationTracer::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= limit_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> PropagationTracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t PropagationTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t PropagationTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void PropagationTracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace dbgp::telemetry

@@ -1,0 +1,58 @@
+// IA propagation tracing: per-hop records of advertisements crossing the
+// simulated network.
+//
+// Each event captures what the paper's Section 6.1 deployment figures reason
+// about hop by hop: when (sim time) an advertisement crossed which AS-level
+// link, how large the IA was on the wire, which protocols' control
+// information it carried, and whether the receiving AS actually understands
+// any of it (runs a module for the active protocol) or merely passes the
+// descriptors through — the D-BGP pass-through behavior that lets critical
+// fixes cross gulfs.
+//
+// The tracer is intentionally dumb storage: simnet fills it in (it knows the
+// hop, the sim clock, and the decoded frame); the JSON exporter drains it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dbgp::telemetry {
+
+struct TraceEvent {
+  double time = 0.0;            // sim seconds at delivery
+  std::uint32_t from_as = 0;    // sending AS
+  std::uint32_t to_as = 0;      // receiving AS
+  std::string frame_type;       // "announce" | "withdraw" | "notice" | "unknown"
+  std::string prefix;           // destination prefix, dotted/len text
+  std::size_t frame_bytes = 0;  // full frame size on the wire
+  std::size_t ia_bytes = 0;     // encoded IA payload (announce frames only)
+  std::vector<std::string> protocols;  // protocols carried on the IA's path
+  bool understood = false;  // receiver's active protocol is among `protocols`
+};
+
+class PropagationTracer {
+ public:
+  explicit PropagationTracer(std::size_t limit = kDefaultLimit) : limit_(limit) {}
+
+  // Appends an event; beyond the limit events are counted but dropped, so a
+  // runaway scenario cannot exhaust memory.
+  void record(TraceEvent event);
+
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  std::size_t dropped() const;
+  void clear();
+
+  static constexpr std::size_t kDefaultLimit = 1'000'000;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::size_t limit_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace dbgp::telemetry

@@ -28,6 +28,7 @@ Summary summarize(const std::vector<double>& samples) noexcept {
 }
 
 double percentile(std::vector<double> samples, double p) noexcept {
+  if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
   if (samples.size() == 1) return samples[0];
   const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);

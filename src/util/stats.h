@@ -22,7 +22,9 @@ struct Summary {
 // Computes summary statistics; returns a zeroed Summary for empty input.
 Summary summarize(const std::vector<double>& samples) noexcept;
 
-// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+// Linear-interpolated percentile, p in [0, 100]. Returns 0.0 for empty
+// input (matching summarize's zeroed Summary) rather than reading past the
+// end of the sample vector.
 double percentile(std::vector<double> samples, double p) noexcept;
 
 }  // namespace dbgp::util

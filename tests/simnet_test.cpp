@@ -60,6 +60,36 @@ TEST(EventQueue, MaxEventsGuard) {
   EXPECT_EQ(q.run(100), 100u);
 }
 
+TEST(EventQueue, RunReportsDrainedVsCapped) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule_at(i, [] {});
+  const RunStats drained = q.run(100);
+  EXPECT_EQ(drained.processed, 5u);
+  EXPECT_FALSE(drained.capped);
+
+  std::function<void()> loop = [&] { q.schedule_in(1.0, loop); };
+  q.schedule_at(q.now(), loop);
+  const RunStats capped = q.run(10);
+  EXPECT_EQ(capped.processed, 10u);
+  EXPECT_TRUE(capped.capped);
+}
+
+TEST(EventQueue, RunUntilReportsCappedOnlyWithinDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(5.0, [&] { ++fired; });
+  // Work remains, but it is beyond the deadline: not capped.
+  const RunStats stats = q.run_until(2.0, 100);
+  EXPECT_EQ(stats.processed, 1u);
+  EXPECT_FALSE(stats.capped);
+
+  std::function<void()> loop = [&] { q.schedule_in(0.1, loop); };
+  q.schedule_at(q.now(), loop);
+  const RunStats capped = q.run_until(100.0, 5);
+  EXPECT_TRUE(capped.capped);
+}
+
 core::DbgpConfig bgp_as(bgp::AsNumber asn) {
   core::DbgpConfig config;
   config.asn = asn;

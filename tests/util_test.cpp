@@ -230,6 +230,13 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
 }
 
+TEST(Stats, PercentileEmptyInput) {
+  // Regression: used to index into the empty vector.
+  EXPECT_DOUBLE_EQ(percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 100), 0.0);
+}
+
 // -- Flags ------------------------------------------------------------------------
 
 TEST(Flags, ParsesAllForms) {

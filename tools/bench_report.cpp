@@ -1,0 +1,100 @@
+// bench_report — pretty-print one or more BENCH_*.json files.
+//
+//   bench_report <file.json> [more.json ...]
+//
+// Shows the per-benchmark throughput table, the headline latency
+// percentiles, and the busiest telemetry counters from the embedded
+// registry snapshot. Exits 2 on unreadable/malformed input.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using dbgp::util::json::Value;
+
+std::string format_rate(double v) {
+  char buf[64];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f G/s", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f M/s", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2f k/s", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f /s", v);
+  }
+  return buf;
+}
+
+void report(const std::string& path) {
+  const Value root = dbgp::util::json::parse_file(path);
+  std::printf("== %s (bench: %s) ==\n", path.c_str(),
+              root.string_or("bench", "?").c_str());
+
+  const Value* benches = root.find("benchmarks");
+  if (benches != nullptr && benches->is_array()) {
+    std::printf("  %-44s %12s %14s %14s\n", "benchmark", "iterations", "time/op",
+                "throughput");
+    for (const auto& b : benches->as_array()) {
+      const double per_op = b.number_or("time_per_op_s", 0.0);
+      std::printf("  %-44s %12.0f %11.3f us %14s\n",
+                  b.string_or("name", "?").c_str(), b.number_or("iterations", 0.0),
+                  per_op * 1e6, format_rate(b.number_or("ops_per_sec", 0.0)).c_str());
+    }
+  }
+
+  std::printf("\n  peak throughput: %s\n",
+              format_rate(root.number_or("ops_per_sec", 0.0)).c_str());
+  std::printf("  latency (%s): p50 %.3f us, p95 %.3f us, p99 %.3f us\n",
+              root.string_or("latency_source", "?").c_str(),
+              root.number_or("p50_us", 0.0), root.number_or("p95_us", 0.0),
+              root.number_or("p99_us", 0.0));
+
+  const Value* metrics = root.find("metrics");
+  const Value* counters = metrics != nullptr ? metrics->find("counters") : nullptr;
+  if (counters != nullptr && counters->is_object() && !counters->as_object().empty()) {
+    std::vector<std::pair<std::string, double>> rows;
+    for (const auto& [name, value] : counters->as_object()) {
+      if (value.is_number() && value.as_double() > 0.0) {
+        rows.emplace_back(name, value.as_double());
+      }
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (!rows.empty()) {
+      std::printf("\n  top telemetry counters:\n");
+      const std::size_t shown = std::min<std::size_t>(rows.size(), 8);
+      for (std::size_t i = 0; i < shown; ++i) {
+        std::printf("    %-44s %16.0f\n", rows[i].first.c_str(), rows[i].second);
+      }
+      if (rows.size() > shown) {
+        std::printf("    ... %zu more non-zero counters\n", rows.size() - shown);
+      }
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_report <BENCH_*.json> [more.json ...]\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    try {
+      report(argv[i]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s: %s\n", argv[i], e.what());
+      rc = 2;
+    }
+  }
+  return rc;
+}

@@ -1,33 +1,48 @@
 // dbgp_run — run a D-BGP scenario file and report routes and expectations.
 //
 //   dbgp_run <scenario-file> [--tables] [--quiet]
+//            [--metrics <file>] [--trace <file>]
 //
-// Exits 0 when every `expect` in the scenario holds, 1 otherwise. See
-// scenarios/*.dbgp for examples and src/scenario/parser.h for the format.
+// --metrics writes a JSON snapshot of the process-wide telemetry registry
+// (speaker counters, codec latency histograms, simnet gauges) after the run;
+// --trace additionally records every per-hop IA delivery and writes the
+// propagation trace as JSON.
+//
+// Exits 0 when the network converged and every `expect` in the scenario
+// holds, 1 otherwise. See scenarios/*.dbgp for examples and
+// src/scenario/parser.h for the format.
 #include <cstdio>
 #include <exception>
 
 #include "scenario/parser.h"
 #include "scenario/runner.h"
+#include "telemetry/json_export.h"
+#include "telemetry/metrics.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
   dbgp::util::Flags flags;
   std::string error;
   if (!flags.parse(argc, argv, error) || flags.positional().size() != 1) {
-    std::fprintf(stderr, "usage: dbgp_run <scenario-file> [--tables] [--quiet]\n");
+    std::fprintf(stderr,
+                 "usage: dbgp_run <scenario-file> [--tables] [--quiet]\n"
+                 "                [--metrics <file>] [--trace <file>]\n");
     return 2;
   }
   const bool quiet = flags.get_bool("quiet", false);
+  const std::string metrics_path = flags.get_string("metrics", "");
+  const std::string trace_path = flags.get_string("trace", "");
 
   try {
     const auto scenario = dbgp::scenario::load_scenario(flags.positional()[0]);
     dbgp::scenario::Runner runner;
+    if (!trace_path.empty()) runner.enable_tracing();
     runner.build(scenario);
     const auto result = runner.run();
 
     if (!quiet) {
-      std::printf("converged after %zu events; %zu ASes, %zu originations\n",
+      std::printf("%s after %zu events; %zu ASes, %zu originations\n",
+                  result.converged ? "converged" : "NOT CONVERGED (event cap hit)",
                   result.events, scenario.ases.size(), scenario.originations.size());
       if (flags.get_bool("tables", false)) {
         std::printf("\n%s", runner.dump_tables().c_str());
@@ -45,7 +60,25 @@ int main(int argc, char** argv) {
                   result.expectations.size() - result.failures(),
                   result.expectations.size());
     }
-    return result.all_passed() ? 0 : 1;
+    if (!result.converged) {
+      std::fprintf(stderr,
+                   "warning: event cap reached before the control plane drained; "
+                   "results above describe a truncated run\n");
+    }
+
+    if (!metrics_path.empty()) {
+      dbgp::telemetry::write_metrics_json(
+          metrics_path, dbgp::telemetry::MetricsRegistry::global().snapshot());
+      if (!quiet) std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      dbgp::telemetry::write_trace_json(trace_path, runner.tracer());
+      if (!quiet) {
+        std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                    runner.tracer().size());
+      }
+    }
+    return result.all_passed() && result.converged ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
