@@ -1,5 +1,7 @@
 #include "bgp/speaker.h"
 
+#include <set>
+
 #include "telemetry/metrics.h"
 #include "util/logging.h"
 
@@ -18,6 +20,7 @@ struct BgpMetrics {
   telemetry::Counter* routes_rejected_by_loop;
   telemetry::Counter* decode_errors;
   telemetry::Counter* refreshes_received;
+  telemetry::Histogram* batch_size;
 
   static BgpMetrics& get() {
     static BgpMetrics m = [] {
@@ -28,7 +31,10 @@ struct BgpMetrics {
                         &reg.counter("bgp.speaker.routes_rejected_by_policy"),
                         &reg.counter("bgp.speaker.routes_rejected_by_loop"),
                         &reg.counter("bgp.speaker.decode_errors"),
-                        &reg.counter("bgp.speaker.refreshes_received")};
+                        &reg.counter("bgp.speaker.refreshes_received"),
+                        &reg.histogram(
+                            "bgp.speaker.batch_size",
+                            telemetry::Histogram::exponential_bounds(1.0, 4096.0, 2.0))};
     }();
     return m;
   }
@@ -177,47 +183,103 @@ std::vector<Outgoing> BgpSpeaker::request_refresh(PeerId peer, double /*now*/) {
   return out;
 }
 
+bool BgpSpeaker::stage_withdraw(PeerId from, const net::Prefix& prefix) {
+  ++stats_.prefixes_processed;
+  BgpMetrics::get().prefixes_processed->inc();
+  return adj_rib_in_.remove(from, prefix);
+}
+
+bool BgpSpeaker::stage_nlri(PeerId from, const net::Prefix& prefix,
+                            const PathAttributes& update_attrs) {
+  ++stats_.prefixes_processed;
+  BgpMetrics::get().prefixes_processed->inc();
+  Peer& p = peers_.at(from);
+  PathAttributes attrs = update_attrs;
+  // RFC 4271 loop detection: our own AS in the path means discard.
+  if (attrs.as_path.contains(config_.asn)) {
+    ++stats_.routes_rejected_by_loop;
+    BgpMetrics::get().routes_rejected_by_loop->inc();
+    return adj_rib_in_.remove(from, prefix);
+  }
+  if (!p.import_policy.apply(prefix, attrs, config_.asn)) {
+    ++stats_.routes_rejected_by_policy;
+    BgpMetrics::get().routes_rejected_by_policy->inc();
+    // Policy reject acts as an implicit withdraw of the previous route.
+    return adj_rib_in_.remove(from, prefix);
+  }
+  Route route;
+  route.prefix = prefix;
+  route.attrs = std::move(attrs);
+  route.from_peer = from;
+  route.neighbor_as = p.asn;
+  route.sequence = ++sequence_;
+  adj_rib_in_.upsert(std::move(route));
+  return true;
+}
+
 std::vector<Outgoing> BgpSpeaker::process_update(PeerId from, const UpdateMessage& update,
                                                  double now) {
   std::vector<Outgoing> out;
   ++stats_.updates_received;
   BgpMetrics::get().updates_received->inc();
-  Peer& p = peers_.at(from);
 
   for (const auto& prefix : update.withdrawn) {
-    ++stats_.prefixes_processed;
-    BgpMetrics::get().prefixes_processed->inc();
-    if (adj_rib_in_.remove(from, prefix)) run_decision(prefix, out, now);
+    if (stage_withdraw(from, prefix)) run_decision(prefix, out, now);
   }
 
   if (!update.attributes) return out;
   for (const auto& prefix : update.nlri) {
-    ++stats_.prefixes_processed;
-    BgpMetrics::get().prefixes_processed->inc();
-    PathAttributes attrs = *update.attributes;
-    // RFC 4271 loop detection: our own AS in the path means discard.
-    if (attrs.as_path.contains(config_.asn)) {
-      ++stats_.routes_rejected_by_loop;
-      BgpMetrics::get().routes_rejected_by_loop->inc();
-      if (adj_rib_in_.remove(from, prefix)) run_decision(prefix, out, now);
-      continue;
-    }
-    if (!p.import_policy.apply(prefix, attrs, config_.asn)) {
-      ++stats_.routes_rejected_by_policy;
-      BgpMetrics::get().routes_rejected_by_policy->inc();
-      // Policy reject acts as an implicit withdraw of the previous route.
-      if (adj_rib_in_.remove(from, prefix)) run_decision(prefix, out, now);
-      continue;
-    }
-    Route route;
-    route.prefix = prefix;
-    route.attrs = std::move(attrs);
-    route.from_peer = from;
-    route.neighbor_as = p.asn;
-    route.sequence = ++sequence_;
-    adj_rib_in_.upsert(std::move(route));
-    run_decision(prefix, out, now);
+    if (stage_nlri(from, prefix, *update.attributes)) run_decision(prefix, out, now);
   }
+  return out;
+}
+
+std::vector<Outgoing> BgpSpeaker::handle_batch(std::span<const Incoming> batch, double now) {
+  std::vector<Outgoing> out;
+  std::vector<net::Prefix> touched;  // first-touch order
+  std::set<net::Prefix> seen;
+  const auto touch = [&](const net::Prefix& prefix) {
+    if (seen.insert(prefix).second) touched.push_back(prefix);
+  };
+
+  for (const auto& msg : batch) {
+    Message m;
+    try {
+      m = decode_message(msg.bytes);
+    } catch (const util::DecodeError&) {
+      // Cold path: re-run the regular handler for its full error protocol.
+      auto more = handle_bytes(msg.peer, msg.bytes, now);
+      out.insert(out.end(), std::make_move_iterator(more.begin()),
+                 std::make_move_iterator(more.end()));
+      continue;
+    }
+    if (message_type(m) != MessageType::kUpdate) {
+      // Session control changes routing state synchronously; handle inline.
+      auto more = handle_message(msg.peer, m, now);
+      out.insert(out.end(), std::make_move_iterator(more.begin()),
+                 std::make_move_iterator(more.end()));
+      continue;
+    }
+    Peer& p = peers_.at(msg.peer);
+    if (p.fsm.handle(FsmEvent::kUpdateReceived, now) == FsmAction::kSendNotificationAndDrop) {
+      out.push_back(
+          {msg.peer, encode_message(Message{NotificationMessage{5 /* FSM error */, 0, {}}})});
+      continue;
+    }
+    ++stats_.updates_received;
+    BgpMetrics::get().updates_received->inc();
+    const auto& update = std::get<UpdateMessage>(m);
+    for (const auto& prefix : update.withdrawn) {
+      if (stage_withdraw(msg.peer, prefix)) touch(prefix);
+    }
+    if (!update.attributes) continue;
+    for (const auto& prefix : update.nlri) {
+      if (stage_nlri(msg.peer, prefix, *update.attributes)) touch(prefix);
+    }
+  }
+
+  BgpMetrics::get().batch_size->record(static_cast<double>(touched.size()));
+  for (const auto& prefix : touched) run_decision(prefix, out, now);
   return out;
 }
 

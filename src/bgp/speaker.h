@@ -81,6 +81,19 @@ class BgpSpeaker {
   // Same, for an already-decoded message (used by tests and by D-BGP).
   std::vector<Outgoing> handle_message(PeerId from, const Message& m, double now);
 
+  // One raw message within a batch (bytes are only borrowed for the call).
+  struct Incoming {
+    PeerId peer = kInvalidPeer;
+    std::span<const std::uint8_t> bytes;
+  };
+  // Batched input: UPDATEs across the whole batch are staged into the
+  // Adj-RIB-In first, then the decision process runs once per touched prefix
+  // (first-touch order) — a burst of k updates for one prefix costs one
+  // decision instead of k. Non-UPDATE messages (session control) are
+  // processed immediately, in order. Same single-threaded determinism as
+  // feeding handle_bytes one message at a time.
+  std::vector<Outgoing> handle_batch(std::span<const Incoming> batch, double now);
+
   // Drives timers; may emit KEEPALIVEs, flush MRAI-paced deltas, or tear
   // down expired sessions.
   std::vector<Outgoing> tick(double now);
@@ -111,6 +124,11 @@ class BgpSpeaker {
   };
 
   std::vector<Outgoing> process_update(PeerId from, const UpdateMessage& update, double now);
+  // Stages one withdrawal / one NLRI into the Adj-RIB-In; returns true when
+  // the decision process must run for the prefix. Shared by the immediate
+  // (process_update) and batched (handle_batch) paths.
+  bool stage_withdraw(PeerId from, const net::Prefix& prefix);
+  bool stage_nlri(PeerId from, const net::Prefix& prefix, const PathAttributes& update_attrs);
   // Re-runs the decision process for `prefix`; queues deltas to all peers.
   void run_decision(const net::Prefix& prefix, std::vector<Outgoing>& out, double now);
   // Builds export attributes (policy, next-hop-self, AS prepend) for a peer;

@@ -20,8 +20,7 @@ GlobalFilterFn loop_detection_filter() {
 GlobalFilterFn strip_protocol_filter(ia::ProtocolId protocol) {
   return [protocol](ia::IntegratedAdvertisement& ia, const FilterContext&) {
     ia.remove_path_descriptors(protocol);
-    std::erase_if(ia.island_descriptors,
-                  [protocol](const ia::IslandDescriptor& d) { return d.protocol == protocol; });
+    ia.remove_island_descriptors(protocol);
     return true;
   };
 }

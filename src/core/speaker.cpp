@@ -25,6 +25,7 @@ struct SpeakerMetrics {
   telemetry::Counter* bytes_sent;
   telemetry::Counter* bytes_received;
   telemetry::Histogram* frame_seconds;
+  telemetry::Histogram* batch_size;
 
   static SpeakerMetrics& get() {
     static SpeakerMetrics m = [] {
@@ -39,7 +40,10 @@ struct SpeakerMetrics {
                             &reg.counter("dbgp.speaker.lookup_misses"),
                             &reg.counter("dbgp.speaker.bytes_sent"),
                             &reg.counter("dbgp.speaker.bytes_received"),
-                            &reg.histogram("dbgp.speaker.frame_seconds")};
+                            &reg.histogram("dbgp.speaker.frame_seconds"),
+                            &reg.histogram(
+                                "dbgp.speaker.batch_size",
+                                telemetry::Histogram::exponential_bounds(1.0, 4096.0, 2.0))};
     }();
     return m;
   }
@@ -127,19 +131,62 @@ std::vector<std::uint8_t> DbgpSpeaker::encode_notice(const net::Prefix& prefix) 
 std::vector<DbgpOutgoing> DbgpSpeaker::handle_frame(bgp::PeerId from,
                                                     std::span<const std::uint8_t> bytes) {
   telemetry::ScopedTimer frame_timer(SpeakerMetrics::get().frame_seconds);
+  std::vector<DbgpOutgoing> out;
+  if (auto prefix = stage_frame(from, bytes)) run_decision(*prefix, out);
+  return out;
+}
+
+std::vector<DbgpOutgoing> DbgpSpeaker::handle_ia(bgp::PeerId from,
+                                                 ia::IntegratedAdvertisement ia) {
+  std::vector<DbgpOutgoing> out;
+  if (auto prefix = stage_ia(from, std::move(ia))) run_decision(*prefix, out);
+  return out;
+}
+
+std::vector<DbgpOutgoing> DbgpSpeaker::enqueue_frame(bgp::PeerId from,
+                                                     std::span<const std::uint8_t> bytes) {
+  telemetry::ScopedTimer frame_timer(SpeakerMetrics::get().frame_seconds);
+  std::vector<DbgpOutgoing> out;
+  if (auto prefix = stage_frame(from, bytes)) {
+    if (batch_seen_.insert(*prefix).second) batch_.push_back(*prefix);
+  }
+  if (config_.max_batch > 0 && batch_.size() >= config_.max_batch) flush_into(out);
+  return out;
+}
+
+std::vector<DbgpOutgoing> DbgpSpeaker::flush() {
+  std::vector<DbgpOutgoing> out;
+  flush_into(out);
+  return out;
+}
+
+void DbgpSpeaker::flush_into(std::vector<DbgpOutgoing>& out) {
+  if (batch_.empty()) return;
+  SpeakerMetrics::get().batch_size->record(static_cast<double>(batch_.size()));
+  // First-touch order: decisions run in the order prefixes first appeared,
+  // so a batched run remains deterministic for a given arrival sequence.
+  for (const auto& prefix : batch_) run_decision(prefix, out);
+  batch_.clear();
+  batch_seen_.clear();
+}
+
+std::optional<net::Prefix> DbgpSpeaker::stage_frame(bgp::PeerId from,
+                                                    std::span<const std::uint8_t> bytes) {
   stats_.bytes_received += bytes.size();
   SpeakerMetrics::get().bytes_received->inc(bytes.size());
   util::ByteReader r(bytes);
   const auto type = static_cast<FrameType>(r.get_u8());
   switch (type) {
     case FrameType::kAnnounce:
-      return handle_ia(from, ia::decode_ia(r.get_bytes(r.remaining())));
+      return stage_ia(from, ia::decode_ia(r.get_bytes(r.remaining())));
     case FrameType::kWithdraw: {
       const std::uint32_t addr = r.get_u32();
       const std::uint8_t len = r.get_u8();
       ++stats_.withdraws_received;
       SpeakerMetrics::get().withdraws_received->inc();
-      return remove_route(from, net::Prefix(net::Ipv4Address(addr), len));
+      const net::Prefix prefix(net::Ipv4Address(addr), len);
+      if (ia_db_.remove(from, prefix)) return prefix;
+      return std::nullopt;
     }
     case FrameType::kNotice: {
       const std::uint32_t addr = r.get_u32();
@@ -150,7 +197,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::handle_frame(bgp::PeerId from,
       if (lookup_ == nullptr) {
         ++stats_.lookup_misses;
         SpeakerMetrics::get().lookup_misses->inc();
-        return {};
+        return std::nullopt;
       }
       const auto key =
           LookupService::ia_key(peers_.at(from).asn, config_.asn, prefix);
@@ -161,21 +208,16 @@ std::vector<DbgpOutgoing> DbgpSpeaker::handle_frame(bgp::PeerId from,
         DBGP_LOG(util::LogLevel::kWarn, kLog)
             << "AS" << config_.asn << ": notice for " << prefix.to_string()
             << " but lookup service has no IA under " << key;
-        return {};
+        return std::nullopt;
       }
-      return handle_ia(from, ia::decode_ia(*stored));
+      return stage_ia(from, ia::decode_ia(*stored));
     }
   }
   throw util::DecodeError("unknown D-BGP frame type");
 }
 
-std::vector<DbgpOutgoing> DbgpSpeaker::handle_ia(bgp::PeerId from,
+std::optional<net::Prefix> DbgpSpeaker::stage_ia(bgp::PeerId from,
                                                  ia::IntegratedAdvertisement ia) {
-  return ingest(from, std::move(ia));
-}
-
-std::vector<DbgpOutgoing> DbgpSpeaker::ingest(bgp::PeerId from, ia::IntegratedAdvertisement ia) {
-  std::vector<DbgpOutgoing> out;
   ++stats_.ias_received;
   SpeakerMetrics::get().ias_received->inc();
 
@@ -190,10 +232,8 @@ std::vector<DbgpOutgoing> DbgpSpeaker::ingest(bgp::PeerId from, ia::IntegratedAd
     ++stats_.dropped_by_global_filter;
     SpeakerMetrics::get().dropped_by_global_filter->inc();
     // A dropped IA acts as an implicit withdraw of the prior route.
-    if (ia_db_.find(from, ia.destination) != nullptr) {
-      return remove_route(from, ia.destination);
-    }
-    return out;
+    if (ia_db_.remove(from, ia.destination)) return ia.destination;
+    return std::nullopt;
   }
 
   const net::Prefix prefix = ia.destination;
@@ -212,16 +252,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::ingest(bgp::PeerId from, ia::IntegratedAd
     }
   }
   ia_db_.upsert(std::move(route));
-
-  // Stages 4-7.
-  run_decision(prefix, out);
-  return out;
-}
-
-std::vector<DbgpOutgoing> DbgpSpeaker::remove_route(bgp::PeerId from, const net::Prefix& prefix) {
-  std::vector<DbgpOutgoing> out;
-  if (ia_db_.remove(from, prefix)) run_decision(prefix, out);
-  return out;
+  return prefix;
 }
 
 std::vector<DbgpOutgoing> DbgpSpeaker::peer_down(bgp::PeerId peer) {
@@ -259,12 +290,12 @@ void DbgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoi
     IaRoute origin;
     origin.ia = factory_.create_origin(prefix, active, octx);
     origin.from_peer = bgp::kInvalidPeer;
-    const bool changed =
-        selected_.count(prefix) == 0 || !(selected_[prefix].ia == origin.ia) ||
-        selected_[prefix].from_peer != bgp::kInvalidPeer;
-    selected_[prefix] = origin;
-    if (changed && active != nullptr) active->on_best_changed(prefix, &selected_[prefix]);
-    advertise_to_peers(prefix, selected_[prefix], /*origin=*/true, out);
+    auto [slot, inserted] = selected_.try_emplace(prefix);
+    const bool changed = inserted || !(slot->second.ia == origin.ia) ||
+                         slot->second.from_peer != bgp::kInvalidPeer;
+    slot->second = std::move(origin);
+    if (changed && active != nullptr) active->on_best_changed(prefix, &slot->second);
+    advertise_to_peers(prefix, slot->second, /*origin=*/true, out);
     return;
   }
 
@@ -299,16 +330,16 @@ void DbgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoi
     return;
   }
 
-  auto it = selected_.find(prefix);
-  const bool changed = it == selected_.end() || it->second.from_peer != best->from_peer ||
-                       !(it->second.ia == best->ia);
+  auto [slot, inserted] = selected_.try_emplace(prefix);
+  const bool changed = inserted || slot->second.from_peer != best->from_peer ||
+                       !(slot->second.ia == best->ia);
   if (changed) {
-    selected_[prefix] = *best;
-    if (active != nullptr) active->on_best_changed(prefix, &selected_[prefix]);
+    slot->second = *best;
+    if (active != nullptr) active->on_best_changed(prefix, &slot->second);
   }
   // Even when the selection is unchanged we re-advertise through delta
   // suppression, which is a no-op if nothing differs.
-  advertise_to_peers(prefix, selected_[prefix], /*origin=*/false, out);
+  advertise_to_peers(prefix, slot->second, /*origin=*/false, out);
 }
 
 void DbgpSpeaker::advertise_to_peers(const net::Prefix& prefix, const IaRoute& best, bool origin,
@@ -357,34 +388,36 @@ void DbgpSpeaker::withdraw_from_peer(bgp::PeerId peer, const net::Prefix& prefix
   if (it == adj_out_.end() || it->second.erase(prefix) == 0) return;
   ++stats_.withdraws_sent;
   SpeakerMetrics::get().withdraws_sent->inc();
-  auto bytes = encode_withdraw(prefix);
-  stats_.bytes_sent += bytes.size();
-  SpeakerMetrics::get().bytes_sent->inc(bytes.size());
-  out.push_back({peer, std::move(bytes)});
+  auto frame = ia::make_shared_frame(encode_withdraw(prefix));
+  stats_.bytes_sent += frame->size();
+  SpeakerMetrics::get().bytes_sent->inc(frame->size());
+  out.push_back({peer, std::move(frame)});
 }
 
 void DbgpSpeaker::emit(bgp::PeerId peer, const net::Prefix& prefix,
                        const ia::IntegratedAdvertisement& ia, std::vector<DbgpOutgoing>& out) {
-  auto encoded = ia::encode_ia(ia, config_.codec);
+  // Encode-once fan-out: identical per-peer advertisements (the common case
+  // — export rewrites are the exception) resolve to one shared frame.
+  ia::SharedFrame frame = frame_cache_.get_or_encode(ia, config_.codec, [&] {
+    return encode_announce(ia, config_.codec);
+  });
   auto& sent = adj_out_[peer][prefix];
-  if (sent == encoded) return;  // delta suppression
-  sent = encoded;
+  // Delta suppression; same cache entry => pointer equality, no byte walk.
+  if (sent != nullptr && (sent == frame || *sent == *frame)) return;
+  sent = frame;
   ++stats_.ias_sent;
   SpeakerMetrics::get().ias_sent->inc();
   if (config_.dissemination == Dissemination::kOutOfBand && lookup_ != nullptr) {
+    // The lookup service stores the bare IA bytes (no frame-type byte).
     lookup_->put(LookupService::ia_key(config_.asn, peers_.at(peer).asn, prefix),
-                 std::move(encoded));
-    auto notice = encode_notice(prefix);
-    stats_.bytes_sent += notice.size();
-    SpeakerMetrics::get().bytes_sent->inc(notice.size());
+                 std::vector<std::uint8_t>(frame->begin() + 1, frame->end()));
+    auto notice = ia::make_shared_frame(encode_notice(prefix));
+    stats_.bytes_sent += notice->size();
+    SpeakerMetrics::get().bytes_sent->inc(notice->size());
     out.push_back({peer, std::move(notice)});
   } else {
-    util::ByteWriter w;
-    w.put_u8(static_cast<std::uint8_t>(FrameType::kAnnounce));
-    w.put_bytes(encoded);
-    auto frame = w.take();
-    stats_.bytes_sent += frame.size();
-    SpeakerMetrics::get().bytes_sent->inc(frame.size());
+    stats_.bytes_sent += frame->size();
+    SpeakerMetrics::get().bytes_sent->inc(frame->size());
     out.push_back({peer, std::move(frame)});
   }
 }

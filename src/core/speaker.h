@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -29,6 +31,7 @@
 #include "core/ia_factory.h"
 #include "core/lookup_service.h"
 #include "ia/codec.h"
+#include "ia/frame_cache.h"
 #include "net/prefix_trie.h"
 
 namespace dbgp::core {
@@ -46,6 +49,9 @@ struct DbgpConfig {
   std::vector<bgp::AsNumber> island_members;
   Dissemination dissemination = Dissemination::kInBand;
   ia::CodecOptions codec;
+  // Bound on the number of distinct prefixes staged via enqueue_frame before
+  // an automatic flush (0 = unbounded, flush only on flush()).
+  std::size_t max_batch = 256;
   // Default active protocol (per-prefix overrides via set_active_protocol).
   ia::ProtocolId active_protocol = ia::kProtoBgp;
 };
@@ -54,9 +60,14 @@ struct DbgpConfig {
 // host network; Beagle similarly reused Quagga's session layer).
 enum class FrameType : std::uint8_t { kAnnounce = 1, kWithdraw = 2, kNotice = 3 };
 
+// An outgoing frame. The bytes are refcounted so one encoded advertisement
+// fans out to N peers (and through the simulated network's in-flight
+// messages) without N copies — see ia::FrameCache.
 struct DbgpOutgoing {
   bgp::PeerId peer = bgp::kInvalidPeer;
-  std::vector<std::uint8_t> bytes;
+  ia::SharedFrame frame;
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return *frame; }
 };
 
 // Per-speaker counters. Every field is mirrored into the process-wide
@@ -99,6 +110,19 @@ class DbgpSpeaker {
   std::vector<DbgpOutgoing> handle_frame(bgp::PeerId from, std::span<const std::uint8_t> bytes);
   // Convenience: feed a decoded IA as if announced by `from`.
   std::vector<DbgpOutgoing> handle_ia(bgp::PeerId from, ia::IntegratedAdvertisement ia);
+
+  // -- Batched input --------------------------------------------------------
+  // Stages a frame (filters + IA DB update) without running the decision
+  // process; prefixes accumulate in first-touch order until flush(). The
+  // returned frames are empty except when the batch reaches config.max_batch
+  // and auto-flushes. A burst of k updates for one prefix then costs one
+  // decision + one encode instead of k.
+  std::vector<DbgpOutgoing> enqueue_frame(bgp::PeerId from,
+                                          std::span<const std::uint8_t> bytes);
+  // Runs the decision process once per staged prefix (in first-touch order)
+  // and returns the resulting frames. Call at quiescence.
+  std::vector<DbgpOutgoing> flush();
+  std::size_t pending_batch() const noexcept { return batch_.size(); }
   std::vector<DbgpOutgoing> peer_down(bgp::PeerId peer);
   // Sends the current table to a (newly established) peer.
   std::vector<DbgpOutgoing> sync_peer(bgp::PeerId peer);
@@ -127,8 +151,13 @@ class DbgpSpeaker {
     bool same_island = false;
   };
 
-  std::vector<DbgpOutgoing> ingest(bgp::PeerId from, ia::IntegratedAdvertisement ia);
-  std::vector<DbgpOutgoing> remove_route(bgp::PeerId from, const net::Prefix& prefix);
+  // Pipeline stages 1-3 for one frame/IA (filters, extractor, IA DB).
+  // Returns the prefix whose decision process must run, if any; shared by
+  // the immediate (handle_frame) and batched (enqueue_frame) paths.
+  std::optional<net::Prefix> stage_frame(bgp::PeerId from,
+                                         std::span<const std::uint8_t> bytes);
+  std::optional<net::Prefix> stage_ia(bgp::PeerId from, ia::IntegratedAdvertisement ia);
+  void flush_into(std::vector<DbgpOutgoing>& out);
   // Decision + dissemination for one prefix (stages 4-7).
   void run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoing>& out);
   void advertise_to_peers(const net::Prefix& prefix, const IaRoute& best, bool origin,
@@ -151,8 +180,16 @@ class DbgpSpeaker {
   // Selected best per prefix (the Loc-RIB analog).
   std::map<net::Prefix, IaRoute> selected_;
   std::map<net::Prefix, bool> originated_;  // value unused; set semantics
-  // Last advertisement bytes per (peer, prefix) for delta suppression.
-  std::map<bgp::PeerId, std::map<net::Prefix, std::vector<std::uint8_t>>> adj_out_;
+  // Last advertisement frame per (peer, prefix) for delta suppression.
+  // Frames are shared with the cache, so the pointer-equality fast path
+  // suppresses a re-advertisement without touching the bytes.
+  std::map<bgp::PeerId, std::map<net::Prefix, ia::SharedFrame>> adj_out_;
+  // Encode-once fan-out across peers (and across decisions that re-select
+  // the same route).
+  ia::FrameCache frame_cache_;
+  // Prefixes staged by enqueue_frame, awaiting one decision each.
+  std::vector<net::Prefix> batch_;       // first-touch order
+  std::set<net::Prefix> batch_seen_;     // dedup for batch_
   std::uint64_t sequence_ = 0;
   DbgpStats stats_;
 };

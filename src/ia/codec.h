@@ -37,11 +37,25 @@ struct CodecOptions {
   bool share_blobs = true;
 };
 
+// When the IA still carries its opaque descriptor tail (lazy decode, no
+// descriptor edits since) and `options.share_blobs` is on, the blob-table +
+// descriptor section is spliced from the original wire bytes instead of
+// being re-encoded — the pass-through fast path (CF-R1).
 std::vector<std::uint8_t> encode_ia(const IntegratedAdvertisement& ia,
                                     const CodecOptions& options = {});
 
-// Throws util::DecodeError on malformed input.
+// Throws util::DecodeError on malformed input. The returned IA's descriptor
+// section is *lazy*: it is validated structurally but only parsed into
+// PathDescriptor/IslandDescriptor vectors on first access (see
+// IntegratedAdvertisement::materialize_descriptors).
 IntegratedAdvertisement decode_ia(std::span<const std::uint8_t> data);
+
+// Parses an encoded blob-table + descriptor section (the opaque tail kept
+// by lazy decode) into descriptor vectors. Used by lazy materialization;
+// throws util::DecodeError on malformed input.
+void decode_descriptor_tail(std::span<const std::uint8_t> tail,
+                            std::vector<PathDescriptor>& path_out,
+                            std::vector<IslandDescriptor>& island_out);
 
 // Size accounting for the overhead analysis (E3).
 struct IaSizeBreakdown {

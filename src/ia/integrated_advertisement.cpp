@@ -3,11 +3,53 @@
 #include <algorithm>
 #include <sstream>
 
+#include "ia/codec.h"
+
 namespace dbgp::ia {
+
+// -- Lazy descriptor section -------------------------------------------------
+
+void IntegratedAdvertisement::attach_opaque_tail(OpaqueTail tail) {
+  tail_ = std::move(tail);
+  tail_dirty_ = false;
+  materialized_ = !tail_.valid();
+  path_descriptors_.clear();
+  island_descriptors_.clear();
+}
+
+void IntegratedAdvertisement::materialize_descriptors() const {
+  if (materialized_) return;
+  decode_descriptor_tail(tail_.bytes(), path_descriptors_, island_descriptors_);
+  materialized_ = true;
+}
+
+const std::vector<PathDescriptor>& IntegratedAdvertisement::path_descriptors() const {
+  materialize_descriptors();
+  return path_descriptors_;
+}
+
+const std::vector<IslandDescriptor>& IntegratedAdvertisement::island_descriptors() const {
+  materialize_descriptors();
+  return island_descriptors_;
+}
+
+std::vector<PathDescriptor>& IntegratedAdvertisement::mutable_path_descriptors() {
+  materialize_descriptors();
+  tail_dirty_ = true;
+  return path_descriptors_;
+}
+
+std::vector<IslandDescriptor>& IntegratedAdvertisement::mutable_island_descriptors() {
+  materialize_descriptors();
+  tail_dirty_ = true;
+  return island_descriptors_;
+}
+
+// -- Descriptor accessors ----------------------------------------------------
 
 const PathDescriptor* IntegratedAdvertisement::find_path_descriptor(
     ProtocolId protocol, std::uint16_t key) const noexcept {
-  for (const auto& d : path_descriptors) {
+  for (const auto& d : path_descriptors()) {
     if (d.protocol == protocol && d.key == key) return &d;
   }
   return nullptr;
@@ -15,23 +57,32 @@ const PathDescriptor* IntegratedAdvertisement::find_path_descriptor(
 
 void IntegratedAdvertisement::set_path_descriptor(ProtocolId protocol, std::uint16_t key,
                                                   std::vector<std::uint8_t> value) {
-  for (auto& d : path_descriptors) {
+  auto& descriptors = mutable_path_descriptors();
+  for (auto& d : descriptors) {
     if (d.protocol == protocol && d.key == key) {
       d.value = std::move(value);
       return;
     }
   }
-  path_descriptors.push_back({protocol, key, std::move(value)});
+  descriptors.push_back({protocol, key, std::move(value)});
 }
 
 void IntegratedAdvertisement::remove_path_descriptors(ProtocolId protocol) {
-  std::erase_if(path_descriptors,
+  // Avoid dirtying the tail when there is nothing to remove (common for
+  // strip filters running over pass-through IAs).
+  materialize_descriptors();
+  const bool present = std::any_of(path_descriptors_.begin(), path_descriptors_.end(),
+                                   [protocol](const PathDescriptor& d) {
+                                     return d.protocol == protocol;
+                                   });
+  if (!present) return;
+  std::erase_if(mutable_path_descriptors(),
                 [protocol](const PathDescriptor& d) { return d.protocol == protocol; });
 }
 
 const IslandDescriptor* IntegratedAdvertisement::find_island_descriptor(
     IslandId island, ProtocolId protocol, std::uint16_t key) const noexcept {
-  for (const auto& d : island_descriptors) {
+  for (const auto& d : island_descriptors()) {
     if (d.island == island && d.protocol == protocol && d.key == key) return &d;
   }
   return nullptr;
@@ -40,7 +91,7 @@ const IslandDescriptor* IntegratedAdvertisement::find_island_descriptor(
 std::vector<const IslandDescriptor*> IntegratedAdvertisement::island_descriptors_for(
     ProtocolId protocol) const {
   std::vector<const IslandDescriptor*> out;
-  for (const auto& d : island_descriptors) {
+  for (const auto& d : island_descriptors()) {
     if (d.protocol == protocol) out.push_back(&d);
   }
   return out;
@@ -49,20 +100,41 @@ std::vector<const IslandDescriptor*> IntegratedAdvertisement::island_descriptors
 void IntegratedAdvertisement::add_island_descriptor(IslandId island, ProtocolId protocol,
                                                     std::uint16_t key,
                                                     std::vector<std::uint8_t> value) {
-  for (auto& d : island_descriptors) {
+  auto& descriptors = mutable_island_descriptors();
+  for (auto& d : descriptors) {
     if (d.island == island && d.protocol == protocol && d.key == key) {
       d.value = std::move(value);
       return;
     }
   }
-  island_descriptors.push_back({island, protocol, key, std::move(value)});
+  descriptors.push_back({island, protocol, key, std::move(value)});
 }
 
 void IntegratedAdvertisement::remove_island_descriptors(IslandId island, ProtocolId protocol) {
-  std::erase_if(island_descriptors, [&](const IslandDescriptor& d) {
+  materialize_descriptors();
+  const bool present =
+      std::any_of(island_descriptors_.begin(), island_descriptors_.end(),
+                  [&](const IslandDescriptor& d) {
+                    return d.island == island && d.protocol == protocol;
+                  });
+  if (!present) return;
+  std::erase_if(mutable_island_descriptors(), [&](const IslandDescriptor& d) {
     return d.island == island && d.protocol == protocol;
   });
 }
+
+void IntegratedAdvertisement::remove_island_descriptors(ProtocolId protocol) {
+  materialize_descriptors();
+  const bool present =
+      std::any_of(island_descriptors_.begin(), island_descriptors_.end(),
+                  [protocol](const IslandDescriptor& d) { return d.protocol == protocol; });
+  if (!present) return;
+  std::erase_if(mutable_island_descriptors(), [protocol](const IslandDescriptor& d) {
+    return d.protocol == protocol;
+  });
+}
+
+// -- Membership --------------------------------------------------------------
 
 const IslandMembership* IntegratedAdvertisement::find_membership(IslandId island) const noexcept {
   for (const auto& m : island_ids) {
@@ -84,12 +156,31 @@ void IntegratedAdvertisement::add_membership(IslandMembership membership) {
 std::set<ProtocolId> IntegratedAdvertisement::protocols_on_path() const {
   std::set<ProtocolId> protocols;
   protocols.insert(kProtoBgp);  // the baseline is always present
-  for (const auto& d : path_descriptors) protocols.insert(d.protocol);
-  for (const auto& d : island_descriptors) protocols.insert(d.protocol);
+  for (const auto& d : path_descriptors()) protocols.insert(d.protocol);
+  for (const auto& d : island_descriptors()) protocols.insert(d.protocol);
   for (const auto& m : island_ids) {
     if (m.protocol != 0) protocols.insert(m.protocol);
   }
   return protocols;
+}
+
+bool IntegratedAdvertisement::operator==(const IntegratedAdvertisement& other) const {
+  if (!(destination == other.destination) || !(path_vector == other.path_vector) ||
+      !(island_ids == other.island_ids) || !(baseline == other.baseline)) {
+    return false;
+  }
+  if (has_opaque_tail() && other.has_opaque_tail()) {
+    if (tail_.arena == other.tail_.arena && tail_.offset == other.tail_.offset) return true;
+    const auto a = tail_.bytes();
+    const auto b = other.tail_.bytes();
+    if (a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin())) return true;
+    // Byte-different tails can still carry identical descriptors (e.g. a
+    // different blob-sharing layout); fall through to structural equality.
+  }
+  materialize_descriptors();
+  other.materialize_descriptors();
+  return path_descriptors_ == other.path_descriptors_ &&
+         island_descriptors_ == other.island_descriptors_;
 }
 
 std::string IntegratedAdvertisement::dump(const ProtocolRegistry& registry) const {
@@ -110,16 +201,16 @@ std::string IntegratedAdvertisement::dump(const ProtocolRegistry& registry) cons
   }
   out << "Shared baseline fields: origin=" << bgp::to_string(baseline.origin)
       << " next-hop=" << baseline.next_hop.to_string() << "\n";
-  if (!path_descriptors.empty()) {
+  if (!path_descriptors().empty()) {
     out << "Path descriptors:\n";
-    for (const auto& d : path_descriptors) {
+    for (const auto& d : path_descriptors()) {
       out << "  " << registry.name(d.protocol) << " key=" << d.key << " (" << d.value.size()
           << " bytes)\n";
     }
   }
-  if (!island_descriptors.empty()) {
+  if (!island_descriptors().empty()) {
     out << "Island descriptors:\n";
-    for (const auto& d : island_descriptors) {
+    for (const auto& d : island_descriptors()) {
       out << "  " << d.island.to_string() << " " << registry.name(d.protocol)
           << " key=" << d.key << " (" << d.value.size() << " bytes)\n";
     }

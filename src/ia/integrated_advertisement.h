@@ -9,11 +9,21 @@
 //     MED, ... — which critical fixes share rather than duplicate),
 //   * path descriptors (per-protocol, whole-path),
 //   * island descriptors (per-island).
+//
+// Descriptors are *lazy*: decode_ia keeps the blob-table + descriptor
+// section of the wire body as an opaque byte range in a refcounted arena and
+// only parses it when a descriptor accessor is first called. A pass-through
+// AS (CF-R1: gulf ASes forward control information they do not understand)
+// never touches descriptors, so it never parses them, and encode_ia splices
+// the original bytes back into the outgoing frame. Copying an IA with an
+// unmaterialized tail copies a shared_ptr, not kilobytes of payload.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,15 +35,35 @@
 
 namespace dbgp::ia {
 
+// The encoded blob-table + descriptor section of a decoded IA body, kept as
+// a view into a refcounted buffer so copies are O(1) and re-encoding a
+// pass-through IA is a memcpy of the original wire bytes.
+struct OpaqueTail {
+  std::shared_ptr<const std::vector<std::uint8_t>> arena;
+  std::size_t offset = 0;  // tail = [offset, arena->size())
+
+  bool valid() const noexcept { return arena != nullptr; }
+  std::span<const std::uint8_t> bytes() const noexcept {
+    if (!arena) return {};
+    return std::span<const std::uint8_t>(arena->data() + offset, arena->size() - offset);
+  }
+};
+
 struct IntegratedAdvertisement {
   net::Prefix destination;
   IaPathVector path_vector;
   std::vector<IslandMembership> island_ids;
   bgp::PathAttributes baseline;  // shared control information (Section 3.2)
-  std::vector<PathDescriptor> path_descriptors;
-  std::vector<IslandDescriptor> island_descriptors;
 
-  // -- Descriptor accessors ----------------------------------------------
+  // -- Descriptor access ----------------------------------------------------
+  // Read access materializes the lazy tail on first use; write access
+  // additionally invalidates it (the in-memory descriptors diverge from the
+  // wire bytes, so encode_ia must rebuild the section).
+  const std::vector<PathDescriptor>& path_descriptors() const;
+  const std::vector<IslandDescriptor>& island_descriptors() const;
+  std::vector<PathDescriptor>& mutable_path_descriptors();
+  std::vector<IslandDescriptor>& mutable_island_descriptors();
+
   const PathDescriptor* find_path_descriptor(ProtocolId protocol,
                                              std::uint16_t key) const noexcept;
   // Replaces an existing (protocol, key) descriptor or appends a new one.
@@ -47,6 +77,19 @@ struct IntegratedAdvertisement {
   void add_island_descriptor(IslandId island, ProtocolId protocol, std::uint16_t key,
                              std::vector<std::uint8_t> value);
   void remove_island_descriptors(IslandId island, ProtocolId protocol);
+  // Removes every island descriptor of `protocol` across all islands.
+  void remove_island_descriptors(ProtocolId protocol);
+
+  // -- Lazy-tail plumbing (used by the codec and the frame cache) ----------
+  // Attaches the un-parsed descriptor section; called by decode_ia.
+  void attach_opaque_tail(OpaqueTail tail);
+  // True while the wire bytes of the descriptor section are still exact:
+  // encode_ia may splice `opaque_tail()` verbatim instead of re-encoding.
+  bool has_opaque_tail() const noexcept { return tail_.valid() && !tail_dirty_; }
+  const OpaqueTail& opaque_tail() const noexcept { return tail_; }
+  bool descriptors_materialized() const noexcept { return materialized_; }
+  // Parses the tail into the descriptor vectors (no-op when materialized).
+  void materialize_descriptors() const;
 
   // -- Membership ----------------------------------------------------------
   const IslandMembership* find_membership(IslandId island) const noexcept;
@@ -59,7 +102,18 @@ struct IntegratedAdvertisement {
   // Human-readable dump resembling Figure 4/7 (used by examples).
   std::string dump(const ProtocolRegistry& registry = default_registry()) const;
 
-  bool operator==(const IntegratedAdvertisement&) const = default;
+  // Equality is content equality: two IAs compare equal regardless of
+  // whether their descriptor sections are materialized. Identical tails
+  // short-circuit to a byte comparison (O(1) when they share an arena).
+  bool operator==(const IntegratedAdvertisement& other) const;
+
+ private:
+  // Descriptor storage; empty until materialized when a tail is attached.
+  mutable std::vector<PathDescriptor> path_descriptors_;
+  mutable std::vector<IslandDescriptor> island_descriptors_;
+  mutable OpaqueTail tail_;
+  mutable bool materialized_ = true;  // no tail => trivially materialized
+  bool tail_dirty_ = false;           // descriptors edited since decode
 };
 
 }  // namespace dbgp::ia

@@ -69,7 +69,7 @@ void LispModule::update_mapping(std::vector<net::Ipv4Address> rlocs) {
 std::optional<LispMapping> LispModule::mapping_for(const ia::IntegratedAdvertisement& ia,
                                                    ia::IslandId island) {
   std::optional<LispMapping> freshest;
-  for (const auto& d : ia.island_descriptors) {
+  for (const auto& d : ia.island_descriptors()) {
     if (!(d.island == island) || d.protocol != ia::kProtoLisp ||
         d.key != ia::keys::kLispMapping) {
       continue;

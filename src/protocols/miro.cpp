@@ -91,7 +91,7 @@ std::optional<MiroGrant> MiroService::handle_purchase(const net::Prefix& dest,
 
 std::vector<MiroClient::Discovery> MiroClient::discover(const ia::IntegratedAdvertisement& ia) {
   std::vector<Discovery> found;
-  for (const auto& d : ia.island_descriptors) {
+  for (const auto& d : ia.island_descriptors()) {
     if (d.protocol != ia::kProtoMiro || d.key != ia::keys::kMiroPortalAddr) continue;
     try {
       found.push_back({d.island, decode_miro_portal(d.value)});

@@ -103,7 +103,7 @@ void ScionModule::annotate_origin(ia::IntegratedAdvertisement& out,
 std::vector<ScionPath> ScionModule::paths_offered(const ia::IntegratedAdvertisement& ia,
                                                   ia::IslandId island) {
   std::vector<ScionPath> out;
-  for (const auto& d : ia.island_descriptors) {
+  for (const auto& d : ia.island_descriptors()) {
     if (!(d.island == island) || d.protocol != ia::kProtoScion ||
         d.key != ia::keys::kScionPaths) {
       continue;

@@ -199,8 +199,8 @@ RunResult Runner::run() {
         }
         const ia::ProtocolId proto = protocol_id(e.protocol);
         bool found = false;
-        for (const auto& d : best->ia.path_descriptors) found |= d.protocol == proto;
-        for (const auto& d : best->ia.island_descriptors) found |= d.protocol == proto;
+        for (const auto& d : best->ia.path_descriptors()) found |= d.protocol == proto;
+        for (const auto& d : best->ia.island_descriptors()) found |= d.protocol == proto;
         er.passed = found;
         if (!er.passed) er.detail = "no descriptor of protocol " + e.protocol;
         break;

@@ -7,7 +7,20 @@ namespace dbgp::simnet {
 EventQueue::EventQueue()
     : events_processed_(
           &telemetry::MetricsRegistry::global().counter("simnet.events_processed")),
+      events_coalesced_(
+          &telemetry::MetricsRegistry::global().counter("simnet.events_coalesced")),
       queue_depth_(&telemetry::MetricsRegistry::global().gauge("simnet.queue_depth")) {}
+
+void EventQueue::schedule_coalesced(std::uint64_t key, double delay, Handler handler) {
+  if (!pending_keys_.insert(key).second) {
+    events_coalesced_->inc();
+    return;
+  }
+  schedule_at(now_ + delay, [this, key, handler = std::move(handler)]() {
+    pending_keys_.erase(key);  // before running: the handler may re-arm
+    handler();
+  });
+}
 
 void EventQueue::schedule_at(double at, Handler handler) {
   assert(at >= now_);

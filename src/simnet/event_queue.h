@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "telemetry/metrics.h"
@@ -43,6 +44,14 @@ class EventQueue {
   // Schedules after a delay from now.
   void schedule_in(double delay, Handler handler) { schedule_at(now_ + delay, std::move(handler)); }
 
+  // Coalescing schedule: a no-op (counted in simnet.events_coalesced) while
+  // an event with the same key is still pending. The key is released just
+  // before the handler runs, so the handler may re-arm itself. Used for
+  // per-node batch-flush events: N frame deliveries at one timestamp fund
+  // one flush, keeping the event order — and thus the simulation —
+  // deterministic.
+  void schedule_coalesced(std::uint64_t key, double delay, Handler handler);
+
   // Runs events until the queue drains or `max_events` fire; the result
   // carries the event count and whether the cap cut the run short.
   RunStats run(std::size_t max_events = 10'000'000);
@@ -65,8 +74,10 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::unordered_set<std::uint64_t> pending_keys_;  // live schedule_coalesced keys
   // Shared registry metrics (aggregated across all queues in the process).
   telemetry::Counter* events_processed_;
+  telemetry::Counter* events_coalesced_;
   telemetry::Gauge* queue_depth_;
 };
 

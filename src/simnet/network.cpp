@@ -106,9 +106,10 @@ void DbgpNetwork::dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgo
     if (!adj.up) continue;
     const bgp::AsNumber to = adj.neighbor;
     NetworkMetrics::get().messages_in_flight->add(1);
-    // Capture by value: the frame must survive until delivery.
-    events_.schedule_in(adj.latency, [this, origin_asn, to, bytes = std::move(msg.bytes)]() {
-      deliver(origin_asn, to, bytes);
+    // The refcounted frame rides along in flight: a fan-out to N neighbors
+    // schedules N events over the same bytes, no copies.
+    events_.schedule_in(adj.latency, [this, origin_asn, to, frame = std::move(msg.frame)]() {
+      deliver(origin_asn, to, *frame);
     });
   }
 }
@@ -144,8 +145,8 @@ void DbgpNetwork::trace_delivery(bgp::AsNumber from, bgp::AsNumber to,
         const auto& receiver = *nodes_.at(to).speaker;
         const ia::ProtocolId active = receiver.active_protocol_for(prefix);
         bool carries_active = false;
-        for (const auto& d : ia.path_descriptors) carries_active |= d.protocol == active;
-        for (const auto& d : ia.island_descriptors) {
+        for (const auto& d : ia.path_descriptors()) carries_active |= d.protocol == active;
+        for (const auto& d : ia.island_descriptors()) {
           carries_active |= d.protocol == active;
         }
         event.understood = receiver.module(active) != nullptr && carries_active;
@@ -167,7 +168,7 @@ void DbgpNetwork::trace_delivery(bgp::AsNumber from, bgp::AsNumber to,
 }
 
 void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to,
-                          std::vector<std::uint8_t> bytes) {
+                          const std::vector<std::uint8_t>& bytes) {
   NetworkMetrics::get().messages_in_flight->add(-1);
   auto it = nodes_.find(to);
   if (it == nodes_.end()) return;
@@ -177,11 +178,24 @@ void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to,
   NetworkMetrics::get().bytes_delivered->inc(bytes.size());
   if (tracer_ != nullptr) trace_delivery(from, to, bytes);
   try {
-    dispatch(to, it->second.speaker->handle_frame(peer, bytes));
+    if (!batch_delivery_) {
+      dispatch(to, it->second.speaker->handle_frame(peer, bytes));
+      return;
+    }
+    // Stage now; decide once per touched prefix when this node's coalesced
+    // flush fires (same timestamp, after every same-time delivery).
+    dispatch(to, it->second.speaker->enqueue_frame(peer, bytes));
+    events_.schedule_coalesced(to, 0.0, [this, to] { flush_node(to); });
   } catch (const util::DecodeError& e) {
     DBGP_LOG(util::LogLevel::kError, kLog)
         << "AS" << to << " failed to decode frame from AS" << from << ": " << e.what();
   }
+}
+
+void DbgpNetwork::flush_node(bgp::AsNumber asn) {
+  auto it = nodes_.find(asn);
+  if (it == nodes_.end()) return;
+  dispatch(asn, it->second.speaker->flush());
 }
 
 RunStats DbgpNetwork::run_to_convergence(std::size_t max_events) {

@@ -52,6 +52,14 @@ class DbgpNetwork {
   // carried protocols, at a cost — leave unset on hot benchmark paths).
   void set_tracer(telemetry::PropagationTracer* tracer) noexcept { tracer_ = tracer; }
 
+  // Opt-in batched delivery: frames arriving at a node are staged into its
+  // speaker (DbgpSpeaker::enqueue_frame) and one coalesced flush event per
+  // (node, timestamp) runs the decision process per touched prefix. Off by
+  // default: immediate per-frame processing, which keeps the deployment
+  // scenarios' traces bit-identical to the pre-batching pipeline.
+  void set_batch_delivery(bool on) noexcept { batch_delivery_ = on; }
+  bool batch_delivery() const noexcept { return batch_delivery_; }
+
   EventQueue& events() noexcept { return events_; }
   core::LookupService* lookup() noexcept { return lookup_; }
   std::vector<bgp::AsNumber> as_numbers() const;
@@ -73,7 +81,9 @@ class DbgpNetwork {
     std::vector<Adjacency> adjacencies;
   };
 
-  void deliver(bgp::AsNumber from, bgp::AsNumber to, std::vector<std::uint8_t> bytes);
+  void deliver(bgp::AsNumber from, bgp::AsNumber to,
+               const std::vector<std::uint8_t>& bytes);
+  void flush_node(bgp::AsNumber asn);
   void dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgoing> outgoing);
   void trace_delivery(bgp::AsNumber from, bgp::AsNumber to,
                       const std::vector<std::uint8_t>& bytes);
@@ -83,6 +93,7 @@ class DbgpNetwork {
   double default_latency_;
   std::map<bgp::AsNumber, Node> nodes_;
   telemetry::PropagationTracer* tracer_ = nullptr;
+  bool batch_delivery_ = false;
 };
 
 }  // namespace dbgp::simnet

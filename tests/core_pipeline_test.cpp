@@ -31,7 +31,7 @@ TEST(DbgpSpeaker, OriginationAnnouncesToAllPeers) {
   speaker.add_peer(300);
   const auto out = speaker.originate(*net::Prefix::parse("10.0.0.0/8"));
   ASSERT_EQ(out.size(), 2u);
-  const auto ia = ia::decode_ia(std::span(out[0].bytes).subspan(1));
+  const auto ia = ia::decode_ia(std::span(out[0].bytes()).subspan(1));
   EXPECT_EQ(ia.destination.to_string(), "10.0.0.0/8");
   EXPECT_TRUE(ia.path_vector.contains_as(100));
 }
@@ -52,7 +52,7 @@ TEST(DbgpSpeaker, PassThroughPreservesUnknownProtocolControlInfo) {
   const auto out = speaker.handle_ia(from, ia);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].peer, 1u);  // toward AS51 only (split horizon on 49)
-  const auto forwarded = ia::decode_ia(std::span(out[0].bytes).subspan(1));
+  const auto forwarded = ia::decode_ia(std::span(out[0].bytes()).subspan(1));
   ASSERT_NE(forwarded.find_path_descriptor(77, 1), nullptr);
   EXPECT_EQ(forwarded.find_path_descriptor(77, 1)->value,
             (std::vector<std::uint8_t>{0xca, 0xfe}));
@@ -97,7 +97,7 @@ TEST(DbgpSpeaker, StripProtocolFilterRemovesDescriptors) {
   ia.set_path_descriptor(78, 1, {2});
   const auto out = speaker.handle_ia(from, ia);
   ASSERT_EQ(out.size(), 1u);
-  const auto forwarded = ia::decode_ia(std::span(out[0].bytes).subspan(1));
+  const auto forwarded = ia::decode_ia(std::span(out[0].bytes()).subspan(1));
   EXPECT_EQ(forwarded.find_path_descriptor(77, 1), nullptr);   // stripped
   EXPECT_NE(forwarded.find_path_descriptor(78, 1), nullptr);   // kept
 }
@@ -116,7 +116,7 @@ TEST(DbgpSpeaker, IslandAbstractionAtEgress) {
   const auto out = speaker.handle_ia(from, make_ia("10.0.0.0/8", {11, 10}));
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].peer, 1u);
-  const auto forwarded = ia::decode_ia(std::span(out[0].bytes).subspan(1));
+  const auto forwarded = ia::decode_ia(std::span(out[0].bytes()).subspan(1));
   // 12, 11, 10 all collapse into one island entry.
   ASSERT_EQ(forwarded.path_vector.elements().size(), 1u);
   EXPECT_EQ(forwarded.path_vector.elements()[0].kind, ia::PathElement::Kind::kIsland);
@@ -135,7 +135,7 @@ TEST(DbgpSpeaker, MembershipStampWithoutAbstraction) {
   speaker.add_peer(99);
   const auto out = speaker.originate(*net::Prefix::parse("10.0.0.0/8"));
   ASSERT_EQ(out.size(), 1u);
-  const auto forwarded = ia::decode_ia(std::span(out[0].bytes).subspan(1));
+  const auto forwarded = ia::decode_ia(std::span(out[0].bytes()).subspan(1));
   const auto* membership = forwarded.find_membership(ia::IslandId::assigned(5));
   ASSERT_NE(membership, nullptr);
   EXPECT_EQ(membership->members, std::vector<bgp::AsNumber>{12});
@@ -154,7 +154,7 @@ TEST(DbgpSpeaker, WithdrawRemovesAndPropagates) {
   const auto out = speaker.handle_frame(from, DbgpSpeaker::encode_withdraw(prefix));
   EXPECT_EQ(speaker.best(prefix), nullptr);
   ASSERT_EQ(out.size(), 1u);  // withdraw propagated to AS51
-  EXPECT_EQ(out[0].bytes[0], static_cast<std::uint8_t>(FrameType::kWithdraw));
+  EXPECT_EQ(out[0].bytes()[0], static_cast<std::uint8_t>(FrameType::kWithdraw));
 }
 
 TEST(DbgpSpeaker, SelectsShorterPathAndSwitchesBack) {
@@ -200,11 +200,11 @@ TEST(DbgpSpeaker, OutOfBandDisseminationUsesLookupService) {
   const auto out = sender.originate(prefix);
   ASSERT_EQ(out.size(), 1u);
   // The frame is a small notice; the IA lives in the lookup service.
-  EXPECT_EQ(out[0].bytes[0], static_cast<std::uint8_t>(FrameType::kNotice));
-  EXPECT_LT(out[0].bytes.size(), 10u);
+  EXPECT_EQ(out[0].bytes()[0], static_cast<std::uint8_t>(FrameType::kNotice));
+  EXPECT_LT(out[0].bytes().size(), 10u);
   EXPECT_EQ(lookup.put_count(), 1u);
 
-  receiver.handle_frame(from_50, out[0].bytes);
+  receiver.handle_frame(from_50, out[0].bytes());
   ASSERT_NE(receiver.best(prefix), nullptr);
   EXPECT_TRUE(receiver.best(prefix)->ia.path_vector.contains_as(50));
   EXPECT_EQ(receiver.stats().lookup_fetches, 1u);

@@ -123,12 +123,12 @@ TEST(IntegratedAdvertisement, PathDescriptorUpsert) {
   IntegratedAdvertisement ia;
   ia.set_path_descriptor(kProtoWiser, 1, {1, 2});
   ia.set_path_descriptor(kProtoWiser, 1, {3});
-  ASSERT_EQ(ia.path_descriptors.size(), 1u);
-  EXPECT_EQ(ia.path_descriptors[0].value, (std::vector<std::uint8_t>{3}));
+  ASSERT_EQ(ia.path_descriptors().size(), 1u);
+  EXPECT_EQ(ia.path_descriptors()[0].value, (std::vector<std::uint8_t>{3}));
   EXPECT_NE(ia.find_path_descriptor(kProtoWiser, 1), nullptr);
   EXPECT_EQ(ia.find_path_descriptor(kProtoWiser, 2), nullptr);
   ia.remove_path_descriptors(kProtoWiser);
-  EXPECT_TRUE(ia.path_descriptors.empty());
+  EXPECT_TRUE(ia.path_descriptors().empty());
 }
 
 TEST(IntegratedAdvertisement, IslandDescriptorLookup) {

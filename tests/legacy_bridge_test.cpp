@@ -92,7 +92,7 @@ TEST(LegacyBridge, MalformedTransitAttrFallsBackToBaseline) {
   ASSERT_EQ(recovered.size(), 1u);
   EXPECT_EQ(bridge.stats().malformed, 1u);
   EXPECT_EQ(bridge.stats().synthesized, 1u);
-  EXPECT_TRUE(recovered[0].path_descriptors.empty());
+  EXPECT_TRUE(recovered[0].path_descriptors().empty());
 }
 
 // End-to-end through REAL legacy speakers: a D-BGP island's IA crosses two

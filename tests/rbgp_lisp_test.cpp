@@ -157,9 +157,9 @@ TEST(Lisp, FreshestMappingWins) {
   const auto island = ia::IslandId::from_as(1);
   LispMapping old_mapping{kPrefix, {net::Ipv4Address(1, 1, 1, 1)}, 1};
   LispMapping new_mapping{kPrefix, {net::Ipv4Address(2, 2, 2, 2)}, 5};
-  ia.island_descriptors.push_back(
+  ia.mutable_island_descriptors().push_back(
       {island, ia::kProtoLisp, ia::keys::kLispMapping, encode_lisp_mapping(old_mapping)});
-  ia.island_descriptors.push_back(
+  ia.mutable_island_descriptors().push_back(
       {island, ia::kProtoLisp, ia::keys::kLispMapping, encode_lisp_mapping(new_mapping)});
   const auto got = LispModule::mapping_for(ia, island);
   ASSERT_TRUE(got.has_value());

@@ -1,0 +1,107 @@
+// bench_compare: regression gate over two BENCH_*.json files.
+//
+//   bench_compare <baseline.json> <candidate.json> [--threshold 0.10]
+//
+// Compares per-benchmark throughput (the "prefixes/s" counter when present,
+// ops_per_sec otherwise) and exits non-zero if any benchmark in the baseline
+// lost more than `threshold` (default 10%) of its throughput, or disappeared
+// from the candidate. Improvements and new benchmarks are reported but never
+// fail the gate, so the committed BENCH file can ratchet forward. Wired up
+// as the `dbgp_bench_check` CMake target.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.h"
+
+namespace {
+
+using dbgp::util::json::Value;
+
+double throughput_of(const Value& bench) {
+  if (const Value* counters = bench.find("counters")) {
+    const double prefixes = counters->number_or("prefixes/s", -1.0);
+    if (prefixes > 0) return prefixes;
+  }
+  return bench.number_or("ops_per_sec", 0.0);
+}
+
+// name -> throughput for every entry of the file's "benchmarks" array.
+std::map<std::string, double> load(const std::string& path) {
+  const Value doc = dbgp::util::json::parse_file(path);
+  const Value* benchmarks = doc.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    throw std::runtime_error(path + ": no \"benchmarks\" array");
+  }
+  std::map<std::string, double> out;
+  for (const Value& bench : benchmarks->as_array()) {
+    const std::string name = bench.string_or("name", "");
+    if (name.empty()) continue;
+    out[name] = throughput_of(bench);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.10;
+  const char* paths[2] = {nullptr, nullptr};
+  int n_paths = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (n_paths < 2) {
+      paths[n_paths++] = argv[i];
+    }
+  }
+  if (n_paths != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <candidate.json> "
+                 "[--threshold 0.10]\n");
+    return 2;
+  }
+
+  std::map<std::string, double> baseline;
+  std::map<std::string, double> candidate;
+  try {
+    baseline = load(paths[0]);
+    candidate = load(paths[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+
+  int regressions = 0;
+  std::printf("%-36s %14s %14s %8s\n", "benchmark", "baseline", "candidate", "delta");
+  for (const auto& [name, base] : baseline) {
+    const auto it = candidate.find(name);
+    if (it == candidate.end()) {
+      std::printf("%-36s %14.1f %14s %8s  MISSING\n", name.c_str(), base, "-", "-");
+      ++regressions;
+      continue;
+    }
+    const double cand = it->second;
+    const double delta = base > 0 ? (cand - base) / base : 0.0;
+    const bool regressed = base > 0 && delta < -threshold;
+    std::printf("%-36s %14.1f %14.1f %+7.1f%%%s\n", name.c_str(), base, cand,
+                delta * 100.0, regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+  }
+  for (const auto& [name, cand] : candidate) {
+    if (baseline.count(name) == 0) {
+      std::printf("%-36s %14s %14.1f %8s  new\n", name.c_str(), "-", cand, "-");
+    }
+  }
+
+  if (regressions > 0) {
+    std::fprintf(stderr, "bench_compare: %d benchmark(s) regressed more than %.0f%%\n",
+                 regressions, threshold * 100.0);
+    return 1;
+  }
+  std::printf("bench_compare: OK (threshold %.0f%%)\n", threshold * 100.0);
+  return 0;
+}
