@@ -61,11 +61,11 @@ Outcome run(bool abstract_island) {
   add_member(10);
   add_member(11);
 
-  net.connect(1, 10);
-  net.connect(10, 2);
-  net.connect(2, 3);
-  net.connect(3, 11);
-  net.connect(11, 4);
+  net.add_link(1, 10);
+  net.add_link(10, 2);
+  net.add_link(2, 3);
+  net.add_link(3, 11);
+  net.add_link(11, 4);
 
   // Everyone originates one prefix.
   const bgp::AsNumber all[] = {1, 2, 3, 4, 10, 11};

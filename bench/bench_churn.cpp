@@ -1,0 +1,162 @@
+// Churn benchmark: convergence under the chaos layer's fault injection.
+//
+// A ring-with-chords topology of plain-BGP speakers converges while a seeded
+// ChaosPolicy flaps links, drops/duplicates/reorders/corrupts frames, and
+// crash/restarts nodes. Phases:
+//   * failfree         — no chaos; the baseline the others are judged against
+//   * flaps            — session churn only
+//   * faults           — frame-level faults only
+//   * full / full_batched — everything, in both delivery modes
+//
+// Every chaotic phase asserts two invariants before reporting:
+//   1. determinism: the same seed re-run produces field-identical RunStats;
+//   2. recovery: after the fault window and repair, every speaker holds a
+//      route to every originated prefix again.
+// Counters record the churn volume and the re-convergence-time tail
+// (reconverge_p95_s) gated by tools/bench_compare.
+#include <cstdio>
+
+#include "bench_json.h"
+#include "protocols/bgp_module.h"
+#include "simnet/chaos.h"
+#include "simnet/network.h"
+#include "telemetry/metrics.h"
+
+using namespace dbgp;
+
+namespace {
+
+constexpr std::size_t kNodes = 24;
+constexpr std::size_t kChord = 5;  // ring + chord to the node 5 ahead
+constexpr std::size_t kOrigins = 4;
+
+net::Prefix origin_prefix(std::size_t i) {
+  return *net::Prefix::parse("10." + std::to_string(i + 1) + ".0.0/16");
+}
+
+simnet::DbgpNetwork build_ring() {
+  simnet::DbgpNetwork net;
+  for (bgp::AsNumber asn = 1; asn <= kNodes; ++asn) {
+    core::DbgpConfig config;
+    config.asn = asn;
+    config.next_hop = net::Ipv4Address(asn);
+    net.add_as(config).add_module(std::make_unique<protocols::BgpModule>());
+  }
+  for (bgp::AsNumber asn = 1; asn <= kNodes; ++asn) {
+    net.add_link(asn, static_cast<bgp::AsNumber>(asn % kNodes + 1));
+    net.add_link(asn, static_cast<bgp::AsNumber>((asn + kChord - 1) % kNodes + 1));
+  }
+  return net;
+}
+
+simnet::RunStats run_once(const simnet::ChaosOptions& chaos, simnet::DeliveryMode mode) {
+  simnet::DbgpNetwork net = build_ring();
+  net.options().delivery = mode;
+  for (std::size_t i = 0; i < kOrigins; ++i) {
+    net.originate(static_cast<bgp::AsNumber>(i * (kNodes / kOrigins) + 1),
+                  origin_prefix(i));
+  }
+  simnet::ChaosPolicy policy(chaos);
+  policy.inject(net);
+  simnet::RunStats stats = net.run_to_convergence();
+  if (stats.capped) {
+    std::fprintf(stderr, "bench_churn: event cap hit before convergence\n");
+    std::exit(1);
+  }
+  // Recovery invariant: the repaired network holds fail-free routes again.
+  for (bgp::AsNumber asn = 1; asn <= kNodes; ++asn) {
+    for (std::size_t i = 0; i < kOrigins; ++i) {
+      if (net.speaker(asn).best(origin_prefix(i)) == nullptr) {
+        std::fprintf(stderr, "bench_churn: AS%u lost %s after repair\n", asn,
+                     origin_prefix(i).to_string().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  return stats;
+}
+
+bool same_stats(const simnet::RunStats& a, const simnet::RunStats& b) {
+  return a.processed == b.processed && a.link_flaps == b.link_flaps &&
+         a.crashes == b.crashes && a.restarts == b.restarts &&
+         a.frames_lost == b.frames_lost && a.frames_duplicated == b.frames_duplicated &&
+         a.frames_reordered == b.frames_reordered &&
+         a.frames_corrupted == b.frames_corrupted &&
+         a.frames_rejected == b.frames_rejected;
+}
+
+void run_phase(bench::BenchJson& json, const std::string& name,
+               const simnet::ChaosOptions& chaos, simnet::DeliveryMode mode) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  registry.reset();  // isolate this phase's reconvergence histogram
+  bench::Stopwatch timer;
+  const simnet::RunStats stats = run_once(chaos, mode);
+  const double elapsed = timer.elapsed_s();
+  if (chaos.any() && !same_stats(stats, run_once(chaos, mode))) {
+    std::fprintf(stderr, "bench_churn: phase %s is not replayable (same seed, "
+                         "different RunStats)\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  auto& run = json.add_run(name, static_cast<double>(stats.processed), elapsed);
+  run.counters.emplace_back("events", static_cast<double>(stats.processed));
+  run.counters.emplace_back("link_flaps", static_cast<double>(stats.link_flaps));
+  run.counters.emplace_back("crashes", static_cast<double>(stats.crashes));
+  run.counters.emplace_back("frames_lost", static_cast<double>(stats.frames_lost));
+  run.counters.emplace_back("frames_duplicated",
+                            static_cast<double>(stats.frames_duplicated));
+  run.counters.emplace_back("frames_reordered",
+                            static_cast<double>(stats.frames_reordered));
+  run.counters.emplace_back("frames_corrupted",
+                            static_cast<double>(stats.frames_corrupted));
+  run.counters.emplace_back("frames_rejected",
+                            static_cast<double>(stats.frames_rejected));
+  const auto& reconvergence = registry.histogram(
+      "simnet.chaos.reconvergence_seconds",
+      telemetry::Histogram::exponential_bounds(1e-3, 60.0, 2.0));
+  run.counters.emplace_back("reconverge_p95_s", reconvergence.percentile(95.0));
+  std::printf("%-14s %8zu events  %6.3fs wall  flaps=%llu lost=%llu corrupted=%llu "
+              "rejected=%llu  reconverge_p95=%.3fs\n",
+              name.c_str(), stats.processed, elapsed,
+              static_cast<unsigned long long>(stats.link_flaps),
+              static_cast<unsigned long long>(stats.frames_lost),
+              static_cast<unsigned long long>(stats.frames_corrupted),
+              static_cast<unsigned long long>(stats.frames_rejected),
+              reconvergence.percentile(95.0));
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchJson json("churn");
+
+  simnet::ChaosOptions none;  // defaults: no flaps, no faults, no crashes
+
+  simnet::ChaosOptions flaps;
+  flaps.seed = 7;
+  flaps.horizon = 3.0;
+  flaps.flap_fraction = 0.25;
+  flaps.mean_up = 0.4;
+  flaps.mean_down = 0.05;
+
+  simnet::ChaosOptions faults;
+  faults.seed = 7;
+  faults.horizon = 3.0;
+  faults.faults.loss = 0.05;
+  faults.faults.duplicate = 0.02;
+  faults.faults.reorder = 0.05;
+  faults.faults.corrupt = 0.03;
+
+  simnet::ChaosOptions full = flaps;
+  full.faults = faults.faults;
+  full.crash_fraction = 0.1;
+  full.mean_downtime = 0.3;
+
+  run_phase(json, "failfree", none, simnet::DeliveryMode::kImmediate);
+  run_phase(json, "flaps", flaps, simnet::DeliveryMode::kImmediate);
+  run_phase(json, "faults", faults, simnet::DeliveryMode::kImmediate);
+  run_phase(json, "full", full, simnet::DeliveryMode::kImmediate);
+  run_phase(json, "full_batched", full, simnet::DeliveryMode::kBatched);
+
+  return json.write() ? 0 : 1;
+}

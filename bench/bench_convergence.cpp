@@ -20,7 +20,9 @@ using namespace dbgp;
 namespace {
 
 double run_once(std::size_t ia_bytes, std::size_t table_size, std::size_t chain_length) {
-  simnet::DbgpNetwork net(nullptr, /*default_latency=*/0.001);
+  simnet::DbgpNetwork::Options options;
+  options.default_latency = 0.001;
+  simnet::DbgpNetwork net(nullptr, options);
   for (bgp::AsNumber asn = 1; asn <= chain_length; ++asn) {
     core::DbgpConfig config;
     config.asn = asn;
@@ -30,7 +32,7 @@ double run_once(std::size_t ia_bytes, std::size_t table_size, std::size_t chain_
   for (bgp::AsNumber asn = 1; asn + 1 <= chain_length; ++asn) {
     // Latency models a 1 Gbit/s link: 1 ms propagation + serialization.
     const double serialization = static_cast<double>(ia_bytes) * 8.0 / 1e9;
-    net.connect(asn, asn + 1, false, 0.001 + serialization);
+    net.add_link(asn, asn + 1, false, 0.001 + serialization);
   }
 
   // Originate `table_size` prefixes at AS 1, each with protocol descriptors

@@ -81,13 +81,13 @@ bool run_wiser(bool legacy_gulf) {
   add_gulf(5);
   add_gulf(6);
   add_wiser(9, island_b, 1);  // S
-  net.connect(1, 2, true);
-  net.connect(1, 3, true);
-  net.connect(2, 4);
-  net.connect(4, 9);
-  net.connect(3, 5);
-  net.connect(5, 6);
-  net.connect(6, 9);
+  net.add_link(1, 2, true);
+  net.add_link(1, 3, true);
+  net.add_link(2, 4);
+  net.add_link(4, 9);
+  net.add_link(3, 5);
+  net.add_link(5, 6);
+  net.add_link(6, 9);
   net.originate(1, dest);
   const std::size_t events = net.run_to_convergence();
 
@@ -141,9 +141,9 @@ bool run_pathlets() {
   store_a2.add_local({4, {103, 104}, dest});
   store_a2.compose(1, 2, 50);
 
-  net.connect(1, 2, true);
-  net.connect(2, 7);
-  net.connect(7, 9);
+  net.add_link(1, 2, true);
+  net.add_link(2, 7);
+  net.add_link(7, 9);
   net.originate(1, dest);
   const std::size_t events = net.run_to_convergence();
 

@@ -133,7 +133,7 @@ Measurement run(double adoption, std::uint64_t seed, std::size_t scale) {
 
   for (topology::NodeId u = 0; u < n; ++u) {
     for (const auto& e : hierarchy.graph.neighbors(u)) {
-      if (e.neighbor > u) net.connect(u + 1, e.neighbor + 1);
+      if (e.neighbor > u) net.add_link(u + 1, e.neighbor + 1);
     }
   }
   // Every stub originates one prefix.

@@ -84,7 +84,7 @@ int main() {
     }
     for (topology::NodeId u = 0; u < n; ++u) {
       for (const auto& edge : hierarchy.graph.neighbors(u)) {
-        if (edge.neighbor > u) net.connect(u + 1, edge.neighbor + 1);
+        if (edge.neighbor > u) net.add_link(u + 1, edge.neighbor + 1);
       }
     }
     net.originate(dest_node + 1, prefix);

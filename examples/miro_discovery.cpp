@@ -43,8 +43,8 @@ int main() {
     config.next_hop = net::Ipv4Address(asn);
     net.add_as(config).add_module(std::make_unique<protocols::BgpModule>());
   }
-  net.connect(30, 20);
-  net.connect(20, 10);
+  net.add_link(30, 20);
+  net.add_link(20, 10);
   net.originate(30, miro_prefix);
   net.run_to_convergence();
 

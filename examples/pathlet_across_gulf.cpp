@@ -54,9 +54,9 @@ int main() {
   // A2 composes pathlets 1 and 2 into two-hop pathlet 50.
   store_a2.compose(1, 2, 50);
 
-  net.connect(1, 2, /*same_island=*/true);
-  net.connect(2, 7);
-  net.connect(7, 9);
+  net.add_link(1, 2, /*same_island=*/true);
+  net.add_link(2, 7);
+  net.add_link(7, 9);
   net.originate(1, dest);
   net.run_to_convergence();
 

@@ -33,8 +33,8 @@ int main() {
         return true;
       });
 
-  net.connect(100, 200);
-  net.connect(200, 300);
+  net.add_link(100, 200);
+  net.add_link(200, 300);
 
   const auto prefix = *net::Prefix::parse("198.51.100.0/24");
   net.originate(100, prefix);

@@ -112,13 +112,13 @@ int main() {
   // Island 8: a plain BGP island — yet it can see everything.
   net.add_as(base(8)).add_module(std::make_unique<protocols::BgpModule>());
 
-  net.connect(21, 22, /*same_island=*/true);
-  net.connect(22, 14);
-  net.connect(14, 41);
-  net.connect(41, 11);
-  net.connect(11, 61);
-  net.connect(61, 62, /*same_island=*/true);
-  net.connect(62, 8);
+  net.add_link(21, 22, /*same_island=*/true);
+  net.add_link(22, 14);
+  net.add_link(14, 41);
+  net.add_link(41, 11);
+  net.add_link(11, 61);
+  net.add_link(61, 62, /*same_island=*/true);
+  net.add_link(62, 8);
 
   net.originate(21, dest);
   net.run_to_convergence();

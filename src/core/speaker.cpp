@@ -257,9 +257,24 @@ std::optional<net::Prefix> DbgpSpeaker::stage_ia(bgp::PeerId from,
 
 std::vector<DbgpOutgoing> DbgpSpeaker::peer_down(bgp::PeerId peer) {
   std::vector<DbgpOutgoing> out;
+  peers_.at(peer).up = false;
   adj_out_.erase(peer);
   for (const auto& prefix : ia_db_.remove_peer(peer)) run_decision(prefix, out);
   return out;
+}
+
+std::vector<DbgpOutgoing> DbgpSpeaker::peer_up(bgp::PeerId peer) {
+  peers_.at(peer).up = true;
+  return sync_peer(peer);
+}
+
+void DbgpSpeaker::reset_routes() {
+  ia_db_ = IaDb{};
+  selected_.clear();
+  adj_out_.clear();
+  batch_.clear();
+  batch_seen_.clear();
+  frame_cache_.clear();
 }
 
 // -- Origination ---------------------------------------------------------------
@@ -346,6 +361,7 @@ void DbgpSpeaker::advertise_to_peers(const net::Prefix& prefix, const IaRoute& b
                                      std::vector<DbgpOutgoing>& out) {
   DecisionModule* active = active_module(prefix);
   for (bgp::PeerId peer = 0; peer < peers_.size(); ++peer) {
+    if (!peers_[peer].up) continue;
     if (!origin && peer == best.from_peer) {
       // Split horizon.
       withdraw_from_peer(peer, prefix, out);
@@ -396,6 +412,7 @@ void DbgpSpeaker::withdraw_from_peer(bgp::PeerId peer, const net::Prefix& prefix
 
 void DbgpSpeaker::emit(bgp::PeerId peer, const net::Prefix& prefix,
                        const ia::IntegratedAdvertisement& ia, std::vector<DbgpOutgoing>& out) {
+  if (!peers_.at(peer).up) return;  // nothing reaches (or is recorded for) a down peer
   // Encode-once fan-out: identical per-peer advertisements (the common case
   // — export rewrites are the exception) resolve to one shared frame.
   ia::SharedFrame frame = frame_cache_.get_or_encode(ia, config_.codec, [&] {
@@ -424,6 +441,7 @@ void DbgpSpeaker::emit(bgp::PeerId peer, const net::Prefix& prefix,
 
 std::vector<DbgpOutgoing> DbgpSpeaker::sync_peer(bgp::PeerId peer) {
   std::vector<DbgpOutgoing> out;
+  if (!peers_.at(peer).up) return out;
   DecisionModule* active = nullptr;
   for (const auto& [prefix, best] : selected_) {
     if (best.from_peer == peer) continue;

@@ -123,7 +123,22 @@ class DbgpSpeaker {
   // and returns the resulting frames. Call at quiescence.
   std::vector<DbgpOutgoing> flush();
   std::size_t pending_batch() const noexcept { return batch_.size(); }
+  // Session teardown: marks the peer down, purges its adj-in and adj-out,
+  // and re-runs decisions for the affected prefixes. While a peer is down no
+  // advertisement or withdraw is emitted toward it (and adj-out stays empty),
+  // so a later peer_up()'s full-table sync is never delta-suppressed by
+  // state staged during the outage.
   std::vector<DbgpOutgoing> peer_down(bgp::PeerId peer);
+  // Session (re-)establishment: marks the peer up and returns the full-table
+  // sync a real session performs on open.
+  std::vector<DbgpOutgoing> peer_up(bgp::PeerId peer);
+  bool peer_is_up(bgp::PeerId peer) const { return peers_.at(peer).up; }
+  // Crash recovery: drops all learned state (adj-in, selected routes,
+  // adj-out, staged batch, frame cache) while keeping configuration —
+  // originated prefixes, modules, filters, and the peer roster survive like
+  // a config file across a reboot. Pair with reevaluate_all() to re-announce
+  // local prefixes and with the peers' sync to re-learn the rest.
+  void reset_routes();
   // Sends the current table to a (newly established) peer.
   std::vector<DbgpOutgoing> sync_peer(bgp::PeerId peer);
   // Re-runs selection for every known prefix (after activating a protocol).
@@ -149,6 +164,7 @@ class DbgpSpeaker {
   struct Peer {
     bgp::AsNumber asn = 0;
     bool same_island = false;
+    bool up = true;  // session state; down peers receive nothing
   };
 
   // Pipeline stages 1-3 for one frame/IA (filters, extractor, IA DB).

@@ -127,6 +127,27 @@ Scenario parse_scenario(const std::string& text) {
       if (tokens.size() != 3) fail(line_no, "strip: need <asn> <protocol>");
       scenario.strips.push_back(
           {static_cast<bgp::AsNumber>(parse_number(line_no, tokens[1])), tokens[2]});
+    } else if (directive == "chaos") {
+      if (scenario.chaos) fail(line_no, "chaos: only one chaos stanza allowed");
+      ChaosDecl decl;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        auto [key, value] = split_kv(tokens[i]);
+        if (key == "seed") decl.seed = parse_number(line_no, value);
+        else if (key == "start") decl.start = std::stod(value);
+        else if (key == "horizon") decl.horizon = std::stod(value);
+        else if (key == "flap-fraction") decl.flap_fraction = std::stod(value);
+        else if (key == "mean-up") decl.mean_up = std::stod(value);
+        else if (key == "mean-down") decl.mean_down = std::stod(value);
+        else if (key == "loss") decl.loss = std::stod(value);
+        else if (key == "duplicate") decl.duplicate = std::stod(value);
+        else if (key == "reorder") decl.reorder = std::stod(value);
+        else if (key == "reorder-delay") decl.reorder_delay = std::stod(value);
+        else if (key == "corrupt") decl.corrupt = std::stod(value);
+        else if (key == "crash-fraction") decl.crash_fraction = std::stod(value);
+        else if (key == "mean-downtime") decl.mean_downtime = std::stod(value);
+        else fail(line_no, "chaos: unknown option '" + key + "'");
+      }
+      scenario.chaos = decl;
     } else if (directive == "expect") {
       if (tokens.size() < 4) fail(line_no, "expect: too few arguments");
       Expectation e;

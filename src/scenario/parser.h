@@ -20,6 +20,16 @@
 //   originate <asn> <prefix>
 //   strip <asn> <proto>        # gulf operator drops a protocol's info
 //
+//   chaos [seed=<n>] [start=<s>] [horizon=<s>] [flap-fraction=<f>]
+//         [mean-up=<s>] [mean-down=<s>] [loss=<f>] [duplicate=<f>]
+//         [reorder=<f>] [reorder-delay=<s>] [corrupt=<f>]
+//         [crash-fraction=<f>] [mean-downtime=<s>]
+//       Seeded fault injection (simnet::ChaosPolicy): link flaps, frame
+//       loss/duplication/reordering/corruption, and node crash/restart over
+//       the [start, start+horizon) window, followed by session-refresh
+//       repair. Expectations are evaluated after the network re-converges.
+//       At most one chaos stanza per scenario.
+//
 //   expect reachable <asn> <prefix>
 //   expect unreachable <asn> <prefix>
 //   expect via <asn> <prefix> <via_asn>       # path vector mentions via_asn
@@ -79,6 +89,24 @@ struct StripDecl {
   std::string protocol;
 };
 
+// Plain data mirror of simnet::ChaosOptions (the parser does not link
+// against simnet); the runner converts. Field semantics match 1:1.
+struct ChaosDecl {
+  std::uint64_t seed = 1;
+  double start = 0.0;
+  double horizon = 5.0;
+  double flap_fraction = 0.0;
+  double mean_up = 1.0;
+  double mean_down = 0.1;
+  double loss = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double reorder_delay = 0.05;
+  double corrupt = 0.0;
+  double crash_fraction = 0.0;
+  double mean_downtime = 0.5;
+};
+
 struct Expectation {
   enum class Kind {
     kReachable,
@@ -104,6 +132,7 @@ struct Scenario {
   std::vector<LinkDecl> links;
   std::vector<OriginateDecl> originations;
   std::vector<StripDecl> strips;
+  std::optional<ChaosDecl> chaos;
   std::vector<Expectation> expectations;
 };
 

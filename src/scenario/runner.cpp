@@ -31,6 +31,24 @@ ia::ProtocolId protocol_id(const std::string& name) {
   return id;
 }
 
+simnet::ChaosOptions to_chaos_options(const ChaosDecl& decl) {
+  simnet::ChaosOptions opts;
+  opts.seed = decl.seed;
+  opts.start = decl.start;
+  opts.horizon = decl.horizon;
+  opts.flap_fraction = decl.flap_fraction;
+  opts.mean_up = decl.mean_up;
+  opts.mean_down = decl.mean_down;
+  opts.faults.loss = decl.loss;
+  opts.faults.duplicate = decl.duplicate;
+  opts.faults.reorder = decl.reorder;
+  opts.faults.reorder_delay = decl.reorder_delay;
+  opts.faults.corrupt = decl.corrupt;
+  opts.crash_fraction = decl.crash_fraction;
+  opts.mean_downtime = decl.mean_downtime;
+  return opts;
+}
+
 }  // namespace
 
 bool RunResult::all_passed() const noexcept { return failures() == 0; }
@@ -43,13 +61,15 @@ std::size_t RunResult::failures() const noexcept {
 
 void Runner::enable_tracing() {
   tracing_ = true;
-  if (net_ != nullptr) net_->set_tracer(&tracer_);
+  if (net_ != nullptr) net_->options().tracer = &tracer_;
 }
 
 void Runner::build(const Scenario& scenario) {
   scenario_ = scenario;
-  net_ = std::make_unique<simnet::DbgpNetwork>(&lookup_);
-  if (tracing_) net_->set_tracer(&tracer_);
+  simnet::DbgpNetwork::Options options;
+  options.delivery = delivery_;
+  if (tracing_) options.tracer = &tracer_;
+  net_ = std::make_unique<simnet::DbgpNetwork>(&lookup_, options);
 
   // Collect scion paths / pathlets per AS so modules get them at creation.
   std::map<bgp::AsNumber, std::vector<protocols::ScionPath>> scion_by_as;
@@ -133,7 +153,7 @@ void Runner::build(const Scenario& scenario) {
   }
 
   for (const auto& link : scenario.links) {
-    net_->connect(link.a, link.b, link.same_island, link.latency);
+    net_->add_link(link.a, link.b, link.same_island, link.latency);
   }
 }
 
@@ -142,9 +162,20 @@ RunResult Runner::run() {
   for (const auto& decl : scenario_.originations) {
     net_->originate(decl.asn, decl.prefix);
   }
+  // Chaos is scheduled after originations so the fault window overlaps the
+  // propagation it is meant to disturb; expectations below then describe the
+  // re-converged, repaired network.
+  std::optional<simnet::ChaosOptions> chaos = chaos_override_;
+  if (!chaos && scenario_.chaos) chaos = to_chaos_options(*scenario_.chaos);
+  if (chaos) {
+    if (chaos_seed_) chaos->seed = *chaos_seed_;
+    simnet::ChaosPolicy policy(*chaos);
+    policy.inject(*net_);
+  }
   const simnet::RunStats drained = net_->run_to_convergence();
   result.events = drained.processed;
   result.converged = !drained.capped;
+  result.stats = drained;
 
   for (const auto& e : scenario_.expectations) {
     ExpectationResult er;

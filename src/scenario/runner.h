@@ -6,10 +6,14 @@
 #include <string>
 #include <vector>
 
+#include <cstdint>
+#include <optional>
+
 #include "core/lookup_service.h"
 #include "protocols/pathlet.h"
 #include "protocols/bgpsec.h"
 #include "scenario/parser.h"
+#include "simnet/chaos.h"
 #include "simnet/network.h"
 #include "telemetry/trace.h"
 
@@ -27,6 +31,9 @@ struct RunResult {
   // the run was truncated and expectation results describe a network that
   // has NOT converged. Callers must surface this, not treat it as success.
   bool converged = true;
+  // Full drain stats, including the churn counters a chaos run accumulates
+  // (replay checks compare these field by field).
+  simnet::RunStats stats;
   std::vector<ExpectationResult> expectations;
   bool all_passed() const noexcept;
   std::size_t failures() const noexcept;
@@ -41,6 +48,16 @@ class Runner {
   // after, in which case tracing covers the remaining events.
   void enable_tracing();
   const telemetry::PropagationTracer& tracer() const noexcept { return tracer_; }
+
+  // How delivered frames are processed (call before build()); default
+  // immediate. Batched coalesces decisions per touched prefix at flush.
+  void set_delivery(simnet::DeliveryMode mode) noexcept { delivery_ = mode; }
+  // Replaces the seed of the scenario's chaos stanza (no effect without
+  // one) — the CLI's --chaos-seed.
+  void set_chaos_seed(std::uint64_t seed) noexcept { chaos_seed_ = seed; }
+  // Injects this chaos schedule regardless of any stanza in the scenario
+  // (the stanza, if present, is ignored) — the CLI's --chaos-profile.
+  void set_chaos(const simnet::ChaosOptions& options) { chaos_override_ = options; }
 
   // Builds the network (throws std::runtime_error on inconsistent
   // scenarios: unknown ASes in links, pathlets at non-pathlet ASes, ...).
@@ -59,6 +76,9 @@ class Runner {
   std::unique_ptr<simnet::DbgpNetwork> net_;
   telemetry::PropagationTracer tracer_;
   bool tracing_ = false;
+  simnet::DeliveryMode delivery_ = simnet::DeliveryMode::kImmediate;
+  std::optional<std::uint64_t> chaos_seed_;
+  std::optional<simnet::ChaosOptions> chaos_override_;
   // Pathlet stores must outlive the speakers that reference them.
   std::map<bgp::AsNumber, std::unique_ptr<protocols::PathletStore>> pathlet_stores_;
 };

@@ -1,0 +1,137 @@
+#include "simnet/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dbgp::simnet {
+
+namespace {
+
+// Exponential dwell with the given mean; next_double() < 1 keeps log finite.
+double exp_draw(util::Rng& rng, double mean) {
+  return -mean * std::log(1.0 - rng.next_double());
+}
+
+std::size_t sample_count(double fraction, std::size_t n) {
+  if (fraction <= 0.0 || n == 0) return 0;
+  const auto k = static_cast<std::size_t>(fraction * static_cast<double>(n) + 0.5);
+  return std::min(std::max<std::size_t>(k, 1), n);
+}
+
+}  // namespace
+
+void ChaosPolicy::inject(DbgpNetwork& net) {
+  end_time_ = 0.0;
+  if (!options_.any()) return;  // zero chaos schedules nothing: runs stay byte-identical
+
+  util::Rng rng(options_.seed);
+  auto links = net.links();  // canonical (min, max) order fixes the draw order
+  auto& events = net.events();
+  const double window_end = options_.start + options_.horizon;
+
+  // Phase 1a: per-frame fault profiles for the window's duration. Each link
+  // gets its own RNG stream derived from the master seed, so frame-level
+  // faults replay exactly regardless of how many links exist.
+  if (options_.faults.any()) {
+    for (Link* link : links) {
+      events.schedule_at(options_.start, [link, opts = options_] {
+        link->set_faults(opts.faults, opts.seed);
+      });
+    }
+  }
+
+  // Phase 1b: link flap schedules — alternating exponential up/down dwells,
+  // drawn fully now so the timeline is fixed before anything runs.
+  const std::size_t n_flappers = sample_count(options_.flap_fraction, links.size());
+  if (n_flappers > 0) {
+    for (const std::size_t idx : rng.sample_indices(links.size(), n_flappers)) {
+      Link* link = links[idx];
+      double t = options_.start + exp_draw(rng, options_.mean_up);
+      while (t < window_end) {
+        events.schedule_at(t, [link] { link->set_state(LinkState::kDown); });
+        const double up_at = std::min(t + exp_draw(rng, options_.mean_down), window_end);
+        events.schedule_at(up_at, [link] { link->set_state(LinkState::kUp); });
+        t = up_at + exp_draw(rng, options_.mean_up);
+      }
+    }
+  }
+
+  // Phase 1c: node crash/restart cycles. Restarts are clamped into the
+  // window so every node is back before repair.
+  const auto as_numbers = net.as_numbers();
+  const std::size_t n_crashers = sample_count(options_.crash_fraction, as_numbers.size());
+  if (n_crashers > 0) {
+    for (const std::size_t idx : rng.sample_indices(as_numbers.size(), n_crashers)) {
+      const bgp::AsNumber asn = as_numbers[idx];
+      const double crash_at = options_.start + options_.horizon * rng.next_double();
+      const double restart_at =
+          std::min(crash_at + exp_draw(rng, options_.mean_downtime), window_end);
+      events.schedule_at(crash_at, [&net, asn] { net.crash(asn); });
+      events.schedule_at(restart_at, [&net, asn] { net.restart(asn); });
+    }
+  }
+
+  // Phase 2: stop harming frames at the window's end.
+  if (options_.faults.any()) {
+    events.schedule_at(window_end, [&net] {
+      for (Link* link : net.links()) link->clear_faults();
+    });
+  }
+
+  // Phase 3: repair. Wait out the longest possible in-flight residue from
+  // the window (a reordered frame dispatched just before window_end lands at
+  // most max_latency + reorder_delay later; doubled for the response it may
+  // trigger), then force every link up and — if frames were being mangled —
+  // bounce each session so damaged adj-in state is purged and resynced. The
+  // network must then re-converge to its fail-free best paths.
+  double max_latency = 0.0;
+  for (const Link* link : links) max_latency = std::max(max_latency, link->latency());
+  const double slack = 2.0 * (max_latency + options_.faults.reorder_delay);
+  const double repair_at = window_end + slack + 1e-6;
+  const bool refresh = options_.faults.any();
+  events.schedule_at(repair_at, [&net, refresh] {
+    for (Link* link : net.links()) {
+      if (!link->up()) {
+        link->set_state(LinkState::kUp);
+      } else if (refresh) {
+        link->refresh();
+      }
+    }
+  });
+  end_time_ = repair_at;
+}
+
+ChaosOptions chaos_profile(const std::string& name) {
+  ChaosOptions opts;
+  if (name == "flaky") {
+    opts.flap_fraction = 0.3;
+    opts.mean_up = 0.5;
+    opts.mean_down = 0.05;
+  } else if (name == "lossy") {
+    opts.faults.loss = 0.05;
+    opts.faults.reorder = 0.05;
+    opts.faults.duplicate = 0.02;
+  } else if (name == "corrupt") {
+    opts.faults.corrupt = 0.05;
+  } else if (name == "outage") {
+    opts.crash_fraction = 0.25;
+    opts.mean_downtime = 0.5;
+  } else if (name == "full") {
+    opts.flap_fraction = 0.2;
+    opts.mean_up = 0.5;
+    opts.mean_down = 0.05;
+    opts.faults.loss = 0.02;
+    opts.faults.reorder = 0.02;
+    opts.faults.duplicate = 0.01;
+    opts.faults.corrupt = 0.02;
+    opts.crash_fraction = 0.1;
+    opts.mean_downtime = 0.3;
+  } else {
+    throw std::invalid_argument("unknown chaos profile '" + name +
+                                "' (expected flaky|lossy|corrupt|outage|full)");
+  }
+  return opts;
+}
+
+}  // namespace dbgp::simnet

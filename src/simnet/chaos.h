@@ -1,0 +1,86 @@
+// ChaosPolicy: seeded fault-injection schedules for DbgpNetwork.
+//
+// The paper's deployability argument rests on D-BGP surviving the real
+// Internet's churn — sessions flap, routers reboot, and frames are lost or
+// mangled in flight — while islands of a new protocol keep converging to the
+// same routes BGP would repair to. The chaos layer drives exactly that: a
+// policy drawn from one seed schedules link flaps (exponential up/down
+// dwells), node crash/restart cycles, and per-link frame faults over a
+// bounded horizon, then repairs the damage with session refreshes so the
+// network must re-converge to its fail-free best paths.
+//
+// Determinism: the whole timeline is drawn up-front from Rng(seed) over the
+// network's links in their canonical (min, max) map order, and per-link
+// frame faults draw from private per-link streams seeded from the same
+// master seed. Same seed + same topology + same workload => identical event
+// interleaving, RunStats, and traces, replayable in both delivery modes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simnet/link.h"
+#include "simnet/network.h"
+
+namespace dbgp::simnet {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  // Fault window [start, start + horizon) in simulated seconds. Flaps and
+  // crashes are scheduled inside the window; at its end faults are cleared
+  // and damaged sessions are refreshed (see ChaosPolicy::inject).
+  double start = 0.0;
+  double horizon = 5.0;
+
+  // Fraction of links that flap (exponential up/down dwell cycles).
+  double flap_fraction = 0.0;
+  double mean_up = 1.0;    // mean dwell in the up state, seconds
+  double mean_down = 0.1;  // mean dwell in the down state, seconds
+
+  // Per-frame fault rates applied to every link for the window's duration.
+  FaultProfile faults;
+
+  // Fraction of nodes that crash once during the window and restart after an
+  // exponential downtime (clamped to finish inside the window).
+  double crash_fraction = 0.0;
+  double mean_downtime = 0.5;
+
+  bool any() const noexcept {
+    return flap_fraction > 0.0 || crash_fraction > 0.0 || faults.any();
+  }
+};
+
+class ChaosPolicy {
+ public:
+  explicit ChaosPolicy(ChaosOptions options) : options_(options) {}
+
+  const ChaosOptions& options() const noexcept { return options_; }
+
+  // Draws the full fault timeline from Rng(options.seed) and schedules it on
+  // the network's event queue. Call after topology + originations are set
+  // up, before run_to_convergence. Three phases:
+  //   1. window: flap schedules per sampled link, one crash/restart per
+  //      sampled node, fault profiles installed on every link;
+  //   2. window end: fault profiles cleared (frames stop being harmed);
+  //   3. repair: after the longest possible in-flight residue has drained
+  //      (2 * (max latency + reorder delay)), every link is forced up and
+  //      every link that took damage is refreshed — the session bounce
+  //      purges stale adj-in state and resyncs, so the network re-converges
+  //      to its fail-free routes.
+  void inject(DbgpNetwork& net);
+
+  // When the scheduled timeline finishes (repair included).
+  double end_time() const noexcept { return end_time_; }
+
+ private:
+  ChaosOptions options_;
+  double end_time_ = 0.0;
+};
+
+// Named presets for dbgp_run --chaos-profile: "flaky" (session churn),
+// "lossy" (frame loss/reorder/duplication), "corrupt" (mangled frames),
+// "outage" (node crash/restart cycles), "full" (all of the above).
+// Throws std::invalid_argument for unknown names.
+ChaosOptions chaos_profile(const std::string& name);
+
+}  // namespace dbgp::simnet

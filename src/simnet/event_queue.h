@@ -26,6 +26,21 @@ struct RunStats {
   std::size_t processed = 0;
   bool capped = false;
 
+  // Churn accounting, filled by DbgpNetwork::run_to_convergence from the
+  // network's cumulative counters (zero for a plain EventQueue::run). Two
+  // runs of the same seeded chaos scenario must agree on every field — the
+  // replay check in bench_churn and the chaos tests compares them directly.
+  std::uint64_t link_flaps = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_reordered = 0;
+  std::uint64_t frames_corrupted = 0;
+  // Frames that arrived but failed decode validation (corruption detected
+  // and discarded without touching the receiver's adj-in).
+  std::uint64_t frames_rejected = 0;
+
   operator std::size_t() const noexcept { return processed; }
 };
 

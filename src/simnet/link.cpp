@@ -1,0 +1,48 @@
+#include "simnet/link.h"
+
+#include <algorithm>
+
+#include "simnet/network.h"
+
+namespace dbgp::simnet {
+
+void Link::set_state(LinkState state) { net_->on_link_state(*this, state); }
+
+void Link::refresh() {
+  net_->on_link_state(*this, LinkState::kDown);
+  net_->on_link_state(*this, LinkState::kUp);
+}
+
+void Link::set_faults(const FaultProfile& faults, std::uint64_t seed) {
+  faults_ = faults;
+  // Mix the endpoints into the seed so every link draws from its own stream
+  // even when one master seed fans out across the topology.
+  std::uint64_t sm = seed ^ (static_cast<std::uint64_t>(a_) << 32) ^ b_;
+  fault_rng_ = util::Rng(util::splitmix64(sm));
+}
+
+std::vector<std::uint8_t> corrupt_frame(const std::vector<std::uint8_t>& bytes,
+                                        util::Rng& rng) {
+  std::vector<std::uint8_t> mangled(bytes);
+  std::uint32_t mode = rng.next_below(3);
+  // The version-byte flip only guarantees rejection for announce frames
+  // (byte 1 is the IA version there; in withdraw/notice frames it is prefix
+  // payload, which would decode). Fall back to truncation for those.
+  if (mode == 2 && (mangled.size() < 2 || mangled[0] != 1 /* kAnnounce */)) mode = 0;
+  switch (mode) {
+    case 0: {  // truncate below the smallest valid frame (withdraw = 6 bytes)
+      const std::size_t keep = rng.next_below(5) + 1;
+      mangled.resize(std::min(keep, mangled.empty() ? std::size_t{0} : mangled.size() - 1));
+      break;
+    }
+    case 1:  // out-of-range frame type
+      mangled[0] = static_cast<std::uint8_t>(0xF0 | rng.next_below(16));
+      break;
+    default:  // announce: flip the IA version byte
+      mangled[1] ^= 0x80;
+      break;
+  }
+  return mangled;
+}
+
+}  // namespace dbgp::simnet

@@ -1,0 +1,108 @@
+// First-class links for the simulated network.
+//
+// A Link owns everything the old DbgpNetwork kept scattered across the
+// per-node adjacency vectors: the session state (up/down), the latency, and
+// — new with the chaos layer — a FaultProfile describing how the link
+// misbehaves. Faults are drawn from a per-link deterministic RNG in delivery
+// order, so a seeded chaos run is bit-reproducible: the event queue fixes
+// the order frames cross the link, and the link's RNG stream fixes what
+// happens to each of them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/types.h"
+#include "util/rng.h"
+
+namespace dbgp::simnet {
+
+class DbgpNetwork;
+
+enum class LinkState { kUp, kDown };
+
+// How frames are handed to the receiving speaker: processed immediately
+// (one decision per frame) or staged and decided once per touched prefix at
+// a coalesced per-node flush. Chaos events apply at dispatch time, before
+// this choice, so a fault schedule interleaves identically in both modes.
+enum class DeliveryMode { kImmediate, kBatched };
+
+// Per-frame fault rates, all in [0, 1]. A default-constructed profile is
+// fault-free and costs nothing on the delivery path (no RNG draws).
+struct FaultProfile {
+  double loss = 0.0;       // P(frame silently dropped)
+  double duplicate = 0.0;  // P(frame delivered twice)
+  double reorder = 0.0;    // P(frame delayed by reorder_delay past later frames)
+  double corrupt = 0.0;    // P(frame mangled; see corrupt_frame)
+  double reorder_delay = 0.05;  // extra latency a reordered frame picks up
+
+  bool any() const noexcept {
+    return loss > 0.0 || duplicate > 0.0 || reorder > 0.0 || corrupt > 0.0;
+  }
+};
+
+// What the link actually did to traffic (cumulative for the link lifetime).
+struct LinkStats {
+  std::uint64_t flaps = 0;  // up -> down transitions
+  std::uint64_t frames_lost = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_reordered = 0;
+  std::uint64_t frames_corrupted = 0;
+};
+
+// Mangles a frame so the receiver's decode is guaranteed to reject it — the
+// model is a link-layer CRC that *detects* residual bit errors: the frame
+// arrives, fails validation, and must not touch the adj-in. Three mangle
+// modes, all structurally invalid: truncation below the fixed header,
+// an out-of-range frame-type byte, and (announce frames) a flipped IA
+// version byte. Undetected corruption that decodes into a different valid
+// frame is out of scope for the failure model (see DESIGN.md §9).
+std::vector<std::uint8_t> corrupt_frame(const std::vector<std::uint8_t>& bytes,
+                                        util::Rng& rng);
+
+class Link {
+ public:
+  bgp::AsNumber a() const noexcept { return a_; }
+  bgp::AsNumber b() const noexcept { return b_; }
+  double latency() const noexcept { return latency_; }
+  bool same_island() const noexcept { return same_island_; }
+  LinkState state() const noexcept { return state_; }
+  bool up() const noexcept { return state_ == LinkState::kUp; }
+  bgp::AsNumber other(bgp::AsNumber asn) const noexcept { return asn == a_ ? b_ : a_; }
+
+  // Session control. Down tears both peering sessions (adj-in purged on both
+  // sides, withdraws ripple out); up re-establishes them and re-syncs full
+  // tables. A no-op if the link is already in the requested state.
+  void set_state(LinkState state);
+  // Session bounce (down + up at the same instant): the route-refresh used
+  // to repair state after a fault window — both ends purge what they learned
+  // over the link and resend their current tables.
+  void refresh();
+
+  // Installs a fault profile. `seed` starts the link's private RNG stream;
+  // the same (profile, seed) over the same frame sequence reproduces the
+  // same faults. Clearing restores fault-free delivery.
+  void set_faults(const FaultProfile& faults, std::uint64_t seed);
+  void clear_faults() noexcept { faults_ = FaultProfile{}; }
+  const FaultProfile& faults() const noexcept { return faults_; }
+
+  const LinkStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class DbgpNetwork;
+  Link(DbgpNetwork* net, bgp::AsNumber a, bgp::AsNumber b, double latency,
+       bool same_island)
+      : net_(net), a_(a), b_(b), latency_(latency), same_island_(same_island) {}
+
+  DbgpNetwork* net_;
+  bgp::AsNumber a_;
+  bgp::AsNumber b_;
+  double latency_;
+  bool same_island_;
+  LinkState state_ = LinkState::kUp;
+  FaultProfile faults_;
+  util::Rng fault_rng_;
+  LinkStats stats_;
+};
+
+}  // namespace dbgp::simnet

@@ -1,5 +1,6 @@
 #include "simnet/network.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "ia/codec.h"
@@ -16,13 +17,36 @@ struct NetworkMetrics {
   telemetry::Counter* frames_delivered;
   telemetry::Counter* bytes_delivered;
   telemetry::Gauge* messages_in_flight;
+  // Chaos layer.
+  telemetry::Counter* link_down;
+  telemetry::Counter* link_up;
+  telemetry::Counter* crashes;
+  telemetry::Counter* restarts;
+  telemetry::Counter* frames_lost;
+  telemetry::Counter* frames_duplicated;
+  telemetry::Counter* frames_reordered;
+  telemetry::Counter* frames_corrupted;
+  telemetry::Counter* frames_rejected;
+  telemetry::Histogram* reconvergence;
 
   static NetworkMetrics& get() {
     static NetworkMetrics m = [] {
       auto& reg = telemetry::MetricsRegistry::global();
-      return NetworkMetrics{&reg.counter("simnet.frames_delivered"),
-                            &reg.counter("simnet.bytes_delivered"),
-                            &reg.gauge("simnet.messages_in_flight")};
+      return NetworkMetrics{
+          &reg.counter("simnet.frames_delivered"),
+          &reg.counter("simnet.bytes_delivered"),
+          &reg.gauge("simnet.messages_in_flight"),
+          &reg.counter("simnet.chaos.link_down"),
+          &reg.counter("simnet.chaos.link_up"),
+          &reg.counter("simnet.chaos.crashes"),
+          &reg.counter("simnet.chaos.restarts"),
+          &reg.counter("simnet.chaos.frames_lost"),
+          &reg.counter("simnet.chaos.frames_duplicated"),
+          &reg.counter("simnet.chaos.frames_reordered"),
+          &reg.counter("simnet.chaos.frames_corrupted"),
+          &reg.counter("simnet.chaos.frames_rejected"),
+          &reg.histogram("simnet.chaos.reconvergence_seconds",
+                         telemetry::Histogram::exponential_bounds(1e-3, 60.0, 2.0))};
     }();
     return m;
   }
@@ -54,30 +78,159 @@ const core::DbgpSpeaker& DbgpNetwork::speaker(bgp::AsNumber asn) const {
 
 bool DbgpNetwork::has_as(bgp::AsNumber asn) const noexcept { return nodes_.count(asn) > 0; }
 
-void DbgpNetwork::connect(bgp::AsNumber a, bgp::AsNumber b, bool same_island, double latency) {
-  if (latency < 0) latency = default_latency_;
+// -- Links --------------------------------------------------------------------
+
+Link& DbgpNetwork::add_link(bgp::AsNumber a, bgp::AsNumber b, bool same_island,
+                            double latency) {
+  if (latency < 0) latency = options_.default_latency;
+  const auto key = link_key(a, b);
+  if (links_.count(key) > 0) {
+    throw std::invalid_argument("link AS" + std::to_string(a) + "-AS" + std::to_string(b) +
+                                " already exists; use Link::set_state to re-establish it");
+  }
   Node& node_a = nodes_.at(a);
   Node& node_b = nodes_.at(b);
+  auto owned = std::unique_ptr<Link>(new Link(this, key.first, key.second, latency, same_island));
+  Link* link = owned.get();
+  links_.emplace(key, std::move(owned));
+  // Peer ids are adjacency indices: add_peer and the adjacency push stay in
+  // lockstep, and the entries persist across flaps, so a re-established
+  // session reuses its original peer id on both sides.
   const bgp::PeerId id_ab = node_a.speaker->add_peer(b, same_island);
   const bgp::PeerId id_ba = node_b.speaker->add_peer(a, same_island);
-  node_a.adjacencies.push_back({b, latency, true});
-  node_b.adjacencies.push_back({a, latency, true});
+  node_a.adjacencies.push_back({b, link});
+  node_b.adjacencies.push_back({a, link});
   // Exchange current tables (the initial-sync a real session performs).
   dispatch(a, node_a.speaker->sync_peer(id_ab));
   dispatch(b, node_b.speaker->sync_peer(id_ba));
+  return *link;
+}
+
+Link& DbgpNetwork::link(bgp::AsNumber a, bgp::AsNumber b) {
+  auto it = links_.find(link_key(a, b));
+  if (it == links_.end()) {
+    throw std::out_of_range("no link AS" + std::to_string(a) + "-AS" + std::to_string(b));
+  }
+  return *it->second;
+}
+
+Link* DbgpNetwork::find_link(bgp::AsNumber a, bgp::AsNumber b) noexcept {
+  auto it = links_.find(link_key(a, b));
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Link*> DbgpNetwork::links() {
+  std::vector<Link*> out;
+  out.reserve(links_.size());
+  for (auto& [key, link] : links_) out.push_back(link.get());
+  return out;
+}
+
+void DbgpNetwork::on_link_state(Link& link, LinkState state) {
+  if (link.state_ == state) return;
+  link.state_ = state;
+  note_disruption();
+  const bgp::AsNumber ends[2] = {link.a_, link.b_};
+  if (state == LinkState::kDown) {
+    ++link.stats_.flaps;
+    ++churn_.link_flaps;
+    NetworkMetrics::get().link_down->inc();
+    for (const bgp::AsNumber asn : ends) {
+      Node& node = nodes_.at(asn);
+      if (!node.up) continue;
+      const bgp::PeerId peer = peer_id(asn, link.other(asn));
+      // Frames staged under batching may have come over this link; run the
+      // pending decisions now, so the later flush cannot re-decide from
+      // adj-in state that peer_down is about to purge. (The old disconnect()
+      // skipped this and left stale routes selected until the next flush.)
+      if (node.speaker->pending_batch() > 0) dispatch(asn, node.speaker->flush());
+      dispatch(asn, node.speaker->peer_down(peer));
+    }
+  } else {
+    NetworkMetrics::get().link_up->inc();
+    for (const bgp::AsNumber asn : ends) {
+      Node& node = nodes_.at(asn);
+      // Sessions only come up between live nodes; restart() completes the
+      // handshake for links that rose while an endpoint was down.
+      if (!node.up || !nodes_.at(link.other(asn)).up) continue;
+      dispatch(asn, node.speaker->peer_up(peer_id(asn, link.other(asn))));
+    }
+  }
+}
+
+// -- Node churn ---------------------------------------------------------------
+
+void DbgpNetwork::crash(bgp::AsNumber asn) {
+  Node& node = nodes_.at(asn);
+  if (!node.up) return;
+  note_disruption();
+  node.up = false;
+  ++churn_.crashes;
+  NetworkMetrics::get().crashes->inc();
+  // Every live neighbor sees its session drop; frames already in flight
+  // toward the crashed node are discarded on arrival (deliver checks node
+  // liveness).
+  for (const auto& adj : node.adjacencies) {
+    if (adj.link == nullptr || !adj.link->up()) continue;
+    Node& neighbor = nodes_.at(adj.neighbor);
+    if (!neighbor.up) continue;
+    const bgp::PeerId peer = peer_id(adj.neighbor, asn);
+    if (neighbor.speaker->pending_batch() > 0) dispatch(adj.neighbor, neighbor.speaker->flush());
+    dispatch(adj.neighbor, neighbor.speaker->peer_down(peer));
+  }
+}
+
+void DbgpNetwork::restart(bgp::AsNumber asn) {
+  Node& node = nodes_.at(asn);
+  if (node.up) return;
+  note_disruption();
+  node.up = true;
+  ++churn_.restarts;
+  NetworkMetrics::get().restarts->inc();
+  // Cold boot from config: all learned state is gone; only originated
+  // prefixes, modules, filters, and the peer roster survive.
+  node.speaker->reset_routes();
+  // Align session state with current link/neighbor liveness before anything
+  // is emitted. peer_up on an empty table syncs nothing, so the calls below
+  // only set state.
+  for (bgp::PeerId peer = 0; peer < node.adjacencies.size(); ++peer) {
+    const auto& adj = node.adjacencies[peer];
+    const bool viable =
+        adj.link != nullptr && adj.link->up() && nodes_.at(adj.neighbor).up;
+    if (viable) {
+      node.speaker->peer_up(peer);
+    } else {
+      node.speaker->peer_down(peer);
+    }
+  }
+  // Re-announce our own prefixes, then have every live neighbor re-send its
+  // table over the re-established session (the refresh that re-fills the
+  // wiped RIB).
+  dispatch(asn, node.speaker->reevaluate_all());
+  for (const auto& adj : node.adjacencies) {
+    if (adj.link == nullptr || !adj.link->up()) continue;
+    Node& neighbor = nodes_.at(adj.neighbor);
+    if (!neighbor.up) continue;
+    dispatch(adj.neighbor, neighbor.speaker->peer_up(peer_id(adj.neighbor, asn)));
+  }
+}
+
+// -- Deprecated shims ---------------------------------------------------------
+
+void DbgpNetwork::connect(bgp::AsNumber a, bgp::AsNumber b, bool same_island,
+                          double latency) {
+  if (Link* existing = find_link(a, b)) {
+    existing->set_state(LinkState::kUp);
+    return;
+  }
+  add_link(a, b, same_island, latency);
 }
 
 void DbgpNetwork::disconnect(bgp::AsNumber a, bgp::AsNumber b) {
-  Node& node_a = nodes_.at(a);
-  Node& node_b = nodes_.at(b);
-  const bgp::PeerId id_ab = peer_id(a, b);
-  const bgp::PeerId id_ba = peer_id(b, a);
-  if (id_ab == bgp::kInvalidPeer || id_ba == bgp::kInvalidPeer) return;
-  node_a.adjacencies[id_ab].up = false;
-  node_b.adjacencies[id_ba].up = false;
-  dispatch(a, node_a.speaker->peer_down(id_ab));
-  dispatch(b, node_b.speaker->peer_down(id_ba));
+  if (Link* existing = find_link(a, b)) existing->set_state(LinkState::kDown);
 }
+
+// -- Control plane ------------------------------------------------------------
 
 void DbgpNetwork::originate(bgp::AsNumber asn, const net::Prefix& prefix) {
   dispatch(asn, nodes_.at(asn).speaker->originate(prefix));
@@ -102,16 +255,62 @@ bgp::PeerId DbgpNetwork::peer_id(bgp::AsNumber a, bgp::AsNumber b) const {
 void DbgpNetwork::dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgoing> outgoing) {
   Node& node = nodes_.at(origin_asn);
   for (auto& msg : outgoing) {
-    const auto& adj = node.adjacencies.at(msg.peer);
-    if (!adj.up) continue;
+    auto& adj = node.adjacencies.at(msg.peer);
+    Link* link = adj.link;
+    if (link == nullptr || !link->up()) continue;
     const bgp::AsNumber to = adj.neighbor;
-    NetworkMetrics::get().messages_in_flight->add(1);
-    // The refcounted frame rides along in flight: a fan-out to N neighbors
-    // schedules N events over the same bytes, no copies.
-    events_.schedule_in(adj.latency, [this, origin_asn, to, frame = std::move(msg.frame)]() {
-      deliver(origin_asn, to, *frame);
-    });
+    const FaultProfile& faults = link->faults_;
+    if (!faults.any()) {
+      // Fault-free fast path: no RNG draws, so runs without chaos remain
+      // bit-identical to the pre-chaos simulator.
+      schedule_frame(origin_asn, to, std::move(msg.frame), link->latency_);
+      continue;
+    }
+    // Faults are decided at dispatch (send) time from the link's private
+    // stream, before the delivery-mode choice, so a schedule replays
+    // identically in immediate and batched modes.
+    util::Rng& rng = link->fault_rng_;
+    if (faults.loss > 0.0 && rng.next_double() < faults.loss) {
+      ++link->stats_.frames_lost;
+      ++churn_.frames_lost;
+      NetworkMetrics::get().frames_lost->inc();
+      continue;
+    }
+    ia::SharedFrame frame = std::move(msg.frame);
+    if (faults.corrupt > 0.0 && rng.next_double() < faults.corrupt) {
+      frame = ia::make_shared_frame(corrupt_frame(*frame, rng));
+      ++link->stats_.frames_corrupted;
+      ++churn_.frames_corrupted;
+      NetworkMetrics::get().frames_corrupted->inc();
+    }
+    double delay = link->latency_;
+    if (faults.reorder > 0.0 && rng.next_double() < faults.reorder) {
+      // Extra delay pushes this frame past later ones on the same link.
+      delay += faults.reorder_delay;
+      ++link->stats_.frames_reordered;
+      ++churn_.frames_reordered;
+      NetworkMetrics::get().frames_reordered->inc();
+    }
+    const bool duplicate = faults.duplicate > 0.0 && rng.next_double() < faults.duplicate;
+    if (duplicate) {
+      ++link->stats_.frames_duplicated;
+      ++churn_.frames_duplicated;
+      NetworkMetrics::get().frames_duplicated->inc();
+      schedule_frame(origin_asn, to, frame, delay);
+    }
+    schedule_frame(origin_asn, to, std::move(frame), delay);
   }
+}
+
+void DbgpNetwork::schedule_frame(bgp::AsNumber from, bgp::AsNumber to, ia::SharedFrame frame,
+                                 double delay) {
+  NetworkMetrics::get().messages_in_flight->add(1);
+  ++in_flight_;
+  // The refcounted frame rides along in flight: a fan-out to N neighbors
+  // schedules N events over the same bytes, no copies.
+  events_.schedule_in(delay, [this, from, to, frame = std::move(frame)]() {
+    deliver(from, to, frame, options_.delivery);
+  });
 }
 
 // Reconstructs the per-hop trace record from the wire frame. Announce frames
@@ -164,21 +363,25 @@ void DbgpNetwork::trace_delivery(bgp::AsNumber from, bgp::AsNumber to,
   } catch (const util::DecodeError&) {
     // Malformed frames still appear in the trace, as "unknown".
   }
-  tracer_->record(std::move(event));
+  options_.tracer->record(std::move(event));
 }
 
-void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to,
-                          const std::vector<std::uint8_t>& bytes) {
+void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to, const ia::SharedFrame& frame,
+                          DeliveryMode mode) {
   NetworkMetrics::get().messages_in_flight->add(-1);
+  if (--in_flight_ == 0) last_zero_ = events_.now();
   auto it = nodes_.find(to);
-  if (it == nodes_.end()) return;
+  if (it == nodes_.end() || !it->second.up) return;
   const bgp::PeerId peer = peer_id(to, from);
-  if (peer == bgp::kInvalidPeer || !it->second.adjacencies[peer].up) return;
+  if (peer == bgp::kInvalidPeer) return;
+  const Link* link = it->second.adjacencies[peer].link;
+  if (link == nullptr || !link->up()) return;
+  const std::vector<std::uint8_t>& bytes = *frame;
   NetworkMetrics::get().frames_delivered->inc();
   NetworkMetrics::get().bytes_delivered->inc(bytes.size());
-  if (tracer_ != nullptr) trace_delivery(from, to, bytes);
+  if (options_.tracer != nullptr) trace_delivery(from, to, bytes);
   try {
-    if (!batch_delivery_) {
+    if (mode == DeliveryMode::kImmediate) {
       dispatch(to, it->second.speaker->handle_frame(peer, bytes));
       return;
     }
@@ -187,19 +390,57 @@ void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to,
     dispatch(to, it->second.speaker->enqueue_frame(peer, bytes));
     events_.schedule_coalesced(to, 0.0, [this, to] { flush_node(to); });
   } catch (const util::DecodeError& e) {
-    DBGP_LOG(util::LogLevel::kError, kLog)
-        << "AS" << to << " failed to decode frame from AS" << from << ": " << e.what();
+    // The decode throw fires before any adj-in mutation, so a mangled frame
+    // is rejected without poisoning the receiver's state. Expected under an
+    // active corruption profile; an error otherwise.
+    ++churn_.frames_rejected;
+    NetworkMetrics::get().frames_rejected->inc();
+    const auto level = link->faults_.corrupt > 0.0 ? util::LogLevel::kDebug
+                                                   : util::LogLevel::kError;
+    DBGP_LOG(level, kLog) << "AS" << to << " failed to decode frame from AS" << from << ": "
+                          << e.what();
   }
 }
 
 void DbgpNetwork::flush_node(bgp::AsNumber asn) {
   auto it = nodes_.find(asn);
-  if (it == nodes_.end()) return;
+  if (it == nodes_.end() || !it->second.up) return;
   dispatch(asn, it->second.speaker->flush());
 }
 
+// -- Re-convergence clock -----------------------------------------------------
+
+void DbgpNetwork::note_disruption() {
+  // A window that already settled (in-flight back to zero) is committed
+  // before the new one opens; overlapping disruptions merge into one window.
+  if (disruption_open_ && in_flight_ == 0 && last_zero_ > disruption_start_) {
+    close_disruption_window();
+  }
+  if (!disruption_open_) {
+    disruption_open_ = true;
+    disruption_start_ = events_.now();
+  }
+}
+
+void DbgpNetwork::close_disruption_window() {
+  if (!disruption_open_) return;
+  disruption_open_ = false;
+  const double end = std::max(last_zero_, disruption_start_);
+  NetworkMetrics::get().reconvergence->record(end - disruption_start_);
+}
+
 RunStats DbgpNetwork::run_to_convergence(std::size_t max_events) {
-  return events_.run(max_events);
+  RunStats stats = events_.run(max_events);
+  if (!stats.capped) close_disruption_window();
+  stats.link_flaps = churn_.link_flaps;
+  stats.crashes = churn_.crashes;
+  stats.restarts = churn_.restarts;
+  stats.frames_lost = churn_.frames_lost;
+  stats.frames_duplicated = churn_.frames_duplicated;
+  stats.frames_reordered = churn_.frames_reordered;
+  stats.frames_corrupted = churn_.frames_corrupted;
+  stats.frames_rejected = churn_.frames_rejected;
+  return stats;
 }
 
 std::vector<bgp::AsNumber> DbgpNetwork::as_numbers() const {

@@ -5,24 +5,50 @@
 // Every byte crossing a link is a real serialized frame: speakers encode and
 // decode IAs exactly as they would on the wire, so the experiments exercise
 // the full codec and pipeline, not shortcuts.
+//
+// Links are first-class objects (simnet/link.h): `add_link` returns a Link&
+// whose state and FaultProfile drive session churn and per-frame faults;
+// nodes can crash() and restart() (restart clears the speaker's RIB/IA-DB
+// and re-learns from peers via full-table sync). One Options struct carries
+// the knobs that used to be scattered setters, and both delivery modes go
+// through the single deliver(frame, DeliveryMode) entry point so a chaos
+// schedule interleaves identically whether processing is immediate or
+// batched.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/lookup_service.h"
 #include "core/speaker.h"
 #include "simnet/event_queue.h"
+#include "simnet/link.h"
 #include "telemetry/trace.h"
 
 namespace dbgp::simnet {
 
 class DbgpNetwork {
  public:
-  explicit DbgpNetwork(core::LookupService* lookup = nullptr,
-                       double default_latency = 0.010)
-      : lookup_(lookup), default_latency_(default_latency) {}
+  struct Options {
+    double default_latency = 0.010;
+    // Frame processing at the receiver; see DeliveryMode. Immediate keeps
+    // the deployment scenarios' traces bit-identical to the pre-batching
+    // pipeline.
+    DeliveryMode delivery = DeliveryMode::kImmediate;
+    // IA propagation tracer: every delivered frame is recorded as a per-hop
+    // TraceEvent (announce frames are additionally decoded for the carried
+    // protocols, at a cost — leave unset on hot benchmark paths).
+    telemetry::PropagationTracer* tracer = nullptr;
+  };
+
+  // Two overloads instead of one defaulted Options argument: a nested
+  // class's member initializers are unusable as a default argument before
+  // the enclosing class is complete.
+  explicit DbgpNetwork(core::LookupService* lookup = nullptr) : lookup_(lookup) {}
+  DbgpNetwork(core::LookupService* lookup, Options options)
+      : lookup_(lookup), options_(options) {}
 
   // Adds an AS running a D-BGP speaker with the given config. The AS number
   // in `config` must be unique within the network.
@@ -31,34 +57,46 @@ class DbgpNetwork {
   const core::DbgpSpeaker& speaker(bgp::AsNumber asn) const;
   bool has_as(bgp::AsNumber asn) const noexcept;
 
-  // Connects two ASes (registers each as the other's peer). `same_island`
-  // marks an intra-island adjacency (egress filters are skipped over it).
-  void connect(bgp::AsNumber a, bgp::AsNumber b, bool same_island = false,
-               double latency = -1.0);
+  // -- Links ----------------------------------------------------------------
+  // Creates the link and establishes the peering sessions (each side
+  // registers the other as a peer and syncs its table). `same_island` marks
+  // an intra-island adjacency (egress filters are skipped over it). One link
+  // per AS pair: reconnects go through Link::set_state, not a second
+  // add_link.
+  Link& add_link(bgp::AsNumber a, bgp::AsNumber b, bool same_island = false,
+                 double latency = -1.0);
+  // The link between two ASes; throws std::out_of_range if absent.
+  Link& link(bgp::AsNumber a, bgp::AsNumber b);
+  // nullptr instead of throwing.
+  Link* find_link(bgp::AsNumber a, bgp::AsNumber b) noexcept;
+  // Every link, ordered by normalized (min, max) endpoint pair.
+  std::vector<Link*> links();
+
+  // -- Node churn -----------------------------------------------------------
+  // Crashes an AS: its sessions drop (every live neighbor purges what it
+  // learned from it), and frames in flight toward it are lost. The speaker
+  // object survives but is unreachable until restart().
+  void crash(bgp::AsNumber asn);
+  // Restarts a crashed AS: the speaker's learned state is wiped
+  // (DbgpSpeaker::reset_routes), it re-announces its originated prefixes,
+  // and every live neighbor re-syncs its full table over the restored
+  // sessions.
+  void restart(bgp::AsNumber asn);
+  bool node_up(bgp::AsNumber asn) const { return nodes_.at(asn).up; }
 
   // Originates a prefix at an AS and queues the resulting advertisements.
   void originate(bgp::AsNumber asn, const net::Prefix& prefix);
   void withdraw(bgp::AsNumber asn, const net::Prefix& prefix);
-  // Tears down the adjacency between two ASes (session failure).
-  void disconnect(bgp::AsNumber a, bgp::AsNumber b);
 
   // Drains the event queue. The control plane has converged when the result
   // is not capped; a capped result means the max_events safety valve fired
-  // with frames still in flight.
+  // with frames still in flight. The returned RunStats additionally carries
+  // the network's cumulative churn counters (flaps, crashes, per-frame
+  // faults) so chaos runs can be compared and replay-checked field by field.
   RunStats run_to_convergence(std::size_t max_events = 10'000'000);
 
-  // Attaches an IA propagation tracer: every delivered frame is recorded as
-  // a per-hop TraceEvent (announce frames are additionally decoded for the
-  // carried protocols, at a cost — leave unset on hot benchmark paths).
-  void set_tracer(telemetry::PropagationTracer* tracer) noexcept { tracer_ = tracer; }
-
-  // Opt-in batched delivery: frames arriving at a node are staged into its
-  // speaker (DbgpSpeaker::enqueue_frame) and one coalesced flush event per
-  // (node, timestamp) runs the decision process per touched prefix. Off by
-  // default: immediate per-frame processing, which keeps the deployment
-  // scenarios' traces bit-identical to the pre-batching pipeline.
-  void set_batch_delivery(bool on) noexcept { batch_delivery_ = on; }
-  bool batch_delivery() const noexcept { return batch_delivery_; }
+  Options& options() noexcept { return options_; }
+  const Options& options() const noexcept { return options_; }
 
   EventQueue& events() noexcept { return events_; }
   core::LookupService* lookup() noexcept { return lookup_; }
@@ -69,31 +107,87 @@ class DbgpNetwork {
   // Peer id of `b` as seen from `a`; kInvalidPeer if not adjacent.
   bgp::PeerId peer_id(bgp::AsNumber a, bgp::AsNumber b) const;
 
+  // -- Deprecated shims (scheduled for removal next PR; see CHANGES.md) -----
+  // connect: add_link, or Link::set_state(kUp) when the pair is already
+  // linked (the old API created a duplicate peering on reconnect, which left
+  // the stale half-session shadowing the new one).
+  void connect(bgp::AsNumber a, bgp::AsNumber b, bool same_island = false,
+               double latency = -1.0);
+  // disconnect: Link::set_state(kDown).
+  void disconnect(bgp::AsNumber a, bgp::AsNumber b);
+  void set_tracer(telemetry::PropagationTracer* tracer) noexcept {
+    options_.tracer = tracer;
+  }
+  void set_batch_delivery(bool on) noexcept {
+    options_.delivery = on ? DeliveryMode::kBatched : DeliveryMode::kImmediate;
+  }
+  bool batch_delivery() const noexcept {
+    return options_.delivery == DeliveryMode::kBatched;
+  }
+
  private:
+  friend class Link;
+
   struct Node {
     std::unique_ptr<core::DbgpSpeaker> speaker;
-    // peer id -> (neighbor asn, latency, up?)
+    bool up = true;
+    // peer id -> the neighbor and the link carrying the session. One entry
+    // per neighbor for the node's lifetime; flaps reuse it.
     struct Adjacency {
       bgp::AsNumber neighbor = 0;
-      double latency = 0.0;
-      bool up = true;
+      Link* link = nullptr;
     };
     std::vector<Adjacency> adjacencies;
   };
 
-  void deliver(bgp::AsNumber from, bgp::AsNumber to,
-               const std::vector<std::uint8_t>& bytes);
+  // Session-state transition for a link (called via Link::set_state).
+  void on_link_state(Link& link, LinkState state);
+  // The single delivery entry point shared by both modes: link/node checks,
+  // telemetry, tracing, and decode-failure rejection happen identically;
+  // only the final hand-off differs (handle_frame vs enqueue + coalesced
+  // flush).
+  void deliver(bgp::AsNumber from, bgp::AsNumber to, const ia::SharedFrame& frame,
+               DeliveryMode mode);
   void flush_node(bgp::AsNumber asn);
+  // Applies the out-link's fault profile and schedules delivery events.
   void dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgoing> outgoing);
+  void schedule_frame(bgp::AsNumber from, bgp::AsNumber to, ia::SharedFrame frame,
+                      double delay);
   void trace_delivery(bgp::AsNumber from, bgp::AsNumber to,
                       const std::vector<std::uint8_t>& bytes);
+  // Re-convergence clock: a disruption (flap/crash/restart) opens a window
+  // that closes at the last time the in-flight frame count touched zero.
+  void note_disruption();
+  void close_disruption_window();
+  static std::pair<bgp::AsNumber, bgp::AsNumber> link_key(bgp::AsNumber a,
+                                                          bgp::AsNumber b) noexcept {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
 
   EventQueue events_;
   core::LookupService* lookup_;
-  double default_latency_;
+  Options options_;
   std::map<bgp::AsNumber, Node> nodes_;
-  telemetry::PropagationTracer* tracer_ = nullptr;
-  bool batch_delivery_ = false;
+  std::map<std::pair<bgp::AsNumber, bgp::AsNumber>, std::unique_ptr<Link>> links_;
+
+  // Cumulative churn accounting, mirrored into RunStats on every
+  // run_to_convergence (and into the telemetry registry as it happens).
+  struct Churn {
+    std::uint64_t link_flaps = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t frames_lost = 0;
+    std::uint64_t frames_duplicated = 0;
+    std::uint64_t frames_reordered = 0;
+    std::uint64_t frames_corrupted = 0;
+    std::uint64_t frames_rejected = 0;
+  } churn_;
+
+  // Re-convergence window state (see note_disruption).
+  std::int64_t in_flight_ = 0;
+  double last_zero_ = 0.0;
+  bool disruption_open_ = false;
+  double disruption_start_ = 0.0;
 };
 
 }  // namespace dbgp::simnet

@@ -142,8 +142,8 @@ struct SecureChainFixture {
 TEST(BgpSecGulf, ContiguousDeploymentVerifies) {
   SecureChainFixture fix;
   for (bgp::AsNumber asn : {1, 2, 3}) fix.add_secure(asn);
-  fix.net.connect(1, 2);
-  fix.net.connect(2, 3);
+  fix.net.add_link(1, 2);
+  fix.net.add_link(2, 3);
   fix.net.originate(1, kPrefix);
   fix.net.run_to_convergence();
 
@@ -158,8 +158,8 @@ TEST(BgpSecGulf, GulfBreaksChainEvenWithPassThrough) {
   fix.add_secure(1);
   fix.add_gulf(2);  // gulf AS passes attestations through but cannot sign
   fix.add_secure(3);
-  fix.net.connect(1, 2);
-  fix.net.connect(2, 3);
+  fix.net.add_link(1, 2);
+  fix.net.add_link(2, 3);
   fix.net.originate(1, kPrefix);
   fix.net.run_to_convergence();
 

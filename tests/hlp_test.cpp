@@ -117,9 +117,9 @@ TEST(HlpGulf, CostCrossesGulfWithIslandAbstraction) {
   LinkStateDb lsdb_b;
   add_hlp(9, island_b, &lsdb_b, 201, 201, {9});
 
-  net.connect(1, 2, /*same_island=*/true);
-  net.connect(2, 4);
-  net.connect(4, 9);
+  net.add_link(1, 2, /*same_island=*/true);
+  net.add_link(2, 4);
+  net.add_link(4, 9);
   net.originate(1, kPrefix);
   net.run_to_convergence();
 

@@ -158,8 +158,8 @@ TEST(WiserExchange, TwoWayScalingAcrossGulfEndToEnd) {
   net.add_as(gulf).add_module(std::make_unique<protocols::BgpModule>());
   add_wiser(9, island_b, 5, &module_b);
 
-  net.connect(1, 4);
-  net.connect(4, 9);
+  net.add_link(1, 4);
+  net.add_link(4, 9);
   net.originate(1, prefix);
   net.run_to_convergence();
 

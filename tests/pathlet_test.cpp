@@ -178,9 +178,9 @@ TEST(PathletGulf, SourceSeesAllFivePathlets) {
   ASSERT_TRUE(store_a2.compose(1, 2, 50).has_value());
   ASSERT_EQ(store_a2.locals().size(), 5u);
 
-  net.connect(1, 2, /*same_island=*/true);
-  net.connect(2, 7);
-  net.connect(7, 9);
+  net.add_link(1, 2, /*same_island=*/true);
+  net.add_link(2, 7);
+  net.add_link(7, 9);
   net.originate(1, kDest);
   net.run_to_convergence();
 

@@ -131,7 +131,7 @@ struct RandomNetwork {
     }
     for (topology::NodeId u = 0; u < hierarchy.graph.size(); ++u) {
       for (const auto& edge : hierarchy.graph.neighbors(u)) {
-        if (edge.neighbor > u) net.connect(u + 1, edge.neighbor + 1);
+        if (edge.neighbor > u) net.add_link(u + 1, edge.neighbor + 1);
       }
     }
   }
@@ -216,7 +216,7 @@ TEST_P(NetworkProperties, SurvivesLinkFlaps) {
     const auto* best = fixture.net.speaker(victim).best(prefix);
     if (best == nullptr || best->from_peer == bgp::kInvalidPeer) continue;
     const auto neighbor = fixture.net.peer_as_of(victim, best->from_peer);
-    fixture.net.disconnect(victim, neighbor);
+    fixture.net.link(victim, neighbor).set_state(simnet::LinkState::kDown);
     const std::size_t events = fixture.net.run_to_convergence(500000);
     ASSERT_LT(events, 500000u);
     const auto* after = fixture.net.speaker(victim).best(prefix);
@@ -322,7 +322,7 @@ TEST_P(NetworkProperties, HeterogeneousProtocolsConverge) {
   }
   for (topology::NodeId u = 0; u < n; ++u) {
     for (const auto& e : hierarchy.graph.neighbors(u)) {
-      if (e.neighbor > u) net.connect(u + 1, e.neighbor + 1);
+      if (e.neighbor > u) net.add_link(u + 1, e.neighbor + 1);
     }
   }
   for (std::size_t i = 0; i < 6; ++i) {

@@ -108,11 +108,11 @@ TEST(RBgp, AcrossGulfBackupSurvives) {
   add_gulf(3);
   add_rbgp(4);   // adopter that knows both paths and exports a backup
   add_gulf(5);   // downstream receiver across another legacy hop
-  net.connect(1, 2);
-  net.connect(1, 3);
-  net.connect(2, 4);
-  net.connect(3, 4);
-  net.connect(4, 5);
+  net.add_link(1, 2);
+  net.add_link(1, 3);
+  net.add_link(2, 4);
+  net.add_link(3, 4);
+  net.add_link(4, 5);
   net.originate(1, kPrefix);
   net.run_to_convergence();
 
@@ -193,8 +193,8 @@ TEST(Lisp, MappingCrossesGulfAndSupportsMobility) {
     config.next_hop = net::Ipv4Address(asn);
     net.add_as(config).add_module(std::make_unique<BgpModule>());
   }
-  net.connect(1, 2);
-  net.connect(2, 3);
+  net.add_link(1, 2);
+  net.add_link(2, 3);
   net.originate(1, kPrefix);
   net.run_to_convergence();
 

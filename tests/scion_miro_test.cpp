@@ -90,8 +90,8 @@ TEST(ScionGulf, SourceSeesBothPaths) {
   left_speaker.add_module(
       std::make_unique<ScionModule>(ScionModule::Config{island_left, {}}));
 
-  net.connect(1, 4);
-  net.connect(4, 5);
+  net.add_link(1, 4);
+  net.add_link(4, 5);
   net.originate(1, kDest);
   net.run_to_convergence();
 
@@ -185,8 +185,8 @@ TEST(MiroGulf, OffPathDiscoveryAndTunnel) {
     config.next_hop = net::Ipv4Address(asn);
     net.add_as(config).add_module(std::make_unique<BgpModule>());
   }
-  net.connect(30, 20);
-  net.connect(20, 10);
+  net.add_link(30, 20);
+  net.add_link(20, 10);
   net.originate(30, miro_prefix);
   net.run_to_convergence();
 

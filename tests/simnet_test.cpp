@@ -102,7 +102,7 @@ TEST(DbgpNetwork, LineConvergence) {
   for (bgp::AsNumber asn = 1; asn <= 5; ++asn) {
     net.add_as(bgp_as(asn)).add_module(std::make_unique<protocols::BgpModule>());
   }
-  for (bgp::AsNumber asn = 1; asn < 5; ++asn) net.connect(asn, asn + 1);
+  for (bgp::AsNumber asn = 1; asn < 5; ++asn) net.add_link(asn, asn + 1);
   const auto prefix = *net::Prefix::parse("10.0.0.0/8");
   net.originate(1, prefix);
   net.run_to_convergence();
@@ -118,7 +118,7 @@ TEST(DbgpNetwork, RingPrefersShortSide) {
   for (bgp::AsNumber asn = 1; asn <= 6; ++asn) {
     net.add_as(bgp_as(asn)).add_module(std::make_unique<protocols::BgpModule>());
   }
-  for (bgp::AsNumber asn = 1; asn <= 6; ++asn) net.connect(asn, asn % 6 + 1);
+  for (bgp::AsNumber asn = 1; asn <= 6; ++asn) net.add_link(asn, asn % 6 + 1);
   const auto prefix = *net::Prefix::parse("10.0.0.0/8");
   net.originate(1, prefix);
   net.run_to_convergence();
@@ -134,10 +134,10 @@ TEST(DbgpNetwork, DisconnectTriggersReroute) {
     net.add_as(bgp_as(asn)).add_module(std::make_unique<protocols::BgpModule>());
   }
   // Square 1-2-4, 1-3-4.
-  net.connect(1, 2);
-  net.connect(2, 4);
-  net.connect(1, 3);
-  net.connect(3, 4);
+  net.add_link(1, 2);
+  net.add_link(2, 4);
+  net.add_link(1, 3);
+  net.add_link(3, 4);
   const auto prefix = *net::Prefix::parse("10.0.0.0/8");
   net.originate(1, prefix);
   net.run_to_convergence();
@@ -146,7 +146,7 @@ TEST(DbgpNetwork, DisconnectTriggersReroute) {
   EXPECT_EQ(before->ia.path_vector.hop_count(), 2u);
   const bgp::AsNumber via = before->ia.path_vector.elements()[0].asn;
 
-  net.disconnect(4, via);
+  net.link(4, via).set_state(LinkState::kDown);
   net.run_to_convergence();
   const auto* after = net.speaker(4).best(prefix);
   ASSERT_NE(after, nullptr);
@@ -158,8 +158,8 @@ TEST(DbgpNetwork, WithdrawPropagates) {
   for (bgp::AsNumber asn = 1; asn <= 3; ++asn) {
     net.add_as(bgp_as(asn)).add_module(std::make_unique<protocols::BgpModule>());
   }
-  net.connect(1, 2);
-  net.connect(2, 3);
+  net.add_link(1, 2);
+  net.add_link(2, 3);
   const auto prefix = *net::Prefix::parse("10.0.0.0/8");
   net.originate(1, prefix);
   net.run_to_convergence();
@@ -174,12 +174,12 @@ TEST(DbgpNetwork, LateConnectGetsFullTable) {
   for (bgp::AsNumber asn = 1; asn <= 3; ++asn) {
     net.add_as(bgp_as(asn)).add_module(std::make_unique<protocols::BgpModule>());
   }
-  net.connect(1, 2);
+  net.add_link(1, 2);
   const auto prefix = *net::Prefix::parse("10.0.0.0/8");
   net.originate(1, prefix);
   net.run_to_convergence();
   // AS 3 joins after origination: connect() performs initial sync.
-  net.connect(2, 3);
+  net.add_link(2, 3);
   net.run_to_convergence();
   ASSERT_NE(net.speaker(3).best(prefix), nullptr);
 }

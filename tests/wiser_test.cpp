@@ -106,13 +106,13 @@ struct WiserGulfFixture {
     add_gulf_as(5, legacy_gulf);
     add_gulf_as(6, legacy_gulf);
     add_wiser_as(9, island_b, 1);  // S
-    net.connect(1, 2, /*same_island=*/true);
-    net.connect(1, 3, /*same_island=*/true);
-    net.connect(2, 4);
-    net.connect(4, 9);
-    net.connect(3, 5);
-    net.connect(5, 6);
-    net.connect(6, 9);
+    net.add_link(1, 2, /*same_island=*/true);
+    net.add_link(1, 3, /*same_island=*/true);
+    net.add_link(2, 4);
+    net.add_link(4, 9);
+    net.add_link(3, 5);
+    net.add_link(5, 6);
+    net.add_link(6, 9);
     net.originate(1, dest);
     net.run_to_convergence();
   }

@@ -5,9 +5,11 @@
 // Compares per-benchmark throughput (the "prefixes/s" counter when present,
 // ops_per_sec otherwise) and exits non-zero if any benchmark in the baseline
 // lost more than `threshold` (default 10%) of its throughput, or disappeared
-// from the candidate. Improvements and new benchmarks are reported but never
-// fail the gate, so the committed BENCH file can ratchet forward. Wired up
-// as the `dbgp_bench_check` CMake target.
+// from the candidate. Counters named "reconverge*" (bench_churn's simulated
+// re-convergence times) are additionally gated the other way around: they
+// regress by *growing* more than the threshold. Improvements and new
+// benchmarks are reported but never fail the gate, so the committed BENCH
+// file can ratchet forward. Wired up as the `dbgp_bench_check` CMake target.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,18 +31,37 @@ double throughput_of(const Value& bench) {
   return bench.number_or("ops_per_sec", 0.0);
 }
 
-// name -> throughput for every entry of the file's "benchmarks" array.
-std::map<std::string, double> load(const std::string& path) {
+// A gated number: throughput (higher is better) or a latency-style counter
+// (lower is better).
+struct Metric {
+  double value = 0.0;
+  bool lower_is_better = false;
+};
+
+bool is_lower_better_counter(const std::string& counter) {
+  return counter.rfind("reconverge", 0) == 0;
+}
+
+// name -> metric for every entry of the file's "benchmarks" array; latency
+// counters appear as "<bench>:<counter>" rows next to the throughput row.
+std::map<std::string, Metric> load(const std::string& path) {
   const Value doc = dbgp::util::json::parse_file(path);
   const Value* benchmarks = doc.find("benchmarks");
   if (benchmarks == nullptr || !benchmarks->is_array()) {
     throw std::runtime_error(path + ": no \"benchmarks\" array");
   }
-  std::map<std::string, double> out;
+  std::map<std::string, Metric> out;
   for (const Value& bench : benchmarks->as_array()) {
     const std::string name = bench.string_or("name", "");
     if (name.empty()) continue;
-    out[name] = throughput_of(bench);
+    out[name] = {throughput_of(bench), false};
+    const Value* counters = bench.find("counters");
+    if (counters == nullptr || !counters->is_object()) continue;
+    for (const auto& [counter, value] : counters->as_object()) {
+      if (is_lower_better_counter(counter) && value.is_number()) {
+        out[name + ":" + counter] = {value.as_double(), true};
+      }
+    }
   }
   return out;
 }
@@ -65,8 +86,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::map<std::string, double> baseline;
-  std::map<std::string, double> candidate;
+  std::map<std::string, Metric> baseline;
+  std::map<std::string, Metric> candidate;
   try {
     baseline = load(paths[0]);
     candidate = load(paths[1]);
@@ -80,20 +101,22 @@ int main(int argc, char** argv) {
   for (const auto& [name, base] : baseline) {
     const auto it = candidate.find(name);
     if (it == candidate.end()) {
-      std::printf("%-36s %14.1f %14s %8s  MISSING\n", name.c_str(), base, "-", "-");
+      std::printf("%-36s %14.1f %14s %8s  MISSING\n", name.c_str(), base.value, "-", "-");
       ++regressions;
       continue;
     }
-    const double cand = it->second;
-    const double delta = base > 0 ? (cand - base) / base : 0.0;
-    const bool regressed = base > 0 && delta < -threshold;
-    std::printf("%-36s %14.1f %14.1f %+7.1f%%%s\n", name.c_str(), base, cand,
+    const double cand = it->second.value;
+    const double delta = base.value > 0 ? (cand - base.value) / base.value : 0.0;
+    // Throughput regresses by dropping; latency-style metrics by growing.
+    const bool regressed = base.value > 0 && (base.lower_is_better ? delta > threshold
+                                                                   : delta < -threshold);
+    std::printf("%-36s %14.3f %14.3f %+7.1f%%%s\n", name.c_str(), base.value, cand,
                 delta * 100.0, regressed ? "  REGRESSION" : "");
     if (regressed) ++regressions;
   }
   for (const auto& [name, cand] : candidate) {
     if (baseline.count(name) == 0) {
-      std::printf("%-36s %14s %14.1f %8s  new\n", name.c_str(), "-", cand, "-");
+      std::printf("%-36s %14s %14.3f %8s  new\n", name.c_str(), "-", cand.value, "-");
     }
   }
 

@@ -1,12 +1,18 @@
 // dbgp_run — run a D-BGP scenario file and report routes and expectations.
 //
-//   dbgp_run <scenario-file> [--tables] [--quiet]
+//   dbgp_run <scenario-file> [--tables] [--quiet] [--batched]
 //            [--metrics <file>] [--trace <file>]
+//            [--chaos-seed <n>] [--chaos-profile <name>]
 //
 // --metrics writes a JSON snapshot of the process-wide telemetry registry
 // (speaker counters, codec latency histograms, simnet gauges) after the run;
 // --trace additionally records every per-hop IA delivery and writes the
 // propagation trace as JSON.
+//
+// --batched switches frame processing to coalesced per-prefix decisions.
+// --chaos-seed re-seeds the scenario's `chaos` stanza (a cheap way to sweep
+// fault schedules); --chaos-profile injects a named preset schedule
+// (flaky|lossy|corrupt|outage|full) even into scenarios without a stanza.
 //
 // Exits 0 when the network converged and every `expect` in the scenario
 // holds, 1 otherwise. See scenarios/*.dbgp for examples and
@@ -16,6 +22,7 @@
 
 #include "scenario/parser.h"
 #include "scenario/runner.h"
+#include "simnet/chaos.h"
 #include "telemetry/json_export.h"
 #include "telemetry/metrics.h"
 #include "util/flags.h"
@@ -25,18 +32,30 @@ int main(int argc, char** argv) {
   std::string error;
   if (!flags.parse(argc, argv, error) || flags.positional().size() != 1) {
     std::fprintf(stderr,
-                 "usage: dbgp_run <scenario-file> [--tables] [--quiet]\n"
-                 "                [--metrics <file>] [--trace <file>]\n");
+                 "usage: dbgp_run <scenario-file> [--tables] [--quiet] [--batched]\n"
+                 "                [--metrics <file>] [--trace <file>]\n"
+                 "                [--chaos-seed <n>] [--chaos-profile <name>]\n");
     return 2;
   }
   const bool quiet = flags.get_bool("quiet", false);
   const std::string metrics_path = flags.get_string("metrics", "");
   const std::string trace_path = flags.get_string("trace", "");
+  const std::string chaos_profile = flags.get_string("chaos-profile", "");
+  const std::int64_t chaos_seed = flags.get_int("chaos-seed", -1);
 
   try {
     const auto scenario = dbgp::scenario::load_scenario(flags.positional()[0]);
     dbgp::scenario::Runner runner;
     if (!trace_path.empty()) runner.enable_tracing();
+    if (flags.get_bool("batched", false)) {
+      runner.set_delivery(dbgp::simnet::DeliveryMode::kBatched);
+    }
+    if (!chaos_profile.empty()) {
+      runner.set_chaos(dbgp::simnet::chaos_profile(chaos_profile));
+    }
+    if (chaos_seed >= 0) {
+      runner.set_chaos_seed(static_cast<std::uint64_t>(chaos_seed));
+    }
     runner.build(scenario);
     const auto result = runner.run();
 
@@ -44,6 +63,22 @@ int main(int argc, char** argv) {
       std::printf("%s after %zu events; %zu ASes, %zu originations\n",
                   result.converged ? "converged" : "NOT CONVERGED (event cap hit)",
                   result.events, scenario.ases.size(), scenario.originations.size());
+      const auto& s = result.stats;
+      if (s.link_flaps + s.crashes + s.frames_lost + s.frames_duplicated +
+              s.frames_reordered + s.frames_corrupted + s.frames_rejected >
+          0) {
+        std::printf(
+            "churn: %llu flaps, %llu crashes/%llu restarts; frames: %llu lost, "
+            "%llu duplicated, %llu reordered, %llu corrupted, %llu rejected\n",
+            static_cast<unsigned long long>(s.link_flaps),
+            static_cast<unsigned long long>(s.crashes),
+            static_cast<unsigned long long>(s.restarts),
+            static_cast<unsigned long long>(s.frames_lost),
+            static_cast<unsigned long long>(s.frames_duplicated),
+            static_cast<unsigned long long>(s.frames_reordered),
+            static_cast<unsigned long long>(s.frames_corrupted),
+            static_cast<unsigned long long>(s.frames_rejected));
+      }
       if (flags.get_bool("tables", false)) {
         std::printf("\n%s", runner.dump_tables().c_str());
       }
