@@ -26,10 +26,52 @@ bool better_route(const Route& a, const Route& b) noexcept {
   return a.sequence < b.sequence;
 }
 
+const char* to_string(SelectionStep step) noexcept {
+  switch (step) {
+    case SelectionStep::kLocalPref: return "local-pref";
+    case SelectionStep::kPathLength: return "path-length";
+    case SelectionStep::kOrigin: return "origin";
+    case SelectionStep::kMed: return "med";
+    case SelectionStep::kPeerId: return "peer-id";
+    case SelectionStep::kArrivalOrder: return "arrival-order";
+  }
+  return "?";
+}
+
+SelectionStep deciding_step(const Route& a, const Route& b) noexcept {
+  if (a.attrs.local_pref.value_or(kDefaultLocalPref) !=
+      b.attrs.local_pref.value_or(kDefaultLocalPref)) {
+    return SelectionStep::kLocalPref;
+  }
+  if (a.attrs.as_path.hop_count() != b.attrs.as_path.hop_count()) {
+    return SelectionStep::kPathLength;
+  }
+  if (a.attrs.origin != b.attrs.origin) return SelectionStep::kOrigin;
+  if (a.neighbor_as == b.neighbor_as && a.neighbor_as != 0 &&
+      a.attrs.med.value_or(0) != b.attrs.med.value_or(0)) {
+    return SelectionStep::kMed;
+  }
+  if (a.from_peer != b.from_peer) return SelectionStep::kPeerId;
+  return SelectionStep::kArrivalOrder;
+}
+
 const Route* select_best(const std::vector<const Route*>& candidates) noexcept {
   const Route* best = nullptr;
   for (const Route* r : candidates) {
     if (best == nullptr || better_route(*r, *best)) best = r;
+  }
+  return best;
+}
+
+const Route* select_best(const std::vector<const Route*>& candidates,
+                         std::vector<std::string>& outcomes) {
+  const Route* best = select_best(candidates);
+  outcomes.clear();
+  outcomes.reserve(candidates.size());
+  for (const Route* r : candidates) {
+    outcomes.push_back(r == best
+                           ? std::string("selected")
+                           : std::string("lost:") + to_string(deciding_step(*best, *r)));
   }
   return best;
 }

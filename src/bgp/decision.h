@@ -9,6 +9,7 @@
 //   6. lowest arrival sequence (deterministic final tie-break)
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "bgp/rib.h"
@@ -20,7 +21,28 @@ inline constexpr std::uint32_t kDefaultLocalPref = 100;
 // Returns true if `a` is preferred over `b`.
 bool better_route(const Route& a, const Route& b) noexcept;
 
+// The ladder step that ordered two routes — provenance audits record the
+// *reason* a candidate lost, not just that it lost.
+enum class SelectionStep : std::uint8_t {
+  kLocalPref,
+  kPathLength,
+  kOrigin,
+  kMed,
+  kPeerId,
+  kArrivalOrder,
+};
+const char* to_string(SelectionStep step) noexcept;
+
+// The first ladder step at which `a` and `b` differ (kArrivalOrder when the
+// whole ladder ties down to the sequence number).
+SelectionStep deciding_step(const Route& a, const Route& b) noexcept;
+
 // Picks the best candidate; nullptr for an empty set.
 const Route* select_best(const std::vector<const Route*>& candidates) noexcept;
+
+// Audited variant: fills `outcomes` (parallel to `candidates`) with
+// "selected" for the winner and "lost:<step>" for everyone else.
+const Route* select_best(const std::vector<const Route*>& candidates,
+                         std::vector<std::string>& outcomes);
 
 }  // namespace dbgp::bgp

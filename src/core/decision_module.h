@@ -51,6 +51,16 @@ class DecisionModule {
   // The path-selection algorithm (stage 4): true if `a` beats `b`.
   virtual bool better(const IaRoute& a, const IaRoute& b) const = 0;
 
+  // The step of the module's comparison at which `winner` beat `loser`
+  // (precondition: better(winner, loser)). Decision audits record this as
+  // the per-candidate rejection reason; modules with a multi-step ladder
+  // should name the deciding rung.
+  virtual std::string explain_better(const IaRoute& winner, const IaRoute& loser) const {
+    (void)winner;
+    (void)loser;
+    return "preference";
+  }
+
   // Protocol-specific export filter (stage 5): (re)writes this protocol's
   // descriptors in the outgoing IA. `best` is the selected incoming route
   // (already copied into `out` by the IA factory, including pass-through).

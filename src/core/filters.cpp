@@ -4,9 +4,13 @@
 
 namespace dbgp::core {
 
-bool GlobalFilterChain::apply(ia::IntegratedAdvertisement& ia, const FilterContext& ctx) const {
+bool GlobalFilterChain::apply(ia::IntegratedAdvertisement& ia, const FilterContext& ctx,
+                              std::string* rejected_by) const {
   for (const auto& filter : filters_) {
-    if (!filter.fn(ia, ctx)) return false;
+    if (!filter.fn(ia, ctx)) {
+      if (rejected_by != nullptr) *rejected_by = filter.name;
+      return false;
+    }
   }
   return true;
 }

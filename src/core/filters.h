@@ -35,8 +35,11 @@ struct GlobalFilter {
 class GlobalFilterChain {
  public:
   void add(std::string name, GlobalFilterFn fn) { filters_.push_back({std::move(name), std::move(fn)}); }
-  // Applies filters in order; false as soon as one drops the IA.
-  bool apply(ia::IntegratedAdvertisement& ia, const FilterContext& ctx) const;
+  // Applies filters in order; false as soon as one drops the IA. When
+  // `rejected_by` is non-null and the IA is dropped, it receives the name of
+  // the filter responsible (for decision audits / dbgp_explain).
+  bool apply(ia::IntegratedAdvertisement& ia, const FilterContext& ctx,
+             std::string* rejected_by = nullptr) const;
   std::size_t size() const noexcept { return filters_.size(); }
 
  private:

@@ -21,6 +21,10 @@ struct IaRoute {
   bgp::PeerId from_peer = bgp::kInvalidPeer;
   bgp::AsNumber neighbor_as = 0;
   std::uint64_t sequence = 0;  // arrival order; deterministic tie-break
+  // Causal backlink: the telemetry span of the frame (or origination) that
+  // installed this route; 0 when tracing is off. Provenance queries walk
+  // these links from any RIB state back to the origination.
+  std::uint64_t via_span = 0;
   // Set by the active decision module's import filter. Ineligible routes are
   // never selected but remain stored: their control information must still
   // pass through if another route drags them along, and they become

@@ -129,25 +129,28 @@ std::vector<std::uint8_t> DbgpSpeaker::encode_notice(const net::Prefix& prefix) 
 // -- Input -------------------------------------------------------------------
 
 std::vector<DbgpOutgoing> DbgpSpeaker::handle_frame(bgp::PeerId from,
-                                                    std::span<const std::uint8_t> bytes) {
+                                                    std::span<const std::uint8_t> bytes,
+                                                    telemetry::SpanId cause) {
   telemetry::ScopedTimer frame_timer(SpeakerMetrics::get().frame_seconds);
   std::vector<DbgpOutgoing> out;
-  if (auto prefix = stage_frame(from, bytes)) run_decision(*prefix, out);
+  if (auto prefix = stage_frame(from, bytes, cause)) run_decision(*prefix, out);
   return out;
 }
 
 std::vector<DbgpOutgoing> DbgpSpeaker::handle_ia(bgp::PeerId from,
-                                                 ia::IntegratedAdvertisement ia) {
+                                                 ia::IntegratedAdvertisement ia,
+                                                 telemetry::SpanId cause) {
   std::vector<DbgpOutgoing> out;
-  if (auto prefix = stage_ia(from, std::move(ia))) run_decision(*prefix, out);
+  if (auto prefix = stage_ia(from, std::move(ia), cause)) run_decision(*prefix, out);
   return out;
 }
 
 std::vector<DbgpOutgoing> DbgpSpeaker::enqueue_frame(bgp::PeerId from,
-                                                     std::span<const std::uint8_t> bytes) {
+                                                     std::span<const std::uint8_t> bytes,
+                                                     telemetry::SpanId cause) {
   telemetry::ScopedTimer frame_timer(SpeakerMetrics::get().frame_seconds);
   std::vector<DbgpOutgoing> out;
-  if (auto prefix = stage_frame(from, bytes)) {
+  if (auto prefix = stage_frame(from, bytes, cause)) {
     if (batch_seen_.insert(*prefix).second) batch_.push_back(*prefix);
   }
   if (config_.max_batch > 0 && batch_.size() >= config_.max_batch) flush_into(out);
@@ -171,21 +174,25 @@ void DbgpSpeaker::flush_into(std::vector<DbgpOutgoing>& out) {
 }
 
 std::optional<net::Prefix> DbgpSpeaker::stage_frame(bgp::PeerId from,
-                                                    std::span<const std::uint8_t> bytes) {
+                                                    std::span<const std::uint8_t> bytes,
+                                                    telemetry::SpanId cause) {
   stats_.bytes_received += bytes.size();
   SpeakerMetrics::get().bytes_received->inc(bytes.size());
   util::ByteReader r(bytes);
   const auto type = static_cast<FrameType>(r.get_u8());
   switch (type) {
     case FrameType::kAnnounce:
-      return stage_ia(from, ia::decode_ia(r.get_bytes(r.remaining())));
+      return stage_ia(from, ia::decode_ia(r.get_bytes(r.remaining())), cause);
     case FrameType::kWithdraw: {
       const std::uint32_t addr = r.get_u32();
       const std::uint8_t len = r.get_u8();
       ++stats_.withdraws_received;
       SpeakerMetrics::get().withdraws_received->inc();
       const net::Prefix prefix(net::Ipv4Address(addr), len);
-      if (ia_db_.remove(from, prefix)) return prefix;
+      if (ia_db_.remove(from, prefix)) {
+        if (causal_ != nullptr && cause != 0) pending_cause_[prefix] = cause;
+        return prefix;
+      }
       return std::nullopt;
     }
     case FrameType::kNotice: {
@@ -210,14 +217,15 @@ std::optional<net::Prefix> DbgpSpeaker::stage_frame(bgp::PeerId from,
             << " but lookup service has no IA under " << key;
         return std::nullopt;
       }
-      return stage_ia(from, ia::decode_ia(*stored));
+      return stage_ia(from, ia::decode_ia(*stored), cause);
     }
   }
   throw util::DecodeError("unknown D-BGP frame type");
 }
 
 std::optional<net::Prefix> DbgpSpeaker::stage_ia(bgp::PeerId from,
-                                                 ia::IntegratedAdvertisement ia) {
+                                                 ia::IntegratedAdvertisement ia,
+                                                 telemetry::SpanId cause) {
   ++stats_.ias_received;
   SpeakerMetrics::get().ias_received->inc();
 
@@ -228,11 +236,21 @@ std::optional<net::Prefix> DbgpSpeaker::stage_ia(bgp::PeerId from,
   ctx.peer = from;
   ctx.peer_as = peers_.at(from).asn;
   ctx.ingress = true;
-  if (!import_filters_.apply(ia, ctx)) {
+  std::string rejected_by;
+  if (!import_filters_.apply(ia, ctx, causal_ != nullptr ? &rejected_by : nullptr)) {
     ++stats_.dropped_by_global_filter;
     SpeakerMetrics::get().dropped_by_global_filter->inc();
+    telemetry::SpanId drop_span = 0;
+    if (causal_ != nullptr) {
+      drop_span = causal_->instant(telemetry::SpanKind::kFilter, cause, trace_now(),
+                                   config_.asn, peers_.at(from).asn, "filter-drop",
+                                   ia.destination.to_string(), std::move(rejected_by));
+    }
     // A dropped IA acts as an implicit withdraw of the prior route.
-    if (ia_db_.remove(from, ia.destination)) return ia.destination;
+    if (ia_db_.remove(from, ia.destination)) {
+      if (drop_span != 0) pending_cause_[ia.destination] = drop_span;
+      return ia.destination;
+    }
     return std::nullopt;
   }
 
@@ -244,6 +262,7 @@ std::optional<net::Prefix> DbgpSpeaker::stage_ia(bgp::PeerId from,
   route.from_peer = from;
   route.neighbor_as = peers_.at(from).asn;
   route.sequence = ++sequence_;
+  route.via_span = cause;
   if (DecisionModule* active = active_module(prefix)) {
     route.eligible = active->import_filter(route);
     if (!route.eligible) {
@@ -252,20 +271,26 @@ std::optional<net::Prefix> DbgpSpeaker::stage_ia(bgp::PeerId from,
     }
   }
   ia_db_.upsert(std::move(route));
+  if (causal_ != nullptr && cause != 0) pending_cause_[prefix] = cause;
   return prefix;
 }
 
-std::vector<DbgpOutgoing> DbgpSpeaker::peer_down(bgp::PeerId peer) {
+std::vector<DbgpOutgoing> DbgpSpeaker::peer_down(bgp::PeerId peer, telemetry::SpanId cause) {
   std::vector<DbgpOutgoing> out;
   peers_.at(peer).up = false;
   adj_out_.erase(peer);
+  external_cause_ = cause;
   for (const auto& prefix : ia_db_.remove_peer(peer)) run_decision(prefix, out);
+  external_cause_ = 0;
   return out;
 }
 
-std::vector<DbgpOutgoing> DbgpSpeaker::peer_up(bgp::PeerId peer) {
+std::vector<DbgpOutgoing> DbgpSpeaker::peer_up(bgp::PeerId peer, telemetry::SpanId cause) {
   peers_.at(peer).up = true;
-  return sync_peer(peer);
+  external_cause_ = cause;
+  auto out = sync_peer(peer);
+  external_cause_ = 0;
+  return out;
 }
 
 void DbgpSpeaker::reset_routes() {
@@ -275,20 +300,47 @@ void DbgpSpeaker::reset_routes() {
   batch_.clear();
   batch_seen_.clear();
   frame_cache_.clear();
+  // Learned causal state dies with the routes; origin_span_ survives like
+  // originated_ (a reboot does not re-originate).
+  pending_cause_.clear();
+  emit_parent_ = 0;
 }
 
 // -- Origination ---------------------------------------------------------------
 
-std::vector<DbgpOutgoing> DbgpSpeaker::originate(const net::Prefix& prefix) {
+std::vector<DbgpOutgoing> DbgpSpeaker::originate(const net::Prefix& prefix,
+                                                 telemetry::SpanId cause) {
   std::vector<DbgpOutgoing> out;
   originated_[prefix] = true;
+  if (causal_ != nullptr) {
+    // The root of a new trace: everything this advertisement causes anywhere
+    // in the network shares the minted trace id.
+    const telemetry::SpanId root =
+        causal_->instant(telemetry::SpanKind::kOrigination, cause, trace_now(),
+                         config_.asn, 0, "originate", prefix.to_string());
+    origin_span_[prefix] = root;
+    pending_cause_[prefix] = root;
+  }
   run_decision(prefix, out);
   return out;
 }
 
-std::vector<DbgpOutgoing> DbgpSpeaker::withdraw_origin(const net::Prefix& prefix) {
+std::vector<DbgpOutgoing> DbgpSpeaker::withdraw_origin(const net::Prefix& prefix,
+                                                       telemetry::SpanId cause) {
   std::vector<DbgpOutgoing> out;
-  if (originated_.erase(prefix) > 0) run_decision(prefix, out);
+  if (originated_.erase(prefix) > 0) {
+    if (causal_ != nullptr) {
+      // Linked to the origination so the withdrawal stays in the same trace.
+      auto it = origin_span_.find(prefix);
+      const telemetry::SpanId parent =
+          cause != 0 ? cause : it != origin_span_.end() ? it->second : 0;
+      pending_cause_[prefix] =
+          causal_->instant(telemetry::SpanKind::kOrigination, parent, trace_now(),
+                           config_.asn, 0, "withdraw-origin", prefix.to_string());
+      if (it != origin_span_.end()) origin_span_.erase(it);
+    }
+    run_decision(prefix, out);
+  }
   return out;
 }
 
@@ -296,6 +348,42 @@ std::vector<DbgpOutgoing> DbgpSpeaker::withdraw_origin(const net::Prefix& prefix
 
 void DbgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoing>& out) {
   DecisionModule* active = active_module(prefix);
+
+  // Open the decision span, parented to the staged update that triggered
+  // this run (or to the external cause: a chaos event, a protocol switch).
+  const bool tracing = causal_ != nullptr;
+  telemetry::SpanId dspan = 0;
+  telemetry::DecisionAudit audit;
+  double t = 0.0;
+  if (tracing) {
+    t = trace_now();
+    telemetry::SpanId parent = external_cause_;
+    if (auto it = pending_cause_.find(prefix); it != pending_cause_.end()) {
+      parent = it->second;
+      pending_cause_.erase(it);
+    }
+    dspan = causal_->begin_span(telemetry::SpanKind::kDecision, parent, t, config_.asn, 0,
+                                "decision", prefix.to_string());
+    audit.span = dspan;
+    audit.time = t;
+    audit.as = config_.asn;
+    audit.prefix = prefix.to_string();
+    if (auto it = selected_.find(prefix); it != selected_.end()) {
+      audit.prev_path = it->second.ia.path_vector.to_string();
+    }
+  }
+  const auto finish = [&](const IaRoute* result, bool origin, bool changed) {
+    if (!tracing) return;
+    audit.origin = origin;
+    audit.changed = changed;
+    if (result != nullptr) {
+      audit.best_path = result->ia.path_vector.to_string();
+      audit.best_via = result->via_span;
+    }
+    causal_->record_audit(std::move(audit));
+    causal_->end_span(dspan, t);
+    emit_parent_ = dspan;  // frames below chain to this decision
+  };
 
   if (originated_.count(prefix) > 0) {
     // Locally originated prefixes always win.
@@ -305,17 +393,28 @@ void DbgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoi
     IaRoute origin;
     origin.ia = factory_.create_origin(prefix, active, octx);
     origin.from_peer = bgp::kInvalidPeer;
+    if (auto it = origin_span_.find(prefix); it != origin_span_.end()) {
+      origin.via_span = it->second;
+    }
     auto [slot, inserted] = selected_.try_emplace(prefix);
     const bool changed = inserted || !(slot->second.ia == origin.ia) ||
                          slot->second.from_peer != bgp::kInvalidPeer;
     slot->second = std::move(origin);
     if (changed && active != nullptr) active->on_best_changed(prefix, &slot->second);
+    if (tracing) {
+      for (const IaRoute* c : ia_db_.candidates(prefix)) {
+        audit.candidates.push_back({c->neighbor_as, c->ia.path_vector.to_string(),
+                                    c->via_span, c->eligible, "origin-overrides"});
+      }
+      finish(&slot->second, /*origin=*/true, changed);
+    }
     advertise_to_peers(prefix, slot->second, /*origin=*/true, out);
     return;
   }
 
   const auto candidates = ia_db_.candidates(prefix);
   const IaRoute* best = nullptr;
+  bool fallback = false;
   if (active != nullptr) {
     for (const IaRoute* c : candidates) {
       if (!c->eligible) continue;
@@ -325,6 +424,7 @@ void DbgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoi
   if (best == nullptr && !candidates.empty()) {
     // Baseline fallback: no module or no eligible candidates — preserve
     // connectivity by shortest path vector, then arrival order.
+    fallback = true;
     for (const IaRoute* c : candidates) {
       if (best == nullptr ||
           c->ia.path_vector.hop_count() < best->ia.path_vector.hop_count() ||
@@ -335,7 +435,32 @@ void DbgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoi
     }
   }
 
+  if (tracing) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const IaRoute* c = candidates[i];
+      telemetry::AuditCandidate ac{c->neighbor_as, c->ia.path_vector.to_string(),
+                                   c->via_span, c->eligible, {}};
+      if (c == best) {
+        ac.outcome = "selected";
+        audit.selected = static_cast<int>(i);
+      } else if (!c->eligible && active != nullptr) {
+        ac.outcome = "ineligible:" + active->name();
+      } else if (best == nullptr) {
+        ac.outcome = "unreachable";
+      } else if (!fallback) {
+        ac.outcome = "lost:" + active->explain_better(*best, *c);
+      } else {
+        ac.outcome = best->ia.path_vector.hop_count() != c->ia.path_vector.hop_count()
+                         ? "lost:path-length"
+                         : "lost:arrival-order";
+      }
+      audit.candidates.push_back(std::move(ac));
+    }
+  }
+
   if (best == nullptr) {
+    const bool had_route = selected_.count(prefix) > 0;
+    finish(nullptr, /*origin=*/false, had_route);
     if (selected_.erase(prefix) > 0) {
       if (active != nullptr) active->on_best_changed(prefix, nullptr);
       for (bgp::PeerId peer = 0; peer < peers_.size(); ++peer) {
@@ -352,6 +477,7 @@ void DbgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoi
     slot->second = *best;
     if (active != nullptr) active->on_best_changed(prefix, &slot->second);
   }
+  finish(&slot->second, /*origin=*/false, changed);
   // Even when the selection is unchanged we re-advertise through delta
   // suppression, which is a no-op if nothing differs.
   advertise_to_peers(prefix, slot->second, /*origin=*/false, out);
@@ -407,7 +533,13 @@ void DbgpSpeaker::withdraw_from_peer(bgp::PeerId peer, const net::Prefix& prefix
   auto frame = ia::make_shared_frame(encode_withdraw(prefix));
   stats_.bytes_sent += frame->size();
   SpeakerMetrics::get().bytes_sent->inc(frame->size());
-  out.push_back({peer, std::move(frame)});
+  telemetry::SpanId span = 0;
+  if (causal_ != nullptr) {
+    span = causal_->begin_span(telemetry::SpanKind::kFrame, emit_parent_, trace_now(),
+                               config_.asn, peers_.at(peer).asn, "withdraw",
+                               prefix.to_string());
+  }
+  out.push_back({peer, std::move(frame), span});
 }
 
 void DbgpSpeaker::emit(bgp::PeerId peer, const net::Prefix& prefix,
@@ -424,6 +556,16 @@ void DbgpSpeaker::emit(bgp::PeerId peer, const net::Prefix& prefix,
   sent = frame;
   ++stats_.ias_sent;
   SpeakerMetrics::get().ias_sent->inc();
+  telemetry::SpanId span = 0;
+  if (causal_ != nullptr) {
+    span = causal_->begin_span(
+        telemetry::SpanKind::kFrame, emit_parent_, trace_now(), config_.asn,
+        peers_.at(peer).asn,
+        config_.dissemination == Dissemination::kOutOfBand && lookup_ != nullptr
+            ? "notice"
+            : "announce",
+        prefix.to_string());
+  }
   if (config_.dissemination == Dissemination::kOutOfBand && lookup_ != nullptr) {
     // The lookup service stores the bare IA bytes (no frame-type byte).
     lookup_->put(LookupService::ia_key(config_.asn, peers_.at(peer).asn, prefix),
@@ -431,11 +573,11 @@ void DbgpSpeaker::emit(bgp::PeerId peer, const net::Prefix& prefix,
     auto notice = ia::make_shared_frame(encode_notice(prefix));
     stats_.bytes_sent += notice->size();
     SpeakerMetrics::get().bytes_sent->inc(notice->size());
-    out.push_back({peer, std::move(notice)});
+    out.push_back({peer, std::move(notice), span});
   } else {
     stats_.bytes_sent += frame->size();
     SpeakerMetrics::get().bytes_sent->inc(frame->size());
-    out.push_back({peer, std::move(frame)});
+    out.push_back({peer, std::move(frame), span});
   }
 }
 
@@ -445,6 +587,11 @@ std::vector<DbgpOutgoing> DbgpSpeaker::sync_peer(bgp::PeerId peer) {
   DecisionModule* active = nullptr;
   for (const auto& [prefix, best] : selected_) {
     if (best.from_peer == peer) continue;
+    // No decision runs here: a synced frame chains straight to whatever span
+    // installed the route (its provenance), or to the session event itself.
+    if (causal_ != nullptr) {
+      emit_parent_ = best.via_span != 0 ? best.via_span : external_cause_;
+    }
     active = active_module(prefix);
     ExportContext ectx;
     ectx.own_as = config_.asn;
@@ -470,8 +617,9 @@ std::vector<DbgpOutgoing> DbgpSpeaker::sync_peer(bgp::PeerId peer) {
   return out;
 }
 
-std::vector<DbgpOutgoing> DbgpSpeaker::reevaluate_all() {
+std::vector<DbgpOutgoing> DbgpSpeaker::reevaluate_all(telemetry::SpanId cause) {
   std::vector<DbgpOutgoing> out;
+  external_cause_ = cause;
   // Re-run module import filters (the active protocol may have changed).
   for (const auto& prefix : ia_db_.prefixes()) {
     DecisionModule* active = active_module(prefix);
@@ -481,6 +629,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::reevaluate_all() {
   }
   for (const auto& prefix : ia_db_.prefixes()) run_decision(prefix, out);
   for (const auto& [prefix, unused] : originated_) run_decision(prefix, out);
+  external_cause_ = 0;
   return out;
 }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -33,6 +34,7 @@
 #include "ia/codec.h"
 #include "ia/frame_cache.h"
 #include "net/prefix_trie.h"
+#include "telemetry/causal.h"
 
 namespace dbgp::core {
 
@@ -66,6 +68,9 @@ enum class FrameType : std::uint8_t { kAnnounce = 1, kWithdraw = 2, kNotice = 3 
 struct DbgpOutgoing {
   bgp::PeerId peer = bgp::kInvalidPeer;
   ia::SharedFrame frame;
+  // Causal span of this frame's wire transit (0 when tracing is off). The
+  // span is opened at emit time and closed by the transport at delivery.
+  telemetry::SpanId span = 0;
 
   const std::vector<std::uint8_t>& bytes() const noexcept { return *frame; }
 };
@@ -104,12 +109,29 @@ class DbgpSpeaker {
 
   const DbgpConfig& config() const noexcept { return config_; }
 
+  // -- Causal tracing -------------------------------------------------------
+  // Attaches a causal tracer (nullptr disables — the default; every tracing
+  // hook below is guarded so a disabled speaker does no extra work, mints no
+  // ids, and renders no strings). `clock` supplies the timeline (sim time
+  // under simnet); without one spans are stamped 0.
+  void set_causal(telemetry::CausalTracer* tracer) noexcept { causal_ = tracer; }
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+  telemetry::CausalTracer* causal() const noexcept { return causal_; }
+
+  // The `cause` parameter on the entry points below is the caller's causal
+  // span (the frame that arrived, the chaos event that forced the call);
+  // 0 = no cause / tracing off.
+
   // -- Control-plane input/output -----------------------------------------
-  std::vector<DbgpOutgoing> originate(const net::Prefix& prefix);
-  std::vector<DbgpOutgoing> withdraw_origin(const net::Prefix& prefix);
-  std::vector<DbgpOutgoing> handle_frame(bgp::PeerId from, std::span<const std::uint8_t> bytes);
+  std::vector<DbgpOutgoing> originate(const net::Prefix& prefix,
+                                      telemetry::SpanId cause = 0);
+  std::vector<DbgpOutgoing> withdraw_origin(const net::Prefix& prefix,
+                                            telemetry::SpanId cause = 0);
+  std::vector<DbgpOutgoing> handle_frame(bgp::PeerId from, std::span<const std::uint8_t> bytes,
+                                         telemetry::SpanId cause = 0);
   // Convenience: feed a decoded IA as if announced by `from`.
-  std::vector<DbgpOutgoing> handle_ia(bgp::PeerId from, ia::IntegratedAdvertisement ia);
+  std::vector<DbgpOutgoing> handle_ia(bgp::PeerId from, ia::IntegratedAdvertisement ia,
+                                      telemetry::SpanId cause = 0);
 
   // -- Batched input --------------------------------------------------------
   // Stages a frame (filters + IA DB update) without running the decision
@@ -118,7 +140,8 @@ class DbgpSpeaker {
   // and auto-flushes. A burst of k updates for one prefix then costs one
   // decision + one encode instead of k.
   std::vector<DbgpOutgoing> enqueue_frame(bgp::PeerId from,
-                                          std::span<const std::uint8_t> bytes);
+                                          std::span<const std::uint8_t> bytes,
+                                          telemetry::SpanId cause = 0);
   // Runs the decision process once per staged prefix (in first-touch order)
   // and returns the resulting frames. Call at quiescence.
   std::vector<DbgpOutgoing> flush();
@@ -128,10 +151,10 @@ class DbgpSpeaker {
   // advertisement or withdraw is emitted toward it (and adj-out stays empty),
   // so a later peer_up()'s full-table sync is never delta-suppressed by
   // state staged during the outage.
-  std::vector<DbgpOutgoing> peer_down(bgp::PeerId peer);
+  std::vector<DbgpOutgoing> peer_down(bgp::PeerId peer, telemetry::SpanId cause = 0);
   // Session (re-)establishment: marks the peer up and returns the full-table
   // sync a real session performs on open.
-  std::vector<DbgpOutgoing> peer_up(bgp::PeerId peer);
+  std::vector<DbgpOutgoing> peer_up(bgp::PeerId peer, telemetry::SpanId cause = 0);
   bool peer_is_up(bgp::PeerId peer) const { return peers_.at(peer).up; }
   // Crash recovery: drops all learned state (adj-in, selected routes,
   // adj-out, staged batch, frame cache) while keeping configuration —
@@ -142,7 +165,7 @@ class DbgpSpeaker {
   // Sends the current table to a (newly established) peer.
   std::vector<DbgpOutgoing> sync_peer(bgp::PeerId peer);
   // Re-runs selection for every known prefix (after activating a protocol).
-  std::vector<DbgpOutgoing> reevaluate_all();
+  std::vector<DbgpOutgoing> reevaluate_all(telemetry::SpanId cause = 0);
 
   // -- Inspection -----------------------------------------------------------
   // Selected best route; nullptr if unreachable. Originated prefixes return
@@ -171,8 +194,10 @@ class DbgpSpeaker {
   // Returns the prefix whose decision process must run, if any; shared by
   // the immediate (handle_frame) and batched (enqueue_frame) paths.
   std::optional<net::Prefix> stage_frame(bgp::PeerId from,
-                                         std::span<const std::uint8_t> bytes);
-  std::optional<net::Prefix> stage_ia(bgp::PeerId from, ia::IntegratedAdvertisement ia);
+                                         std::span<const std::uint8_t> bytes,
+                                         telemetry::SpanId cause);
+  std::optional<net::Prefix> stage_ia(bgp::PeerId from, ia::IntegratedAdvertisement ia,
+                                      telemetry::SpanId cause);
   void flush_into(std::vector<DbgpOutgoing>& out);
   // Decision + dissemination for one prefix (stages 4-7).
   void run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoing>& out);
@@ -208,6 +233,24 @@ class DbgpSpeaker {
   std::set<net::Prefix> batch_seen_;     // dedup for batch_
   std::uint64_t sequence_ = 0;
   DbgpStats stats_;
+
+  // -- Causal-tracing state (inert unless causal_ != nullptr) ---------------
+  double trace_now() const { return clock_ ? clock_() : 0.0; }
+  telemetry::CausalTracer* causal_ = nullptr;
+  std::function<double()> clock_;
+  // Span of the most recent staged update per prefix — becomes the parent of
+  // that prefix's next decision run (covers both the immediate path and
+  // batched coalescing, where the last of k staged updates wins).
+  std::map<net::Prefix, telemetry::SpanId> pending_cause_;
+  // Root origination span per locally originated prefix. Survives
+  // reset_routes() like originated_: a reboot does not re-originate.
+  std::map<net::Prefix, telemetry::SpanId> origin_span_;
+  // Parent for frame spans minted by emit()/withdraw_from_peer(): the
+  // current decision span, or the synced route's via_span in sync_peer.
+  telemetry::SpanId emit_parent_ = 0;
+  // Fallback decision parent for externally caused runs (peer_down after a
+  // link cut, reevaluate_all after a protocol activation, ...).
+  telemetry::SpanId external_cause_ = 0;
 };
 
 }  // namespace dbgp::core

@@ -27,4 +27,23 @@ bool BgpModule::better(const core::IaRoute& a, const core::IaRoute& b) const {
   return a.sequence < b.sequence;
 }
 
+std::string BgpModule::explain_better(const core::IaRoute& winner,
+                                      const core::IaRoute& loser) const {
+  // Same ladder as better(); reports the first rung where the two differ.
+  if (winner.ia.baseline.local_pref.value_or(bgp::kDefaultLocalPref) !=
+      loser.ia.baseline.local_pref.value_or(bgp::kDefaultLocalPref)) {
+    return "local-pref";
+  }
+  if (winner.ia.path_vector.hop_count() != loser.ia.path_vector.hop_count()) {
+    return "path-length";
+  }
+  if (winner.ia.baseline.origin != loser.ia.baseline.origin) return "origin";
+  if (winner.neighbor_as == loser.neighbor_as && winner.neighbor_as != 0 &&
+      winner.ia.baseline.med.value_or(0) != loser.ia.baseline.med.value_or(0)) {
+    return "med";
+  }
+  if (winner.from_peer != loser.from_peer) return "peer-id";
+  return "arrival-order";
+}
+
 }  // namespace dbgp::protocols

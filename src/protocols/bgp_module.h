@@ -15,6 +15,12 @@ class BgpModule : public core::DecisionModule {
   // RFC 4271 order over IA fields: LOCAL_PREF, path-vector length, origin,
   // MED (same neighbor AS), then arrival order.
   bool better(const core::IaRoute& a, const core::IaRoute& b) const override;
+
+  // Names the ladder rung at which `winner` beat `loser` (for decision
+  // audits): "local-pref", "path-length", "origin", "med", "peer-id",
+  // "arrival-order".
+  std::string explain_better(const core::IaRoute& winner,
+                             const core::IaRoute& loser) const override;
 };
 
 }  // namespace dbgp::protocols

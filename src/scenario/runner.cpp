@@ -64,11 +64,14 @@ void Runner::enable_tracing() {
   if (net_ != nullptr) net_->options().tracer = &tracer_;
 }
 
+void Runner::enable_causal_tracing() { causal_tracing_ = true; }
+
 void Runner::build(const Scenario& scenario) {
   scenario_ = scenario;
   simnet::DbgpNetwork::Options options;
   options.delivery = delivery_;
   if (tracing_) options.tracer = &tracer_;
+  if (causal_tracing_) options.causal = &causal_;
   net_ = std::make_unique<simnet::DbgpNetwork>(&lookup_, options);
 
   // Collect scion paths / pathlets per AS so modules get them at creation.

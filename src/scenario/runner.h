@@ -49,6 +49,12 @@ class Runner {
   void enable_tracing();
   const telemetry::PropagationTracer& tracer() const noexcept { return tracer_; }
 
+  // Records causal spans + decision audits during run() (telemetry/causal.h;
+  // drives the Perfetto export and dbgp_explain). Call before build():
+  // speakers bind to the tracer at creation.
+  void enable_causal_tracing();
+  const telemetry::CausalTracer& causal() const noexcept { return causal_; }
+
   // How delivered frames are processed (call before build()); default
   // immediate. Batched coalesces decisions per touched prefix at flush.
   void set_delivery(simnet::DeliveryMode mode) noexcept { delivery_ = mode; }
@@ -76,6 +82,8 @@ class Runner {
   std::unique_ptr<simnet::DbgpNetwork> net_;
   telemetry::PropagationTracer tracer_;
   bool tracing_ = false;
+  telemetry::CausalTracer causal_;
+  bool causal_tracing_ = false;
   simnet::DeliveryMode delivery_ = simnet::DeliveryMode::kImmediate;
   std::optional<std::uint64_t> chaos_seed_;
   std::optional<simnet::ChaosOptions> chaos_override_;

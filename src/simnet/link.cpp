@@ -19,6 +19,14 @@ void Link::set_faults(const FaultProfile& faults, std::uint64_t seed) {
   // even when one master seed fans out across the topology.
   std::uint64_t sm = seed ^ (static_cast<std::uint64_t>(a_) << 32) ^ b_;
   fault_rng_ = util::Rng(util::splitmix64(sm));
+  // Fault windows bound which hops *could* have misbehaved; a causal trace
+  // marks both edges so per-frame annotations can be read in context.
+  net_->chaos_instant(a_, b_, "faults_set");
+}
+
+void Link::clear_faults() {
+  faults_ = FaultProfile{};
+  net_->chaos_instant(a_, b_, "faults_cleared");
 }
 
 std::vector<std::uint8_t> corrupt_frame(const std::vector<std::uint8_t>& bytes,

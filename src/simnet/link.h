@@ -83,7 +83,7 @@ class Link {
   // the same (profile, seed) over the same frame sequence reproduces the
   // same faults. Clearing restores fault-free delivery.
   void set_faults(const FaultProfile& faults, std::uint64_t seed);
-  void clear_faults() noexcept { faults_ = FaultProfile{}; }
+  void clear_faults();
   const FaultProfile& faults() const noexcept { return faults_; }
 
   const LinkStats& stats() const noexcept { return stats_; }

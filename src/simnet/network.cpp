@@ -60,6 +60,12 @@ core::DbgpSpeaker& DbgpNetwork::add_as(core::DbgpConfig config) {
   }
   Node node;
   node.speaker = std::make_unique<core::DbgpSpeaker>(std::move(config), lookup_);
+  if (options_.causal != nullptr) {
+    node.speaker->set_causal(options_.causal);
+    // Speakers stamp spans in sim time. The lambda pins `this` — like the
+    // Link back-pointers, the network must not move once ASes exist.
+    node.speaker->set_clock([this] { return events_.now(); });
+  }
   auto [it, inserted] = nodes_.emplace(asn, std::move(node));
   return *it->second.speaker;
 }
@@ -129,7 +135,9 @@ std::vector<Link*> DbgpNetwork::links() {
 void DbgpNetwork::on_link_state(Link& link, LinkState state) {
   if (link.state_ == state) return;
   link.state_ = state;
-  note_disruption();
+  const telemetry::SpanId cause =
+      chaos_instant(link.a_, link.b_, state == LinkState::kDown ? "link_down" : "link_up");
+  note_disruption(cause);
   const bgp::AsNumber ends[2] = {link.a_, link.b_};
   if (state == LinkState::kDown) {
     ++link.stats_.flaps;
@@ -144,7 +152,7 @@ void DbgpNetwork::on_link_state(Link& link, LinkState state) {
       // adj-in state that peer_down is about to purge. (The old disconnect()
       // skipped this and left stale routes selected until the next flush.)
       if (node.speaker->pending_batch() > 0) dispatch(asn, node.speaker->flush());
-      dispatch(asn, node.speaker->peer_down(peer));
+      dispatch(asn, node.speaker->peer_down(peer, cause));
     }
   } else {
     NetworkMetrics::get().link_up->inc();
@@ -153,7 +161,7 @@ void DbgpNetwork::on_link_state(Link& link, LinkState state) {
       // Sessions only come up between live nodes; restart() completes the
       // handshake for links that rose while an endpoint was down.
       if (!node.up || !nodes_.at(link.other(asn)).up) continue;
-      dispatch(asn, node.speaker->peer_up(peer_id(asn, link.other(asn))));
+      dispatch(asn, node.speaker->peer_up(peer_id(asn, link.other(asn)), cause));
     }
   }
 }
@@ -163,7 +171,8 @@ void DbgpNetwork::on_link_state(Link& link, LinkState state) {
 void DbgpNetwork::crash(bgp::AsNumber asn) {
   Node& node = nodes_.at(asn);
   if (!node.up) return;
-  note_disruption();
+  const telemetry::SpanId cause = chaos_instant(asn, 0, "crash");
+  note_disruption(cause);
   node.up = false;
   ++churn_.crashes;
   NetworkMetrics::get().crashes->inc();
@@ -176,14 +185,15 @@ void DbgpNetwork::crash(bgp::AsNumber asn) {
     if (!neighbor.up) continue;
     const bgp::PeerId peer = peer_id(adj.neighbor, asn);
     if (neighbor.speaker->pending_batch() > 0) dispatch(adj.neighbor, neighbor.speaker->flush());
-    dispatch(adj.neighbor, neighbor.speaker->peer_down(peer));
+    dispatch(adj.neighbor, neighbor.speaker->peer_down(peer, cause));
   }
 }
 
 void DbgpNetwork::restart(bgp::AsNumber asn) {
   Node& node = nodes_.at(asn);
   if (node.up) return;
-  note_disruption();
+  const telemetry::SpanId cause = chaos_instant(asn, 0, "restart");
+  note_disruption(cause);
   node.up = true;
   ++churn_.restarts;
   NetworkMetrics::get().restarts->inc();
@@ -198,36 +208,21 @@ void DbgpNetwork::restart(bgp::AsNumber asn) {
     const bool viable =
         adj.link != nullptr && adj.link->up() && nodes_.at(adj.neighbor).up;
     if (viable) {
-      node.speaker->peer_up(peer);
+      node.speaker->peer_up(peer, cause);
     } else {
-      node.speaker->peer_down(peer);
+      node.speaker->peer_down(peer, cause);
     }
   }
   // Re-announce our own prefixes, then have every live neighbor re-send its
   // table over the re-established session (the refresh that re-fills the
   // wiped RIB).
-  dispatch(asn, node.speaker->reevaluate_all());
+  dispatch(asn, node.speaker->reevaluate_all(cause));
   for (const auto& adj : node.adjacencies) {
     if (adj.link == nullptr || !adj.link->up()) continue;
     Node& neighbor = nodes_.at(adj.neighbor);
     if (!neighbor.up) continue;
-    dispatch(adj.neighbor, neighbor.speaker->peer_up(peer_id(adj.neighbor, asn)));
+    dispatch(adj.neighbor, neighbor.speaker->peer_up(peer_id(adj.neighbor, asn), cause));
   }
-}
-
-// -- Deprecated shims ---------------------------------------------------------
-
-void DbgpNetwork::connect(bgp::AsNumber a, bgp::AsNumber b, bool same_island,
-                          double latency) {
-  if (Link* existing = find_link(a, b)) {
-    existing->set_state(LinkState::kUp);
-    return;
-  }
-  add_link(a, b, same_island, latency);
-}
-
-void DbgpNetwork::disconnect(bgp::AsNumber a, bgp::AsNumber b) {
-  if (Link* existing = find_link(a, b)) existing->set_state(LinkState::kDown);
 }
 
 // -- Control plane ------------------------------------------------------------
@@ -253,27 +248,40 @@ bgp::PeerId DbgpNetwork::peer_id(bgp::AsNumber a, bgp::AsNumber b) const {
 }
 
 void DbgpNetwork::dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgoing> outgoing) {
+  telemetry::CausalTracer* causal = options_.causal;
   Node& node = nodes_.at(origin_asn);
   for (auto& msg : outgoing) {
     auto& adj = node.adjacencies.at(msg.peer);
     Link* link = adj.link;
-    if (link == nullptr || !link->up()) continue;
+    if (link == nullptr || !link->up()) {
+      // The frame never makes the wire; close its span where it died.
+      if (causal != nullptr && msg.span != 0) {
+        causal->annotate(msg.span, "dropped:link-down");
+        causal->end_span(msg.span, events_.now());
+      }
+      continue;
+    }
     const bgp::AsNumber to = adj.neighbor;
     const FaultProfile& faults = link->faults_;
     if (!faults.any()) {
       // Fault-free fast path: no RNG draws, so runs without chaos remain
       // bit-identical to the pre-chaos simulator.
-      schedule_frame(origin_asn, to, std::move(msg.frame), link->latency_);
+      schedule_frame(origin_asn, to, std::move(msg.frame), link->latency_, msg.span);
       continue;
     }
     // Faults are decided at dispatch (send) time from the link's private
     // stream, before the delivery-mode choice, so a schedule replays
-    // identically in immediate and batched modes.
+    // identically in immediate and batched modes. Fault draws annotate the
+    // frame's span, so a trace shows *why* a hop misbehaved.
     util::Rng& rng = link->fault_rng_;
     if (faults.loss > 0.0 && rng.next_double() < faults.loss) {
       ++link->stats_.frames_lost;
       ++churn_.frames_lost;
       NetworkMetrics::get().frames_lost->inc();
+      if (causal != nullptr && msg.span != 0) {
+        causal->annotate(msg.span, "lost");
+        causal->end_span(msg.span, events_.now());
+      }
       continue;
     }
     ia::SharedFrame frame = std::move(msg.frame);
@@ -282,6 +290,7 @@ void DbgpNetwork::dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgo
       ++link->stats_.frames_corrupted;
       ++churn_.frames_corrupted;
       NetworkMetrics::get().frames_corrupted->inc();
+      if (causal != nullptr) causal->annotate(msg.span, "corrupted");
     }
     double delay = link->latency_;
     if (faults.reorder > 0.0 && rng.next_double() < faults.reorder) {
@@ -290,26 +299,29 @@ void DbgpNetwork::dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgo
       ++link->stats_.frames_reordered;
       ++churn_.frames_reordered;
       NetworkMetrics::get().frames_reordered->inc();
+      if (causal != nullptr) causal->annotate(msg.span, "reordered");
     }
     const bool duplicate = faults.duplicate > 0.0 && rng.next_double() < faults.duplicate;
     if (duplicate) {
       ++link->stats_.frames_duplicated;
       ++churn_.frames_duplicated;
       NetworkMetrics::get().frames_duplicated->inc();
-      schedule_frame(origin_asn, to, frame, delay);
+      if (causal != nullptr) causal->annotate(msg.span, "duplicated");
+      // Both copies share the span; end_span is last-delivery-wins.
+      schedule_frame(origin_asn, to, frame, delay, msg.span);
     }
-    schedule_frame(origin_asn, to, std::move(frame), delay);
+    schedule_frame(origin_asn, to, std::move(frame), delay, msg.span);
   }
 }
 
 void DbgpNetwork::schedule_frame(bgp::AsNumber from, bgp::AsNumber to, ia::SharedFrame frame,
-                                 double delay) {
+                                 double delay, telemetry::SpanId span) {
   NetworkMetrics::get().messages_in_flight->add(1);
   ++in_flight_;
   // The refcounted frame rides along in flight: a fan-out to N neighbors
   // schedules N events over the same bytes, no copies.
-  events_.schedule_in(delay, [this, from, to, frame = std::move(frame)]() {
-    deliver(from, to, frame, options_.delivery);
+  events_.schedule_in(delay, [this, from, to, span, frame = std::move(frame)]() {
+    deliver(from, to, frame, options_.delivery, span);
   });
 }
 
@@ -367,27 +379,37 @@ void DbgpNetwork::trace_delivery(bgp::AsNumber from, bgp::AsNumber to,
 }
 
 void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to, const ia::SharedFrame& frame,
-                          DeliveryMode mode) {
+                          DeliveryMode mode, telemetry::SpanId span) {
   NetworkMetrics::get().messages_in_flight->add(-1);
   if (--in_flight_ == 0) last_zero_ = events_.now();
+  telemetry::CausalTracer* causal = options_.causal;
+  // The wire transit ends here whether or not the receiver accepts the
+  // frame; rejection reasons are annotated below.
+  if (causal != nullptr && span != 0) causal->end_span(span, events_.now());
   auto it = nodes_.find(to);
-  if (it == nodes_.end() || !it->second.up) return;
+  if (it == nodes_.end() || !it->second.up) {
+    if (causal != nullptr) causal->annotate(span, "dropped:node-down");
+    return;
+  }
   const bgp::PeerId peer = peer_id(to, from);
   if (peer == bgp::kInvalidPeer) return;
   const Link* link = it->second.adjacencies[peer].link;
-  if (link == nullptr || !link->up()) return;
+  if (link == nullptr || !link->up()) {
+    if (causal != nullptr) causal->annotate(span, "dropped:link-down");
+    return;
+  }
   const std::vector<std::uint8_t>& bytes = *frame;
   NetworkMetrics::get().frames_delivered->inc();
   NetworkMetrics::get().bytes_delivered->inc(bytes.size());
   if (options_.tracer != nullptr) trace_delivery(from, to, bytes);
   try {
     if (mode == DeliveryMode::kImmediate) {
-      dispatch(to, it->second.speaker->handle_frame(peer, bytes));
+      dispatch(to, it->second.speaker->handle_frame(peer, bytes, span));
       return;
     }
     // Stage now; decide once per touched prefix when this node's coalesced
     // flush fires (same timestamp, after every same-time delivery).
-    dispatch(to, it->second.speaker->enqueue_frame(peer, bytes));
+    dispatch(to, it->second.speaker->enqueue_frame(peer, bytes, span));
     events_.schedule_coalesced(to, 0.0, [this, to] { flush_node(to); });
   } catch (const util::DecodeError& e) {
     // The decode throw fires before any adj-in mutation, so a mangled frame
@@ -395,6 +417,7 @@ void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to, const ia::Shared
     // active corruption profile; an error otherwise.
     ++churn_.frames_rejected;
     NetworkMetrics::get().frames_rejected->inc();
+    if (causal != nullptr) causal->annotate(span, "rejected:decode-error");
     const auto level = link->faults_.corrupt > 0.0 ? util::LogLevel::kDebug
                                                    : util::LogLevel::kError;
     DBGP_LOG(level, kLog) << "AS" << to << " failed to decode frame from AS" << from << ": "
@@ -405,12 +428,23 @@ void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to, const ia::Shared
 void DbgpNetwork::flush_node(bgp::AsNumber asn) {
   auto it = nodes_.find(asn);
   if (it == nodes_.end() || !it->second.up) return;
+  if (options_.causal != nullptr && it->second.speaker->pending_batch() > 0) {
+    options_.causal->instant(telemetry::SpanKind::kFlush, 0, events_.now(),
+                             asn, 0, "flush");
+  }
   dispatch(asn, it->second.speaker->flush());
+}
+
+telemetry::SpanId DbgpNetwork::chaos_instant(std::uint32_t as, std::uint32_t peer_as,
+                                             std::string_view name, std::string detail) {
+  if (options_.causal == nullptr) return 0;
+  return options_.causal->instant(telemetry::SpanKind::kChaos, 0, events_.now(), as,
+                                  peer_as, name, /*prefix=*/{}, std::move(detail));
 }
 
 // -- Re-convergence clock -----------------------------------------------------
 
-void DbgpNetwork::note_disruption() {
+void DbgpNetwork::note_disruption(telemetry::SpanId cause) {
   // A window that already settled (in-flight back to zero) is committed
   // before the new one opens; overlapping disruptions merge into one window.
   if (disruption_open_ && in_flight_ == 0 && last_zero_ > disruption_start_) {
@@ -419,6 +453,7 @@ void DbgpNetwork::note_disruption() {
   if (!disruption_open_) {
     disruption_open_ = true;
     disruption_start_ = events_.now();
+    window_cause_ = cause;
   }
 }
 
@@ -427,6 +462,13 @@ void DbgpNetwork::close_disruption_window() {
   disruption_open_ = false;
   const double end = std::max(last_zero_, disruption_start_);
   NetworkMetrics::get().reconvergence->record(end - disruption_start_);
+  if (options_.causal != nullptr) {
+    const telemetry::SpanId w =
+        options_.causal->begin_span(telemetry::SpanKind::kWindow, window_cause_,
+                                    disruption_start_, 0, 0, "reconvergence");
+    options_.causal->end_span(w, end);
+  }
+  window_cause_ = 0;
 }
 
 RunStats DbgpNetwork::run_to_convergence(std::size_t max_events) {

@@ -41,6 +41,12 @@ class DbgpNetwork {
     // TraceEvent (announce frames are additionally decoded for the carried
     // protocols, at a cost — leave unset on hot benchmark paths).
     telemetry::PropagationTracer* tracer = nullptr;
+    // Causal tracer: originations mint traces, frames carry parent spans,
+    // decisions emit audit records, and chaos events land on the same
+    // timeline (telemetry/causal.h). Unset = zero overhead: speakers mint no
+    // ids and the delivery path takes no extra branches beyond one null
+    // check.
+    telemetry::CausalTracer* causal = nullptr;
   };
 
   // Two overloads instead of one defaulted Options argument: a nested
@@ -107,24 +113,6 @@ class DbgpNetwork {
   // Peer id of `b` as seen from `a`; kInvalidPeer if not adjacent.
   bgp::PeerId peer_id(bgp::AsNumber a, bgp::AsNumber b) const;
 
-  // -- Deprecated shims (scheduled for removal next PR; see CHANGES.md) -----
-  // connect: add_link, or Link::set_state(kUp) when the pair is already
-  // linked (the old API created a duplicate peering on reconnect, which left
-  // the stale half-session shadowing the new one).
-  void connect(bgp::AsNumber a, bgp::AsNumber b, bool same_island = false,
-               double latency = -1.0);
-  // disconnect: Link::set_state(kDown).
-  void disconnect(bgp::AsNumber a, bgp::AsNumber b);
-  void set_tracer(telemetry::PropagationTracer* tracer) noexcept {
-    options_.tracer = tracer;
-  }
-  void set_batch_delivery(bool on) noexcept {
-    options_.delivery = on ? DeliveryMode::kBatched : DeliveryMode::kImmediate;
-  }
-  bool batch_delivery() const noexcept {
-    return options_.delivery == DeliveryMode::kBatched;
-  }
-
  private:
   friend class Link;
 
@@ -147,17 +135,23 @@ class DbgpNetwork {
   // only the final hand-off differs (handle_frame vs enqueue + coalesced
   // flush).
   void deliver(bgp::AsNumber from, bgp::AsNumber to, const ia::SharedFrame& frame,
-               DeliveryMode mode);
+               DeliveryMode mode, telemetry::SpanId span);
   void flush_node(bgp::AsNumber asn);
   // Applies the out-link's fault profile and schedules delivery events.
   void dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgoing> outgoing);
   void schedule_frame(bgp::AsNumber from, bgp::AsNumber to, ia::SharedFrame frame,
-                      double delay);
+                      double delay, telemetry::SpanId span);
   void trace_delivery(bgp::AsNumber from, bgp::AsNumber to,
                       const std::vector<std::uint8_t>& bytes);
+  // Records a chaos event on the causal timeline; returns its span (0 when
+  // causal tracing is off) so session churn it provokes can chain to it.
+  telemetry::SpanId chaos_instant(std::uint32_t as, std::uint32_t peer_as,
+                                  std::string_view name, std::string detail = {});
   // Re-convergence clock: a disruption (flap/crash/restart) opens a window
   // that closes at the last time the in-flight frame count touched zero.
-  void note_disruption();
+  // `cause` is the chaos span of the disruption; the first one to open a
+  // window becomes the window span's parent.
+  void note_disruption(telemetry::SpanId cause = 0);
   void close_disruption_window();
   static std::pair<bgp::AsNumber, bgp::AsNumber> link_key(bgp::AsNumber a,
                                                           bgp::AsNumber b) noexcept {
@@ -188,6 +182,8 @@ class DbgpNetwork {
   double last_zero_ = 0.0;
   bool disruption_open_ = false;
   double disruption_start_ = 0.0;
+  // Chaos span of the disruption that opened the current window.
+  telemetry::SpanId window_cause_ = 0;
 };
 
 }  // namespace dbgp::simnet

@@ -1,0 +1,23 @@
+// Chrome trace-event (Perfetto-compatible) export of a causal trace.
+//
+// Renders a CausalTracer snapshot as the JSON object format understood by
+// chrome://tracing and ui.perfetto.dev: one process, one thread (track) per
+// AS (tid = AS number, named via M metadata events), decisions as B/E pairs,
+// frame transits as "X" complete events on the sender's track (dur = wire
+// transit), chaos/flush/filter events as "i" instants, reconvergence windows
+// as "X" on track 0, and flow arrows ("s"/"f") wherever a parent link crosses
+// tracks. Timestamps are sim-seconds scaled to microseconds.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/causal.h"
+
+namespace dbgp::telemetry {
+
+std::string to_perfetto_json(const CausalTracer& tracer);
+// Returns false (and writes nothing) when the file cannot be opened.
+bool write_perfetto_json(const CausalTracer& tracer, const std::string& path);
+
+}  // namespace dbgp::telemetry

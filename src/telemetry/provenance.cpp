@@ -1,0 +1,188 @@
+#include "telemetry/provenance.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace dbgp::telemetry {
+
+ProvenanceIndex::ProvenanceIndex(const CausalTracer& tracer)
+    : spans_(tracer.spans()), audits_(tracer.audits()) {
+  for (std::size_t i = 0; i < audits_.size(); ++i) {
+    audit_by_span_[audits_[i].span] = i;
+  }
+}
+
+const Span* ProvenanceIndex::span(SpanId id) const {
+  // Ids are dense from 1 (dropped spans are minted but not stored, so ids
+  // past spans_.size() are simply absent).
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+const DecisionAudit* ProvenanceIndex::audit_for_span(SpanId id) const {
+  auto it = audit_by_span_.find(id);
+  return it == audit_by_span_.end() ? nullptr : &audits_[it->second];
+}
+
+std::vector<ProvenanceIndex::ChainStep> ProvenanceIndex::why(
+    std::uint32_t as, const std::string& prefix, double at) const {
+  // Last decision this AS ran for the prefix at/before `at` — that is the
+  // run that installed whatever the RIB holds at `at`.
+  const DecisionAudit* last = nullptr;
+  for (const DecisionAudit& a : audits_) {
+    if (a.as != as || a.prefix != prefix || a.time > at) continue;
+    last = &a;  // audits_ is in recording order, i.e. time order
+  }
+  if (last == nullptr) return {};
+
+  // Walk backward: decision -> best_via (frame or origination span) ->
+  // frame's parent decision -> its audit -> ... until the origination root.
+  std::vector<ChainStep> chain;
+  std::set<SpanId> seen;
+  const DecisionAudit* audit = last;
+  while (audit != nullptr) {
+    const Span* dspan = span(audit->span);
+    chain.push_back({dspan, audit});
+    const Span* via = span(audit->best_via);
+    if (via == nullptr) break;
+    if (!seen.insert(via->id).second) break;  // cycle guard (corrupt trace)
+    chain.push_back({via, nullptr});
+    if (via->kind == SpanKind::kOrigination) break;
+    // A frame span's parent is the decision (or origination) that emitted it.
+    const Span* parent = span(via->parent);
+    if (parent == nullptr) break;
+    if (parent->kind == SpanKind::kOrigination) {
+      chain.push_back({parent, nullptr});
+      break;
+    }
+    audit = audit_for_span(parent->id);
+    if (audit == nullptr) {
+      chain.push_back({parent, nullptr});
+      break;
+    }
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::vector<ProvenanceIndex::ReconvergenceWindow>
+ProvenanceIndex::reconvergence_windows() const {
+  std::vector<ReconvergenceWindow> windows;
+  for (const Span& s : spans_) {
+    if (s.kind != SpanKind::kWindow) continue;
+    ReconvergenceWindow w;
+    w.window = &s;
+    const double end = s.end >= s.start ? s.end : s.start;
+    for (const Span& t : spans_) {
+      if (t.kind == SpanKind::kChaos) {
+        // The disruption that opened the window is its parent; pick up any
+        // further disruptions that landed while it was still open.
+        if (t.id == s.parent || (t.start >= s.start && t.start <= end)) {
+          w.disruptions.push_back(&t);
+        }
+      } else if (t.start >= s.start && t.start <= end) {
+        if (t.kind == SpanKind::kFrame) ++w.frames;
+        else if (t.kind == SpanKind::kDecision) ++w.decisions;
+      }
+    }
+    windows.push_back(std::move(w));
+  }
+  return windows;
+}
+
+namespace {
+
+std::string fmt_time(double t) {
+  std::ostringstream os;
+  os.precision(6);
+  os << t << 's';
+  return os.str();
+}
+
+}  // namespace
+
+std::string ProvenanceIndex::format_why(const std::vector<ChainStep>& chain) {
+  std::ostringstream os;
+  if (chain.empty()) {
+    os << "no decision recorded (AS never selected a route for this prefix "
+          "within the trace)\n";
+    return os.str();
+  }
+  for (const ChainStep& step : chain) {
+    const Span* s = step.span;
+    if (s == nullptr) continue;
+    switch (s->kind) {
+      case SpanKind::kOrigination:
+        os << "t=" << fmt_time(s->start) << "  AS" << s->as << "  originate "
+           << s->prefix;
+        if (!s->detail.empty()) os << "  [" << s->detail << ']';
+        os << '\n';
+        break;
+      case SpanKind::kFrame:
+        os << "t=" << fmt_time(s->start) << "  AS" << s->as << " -> AS"
+           << s->peer_as << "  " << s->name;
+        if (!s->prefix.empty()) os << ' ' << s->prefix;
+        if (s->end >= s->start)
+          os << "  (arrived t=" << fmt_time(s->end) << ')';
+        if (!s->detail.empty()) os << "  [" << s->detail << ']';
+        os << '\n';
+        break;
+      default:
+        os << "t=" << fmt_time(s->start) << "  AS" << s->as << "  " << s->name;
+        if (!s->prefix.empty()) os << ' ' << s->prefix;
+        if (!s->detail.empty()) os << "  [" << s->detail << ']';
+        os << '\n';
+        break;
+    }
+    if (step.audit != nullptr) {
+      const DecisionAudit& a = *step.audit;
+      os << "    decision @ AS" << a.as << ": "
+         << (a.best_path.empty() ? std::string("unreachable")
+                                 : "best=" + a.best_path)
+         << (a.changed ? "  (changed" : "  (unchanged");
+      if (!a.prev_path.empty() && a.changed) os << " from " << a.prev_path;
+      os << ")\n";
+      for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+        const AuditCandidate& c = a.candidates[i];
+        os << "      [" << (static_cast<int>(i) == a.selected ? '*' : ' ')
+           << "] via AS" << c.neighbor_as << "  path=" << c.path << "  "
+           << c.outcome << '\n';
+      }
+      if (a.origin) os << "      [*] locally originated\n";
+    }
+  }
+  return os.str();
+}
+
+std::string ProvenanceIndex::format_blame(
+    const std::vector<ReconvergenceWindow>& windows) {
+  std::ostringstream os;
+  if (windows.empty()) {
+    os << "no reconvergence windows in trace\n";
+    return os.str();
+  }
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const ReconvergenceWindow& w = windows[i];
+    const Span* s = w.window;
+    const double dur = s->end >= s->start ? s->end - s->start : 0.0;
+    os << "window #" << (i + 1) << "  [" << fmt_time(s->start) << " .. "
+       << fmt_time(s->end >= s->start ? s->end : s->start) << "]  ("
+       << fmt_time(dur) << ")\n";
+    if (w.disruptions.empty()) {
+      os << "    cause: (unattributed)\n";
+    }
+    for (const Span* d : w.disruptions) {
+      os << "    cause: " << d->name << "  AS" << d->as;
+      if (d->peer_as != 0) os << " <-> AS" << d->peer_as;
+      os << "  @ " << fmt_time(d->start);
+      if (!d->detail.empty()) os << "  [" << d->detail << ']';
+      os << '\n';
+    }
+    os << "    storm: " << w.frames << " frames, " << w.decisions
+       << " decisions\n";
+  }
+  return os.str();
+}
+
+}  // namespace dbgp::telemetry

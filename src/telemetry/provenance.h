@@ -1,0 +1,71 @@
+// Route-provenance queries over a causal trace.
+//
+// A ProvenanceIndex snapshots a CausalTracer and answers the two questions
+// the deployment analysis needs:
+//
+//   why(as, prefix[, at])      — the causal chain behind the route AS uses
+//                                for the prefix at time `at`: origination,
+//                                each wire hop, and every decision along the
+//                                way with its per-candidate verdicts.
+//   reconvergence_windows()    — each reconvergence window with the chaos
+//                                disruption(s) that opened it and the update
+//                                storm (frames/decisions) it spawned.
+//
+// tools/dbgp_explain is a thin CLI over this; tests use it to check the
+// audit/RIB agreement and chain-shape invariants directly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/causal.h"
+
+namespace dbgp::telemetry {
+
+class ProvenanceIndex {
+ public:
+  explicit ProvenanceIndex(const CausalTracer& tracer);
+
+  // One step of a causal chain. `span` is always set; `audit` is set for
+  // decision steps.
+  struct ChainStep {
+    const Span* span = nullptr;
+    const DecisionAudit* audit = nullptr;
+  };
+
+  // Causal chain, origination first, ending at the decision that installed
+  // the route `as` uses for `prefix` at/before `at` (default: the final
+  // state). Empty when the AS never ran a decision for the prefix.
+  std::vector<ChainStep> why(
+      std::uint32_t as, const std::string& prefix,
+      double at = std::numeric_limits<double>::infinity()) const;
+
+  struct ReconvergenceWindow {
+    const Span* window = nullptr;
+    // Chaos instants inside [start, end] — the disruptions this window is
+    // attributed to (the one that opened it is always included).
+    std::vector<const Span*> disruptions;
+    std::size_t frames = 0;     // frame spans dispatched inside the window
+    std::size_t decisions = 0;  // decision runs inside the window
+  };
+  std::vector<ReconvergenceWindow> reconvergence_windows() const;
+
+  const Span* span(SpanId id) const;
+  const DecisionAudit* audit_for_span(SpanId id) const;
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  const std::vector<DecisionAudit>& audits() const noexcept { return audits_; }
+
+  // Human-readable renderings (what dbgp_explain prints).
+  static std::string format_why(const std::vector<ChainStep>& chain);
+  static std::string format_blame(const std::vector<ReconvergenceWindow>& windows);
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<DecisionAudit> audits_;
+  std::map<SpanId, std::size_t> audit_by_span_;
+};
+
+}  // namespace dbgp::telemetry

@@ -1,11 +1,23 @@
 #include "telemetry/trace.h"
 
+#include "telemetry/metrics.h"
+
 namespace dbgp::telemetry {
+
+namespace {
+// Registry mirror of the drop counter so a capped trace shows up in metrics
+// snapshots even when nobody polls the tracer itself.
+Counter& trace_dropped_counter() {
+  static Counter& c = MetricsRegistry::global().counter("telemetry.trace.dropped");
+  return c;
+}
+}  // namespace
 
 void PropagationTracer::record(TraceEvent event) {
   std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= limit_) {
     ++dropped_;
+    trace_dropped_counter().inc();
     return;
   }
   events_.push_back(std::move(event));

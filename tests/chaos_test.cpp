@@ -101,24 +101,6 @@ TEST(LinkApi, DisconnectReconnectRestoresRoutes) {
   EXPECT_TRUE(resynced);
 }
 
-// The old connect() stacked a second peering on reconnect, leaving the downed
-// half-session shadowing the new one; the shim must reuse the original link.
-TEST(LinkApi, ConnectShimReusesLinkOnReconnect) {
-  DbgpNetwork net = make_line(3);
-  const auto prefix = *net::Prefix::parse("10.0.0.0/8");
-  net.originate(1, prefix);
-  net.run_to_convergence();
-  net.disconnect(2, 3);
-  net.run_to_convergence();
-  ASSERT_EQ(net.speaker(3).best(prefix), nullptr);
-
-  net.connect(2, 3);  // deprecated shim; must re-up the existing link
-  net.run_to_convergence();
-  EXPECT_NE(net.speaker(3).best(prefix), nullptr);
-  EXPECT_EQ(net.speaker(2).peer_count(), 2u);  // no duplicate peering
-  EXPECT_EQ(net.speaker(3).peer_count(), 1u);
-}
-
 TEST(LinkApi, WithdrawUnderBatching) {
   DbgpNetwork::Options options;
   options.delivery = DeliveryMode::kBatched;

@@ -1,0 +1,124 @@
+// dbgp_explain — causal route provenance for scenario files.
+//
+//   dbgp_explain <scenario-file> --why <as> <prefix> [--at <t>]
+//   dbgp_explain <scenario-file> --blame-reconvergence
+//   common: [--batched] [--chaos-seed <n>] [--chaos-profile <name>]
+//
+// Runs the scenario with causal tracing enabled (telemetry/causal.h) and
+// answers provenance questions over the recorded trace:
+//
+//   --why AS PREFIX [--at T]  prints the causal chain behind the route AS
+//       holds for PREFIX at sim time T (default: after convergence) — the
+//       origination, every wire hop, and each decision along the way with
+//       its per-candidate verdicts (why each alternative lost).
+//   --blame-reconvergence  lists every reconvergence window with the chaos
+//       disruption(s) that opened it and the update storm (frames/decisions)
+//       it spawned. Meaningful for scenarios with a `chaos` stanza or with
+//       --chaos-profile.
+//
+// Exits 0 on success, 1 when --why finds no recorded decision (the AS never
+// selected a route for the prefix), 2 on usage/scenario errors.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <string>
+
+#include "scenario/parser.h"
+#include "scenario/runner.h"
+#include "simnet/chaos.h"
+#include "telemetry/provenance.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dbgp_explain <scenario-file> --why <as> <prefix> [--at <t>]\n"
+               "       dbgp_explain <scenario-file> --blame-reconvergence\n"
+               "       common: [--batched] [--chaos-seed <n>] [--chaos-profile <name>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --why takes two bare operands, which util::Flags cannot express; parse
+  // argv by hand.
+  std::string scenario_path;
+  bool why = false, blame = false, batched = false;
+  std::uint32_t why_as = 0;
+  std::string why_prefix;
+  double at = std::numeric_limits<double>::infinity();
+  std::string chaos_profile;
+  std::int64_t chaos_seed = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--why") {
+      if (i + 2 >= argc) return usage();
+      why = true;
+      why_as = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      why_prefix = argv[++i];
+    } else if (arg == "--blame-reconvergence") {
+      blame = true;
+    } else if (arg == "--at") {
+      if (i + 1 >= argc) return usage();
+      at = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--batched") {
+      batched = true;
+    } else if (arg == "--chaos-seed") {
+      if (i + 1 >= argc) return usage();
+      chaos_seed = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--chaos-profile") {
+      if (i + 1 >= argc) return usage();
+      chaos_profile = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return usage();
+    } else if (scenario_path.empty()) {
+      scenario_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (scenario_path.empty() || why == blame) return usage();  // exactly one mode
+
+  try {
+    const auto scenario = dbgp::scenario::load_scenario(scenario_path);
+    dbgp::scenario::Runner runner;
+    runner.enable_causal_tracing();
+    if (batched) runner.set_delivery(dbgp::simnet::DeliveryMode::kBatched);
+    if (!chaos_profile.empty()) {
+      runner.set_chaos(dbgp::simnet::chaos_profile(chaos_profile));
+    }
+    if (chaos_seed >= 0) {
+      runner.set_chaos_seed(static_cast<std::uint64_t>(chaos_seed));
+    }
+    runner.build(scenario);
+    const auto result = runner.run();
+    if (!result.converged) {
+      std::fprintf(stderr,
+                   "warning: event cap reached before the control plane drained; "
+                   "the trace below describes a truncated run\n");
+    }
+    if (runner.causal().dropped() > 0) {
+      std::fprintf(stderr,
+                   "warning: causal trace capped — %zu spans/audits dropped "
+                   "(telemetry.causal.dropped); chains may be incomplete\n",
+                   runner.causal().dropped());
+    }
+
+    const dbgp::telemetry::ProvenanceIndex index(runner.causal());
+    if (why) {
+      const auto chain = index.why(why_as, why_prefix, at);
+      std::printf("%s", dbgp::telemetry::ProvenanceIndex::format_why(chain).c_str());
+      return chain.empty() ? 1 : 0;
+    }
+    const auto windows = index.reconvergence_windows();
+    std::printf("%s", dbgp::telemetry::ProvenanceIndex::format_blame(windows).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,13 +1,21 @@
 // dbgp_run — run a D-BGP scenario file and report routes and expectations.
 //
 //   dbgp_run <scenario-file> [--tables] [--quiet] [--batched]
-//            [--metrics <file>] [--trace <file>]
+//            [--metrics <file>] [--trace <file>] [--trace-format json|perfetto]
+//            [--explain <as>:<prefix>]
 //            [--chaos-seed <n>] [--chaos-profile <name>]
 //
 // --metrics writes a JSON snapshot of the process-wide telemetry registry
 // (speaker counters, codec latency histograms, simnet gauges) after the run;
-// --trace additionally records every per-hop IA delivery and writes the
-// propagation trace as JSON.
+// --trace additionally records what happened during the run and writes it to
+// the given file. The default --trace-format=json is the flat per-hop IA
+// propagation trace; --trace-format=perfetto records the causal span/audit
+// trace instead and writes Chrome trace-event JSON for chrome://tracing or
+// ui.perfetto.dev.
+//
+// --explain AS:PREFIX prints the causal chain (origination, wire hops,
+// per-hop decision verdicts) behind the route that AS holds for PREFIX after
+// convergence — the same output as `dbgp_explain --why`.
 //
 // --batched switches frame processing to coalesced per-prefix decisions.
 // --chaos-seed re-seeds the scenario's `chaos` stanza (a cheap way to sweep
@@ -19,13 +27,31 @@
 // src/scenario/parser.h for the format.
 #include <cstdio>
 #include <exception>
+#include <stdexcept>
+#include <string>
 
 #include "scenario/parser.h"
 #include "scenario/runner.h"
 #include "simnet/chaos.h"
 #include "telemetry/json_export.h"
 #include "telemetry/metrics.h"
+#include "telemetry/perfetto_export.h"
+#include "telemetry/provenance.h"
 #include "util/flags.h"
+
+namespace {
+
+// Parses "--explain 500:203.0.113.0/24" into (as, prefix).
+void parse_explain(const std::string& arg, std::uint32_t& as, std::string& prefix) {
+  const auto colon = arg.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= arg.size()) {
+    throw std::runtime_error("--explain expects <as>:<prefix>, got '" + arg + "'");
+  }
+  as = static_cast<std::uint32_t>(std::stoul(arg.substr(0, colon)));
+  prefix = arg.substr(colon + 1);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   dbgp::util::Flags flags;
@@ -34,19 +60,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: dbgp_run <scenario-file> [--tables] [--quiet] [--batched]\n"
                  "                [--metrics <file>] [--trace <file>]\n"
+                 "                [--trace-format json|perfetto]\n"
+                 "                [--explain <as>:<prefix>]\n"
                  "                [--chaos-seed <n>] [--chaos-profile <name>]\n");
     return 2;
   }
   const bool quiet = flags.get_bool("quiet", false);
   const std::string metrics_path = flags.get_string("metrics", "");
   const std::string trace_path = flags.get_string("trace", "");
+  const std::string trace_format = flags.get_string("trace-format", "json");
+  const std::string explain_arg = flags.get_string("explain", "");
   const std::string chaos_profile = flags.get_string("chaos-profile", "");
   const std::int64_t chaos_seed = flags.get_int("chaos-seed", -1);
+  if (trace_format != "json" && trace_format != "perfetto") {
+    std::fprintf(stderr, "error: --trace-format must be json or perfetto\n");
+    return 2;
+  }
 
   try {
+    std::uint32_t explain_as = 0;
+    std::string explain_prefix;
+    if (!explain_arg.empty()) parse_explain(explain_arg, explain_as, explain_prefix);
+
     const auto scenario = dbgp::scenario::load_scenario(flags.positional()[0]);
     dbgp::scenario::Runner runner;
-    if (!trace_path.empty()) runner.enable_tracing();
+    if (!trace_path.empty() && trace_format == "json") runner.enable_tracing();
+    if ((!trace_path.empty() && trace_format == "perfetto") || !explain_arg.empty()) {
+      runner.enable_causal_tracing();
+    }
     if (flags.get_bool("batched", false)) {
       runner.set_delivery(dbgp::simnet::DeliveryMode::kBatched);
     }
@@ -106,12 +147,40 @@ int main(int argc, char** argv) {
           metrics_path, dbgp::telemetry::MetricsRegistry::global().snapshot());
       if (!quiet) std::printf("metrics written to %s\n", metrics_path.c_str());
     }
-    if (!trace_path.empty()) {
+    if (!trace_path.empty() && trace_format == "json") {
       dbgp::telemetry::write_trace_json(trace_path, runner.tracer());
       if (!quiet) {
         std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
                     runner.tracer().size());
       }
+      if (runner.tracer().dropped() > 0) {
+        std::fprintf(stderr,
+                     "warning: propagation trace capped — %zu events dropped "
+                     "(telemetry.trace.dropped); the JSON is a prefix of the run\n",
+                     runner.tracer().dropped());
+      }
+    }
+    if (!trace_path.empty() && trace_format == "perfetto") {
+      if (!dbgp::telemetry::write_perfetto_json(runner.causal(), trace_path)) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+        return 2;
+      }
+      if (!quiet) {
+        std::printf("perfetto trace written to %s (%zu spans, %zu audits)\n",
+                    trace_path.c_str(), runner.causal().span_count(),
+                    runner.causal().audit_count());
+      }
+    }
+    if (!explain_arg.empty()) {
+      const dbgp::telemetry::ProvenanceIndex index(runner.causal());
+      const auto chain = index.why(explain_as, explain_prefix);
+      std::printf("%s", dbgp::telemetry::ProvenanceIndex::format_why(chain).c_str());
+    }
+    if (runner.causal().dropped() > 0) {
+      std::fprintf(stderr,
+                   "warning: causal trace capped — %zu spans/audits dropped "
+                   "(telemetry.causal.dropped); chains may be incomplete\n",
+                   runner.causal().dropped());
     }
     return result.all_passed() && result.converged ? 0 : 1;
   } catch (const std::exception& e) {

@@ -1,0 +1,132 @@
+// trace_check — structural validator for exported Chrome trace-event JSON.
+//
+//   trace_check <trace.json> [trace2.json ...]
+//
+// The Perfetto exporter (telemetry/perfetto_export.h) is only useful if its
+// output actually loads in chrome://tracing / ui.perfetto.dev, so this tool
+// checks the invariants those viewers rely on:
+//
+//   * top level is an object with a `traceEvents` array;
+//   * every event has `ph`, `pid`, `tid`, and (except metadata) `ts`;
+//   * B/E/X/i events have a `name`; X events have a non-negative `dur`;
+//   * timed events are sorted by `ts` (the exporter's contract);
+//   * B/E pairs match per (pid, tid): every E closes an open B, none left
+//     open at the end;
+//   * flow events (`s`/`f`) have an `id`, and every `f` refers to an `id`
+//     some `s` opened.
+//
+// Exits 0 when every file passes, 1 on the first violation (with the file,
+// event index, and reason), 2 on IO/parse errors. The dbgp_trace_check
+// CMake target runs a scenario with --trace-format=perfetto and pipes the
+// result through this.
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using dbgp::util::json::Value;
+
+bool fail(const std::string& file, std::size_t index, const std::string& reason) {
+  std::fprintf(stderr, "%s: event %zu: %s\n", file.c_str(), index, reason.c_str());
+  return false;
+}
+
+bool check_file(const std::string& path) {
+  const Value doc = dbgp::util::json::parse_file(path);
+  if (!doc.is_object()) return fail(path, 0, "top level is not an object");
+  const Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail(path, 0, "missing traceEvents array");
+  }
+
+  // Open B spans per (pid, tid); open flow ids.
+  std::map<std::pair<double, double>, std::vector<std::string>> open;
+  std::set<double> flow_ids;
+  double last_ts = 0.0;
+  bool have_ts = false;
+  std::size_t i = 0;
+  for (const Value& ev : events->as_array()) {
+    if (!ev.is_object()) return fail(path, i, "event is not an object");
+    const Value* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string()) return fail(path, i, "missing ph");
+    const std::string& phase = ph->as_string();
+    const Value* pid = ev.find("pid");
+    if (pid == nullptr || !pid->is_number()) return fail(path, i, "missing pid");
+
+    if (phase == "M") {  // metadata: process-scoped entries carry no tid/ts
+      ++i;
+      continue;
+    }
+    const Value* tid = ev.find("tid");
+    if (tid == nullptr || !tid->is_number()) return fail(path, i, "missing tid");
+    const Value* ts = ev.find("ts");
+    if (ts == nullptr || !ts->is_number()) return fail(path, i, "missing ts");
+    if (have_ts && ts->as_double() < last_ts) {
+      return fail(path, i, "ts not sorted (went backward)");
+    }
+    last_ts = ts->as_double();
+    have_ts = true;
+
+    const auto track = std::make_pair(pid->as_double(), tid->as_double());
+    if (phase == "B" || phase == "E" || phase == "X" || phase == "i") {
+      const Value* name = ev.find("name");
+      if (name == nullptr || !name->is_string()) return fail(path, i, "missing name");
+      if (phase == "B") {
+        open[track].push_back(name->as_string());
+      } else if (phase == "E") {
+        auto& stack = open[track];
+        if (stack.empty()) return fail(path, i, "E without matching B on track");
+        stack.pop_back();
+      } else if (phase == "X") {
+        const Value* dur = ev.find("dur");
+        if (dur == nullptr || !dur->is_number() || dur->as_double() < 0) {
+          return fail(path, i, "X event without non-negative dur");
+        }
+      }
+    } else if (phase == "s" || phase == "f") {
+      const Value* id = ev.find("id");
+      if (id == nullptr || !id->is_number()) return fail(path, i, "flow without id");
+      if (phase == "s") {
+        flow_ids.insert(id->as_double());
+      } else if (flow_ids.count(id->as_double()) == 0) {
+        return fail(path, i, "flow finish without matching start");
+      }
+    } else {
+      return fail(path, i, "unknown phase '" + phase + "'");
+    }
+    ++i;
+  }
+  for (const auto& [track, stack] : open) {
+    if (!stack.empty()) {
+      return fail(path, i,
+                  "unclosed B span '" + stack.back() + "' on tid " +
+                      std::to_string(track.second));
+    }
+  }
+  std::printf("%s: OK (%zu events)\n", path.c_str(), events->as_array().size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_check <trace.json> [more.json ...]\n");
+    return 2;
+  }
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (!check_file(argv[i])) return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
