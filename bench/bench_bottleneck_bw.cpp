@@ -9,11 +9,15 @@
 // choices); D-BGP re-crosses the status quo around ~30% adoption while the
 // BGP baseline stays below until very high adoption; D-BGP's slope is
 // higher below ~80%.
+// --threads selects the parallel sweep width (0 = hardware_concurrency); as
+// in bench_extra_paths the sweep runs sequentially first and the parallel
+// result must be bit-identical before the comparison row is trusted.
 #include <cstdio>
 
 #include "bench_json.h"
 #include "sim/experiment.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 using namespace dbgp;
 
@@ -31,17 +35,40 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   config.bandwidth_min = static_cast<std::uint64_t>(flags.get_int("bw-min", 10));
   config.bandwidth_max = static_cast<std::uint64_t>(flags.get_int("bw-max", 1024));
+  const std::size_t threads = util::ThreadPool::resolve_threads(
+      static_cast<std::size_t>(flags.get_int("threads", 0)));
 
   std::printf("Figure 10 — incremental benefits, bottleneck-bandwidth archetype\n");
-  std::printf("topology: %zu-AS Waxman, %zu trials, bandwidth ~ U[%llu, %llu]\n\n",
+  std::printf("topology: %zu-AS Waxman, %zu trials, bandwidth ~ U[%llu, %llu], "
+              "%zu threads\n\n",
               config.topology.nodes, config.trials,
               static_cast<unsigned long long>(config.bandwidth_min),
-              static_cast<unsigned long long>(config.bandwidth_max));
+              static_cast<unsigned long long>(config.bandwidth_max), threads);
 
   bench::BenchJson out("bottleneck_bw");
   bench::Stopwatch sw;
+  config.threads = 1;
+  const auto sequential = sim::run_bottleneck_sweep(config);
+  const double seq_wall = sw.elapsed_s();
+  auto& seq_run =
+      out.add_run("bottleneck_sweep_seq", static_cast<double>(config.trials), seq_wall);
+  seq_run.counters.emplace_back("threads", 1.0);
+  seq_run.counters.emplace_back("sweep_wall_s", seq_wall);
+
+  sw.restart();
+  config.threads = threads;
   const auto result = sim::run_bottleneck_sweep(config);
-  out.add_run("bottleneck_sweep", static_cast<double>(config.trials), sw.elapsed_s());
+  const double par_wall = sw.elapsed_s();
+  auto& par_run =
+      out.add_run("bottleneck_sweep_par", static_cast<double>(config.trials), par_wall);
+  par_run.counters.emplace_back("threads", static_cast<double>(threads));
+  par_run.counters.emplace_back("sweep_wall_s", par_wall);
+  par_run.counters.emplace_back("speedup", par_wall > 0 ? seq_wall / par_wall : 0.0);
+
+  const bool deterministic = sim::identical(sequential, result);
+  std::printf("sequential %.2fs, %zu threads %.2fs — speedup %.2fx, results %s\n\n",
+              seq_wall, threads, par_wall, par_wall > 0 ? seq_wall / par_wall : 0.0,
+              deterministic ? "bit-identical" : "DIVERGENT");
 
   std::printf("%10s | %22s | %22s\n", "adoption", "D-BGP baseline (±CI95)",
               "BGP baseline (±CI95)");
@@ -80,5 +107,9 @@ int main(int argc, char** argv) {
   const bool shape_ok = dbgp_cross <= bgp_cross;
   std::printf("shape: D-BGP crosses no later than BGP: %s\n",
               shape_ok ? "yes (matches paper)" : "NO (mismatch)");
-  return out.write() && shape_ok ? 0 : 1;
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "error: parallel sweep diverged from the sequential baseline\n");
+  }
+  return out.write() && shape_ok && deterministic ? 0 : 1;
 }

@@ -7,12 +7,17 @@
 // D-BGP's slope is higher at low adoption (10-40%); BGP's slope overtakes
 // once large islands merge (high adoption); both meet at 100%.
 //
-// Flags: --nodes, --trials, --seed, --cap (paths per advertisement).
+// Flags: --nodes, --trials, --seed, --cap (paths per advertisement),
+// --threads (parallel sweep width; 0 = hardware_concurrency). The sweep runs
+// twice — threads=1 (the sequential baseline) then --threads — and the two
+// SweepResults are checked bit-identical before the table prints, so the
+// speedup row in BENCH_extra_paths.json can never come from divergent work.
 #include <cstdio>
 
 #include "bench_json.h"
 #include "sim/experiment.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 using namespace dbgp;
 
@@ -29,17 +34,39 @@ int main(int argc, char** argv) {
   config.trials = static_cast<std::size_t>(flags.get_int("trials", 9));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   config.extra_paths.path_cap = static_cast<std::uint32_t>(flags.get_int("cap", 10));
+  const std::size_t threads = util::ThreadPool::resolve_threads(
+      static_cast<std::size_t>(flags.get_int("threads", 0)));
 
   std::printf("Figure 9 — incremental benefits, extra-paths archetype\n");
   std::printf("topology: %zu-AS Waxman (alpha=%.2f beta=%.2f), %zu trials, cap=%u "
-              "paths/advertisement\n\n",
+              "paths/advertisement, %zu threads\n\n",
               config.topology.nodes, config.topology.alpha, config.topology.beta,
-              config.trials, config.extra_paths.path_cap);
+              config.trials, config.extra_paths.path_cap, threads);
 
   bench::BenchJson out("extra_paths");
   bench::Stopwatch sw;
+  config.threads = 1;
+  const auto sequential = sim::run_extra_paths_sweep(config);
+  const double seq_wall = sw.elapsed_s();
+  auto& seq_run =
+      out.add_run("extra_paths_sweep_seq", static_cast<double>(config.trials), seq_wall);
+  seq_run.counters.emplace_back("threads", 1.0);
+  seq_run.counters.emplace_back("sweep_wall_s", seq_wall);
+
+  sw.restart();
+  config.threads = threads;
   const auto result = sim::run_extra_paths_sweep(config);
-  out.add_run("extra_paths_sweep", static_cast<double>(config.trials), sw.elapsed_s());
+  const double par_wall = sw.elapsed_s();
+  auto& par_run =
+      out.add_run("extra_paths_sweep_par", static_cast<double>(config.trials), par_wall);
+  par_run.counters.emplace_back("threads", static_cast<double>(threads));
+  par_run.counters.emplace_back("sweep_wall_s", par_wall);
+  par_run.counters.emplace_back("speedup", par_wall > 0 ? seq_wall / par_wall : 0.0);
+
+  const bool deterministic = sim::identical(sequential, result);
+  std::printf("sequential %.2fs, %zu threads %.2fs — speedup %.2fx, results %s\n\n",
+              seq_wall, threads, par_wall, par_wall > 0 ? seq_wall / par_wall : 0.0,
+              deterministic ? "bit-identical" : "DIVERGENT");
 
   std::printf("%10s | %22s | %22s\n", "adoption", "D-BGP baseline (±CI95)",
               "BGP baseline (±CI95)");
@@ -63,5 +90,9 @@ int main(int argc, char** argv) {
   }
   std::printf("\nshape: D-BGP >= BGP at every adoption level: %s\n",
               dbgp_dominates ? "yes (matches paper)" : "NO (mismatch)");
-  return out.write() && dbgp_dominates ? 0 : 1;
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "error: parallel sweep diverged from the sequential baseline\n");
+  }
+  return out.write() && dbgp_dominates && deterministic ? 0 : 1;
 }

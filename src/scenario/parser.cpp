@@ -148,6 +148,41 @@ Scenario parse_scenario(const std::string& text) {
         else fail(line_no, "chaos: unknown option '" + key + "'");
       }
       scenario.chaos = decl;
+    } else if (directive == "sweep") {
+      if (scenario.sweep) fail(line_no, "sweep: only one sweep stanza allowed");
+      if (tokens.size() < 2) fail(line_no, "sweep: need <extra-paths|bottleneck>");
+      SweepDecl decl;
+      decl.line = line_no;
+      if (tokens[1] == "extra-paths") {
+        decl.archetype = SweepDecl::Archetype::kExtraPaths;
+      } else if (tokens[1] == "bottleneck") {
+        decl.archetype = SweepDecl::Archetype::kBottleneck;
+      } else {
+        fail(line_no, "sweep: unknown archetype '" + tokens[1] + "'");
+      }
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        auto [key, value] = split_kv(tokens[i]);
+        if (key == "nodes") decl.nodes = parse_number(line_no, value);
+        else if (key == "trials") decl.trials = parse_number(line_no, value);
+        else if (key == "seed") decl.seed = parse_number(line_no, value);
+        else if (key == "threads") decl.threads = parse_number(line_no, value);
+        else if (key == "cap") decl.path_cap = static_cast<std::uint32_t>(parse_number(line_no, value));
+        else if (key == "bw-min") decl.bw_min = parse_number(line_no, value);
+        else if (key == "bw-max") decl.bw_max = parse_number(line_no, value);
+        else if (key == "levels") {
+          for (const auto& part : util::split(value, ',')) {
+            const double level = std::stod(std::string(part));
+            if (level < 0.0 || level > 1.0) {
+              fail(line_no, "sweep: levels must lie in [0, 1]");
+            }
+            decl.levels.push_back(level);
+          }
+        } else {
+          fail(line_no, "sweep: unknown option '" + key + "'");
+        }
+      }
+      if (decl.nodes == 0) fail(line_no, "sweep: nodes must be > 0");
+      scenario.sweep = std::move(decl);
     } else if (directive == "expect") {
       if (tokens.size() < 4) fail(line_no, "expect: too few arguments");
       Expectation e;
@@ -178,6 +213,11 @@ Scenario parse_scenario(const std::string& text) {
     } else {
       fail(line_no, "unknown directive '" + directive + "'");
     }
+  }
+  if (scenario.sweep && !scenario.ases.empty()) {
+    fail(scenario.sweep->line,
+         "sweep: a sweep scenario describes an experiment, not a network — "
+         "remove the as/link directives or the sweep stanza");
   }
   return scenario;
 }

@@ -20,6 +20,16 @@
 //   originate <asn> <prefix>
 //   strip <asn> <proto>        # gulf operator drops a protocol's info
 //
+//   sweep <extra-paths|bottleneck> [nodes=<n>] [trials=<n>] [seed=<n>]
+//         [threads=<n>] [cap=<n>] [bw-min=<n>] [bw-max=<n>]
+//         [levels=<f1>,<f2>,...]
+//       Declares an incremental-benefit sweep (the Section 6.3 harness behind
+//       Figures 9 & 10) instead of a network: `dbgp_run` executes it on the
+//       deterministic parallel sweep engine and prints the benefit table.
+//       threads=0 uses every hardware thread; threads=1 runs sequentially
+//       (identical results either way). At most one sweep stanza, and it
+//       cannot be combined with `as`/`link` network directives.
+//
 //   chaos [seed=<n>] [start=<s>] [horizon=<s>] [flap-fraction=<f>]
 //         [mean-up=<s>] [mean-down=<s>] [loss=<f>] [duplicate=<f>]
 //         [reorder=<f>] [reorder-delay=<s>] [corrupt=<f>]
@@ -107,6 +117,22 @@ struct ChaosDecl {
   double mean_downtime = 0.5;
 };
 
+// Plain data mirror of sim::SweepConfig (the parser does not link against
+// dbgp_sim); the runner converts. Field semantics match 1:1.
+struct SweepDecl {
+  enum class Archetype { kExtraPaths, kBottleneck };
+  Archetype archetype = Archetype::kExtraPaths;
+  std::size_t nodes = 1000;
+  std::size_t trials = 9;
+  std::uint64_t seed = 42;
+  std::size_t threads = 1;        // 0 = hardware_concurrency
+  std::uint32_t path_cap = 10;    // extra-paths only
+  std::uint64_t bw_min = 10;      // bottleneck only
+  std::uint64_t bw_max = 1024;
+  std::vector<double> levels;     // empty = the paper's deciles
+  int line = 0;
+};
+
 struct Expectation {
   enum class Kind {
     kReachable,
@@ -133,6 +159,7 @@ struct Scenario {
   std::vector<OriginateDecl> originations;
   std::vector<StripDecl> strips;
   std::optional<ChaosDecl> chaos;
+  std::optional<SweepDecl> sweep;
   std::vector<Expectation> expectations;
 };
 

@@ -31,6 +31,35 @@ ia::ProtocolId protocol_id(const std::string& name) {
   return id;
 }
 
+}  // namespace
+
+sim::SweepConfig to_sweep_config(const SweepDecl& decl,
+                                 std::optional<std::size_t> threads_override) {
+  sim::SweepConfig config;
+  config.topology.nodes = decl.nodes;
+  config.trials = decl.trials;
+  config.seed = decl.seed;
+  config.threads = threads_override.value_or(decl.threads);
+  config.extra_paths.path_cap = decl.path_cap;
+  config.bandwidth_min = decl.bw_min;
+  config.bandwidth_max = decl.bw_max;
+  if (!decl.levels.empty()) config.adoption_levels = decl.levels;
+  return config;
+}
+
+sim::SweepResult run_scenario_sweep(const Scenario& scenario,
+                                    std::optional<std::size_t> threads_override) {
+  if (!scenario.sweep) {
+    throw std::runtime_error("scenario has no sweep stanza");
+  }
+  const sim::SweepConfig config = to_sweep_config(*scenario.sweep, threads_override);
+  return scenario.sweep->archetype == SweepDecl::Archetype::kExtraPaths
+             ? sim::run_extra_paths_sweep(config)
+             : sim::run_bottleneck_sweep(config);
+}
+
+namespace {
+
 simnet::ChaosOptions to_chaos_options(const ChaosDecl& decl) {
   simnet::ChaosOptions opts;
   opts.seed = decl.seed;

@@ -13,6 +13,7 @@
 #include "protocols/pathlet.h"
 #include "protocols/bgpsec.h"
 #include "scenario/parser.h"
+#include "sim/experiment.h"
 #include "simnet/chaos.h"
 #include "simnet/network.h"
 #include "telemetry/trace.h"
@@ -38,6 +39,17 @@ struct RunResult {
   bool all_passed() const noexcept;
   std::size_t failures() const noexcept;
 };
+
+// Converts a parsed `sweep` stanza into the sweep engine's configuration.
+// `threads_override`, when set, wins over the stanza's threads= option (the
+// CLI's --threads flag; 0 still means hardware_concurrency).
+sim::SweepConfig to_sweep_config(const SweepDecl& decl,
+                                 std::optional<std::size_t> threads_override = {});
+
+// Runs the scenario's sweep stanza on the deterministic parallel sweep
+// engine. Throws std::runtime_error if the scenario has no sweep.
+sim::SweepResult run_scenario_sweep(const Scenario& scenario,
+                                    std::optional<std::size_t> threads_override = {});
 
 class Runner {
  public:

@@ -1,8 +1,11 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "telemetry/metrics.h"
 #include "topology/adoption.h"
+#include "util/thread_pool.h"
 
 namespace dbgp::sim {
 
@@ -18,14 +21,19 @@ struct TrialContext {
   std::vector<bool> stubs;
 };
 
-TrialContext make_trial(const SweepConfig& config, std::uint64_t trial_seed) {
+std::uint64_t trial_seed_of(const SweepConfig& config, std::size_t trial) {
+  return config.seed + 1000003ULL * trial;
+}
+
+// Everything except the route precompute, which parallelizes across
+// destinations separately (see run_sweep phase 2). Draw order matters: the
+// graph consumes the head of the trial stream and the bandwidths the tail,
+// matching the original sequential harness draw for draw.
+TrialContext make_trial_base(const SweepConfig& config, std::uint64_t trial_seed) {
   util::Rng rng(trial_seed);
   TrialContext ctx;
   ctx.graph = topology::generate_waxman(config.topology, rng);
-  RoutingOracle oracle(ctx.graph);
   const std::size_t n = ctx.graph.size();
-  ctx.routes.reserve(n);
-  for (NodeId d = 0; d < n; ++d) ctx.routes.push_back(oracle.compute(d));
   ctx.bandwidth.resize(n);
   for (NodeId u = 0; u < n; ++u) {
     ctx.bandwidth[u] = static_cast<std::uint64_t>(rng.next_range(
@@ -80,51 +88,105 @@ double bottleneck_benefit(const TrialContext& ctx, const std::vector<bool>& upgr
   return mean_over_sources(per_source, sources);
 }
 
+// The sweep engine. Three parallel phases over pre-sized slots, aggregated
+// sequentially in index order, so the result is independent of thread count
+// and chunking:
+//
+//   1. per trial:            topology + bandwidth + stub flags
+//   2. per (trial, dest):    valley-free route precompute (shared const graph)
+//   3. per (trial, level):   adoption draw + both baselines; slot 0 of each
+//                            trial evaluates status quo / best case instead
+//
+// Each (trial, level) adoption draw seeds its own Rng via
+// util::split_seed(trial_seed ^ 0xad, level-index): a pure function of the
+// logical task, so no RNG stream is shared between tasks and no draw order
+// depends on scheduling.
 template <typename BenefitFn>
 SweepResult run_sweep(const SweepConfig& config, BenefitFn&& benefit,
                       bool stub_sources_only) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  auto& pool_tasks = registry.counter("util.pool.tasks");
+  auto& wait_hist = registry.histogram(
+      "util.pool.steal_or_wait_ns",
+      telemetry::Histogram::exponential_bounds(100.0, 1e10, 4.0));
+  auto& wall_hist = registry.histogram(
+      "sim.sweep.wall_seconds",
+      telemetry::Histogram::exponential_bounds(1e-3, 1e4, 2.0));
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  util::ThreadPool pool(config.threads);
+  pool.set_wait_observer(
+      [&wait_hist](std::uint64_t ns) { wait_hist.record(static_cast<double>(ns)); });
+  registry.gauge("util.pool.threads").set(static_cast<std::int64_t>(pool.size()));
+
   SweepResult result;
   const std::size_t levels = config.adoption_levels.size();
-  std::vector<std::vector<double>> dbgp_samples(levels), bgp_samples(levels);
-  std::vector<double> status_quo_samples, best_case_samples;
+  const std::size_t trials = config.trials;
 
-  for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    const std::uint64_t trial_seed = config.seed + 1000003ULL * trial;
-    TrialContext ctx = make_trial(config, trial_seed);
-    const std::size_t n = ctx.graph.size();
-    util::Rng adoption_rng(trial_seed ^ 0xadULL);
+  // Phase 1 — trial contexts.
+  std::vector<TrialContext> ctxs(trials);
+  pool.parallel_for(0, trials, 1, [&](std::size_t trial) {
+    ctxs[trial] = make_trial_base(config, trial_seed_of(config, trial));
+  });
 
-    const std::vector<bool> all(n, true);
-    const std::vector<bool> none(n, false);
-
-    // Status quo: nothing upgraded; measure at every potential source.
-    {
-      const std::vector<bool>& sources = stub_sources_only ? ctx.stubs : all;
-      status_quo_samples.push_back(
-          benefit(ctx, none, BaselineProtocol::kBgp, sources));
-      best_case_samples.push_back(
-          benefit(ctx, all, BaselineProtocol::kDbgp, sources));
-    }
-
-    for (std::size_t li = 0; li < levels; ++li) {
-      const double level = config.adoption_levels[li];
-      const auto upgraded = topology::random_adoption(n, level, adoption_rng);
-      std::vector<bool> sources(n, false);
-      bool any = false;
-      for (NodeId u = 0; u < n; ++u) {
-        sources[u] = upgraded[u] && (!stub_sources_only || ctx.stubs[u]);
-        any = any || sources[u];
-      }
-      if (!any) {
-        // No eligible sources at this level (can happen at tiny fractions);
-        // fall back to all upgraded ASes.
-        for (NodeId u = 0; u < n; ++u) sources[u] = upgraded[u];
-      }
-      dbgp_samples[li].push_back(benefit(ctx, upgraded, BaselineProtocol::kDbgp, sources));
-      bgp_samples[li].push_back(benefit(ctx, upgraded, BaselineProtocol::kBgp, sources));
-    }
+  // Phase 2 — route precompute, flattened over (trial, destination) so small
+  // trial counts still fill every thread.
+  std::vector<std::size_t> offset(trials + 1, 0);
+  for (std::size_t t = 0; t < trials; ++t) {
+    offset[t + 1] = offset[t] + ctxs[t].graph.size();
+    ctxs[t].routes.resize(ctxs[t].graph.size());
   }
+  pool.parallel_for(0, offset.back(), 0, [&](std::size_t flat) {
+    const std::size_t t =
+        static_cast<std::size_t>(std::upper_bound(offset.begin(), offset.end(), flat) -
+                                 offset.begin()) -
+        1;
+    const NodeId d = static_cast<NodeId>(flat - offset[t]);
+    ctxs[t].routes[d] = RoutingOracle(ctxs[t].graph).compute(d);
+  });
 
+  // Phase 3 — benefit evaluation into per-(level, trial) slots.
+  std::vector<std::vector<double>> dbgp_samples(levels, std::vector<double>(trials, 0.0));
+  std::vector<std::vector<double>> bgp_samples(levels, std::vector<double>(trials, 0.0));
+  std::vector<double> status_quo_samples(trials, 0.0), best_case_samples(trials, 0.0);
+
+  pool.parallel_for(0, trials * (levels + 1), 1, [&](std::size_t task) {
+    const std::size_t trial = task / (levels + 1);
+    const std::size_t slot = task % (levels + 1);
+    const TrialContext& ctx = ctxs[trial];
+    const std::size_t n = ctx.graph.size();
+    const std::vector<bool> all(n, true);
+
+    if (slot == 0) {
+      // Status quo: nothing upgraded; measure at every potential source.
+      const std::vector<bool> none(n, false);
+      const std::vector<bool>& sources = stub_sources_only ? ctx.stubs : all;
+      status_quo_samples[trial] = benefit(ctx, none, BaselineProtocol::kBgp, sources);
+      best_case_samples[trial] = benefit(ctx, all, BaselineProtocol::kDbgp, sources);
+      return;
+    }
+
+    const std::size_t li = slot - 1;
+    util::Rng adoption_rng(
+        util::split_seed(trial_seed_of(config, trial) ^ 0xadULL, li));
+    const auto upgraded =
+        topology::random_adoption(n, config.adoption_levels[li], adoption_rng);
+    std::vector<bool> sources(n, false);
+    bool any = false;
+    for (NodeId u = 0; u < n; ++u) {
+      sources[u] = upgraded[u] && (!stub_sources_only || ctx.stubs[u]);
+      any = any || sources[u];
+    }
+    if (!any) {
+      // No eligible sources at this level (can happen at tiny fractions);
+      // fall back to all upgraded ASes.
+      for (NodeId u = 0; u < n; ++u) sources[u] = upgraded[u];
+    }
+    dbgp_samples[li][trial] = benefit(ctx, upgraded, BaselineProtocol::kDbgp, sources);
+    bgp_samples[li][trial] = benefit(ctx, upgraded, BaselineProtocol::kBgp, sources);
+  });
+
+  // Aggregation: sequential, fixed index order.
   for (std::size_t li = 0; li < levels; ++li) {
     result.dbgp_baseline.push_back(
         {config.adoption_levels[li], util::summarize(dbgp_samples[li])});
@@ -133,6 +195,11 @@ SweepResult run_sweep(const SweepConfig& config, BenefitFn&& benefit,
   }
   result.status_quo = util::summarize(status_quo_samples).mean;
   result.best_case = util::summarize(best_case_samples).mean;
+
+  pool_tasks.inc(pool.stats().tasks);
+  wall_hist.record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count());
   return result;
 }
 
@@ -156,6 +223,26 @@ SweepResult run_bottleneck_sweep(const SweepConfig& config) {
         return bottleneck_benefit(ctx, upgraded, baseline, sources);
       },
       /*stub_sources_only=*/false);
+}
+
+bool identical(const SweepResult& a, const SweepResult& b) noexcept {
+  const auto same_summary = [](const util::Summary& x, const util::Summary& y) {
+    return x.count == y.count && x.mean == y.mean && x.stddev == y.stddev &&
+           x.ci95 == y.ci95 && x.min == y.min && x.max == y.max;
+  };
+  const auto same_series = [&](const std::vector<SeriesPoint>& x,
+                               const std::vector<SeriesPoint>& y) {
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i].adoption != y[i].adoption || !same_summary(x[i].benefit, y[i].benefit)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return same_series(a.dbgp_baseline, b.dbgp_baseline) &&
+         same_series(a.bgp_baseline, b.bgp_baseline) &&
+         a.status_quo == b.status_quo && a.best_case == b.best_case;
 }
 
 }  // namespace dbgp::sim

@@ -6,6 +6,12 @@
 // baselines (BGP: new-protocol control information is dropped at gulfs;
 // D-BGP: it is passed through). Results aggregate mean and 95% CI across
 // trials, exactly as the paper plots them (9 trials, error bars).
+//
+// The harness runs on the deterministic parallel sweep engine
+// (util/thread_pool.h): trials, per-destination route precompute, and
+// adoption levels fan out as index-addressed tasks whose RNG streams are
+// derived with util::split_seed, so SweepResult is bit-identical for any
+// SweepConfig::threads value.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,11 @@ struct SweepConfig {
   ExtraPathsParams extra_paths;                    // cap = 10 paths/advert
   std::uint64_t bandwidth_min = 10;                // paper: U[10, 1024]
   std::uint64_t bandwidth_max = 1024;
+  // Worker threads for the sweep engine: 0 = hardware_concurrency, 1 (the
+  // default) = fully sequential, exactly the single-core cost profile the
+  // harness always had. Any value yields a bit-identical SweepResult — the
+  // determinism contract is documented in DESIGN.md §11.
+  std::size_t threads = 1;
 };
 
 struct SeriesPoint {
@@ -47,5 +58,11 @@ SweepResult run_extra_paths_sweep(const SweepConfig& config);
 // Figure 10: benefit = average over upgraded ASes of the total actual
 // bottleneck bandwidth of chosen paths to all destinations.
 SweepResult run_bottleneck_sweep(const SweepConfig& config);
+
+// Exact (bitwise) equality over every field of both results — the check the
+// determinism regression tests and the benches' sequential-vs-parallel
+// comparison rely on. Doubles are compared with ==, not a tolerance: the
+// parallel engine promises identical arithmetic, not merely close results.
+bool identical(const SweepResult& a, const SweepResult& b) noexcept;
 
 }  // namespace dbgp::sim

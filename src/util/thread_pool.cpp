@@ -1,0 +1,208 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "util/rng.h"
+
+namespace dbgp::util {
+
+namespace {
+
+// True while this thread is executing a pool task (worker or participating
+// caller). A nested parallel_for from such a thread runs inline: its chunks
+// must not queue behind the very job they are part of.
+thread_local bool t_inside_task = false;
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::uint64_t split_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  // Offset by the golden-ratio increment so (base, 0) != (base + 1, ...)
+  // collisions require two full SplitMix64 avalanches to line up.
+  std::uint64_t state = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  return a ^ (b + 0x9e3779b97f4a7c15ULL);
+}
+
+struct ThreadPool::Job {
+  std::atomic<std::size_t> next{0};         // next index to claim
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> chunks_left{0};  // chunks not yet fully executed
+  std::size_t active = 0;                   // workers inside run_chunks; guarded by pool mu_
+  std::uint64_t published_ns = 0;           // when the job became visible
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;                 // guarded by error_mu
+};
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t total = resolve_threads(threads);
+  workers_.reserve(total - 1);
+  for (std::size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::set_wait_observer(WaitObserver observer) {
+  std::lock_guard<std::mutex> lk(mu_);
+  wait_observer_ = std::move(observer);
+}
+
+ThreadPool::Stats ThreadPool::stats() const noexcept {
+  return {tasks_.load(std::memory_order_relaxed),
+          wakeups_.load(std::memory_order_relaxed),
+          wait_ns_.load(std::memory_order_relaxed)};
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_task = true;  // nested parallel_for from a task runs inline
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
+    std::uint64_t waited_ns = 0;
+    WaitObserver observer;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      ++job->active;
+      waited_ns = now_ns() - job->published_ns;
+      observer = wait_observer_;
+    }
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    wait_ns_.fetch_add(waited_ns, std::memory_order_relaxed);
+    if (observer) observer(waited_ns);
+
+    run_chunks(*job);
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--job->active == 0 &&
+          job->chunks_left.load(std::memory_order_acquire) == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  for (;;) {
+    const std::size_t start = job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (start >= job.end) return;
+    const std::size_t stop = std::min(start + job.chunk, job.end);
+    // After a failure the remaining chunks are drained without running: the
+    // caller rethrows the first error, partial results are discarded anyway,
+    // and draining (rather than abandoning) keeps completion tracking exact.
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        for (std::size_t i = start; i < stop; ++i) (*job.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(job.error_mu);
+        if (!job.error) job.error = std::current_exception();
+        job.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    tasks_.fetch_add(1, std::memory_order_relaxed);
+    job.chunks_left.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;  // empty range: nothing to do, nobody to wake
+  const std::size_t count = end - begin;
+  if (chunk == 0) {
+    // Aim for ~4 chunks per thread so a slow chunk cannot stall the tail.
+    chunk = std::max<std::size_t>(1, count / (size() * 4));
+  }
+  const std::size_t n_chunks = (count + chunk - 1) / chunk;
+
+  // Inline fast path: nested call from inside a task (deadlock guard),
+  // single-threaded pool, or a range that fits in one chunk. Runs in index
+  // order; identical results by the pre-sized-slot contract.
+  if (t_inside_task || workers_.empty() || n_chunks == 1) {
+    const bool was_inside = t_inside_task;
+    t_inside_task = true;
+    try {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    } catch (...) {
+      t_inside_task = was_inside;
+      tasks_.fetch_add(n_chunks, std::memory_order_relaxed);
+      throw;
+    }
+    t_inside_task = was_inside;
+    tasks_.fetch_add(n_chunks, std::memory_order_relaxed);
+    return;
+  }
+
+  Job job;
+  job.next.store(begin, std::memory_order_relaxed);
+  job.end = end;
+  job.chunk = chunk;
+  job.fn = &fn;
+  job.chunks_left.store(n_chunks, std::memory_order_relaxed);
+  job.published_ns = now_ns();
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    ++generation_;
+  }
+  // Wake only as many workers as there are chunks beyond the caller's own
+  // share — a pool wider than the task list leaves the surplus asleep.
+  const std::size_t to_wake = std::min(workers_.size(), n_chunks - 1);
+  if (to_wake == workers_.size()) {
+    work_cv_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < to_wake; ++i) work_cv_.notify_one();
+  }
+
+  // The caller participates under the same inline guard as workers.
+  t_inside_task = true;
+  run_chunks(job);
+  t_inside_task = false;
+
+  {
+    // Completion = every chunk executed AND no worker still holds a
+    // reference: `job` lives on this stack frame, so a straggler that
+    // claimed its empty tail inside run_chunks must finish before we return.
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return job.chunks_left.load(std::memory_order_acquire) == 0 && job.active == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace dbgp::util

@@ -1,0 +1,107 @@
+// Fixed-size worker pool with a deterministic data-parallel primitive.
+//
+// The sweep harness (sim/experiment.cpp) fans trials, destinations, and
+// adoption levels out as independent index-addressed tasks; this pool is the
+// execution substrate. Design constraints, in order:
+//
+//   1. Determinism: parallel_for makes NO scheduling decision visible to the
+//      caller. Tasks write into pre-sized slots keyed by index, every index
+//      runs exactly once, and randomness comes from split_seed(base, index) —
+//      a pure function of the logical task, never of the executing thread or
+//      chunk boundaries. A pool of N threads therefore produces bit-identical
+//      results to a pool of 1.
+//   2. "threads == 1 is today's behaviour": a single-threaded pool spawns no
+//      worker threads at all; parallel_for degenerates to a plain loop in the
+//      calling thread (same cost profile as the pre-pool code).
+//   3. No idle churn: an empty range returns without touching the condition
+//      variable, and a job with fewer chunks than workers wakes only as many
+//      workers as there are chunks to claim.
+//
+// Nested parallel_for calls (from inside a task) execute inline in the
+// calling thread instead of re-submitting to the pool — a recursive submit
+// onto a fixed-size pool whose workers are all blocked is the classic
+// self-deadlock, and inline execution preserves the exactly-once contract.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbgp::util {
+
+// Derives the seed for logical task `index` from a base seed. Pure function:
+// stable across thread counts, chunk sizes, and execution order, so any task
+// that seeds an Rng with split_seed(base, index) draws an identical stream no
+// matter how the work was scheduled. (Two SplitMix64 steps, so consecutive
+// indices land in uncorrelated parts of the sequence.)
+std::uint64_t split_seed(std::uint64_t base, std::uint64_t index) noexcept;
+
+class ThreadPool {
+ public:
+  // Cumulative counters since construction (monotone, cheap relaxed atomics).
+  struct Stats {
+    std::uint64_t tasks = 0;    // chunks executed (including inline ones)
+    std::uint64_t wakeups = 0;  // times a worker picked up a job
+    std::uint64_t wait_ns = 0;  // total publish-to-pickup latency across wakeups
+  };
+
+  // Called once per worker pickup with the nanoseconds between the job being
+  // published and this worker claiming it — the "steal or wait" latency the
+  // telemetry histogram records. Must be thread-safe; set it before the first
+  // parallel_for.
+  using WaitObserver = std::function<void(std::uint64_t wait_ns)>;
+
+  // threads == 0 resolves to hardware_concurrency (at least 1); threads == 1
+  // spawns no workers (all work runs inline in the caller). The pool size is
+  // the total concurrency including the calling thread, so a pool of N
+  // spawns N - 1 workers.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  static std::size_t resolve_threads(std::size_t requested) noexcept;
+
+  // Total concurrency (spawned workers + the calling thread).
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  // Runs fn(i) for every i in [begin, end), partitioned into contiguous
+  // chunks of at most `chunk` indices (chunk == 0 picks one automatically).
+  // Blocks until every index has run; the calling thread participates. The
+  // first exception a task throws is rethrown here after the range drains
+  // (remaining chunks are claimed but skipped). Empty ranges return
+  // immediately without waking anyone.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
+                    const std::function<void(std::size_t)>& fn);
+
+  Stats stats() const noexcept;
+  void set_wait_observer(WaitObserver observer);
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  // Claims and executes chunks until the job's range is exhausted.
+  void run_chunks(Job& job);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait here for a new job
+  std::condition_variable done_cv_;  // parallel_for waits here for completion
+  Job* job_ = nullptr;               // guarded by mu_
+  std::uint64_t generation_ = 0;     // guarded by mu_; bumped per job
+  bool stop_ = false;                // guarded by mu_
+
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> wait_ns_{0};
+  WaitObserver wait_observer_;
+};
+
+}  // namespace dbgp::util

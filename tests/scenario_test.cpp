@@ -145,6 +145,73 @@ TEST(ScenarioRunner, UnknownProtocolRejected) {
                std::runtime_error);
 }
 
+TEST(ScenarioParser, ParsesSweepStanza) {
+  const Scenario s = parse_scenario(
+      "sweep extra-paths nodes=300 trials=5 seed=7 threads=4 cap=8 "
+      "levels=0.1,0.5,1.0\n");
+  ASSERT_TRUE(s.sweep.has_value());
+  EXPECT_EQ(s.sweep->archetype, SweepDecl::Archetype::kExtraPaths);
+  EXPECT_EQ(s.sweep->nodes, 300u);
+  EXPECT_EQ(s.sweep->trials, 5u);
+  EXPECT_EQ(s.sweep->seed, 7u);
+  EXPECT_EQ(s.sweep->threads, 4u);
+  EXPECT_EQ(s.sweep->path_cap, 8u);
+  EXPECT_EQ(s.sweep->levels, (std::vector<double>{0.1, 0.5, 1.0}));
+}
+
+TEST(ScenarioParser, SweepDefaultsMatchThePaperSetup) {
+  const Scenario s = parse_scenario("sweep bottleneck bw-min=16 bw-max=2048\n");
+  ASSERT_TRUE(s.sweep.has_value());
+  EXPECT_EQ(s.sweep->archetype, SweepDecl::Archetype::kBottleneck);
+  EXPECT_EQ(s.sweep->nodes, 1000u);   // paper: 1,000-AS Waxman topology
+  EXPECT_EQ(s.sweep->trials, 9u);     // paper: 9 trials
+  EXPECT_EQ(s.sweep->threads, 1u);    // sequential unless asked
+  EXPECT_EQ(s.sweep->bw_min, 16u);
+  EXPECT_EQ(s.sweep->bw_max, 2048u);
+  EXPECT_TRUE(s.sweep->levels.empty());  // runner fills in the deciles
+}
+
+TEST(ScenarioParser, SweepRejectsMalformedStanzas) {
+  EXPECT_THROW(parse_scenario("sweep\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("sweep sideways\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("sweep extra-paths frobnicate=2\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario("sweep extra-paths nodes=0\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("sweep extra-paths levels=0.5,1.5\n"),
+               std::runtime_error);
+  // One stanza per scenario, and sweeps don't mix with as/link topologies.
+  EXPECT_THROW(parse_scenario("sweep extra-paths\nsweep bottleneck\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario("as 1\nsweep extra-paths\n"), std::runtime_error);
+}
+
+TEST(ScenarioRunner, SweepConfigMapsDeclAndThreadsOverride) {
+  const Scenario s = parse_scenario(
+      "sweep extra-paths nodes=120 trials=2 seed=9 threads=2 levels=0.5\n");
+  const auto config = to_sweep_config(*s.sweep);
+  EXPECT_EQ(config.topology.nodes, 120u);
+  EXPECT_EQ(config.trials, 2u);
+  EXPECT_EQ(config.seed, 9u);
+  EXPECT_EQ(config.threads, 2u);
+  EXPECT_EQ(config.adoption_levels, (std::vector<double>{0.5}));
+  // A --threads override (dbgp_run's flag) beats the stanza.
+  EXPECT_EQ(to_sweep_config(*s.sweep, 8).threads, 8u);
+}
+
+TEST(ScenarioRunner, RunsSweepScenarioEndToEnd) {
+  const Scenario s = parse_scenario(
+      "sweep extra-paths nodes=80 trials=2 seed=42 threads=2 levels=0.3,0.7\n");
+  const auto result = run_scenario_sweep(s);
+  ASSERT_EQ(result.dbgp_baseline.size(), 2u);
+  EXPECT_GE(result.best_case, result.status_quo);
+  // And it must equal the sequential run bit-for-bit (the engine's contract).
+  EXPECT_TRUE(sim::identical(result, run_scenario_sweep(s, 1)));
+}
+
+TEST(ScenarioRunner, SweeplessScenarioRejectsSweepRun) {
+  EXPECT_THROW(run_scenario_sweep(parse_scenario("as 1\n")), std::runtime_error);
+}
+
 TEST(ScenarioRunner, ScionAndPathletScenarios) {
   const std::string text = R"(
 as 1 island=RIGHT protocol=scion abstract members=1

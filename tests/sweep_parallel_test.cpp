@@ -1,0 +1,153 @@
+// Determinism regression suite for the parallel sweep engine (part of the
+// `concurrency` label, re-run under TSan by dbgp_tsan_check).
+//
+// The contract under test (DESIGN.md §11): run_extra_paths_sweep and
+// run_bottleneck_sweep produce a SweepResult that is bit-identical for every
+// SweepConfig::threads value, because tasks write pre-sized slots, RNG
+// streams are split per logical task, and aggregation order is fixed by
+// index. The golden-value tests additionally pin the aggregation itself, so
+// a future refactor cannot silently reorder it while keeping self-
+// consistency.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace dbgp::sim {
+namespace {
+
+// Recorded from the sequential engine (threads=1) at seed 42, nodes=100,
+// trials=3, levels={0.3, 0.7} — see GoldenValuesLockAggregation.
+constexpr double kGoldenExtraDbgp30 = 374.99444444444447;
+constexpr double kGoldenExtraDbgp70 = 775.60502904865643;
+constexpr double kGoldenExtraBgp30 = 250.04999999999998;
+constexpr double kGoldenExtraStatusQuo = 99.0;
+constexpr double kGoldenExtraBestCase = 1046.2853901695814;
+constexpr double kGoldenBottleneckDbgp30 = 29219.622222222224;
+constexpr double kGoldenBottleneckBgp70 = 30943.738095238095;
+constexpr double kGoldenBottleneckStatusQuo = 28479.456666666665;
+
+SweepConfig small_config(std::uint64_t seed, std::size_t threads) {
+  SweepConfig config;
+  config.topology.nodes = 120;
+  config.trials = 4;
+  config.adoption_levels = {0.2, 0.6, 1.0};
+  config.seed = seed;
+  config.threads = threads;
+  return config;
+}
+
+void expect_identical(const SweepResult& a, const SweepResult& b,
+                      const char* what) {
+  // identical() is the product predicate the benches gate on; the
+  // field-by-field EXPECTs below it localize a failure.
+  EXPECT_TRUE(identical(a, b)) << what;
+  ASSERT_EQ(a.dbgp_baseline.size(), b.dbgp_baseline.size());
+  for (std::size_t i = 0; i < a.dbgp_baseline.size(); ++i) {
+    EXPECT_EQ(a.dbgp_baseline[i].benefit.mean, b.dbgp_baseline[i].benefit.mean)
+        << what << " dbgp level " << i;
+    EXPECT_EQ(a.dbgp_baseline[i].benefit.ci95, b.dbgp_baseline[i].benefit.ci95)
+        << what << " dbgp ci95 level " << i;
+    EXPECT_EQ(a.bgp_baseline[i].benefit.mean, b.bgp_baseline[i].benefit.mean)
+        << what << " bgp level " << i;
+    EXPECT_EQ(a.bgp_baseline[i].benefit.stddev, b.bgp_baseline[i].benefit.stddev)
+        << what << " bgp stddev level " << i;
+  }
+  EXPECT_EQ(a.status_quo, b.status_quo) << what;
+  EXPECT_EQ(a.best_case, b.best_case) << what;
+}
+
+TEST(SweepDeterminism, ExtraPathsParallelEqualsSequential) {
+  for (std::uint64_t seed : {42ULL, 1234ULL}) {
+    const auto sequential = run_extra_paths_sweep(small_config(seed, 1));
+    const auto parallel = run_extra_paths_sweep(small_config(seed, 8));
+    expect_identical(sequential, parallel, "extra-paths");
+  }
+}
+
+TEST(SweepDeterminism, BottleneckParallelEqualsSequential) {
+  for (std::uint64_t seed : {42ULL, 1234ULL}) {
+    const auto sequential = run_bottleneck_sweep(small_config(seed, 1));
+    const auto parallel = run_bottleneck_sweep(small_config(seed, 8));
+    expect_identical(sequential, parallel, "bottleneck");
+  }
+}
+
+TEST(SweepDeterminism, StableAcrossEveryThreadCount) {
+  // Thread counts imply different chunkings of all three phases; none may
+  // leak into the result.
+  const auto reference = run_extra_paths_sweep(small_config(42, 1));
+  for (std::size_t threads : {std::size_t{2}, std::size_t{3}, std::size_t{5},
+                              std::size_t{16}}) {
+    const auto other = run_extra_paths_sweep(small_config(42, threads));
+    expect_identical(reference, other, "thread-count sweep");
+  }
+}
+
+TEST(SweepDeterminism, ThreadsFarExceedingTasksIsSafeAndIdentical) {
+  SweepConfig config = small_config(7, 64);  // 64 threads, 4 trials, 3 levels
+  config.trials = 2;
+  config.adoption_levels = {0.5};
+  const auto wide = run_extra_paths_sweep(config);
+  config.threads = 1;
+  const auto narrow = run_extra_paths_sweep(config);
+  expect_identical(narrow, wide, "threads >> tasks");
+}
+
+TEST(SweepDeterminism, EmptyTrialsProduceZeroedSummariesNotCrashes) {
+  SweepConfig config = small_config(42, 8);
+  config.trials = 0;  // empty task ranges in every phase
+  const auto result = run_extra_paths_sweep(config);
+  ASSERT_EQ(result.dbgp_baseline.size(), config.adoption_levels.size());
+  for (const auto& point : result.dbgp_baseline) {
+    EXPECT_EQ(point.benefit.count, 0u);
+    EXPECT_EQ(point.benefit.mean, 0.0);
+  }
+  EXPECT_EQ(result.status_quo, 0.0);
+  EXPECT_EQ(result.best_case, 0.0);
+}
+
+TEST(SweepDeterminism, EmptyAdoptionLevelsStillMeasureEndpoints) {
+  SweepConfig config = small_config(42, 4);
+  config.adoption_levels.clear();
+  const auto result = run_bottleneck_sweep(config);
+  EXPECT_TRUE(result.dbgp_baseline.empty());
+  EXPECT_TRUE(result.bgp_baseline.empty());
+  EXPECT_GT(result.status_quo, 0.0);
+  EXPECT_GT(result.best_case, result.status_quo);
+}
+
+TEST(SweepDeterminism, GoldenValuesLockAggregation) {
+  // Golden values for one fixed configuration, recorded from the sequential
+  // path. They pin (a) the trial-seed formula, (b) the per-(trial, level)
+  // split_seed adoption streams, and (c) index-ordered aggregation. A
+  // refactor that changes any of these must consciously regenerate them
+  // (and the EXPERIMENTS.md tables + BENCH baselines with them).
+  SweepConfig config;
+  config.topology.nodes = 100;
+  config.trials = 3;
+  config.adoption_levels = {0.3, 0.7};
+  config.seed = 42;
+  config.threads = 1;
+
+  const auto extra = run_extra_paths_sweep(config);
+  ASSERT_EQ(extra.dbgp_baseline.size(), 2u);
+  EXPECT_DOUBLE_EQ(extra.dbgp_baseline[0].benefit.mean, kGoldenExtraDbgp30);
+  EXPECT_DOUBLE_EQ(extra.dbgp_baseline[1].benefit.mean, kGoldenExtraDbgp70);
+  EXPECT_DOUBLE_EQ(extra.bgp_baseline[0].benefit.mean, kGoldenExtraBgp30);
+  EXPECT_DOUBLE_EQ(extra.status_quo, kGoldenExtraStatusQuo);
+  EXPECT_DOUBLE_EQ(extra.best_case, kGoldenExtraBestCase);
+
+  const auto bottleneck = run_bottleneck_sweep(config);
+  EXPECT_DOUBLE_EQ(bottleneck.dbgp_baseline[0].benefit.mean, kGoldenBottleneckDbgp30);
+  EXPECT_DOUBLE_EQ(bottleneck.bgp_baseline[1].benefit.mean, kGoldenBottleneckBgp70);
+  EXPECT_DOUBLE_EQ(bottleneck.status_quo, kGoldenBottleneckStatusQuo);
+
+  // And the parallel engine must land on the very same goldens.
+  config.threads = 8;
+  expect_identical(extra, run_extra_paths_sweep(config), "extra golden parallel");
+  expect_identical(bottleneck, run_bottleneck_sweep(config),
+                   "bottleneck golden parallel");
+}
+
+}  // namespace
+}  // namespace dbgp::sim

@@ -38,13 +38,25 @@ void report(const std::string& path) {
 
   const Value* benches = root.find("benchmarks");
   if (benches != nullptr && benches->is_array()) {
-    std::printf("  %-44s %12s %14s %14s\n", "benchmark", "iterations", "time/op",
-                "throughput");
+    std::printf("  %-44s %12s %8s %14s %14s\n", "benchmark", "iterations", "threads",
+                "time/op", "throughput");
     for (const auto& b : benches->as_array()) {
       const double per_op = b.number_or("time_per_op_s", 0.0);
-      std::printf("  %-44s %12.0f %11.3f us %14s\n",
+      // The sweep benches record their parallel width as a "threads" counter;
+      // single-threaded benches have no such counter and print "-".
+      const Value* bench_counters = b.find("counters");
+      const double threads =
+          bench_counters != nullptr ? bench_counters->number_or("threads", 0.0) : 0.0;
+      char threads_buf[16];
+      if (threads > 0) {
+        std::snprintf(threads_buf, sizeof threads_buf, "%.0f", threads);
+      } else {
+        std::snprintf(threads_buf, sizeof threads_buf, "-");
+      }
+      std::printf("  %-44s %12.0f %8s %11.3f us %14s\n",
                   b.string_or("name", "?").c_str(), b.number_or("iterations", 0.0),
-                  per_op * 1e6, format_rate(b.number_or("ops_per_sec", 0.0)).c_str());
+                  threads_buf, per_op * 1e6,
+                  format_rate(b.number_or("ops_per_sec", 0.0)).c_str());
     }
   }
 

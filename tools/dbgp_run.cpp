@@ -4,6 +4,13 @@
 //            [--metrics <file>] [--trace <file>] [--trace-format json|perfetto]
 //            [--explain <as>:<prefix>]
 //            [--chaos-seed <n>] [--chaos-profile <name>]
+//            [--threads <n>]
+//
+// A scenario with a `sweep` stanza is an experiment description rather than
+// a network: dbgp_run executes the Figure 9/10 incremental-benefit sweep on
+// the deterministic parallel sweep engine and prints the benefit table.
+// --threads overrides the stanza's thread count (0 = all hardware threads,
+// 1 = sequential; results are bit-identical either way).
 //
 // --metrics writes a JSON snapshot of the process-wide telemetry registry
 // (speaker counters, codec latency histograms, simnet gauges) after the run;
@@ -41,6 +48,30 @@
 
 namespace {
 
+// Prints the Figure 9/10-style benefit table for a sweep scenario.
+void print_sweep(const dbgp::scenario::SweepDecl& decl,
+                 const dbgp::sim::SweepResult& result, bool quiet) {
+  if (!quiet) {
+    std::printf("sweep: %s archetype, %zu-AS Waxman, %zu trials\n\n",
+                decl.archetype == dbgp::scenario::SweepDecl::Archetype::kExtraPaths
+                    ? "extra-paths"
+                    : "bottleneck",
+                decl.nodes, decl.trials);
+  }
+  std::printf("%10s | %22s | %22s\n", "adoption", "D-BGP baseline (±CI95)",
+              "BGP baseline (±CI95)");
+  for (std::size_t i = 0; i < result.dbgp_baseline.size(); ++i) {
+    std::printf("%9.0f%% | %12.1f ± %7.1f | %12.1f ± %7.1f\n",
+                result.dbgp_baseline[i].adoption * 100,
+                result.dbgp_baseline[i].benefit.mean,
+                result.dbgp_baseline[i].benefit.ci95,
+                result.bgp_baseline[i].benefit.mean,
+                result.bgp_baseline[i].benefit.ci95);
+  }
+  std::printf("status quo (0%% adoption): %.1f\nbest case (100%%, full information): %.1f\n",
+              result.status_quo, result.best_case);
+}
+
 // Parses "--explain 500:203.0.113.0/24" into (as, prefix).
 void parse_explain(const std::string& arg, std::uint32_t& as, std::string& prefix) {
   const auto colon = arg.find(':');
@@ -62,7 +93,8 @@ int main(int argc, char** argv) {
                  "                [--metrics <file>] [--trace <file>]\n"
                  "                [--trace-format json|perfetto]\n"
                  "                [--explain <as>:<prefix>]\n"
-                 "                [--chaos-seed <n>] [--chaos-profile <name>]\n");
+                 "                [--chaos-seed <n>] [--chaos-profile <name>]\n"
+                 "                [--threads <n>]\n");
     return 2;
   }
   const bool quiet = flags.get_bool("quiet", false);
@@ -83,6 +115,22 @@ int main(int argc, char** argv) {
     if (!explain_arg.empty()) parse_explain(explain_arg, explain_as, explain_prefix);
 
     const auto scenario = dbgp::scenario::load_scenario(flags.positional()[0]);
+
+    if (scenario.sweep) {
+      std::optional<std::size_t> threads_override;
+      if (flags.has("threads")) {
+        threads_override = static_cast<std::size_t>(flags.get_int("threads", 1));
+      }
+      const auto result = dbgp::scenario::run_scenario_sweep(scenario, threads_override);
+      print_sweep(*scenario.sweep, result, quiet);
+      if (!metrics_path.empty()) {
+        dbgp::telemetry::write_metrics_json(
+            metrics_path, dbgp::telemetry::MetricsRegistry::global().snapshot());
+        if (!quiet) std::printf("metrics written to %s\n", metrics_path.c_str());
+      }
+      return 0;
+    }
+
     dbgp::scenario::Runner runner;
     if (!trace_path.empty() && trace_format == "json") runner.enable_tracing();
     if ((!trace_path.empty() && trace_format == "perfetto") || !explain_arg.empty()) {
