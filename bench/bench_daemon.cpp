@@ -1,0 +1,229 @@
+// Daemon benchmark: the route-server's control channel and live
+// reconfiguration under load.
+//
+// Where bench_churn measures a one-shot network surviving chaos, this
+// measures the long-lived daemon surface (src/server): command dispatch
+// through ControlApi, runtime topology mutation, hot policy reload and
+// rolling protocol upgrade while chaos churns the data plane, and the
+// snapshot/restore cycle. Phases:
+//   * serve_churn        — command throughput: originate/withdraw/rib/run
+//                          rounds against a 16-node ring (ops = commands)
+//   * reconfig_under_load — add/remove-peer, reload-policy and rolling
+//                          upgrade-protocol with a full chaos schedule live;
+//                          records the simulated re-convergence tail
+//                          (reconverge_p50_s / reconverge_p99_s, gated
+//                          lower-is-better by tools/bench_compare)
+//   * snapshot_restore   — snapshot -> encode -> restore cycles (ops =
+//                          cycles), with bit-identity checked every cycle
+//
+// reconfig_under_load additionally asserts determinism: the whole phase is
+// replayed and must reach a bit-identical Loc-RIB (same combined hash).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_json.h"
+#include "server/control.h"
+#include "server/daemon.h"
+#include "server/snapshot.h"
+#include "telemetry/metrics.h"
+
+using namespace dbgp;
+
+namespace {
+
+// Plain ring, no chords: chord topologies make every withdrawal a path-
+// hunting storm (tens of thousands of events on a 32-node chord ring), and
+// this bench measures the daemon's command surface, not BGP path hunting —
+// bench_churn already covers convergence cost under churn.
+constexpr std::size_t kNodes = 16;
+constexpr std::size_t kOrigins = 4;
+
+std::string origin_prefix(std::size_t i) {
+  return "10." + std::to_string(i + 1) + ".0.0/16";
+}
+
+void must(server::ControlApi& api, const std::string& line) {
+  const auto result = api.execute(line);
+  if (!result.ok) {
+    std::fprintf(stderr, "bench_daemon: '%s' failed: %s\n", line.c_str(),
+                 result.text.c_str());
+    std::exit(1);
+  }
+  if (result.text.find("capped") != std::string::npos) {
+    std::fprintf(stderr, "bench_daemon: event cap hit during '%s'\n", line.c_str());
+    std::exit(1);
+  }
+}
+
+// Ring built entirely through the command channel (add-peer creates the
+// plain-BGP ASes on first sight).
+void build_ring(server::ControlApi& api) {
+  for (std::size_t asn = 1; asn <= kNodes; ++asn) {
+    must(api, "add-peer " + std::to_string(asn) + " " + std::to_string(asn % kNodes + 1));
+  }
+  for (std::size_t i = 0; i < kOrigins; ++i) {
+    must(api, "originate " + std::to_string(i * (kNodes / kOrigins) + 1) + " " +
+                  origin_prefix(i));
+  }
+  must(api, "run");
+}
+
+std::uint64_t combined_rib_hash(const server::RouteServer& daemon) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (const auto asn : daemon.as_numbers()) {
+    hash ^= daemon.loc_rib_hash(asn);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// -- serve_churn --------------------------------------------------------------
+
+void run_serve_churn(bench::BenchJson& json) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  registry.reset();
+  server::RouteServer::Options options;
+  options.causal = false;  // pure command-path cost, no tracing overhead
+  server::RouteServer daemon(options);
+  server::ControlApi api(daemon);
+
+  bench::Stopwatch timer;
+  build_ring(api);
+  constexpr std::size_t kRounds = 200;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    const std::string asn = std::to_string(round % kNodes + 1);
+    const std::string prefix =
+        "172." + std::to_string(round % 200 + 16) + ".0.0/16";
+    must(api, "originate " + asn + " " + prefix);
+    must(api, "run");
+    must(api, "rib " + asn + " " + prefix);
+    must(api, "withdraw " + asn + " " + prefix);
+    must(api, "run");
+  }
+  const double elapsed = timer.elapsed_s();
+  const double commands = static_cast<double>(api.commands_executed());
+
+  auto& run = json.add_run("serve_churn", commands, elapsed);
+  run.counters.emplace_back("commands", commands);
+  run.counters.emplace_back("ases", static_cast<double>(daemon.as_numbers().size()));
+  std::printf("serve_churn     %8.0f commands  %6.3fs wall  %9.0f cmd/s\n", commands,
+              elapsed, commands / elapsed);
+}
+
+// -- reconfig_under_load ------------------------------------------------------
+
+std::uint64_t run_reconfig_once() {
+  server::RouteServer::Options options;
+  options.causal = false;
+  server::RouteServer daemon(options);
+  server::ControlApi api(daemon);
+  build_ring(api);
+
+  // Chaos live across the whole reconfiguration window.
+  must(api, "set-chaos full seed=7 horizon=2.0");
+
+  // Rolling wiser adoption around the whole ring, interleaved with time.
+  // The roll must complete: leaving the ring half-upgraded under a chaos
+  // schedule settles into a sustained cost-driven oscillation (the run never
+  // converges and trips the event cap) — partial-adoption convergence is
+  // exercised chaos-free in tests/server_test.cpp instead.
+  for (std::size_t asn = 1; asn <= kNodes; ++asn) {
+    must(api, "upgrade-protocol " + std::to_string(asn) + " wiser");
+    must(api, "step 0.1");
+  }
+  // Topology churn: new leaves, one retirement, policy reloads.
+  for (std::size_t leaf = 0; leaf < 8; ++leaf) {
+    must(api, "add-peer " + std::to_string(leaf * 4 + 1) + " " +
+                  std::to_string(100 + leaf));
+    must(api, "originate " + std::to_string(100 + leaf) + " 172.30." +
+                  std::to_string(leaf) + ".0/24");
+  }
+  must(api, "run");
+  must(api, "remove-peer 100");
+  must(api, "reload-policy 2 strip=wiser");
+  must(api, "reload-policy 3 strip=wiser");
+  must(api, "run");
+  must(api, "reload-policy 2");  // back to open policy
+  must(api, "run");
+  return combined_rib_hash(daemon);
+}
+
+void run_reconfig_under_load(bench::BenchJson& json) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  registry.reset();
+
+  bench::Stopwatch timer;
+  const std::uint64_t hash = run_reconfig_once();
+  const double elapsed = timer.elapsed_s();
+
+  // The reconvergence histogram is simulated-clock and deterministic, so the
+  // bench_compare gate on it is exact.
+  const auto& reconvergence = registry.histogram(
+      "simnet.chaos.reconvergence_seconds",
+      telemetry::Histogram::exponential_bounds(1e-3, 60.0, 2.0));
+  const double p50 = reconvergence.percentile(50.0);
+  const double p99 = reconvergence.percentile(99.0);
+
+  // Determinism: the same scripted session replays to a bit-identical RIB.
+  if (run_reconfig_once() != hash) {
+    std::fprintf(stderr,
+                 "bench_daemon: reconfig_under_load is not replayable (same "
+                 "script, different Loc-RIB)\n");
+    std::exit(1);
+  }
+
+  auto& run = json.add_run("reconfig_under_load", 1.0, elapsed);
+  run.counters.emplace_back("reconverge_p50_s", p50);
+  run.counters.emplace_back("reconverge_p99_s", p99);
+  std::printf("reconfig        %8s           %6.3fs wall  reconverge p50=%.3fs p99=%.3fs\n",
+              "-", elapsed, p50, p99);
+}
+
+// -- snapshot_restore ---------------------------------------------------------
+
+void run_snapshot_restore(bench::BenchJson& json) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  registry.reset();
+  server::RouteServer::Options options;
+  options.causal = false;
+  server::RouteServer daemon(options);
+  server::ControlApi api(daemon);
+  build_ring(api);
+  const std::uint64_t expected = combined_rib_hash(daemon);
+
+  constexpr std::size_t kCycles = 50;
+  double bytes = 0.0;
+  bench::Stopwatch timer;
+  for (std::size_t cycle = 0; cycle < kCycles; ++cycle) {
+    const server::Snapshot snap = daemon.snapshot();
+    const auto encoded = server::encode_snapshot(snap);
+    bytes += static_cast<double>(encoded.size());
+    server::RouteServer::Options restore_options;
+    restore_options.causal = false;
+    server::RouteServer restored(restore_options);
+    restored.restore(server::decode_snapshot(encoded));
+    if (combined_rib_hash(restored) != expected) {
+      std::fprintf(stderr, "bench_daemon: restore cycle %zu lost bit-identity\n",
+                   cycle);
+      std::exit(1);
+    }
+  }
+  const double elapsed = timer.elapsed_s();
+
+  auto& run = json.add_run("snapshot_restore", static_cast<double>(kCycles), elapsed);
+  run.counters.emplace_back("snapshot_bytes", bytes / static_cast<double>(kCycles));
+  std::printf("snapshot        %8zu cycles    %6.3fs wall  %9.1f cycles/s  %.0f B each\n",
+              kCycles, elapsed, static_cast<double>(kCycles) / elapsed,
+              bytes / static_cast<double>(kCycles));
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchJson json("daemon");
+  run_serve_churn(json);
+  run_reconfig_under_load(json);
+  run_snapshot_restore(json);
+  return json.write() ? 0 : 1;
+}

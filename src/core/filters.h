@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ia/integrated_advertisement.h"
@@ -35,6 +36,23 @@ struct GlobalFilter {
 class GlobalFilterChain {
  public:
   void add(std::string name, GlobalFilterFn fn) { filters_.push_back({std::move(name), std::move(fn)}); }
+  // Removes the first filter with this name (runtime policy reload); true if
+  // one was removed. Remaining filters keep their relative order.
+  bool remove(std::string_view name) {
+    for (auto it = filters_.begin(); it != filters_.end(); ++it) {
+      if (it->name == name) {
+        filters_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  bool has(std::string_view name) const noexcept {
+    for (const auto& f : filters_) {
+      if (f.name == name) return true;
+    }
+    return false;
+  }
   // Applies filters in order; false as soon as one drops the IA. When
   // `rejected_by` is non-null and the IA is dropped, it receives the name of
   // the filter responsible (for decision audits / dbgp_explain).

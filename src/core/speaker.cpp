@@ -633,6 +633,65 @@ std::vector<DbgpOutgoing> DbgpSpeaker::reevaluate_all(telemetry::SpanId cause) {
   return out;
 }
 
+// -- Snapshot / restore --------------------------------------------------------
+
+DbgpSpeaker::SpeakerState DbgpSpeaker::export_state() const {
+  SpeakerState state;
+  state.sequence = sequence_;
+  state.originated.reserve(originated_.size());
+  for (const auto& [prefix, unused] : originated_) state.originated.push_back(prefix);
+  for (const auto& prefix : ia_db_.prefixes()) {
+    for (const IaRoute* route : ia_db_.candidates(prefix)) {
+      state.adj_in.push_back({prefix, route->from_peer, route->neighbor_as,
+                              route->sequence, route->eligible,
+                              ia::encode_ia(route->ia, config_.codec)});
+    }
+  }
+  for (const auto& [prefix, route] : selected_) {
+    state.selected.push_back({prefix, route.from_peer, route.neighbor_as,
+                              route.sequence, route.eligible,
+                              ia::encode_ia(route.ia, config_.codec)});
+  }
+  for (const auto& [peer, table] : adj_out_) {
+    for (const auto& [prefix, frame] : table) {
+      state.adj_out.push_back({prefix, peer, 0, 0, true, *frame});
+    }
+  }
+  return state;
+}
+
+void DbgpSpeaker::restore_state(const SpeakerState& state, bool keep_adj_out) {
+  reset_routes();
+  // Unlike a reboot, a restore replaces configuration-level origination state
+  // too: the snapshot is authoritative.
+  originated_.clear();
+  origin_span_.clear();
+  sequence_ = state.sequence;
+  for (const auto& prefix : state.originated) originated_[prefix] = true;
+  for (const auto& r : state.adj_in) {
+    IaRoute route;
+    route.ia = ia::decode_ia(r.bytes);
+    route.from_peer = r.from_peer;
+    route.neighbor_as = r.neighbor_as;
+    route.sequence = r.sequence;
+    route.eligible = r.eligible;
+    ia_db_.upsert(std::move(route));
+  }
+  for (const auto& r : state.selected) {
+    IaRoute route;
+    route.ia = ia::decode_ia(r.bytes);
+    route.from_peer = r.from_peer;
+    route.neighbor_as = r.neighbor_as;
+    route.sequence = r.sequence;
+    route.eligible = r.eligible;
+    selected_[r.prefix] = std::move(route);
+  }
+  if (!keep_adj_out) return;
+  for (const auto& r : state.adj_out) {
+    adj_out_[r.from_peer][r.prefix] = ia::make_shared_frame(r.bytes);
+  }
+}
+
 const IaRoute* DbgpSpeaker::best(const net::Prefix& prefix) const {
   auto it = selected_.find(prefix);
   return it == selected_.end() ? nullptr : &it->second;

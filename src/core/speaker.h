@@ -183,6 +183,40 @@ class DbgpSpeaker {
   static std::vector<std::uint8_t> encode_withdraw(const net::Prefix& prefix);
   static std::vector<std::uint8_t> encode_notice(const net::Prefix& prefix);
 
+  // -- Snapshot / restore ---------------------------------------------------
+  // Learned state as plain data, with every IA (and adj-out frame) as its
+  // codec bytes, so the route server's snapshot format serializes speakers
+  // without a parallel schema and a restore rebuilds byte-identical
+  // advertisements (server/snapshot.h carries these records on the wire).
+  struct RouteRecord {
+    net::Prefix prefix;
+    bgp::PeerId from_peer = bgp::kInvalidPeer;  // adj-out: the destination peer
+    bgp::AsNumber neighbor_as = 0;
+    std::uint64_t sequence = 0;
+    bool eligible = true;
+    std::vector<std::uint8_t> bytes;  // encoded IA (adj-in/selected) or frame (adj-out)
+  };
+  struct SpeakerState {
+    std::vector<net::Prefix> originated;
+    std::uint64_t sequence = 0;  // arrival counter; restored so later
+                                 // tie-breaks continue deterministically
+    std::vector<RouteRecord> adj_in;    // IA DB, peer order within prefix order
+    std::vector<RouteRecord> selected;  // Loc-RIB
+    std::vector<RouteRecord> adj_out;   // last advertisement per (peer, prefix)
+  };
+  // Serializes originated prefixes, the IA DB, the Loc-RIB, adj-out, and the
+  // arrival counter. Configuration (peers, modules, filters) is not included:
+  // it is rebuilt from declarations, like a config file across a reboot.
+  SpeakerState export_state() const;
+  // Replaces all learned state with `state` without running any decision or
+  // emitting any frame — the restored Loc-RIB is byte-identical to the
+  // exported one by construction. `keep_adj_out = false` drops the adj-out
+  // (warm restart: peers purged our routes at session loss, so the next
+  // sync_peer must not be delta-suppressed). Module-internal state is not
+  // restored; it rebuilds as later decisions run. Throws util::DecodeError
+  // on malformed IA bytes, leaving the speaker wiped but consistent.
+  void restore_state(const SpeakerState& state, bool keep_adj_out = true);
+
  private:
   struct Peer {
     bgp::AsNumber asn = 0;

@@ -127,6 +127,25 @@ Scenario parse_scenario(const std::string& text) {
       if (tokens.size() != 3) fail(line_no, "strip: need <asn> <protocol>");
       scenario.strips.push_back(
           {static_cast<bgp::AsNumber>(parse_number(line_no, tokens[1])), tokens[2]});
+    } else if (directive == "server") {
+      if (tokens.size() < 3) fail(line_no, "server: need <time> <command...>");
+      ServerCmdDecl decl;
+      decl.line = line_no;
+      try {
+        decl.at = std::stod(tokens[1]);
+      } catch (const std::exception&) {
+        fail(line_no, "server: bad time '" + tokens[1] + "'");
+      }
+      if (decl.at < 0.0) fail(line_no, "server: time must be >= 0");
+      if (!scenario.server_commands.empty() &&
+          decl.at < scenario.server_commands.back().at) {
+        fail(line_no, "server: command times must be non-decreasing");
+      }
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (i > 2) decl.command += ' ';
+        decl.command += tokens[i];
+      }
+      scenario.server_commands.push_back(std::move(decl));
     } else if (directive == "chaos") {
       if (scenario.chaos) fail(line_no, "chaos: only one chaos stanza allowed");
       ChaosDecl decl;
@@ -218,6 +237,11 @@ Scenario parse_scenario(const std::string& text) {
     fail(scenario.sweep->line,
          "sweep: a sweep scenario describes an experiment, not a network — "
          "remove the as/link directives or the sweep stanza");
+  }
+  if (scenario.sweep && !scenario.server_commands.empty()) {
+    fail(scenario.server_commands.front().line,
+         "server: a command timeline drives a live network and cannot be "
+         "combined with a sweep stanza");
   }
   return scenario;
 }

@@ -30,6 +30,16 @@
 //       (identical results either way). At most one sweep stanza, and it
 //       cannot be combined with `as`/`link` network directives.
 //
+//   server <time> <command ...>
+//       Schedules a control command on the route-server daemon's timeline:
+//       `dbgp_server` runs the network up to <time> sim seconds, then hands
+//       the rest of the line to its control API (see server/control.h for
+//       the grammar — add-peer, reload-policy, upgrade-protocol, snapshot,
+//       ...). Commands execute in file order with ties kept stable. One-shot
+//       tools (`dbgp_run`) ignore server lines with a warning, so a scenario
+//       carrying a command timeline still replays bit-identically as a plain
+//       converge-once experiment. Cannot be combined with `sweep`.
+//
 //   chaos [seed=<n>] [start=<s>] [horizon=<s>] [flap-fraction=<f>]
 //         [mean-up=<s>] [mean-down=<s>] [loss=<f>] [duplicate=<f>]
 //         [reorder=<f>] [reorder-delay=<s>] [corrupt=<f>]
@@ -99,6 +109,13 @@ struct StripDecl {
   std::string protocol;
 };
 
+// One scheduled route-server control command (see server/control.h).
+struct ServerCmdDecl {
+  double at = 0.0;      // sim time the command fires at
+  std::string command;  // the rest of the line, verbatim
+  int line = 0;         // for error messages
+};
+
 // Plain data mirror of simnet::ChaosOptions (the parser does not link
 // against simnet); the runner converts. Field semantics match 1:1.
 struct ChaosDecl {
@@ -158,6 +175,7 @@ struct Scenario {
   std::vector<LinkDecl> links;
   std::vector<OriginateDecl> originations;
   std::vector<StripDecl> strips;
+  std::vector<ServerCmdDecl> server_commands;
   std::optional<ChaosDecl> chaos;
   std::optional<SweepDecl> sweep;
   std::vector<Expectation> expectations;

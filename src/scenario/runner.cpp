@@ -12,9 +12,7 @@
 
 namespace dbgp::scenario {
 
-namespace {
-
-ia::IslandId island_for(const std::string& name) {
+ia::IslandId island_id_for(const std::string& name) {
   if (name.empty()) return {};
   // Stable ID from the name so scenarios are deterministic.
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -25,13 +23,75 @@ ia::IslandId island_for(const std::string& name) {
   return ia::IslandId::assigned(static_cast<std::uint32_t>(h ^ (h >> 32)) | 1u);
 }
 
-ia::ProtocolId protocol_id(const std::string& name) {
+ia::ProtocolId protocol_id_for(const std::string& name) {
   const ia::ProtocolId id = ia::default_registry().find(name);
   if (id == 0) throw std::runtime_error("unknown protocol '" + name + "'");
   return id;
 }
 
-}  // namespace
+core::DbgpConfig config_for_decl(const AsDecl& decl) {
+  const ia::ProtocolId active = protocol_id_for(decl.protocol);
+  core::DbgpConfig config;
+  config.asn = decl.asn;
+  config.next_hop = net::Ipv4Address(decl.asn);
+  config.island = island_id_for(decl.island);
+  config.island_protocol = active;
+  config.abstract_island = decl.abstract_island;
+  config.island_members = decl.members;
+  config.active_protocol = active;
+  return config;
+}
+
+std::unique_ptr<core::DecisionModule> make_protocol_module(
+    const AsDecl& decl, ia::ProtocolId protocol,
+    protocols::AttestationAuthority& authority,
+    std::map<bgp::AsNumber, std::unique_ptr<protocols::PathletStore>>& pathlet_stores,
+    const std::vector<PathletDecl>& pathlets,
+    const std::vector<ScionPathDecl>& scion_paths) {
+  const ia::IslandId island = island_id_for(decl.island);
+  switch (protocol) {
+    case ia::kProtoWiser:
+      return std::make_unique<protocols::WiserModule>(
+          protocols::WiserModule::Config{island, decl.cost, net::Ipv4Address(decl.asn)},
+          nullptr);
+    case ia::kProtoEqBgp:
+      return std::make_unique<protocols::EqBgpModule>(
+          protocols::EqBgpModule::Config{island, decl.bandwidth});
+    case ia::kProtoBgpSec:
+      return std::make_unique<protocols::BgpSecModule>(
+          protocols::BgpSecModule::Config{decl.asn, island, false}, &authority);
+    case ia::kProtoRBgp:
+      return std::make_unique<protocols::RBgpModule>(
+          protocols::RBgpModule::Config{island});
+    case ia::kProtoLisp: {
+      protocols::LispMapping mapping;
+      mapping.eid_prefix = *net::Prefix::parse("0.0.0.0/0");
+      mapping.rlocs = {net::Ipv4Address(decl.asn)};
+      return std::make_unique<protocols::LispModule>(
+          protocols::LispModule::Config{island, mapping});
+    }
+    case ia::kProtoScion: {
+      std::vector<protocols::ScionPath> paths;
+      for (const auto& p : scion_paths) {
+        if (p.asn == decl.asn) paths.push_back({p.hops});
+      }
+      return std::make_unique<protocols::ScionModule>(
+          protocols::ScionModule::Config{island, std::move(paths)});
+    }
+    case ia::kProtoPathlets: {
+      auto store = std::make_unique<protocols::PathletStore>();
+      for (const auto& p : pathlets) {
+        if (p.asn == decl.asn) store->add_local({p.fid, p.vias, p.delivers});
+      }
+      auto module = std::make_unique<protocols::PathletModule>(
+          protocols::PathletModule::Config{island}, store.get());
+      pathlet_stores[decl.asn] = std::move(store);
+      return module;
+    }
+    default:
+      return nullptr;  // plain BGP: the baseline module covers it
+  }
+}
 
 sim::SweepConfig to_sweep_config(const SweepDecl& decl,
                                  std::optional<std::size_t> threads_override) {
@@ -58,8 +118,6 @@ sim::SweepResult run_scenario_sweep(const Scenario& scenario,
              : sim::run_bottleneck_sweep(config);
 }
 
-namespace {
-
 simnet::ChaosOptions to_chaos_options(const ChaosDecl& decl) {
   simnet::ChaosOptions opts;
   opts.seed = decl.seed;
@@ -77,8 +135,6 @@ simnet::ChaosOptions to_chaos_options(const ChaosDecl& decl) {
   opts.mean_downtime = decl.mean_downtime;
   return opts;
 }
-
-}  // namespace
 
 bool RunResult::all_passed() const noexcept { return failures() == 0; }
 
@@ -103,85 +159,27 @@ void Runner::build(const Scenario& scenario) {
   if (causal_tracing_) options.causal = &causal_;
   net_ = std::make_unique<simnet::DbgpNetwork>(&lookup_, options);
 
-  // Collect scion paths / pathlets per AS so modules get them at creation.
-  std::map<bgp::AsNumber, std::vector<protocols::ScionPath>> scion_by_as;
-  for (const auto& decl : scenario.scion_paths) {
-    scion_by_as[decl.asn].push_back({decl.hops});
-  }
-  std::map<bgp::AsNumber, std::vector<PathletDecl>> pathlets_by_as;
-  for (const auto& decl : scenario.pathlets) pathlets_by_as[decl.asn].push_back(decl);
-
   for (const auto& decl : scenario.ases) {
-    const ia::ProtocolId active = protocol_id(decl.protocol);
-    const ia::IslandId island = island_for(decl.island);
-    core::DbgpConfig config;
-    config.asn = decl.asn;
-    config.next_hop = net::Ipv4Address(decl.asn);
-    config.island = island;
-    config.island_protocol = active;
-    config.abstract_island = decl.abstract_island;
-    config.island_members = decl.members;
-    config.active_protocol = active;
-    auto& speaker = net_->add_as(config);
-
-    switch (active) {
-      case ia::kProtoWiser:
-        speaker.add_module(std::make_unique<protocols::WiserModule>(
-            protocols::WiserModule::Config{island, decl.cost, net::Ipv4Address(decl.asn)},
-            nullptr));
-        break;
-      case ia::kProtoEqBgp:
-        speaker.add_module(std::make_unique<protocols::EqBgpModule>(
-            protocols::EqBgpModule::Config{island, decl.bandwidth}));
-        break;
-      case ia::kProtoBgpSec:
-        speaker.add_module(std::make_unique<protocols::BgpSecModule>(
-            protocols::BgpSecModule::Config{decl.asn, island, false}, &authority_));
-        break;
-      case ia::kProtoRBgp:
-        speaker.add_module(std::make_unique<protocols::RBgpModule>(
-            protocols::RBgpModule::Config{island}));
-        break;
-      case ia::kProtoLisp: {
-        protocols::LispMapping mapping;
-        mapping.eid_prefix = *net::Prefix::parse("0.0.0.0/0");
-        mapping.rlocs = {net::Ipv4Address(decl.asn)};
-        speaker.add_module(std::make_unique<protocols::LispModule>(
-            protocols::LispModule::Config{island, mapping}));
-        break;
-      }
-      case ia::kProtoScion:
-        speaker.add_module(std::make_unique<protocols::ScionModule>(
-            protocols::ScionModule::Config{island, scion_by_as[decl.asn]}));
-        break;
-      case ia::kProtoPathlets: {
-        auto store = std::make_unique<protocols::PathletStore>();
-        for (const auto& p : pathlets_by_as[decl.asn]) {
-          store->add_local({p.fid, p.vias, p.delivers});
-        }
-        speaker.add_module(std::make_unique<protocols::PathletModule>(
-            protocols::PathletModule::Config{island}, store.get()));
-        pathlet_stores_[decl.asn] = std::move(store);
-        break;
-      }
-      default:
-        break;  // plain BGP below
-    }
+    auto& speaker = net_->add_as(config_for_decl(decl));
+    auto module = make_protocol_module(decl, protocol_id_for(decl.protocol),
+                                       authority_, pathlet_stores_,
+                                       scenario.pathlets, scenario.scion_paths);
+    if (module != nullptr) speaker.add_module(std::move(module));
     speaker.add_module(std::make_unique<protocols::BgpModule>());
   }
 
   // Pathlets declared at ASes not running the protocol are a scenario bug.
-  for (const auto& [asn, decls] : pathlets_by_as) {
-    if (pathlet_stores_.count(asn) == 0) {
-      throw std::runtime_error("pathlet declared at AS " + std::to_string(asn) +
+  for (const auto& decl : scenario.pathlets) {
+    if (pathlet_stores_.count(decl.asn) == 0) {
+      throw std::runtime_error("pathlet declared at AS " + std::to_string(decl.asn) +
                                " which does not run protocol=pathlets");
     }
-    (void)decls;
   }
 
   for (const auto& decl : scenario.strips) {
     net_->speaker(decl.asn).import_filters().add(
-        "strip-" + decl.protocol, core::strip_protocol_filter(protocol_id(decl.protocol)));
+        "strip-" + decl.protocol,
+        core::strip_protocol_filter(protocol_id_for(decl.protocol)));
   }
 
   for (const auto& link : scenario.links) {
@@ -260,7 +258,7 @@ RunResult Runner::run() {
           er.detail = "no route";
           break;
         }
-        const ia::ProtocolId proto = protocol_id(e.protocol);
+        const ia::ProtocolId proto = protocol_id_for(e.protocol);
         bool found = false;
         for (const auto& d : best->ia.path_descriptors()) found |= d.protocol == proto;
         for (const auto& d : best->ia.island_descriptors()) found |= d.protocol == proto;

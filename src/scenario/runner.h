@@ -40,6 +40,36 @@ struct RunResult {
   std::size_t failures() const noexcept;
 };
 
+// -- Shared build helpers -----------------------------------------------------
+// Used by Runner::build and by the route server (server/daemon.h), which
+// constructs the same speakers at runtime from `add-peer` / ­`upgrade-protocol`
+// commands and from snapshot node records. Keeping one factory means a
+// network built command-by-command is indistinguishable from one built from
+// the equivalent scenario file.
+
+// Stable island ID from a scenario island name (FNV-1a over the name;
+// deterministic across runs and processes). Empty name => invalid id (gulf).
+ia::IslandId island_id_for(const std::string& name);
+// Protocol name -> registry id; throws std::runtime_error on unknown names.
+ia::ProtocolId protocol_id_for(const std::string& name);
+// The speaker configuration an `as` declaration describes.
+core::DbgpConfig config_for_decl(const AsDecl& decl);
+// Creates the decision module for `protocol` at `decl`'s AS: Wiser costs and
+// EQ-BGP bandwidth come from the declaration, BGPSEC binds to `authority`,
+// pathlets get a store seeded from `pathlets` (owned via `pathlet_stores`),
+// SCION paths come from `scion_paths`. Returns nullptr for plain BGP (every
+// speaker runs the baseline module regardless).
+std::unique_ptr<core::DecisionModule> make_protocol_module(
+    const AsDecl& decl, ia::ProtocolId protocol,
+    protocols::AttestationAuthority& authority,
+    std::map<bgp::AsNumber, std::unique_ptr<protocols::PathletStore>>& pathlet_stores,
+    const std::vector<PathletDecl>& pathlets,
+    const std::vector<ScionPathDecl>& scion_paths);
+
+// Converts a parsed `chaos` stanza into the chaos engine's options (field
+// semantics match 1:1).
+simnet::ChaosOptions to_chaos_options(const ChaosDecl& decl);
+
 // Converts a parsed `sweep` stanza into the sweep engine's configuration.
 // `threads_override`, when set, wins over the stanza's threads= option (the
 // CLI's --threads flag; 0 still means hardware_concurrency).

@@ -1,0 +1,334 @@
+#include "server/control.h"
+
+#include <exception>
+#include <sstream>
+
+#include "ia/ids.h"
+#include "telemetry/metrics.h"
+#include "telemetry/provenance.h"
+#include "util/strings.h"
+
+namespace dbgp::server {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) { throw std::runtime_error(message); }
+
+std::uint64_t parse_number(std::string_view token) {
+  std::uint64_t value = 0;
+  if (!util::parse_u64(token, value)) fail("expected a number, got '" + std::string(token) + "'");
+  return value;
+}
+
+double parse_seconds(const std::string& token) {
+  try {
+    return std::stod(token);
+  } catch (const std::exception&) {
+    fail("expected seconds, got '" + token + "'");
+  }
+}
+
+bgp::AsNumber parse_as(std::string_view token) {
+  return static_cast<bgp::AsNumber>(parse_number(token));
+}
+
+net::Prefix parse_prefix(const std::string& token) {
+  const auto prefix = net::Prefix::parse(token);
+  if (!prefix) fail("bad prefix '" + token + "'");
+  return *prefix;
+}
+
+std::pair<std::string, std::string> split_kv(std::string_view token) {
+  const auto eq = token.find('=');
+  if (eq == std::string_view::npos) return {std::string(token), ""};
+  return {std::string(token.substr(0, eq)), std::string(token.substr(eq + 1))};
+}
+
+std::vector<std::string> split_names(std::string_view value) {
+  std::vector<std::string> out;
+  for (const auto& part : util::split(value, ',')) {
+    const auto name = util::trim(part);
+    if (!name.empty()) out.emplace_back(name);
+  }
+  return out;
+}
+
+scenario::AsDecl parse_as_decl(const std::vector<std::string>& tokens, std::size_t from) {
+  scenario::AsDecl decl;
+  decl.asn = parse_as(tokens[from]);
+  for (std::size_t i = from + 1; i < tokens.size(); ++i) {
+    auto [key, value] = split_kv(tokens[i]);
+    if (key == "island") decl.island = value;
+    else if (key == "protocol") decl.protocol = value;
+    else if (key == "abstract") decl.abstract_island = true;
+    else if (key == "members") {
+      for (const auto& m : util::split(value, ',')) decl.members.push_back(parse_as(m));
+    } else if (key == "cost") decl.cost = parse_number(value);
+    else if (key == "bw") decl.bandwidth = parse_number(value);
+    else fail("unknown AS option '" + key + "'");
+  }
+  return decl;
+}
+
+std::string format_rib_route(const core::IaRoute& best) {
+  std::ostringstream out;
+  out << "via [" << best.ia.path_vector.to_string() << "] protocols:";
+  for (const auto p : best.ia.protocols_on_path()) {
+    out << ' ' << ia::default_registry().name(p);
+  }
+  return out.str();
+}
+
+std::string format_stats(const simnet::RunStats& stats, double now) {
+  std::ostringstream out;
+  out << "events=" << stats.processed << " time=" << now
+      << (stats.capped ? " capped" : "");
+  return out.str();
+}
+
+}  // namespace
+
+ControlApi::ControlApi(RouteServer& server) : server_(server) {}
+
+CommandResult ControlApi::execute(std::string_view line) {
+  const auto hash = line.find('#');
+  const std::string_view effective =
+      util::trim(hash == std::string_view::npos ? line : line.substr(0, hash));
+  if (effective.empty()) return {};
+  std::vector<std::string> tokens;
+  for (const auto& token : util::split(effective, ' ')) {
+    if (!util::trim(token).empty()) tokens.emplace_back(util::trim(token));
+  }
+  ++executed_;
+  telemetry::MetricsRegistry::global().counter("server.commands").inc();
+  try {
+    return dispatch(tokens);
+  } catch (const std::exception& e) {
+    return {false, false, e.what()};
+  }
+}
+
+CommandResult ControlApi::dispatch(const std::vector<std::string>& tokens) {
+  const std::string& verb = tokens[0];
+  const std::size_t argc = tokens.size() - 1;
+  const auto need = [&](std::size_t n, const char* usage) {
+    if (argc < n) fail(std::string("usage: ") + usage);
+  };
+
+  if (verb == "help") return {true, false, help()};
+  if (verb == "quit" || verb == "exit") return {true, true, "bye"};
+
+  if (verb == "add-as") {
+    need(1, "add-as <asn> [island=..] [protocol=..] [abstract] [members=..] [cost=..] [bw=..]");
+    const scenario::AsDecl decl = parse_as_decl(tokens, 1);
+    server_.add_as(decl);
+    return {true, false, "AS " + tokens[1] + " added"};
+  }
+  if (verb == "add-peer") {
+    need(2, "add-peer <a> <b> [same-island] [latency=<s>]");
+    const bgp::AsNumber a = parse_as(tokens[1]);
+    const bgp::AsNumber b = parse_as(tokens[2]);
+    bool same_island = false;
+    double latency = -1.0;
+    for (std::size_t i = 3; i < tokens.size(); ++i) {
+      auto [key, value] = split_kv(tokens[i]);
+      if (key == "same-island") same_island = true;
+      else if (key == "latency") latency = parse_seconds(value);
+      else fail("unknown add-peer option '" + key + "'");
+    }
+    server_.add_peer(a, b, same_island, latency);
+    return {true, false, "peering " + tokens[1] + " <-> " + tokens[2] + " up"};
+  }
+  if (verb == "remove-peer") {
+    need(1, "remove-peer <asn>");
+    server_.remove_peer(parse_as(tokens[1]));
+    return {true, false, "AS " + tokens[1] + " retired"};
+  }
+  if (verb == "originate" || verb == "withdraw") {
+    need(2, "originate|withdraw <asn> <prefix>");
+    const bgp::AsNumber asn = parse_as(tokens[1]);
+    const net::Prefix prefix = parse_prefix(tokens[2]);
+    if (verb == "originate") server_.originate(asn, prefix);
+    else server_.withdraw(asn, prefix);
+    return {true, false, verb + "d " + tokens[2] + " at AS " + tokens[1]};
+  }
+  if (verb == "reload-policy") {
+    need(1, "reload-policy <asn> [strip=<p1,p2,...>]");
+    const bgp::AsNumber asn = parse_as(tokens[1]);
+    std::vector<std::string> strips;
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      auto [key, value] = split_kv(tokens[i]);
+      if (key == "strip") strips = split_names(value);
+      else fail("unknown reload-policy option '" + key + "'");
+    }
+    server_.reload_policy(asn, strips);
+    return {true, false,
+            "policy reloaded at AS " + tokens[1] + " (" +
+                std::to_string(strips.size()) + " strip filters)"};
+  }
+  if (verb == "upgrade-protocol") {
+    need(2, "upgrade-protocol <asn> <protocol>");
+    server_.upgrade_protocol(parse_as(tokens[1]), tokens[2]);
+    return {true, false, "AS " + tokens[1] + " now speaks " + tokens[2]};
+  }
+  if (verb == "set-chaos") {
+    need(1, "set-chaos <flaky|lossy|corrupt|outage|full> [seed=<n>]");
+    if (tokens[1] == "off") {
+      fail("chaos schedules cannot be cancelled; injected schedules expire at "
+           "their horizon");
+    }
+    simnet::ChaosOptions options = simnet::chaos_profile(tokens[1]);
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      auto [key, value] = split_kv(tokens[i]);
+      if (key == "seed") options.seed = parse_number(value);
+      else if (key == "start") options.start = parse_seconds(value);
+      else if (key == "horizon") options.horizon = parse_seconds(value);
+      else fail("unknown set-chaos option '" + key + "'");
+    }
+    // Chaos schedules anchor at `start` relative to time zero; shift into
+    // the daemon's present so the window is ahead of, not behind, the clock.
+    options.start += server_.now();
+    server_.set_chaos(options);
+    return {true, false, "chaos '" + tokens[1] + "' scheduled from t=" +
+                             std::to_string(options.start)};
+  }
+  if (verb == "crash" || verb == "restart" || verb == "restart-warm" ||
+      verb == "graceful-restart") {
+    need(1, "crash|restart|restart-warm|graceful-restart <asn>");
+    const bgp::AsNumber asn = parse_as(tokens[1]);
+    if (verb == "crash") server_.crash(asn);
+    else if (verb == "restart") server_.restart(asn);
+    else if (verb == "restart-warm") server_.restart_warm(asn);
+    else server_.graceful_restart(asn);
+    return {true, false, verb + " AS " + tokens[1] + " done"};
+  }
+  if (verb == "run") {
+    const simnet::RunStats stats = server_.run();
+    return {true, false, format_stats(stats, server_.now())};
+  }
+  if (verb == "step") {
+    need(1, "step <seconds>");
+    const simnet::RunStats stats = server_.step(parse_seconds(tokens[1]));
+    return {true, false, format_stats(stats, server_.now())};
+  }
+  if (verb == "snapshot") {
+    need(1, "snapshot <file>");
+    const Snapshot snap = server_.snapshot();
+    save_snapshot(snap, tokens[1]);
+    return {true, false,
+            "snapshot of " + std::to_string(snap.nodes.size()) + " ASes at t=" +
+                std::to_string(snap.sim_time) + " -> " + tokens[1]};
+  }
+  if (verb == "restore") {
+    need(1, "restore <file>");
+    const Snapshot snap = load_snapshot(tokens[1]);
+    server_.restore(snap);
+    return {true, false,
+            "restored " + std::to_string(snap.nodes.size()) + " ASes at t=" +
+                std::to_string(snap.sim_time)};
+  }
+  if (verb == "rib") {
+    need(1, "rib <asn> [prefix]");
+    const bgp::AsNumber asn = parse_as(tokens[1]);
+    if (!server_.has_as(asn)) fail("unknown AS " + tokens[1]);
+    const auto& speaker = server_.network().speaker(asn);
+    std::ostringstream out;
+    if (argc >= 2) {
+      const net::Prefix prefix = parse_prefix(tokens[2]);
+      const auto* best = speaker.best(prefix);
+      if (best == nullptr) out << tokens[2] << " unreachable";
+      else out << prefix.to_string() << ' ' << format_rib_route(*best);
+    } else {
+      const auto prefixes = speaker.selected_prefixes();
+      out << "AS" << asn << " " << prefixes.size() << " routes";
+      for (const auto& prefix : prefixes) {
+        out << '\n' << prefix.to_string() << ' ' << format_rib_route(*speaker.best(prefix));
+      }
+    }
+    return {true, false, out.str()};
+  }
+  if (verb == "why") {
+    need(2, "why <asn> <prefix>");
+    const bgp::AsNumber asn = parse_as(tokens[1]);
+    const std::string prefix = parse_prefix(tokens[2]).to_string();
+    const telemetry::ProvenanceIndex index(server_.causal());
+    const auto chain = index.why(asn, prefix);
+    if (chain.empty()) {
+      fail("no causal chain for AS " + tokens[1] + " " + prefix +
+           " (is causal tracing on?)");
+    }
+    return {true, false, telemetry::ProvenanceIndex::format_why(chain)};
+  }
+  if (verb == "blame") {
+    const telemetry::ProvenanceIndex index(server_.causal());
+    return {true, false,
+            telemetry::ProvenanceIndex::format_blame(index.reconvergence_windows())};
+  }
+  if (verb == "metrics") {
+    const bool deltas = argc >= 1 && tokens[1] == "deltas";
+    if (argc >= 1 && !deltas) fail("usage: metrics [deltas]");
+    return {true, false, format_metrics(deltas)};
+  }
+  if (verb == "health") {
+    server_.poll_divergence();
+    std::size_t up = 0;
+    const auto ases = server_.as_numbers();
+    for (const auto asn : ases) up += server_.network().node_up(asn) ? 1 : 0;
+    std::ostringstream out;
+    out << "time=" << server_.now() << " ases=" << ases.size() << " up=" << up
+        << " links=" << server_.link_count()
+        << " oscillating=" << server_.divergence().oscillating()
+        << " commands=" << executed_ << " spans=" << server_.causal().span_count()
+        << " audits=" << server_.causal().audit_count();
+    for (const auto& [key, flips] : server_.divergence().report()) {
+      out << "\noscillating " << key << " flips=" << flips;
+    }
+    return {true, false, out.str()};
+  }
+  fail("unknown command '" + verb + "' (try: help)");
+}
+
+std::string ControlApi::format_metrics(bool deltas) {
+  const auto snapshot = telemetry::MetricsRegistry::global().snapshot();
+  std::ostringstream out;
+  for (const auto& c : snapshot.counters) {
+    if (deltas) {
+      const std::uint64_t last = last_counters_[c.name];
+      out << "counter " << c.name << ' ' << (c.value - last) << " (total " << c.value
+          << ")\n";
+      last_counters_[c.name] = c.value;
+    } else {
+      out << "counter " << c.name << ' ' << c.value << '\n';
+    }
+  }
+  for (const auto& g : snapshot.gauges) {
+    out << "gauge " << g.name << ' ' << g.value << " high-water " << g.high_water
+        << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    out << "histogram " << h.name << " count " << h.count << " mean " << h.mean
+        << " p50 " << h.p50 << " p99 " << h.p99 << '\n';
+  }
+  std::string text = out.str();
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+std::string ControlApi::help() {
+  return
+      "commands:\n"
+      "  add-as <asn> [island=..] [protocol=..] [abstract] [members=..] [cost=..] [bw=..]\n"
+      "  add-peer <a> <b> [same-island] [latency=<s>]   (creates unknown ASes)\n"
+      "  remove-peer <asn>                              (retires the AS)\n"
+      "  originate <asn> <prefix> | withdraw <asn> <prefix>\n"
+      "  reload-policy <asn> [strip=<p1,p2,...>]        (hot policy reload + route refresh)\n"
+      "  upgrade-protocol <asn> <protocol>              (rolling adoption step)\n"
+      "  set-chaos <profile> [seed=<n>] [start=<s>] [horizon=<s>]\n"
+      "  crash <asn> | restart <asn> | restart-warm <asn> | graceful-restart <asn>\n"
+      "  run | step <seconds>\n"
+      "  snapshot <file> | restore <file>\n"
+      "  rib <asn> [prefix] | why <asn> <prefix> | blame\n"
+      "  metrics [deltas] | health | help | quit";
+}
+
+}  // namespace dbgp::server

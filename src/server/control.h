@@ -1,0 +1,53 @@
+// Line-oriented control/query protocol for the route-server daemon.
+//
+// One request per line, whitespace-separated tokens, key=value options —
+// deliberately the same surface as the scenario DSL, so a `server` stanza
+// line, a script file line, and an interactively typed command are the same
+// string. Every request yields exactly one response: "ok[ <text>]" or
+// "err <message>"; multi-line payloads (rib dumps, why chains, metrics) are
+// framed by the transport (tools/dbgp_server terminates them with a '.'
+// line, netstring-style, so socket clients can parse without guessing).
+//
+// ControlApi is transport-free: it maps command lines onto RouteServer
+// methods and formats text. The same object serves stdin, the Unix socket,
+// scripted scenario timelines, tests, and the bench driver.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/daemon.h"
+
+namespace dbgp::server {
+
+struct CommandResult {
+  bool ok = true;
+  bool quit = false;  // the client asked to end the session
+  std::string text;   // payload (no trailing newline) or error message
+};
+
+class ControlApi {
+ public:
+  explicit ControlApi(RouteServer& server);
+
+  // Executes one command line. Never throws: daemon errors come back as
+  // ok=false results. Blank lines and '#' comments yield an empty ok.
+  CommandResult execute(std::string_view line);
+
+  std::uint64_t commands_executed() const noexcept { return executed_; }
+  static std::string help();
+
+ private:
+  CommandResult dispatch(const std::vector<std::string>& tokens);
+  std::string format_metrics(bool deltas);
+
+  RouteServer& server_;
+  std::uint64_t executed_ = 0;
+  // Last-seen counter values for `metrics deltas` (per-interval reporting).
+  std::map<std::string, std::uint64_t> last_counters_;
+};
+
+}  // namespace dbgp::server

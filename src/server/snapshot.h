@@ -1,0 +1,82 @@
+// Versioned binary RIB snapshots for the route-server daemon.
+//
+// A snapshot is a consistent cut of a quiescent daemon: the declarative
+// network description (every AS with its protocol/island/policy knobs, every
+// link in creation order) plus the full per-speaker routing state
+// (originations, adj-in, Loc-RIB, adj-out, and the arrival-sequence counter
+// that drives deterministic tie-breaks). Restoring one into a fresh daemon
+// rebuilds the topology, then installs each speaker's recorded state without
+// running decisions or emitting frames — so the restored Loc-RIB is
+// bit-identical to the one that was serving when the snapshot was taken, and
+// future updates tie-break exactly as they would have in the original
+// process (see tests/server_test.cpp).
+//
+// Wire layout (all integers via util::ByteWriter, big-endian / LEB128
+// varints): magic "DBGP" (u32), version (u16), sim-time (f64 bits as u64),
+// node count + nodes, link count + links (creation order — peer ids are
+// adjacency indices, so link order is semantic), then an FNV-1a-64 checksum
+// of every preceding byte. Truncation, bit flips, bad magic, and unknown
+// versions all throw SnapshotError before any state is touched.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/speaker.h"
+#include "scenario/parser.h"
+
+namespace dbgp::server {
+
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x44424750;  // "DBGP"
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+
+struct Snapshot {
+  struct Node {
+    scenario::AsDecl decl;
+    // Import policy: protocols stripped at this AS (strip directives plus
+    // runtime reload-policy state).
+    std::vector<std::string> strips;
+    // Protocol activated by a runtime upgrade-protocol command; empty when
+    // the AS still runs its declared protocol.
+    std::string upgraded_protocol;
+    bool up = true;
+    // Retired by remove-peer: kept as a tombstone so link creation order
+    // (and with it every neighbor's peer-id numbering) replays exactly.
+    bool retired = false;
+    core::DbgpSpeaker::SpeakerState state;
+  };
+  struct Link {
+    bgp::AsNumber a = 0;
+    bgp::AsNumber b = 0;
+    bool same_island = false;
+    double latency = -1.0;  // -1 = network default
+    bool up = true;
+  };
+
+  double sim_time = 0.0;
+  std::vector<Node> nodes;  // ascending AS number
+  std::vector<Link> links;  // creation order
+  // Local pathlet / SCION path seeds: they live in module-side stores, not
+  // the RIB, so the RIB records alone cannot reconstruct them.
+  std::vector<scenario::PathletDecl> pathlets;
+  std::vector<scenario::ScionPathDecl> scion_paths;
+};
+
+std::vector<std::uint8_t> encode_snapshot(const Snapshot& snapshot);
+// Throws SnapshotError on truncated, corrupted, or incompatible input.
+Snapshot decode_snapshot(std::span<const std::uint8_t> bytes);
+
+// File convenience wrappers; save throws SnapshotError on I/O failure, load
+// additionally on any decode failure.
+void save_snapshot(const Snapshot& snapshot, const std::string& path);
+Snapshot load_snapshot(const std::string& path);
+
+}  // namespace dbgp::server

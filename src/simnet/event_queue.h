@@ -72,6 +72,13 @@ class EventQueue {
   RunStats run(std::size_t max_events = 10'000'000);
   // Runs events with timestamps <= `until`.
   RunStats run_until(double until, std::size_t max_events = 10'000'000);
+  // Moves the clock forward to `to` without running anything (no-op if `to`
+  // is in the past). A long-lived server uses this after run_until so that
+  // commands injected at a scripted time are stamped at that time even when
+  // the queue drained earlier.
+  void advance_to(double to) noexcept {
+    if (to > now_) now_ = to;
+  }
 
  private:
   struct Event {

@@ -225,6 +225,44 @@ void DbgpNetwork::restart(bgp::AsNumber asn) {
   }
 }
 
+void DbgpNetwork::restart_warm(bgp::AsNumber asn,
+                               const core::DbgpSpeaker::SpeakerState& state) {
+  Node& node = nodes_.at(asn);
+  if (node.up) return;
+  const telemetry::SpanId cause = chaos_instant(asn, 0, "restart", "warm");
+  note_disruption(cause);
+  node.up = true;
+  ++churn_.restarts;
+  NetworkMetrics::get().restarts->inc();
+  // Warm boot: the checkpointed RIB comes back instead of a wipe. adj-out is
+  // dropped — peers purged their adj-in from us at session loss, so the
+  // table syncs below must not be delta-suppressed against pre-crash frames.
+  node.speaker->restore_state(state, /*keep_adj_out=*/false);
+  // Align session state with current link/neighbor liveness. Unlike the cold
+  // path these calls emit: peer_up on the restored table is the full-table
+  // re-announcement, and peer_down prunes checkpoint entries whose sessions
+  // died while we were down.
+  for (bgp::PeerId peer = 0; peer < node.adjacencies.size(); ++peer) {
+    const auto& adj = node.adjacencies[peer];
+    const bool viable =
+        adj.link != nullptr && adj.link->up() && nodes_.at(adj.neighbor).up;
+    if (viable) {
+      dispatch(asn, node.speaker->peer_up(peer, cause));
+    } else {
+      dispatch(asn, node.speaker->peer_down(peer, cause));
+    }
+  }
+  // Neighbors refresh their tables over the restored sessions; their
+  // announcements replace any checkpoint entries that went stale during the
+  // outage.
+  for (const auto& adj : node.adjacencies) {
+    if (adj.link == nullptr || !adj.link->up()) continue;
+    Node& neighbor = nodes_.at(adj.neighbor);
+    if (!neighbor.up) continue;
+    dispatch(adj.neighbor, neighbor.speaker->peer_up(peer_id(adj.neighbor, asn), cause));
+  }
+}
+
 // -- Control plane ------------------------------------------------------------
 
 void DbgpNetwork::originate(bgp::AsNumber asn, const net::Prefix& prefix) {
@@ -469,6 +507,24 @@ void DbgpNetwork::close_disruption_window() {
     options_.causal->end_span(w, end);
   }
   window_cause_ = 0;
+}
+
+void DbgpNetwork::inject(bgp::AsNumber from, std::vector<core::DbgpOutgoing> outgoing) {
+  dispatch(from, std::move(outgoing));
+}
+
+RunStats DbgpNetwork::run_until(double until, std::size_t max_events) {
+  RunStats stats = events_.run_until(until, max_events);
+  events_.advance_to(until);
+  stats.link_flaps = churn_.link_flaps;
+  stats.crashes = churn_.crashes;
+  stats.restarts = churn_.restarts;
+  stats.frames_lost = churn_.frames_lost;
+  stats.frames_duplicated = churn_.frames_duplicated;
+  stats.frames_reordered = churn_.frames_reordered;
+  stats.frames_corrupted = churn_.frames_corrupted;
+  stats.frames_rejected = churn_.frames_rejected;
+  return stats;
 }
 
 RunStats DbgpNetwork::run_to_convergence(std::size_t max_events) {

@@ -88,6 +88,15 @@ class DbgpNetwork {
   // and every live neighbor re-syncs its full table over the restored
   // sessions.
   void restart(bgp::AsNumber asn);
+  // Graceful restart: like restart(), but the speaker re-learns from `state`
+  // (a SpeakerState checkpointed before the crash) instead of a cold RIB
+  // wipe. The warm speaker re-announces its whole table over the restored
+  // sessions (its adj-out is dropped, since peers purged everything at
+  // session loss), and neighbors still refresh theirs, which replaces any
+  // checkpoint entries that went stale while the node was down. Unlike a
+  // cold restart the node holds its routes throughout — no transient
+  // unreachability between restart and re-sync.
+  void restart_warm(bgp::AsNumber asn, const core::DbgpSpeaker::SpeakerState& state);
   bool node_up(bgp::AsNumber asn) const { return nodes_.at(asn).up; }
 
   // Originates a prefix at an AS and queues the resulting advertisements.
@@ -100,6 +109,16 @@ class DbgpNetwork {
   // the network's cumulative churn counters (flaps, crashes, per-frame
   // faults) so chaos runs can be compared and replay-checked field by field.
   RunStats run_to_convergence(std::size_t max_events = 10'000'000);
+  // Partial drain for a long-lived serving process: runs events with
+  // timestamps <= `until`, then moves the clock to `until` even if the queue
+  // drained early, so commands injected afterwards are stamped at the
+  // scripted time. Does not close the reconvergence window (the disruption
+  // may still be settling); a later full drain does.
+  RunStats run_until(double until, std::size_t max_events = 10'000'000);
+  // Hands speaker-produced frames to the wire. Runtime reconfiguration (the
+  // route server's reload-policy / upgrade-protocol paths) calls speaker
+  // methods directly and injects the resulting advertisements here.
+  void inject(bgp::AsNumber from, std::vector<core::DbgpOutgoing> outgoing);
 
   Options& options() noexcept { return options_; }
   const Options& options() const noexcept { return options_; }

@@ -129,6 +129,10 @@ class CausalTracer {
 
   std::vector<Span> spans() const;
   std::vector<DecisionAudit> audits() const;
+  // Copies the audits stored at index >= `start`, for incremental consumers
+  // (the route server's divergence watchdog polls with audit_count() as its
+  // cursor instead of re-copying the whole log every interval).
+  std::vector<DecisionAudit> audits_since(std::size_t start) const;
   std::size_t span_count() const;
   std::size_t audit_count() const;
   // Spans + audits that hit the cap and were not stored.

@@ -1,0 +1,52 @@
+#include "telemetry/divergence.h"
+
+#include <algorithm>
+
+namespace dbgp::telemetry {
+
+void OscillationDetector::observe(const DecisionAudit& audit) {
+  if (audit.time > now_) now_ = audit.time;
+  if (!audit.changed) return;
+  auto& flips = flips_[{audit.as, audit.prefix}];
+  flips.push_back(audit.time);
+  prune(flips);
+}
+
+void OscillationDetector::prune(std::deque<double>& flips) const {
+  const double cutoff = now_ - options_.window;
+  while (!flips.empty() && flips.front() < cutoff) flips.pop_front();
+}
+
+std::size_t OscillationDetector::oscillating() const {
+  std::size_t count = 0;
+  const double cutoff = now_ - options_.window;
+  for (const auto& [key, flips] : flips_) {
+    std::size_t live = 0;
+    for (const double t : flips) live += t >= cutoff ? 1 : 0;
+    count += live >= options_.threshold ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<std::pair<std::string, std::size_t>> OscillationDetector::report() const {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  const double cutoff = now_ - options_.window;
+  for (const auto& [key, flips] : flips_) {
+    std::size_t live = 0;
+    for (const double t : flips) live += t >= cutoff ? 1 : 0;
+    if (live >= options_.threshold) {
+      out.emplace_back("AS" + std::to_string(key.first) + " " + key.second, live);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+void OscillationDetector::clear() {
+  now_ = 0.0;
+  flips_.clear();
+}
+
+}  // namespace dbgp::telemetry

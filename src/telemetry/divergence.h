@@ -1,0 +1,66 @@
+// Sliding-window oscillation detector over the causal audit log — the route
+// server's divergence watchdog.
+//
+// A long-lived daemon cannot rely on "the queue drained, so we converged":
+// a policy clash (e.g. a dispute wheel built out of runtime reload-policy
+// commands) can keep the network flipping between selections forever while
+// every individual drain looks healthy. The detector watches DecisionAudits
+// incrementally: every audit with `changed` set counts as one selection flip
+// for its (as, prefix) key; a key whose flip count inside the trailing
+// `window` seconds reaches `threshold` is flagged as oscillating. The daemon
+// mirrors the flagged-key count into the
+// `server.divergence.oscillating_prefixes` gauge and surfaces it in `health`.
+//
+// Feed it slices from CausalTracer::audits_since using audit_count() as the
+// cursor — audits are dense and never rotated, so an index cursor is stable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/causal.h"
+
+namespace dbgp::telemetry {
+
+class OscillationDetector {
+ public:
+  struct Options {
+    double window = 5.0;       // trailing window, sim seconds
+    std::size_t threshold = 8; // flips inside the window that flag a key
+  };
+
+  OscillationDetector() = default;
+  explicit OscillationDetector(Options options) : options_(options) {}
+
+  // Ingests one audit (only `changed` audits advance any counter; the rest
+  // still advance the clock so stale entries age out).
+  void observe(const DecisionAudit& audit);
+  void observe(const std::vector<DecisionAudit>& audits) {
+    for (const auto& a : audits) observe(a);
+  }
+
+  // Keys whose flip count within [now - window, now] is >= threshold.
+  std::size_t oscillating() const;
+  // The flagged (as, prefix) keys with their current flip counts, worst
+  // first — `health`'s detail lines.
+  std::vector<std::pair<std::string, std::size_t>> report() const;
+
+  double now() const noexcept { return now_; }
+  const Options& options() const noexcept { return options_; }
+  void clear();
+
+ private:
+  void prune(std::deque<double>& flips) const;
+
+  Options options_;
+  double now_ = 0.0;
+  // (as, prefix) -> timestamps of selection changes inside the window.
+  std::map<std::pair<std::uint32_t, std::string>, std::deque<double>> flips_;
+};
+
+}  // namespace dbgp::telemetry

@@ -6,6 +6,26 @@
 
 namespace dbgp::util {
 
+void Flags::allow(std::initializer_list<std::string_view> names) {
+  strict_ = true;
+  for (std::string_view name : names) {
+    if (!name.empty() && name.back() == '*') {
+      allowed_prefixes_.emplace_back(name.substr(0, name.size() - 1));
+    } else {
+      allowed_.emplace(name);
+    }
+  }
+}
+
+bool Flags::allowed(std::string_view name) const noexcept {
+  if (!strict_) return true;
+  if (allowed_.find(name) != allowed_.end()) return true;
+  for (const auto& prefix : allowed_prefixes_) {
+    if (starts_with(name, prefix)) return true;
+  }
+  return false;
+}
+
 bool Flags::parse(int argc, const char* const* argv, std::string& error) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -19,6 +39,11 @@ bool Flags::parse(int argc, const char* const* argv, std::string& error) {
       return false;
     }
     const std::size_t eq = arg.find('=');
+    if (!allowed(arg.substr(0, eq == std::string_view::npos ? arg.size() : eq))) {
+      error = "unknown flag --" + std::string(arg.substr(
+                  0, eq == std::string_view::npos ? arg.size() : eq));
+      return false;
+    }
     if (eq != std::string_view::npos) {
       values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
     } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {

@@ -1,11 +1,15 @@
 // Tiny command-line flag parser for examples and benchmark drivers.
 //
-// Supports "--name=value", "--name value", and boolean "--name". Unknown
-// flags are reported rather than ignored so experiment scripts fail loudly.
+// Supports "--name=value", "--name value", and boolean "--name". Tools that
+// declare their flag set with allow() get strict parsing: an unrecognized
+// "--flag" fails parse() so experiment scripts fail loudly instead of
+// silently running with a typo'd option.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,7 +18,15 @@ namespace dbgp::util {
 
 class Flags {
  public:
-  // Parses argv; returns false (and fills `error`) on malformed input.
+  // Declares the accepted flag names. Once called, parse() rejects any
+  // "--flag" not in the set. A name ending in '*' accepts every flag with
+  // that prefix (for pass-through families like "benchmark_*"). Without a
+  // call, parse() accepts anything (the historical behaviour, kept for
+  // quick one-off drivers).
+  void allow(std::initializer_list<std::string_view> names);
+
+  // Parses argv; returns false (and fills `error`) on malformed input or —
+  // after allow() — on an unknown flag.
   bool parse(int argc, const char* const* argv, std::string& error);
 
   bool has(std::string_view name) const noexcept;
@@ -27,8 +39,13 @@ class Flags {
   const std::vector<std::string>& positional() const noexcept { return positional_; }
 
  private:
+  bool allowed(std::string_view name) const noexcept;
+
   std::map<std::string, std::string, std::less<>> values_;
   std::vector<std::string> positional_;
+  std::set<std::string, std::less<>> allowed_;   // exact names
+  std::vector<std::string> allowed_prefixes_;    // from trailing-'*' entries
+  bool strict_ = false;
 };
 
 }  // namespace dbgp::util

@@ -80,6 +80,12 @@ ThreadPool::Stats ThreadPool::stats() const noexcept {
           wait_ns_.load(std::memory_order_relaxed)};
 }
 
+ThreadPool::Stats ThreadPool::snapshot_and_reset() noexcept {
+  return {tasks_.exchange(0, std::memory_order_relaxed),
+          wakeups_.exchange(0, std::memory_order_relaxed),
+          wait_ns_.exchange(0, std::memory_order_relaxed)};
+}
+
 void ThreadPool::worker_loop() {
   t_inside_task = true;  // nested parallel_for from a task runs inline
   std::uint64_t seen_generation = 0;

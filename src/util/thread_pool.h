@@ -80,6 +80,13 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& fn);
 
   Stats stats() const noexcept;
+  // Returns the counters accumulated since construction (or since the last
+  // call) and zeroes them, so a periodic poller — the route-server daemon's
+  // `metrics` dump — reports per-interval deltas instead of pool-lifetime
+  // totals. Each counter is exchanged individually (relaxed); concurrent
+  // increments land in exactly one interval, though not necessarily the same
+  // one across the three fields.
+  Stats snapshot_and_reset() noexcept;
   void set_wait_observer(WaitObserver observer);
 
  private:

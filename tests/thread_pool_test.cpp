@@ -171,6 +171,29 @@ TEST(ThreadPool, WaitObserverSeesEveryWakeup) {
   EXPECT_EQ(observed.load(), pool.stats().wakeups);
 }
 
+TEST(ThreadPool, SnapshotAndResetReportsPerIntervalDeltas) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.parallel_for(0, 64, 1,
+                    [&](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); });
+  ASSERT_EQ(ran.load(), 64);
+
+  const auto first = pool.snapshot_and_reset();
+  EXPECT_EQ(first.tasks, 64u);
+  EXPECT_EQ(first.tasks, pool.stats().tasks + first.tasks);  // counters zeroed
+
+  // A quiet interval reports zeros; the cumulative view is gone by design.
+  const auto quiet = pool.snapshot_and_reset();
+  EXPECT_EQ(quiet.tasks, 0u);
+  EXPECT_EQ(quiet.wakeups, 0u);
+  EXPECT_EQ(quiet.wait_ns, 0u);
+
+  // The next interval counts only its own work.
+  pool.parallel_for(0, 10, 1, [&](std::size_t) {});
+  const auto second = pool.snapshot_and_reset();
+  EXPECT_EQ(second.tasks, 10u);
+}
+
 TEST(SplitSeed, PureFunctionOfBaseAndIndex) {
   const std::uint64_t first = split_seed(42, 7);
   split_seed(1, 1);

@@ -262,5 +262,48 @@ TEST(Flags, ExplicitFalse) {
   EXPECT_FALSE(flags.get_bool("feature", true));
 }
 
+TEST(Flags, StrictModeRejectsUnknownFlags) {
+  const char* argv[] = {"prog", "--quiet", "--trheads=4", "file.dbgp"};
+  Flags flags;
+  flags.allow({"quiet", "threads"});
+  std::string error;
+  EXPECT_FALSE(flags.parse(4, argv, error));
+  EXPECT_NE(error.find("trheads"), std::string::npos) << error;
+}
+
+TEST(Flags, StrictModeAcceptsDeclaredAndPositional) {
+  const char* argv[] = {"prog", "--threads=4", "a.dbgp", "b.dbgp", "--quiet"};
+  Flags flags;
+  flags.allow({"quiet", "threads"});
+  std::string error;
+  ASSERT_TRUE(flags.parse(5, argv, error)) << error;
+  EXPECT_EQ(flags.get_int("threads", 0), 4);
+  EXPECT_TRUE(flags.get_bool("quiet", false));
+  EXPECT_EQ(flags.positional().size(), 2u);
+}
+
+TEST(Flags, StrictModePrefixWildcard) {
+  const char* argv[] = {"prog", "--benchmark_filter=x", "--benchmark_repetitions=3",
+                        "--other"};
+  Flags flags;
+  flags.allow({"benchmark_*"});
+  std::string error;
+  EXPECT_FALSE(flags.parse(4, argv, error));
+  EXPECT_NE(error.find("other"), std::string::npos);
+
+  Flags ok;
+  ok.allow({"benchmark_*"});
+  ASSERT_TRUE(ok.parse(3, argv, error)) << error;
+  EXPECT_EQ(ok.get_string("benchmark_filter", ""), "x");
+}
+
+TEST(Flags, PermissiveWithoutAllowList) {
+  const char* argv[] = {"prog", "--anything=goes"};
+  Flags flags;
+  std::string error;
+  ASSERT_TRUE(flags.parse(2, argv, error)) << error;
+  EXPECT_EQ(flags.get_string("anything", ""), "goes");
+}
+
 }  // namespace
 }  // namespace dbgp::util

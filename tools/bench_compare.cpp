@@ -76,8 +76,16 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
       threshold = std::atof(argv[++i]);
+    } else if (argv[i][0] == '-' && argv[i][1] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown flag %s\n", argv[i]);
+      n_paths = -1;
+      break;
     } else if (n_paths < 2) {
       paths[n_paths++] = argv[i];
+    } else {
+      std::fprintf(stderr, "bench_compare: unexpected argument %s\n", argv[i]);
+      n_paths = -1;
+      break;
     }
   }
   if (n_paths != 2) {

@@ -99,6 +99,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: bench_report <BENCH_*.json> [more.json ...]\n");
     return 2;
   }
+  // Positional-only tool: anything that looks like a flag is a typo, not a
+  // file to silently fail on later.
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-' && argv[i][1] == '-') {
+      std::fprintf(stderr, "bench_report: unknown flag %s\n", argv[i]);
+      std::fprintf(stderr, "usage: bench_report <BENCH_*.json> [more.json ...]\n");
+      return 2;
+    }
+  }
   int rc = 0;
   for (int i = 1; i < argc; ++i) {
     try {

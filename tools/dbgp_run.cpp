@@ -86,8 +86,11 @@ void parse_explain(const std::string& arg, std::uint32_t& as, std::string& prefi
 
 int main(int argc, char** argv) {
   dbgp::util::Flags flags;
+  flags.allow({"tables", "quiet", "batched", "metrics", "trace", "trace-format",
+               "explain", "chaos-seed", "chaos-profile", "threads"});
   std::string error;
   if (!flags.parse(argc, argv, error) || flags.positional().size() != 1) {
+    if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
     std::fprintf(stderr,
                  "usage: dbgp_run <scenario-file> [--tables] [--quiet] [--batched]\n"
                  "                [--metrics <file>] [--trace <file>]\n"
@@ -115,6 +118,12 @@ int main(int argc, char** argv) {
     if (!explain_arg.empty()) parse_explain(explain_arg, explain_as, explain_prefix);
 
     const auto scenario = dbgp::scenario::load_scenario(flags.positional()[0]);
+    if (!scenario.server_commands.empty()) {
+      std::fprintf(stderr,
+                   "warning: ignoring %zu `server` timeline command(s) — "
+                   "dbgp_run is one-shot; use dbgp_server to execute them\n",
+                   scenario.server_commands.size());
+    }
 
     if (scenario.sweep) {
       std::optional<std::size_t> threads_override;

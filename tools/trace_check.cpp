@@ -120,6 +120,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: trace_check <trace.json> [more.json ...]\n");
     return 2;
   }
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-' && argv[i][1] == '-') {
+      std::fprintf(stderr, "trace_check: unknown flag %s\n", argv[i]);
+      std::fprintf(stderr, "usage: trace_check <trace.json> [more.json ...]\n");
+      return 2;
+    }
+  }
   try {
     for (int i = 1; i < argc; ++i) {
       if (!check_file(argv[i])) return 1;
