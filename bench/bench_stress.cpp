@@ -15,8 +15,10 @@
 #include "bench_json.h"
 #include "bgp/speaker.h"
 #include "core/speaker.h"
+#include "ia/frame_cache.h"
 #include "protocols/bgp_module.h"
 #include "telemetry/metrics.h"
+#include "util/thread_pool.h"
 #include "workload.h"
 
 namespace {
@@ -150,6 +152,65 @@ void BM_Beagle_BgpOnly_Batched(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(prefixes), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Beagle_BgpOnly_Batched)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+// The sharded parallel pipeline (DESIGN.md §13): frames staged raw via the
+// refcounted overload (max_batch = 0 defers decode to flush), then one flush
+// runs parallel decode, per-shard decision planning, and the sequential
+// deterministic commit on a `threads`-wide pool. threads:1 takes the exact
+// sequential path — its rate is the baseline the speedup column divides by
+// (tools/bench_report prints the speedup-vs-threads table from the `threads`
+// counter). On a single-core host all rows land near threads:1 — the curve
+// is only meaningful on real multicore hardware.
+void BM_Beagle_BgpOnly_Sharded(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  util::ThreadPool pool(threads);
+  std::vector<std::vector<ia::SharedFrame>> streams;
+  for (int p = 0; p < kPeers; ++p) {
+    std::vector<ia::SharedFrame> stream;
+    for (auto& bytes : bench::synth_ia_stream(stream_config(p + 1), /*target_bytes=*/0,
+                                              /*protocols_on_path=*/0)) {
+      stream.push_back(ia::make_shared_frame(std::move(bytes)));
+    }
+    streams.push_back(std::move(stream));
+  }
+  std::uint64_t prefixes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::DbgpConfig config;
+    config.asn = 65000;
+    config.next_hop = net::Ipv4Address(10, 0, 0, 1);
+    config.max_batch = 0;  // explicit flush only: the whole replay is one batch
+    core::DbgpSpeaker speaker(config);
+    speaker.add_module(std::make_unique<protocols::BgpModule>());
+    std::vector<bgp::PeerId> peers;
+    for (int p = 0; p < kPeers; ++p) peers.push_back(speaker.add_peer(65001 + p));
+    speaker.set_parallel(&pool);
+    state.ResumeTiming();
+
+    for (std::size_t i = 0; i < kUpdatesPerPeer; ++i) {
+      for (int p = 0; p < kPeers; ++p) {
+        benchmark::DoNotOptimize(speaker.enqueue_frame(peers[p], streams[p][i]));
+      }
+    }
+    benchmark::DoNotOptimize(speaker.flush());
+    prefixes += speaker.stats().ias_received;
+  }
+  state.counters["prefixes/s"] =
+      benchmark::Counter(static_cast<double>(prefixes), benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+// UseRealTime: with workers doing the decode/planning, the main thread's CPU
+// time understates the work, which would inflate the rate counter. Wall-clock
+// is the honest denominator for a multicore throughput claim.
+BENCHMARK(BM_Beagle_BgpOnly_Sharded)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(2.0);
 
 // Throughput vs IA size (the paper's 32 KB / 256 KB points plus the 4 KB
 // BGP-message ceiling from Table 2).

@@ -1,5 +1,6 @@
 #include "bgp/speaker.h"
 
+#include <optional>
 #include <set>
 
 #include "telemetry/metrics.h"
@@ -242,17 +243,34 @@ std::vector<Outgoing> BgpSpeaker::handle_batch(std::span<const Incoming> batch, 
     if (seen.insert(prefix).second) touched.push_back(prefix);
   };
 
-  for (const auto& msg : batch) {
-    Message m;
+  // Stage 1: pre-decode. Parsing is pure, so with an attached pool the
+  // whole batch decodes in parallel into index-addressed slots; the
+  // stateful consumption below stays strictly in arrival order either way,
+  // so thread count never shows in the output.
+  std::vector<std::optional<Message>> decoded(batch.size());
+  const auto decode_one = [&](std::size_t i) {
     try {
-      m = decode_message(msg.bytes);
+      decoded[i] = decode_message(batch[i].bytes);
     } catch (const util::DecodeError&) {
+      // Slot stays empty; the sequential pass runs the full error protocol.
+    }
+  };
+  if (pool_ != nullptr && pool_->size() > 1 && batch.size() > 1) {
+    pool_->parallel_for_stage("decode", 0, batch.size(), 0, decode_one);
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) decode_one(i);
+  }
+
+  for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+    const auto& msg = batch[bi];
+    if (!decoded[bi].has_value()) {
       // Cold path: re-run the regular handler for its full error protocol.
       auto more = handle_bytes(msg.peer, msg.bytes, now);
       out.insert(out.end(), std::make_move_iterator(more.begin()),
                  std::make_move_iterator(more.end()));
       continue;
     }
+    Message& m = *decoded[bi];
     if (message_type(m) != MessageType::kUpdate) {
       // Session control changes routing state synchronously; handle inline.
       auto more = handle_message(msg.peer, m, now);

@@ -19,6 +19,7 @@
 #include "bgp/policy.h"
 #include "bgp/rib.h"
 #include "bgp/types.h"
+#include "util/thread_pool.h"
 
 namespace dbgp::bgp {
 
@@ -65,6 +66,11 @@ class BgpSpeaker {
   std::size_t peer_count() const noexcept { return peers_.size(); }
   AsNumber peer_as(PeerId peer) const { return peers_.at(peer).asn; }
   const Config& config() const noexcept { return config_; }
+  // Attaches a pool for handle_batch's pre-decode stage. Message parsing is
+  // pure, so batches decode in parallel into index-addressed slots; all
+  // stateful processing stays sequential in arrival order, making the
+  // thread count unobservable in the output.
+  void set_thread_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
 
   // -- Session control ----------------------------------------------------
   // Starts the session toward `peer` (manual start + instant TCP connect in
@@ -154,6 +160,7 @@ class BgpSpeaker {
   std::map<net::Prefix, PathAttributes> originated_;
   std::uint64_t sequence_ = 0;
   SpeakerStats stats_;
+  util::ThreadPool* pool_ = nullptr;  // pre-decode stage only; see set_thread_pool
 };
 
 }  // namespace dbgp::bgp

@@ -69,6 +69,11 @@ std::vector<const IaRoute*> IaDb::candidates(const net::Prefix& prefix) const {
   return out;
 }
 
+const std::map<bgp::PeerId, IaRoute>* IaDb::candidate_map(const net::Prefix& prefix) const {
+  auto it = routes_.find(prefix);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
 std::vector<net::Prefix> IaDb::prefixes() const {
   std::vector<net::Prefix> out;
   out.reserve(routes_.size());

@@ -46,6 +46,11 @@ class IaDb {
   // All candidates for a prefix in peer order (deterministic).
   std::vector<const IaRoute*> candidates(const net::Prefix& prefix) const;
   std::vector<IaRoute*> candidates_mutable(const net::Prefix& prefix);
+  // Allocation-free view of the same candidates: the per-peer map for a
+  // prefix, nullptr when the prefix is unknown. Iteration order (peer id)
+  // matches candidates(); the pointer is invalidated by upsert/remove. The
+  // decision hot path iterates this instead of materializing a vector.
+  const std::map<bgp::PeerId, IaRoute>* candidate_map(const net::Prefix& prefix) const;
   // All prefixes currently known (for full-table dumps to new peers).
   std::vector<net::Prefix> prefixes() const;
 

@@ -1,5 +1,8 @@
 #include "core/speaker.h"
 
+#include <algorithm>
+#include <string>
+
 #include "telemetry/metrics.h"
 #include "telemetry/timer.h"
 #include "util/bytes.h"
@@ -48,6 +51,40 @@ struct SpeakerMetrics {
     return m;
   }
 };
+
+// Shard-pipeline telemetry (dbgp.shard.*). Stage wall times arrive through
+// the thread pool's stage observer; the commit stage is timed directly since
+// it never leaves the flushing thread.
+struct ShardMetrics {
+  telemetry::Counter* flushes;
+  telemetry::Histogram* batch_size;       // per-shard slice of one flush
+  telemetry::Gauge* imbalance_permille;   // max shard slice / mean, x1000
+  telemetry::Histogram* commit_wall_s;
+
+  static ShardMetrics& get() {
+    static ShardMetrics m = [] {
+      auto& reg = telemetry::MetricsRegistry::global();
+      return ShardMetrics{
+          &reg.counter("dbgp.shard.flushes"),
+          &reg.histogram("dbgp.shard.batch_size",
+                         telemetry::Histogram::exponential_bounds(1.0, 4096.0, 2.0)),
+          &reg.gauge("dbgp.shard.imbalance_permille"),
+          &reg.histogram("dbgp.shard.stage_wall_s.commit",
+                         telemetry::Histogram::default_latency_bounds())};
+    }();
+    return m;
+  }
+};
+
+// Pool stage observer: routes parallel_for_stage wall times into
+// dbgp.shard.stage_wall_s.<stage> histograms. Name lookup is per flush, not
+// per prefix, so the registry mutex is off the hot path.
+void record_stage_wall(const char* stage, std::uint64_t wall_ns) {
+  telemetry::MetricsRegistry::global()
+      .histogram(std::string("dbgp.shard.stage_wall_s.") + stage,
+                 telemetry::Histogram::default_latency_bounds())
+      .record(static_cast<double>(wall_ns) * 1e-9);
+}
 }  // namespace
 
 DbgpSpeaker::DbgpSpeaker(DbgpConfig config, LookupService* lookup)
@@ -98,6 +135,89 @@ DecisionModule* DbgpSpeaker::active_module(const net::Prefix& prefix) const {
   return module(active_protocol_for(prefix));
 }
 
+// -- Sharded parallel pipeline ------------------------------------------------
+
+void DbgpSpeaker::set_parallel(util::ThreadPool* pool, std::size_t shards) {
+  pool_ = pool;
+  shards_ = pool_ == nullptr ? 1 : (shards == 0 ? pool_->size() : shards);
+  if (shards_ == 0) shards_ = 1;
+  shard_caches_.assign(shards_, ia::FrameCache{});
+  if (pool_ != nullptr) pool_->set_stage_observer(&record_stage_wall);
+}
+
+std::size_t DbgpSpeaker::shard_of(const net::Prefix& prefix, std::size_t shards) noexcept {
+  return shards <= 1 ? 0 : net::PrefixHash{}(prefix) % shards;
+}
+
+bool DbgpSpeaker::parallel_enabled() const noexcept {
+  return pool_ != nullptr && pool_->size() > 1 && shards_ > 1 && causal_ == nullptr &&
+         config_.dissemination == Dissemination::kInBand;
+}
+
+bool DbgpSpeaker::parallel_active() const noexcept { return parallel_enabled(); }
+
+bool DbgpSpeaker::defer_decode() const noexcept {
+  // Deferred decode changes *when* staging runs, so it is confined to
+  // explicit-flush configurations: with auto-flush (max_batch > 0) the
+  // trigger counts staged prefixes, which requires staging at enqueue time.
+  return parallel_enabled() && config_.max_batch == 0;
+}
+
+void DbgpSpeaker::drain_staged() {
+  if (staged_.empty()) return;
+  // Parallel decode: announce frames carry their IA inline; everything else
+  // (withdraws, notices) is trivially cheap and decodes during staging.
+  const auto decode_one = [this](std::size_t i) {
+    StagedFrame& s = staged_[i];
+    const auto& bytes = *s.frame;
+    if (bytes.empty() || static_cast<FrameType>(bytes[0]) != FrameType::kAnnounce) return;
+    try {
+      s.ia.emplace(ia::decode_ia(std::span<const std::uint8_t>(bytes).subspan(1)));
+    } catch (const util::DecodeError&) {
+      // Corrupted frame (chaos profiles). The eager path throws out of
+      // enqueue_frame per frame; here the error may surface on a pool
+      // thread, so it is recorded and counted instead of thrown.
+      s.bad = true;
+    }
+  };
+  if (pool_ != nullptr && pool_->size() > 1) {
+    pool_->parallel_for_stage("decode", 0, staged_.size(), 0, decode_one);
+  } else {
+    for (std::size_t i = 0; i < staged_.size(); ++i) decode_one(i);
+  }
+  // Sequential staging in arrival order: filters, sequence numbers, and the
+  // IA DB upsert are order-sensitive and stay exactly as the eager path.
+  for (StagedFrame& s : staged_) {
+    std::optional<net::Prefix> prefix;
+    if (s.bad) {
+      // stage_frame counts bytes before decoding, so a rejected frame still
+      // counts its wire bytes — identical to the eager path's stats.
+      stats_.bytes_received += s.frame->size();
+      SpeakerMetrics::get().bytes_received->inc(s.frame->size());
+      ++deferred_rejects_;
+      continue;
+    }
+    try {
+      if (s.ia.has_value()) {
+        stats_.bytes_received += s.frame->size();
+        SpeakerMetrics::get().bytes_received->inc(s.frame->size());
+        prefix = stage_ia(s.from, std::move(*s.ia), s.cause);
+      } else {
+        prefix = stage_frame(s.from, *s.frame, s.cause);
+      }
+    } catch (const util::DecodeError&) {
+      // Corrupted withdraw/notice (announce corruption was caught above).
+      // One bad frame must not abort the rest of the drain: each eager
+      // enqueue_frame call fails independently, so each staged frame does
+      // too.
+      ++deferred_rejects_;
+      continue;
+    }
+    if (prefix && batch_seen_.insert(*prefix).second) batch_.push_back(*prefix);
+  }
+  staged_.clear();
+}
+
 // -- Frame codec -------------------------------------------------------------
 
 std::vector<std::uint8_t> DbgpSpeaker::encode_announce(const ia::IntegratedAdvertisement& ia,
@@ -132,6 +252,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::handle_frame(bgp::PeerId from,
                                                     std::span<const std::uint8_t> bytes,
                                                     telemetry::SpanId cause) {
   telemetry::ScopedTimer frame_timer(SpeakerMetrics::get().frame_seconds);
+  drain_staged();  // deferred frames arrived first; stage them first
   std::vector<DbgpOutgoing> out;
   if (auto prefix = stage_frame(from, bytes, cause)) run_decision(*prefix, out);
   return out;
@@ -140,6 +261,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::handle_frame(bgp::PeerId from,
 std::vector<DbgpOutgoing> DbgpSpeaker::handle_ia(bgp::PeerId from,
                                                  ia::IntegratedAdvertisement ia,
                                                  telemetry::SpanId cause) {
+  drain_staged();
   std::vector<DbgpOutgoing> out;
   if (auto prefix = stage_ia(from, std::move(ia), cause)) run_decision(*prefix, out);
   return out;
@@ -148,6 +270,9 @@ std::vector<DbgpOutgoing> DbgpSpeaker::handle_ia(bgp::PeerId from,
 std::vector<DbgpOutgoing> DbgpSpeaker::enqueue_frame(bgp::PeerId from,
                                                      std::span<const std::uint8_t> bytes,
                                                      telemetry::SpanId cause) {
+  if (defer_decode()) {
+    return enqueue_frame(from, ia::make_shared_frame({bytes.begin(), bytes.end()}), cause);
+  }
   telemetry::ScopedTimer frame_timer(SpeakerMetrics::get().frame_seconds);
   std::vector<DbgpOutgoing> out;
   if (auto prefix = stage_frame(from, bytes, cause)) {
@@ -157,6 +282,15 @@ std::vector<DbgpOutgoing> DbgpSpeaker::enqueue_frame(bgp::PeerId from,
   return out;
 }
 
+std::vector<DbgpOutgoing> DbgpSpeaker::enqueue_frame(bgp::PeerId from, ia::SharedFrame frame,
+                                                     telemetry::SpanId cause) {
+  if (defer_decode()) {
+    staged_.push_back({from, std::move(frame), cause, std::nullopt});
+    return {};
+  }
+  return enqueue_frame(from, std::span<const std::uint8_t>(*frame), cause);
+}
+
 std::vector<DbgpOutgoing> DbgpSpeaker::flush() {
   std::vector<DbgpOutgoing> out;
   flush_into(out);
@@ -164,11 +298,42 @@ std::vector<DbgpOutgoing> DbgpSpeaker::flush() {
 }
 
 void DbgpSpeaker::flush_into(std::vector<DbgpOutgoing>& out) {
+  drain_staged();
   if (batch_.empty()) return;
   SpeakerMetrics::get().batch_size->record(static_cast<double>(batch_.size()));
-  // First-touch order: decisions run in the order prefixes first appeared,
-  // so a batched run remains deterministic for a given arrival sequence.
-  for (const auto& prefix : batch_) run_decision(prefix, out);
+  if (parallel_enabled()) {
+    ShardMetrics::get().flushes->inc();
+    // Stage 2a: per-shard decision planning. Each shard owns a slice of the
+    // batch; plans read only the frozen pre-batch state (IA DB, Loc-RIB,
+    // adj-out) plus their shard-private FrameCache, so no two tasks touch
+    // the same mutable data.
+    std::vector<std::vector<std::size_t>> shard_work(shards_);
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      shard_work[shard_of(batch_[i], shards_)].push_back(i);
+    }
+    std::size_t max_slice = 0;
+    for (const auto& slice : shard_work) {
+      ShardMetrics::get().batch_size->record(static_cast<double>(slice.size()));
+      max_slice = std::max(max_slice, slice.size());
+    }
+    ShardMetrics::get().imbalance_permille->set(static_cast<std::int64_t>(
+        max_slice * 1000 * shards_ / batch_.size()));
+    std::vector<DecisionPlan> plans(batch_.size());
+    pool_->parallel_for_stage("decision", 0, shards_, 1, [&](std::size_t s) {
+      for (std::size_t idx : shard_work[s]) {
+        plans[idx] = plan_decision(batch_[idx], shard_caches_[s]);
+      }
+    });
+    // Stage 3: sequential commit in global first-touch order — the only
+    // place shared state mutates, which is what makes the thread and shard
+    // counts unobservable in the output.
+    telemetry::ScopedTimer commit_timer(ShardMetrics::get().commit_wall_s);
+    for (DecisionPlan& plan : plans) commit_plan(plan, out);
+  } else {
+    // First-touch order: decisions run in the order prefixes first appeared,
+    // so a batched run remains deterministic for a given arrival sequence.
+    for (const auto& prefix : batch_) run_decision(prefix, out);
+  }
   batch_.clear();
   batch_seen_.clear();
 }
@@ -276,6 +441,7 @@ std::optional<net::Prefix> DbgpSpeaker::stage_ia(bgp::PeerId from,
 }
 
 std::vector<DbgpOutgoing> DbgpSpeaker::peer_down(bgp::PeerId peer, telemetry::SpanId cause) {
+  drain_staged();
   std::vector<DbgpOutgoing> out;
   peers_.at(peer).up = false;
   adj_out_.erase(peer);
@@ -286,6 +452,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::peer_down(bgp::PeerId peer, telemetry::Sp
 }
 
 std::vector<DbgpOutgoing> DbgpSpeaker::peer_up(bgp::PeerId peer, telemetry::SpanId cause) {
+  drain_staged();
   peers_.at(peer).up = true;
   external_cause_ = cause;
   auto out = sync_peer(peer);
@@ -299,7 +466,9 @@ void DbgpSpeaker::reset_routes() {
   adj_out_.clear();
   batch_.clear();
   batch_seen_.clear();
+  staged_.clear();
   frame_cache_.clear();
+  for (ia::FrameCache& cache : shard_caches_) cache.clear();
   // Learned causal state dies with the routes; origin_span_ survives like
   // originated_ (a reboot does not re-originate).
   pending_cause_.clear();
@@ -310,6 +479,7 @@ void DbgpSpeaker::reset_routes() {
 
 std::vector<DbgpOutgoing> DbgpSpeaker::originate(const net::Prefix& prefix,
                                                  telemetry::SpanId cause) {
+  drain_staged();
   std::vector<DbgpOutgoing> out;
   originated_[prefix] = true;
   if (causal_ != nullptr) {
@@ -327,6 +497,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::originate(const net::Prefix& prefix,
 
 std::vector<DbgpOutgoing> DbgpSpeaker::withdraw_origin(const net::Prefix& prefix,
                                                        telemetry::SpanId cause) {
+  drain_staged();
   std::vector<DbgpOutgoing> out;
   if (originated_.erase(prefix) > 0) {
     if (causal_ != nullptr) {
@@ -402,47 +573,52 @@ void DbgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoi
     slot->second = std::move(origin);
     if (changed && active != nullptr) active->on_best_changed(prefix, &slot->second);
     if (tracing) {
-      for (const IaRoute* c : ia_db_.candidates(prefix)) {
-        audit.candidates.push_back({c->neighbor_as, c->ia.path_vector.to_string(),
-                                    c->via_span, c->eligible, "origin-overrides"});
+      if (const auto* cands = ia_db_.candidate_map(prefix)) {
+        for (const auto& [peer, c] : *cands) {
+          audit.candidates.push_back({c.neighbor_as, c.ia.path_vector.to_string(),
+                                      c.via_span, c.eligible, "origin-overrides"});
+        }
       }
       finish(&slot->second, /*origin=*/true, changed);
     }
-    advertise_to_peers(prefix, slot->second, /*origin=*/true, out);
+    advertise_to_peers(active, prefix, slot->second, /*origin=*/true, out);
     return;
   }
 
-  const auto candidates = ia_db_.candidates(prefix);
+  const auto* candidates = ia_db_.candidate_map(prefix);
   const IaRoute* best = nullptr;
   bool fallback = false;
-  if (active != nullptr) {
-    for (const IaRoute* c : candidates) {
-      if (!c->eligible) continue;
-      if (best == nullptr || active->better(*c, *best)) best = c;
+  if (candidates != nullptr) {
+    if (active != nullptr) {
+      for (const auto& [peer, c] : *candidates) {
+        if (!c.eligible) continue;
+        if (best == nullptr || active->better(c, *best)) best = &c;
+      }
     }
-  }
-  if (best == nullptr && !candidates.empty()) {
-    // Baseline fallback: no module or no eligible candidates — preserve
-    // connectivity by shortest path vector, then arrival order.
-    fallback = true;
-    for (const IaRoute* c : candidates) {
-      if (best == nullptr ||
-          c->ia.path_vector.hop_count() < best->ia.path_vector.hop_count() ||
-          (c->ia.path_vector.hop_count() == best->ia.path_vector.hop_count() &&
-           c->sequence < best->sequence)) {
-        best = c;
+    if (best == nullptr && !candidates->empty()) {
+      // Baseline fallback: no module or no eligible candidates — preserve
+      // connectivity by shortest path vector, then arrival order.
+      fallback = true;
+      for (const auto& [peer, c] : *candidates) {
+        if (best == nullptr ||
+            c.ia.path_vector.hop_count() < best->ia.path_vector.hop_count() ||
+            (c.ia.path_vector.hop_count() == best->ia.path_vector.hop_count() &&
+             c.sequence < best->sequence)) {
+          best = &c;
+        }
       }
     }
   }
 
-  if (tracing) {
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      const IaRoute* c = candidates[i];
+  if (tracing && candidates != nullptr) {
+    int i = 0;
+    for (const auto& [peer, cref] : *candidates) {
+      const IaRoute* c = &cref;
       telemetry::AuditCandidate ac{c->neighbor_as, c->ia.path_vector.to_string(),
                                    c->via_span, c->eligible, {}};
       if (c == best) {
         ac.outcome = "selected";
-        audit.selected = static_cast<int>(i);
+        audit.selected = i;
       } else if (!c->eligible && active != nullptr) {
         ac.outcome = "ineligible:" + active->name();
       } else if (best == nullptr) {
@@ -455,6 +631,7 @@ void DbgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoi
                          : "lost:arrival-order";
       }
       audit.candidates.push_back(std::move(ac));
+      ++i;
     }
   }
 
@@ -480,12 +657,167 @@ void DbgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoi
   finish(&slot->second, /*origin=*/false, changed);
   // Even when the selection is unchanged we re-advertise through delta
   // suppression, which is a no-op if nothing differs.
-  advertise_to_peers(prefix, slot->second, /*origin=*/false, out);
+  advertise_to_peers(active, prefix, slot->second, /*origin=*/false, out);
 }
 
-void DbgpSpeaker::advertise_to_peers(const net::Prefix& prefix, const IaRoute& best, bool origin,
-                                     std::vector<DbgpOutgoing>& out) {
+// -- Parallel decision planning ----------------------------------------------
+//
+// plan_decision mirrors run_decision with tracing off, split into a pure
+// planning half (runs concurrently, reads the frozen pre-batch state, writes
+// only the plan and its shard's FrameCache) and commit_plan (runs
+// sequentially in first-touch order, performs every mutation run_decision
+// would have, in the same order). Keep the three in lockstep when changing
+// decision semantics — shard_pipeline_test pins their bit-identity.
+
+DbgpSpeaker::DecisionPlan DbgpSpeaker::plan_decision(const net::Prefix& prefix,
+                                                     ia::FrameCache& cache) const {
+  DecisionPlan plan;
+  plan.prefix = prefix;
   DecisionModule* active = active_module(prefix);
+
+  if (originated_.count(prefix) > 0) {
+    ExportContext octx;
+    octx.own_as = config_.asn;
+    octx.own_island = config_.island;
+    IaRoute origin;
+    origin.ia = factory_.create_origin(prefix, active, octx);
+    origin.from_peer = bgp::kInvalidPeer;
+    auto it = selected_.find(prefix);
+    plan.changed = it == selected_.end() || !(it->second.ia == origin.ia) ||
+                   it->second.from_peer != bgp::kInvalidPeer;
+    plan.has_best = true;
+    plan.store = true;  // the sequential path overwrites even when unchanged
+    plan.best = std::move(origin);
+    plan_advertise(active, prefix, plan.best, /*origin=*/true, cache, plan);
+    return plan;
+  }
+
+  const auto* candidates = ia_db_.candidate_map(prefix);
+  const IaRoute* best = nullptr;
+  if (candidates != nullptr) {
+    if (active != nullptr) {
+      for (const auto& [peer, c] : *candidates) {
+        if (!c.eligible) continue;
+        if (best == nullptr || active->better(c, *best)) best = &c;
+      }
+    }
+    if (best == nullptr && !candidates->empty()) {
+      for (const auto& [peer, c] : *candidates) {
+        if (best == nullptr ||
+            c.ia.path_vector.hop_count() < best->ia.path_vector.hop_count() ||
+            (c.ia.path_vector.hop_count() == best->ia.path_vector.hop_count() &&
+             c.sequence < best->sequence)) {
+          best = &c;
+        }
+      }
+    }
+  }
+
+  if (best == nullptr) {
+    plan.has_best = false;
+    if (selected_.count(prefix) > 0) {
+      for (bgp::PeerId peer = 0; peer < peers_.size(); ++peer) {
+        plan_withdraw(peer, prefix, plan);
+      }
+    }
+    return plan;
+  }
+
+  auto it = selected_.find(prefix);
+  plan.changed = it == selected_.end() || it->second.from_peer != best->from_peer ||
+                 !(it->second.ia == best->ia);
+  plan.has_best = true;
+  plan.store = plan.changed;
+  plan.best = *best;
+  plan_advertise(active, prefix, plan.best, /*origin=*/false, cache, plan);
+  return plan;
+}
+
+void DbgpSpeaker::plan_advertise(DecisionModule* active, const net::Prefix& prefix,
+                                 const IaRoute& best, bool origin, ia::FrameCache& cache,
+                                 DecisionPlan& plan) const {
+  for (bgp::PeerId peer = 0; peer < peers_.size(); ++peer) {
+    if (!peers_[peer].up) continue;
+    if (!origin && peer == best.from_peer) {
+      plan_withdraw(peer, prefix, plan);  // split horizon
+      continue;
+    }
+    ExportContext ectx;
+    ectx.own_as = config_.asn;
+    ectx.own_island = config_.island;
+    ectx.to_peer = peer;
+    ectx.to_peer_as = peers_[peer].asn;
+    ectx.to_peer_in_same_island = peers_[peer].same_island;
+    ia::IntegratedAdvertisement ia_out =
+        origin ? factory_.create_origin(prefix, active, ectx)
+               : factory_.create_from_best(best, active, ectx);
+    if (!peers_[peer].same_island) {
+      FilterContext fctx;
+      fctx.own_as = config_.asn;
+      fctx.own_island = config_.island;
+      fctx.peer = peer;
+      fctx.peer_as = peers_[peer].asn;
+      fctx.ingress = false;
+      if (!export_filters_.apply(ia_out, fctx)) {
+        plan_withdraw(peer, prefix, plan);
+        continue;
+      }
+    }
+    ia::SharedFrame frame = cache.get_or_encode(ia_out, config_.codec, [&] {
+      return encode_announce(ia_out, config_.codec);
+    });
+    // Delta suppression against the pre-batch adj-out. Only this prefix's
+    // own commit can touch adj_out_[peer][prefix], so the pre-batch value
+    // is also the commit-time value and the decision is safe to make here.
+    if (auto pit = adj_out_.find(peer); pit != adj_out_.end()) {
+      if (auto sit = pit->second.find(prefix); sit != pit->second.end()) {
+        const ia::SharedFrame& sent = sit->second;
+        if (sent != nullptr && (sent == frame || *sent == *frame)) continue;
+      }
+    }
+    plan.emits.push_back({peer, std::move(frame), /*withdraw=*/false});
+  }
+}
+
+void DbgpSpeaker::plan_withdraw(bgp::PeerId peer, const net::Prefix& prefix,
+                                DecisionPlan& plan) const {
+  auto it = adj_out_.find(peer);
+  if (it == adj_out_.end() || it->second.count(prefix) == 0) return;
+  plan.emits.push_back(
+      {peer, ia::make_shared_frame(encode_withdraw(prefix)), /*withdraw=*/true});
+}
+
+void DbgpSpeaker::commit_plan(DecisionPlan& plan, std::vector<DbgpOutgoing>& out) {
+  DecisionModule* active = active_module(plan.prefix);
+  if (!plan.has_best) {
+    if (selected_.erase(plan.prefix) > 0 && active != nullptr) {
+      active->on_best_changed(plan.prefix, nullptr);
+    }
+  } else if (plan.store) {
+    auto& slot = selected_[plan.prefix];
+    slot = std::move(plan.best);
+    if (plan.changed && active != nullptr) active->on_best_changed(plan.prefix, &slot);
+  }
+  for (PlannedEmit& e : plan.emits) {
+    if (e.withdraw) {
+      auto it = adj_out_.find(e.peer);
+      if (it == adj_out_.end() || it->second.erase(plan.prefix) == 0) continue;
+      ++stats_.withdraws_sent;
+      SpeakerMetrics::get().withdraws_sent->inc();
+    } else {
+      adj_out_[e.peer][plan.prefix] = e.frame;
+      ++stats_.ias_sent;
+      SpeakerMetrics::get().ias_sent->inc();
+    }
+    stats_.bytes_sent += e.frame->size();
+    SpeakerMetrics::get().bytes_sent->inc(e.frame->size());
+    out.push_back({e.peer, std::move(e.frame), 0});
+  }
+}
+
+void DbgpSpeaker::advertise_to_peers(DecisionModule* active, const net::Prefix& prefix,
+                                     const IaRoute& best, bool origin,
+                                     std::vector<DbgpOutgoing>& out) {
   for (bgp::PeerId peer = 0; peer < peers_.size(); ++peer) {
     if (!peers_[peer].up) continue;
     if (!origin && peer == best.from_peer) {
@@ -618,6 +950,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::sync_peer(bgp::PeerId peer) {
 }
 
 std::vector<DbgpOutgoing> DbgpSpeaker::reevaluate_all(telemetry::SpanId cause) {
+  drain_staged();
   std::vector<DbgpOutgoing> out;
   external_cause_ = cause;
   // Re-run module import filters (the active protocol may have changed).

@@ -24,6 +24,7 @@
 #include <optional>
 #include <set>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "core/decision_module.h"
@@ -35,6 +36,7 @@
 #include "ia/frame_cache.h"
 #include "net/prefix_trie.h"
 #include "telemetry/causal.h"
+#include "util/thread_pool.h"
 
 namespace dbgp::core {
 
@@ -109,6 +111,34 @@ class DbgpSpeaker {
 
   const DbgpConfig& config() const noexcept { return config_; }
 
+  // -- Sharded parallel pipeline -------------------------------------------
+  // Attaches a thread pool and partitions the prefix space into `shards`
+  // table shards (0 = one per pool thread). With an attached pool of size
+  // > 1, flush() runs as a pipeline: parallel frame decode, sequential
+  // staging in arrival order, per-shard parallel decision planning (each
+  // shard owns its slice of the batch and its own FrameCache, so planning
+  // is lock-free within a shard), then a sequential commit in global
+  // first-touch order. Plans only read the pre-batch RIB state and commits
+  // are the only mutation, so the emitted frames, RIB contents, and stats
+  // are bit-identical at every thread count and shard count — and identical
+  // to the sequential path a single-threaded pool (or no pool) takes.
+  //
+  // The parallel path disengages automatically (falling back to the exact
+  // sequential code) when causal tracing is attached (the tracer is
+  // single-threaded and span ids must be minted in order), or when
+  // dissemination is out-of-band (emit writes the lookup service).
+  //
+  // Module contract: better() / annotate_export() / annotate_origin() /
+  // explain_better() run concurrently across shards and must not mutate
+  // module state; import_filter() and on_best_changed() remain sequential
+  // and may. Every in-tree module satisfies this.
+  void set_parallel(util::ThreadPool* pool, std::size_t shards = 0);
+  std::size_t shard_count() const noexcept { return shards_; }
+  // True when the next flush will take the parallel path.
+  bool parallel_active() const noexcept;
+  // The shard owning a prefix (stable hash; independent of thread count).
+  static std::size_t shard_of(const net::Prefix& prefix, std::size_t shards) noexcept;
+
   // -- Causal tracing -------------------------------------------------------
   // Attaches a causal tracer (nullptr disables — the default; every tracing
   // hook below is guarded so a disabled speaker does no extra work, mints no
@@ -142,10 +172,24 @@ class DbgpSpeaker {
   std::vector<DbgpOutgoing> enqueue_frame(bgp::PeerId from,
                                           std::span<const std::uint8_t> bytes,
                                           telemetry::SpanId cause = 0);
+  // Refcounted-frame overload. In parallel mode with max_batch == 0 the
+  // frame is staged raw (no copy, no decode) and decoded in parallel at
+  // flush(); otherwise identical to the span overload.
+  std::vector<DbgpOutgoing> enqueue_frame(bgp::PeerId from, ia::SharedFrame frame,
+                                          telemetry::SpanId cause = 0);
   // Runs the decision process once per staged prefix (in first-touch order)
   // and returns the resulting frames. Call at quiescence.
   std::vector<DbgpOutgoing> flush();
-  std::size_t pending_batch() const noexcept { return batch_.size(); }
+  std::size_t pending_batch() const noexcept { return batch_.size() + staged_.size(); }
+  // Frames the deferred-decode drain rejected as undecodable since the last
+  // call (resets the count). The eager path throws util::DecodeError from
+  // enqueue_frame instead; a caller that counts those rejections should add
+  // this after each flush so the totals match at any thread count.
+  std::uint64_t take_deferred_rejects() noexcept {
+    const std::uint64_t n = deferred_rejects_;
+    deferred_rejects_ = 0;
+    return n;
+  }
   // Session teardown: marks the peer down, purges its adj-in and adj-out,
   // and re-runs decisions for the affected prefixes. While a peer is down no
   // advertisement or withdraw is emitted toward it (and adj-out stays empty),
@@ -235,13 +279,54 @@ class DbgpSpeaker {
   void flush_into(std::vector<DbgpOutgoing>& out);
   // Decision + dissemination for one prefix (stages 4-7).
   void run_decision(const net::Prefix& prefix, std::vector<DbgpOutgoing>& out);
-  void advertise_to_peers(const net::Prefix& prefix, const IaRoute& best, bool origin,
+  void advertise_to_peers(DecisionModule* active, const net::Prefix& prefix,
+                          const IaRoute& best, bool origin,
                           std::vector<DbgpOutgoing>& out);
   void withdraw_from_peer(bgp::PeerId peer, const net::Prefix& prefix,
                           std::vector<DbgpOutgoing>& out);
   void emit(bgp::PeerId peer, const net::Prefix& prefix, const ia::IntegratedAdvertisement& ia,
             std::vector<DbgpOutgoing>& out);
   DecisionModule* active_module(const net::Prefix& prefix) const;
+
+  // -- Parallel pipeline internals ------------------------------------------
+  // A frame staged raw by enqueue_frame in deferred-decode mode; `ia` is
+  // filled by the parallel decode stage for announce frames.
+  struct StagedFrame {
+    bgp::PeerId from = bgp::kInvalidPeer;
+    ia::SharedFrame frame;
+    telemetry::SpanId cause = 0;
+    std::optional<ia::IntegratedAdvertisement> ia;
+    // Decode failed (set by the decode stage, which must not throw across
+    // pool threads); the staging loop skips the frame and counts it.
+    bool bad = false;
+  };
+  // One frame a committed decision will send, suppression already decided
+  // against the (frozen) pre-batch adj-out.
+  struct PlannedEmit {
+    bgp::PeerId peer = bgp::kInvalidPeer;
+    ia::SharedFrame frame;
+    bool withdraw = false;
+  };
+  // The full effect of one prefix's decision, computed in parallel against
+  // the pre-batch state and applied by commit_plan in first-touch order.
+  struct DecisionPlan {
+    net::Prefix prefix;
+    bool has_best = false;  // false => erase from Loc-RIB, withdraw everywhere
+    bool store = false;     // write `best` into selected_
+    bool changed = false;   // fire on_best_changed
+    IaRoute best;
+    std::vector<PlannedEmit> emits;
+  };
+  bool parallel_enabled() const noexcept;
+  bool defer_decode() const noexcept;
+  // Decodes staged raw frames (parallel) and stages them in arrival order
+  // (sequential), building batch_ exactly as eager staging would have.
+  void drain_staged();
+  DecisionPlan plan_decision(const net::Prefix& prefix, ia::FrameCache& cache) const;
+  void plan_advertise(DecisionModule* active, const net::Prefix& prefix, const IaRoute& best,
+                      bool origin, ia::FrameCache& cache, DecisionPlan& plan) const;
+  void plan_withdraw(bgp::PeerId peer, const net::Prefix& prefix, DecisionPlan& plan) const;
+  void commit_plan(DecisionPlan& plan, std::vector<DbgpOutgoing>& out);
 
   DbgpConfig config_;
   LookupService* lookup_;
@@ -262,11 +347,24 @@ class DbgpSpeaker {
   // Encode-once fan-out across peers (and across decisions that re-select
   // the same route).
   ia::FrameCache frame_cache_;
-  // Prefixes staged by enqueue_frame, awaiting one decision each.
+  // Prefixes staged by enqueue_frame, awaiting one decision each. The dedup
+  // set is hashed, not ordered: it eats one insert per staged frame on the
+  // batched hot path, and first-touch ordering lives in batch_ anyway.
   std::vector<net::Prefix> batch_;       // first-touch order
-  std::set<net::Prefix> batch_seen_;     // dedup for batch_
+  std::unordered_set<net::Prefix, net::PrefixHash> batch_seen_;
   std::uint64_t sequence_ = 0;
   DbgpStats stats_;
+
+  // -- Parallel pipeline state ----------------------------------------------
+  util::ThreadPool* pool_ = nullptr;
+  std::size_t shards_ = 1;
+  // One FrameCache per shard: the cache's map is not thread-safe, but a
+  // shard's prefixes are planned by exactly one task per flush.
+  std::vector<ia::FrameCache> shard_caches_;
+  // Raw frames awaiting the deferred parallel decode (max_batch == 0 only).
+  std::vector<StagedFrame> staged_;
+  // Undecodable staged frames dropped by drain_staged; see take_deferred_rejects.
+  std::uint64_t deferred_rejects_ = 0;
 
   // -- Causal-tracing state (inert unless causal_ != nullptr) ---------------
   double trace_now() const { return clock_ ? clock_() : 0.0; }

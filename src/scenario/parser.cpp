@@ -146,6 +146,15 @@ Scenario parse_scenario(const std::string& text) {
         decl.command += tokens[i];
       }
       scenario.server_commands.push_back(std::move(decl));
+    } else if (directive == "speaker-threads") {
+      if (scenario.speaker_threads_line != 0) {
+        fail(line_no, "speaker-threads: only one directive allowed");
+      }
+      if (tokens.size() != 2) fail(line_no, "speaker-threads: need <n>");
+      const std::uint64_t n = parse_number(line_no, tokens[1]);
+      if (n == 0) fail(line_no, "speaker-threads: must be >= 1");
+      scenario.speaker_threads = static_cast<std::size_t>(n);
+      scenario.speaker_threads_line = line_no;
     } else if (directive == "chaos") {
       if (scenario.chaos) fail(line_no, "chaos: only one chaos stanza allowed");
       ChaosDecl decl;
@@ -237,6 +246,11 @@ Scenario parse_scenario(const std::string& text) {
     fail(scenario.sweep->line,
          "sweep: a sweep scenario describes an experiment, not a network — "
          "remove the as/link directives or the sweep stanza");
+  }
+  if (scenario.sweep && scenario.speaker_threads_line != 0) {
+    fail(scenario.speaker_threads_line,
+         "speaker-threads: drives live speakers and has no effect on a sweep "
+         "— use the sweep stanza's threads= option instead");
   }
   if (scenario.sweep && !scenario.server_commands.empty()) {
     fail(scenario.server_commands.front().line,

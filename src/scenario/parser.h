@@ -40,6 +40,15 @@
 //       carrying a command timeline still replays bit-identically as a plain
 //       converge-once experiment. Cannot be combined with `sweep`.
 //
+//   speaker-threads <n>
+//       Worker threads for each speaker's sharded batch pipeline (n >= 1;
+//       1 = sequential). Only takes effect with batched delivery
+//       (dbgp_run --batched / dbgp_server): the immediate path has no batch
+//       to shard. Results are bit-identical at any value — this is a
+//       throughput knob, not a semantic one. At most one directive, and it
+//       cannot be combined with `sweep` (use the sweep's own threads= for
+//       that engine).
+//
 //   chaos [seed=<n>] [start=<s>] [horizon=<s>] [flap-fraction=<f>]
 //         [mean-up=<s>] [mean-down=<s>] [loss=<f>] [duplicate=<f>]
 //         [reorder=<f>] [reorder-delay=<s>] [corrupt=<f>]
@@ -179,6 +188,9 @@ struct Scenario {
   std::optional<ChaosDecl> chaos;
   std::optional<SweepDecl> sweep;
   std::vector<Expectation> expectations;
+  // `speaker-threads` directive; 1 = sequential speakers (the default).
+  std::size_t speaker_threads = 1;
+  int speaker_threads_line = 0;  // 0 = directive absent
 };
 
 // Parses scenario text; throws std::runtime_error with a line-numbered

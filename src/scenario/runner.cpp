@@ -155,6 +155,8 @@ void Runner::build(const Scenario& scenario) {
   scenario_ = scenario;
   simnet::DbgpNetwork::Options options;
   options.delivery = delivery_;
+  options.speaker_threads =
+      speaker_threads_override_.value_or(scenario.speaker_threads);
   if (tracing_) options.tracer = &tracer_;
   if (causal_tracing_) options.causal = &causal_;
   net_ = std::make_unique<simnet::DbgpNetwork>(&lookup_, options);

@@ -100,6 +100,12 @@ class Runner {
   // How delivered frames are processed (call before build()); default
   // immediate. Batched coalesces decisions per touched prefix at flush.
   void set_delivery(simnet::DeliveryMode mode) noexcept { delivery_ = mode; }
+  // Worker threads for each speaker's sharded pipeline (call before
+  // build()); wins over the scenario's `speaker-threads` directive. Only
+  // effective with batched delivery; bit-identical results at any value.
+  void set_speaker_threads(std::size_t threads) noexcept {
+    speaker_threads_override_ = threads;
+  }
   // Replaces the seed of the scenario's chaos stanza (no effect without
   // one) — the CLI's --chaos-seed.
   void set_chaos_seed(std::uint64_t seed) noexcept { chaos_seed_ = seed; }
@@ -127,6 +133,7 @@ class Runner {
   telemetry::CausalTracer causal_;
   bool causal_tracing_ = false;
   simnet::DeliveryMode delivery_ = simnet::DeliveryMode::kImmediate;
+  std::optional<std::size_t> speaker_threads_override_;
   std::optional<std::uint64_t> chaos_seed_;
   std::optional<simnet::ChaosOptions> chaos_override_;
   // Pathlet stores must outlive the speakers that reference them.

@@ -192,6 +192,14 @@ CommandResult ControlApi::dispatch(const std::vector<std::string>& tokens) {
     return {true, false, "chaos '" + tokens[1] + "' scheduled from t=" +
                              std::to_string(options.start)};
   }
+  if (verb == "set") {
+    need(2, "set speaker-threads <n>");
+    if (tokens[1] != "speaker-threads") fail("unknown setting '" + tokens[1] + "'");
+    const std::uint64_t n = parse_number(tokens[2]);
+    if (n == 0) fail("speaker-threads must be >= 1");
+    server_.set_speaker_threads(static_cast<std::size_t>(n));
+    return {true, false, "speaker-threads set to " + tokens[2]};
+  }
   if (verb == "crash" || verb == "restart" || verb == "restart-warm" ||
       verb == "graceful-restart") {
     need(1, "crash|restart|restart-warm|graceful-restart <asn>");
@@ -324,6 +332,7 @@ std::string ControlApi::help() {
       "  reload-policy <asn> [strip=<p1,p2,...>]        (hot policy reload + route refresh)\n"
       "  upgrade-protocol <asn> <protocol>              (rolling adoption step)\n"
       "  set-chaos <profile> [seed=<n>] [start=<s>] [horizon=<s>]\n"
+      "  set speaker-threads <n>                        (rejected while frames are staged)\n"
       "  crash <asn> | restart <asn> | restart-warm <asn> | graceful-restart <asn>\n"
       "  run | step <seconds>\n"
       "  snapshot <file> | restore <file>\n"

@@ -27,6 +27,7 @@ RouteServer::RouteServer(Options options)
           options.divergence_window, options.divergence_threshold}) {
   simnet::DbgpNetwork::Options net_options;
   net_options.delivery = options_.delivery;
+  net_options.speaker_threads = options_.speaker_threads;
   if (options_.causal) net_options.causal = &causal_;
   net_ = std::make_unique<simnet::DbgpNetwork>(&lookup_, net_options);
 
@@ -217,6 +218,14 @@ void RouteServer::set_chaos(const simnet::ChaosOptions& options) {
   reconfigs_->inc();
   simnet::ChaosPolicy policy(options);
   policy.inject(*net_);
+}
+
+void RouteServer::set_speaker_threads(std::size_t threads) {
+  // The network refuses while any speaker holds staged frames; the counter
+  // only moves on an accepted reconfiguration.
+  net_->set_speaker_threads(threads);
+  options_.speaker_threads = net_->speaker_threads();
+  reconfigs_->inc();
 }
 
 void RouteServer::crash(bgp::AsNumber asn) {

@@ -51,6 +51,11 @@ class RouteServer {
     // Divergence watchdog tuning (telemetry/divergence.h).
     double divergence_window = 5.0;
     std::size_t divergence_threshold = 8;
+    // Worker threads for each speaker's sharded batch pipeline (1 =
+    // sequential). Effective only with batched delivery AND causal=false:
+    // causal tracing pins speakers to the sequential path so audit/span
+    // streams stay ordered. Changeable at runtime via set_speaker_threads.
+    std::size_t speaker_threads = 1;
   };
 
   RouteServer() : RouteServer(Options{}) {}
@@ -87,6 +92,11 @@ class RouteServer {
   void upgrade_protocol(bgp::AsNumber asn, const std::string& protocol);
   // Injects a seeded chaos schedule over the live network.
   void set_chaos(const simnet::ChaosOptions& options);
+  // Live speaker-thread reconfiguration (the control API's
+  // `set speaker-threads` verb). Throws while any speaker holds staged
+  // frames — the daemon must drain (run/step) before the pipeline is
+  // re-shaped; see DbgpNetwork::set_speaker_threads.
+  void set_speaker_threads(std::size_t threads);
 
   // -- Node lifecycle -------------------------------------------------------
   // crash() checkpoints the speaker's state first, so a later

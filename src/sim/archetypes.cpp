@@ -10,8 +10,17 @@ std::vector<std::uint32_t> extra_paths_counts(const PerDestinationRoutes& routes
                                               const std::vector<bool>& upgraded,
                                               BaselineProtocol baseline,
                                               const ExtraPathsParams& params) {
+  std::vector<std::uint32_t> counts;
+  extra_paths_counts_into(routes, upgraded, baseline, params, counts);
+  return counts;
+}
+
+void extra_paths_counts_into(const PerDestinationRoutes& routes,
+                             const std::vector<bool>& upgraded, BaselineProtocol baseline,
+                             const ExtraPathsParams& params,
+                             std::vector<std::uint32_t>& counts) {
   const std::size_t n = routes.route_class.size();
-  std::vector<std::uint32_t> counts(n, 0);
+  counts.assign(n, 0);
 
   // What neighbor y advertises to anyone: its own usable count, clipped to
   // the per-advertisement cap; under the BGP baseline a non-upgraded y has
@@ -42,15 +51,22 @@ std::vector<std::uint32_t> extra_paths_counts(const PerDestinationRoutes& routes
       counts[x] = std::max<std::uint32_t>(1, advertised_by(routes.best_next[x]));
     }
   }
-  return counts;
 }
 
 BottleneckResult bottleneck_paths(const PerDestinationRoutes& routes,
                                   const std::vector<bool>& upgraded,
                                   const std::vector<std::uint64_t>& bandwidth,
                                   BaselineProtocol baseline) {
-  const std::size_t n = routes.route_class.size();
   BottleneckResult result;
+  bottleneck_paths_into(routes, upgraded, bandwidth, baseline, result);
+  return result;
+}
+
+void bottleneck_paths_into(const PerDestinationRoutes& routes,
+                           const std::vector<bool>& upgraded,
+                           const std::vector<std::uint64_t>& bandwidth,
+                           BaselineProtocol baseline, BottleneckResult& result) {
+  const std::size_t n = routes.route_class.size();
   result.known.assign(n, BottleneckParams::kNoInfo);
   result.actual.assign(n, BottleneckParams::kNoInfo);
 
@@ -103,7 +119,6 @@ BottleneckResult bottleneck_paths(const PerDestinationRoutes& routes,
         chosen == routes.destination ? BottleneckParams::kInfinity : result.actual[chosen];
     result.actual[x] = std::min(downstream, bandwidth[chosen]);
   }
-  return result;
 }
 
 }  // namespace dbgp::sim

@@ -35,6 +35,13 @@ std::vector<std::uint32_t> extra_paths_counts(const PerDestinationRoutes& routes
                                               const std::vector<bool>& upgraded,
                                               BaselineProtocol baseline,
                                               const ExtraPathsParams& params);
+// Workspace-reuse variant: writes into `counts` (resized/overwritten) instead
+// of allocating. The sweep engine calls this once per destination per
+// adoption level, so the allocation saved is O(trials x levels x n).
+void extra_paths_counts_into(const PerDestinationRoutes& routes,
+                             const std::vector<bool>& upgraded, BaselineProtocol baseline,
+                             const ExtraPathsParams& params,
+                             std::vector<std::uint32_t>& counts);
 
 struct BottleneckParams {
   // Sentinel meaning "no bandwidth information on this path".
@@ -54,5 +61,10 @@ BottleneckResult bottleneck_paths(const PerDestinationRoutes& routes,
                                   const std::vector<bool>& upgraded,
                                   const std::vector<std::uint64_t>& bandwidth,
                                   BaselineProtocol baseline);
+// Workspace-reuse variant of bottleneck_paths; see extra_paths_counts_into.
+void bottleneck_paths_into(const PerDestinationRoutes& routes,
+                           const std::vector<bool>& upgraded,
+                           const std::vector<std::uint64_t>& bandwidth,
+                           BaselineProtocol baseline, BottleneckResult& result);
 
 }  // namespace dbgp::sim

@@ -58,34 +58,46 @@ double mean_over_sources(const std::vector<double>& per_source_total,
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
+// Scratch buffers a benefit evaluation reuses across destinations (and the
+// sweep engine reuses across adoption levels within one trial): the benefit
+// kernels used to allocate one counts/result vector per destination per
+// call, which profiled as the dominant per-trial cost after the PR 5 engine
+// parallelized the loops.
+struct BenefitWorkspace {
+  std::vector<double> per_source;
+  std::vector<std::uint32_t> counts;
+  BottleneckResult bottleneck;
+};
+
 double extra_paths_benefit(const TrialContext& ctx, const std::vector<bool>& upgraded,
                            BaselineProtocol baseline, const ExtraPathsParams& params,
-                           const std::vector<bool>& sources) {
+                           const std::vector<bool>& sources, BenefitWorkspace& ws) {
   const std::size_t n = ctx.graph.size();
-  std::vector<double> per_source(n, 0.0);
+  ws.per_source.assign(n, 0.0);
   for (const auto& routes : ctx.routes) {
-    const auto counts = extra_paths_counts(routes, upgraded, baseline, params);
+    extra_paths_counts_into(routes, upgraded, baseline, params, ws.counts);
     for (NodeId s = 0; s < n; ++s) {
       if (s == routes.destination || !sources[s]) continue;
-      per_source[s] += counts[s];
+      ws.per_source[s] += ws.counts[s];
     }
   }
-  return mean_over_sources(per_source, sources);
+  return mean_over_sources(ws.per_source, sources);
 }
 
 double bottleneck_benefit(const TrialContext& ctx, const std::vector<bool>& upgraded,
-                          BaselineProtocol baseline, const std::vector<bool>& sources) {
+                          BaselineProtocol baseline, const std::vector<bool>& sources,
+                          BenefitWorkspace& ws) {
   const std::size_t n = ctx.graph.size();
-  std::vector<double> per_source(n, 0.0);
+  ws.per_source.assign(n, 0.0);
   for (const auto& routes : ctx.routes) {
-    const auto result = bottleneck_paths(routes, upgraded, ctx.bandwidth, baseline);
+    bottleneck_paths_into(routes, upgraded, ctx.bandwidth, baseline, ws.bottleneck);
     for (NodeId s = 0; s < n; ++s) {
       if (s == routes.destination || !sources[s]) continue;
       if (!routes.reachable(s)) continue;
-      per_source[s] += static_cast<double>(result.actual[s]);
+      ws.per_source[s] += static_cast<double>(ws.bottleneck.actual[s]);
     }
   }
-  return mean_over_sources(per_source, sources);
+  return mean_over_sources(ws.per_source, sources);
 }
 
 // The sweep engine. Three parallel phases over pre-sized slots, aggregated
@@ -145,45 +157,48 @@ SweepResult run_sweep(const SweepConfig& config, BenefitFn&& benefit,
     ctxs[t].routes[d] = RoutingOracle(ctxs[t].graph).compute(d);
   });
 
-  // Phase 3 — benefit evaluation into per-(level, trial) slots.
+  // Phase 3 — benefit evaluation into per-(level, trial) slots. One task
+  // per trial (not per (trial, level)): the per-trial buffers — all/none
+  // source masks, the adoption draw, and the benefit workspace — are built
+  // once and reused across every adoption level, and each pool claim
+  // amortizes over levels + 1 evaluations instead of one. The adoption RNG
+  // stays seeded per (trial, level), so the samples are bit-identical to
+  // the flattened layout at any thread count.
   std::vector<std::vector<double>> dbgp_samples(levels, std::vector<double>(trials, 0.0));
   std::vector<std::vector<double>> bgp_samples(levels, std::vector<double>(trials, 0.0));
   std::vector<double> status_quo_samples(trials, 0.0), best_case_samples(trials, 0.0);
 
-  pool.parallel_for(0, trials * (levels + 1), 1, [&](std::size_t task) {
-    const std::size_t trial = task / (levels + 1);
-    const std::size_t slot = task % (levels + 1);
+  pool.parallel_for(0, trials, 1, [&](std::size_t trial) {
     const TrialContext& ctx = ctxs[trial];
     const std::size_t n = ctx.graph.size();
     const std::vector<bool> all(n, true);
-
-    if (slot == 0) {
-      // Status quo: nothing upgraded; measure at every potential source.
-      const std::vector<bool> none(n, false);
-      const std::vector<bool>& sources = stub_sources_only ? ctx.stubs : all;
-      status_quo_samples[trial] = benefit(ctx, none, BaselineProtocol::kBgp, sources);
-      best_case_samples[trial] = benefit(ctx, all, BaselineProtocol::kDbgp, sources);
-      return;
-    }
-
-    const std::size_t li = slot - 1;
-    util::Rng adoption_rng(
-        util::split_seed(trial_seed_of(config, trial) ^ 0xadULL, li));
-    const auto upgraded =
-        topology::random_adoption(n, config.adoption_levels[li], adoption_rng);
+    const std::vector<bool> none(n, false);
     std::vector<bool> sources(n, false);
-    bool any = false;
-    for (NodeId u = 0; u < n; ++u) {
-      sources[u] = upgraded[u] && (!stub_sources_only || ctx.stubs[u]);
-      any = any || sources[u];
+    BenefitWorkspace ws;
+
+    // Status quo: nothing upgraded; measure at every potential source.
+    const std::vector<bool>& sq_sources = stub_sources_only ? ctx.stubs : all;
+    status_quo_samples[trial] = benefit(ctx, none, BaselineProtocol::kBgp, sq_sources, ws);
+    best_case_samples[trial] = benefit(ctx, all, BaselineProtocol::kDbgp, sq_sources, ws);
+
+    for (std::size_t li = 0; li < levels; ++li) {
+      util::Rng adoption_rng(
+          util::split_seed(trial_seed_of(config, trial) ^ 0xadULL, li));
+      const auto upgraded =
+          topology::random_adoption(n, config.adoption_levels[li], adoption_rng);
+      bool any = false;
+      for (NodeId u = 0; u < n; ++u) {
+        sources[u] = upgraded[u] && (!stub_sources_only || ctx.stubs[u]);
+        any = any || sources[u];
+      }
+      if (!any) {
+        // No eligible sources at this level (can happen at tiny fractions);
+        // fall back to all upgraded ASes.
+        for (NodeId u = 0; u < n; ++u) sources[u] = upgraded[u];
+      }
+      dbgp_samples[li][trial] = benefit(ctx, upgraded, BaselineProtocol::kDbgp, sources, ws);
+      bgp_samples[li][trial] = benefit(ctx, upgraded, BaselineProtocol::kBgp, sources, ws);
     }
-    if (!any) {
-      // No eligible sources at this level (can happen at tiny fractions);
-      // fall back to all upgraded ASes.
-      for (NodeId u = 0; u < n; ++u) sources[u] = upgraded[u];
-    }
-    dbgp_samples[li][trial] = benefit(ctx, upgraded, BaselineProtocol::kDbgp, sources);
-    bgp_samples[li][trial] = benefit(ctx, upgraded, BaselineProtocol::kBgp, sources);
   });
 
   // Aggregation: sequential, fixed index order.
@@ -209,8 +224,9 @@ SweepResult run_extra_paths_sweep(const SweepConfig& config) {
   return run_sweep(
       config,
       [&config](const TrialContext& ctx, const std::vector<bool>& upgraded,
-                BaselineProtocol baseline, const std::vector<bool>& sources) {
-        return extra_paths_benefit(ctx, upgraded, baseline, config.extra_paths, sources);
+                BaselineProtocol baseline, const std::vector<bool>& sources,
+                BenefitWorkspace& ws) {
+        return extra_paths_benefit(ctx, upgraded, baseline, config.extra_paths, sources, ws);
       },
       /*stub_sources_only=*/true);
 }
@@ -219,8 +235,9 @@ SweepResult run_bottleneck_sweep(const SweepConfig& config) {
   return run_sweep(
       config,
       [](const TrialContext& ctx, const std::vector<bool>& upgraded,
-         BaselineProtocol baseline, const std::vector<bool>& sources) {
-        return bottleneck_benefit(ctx, upgraded, baseline, sources);
+         BaselineProtocol baseline, const std::vector<bool>& sources,
+         BenefitWorkspace& ws) {
+        return bottleneck_benefit(ctx, upgraded, baseline, sources, ws);
       },
       /*stub_sources_only=*/false);
 }

@@ -60,6 +60,15 @@ core::DbgpSpeaker& DbgpNetwork::add_as(core::DbgpConfig config) {
   }
   Node node;
   node.speaker = std::make_unique<core::DbgpSpeaker>(std::move(config), lookup_);
+  if (options_.speaker_threads > 1) {
+    // One pool for the whole network, created on first use. The event loop
+    // stays single-threaded; the pool only accelerates each speaker's
+    // decode/decision stages inside a flush, so delivery order is untouched.
+    if (speaker_pool_ == nullptr) {
+      speaker_pool_ = std::make_unique<util::ThreadPool>(options_.speaker_threads);
+    }
+    node.speaker->set_parallel(speaker_pool_.get());
+  }
   if (options_.causal != nullptr) {
     node.speaker->set_causal(options_.causal);
     // Speakers stamp spans in sim time. The lambda pins `this` — like the
@@ -273,6 +282,29 @@ void DbgpNetwork::withdraw(bgp::AsNumber asn, const net::Prefix& prefix) {
   dispatch(asn, nodes_.at(asn).speaker->withdraw_origin(prefix));
 }
 
+void DbgpNetwork::set_speaker_threads(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  for (const auto& [asn, node] : nodes_) {
+    if (node.speaker->pending_batch() > 0) {
+      throw std::runtime_error("AS " + std::to_string(asn) +
+                               " has staged frames; drain (run/step) before "
+                               "changing speaker-threads");
+    }
+  }
+  options_.speaker_threads = threads;
+  // Detach every speaker before the old pool dies; reattach below.
+  for (auto& [asn, node] : nodes_) node.speaker->set_parallel(nullptr);
+  if (threads <= 1) {
+    speaker_pool_.reset();
+    return;
+  }
+  if (speaker_pool_ == nullptr || speaker_pool_->size() != threads) {
+    speaker_pool_.reset();
+    speaker_pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
+  for (auto& [asn, node] : nodes_) node.speaker->set_parallel(speaker_pool_.get());
+}
+
 bgp::AsNumber DbgpNetwork::peer_as_of(bgp::AsNumber asn, bgp::PeerId peer) const {
   return nodes_.at(asn).adjacencies.at(peer).neighbor;
 }
@@ -288,6 +320,17 @@ bgp::PeerId DbgpNetwork::peer_id(bgp::AsNumber a, bgp::AsNumber b) const {
 void DbgpNetwork::dispatch(bgp::AsNumber origin_asn, std::vector<core::DbgpOutgoing> outgoing) {
   telemetry::CausalTracer* causal = options_.causal;
   Node& node = nodes_.at(origin_asn);
+  // Deferred-decode speakers reject undecodable frames at drain time instead
+  // of throwing from enqueue_frame; fold those into the same churn counters
+  // the eager path's catch in deliver() feeds, so run stats match at any
+  // thread count. Every speaker call that can drain is followed by a
+  // dispatch of its output, which makes this the one collection point.
+  if (const std::uint64_t rejected = node.speaker->take_deferred_rejects(); rejected > 0) {
+    churn_.frames_rejected += rejected;
+    NetworkMetrics::get().frames_rejected->inc(rejected);
+    DBGP_LOG(util::LogLevel::kDebug, kLog)
+        << "AS" << origin_asn << " rejected " << rejected << " staged frame(s) at drain";
+  }
   for (auto& msg : outgoing) {
     auto& adj = node.adjacencies.at(msg.peer);
     Link* link = adj.link;
@@ -446,8 +489,10 @@ void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to, const ia::Shared
       return;
     }
     // Stage now; decide once per touched prefix when this node's coalesced
-    // flush fires (same timestamp, after every same-time delivery).
-    dispatch(to, it->second.speaker->enqueue_frame(peer, bytes, span));
+    // flush fires (same timestamp, after every same-time delivery). Handing
+    // over the refcounted frame lets deferred-decode speakers stage the
+    // wire bytes without a copy.
+    dispatch(to, it->second.speaker->enqueue_frame(peer, frame, span));
     events_.schedule_coalesced(to, 0.0, [this, to] { flush_node(to); });
   } catch (const util::DecodeError& e) {
     // The decode throw fires before any adj-in mutation, so a mangled frame

@@ -26,6 +26,7 @@
 #include "simnet/event_queue.h"
 #include "simnet/link.h"
 #include "telemetry/trace.h"
+#include "util/thread_pool.h"
 
 namespace dbgp::simnet {
 
@@ -47,6 +48,15 @@ class DbgpNetwork {
     // ids and the delivery path takes no extra branches beyond one null
     // check.
     telemetry::CausalTracer* causal = nullptr;
+    // Worker threads for each speaker's sharded batch pipeline
+    // (DbgpSpeaker::set_parallel). 0/1 = fully sequential (no pool is
+    // created). >1 takes effect only under DeliveryMode::kBatched — the
+    // immediate path processes one frame at a time and has no batch to
+    // shard. The speakers' plan/commit split keeps emitted frames, RIBs,
+    // and audits bit-identical at any value, so this is a pure throughput
+    // knob. All speakers share one network-owned pool; shard count defaults
+    // to the pool size.
+    std::size_t speaker_threads = 1;
   };
 
   // Two overloads instead of one defaulted Options argument: a nested
@@ -123,6 +133,16 @@ class DbgpNetwork {
   Options& options() noexcept { return options_; }
   const Options& options() const noexcept { return options_; }
 
+  // Live reconfiguration of Options::speaker_threads: resizes (or drops) the
+  // shared pool and rewires every speaker. Refuses with std::runtime_error
+  // while any speaker holds staged frames — a resize mid-flush would split
+  // one logical batch across two pipeline configurations; flush first.
+  // Determinism is unaffected either way (outputs are bit-identical at any
+  // thread count); the refusal keeps the batch boundaries a replay sees
+  // aligned with the reconfiguration timeline.
+  void set_speaker_threads(std::size_t threads);
+  std::size_t speaker_threads() const noexcept { return options_.speaker_threads; }
+
   EventQueue& events() noexcept { return events_; }
   core::LookupService* lookup() noexcept { return lookup_; }
   std::vector<bgp::AsNumber> as_numbers() const;
@@ -180,6 +200,11 @@ class DbgpNetwork {
   EventQueue events_;
   core::LookupService* lookup_;
   Options options_;
+  // Shared worker pool for the speakers' sharded pipelines; created lazily
+  // by the first add_as when options_.speaker_threads > 1. Lives above
+  // nodes_ in declaration order so it outlives every speaker holding a
+  // pointer to it.
+  std::unique_ptr<util::ThreadPool> speaker_pool_;
   std::map<bgp::AsNumber, Node> nodes_;
   std::map<std::pair<bgp::AsNumber, bgp::AsNumber>, std::unique_ptr<Link>> links_;
 

@@ -39,6 +39,11 @@ struct ThreadPool::Job {
   std::size_t chunk = 1;
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> chunks_left{0};  // chunks not yet fully executed
+  // Participation tickets, one per worker deliberately woken. A worker that
+  // reaches the job without winning a ticket (spurious or late wakeup) goes
+  // back to sleep instead of joining, so the "wake only what can work"
+  // discipline holds deterministically, not just usually.
+  std::atomic<std::int64_t> tickets{0};
   std::size_t active = 0;                   // workers inside run_chunks; guarded by pool mu_
   std::uint64_t published_ns = 0;           // when the job became visible
   std::atomic<bool> failed{false};
@@ -74,6 +79,28 @@ void ThreadPool::set_wait_observer(WaitObserver observer) {
   wait_observer_ = std::move(observer);
 }
 
+void ThreadPool::set_stage_observer(StageObserver observer) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stage_observer_ = std::move(observer);
+}
+
+void ThreadPool::parallel_for_stage(const char* stage, std::size_t begin,
+                                    std::size_t end, std::size_t chunk,
+                                    const std::function<void(std::size_t)>& fn) {
+  StageObserver observer;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    observer = stage_observer_;
+  }
+  if (!observer) {
+    parallel_for(begin, end, chunk, fn);
+    return;
+  }
+  const std::uint64_t start_ns = now_ns();
+  parallel_for(begin, end, chunk, fn);
+  observer(stage, now_ns() - start_ns);
+}
+
 ThreadPool::Stats ThreadPool::stats() const noexcept {
   return {tasks_.load(std::memory_order_relaxed),
           wakeups_.load(std::memory_order_relaxed),
@@ -101,6 +128,7 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
+      if (job->tickets.fetch_sub(1, std::memory_order_relaxed) <= 0) continue;
       ++job->active;
       waited_ns = now_ns() - job->published_ns;
       observer = wait_observer_;
@@ -178,15 +206,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t ch
   job.fn = &fn;
   job.chunks_left.store(n_chunks, std::memory_order_relaxed);
   job.published_ns = now_ns();
+  // Wake only as many workers as there are chunks beyond the caller's own
+  // share — a pool wider than the task list leaves the surplus asleep.
+  // Tickets are set before the job becomes visible: a worker that reaches
+  // the job first must still find its ticket there.
+  const std::size_t to_wake = std::min(workers_.size(), n_chunks - 1);
+  job.tickets.store(static_cast<std::int64_t>(to_wake), std::memory_order_relaxed);
 
   {
     std::lock_guard<std::mutex> lk(mu_);
     job_ = &job;
     ++generation_;
   }
-  // Wake only as many workers as there are chunks beyond the caller's own
-  // share — a pool wider than the task list leaves the surplus asleep.
-  const std::size_t to_wake = std::min(workers_.size(), n_chunks - 1);
   if (to_wake == workers_.size()) {
     work_cv_.notify_all();
   } else {

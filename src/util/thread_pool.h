@@ -55,6 +55,12 @@ class ThreadPool {
   // parallel_for.
   using WaitObserver = std::function<void(std::uint64_t wait_ns)>;
 
+  // Called once per parallel_for_stage with the stage label and the wall time
+  // the whole stage took (publish to last-index-done, measured in the calling
+  // thread). Runs in the calling thread after the stage drains, so the
+  // observer itself needs no synchronisation beyond what the caller has.
+  using StageObserver = std::function<void(const char* stage, std::uint64_t wall_ns)>;
+
   // threads == 0 resolves to hardware_concurrency (at least 1); threads == 1
   // spawns no workers (all work runs inline in the caller). The pool size is
   // the total concurrency including the calling thread, so a pool of N
@@ -79,6 +85,14 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
                     const std::function<void(std::size_t)>& fn);
 
+  // parallel_for plus a wall-clock measurement reported to the stage
+  // observer under `stage`. The label must outlive the call (string
+  // literals do); timing covers the full blocking duration as seen by the
+  // caller, which is what a pipeline-stage histogram wants.
+  void parallel_for_stage(const char* stage, std::size_t begin, std::size_t end,
+                          std::size_t chunk,
+                          const std::function<void(std::size_t)>& fn);
+
   Stats stats() const noexcept;
   // Returns the counters accumulated since construction (or since the last
   // call) and zeroes them, so a periodic poller — the route-server daemon's
@@ -88,6 +102,7 @@ class ThreadPool {
   // one across the three fields.
   Stats snapshot_and_reset() noexcept;
   void set_wait_observer(WaitObserver observer);
+  void set_stage_observer(StageObserver observer);
 
  private:
   struct Job;
@@ -109,6 +124,7 @@ class ThreadPool {
   std::atomic<std::uint64_t> wakeups_{0};
   std::atomic<std::uint64_t> wait_ns_{0};
   WaitObserver wait_observer_;
+  StageObserver stage_observer_;
 };
 
 }  // namespace dbgp::util

@@ -1,0 +1,443 @@
+// Sharded-pipeline tests: the DESIGN.md §13 determinism contract for the
+// speaker's parallel batch path. The plan/commit split promises that emitted
+// frames, RIB contents, stats, traces, and audits are bit-identical at every
+// thread count and shard count — these tests compare the parallel pipeline
+// against the sequential path output-for-output, byte-for-byte. Part of the
+// `dbgp_concurrency_tests` binary (ctest -L concurrency) so the
+// dbgp_tsan_check target re-runs exactly this surface under ThreadSanitizer
+// and dbgp_asan_check under AddressSanitizer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/speaker.h"
+#include "ia/frame_cache.h"
+#include "protocols/bgp_module.h"
+#include "simnet/chaos.h"
+#include "simnet/network.h"
+#include "telemetry/causal.h"
+#include "telemetry/metrics.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dbgp {
+namespace {
+
+core::DbgpConfig bgp_as(bgp::AsNumber asn, std::size_t max_batch = 256) {
+  core::DbgpConfig config;
+  config.asn = asn;
+  config.next_hop = net::Ipv4Address(asn);
+  config.max_batch = max_batch;
+  return config;
+}
+
+net::Prefix nth_prefix(std::uint32_t i) {
+  return net::Prefix(net::Ipv4Address((10u << 24) | (i << 8)), 24);
+}
+
+// A frame as fed to (or emitted by) a speaker, with the bytes flattened so
+// equality is literal byte equality.
+struct WireFrame {
+  bgp::PeerId peer = bgp::kInvalidPeer;
+  std::vector<std::uint8_t> bytes;
+
+  bool operator==(const WireFrame&) const = default;
+};
+
+// Synthesizes a realistic update stream: every prefix announced by AS900,
+// a third of them also announced by AS901 (route choice at the receiver),
+// a third withdrawn, and a tail of re-announcements — enough churn that
+// batching coalesces, decisions flip, and withdraw planning runs.
+std::vector<WireFrame> make_stream(std::uint32_t prefixes) {
+  core::DbgpSpeaker sender_a(bgp_as(900));
+  core::DbgpSpeaker sender_b(bgp_as(901));
+  sender_a.add_module(std::make_unique<protocols::BgpModule>());
+  sender_b.add_module(std::make_unique<protocols::BgpModule>());
+  sender_a.add_peer(1);
+  sender_b.add_peer(1);
+
+  // peer ids are assigned by the *receiver*; the stream records which
+  // upstream session each frame arrives on.
+  std::vector<WireFrame> stream;
+  for (std::uint32_t i = 0; i < prefixes; ++i) {
+    auto out = sender_a.originate(nth_prefix(i));
+    stream.push_back({0, out.at(0).bytes()});
+  }
+  for (std::uint32_t i = 0; i < prefixes; i += 3) {
+    auto out = sender_b.originate(nth_prefix(i));
+    stream.push_back({1, out.at(0).bytes()});
+  }
+  for (std::uint32_t i = 1; i < prefixes; i += 3) {
+    stream.push_back({0, core::DbgpSpeaker::encode_withdraw(nth_prefix(i))});
+  }
+  // Re-announce a slice of the withdrawn prefixes (fresh IA bytes, so the
+  // receiver's adj-in flips back) — coalescing must land on the final state.
+  for (std::uint32_t i = 1; i < prefixes; i += 6) {
+    sender_a.withdraw_origin(nth_prefix(i));
+    auto out = sender_a.originate(nth_prefix(i));
+    stream.push_back({0, out.at(0).bytes()});
+  }
+  return stream;
+}
+
+// Everything the pipeline can observably produce, captured for comparison.
+struct RunResult {
+  std::vector<WireFrame> emitted;  // (peer, bytes) in emission order
+  std::vector<net::Prefix> selected;
+  std::vector<std::string> paths;  // best path per selected prefix
+  core::DbgpStats stats;
+  std::uint64_t deferred_rejects = 0;
+  std::uint64_t eager_rejects = 0;
+
+  bool same_routes(const RunResult& other) const {
+    return selected == other.selected && paths == other.paths;
+  }
+  bool same_stats(const RunResult& other) const {
+    return stats.ias_received == other.stats.ias_received &&
+           stats.ias_sent == other.stats.ias_sent &&
+           stats.withdraws_received == other.stats.withdraws_received &&
+           stats.withdraws_sent == other.stats.withdraws_sent &&
+           stats.dropped_by_global_filter == other.stats.dropped_by_global_filter &&
+           stats.rejected_by_module == other.stats.rejected_by_module &&
+           stats.bytes_sent == other.stats.bytes_sent &&
+           stats.bytes_received == other.stats.bytes_received;
+  }
+};
+
+// Feeds `stream` into a fresh receiver attached to a `threads`-wide pool and
+// captures everything it emits. `shared_frames` selects the refcounted
+// enqueue overload (the deferred-decode path when max_batch == 0 and the
+// pool is wide); undecodable frames are counted, never fatal.
+RunResult run_receiver(const std::vector<WireFrame>& stream, std::size_t threads,
+                       std::size_t shards = 0, std::size_t max_batch = 256,
+                       bool shared_frames = false) {
+  util::ThreadPool pool(threads);
+  core::DbgpSpeaker rx(bgp_as(1, max_batch));
+  rx.add_module(std::make_unique<protocols::BgpModule>());
+  const bgp::PeerId from_a = rx.add_peer(900);
+  const bgp::PeerId from_b = rx.add_peer(901);
+  for (bgp::AsNumber down = 2; down <= 4; ++down) rx.add_peer(down);
+  rx.set_parallel(&pool, shards);
+
+  RunResult result;
+  auto absorb = [&](std::vector<core::DbgpOutgoing> out) {
+    for (auto& frame : out) result.emitted.push_back({frame.peer, frame.bytes()});
+  };
+  for (const WireFrame& frame : stream) {
+    const bgp::PeerId from = frame.peer == 0 ? from_a : from_b;
+    try {
+      if (shared_frames) {
+        absorb(rx.enqueue_frame(from, ia::make_shared_frame(frame.bytes)));
+      } else {
+        absorb(rx.enqueue_frame(from, frame.bytes));
+      }
+    } catch (const util::DecodeError&) {
+      ++result.eager_rejects;
+    }
+  }
+  absorb(rx.flush());
+  result.deferred_rejects = rx.take_deferred_rejects();
+
+  result.selected = rx.selected_prefixes();
+  for (const auto& prefix : result.selected) {
+    const auto* best = rx.best(prefix);
+    result.paths.push_back(best == nullptr ? "?" : best->ia.path_vector.to_string());
+  }
+  result.stats = rx.stats();
+  return result;
+}
+
+// -- Speaker-level bit-identity ----------------------------------------------
+
+TEST(ShardPipeline, ThreadCountBitIdentity) {
+  const auto stream = make_stream(300);
+  const RunResult baseline = run_receiver(stream, 1);
+  ASSERT_FALSE(baseline.emitted.empty());
+  ASSERT_FALSE(baseline.selected.empty());
+  for (const std::size_t threads : {2ul, 8ul}) {
+    const RunResult parallel = run_receiver(stream, threads);
+    EXPECT_EQ(baseline.emitted, parallel.emitted) << threads << " threads";
+    EXPECT_TRUE(baseline.same_routes(parallel)) << threads << " threads";
+    EXPECT_TRUE(baseline.same_stats(parallel)) << threads << " threads";
+  }
+}
+
+// Shard-merge determinism: the commit stage walks the batch in global
+// first-touch order, so the shard→prefix assignment must be invisible in
+// every output no matter how the batch is partitioned.
+TEST(ShardPipeline, ShardCountBitIdentity) {
+  const auto stream = make_stream(200);
+  const RunResult baseline = run_receiver(stream, 1, 1);
+  for (const std::size_t shards : {1ul, 2ul, 3ul, 8ul, 64ul}) {
+    const RunResult sharded = run_receiver(stream, 4, shards);
+    EXPECT_EQ(baseline.emitted, sharded.emitted) << shards << " shards";
+    EXPECT_TRUE(baseline.same_routes(sharded)) << shards << " shards";
+    EXPECT_TRUE(baseline.same_stats(sharded)) << shards << " shards";
+  }
+}
+
+TEST(ShardPipeline, ShardOfIsStableAndInRange) {
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const auto prefix = nth_prefix(i);
+    for (const std::size_t shards : {1ul, 2ul, 7ul, 16ul}) {
+      const std::size_t shard = core::DbgpSpeaker::shard_of(prefix, shards);
+      EXPECT_LT(shard, shards);
+      EXPECT_EQ(shard, core::DbgpSpeaker::shard_of(prefix, shards));
+    }
+  }
+}
+
+// max_batch == 0 + a wide pool stages raw refcounted frames and decodes them
+// in parallel at flush; the output must match eager per-frame staging.
+TEST(ShardPipeline, DeferredDecodeMatchesEagerStaging) {
+  const auto stream = make_stream(200);
+  const RunResult eager = run_receiver(stream, 1, 0, /*max_batch=*/0);
+  ASSERT_FALSE(eager.emitted.empty());
+  for (const std::size_t threads : {2ul, 8ul}) {
+    const RunResult deferred =
+        run_receiver(stream, threads, 0, /*max_batch=*/0, /*shared_frames=*/true);
+    EXPECT_EQ(eager.emitted, deferred.emitted) << threads << " threads";
+    EXPECT_TRUE(eager.same_routes(deferred)) << threads << " threads";
+    EXPECT_TRUE(eager.same_stats(deferred)) << threads << " threads";
+  }
+}
+
+// Undecodable frames: the eager path throws util::DecodeError from
+// enqueue_frame; the deferred path must reject the same frames at drain
+// (take_deferred_rejects) with identical surviving state and byte counters.
+TEST(ShardPipeline, CorruptFrameRejectionIdentity) {
+  auto stream = make_stream(120);
+  const std::vector<std::uint8_t> garbage = {1, 0xFF, 0xFF, 0x00, 0x07};
+  for (std::size_t i = 5; i < stream.size(); i += 17) {
+    stream.insert(stream.begin() + static_cast<std::ptrdiff_t>(i), {0, garbage});
+  }
+  const RunResult eager = run_receiver(stream, 1, 0, /*max_batch=*/0);
+  ASSERT_GT(eager.eager_rejects, 0u);
+  EXPECT_EQ(eager.deferred_rejects, 0u);
+  const RunResult deferred =
+      run_receiver(stream, 8, 0, /*max_batch=*/0, /*shared_frames=*/true);
+  EXPECT_EQ(deferred.eager_rejects, 0u);
+  EXPECT_EQ(deferred.deferred_rejects, eager.eager_rejects);
+  EXPECT_EQ(eager.emitted, deferred.emitted);
+  EXPECT_TRUE(eager.same_routes(deferred));
+  EXPECT_TRUE(eager.same_stats(deferred));  // includes bytes_received parity
+}
+
+// Property test: random interleavings of the two upstream sessions must stay
+// bit-identical across thread counts — the ordering guarantee cannot depend
+// on a particular arrival pattern.
+TEST(ShardPipeline, PropertyRandomInterleavingsBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto stream = make_stream(150);
+    util::Rng rng(seed);
+    for (std::size_t i = stream.size(); i > 1; --i) {
+      std::swap(stream[i - 1], stream[rng.next_u32() % i]);
+    }
+    const RunResult baseline = run_receiver(stream, 1);
+    const RunResult parallel = run_receiver(stream, 8);
+    EXPECT_EQ(baseline.emitted, parallel.emitted) << "seed " << seed;
+    EXPECT_TRUE(baseline.same_routes(parallel)) << "seed " << seed;
+    EXPECT_TRUE(baseline.same_stats(parallel)) << "seed " << seed;
+  }
+}
+
+// -- The parallel gate --------------------------------------------------------
+
+TEST(ShardPipeline, GateDisengagesForCausalAndOutOfBand) {
+  util::ThreadPool pool(4);
+
+  core::DbgpSpeaker wide(bgp_as(1));
+  wide.set_parallel(&pool);
+  EXPECT_TRUE(wide.parallel_active());
+  EXPECT_EQ(wide.shard_count(), pool.size());
+
+  telemetry::CausalTracer tracer;
+  wide.set_causal(&tracer);
+  EXPECT_FALSE(wide.parallel_active());  // audits must mint ids in order
+  wide.set_causal(nullptr);
+  EXPECT_TRUE(wide.parallel_active());
+
+  util::ThreadPool narrow_pool(1);
+  core::DbgpSpeaker narrow(bgp_as(2));
+  narrow.set_parallel(&narrow_pool);
+  EXPECT_FALSE(narrow.parallel_active());
+
+  auto oob_config = bgp_as(3);
+  oob_config.dissemination = core::Dissemination::kOutOfBand;
+  core::LookupService lookup;
+  core::DbgpSpeaker oob(oob_config, &lookup);
+  oob.set_parallel(&pool);
+  EXPECT_FALSE(oob.parallel_active());  // emit writes the lookup service
+}
+
+// -- Network-level bit-identity ----------------------------------------------
+
+simnet::DbgpNetwork make_line(std::size_t n, simnet::DbgpNetwork::Options options) {
+  simnet::DbgpNetwork net(nullptr, options);
+  for (bgp::AsNumber asn = 1; asn <= n; ++asn) {
+    net.add_as(bgp_as(asn)).add_module(std::make_unique<protocols::BgpModule>());
+  }
+  for (bgp::AsNumber asn = 1; asn < n; ++asn) net.add_link(asn, asn + 1);
+  return net;
+}
+
+bool same_churn(const simnet::RunStats& a, const simnet::RunStats& b) {
+  return a.processed == b.processed && a.link_flaps == b.link_flaps &&
+         a.crashes == b.crashes && a.restarts == b.restarts &&
+         a.frames_lost == b.frames_lost && a.frames_duplicated == b.frames_duplicated &&
+         a.frames_reordered == b.frames_reordered &&
+         a.frames_corrupted == b.frames_corrupted &&
+         a.frames_rejected == b.frames_rejected;
+}
+
+bool same_trace(const std::vector<telemetry::TraceEvent>& a,
+                const std::vector<telemetry::TraceEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time != b[i].time || a[i].from_as != b[i].from_as ||
+        a[i].to_as != b[i].to_as || a[i].frame_type != b[i].frame_type ||
+        a[i].prefix != b[i].prefix || a[i].frame_bytes != b[i].frame_bytes ||
+        a[i].understood != b[i].understood) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Every AS's Loc-RIB flattened to one comparable string.
+std::string dump_ribs(simnet::DbgpNetwork& net, std::size_t n) {
+  std::string out;
+  for (bgp::AsNumber asn = 1; asn <= n; ++asn) {
+    for (const auto& prefix : net.speaker(asn).selected_prefixes()) {
+      const auto* best = net.speaker(asn).best(prefix);
+      out += std::to_string(asn) + " " + prefix.to_string() + " via " +
+             (best == nullptr ? "?" : best->ia.path_vector.to_string()) + "\n";
+    }
+  }
+  return out;
+}
+
+simnet::ChaosOptions stress_chaos() {
+  simnet::ChaosOptions chaos;
+  chaos.seed = 7;
+  chaos.horizon = 2.0;
+  chaos.flap_fraction = 0.5;
+  chaos.mean_up = 0.3;
+  chaos.mean_down = 0.05;
+  chaos.faults.loss = 0.05;
+  chaos.faults.duplicate = 0.03;
+  chaos.faults.reorder = 0.05;
+  chaos.faults.corrupt = 0.05;
+  chaos.crash_fraction = 0.3;
+  chaos.mean_downtime = 0.3;
+  return chaos;
+}
+
+struct NetworkRun {
+  simnet::RunStats stats;
+  std::vector<telemetry::TraceEvent> trace;
+  std::string ribs;
+};
+
+NetworkRun run_network(std::size_t speaker_threads, bool with_chaos) {
+  telemetry::PropagationTracer tracer;
+  simnet::DbgpNetwork::Options options;
+  options.delivery = simnet::DeliveryMode::kBatched;
+  options.tracer = &tracer;
+  options.speaker_threads = speaker_threads;
+  simnet::DbgpNetwork net = make_line(5, options);
+  for (std::uint32_t i = 0; i < 20; ++i) net.originate(1 + i % 5, nth_prefix(i));
+  if (with_chaos) {
+    simnet::ChaosPolicy policy(stress_chaos());
+    policy.inject(net);
+  }
+  NetworkRun result;
+  result.stats = net.run_to_convergence();
+  result.trace = tracer.events();
+  result.ribs = dump_ribs(net, 5);
+  return result;
+}
+
+TEST(ShardPipelineNetwork, FaultFreeBitIdenticalAcrossSpeakerThreads) {
+  const NetworkRun baseline = run_network(1, /*with_chaos=*/false);
+  ASSERT_FALSE(baseline.ribs.empty());
+  for (const std::size_t threads : {2ul, 8ul}) {
+    const NetworkRun parallel = run_network(threads, /*with_chaos=*/false);
+    EXPECT_TRUE(same_churn(baseline.stats, parallel.stats)) << threads << " threads";
+    EXPECT_TRUE(same_trace(baseline.trace, parallel.trace)) << threads << " threads";
+    EXPECT_EQ(baseline.ribs, parallel.ribs) << threads << " threads";
+  }
+}
+
+TEST(ShardPipelineNetwork, ChaosBitIdenticalAcrossSpeakerThreads) {
+  const NetworkRun baseline = run_network(1, /*with_chaos=*/true);
+  EXPECT_GT(baseline.stats.link_flaps, 0u);  // the schedule actually fired
+  for (const std::size_t threads : {2ul, 8ul}) {
+    const NetworkRun parallel = run_network(threads, /*with_chaos=*/true);
+    EXPECT_TRUE(same_churn(baseline.stats, parallel.stats)) << threads << " threads";
+    EXPECT_TRUE(same_trace(baseline.trace, parallel.trace)) << threads << " threads";
+    EXPECT_EQ(baseline.ribs, parallel.ribs) << threads << " threads";
+  }
+}
+
+// Causal tracing pins every speaker to the sequential path; the span/audit
+// stream must come out identical whatever thread count was requested.
+TEST(ShardPipelineNetwork, CausalTracingForcesSequentialWithIdenticalAudits) {
+  auto run_causal = [](std::size_t speaker_threads) {
+    auto tracer = std::make_unique<telemetry::CausalTracer>();
+    simnet::DbgpNetwork::Options options;
+    options.delivery = simnet::DeliveryMode::kBatched;
+    options.causal = tracer.get();
+    options.speaker_threads = speaker_threads;
+    simnet::DbgpNetwork net = make_line(4, options);
+    for (bgp::AsNumber asn = 1; asn <= 4; ++asn) {
+      EXPECT_FALSE(net.speaker(asn).parallel_active())
+          << "AS" << asn << " with " << speaker_threads << " threads";
+    }
+    for (std::uint32_t i = 0; i < 8; ++i) net.originate(1 + i % 4, nth_prefix(i));
+    net.run_to_convergence();
+    return std::make_tuple(tracer->span_count(), tracer->audit_count(),
+                           dump_ribs(net, 4));
+  };
+  const auto baseline = run_causal(1);
+  const auto parallel = run_causal(8);
+  EXPECT_GT(std::get<1>(baseline), 0u);
+  EXPECT_EQ(baseline, parallel);
+}
+
+// Live reconfiguration: speaker-threads changes are refused while any
+// speaker holds staged frames (the batch must drain first) and applied
+// cleanly between drains.
+TEST(ShardPipelineNetwork, SetSpeakerThreadsRejectedMidBatch) {
+  simnet::DbgpNetwork::Options options;
+  options.delivery = simnet::DeliveryMode::kBatched;
+  simnet::DbgpNetwork net = make_line(3, options);
+  const auto prefix = nth_prefix(0);
+  net.originate(1, prefix);
+  // Process exactly the first delivery: AS2 now holds a staged frame.
+  const simnet::RunStats partial = net.run_to_convergence(1);
+  ASSERT_TRUE(partial.capped);
+  ASSERT_EQ(net.speaker(2).pending_batch(), 1u);
+  EXPECT_THROW(net.set_speaker_threads(4), std::runtime_error);
+  EXPECT_EQ(net.speaker_threads(), 1u);  // refused change left options alone
+
+  net.run_to_convergence();
+  EXPECT_EQ(net.speaker(2).pending_batch(), 0u);
+  EXPECT_NO_THROW(net.set_speaker_threads(4));
+  EXPECT_EQ(net.speaker_threads(), 4u);
+
+  // The network still routes — and back to 1 detaches the pool entirely.
+  net.withdraw(1, prefix);
+  net.run_to_convergence();
+  EXPECT_EQ(net.speaker(3).best(prefix), nullptr);
+  EXPECT_NO_THROW(net.set_speaker_threads(1));
+  EXPECT_EQ(net.speaker_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace dbgp

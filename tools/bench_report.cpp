@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <exception>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,44 @@ void report(const std::string& path) {
                   b.string_or("name", "?").c_str(), b.number_or("iterations", 0.0),
                   threads_buf, per_op * 1e6,
                   format_rate(b.number_or("ops_per_sec", 0.0)).c_str());
+    }
+  }
+
+  // Speedup-vs-threads: any family of rows sharing a name modulo the
+  // "/threads:N" component and carrying a "threads" counter gets a scaling
+  // table, normalized to its threads:1 row (the sharded speaker and sweep
+  // benches emit exactly this shape).
+  if (benches != nullptr && benches->is_array()) {
+    struct Row {
+      double threads = 0.0;
+      double rate = 0.0;
+    };
+    std::map<std::string, std::vector<Row>> families;
+    for (const auto& b : benches->as_array()) {
+      const Value* bench_counters = b.find("counters");
+      if (bench_counters == nullptr) continue;
+      const double threads = bench_counters->number_or("threads", 0.0);
+      if (threads <= 0) continue;
+      std::string name = b.string_or("name", "");
+      const auto at = name.find("/threads:");
+      if (at != std::string::npos) {
+        const auto next = name.find('/', at + 1);
+        name.erase(at, next == std::string::npos ? std::string::npos : next - at);
+      }
+      families[name].push_back({threads, b.number_or("ops_per_sec", 0.0)});
+    }
+    for (auto& [name, rows] : families) {
+      if (rows.size() < 2) continue;
+      std::sort(rows.begin(), rows.end(),
+                [](const Row& a, const Row& b) { return a.threads < b.threads; });
+      const double base = rows.front().threads == 1.0 ? rows.front().rate : 0.0;
+      if (base <= 0) continue;
+      std::printf("\n  speedup vs threads — %s\n", name.c_str());
+      std::printf("    %8s %14s %8s\n", "threads", "throughput", "speedup");
+      for (const Row& row : rows) {
+        std::printf("    %8.0f %14s %7.2fx\n", row.threads,
+                    format_rate(row.rate).c_str(), row.rate / base);
+      }
     }
   }
 

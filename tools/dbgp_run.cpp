@@ -4,7 +4,7 @@
 //            [--metrics <file>] [--trace <file>] [--trace-format json|perfetto]
 //            [--explain <as>:<prefix>]
 //            [--chaos-seed <n>] [--chaos-profile <name>]
-//            [--threads <n>]
+//            [--threads <n>] [--speaker-threads <n>]
 //
 // A scenario with a `sweep` stanza is an experiment description rather than
 // a network: dbgp_run executes the Figure 9/10 incremental-benefit sweep on
@@ -25,6 +25,10 @@
 // convergence — the same output as `dbgp_explain --why`.
 //
 // --batched switches frame processing to coalesced per-prefix decisions.
+// --speaker-threads runs each speaker's decode/decision stages on a shared
+// worker pool (requires --batched to have any effect; overrides the
+// scenario's `speaker-threads` directive). Routes, traces, and expectation
+// results are bit-identical at any value — it is purely a throughput knob.
 // --chaos-seed re-seeds the scenario's `chaos` stanza (a cheap way to sweep
 // fault schedules); --chaos-profile injects a named preset schedule
 // (flaky|lossy|corrupt|outage|full) even into scenarios without a stanza.
@@ -87,7 +91,8 @@ void parse_explain(const std::string& arg, std::uint32_t& as, std::string& prefi
 int main(int argc, char** argv) {
   dbgp::util::Flags flags;
   flags.allow({"tables", "quiet", "batched", "metrics", "trace", "trace-format",
-               "explain", "chaos-seed", "chaos-profile", "threads"});
+               "explain", "chaos-seed", "chaos-profile", "threads",
+               "speaker-threads"});
   std::string error;
   if (!flags.parse(argc, argv, error) || flags.positional().size() != 1) {
     if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -97,7 +102,7 @@ int main(int argc, char** argv) {
                  "                [--trace-format json|perfetto]\n"
                  "                [--explain <as>:<prefix>]\n"
                  "                [--chaos-seed <n>] [--chaos-profile <name>]\n"
-                 "                [--threads <n>]\n");
+                 "                [--threads <n>] [--speaker-threads <n>]\n");
     return 2;
   }
   const bool quiet = flags.get_bool("quiet", false);
@@ -147,6 +152,14 @@ int main(int argc, char** argv) {
     }
     if (flags.get_bool("batched", false)) {
       runner.set_delivery(dbgp::simnet::DeliveryMode::kBatched);
+    }
+    if (flags.has("speaker-threads")) {
+      const std::int64_t n = flags.get_int("speaker-threads", 1);
+      if (n < 1) {
+        std::fprintf(stderr, "error: --speaker-threads must be >= 1\n");
+        return 2;
+      }
+      runner.set_speaker_threads(static_cast<std::size_t>(n));
     }
     if (!chaos_profile.empty()) {
       runner.set_chaos(dbgp::simnet::chaos_profile(chaos_profile));

@@ -2,7 +2,7 @@
 //
 //   dbgp_server [<scenario-file>] [--restore <snapshot>] [--script <file>]
 //               [--socket <path>] [--serve] [--batched] [--quiet]
-//               [--no-causal]
+//               [--no-causal] [--speaker-threads <n>]
 //
 // The daemon owns one simnet::DbgpNetwork for the lifetime of the process
 // and exposes the server/control.h command grammar (`help` lists it) for
@@ -32,6 +32,11 @@
 // command: the restored Loc-RIB is bit-identical to the serving state the
 // snapshot captured. --no-causal disables causal tracing (smaller memory
 // footprint, but why/blame and the divergence watchdog go dark).
+//
+// --speaker-threads runs each speaker's decode/decision stages on a shared
+// worker pool (effective with --batched --no-causal; causal tracing pins
+// speakers to the sequential path). Serving state stays bit-identical at any
+// value, and `set speaker-threads <n>` changes it live between drains.
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -204,7 +209,8 @@ int serve(ControlApi& api, const std::string& socket_path, bool quiet) {
 
 int main(int argc, char** argv) {
   dbgp::util::Flags flags;
-  flags.allow({"restore", "script", "socket", "serve", "batched", "quiet", "no-causal"});
+  flags.allow({"restore", "script", "socket", "serve", "batched", "quiet", "no-causal",
+               "speaker-threads"});
   std::string error;
   if (!flags.parse(argc, argv, error) || flags.positional().size() > 1 ||
       (flags.positional().empty() && !flags.has("restore"))) {
@@ -212,7 +218,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: dbgp_server [<scenario-file>] [--restore <snapshot>]\n"
                  "                   [--script <file>] [--socket <path>] [--serve]\n"
-                 "                   [--batched] [--quiet] [--no-causal]\n");
+                 "                   [--batched] [--quiet] [--no-causal]\n"
+                 "                   [--speaker-threads <n>]\n");
     return 2;
   }
 
@@ -222,6 +229,14 @@ int main(int argc, char** argv) {
       options.delivery = dbgp::simnet::DeliveryMode::kBatched;
     }
     options.causal = !flags.get_bool("no-causal", false);
+    if (flags.has("speaker-threads")) {
+      const std::int64_t n = flags.get_int("speaker-threads", 1);
+      if (n < 1) {
+        std::fprintf(stderr, "error: --speaker-threads must be >= 1\n");
+        return 2;
+      }
+      options.speaker_threads = static_cast<std::size_t>(n);
+    }
     dbgp::server::RouteServer server(options);
     dbgp::server::ControlApi api(server);
     const bool quiet = flags.get_bool("quiet", false);
