@@ -1,0 +1,260 @@
+// Memory benchmark: RIB residency under a full-table, multi-peer load.
+//
+// The interning + arena layer (DESIGN.md §14) claims that a BGP table's
+// memory cost is dominated by duplicated path attributes, and that
+// hash-consing them behind refcounted handles collapses it: a realistic
+// table has ~1M prefixes but only thousands of distinct attribute sets, so
+// Adj-RIB-In × peers + Loc-RIB + Adj-RIB-Out should cost a few handle-sized
+// words per route, not a PathAttributes deep copy each.
+//
+// Phases:
+//   * full_table_load — 4 established peers each announce the full table
+//     (default 1,000,000 prefixes, DBGP_BENCH_MEMORY_PREFIXES overrides;
+//     64-prefix updates drawn from 4096 distinct attribute sets per peer).
+//     Counters:
+//       bytes_per_prefix        — measured: (arena in-use + interner entry
+//                                 bytes + interner index overhead) / prefixes
+//       naive_bytes_per_prefix  — modeled pre-§14 layout: every stored route
+//                                 and every adj-out advert holds its own
+//                                 PathAttributes deep copy in a per-route
+//                                 tree node
+//       reduction_ratio         — naive / measured (acceptance: >= 5x)
+//       load_wall_s             — wall time to ingest the table
+//       interner_*              — hit/miss/live/hit-rate of the speaker's
+//                                 AttrInterner after the load
+//     bytes_per_prefix and load_wall_s are gated lower-is-better by
+//     tools/bench_compare (prefix match), ops/s gates the usual way.
+//   * churn_drain — withdraw everything; asserts the interner and arena
+//     return to their pre-table footprint (the refcount contract), and
+//     reports the drain wall time.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "bgp/attr_interner.h"
+#include "bgp/speaker.h"
+#include "telemetry/metrics.h"
+
+using namespace dbgp;
+
+namespace {
+
+constexpr int kPeers = 4;
+constexpr std::uint32_t kNlriPerUpdate = 64;
+constexpr std::uint32_t kAttrSetsPerPeer = 4096;
+
+// Tree-node bookkeeping (parent/left/right/color) charged per stored route
+// in the modeled pre-interning layout.
+constexpr std::size_t kNodeOverhead = 48;
+// Non-attribute fields of a stored route (prefix, peer ids, sequence).
+constexpr std::size_t kRouteFixed = 32;
+// Allocator chunk header per individual heap allocation. The old layout did
+// one general-purpose allocation per tree node and per attribute-copy heap
+// vector; the pool arena amortizes these into slabs, so the overhead is
+// charged to the naive side only.
+constexpr std::size_t kAllocOverhead = 16;
+
+std::size_t table_prefixes() {
+  if (const char* env = std::getenv("DBGP_BENCH_MEMORY_PREFIXES")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 1'000'000;
+}
+
+net::Prefix nth_prefix(std::size_t i) {
+  return net::Prefix(net::Ipv4Address(0x30000000u + (static_cast<std::uint32_t>(i) << 8)), 24);
+}
+
+// The attribute set for update block `block` from peer `p`, shaped like a
+// transit-feed table entry: a 4-6 hop path (route collectors report ~4.5
+// mean), MED, and a handful of communities on most routes. Varied with the
+// block so the speaker sees kAttrSetsPerPeer distinct sets per peer, reused
+// across the whole table — the shape interning exploits.
+bgp::PathAttributes block_attrs(int p, std::uint32_t block) {
+  const std::uint32_t j = block % kAttrSetsPerPeer;
+  bgp::PathAttributes attrs;
+  std::vector<bgp::AsNumber> path = {65001u + static_cast<bgp::AsNumber>(p),
+                                     3356u + (j % 16u), 6939u + (j % 64u),
+                                     56000u + (j % 1024u)};
+  if (j % 3 != 0) path.push_back(62000u + (j % 512u));
+  if (j % 4 == 0) path.push_back(63000u + (j / 1024u));
+  attrs.as_path = bgp::AsPath(std::move(path));
+  attrs.next_hop = net::Ipv4Address(10, 0, static_cast<std::uint8_t>(p), 1);
+  if (j % 2 == 0) attrs.med = j;
+  attrs.communities = {0x10000u + j, 0x20000u + (j % 7u), 0x30000u + (j % 13u),
+                       0x40000u + (j % 3u)};
+  if (j % 5 == 0) {
+    attrs.communities.push_back(0x50000u + j);
+    attrs.communities.push_back(0x60000u + (j % 11u));
+  }
+  return attrs;
+}
+
+// Bytes the speaker's RIBs actually occupy: pooled arena storage (all three
+// RIBs are pmr-backed) plus the interner's canonical entries and its hash
+// index.
+std::size_t measured_bytes(const bgp::BgpSpeaker& speaker) {
+  const std::size_t index_overhead =
+      speaker.attr_interner().live() * (sizeof(bgp::detail::AttrEntry) + 64);
+  return speaker.rib_arena().bytes_in_use() + speaker.attr_interner().bytes() +
+         index_overhead;
+}
+
+// Heap allocations one deep PathAttributes copy performs: the segment
+// vector, each segment's ASN vector, communities, and the unknown-attribute
+// vector plus each unknown value payload.
+std::size_t attr_heap_allocs(const bgp::PathAttributes& attrs) {
+  std::size_t allocs = attrs.as_path.segments().empty() ? 0 : 1 + attrs.as_path.segments().size();
+  allocs += attrs.communities.empty() ? 0 : 1;
+  allocs += attrs.unknown.empty() ? 0 : 1 + attrs.unknown.size();
+  return allocs;
+}
+
+// Bytes one stored route cost in the pre-§14 layout: a full deep attribute
+// copy in its own tree node, every piece individually heap-allocated.
+std::size_t naive_route_bytes(const bgp::PathAttributes& attrs, std::size_t fixed) {
+  return bgp::deep_size(attrs) + fixed + kNodeOverhead +
+         (1 + attr_heap_allocs(attrs)) * kAllocOverhead;
+}
+
+// Bytes the pre-§14 layout would occupy for the same table: walk every
+// stored route and charge it as the old map<Prefix, map<PeerId, Route>> /
+// vector-of-copies API did, plus the nested map's per-prefix outer node.
+std::size_t naive_bytes(const bgp::BgpSpeaker& speaker,
+                        const std::vector<bgp::PeerId>& peers) {
+  std::size_t total = 0;
+  for (const auto& [prefix, best] : speaker.loc_rib().routes()) {
+    total += kNodeOverhead + kAllocOverhead;  // old Adj-RIB-In outer node
+    total += naive_route_bytes(*best.attrs, kRouteFixed);
+    for (const bgp::Route& route : speaker.adj_rib_in().candidates(prefix)) {
+      total += naive_route_bytes(*route.attrs, kRouteFixed);
+    }
+  }
+  for (const bgp::PeerId peer : peers) {
+    speaker.adj_rib_out().for_each_advertised(
+        peer, [&](const net::Prefix&, const bgp::AttrHandle& attrs) {
+          total += naive_route_bytes(*attrs, 0);
+        });
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t prefixes = table_prefixes();
+  bench::BenchJson json("memory");
+
+  bgp::BgpSpeaker::Config config;
+  config.asn = 65000;
+  config.router_id = net::Ipv4Address(10, 0, 0, 1);
+  config.next_hop = net::Ipv4Address(10, 0, 0, 1);
+  config.hold_time = 0;
+  bgp::BgpSpeaker speaker(config);
+  std::vector<bgp::PeerId> peers;
+  for (int p = 0; p < kPeers; ++p) {
+    peers.push_back(speaker.add_peer(65001u + p));
+    speaker.start_peer(peers.back(), 0.0);
+    speaker.handle_message(
+        peers.back(),
+        bgp::OpenMessage{4, 65001u + static_cast<bgp::AsNumber>(p), 0,
+                         net::Ipv4Address(static_cast<std::uint32_t>(p + 1)), {}},
+        0.0);
+    speaker.handle_message(peers.back(), bgp::KeepAliveMessage{}, 0.0);
+  }
+  // Warm-up round: one announce + withdraw per peer, so the persistent
+  // per-peer adj-out bookkeeping exists before the baseline is captured —
+  // the drain check below then verifies routes alone leak nothing.
+  for (int p = 0; p < kPeers; ++p) {
+    bgp::UpdateMessage announce;
+    announce.attributes = block_attrs(p, 0);
+    announce.nlri.push_back(nth_prefix(0));
+    speaker.handle_message(peers[p], bgp::Message{std::move(announce)}, 0.0);
+  }
+  for (int p = 0; p < kPeers; ++p) {
+    bgp::UpdateMessage retract;
+    retract.withdrawn.push_back(nth_prefix(0));
+    speaker.handle_message(peers[p], bgp::Message{std::move(retract)}, 0.0);
+  }
+  const std::size_t empty_bytes = speaker.rib_arena().bytes_in_use();
+  const std::size_t empty_live = speaker.attr_interner().live();
+
+  // -- full_table_load --------------------------------------------------------
+  bench::Stopwatch load_watch;
+  for (int p = 0; p < kPeers; ++p) {
+    for (std::size_t i = 0; i < prefixes; i += kNlriPerUpdate) {
+      bgp::UpdateMessage update;
+      update.attributes = block_attrs(p, static_cast<std::uint32_t>(i / kNlriPerUpdate));
+      for (std::size_t k = i; k < i + kNlriPerUpdate && k < prefixes; ++k) {
+        update.nlri.push_back(nth_prefix(k));
+      }
+      speaker.handle_message(peers[p], bgp::Message{std::move(update)}, 0.0);
+    }
+  }
+  const double load_s = load_watch.elapsed_s();
+
+  const std::size_t loc_routes = speaker.loc_rib().routes().size();
+  if (loc_routes != prefixes) {
+    std::fprintf(stderr, "bench_memory: expected %zu Loc-RIB routes, got %zu\n", prefixes,
+                 loc_routes);
+    return 1;
+  }
+  const std::size_t interned = measured_bytes(speaker);
+  const std::size_t naive = naive_bytes(speaker, peers);
+  const auto& stats = speaker.attr_interner().stats();
+  const double per_prefix = static_cast<double>(interned) / static_cast<double>(prefixes);
+  const double naive_per_prefix = static_cast<double>(naive) / static_cast<double>(prefixes);
+
+  auto& load = json.add_run("full_table_load", static_cast<double>(prefixes), load_s);
+  load.counters.emplace_back("bytes_per_prefix", per_prefix);
+  load.counters.emplace_back("naive_bytes_per_prefix", naive_per_prefix);
+  load.counters.emplace_back("reduction_ratio", naive_per_prefix / per_prefix);
+  load.counters.emplace_back("load_wall_s", load_s);
+  load.counters.emplace_back("arena_bytes_in_use",
+                             static_cast<double>(speaker.rib_arena().bytes_in_use()));
+  load.counters.emplace_back("arena_bytes_reserved",
+                             static_cast<double>(speaker.rib_arena().bytes_reserved()));
+  load.counters.emplace_back("interner_hits", static_cast<double>(stats.hits));
+  load.counters.emplace_back("interner_misses", static_cast<double>(stats.misses));
+  load.counters.emplace_back("interner_live",
+                             static_cast<double>(speaker.attr_interner().live()));
+  load.counters.emplace_back("interner_hit_rate", speaker.attr_interner().hit_rate());
+  std::printf("full_table_load: %zu prefixes x %d peers in %.2fs\n", prefixes, kPeers,
+              load_s);
+  std::printf("  bytes/prefix %.1f (naive %.1f, reduction %.1fx), interner live %zu, "
+              "hit rate %.4f\n",
+              per_prefix, naive_per_prefix, naive_per_prefix / per_prefix,
+              speaker.attr_interner().live(), speaker.attr_interner().hit_rate());
+
+  // -- churn_drain ------------------------------------------------------------
+  bench::Stopwatch drain_watch;
+  for (int p = 0; p < kPeers; ++p) {
+    for (std::size_t i = 0; i < prefixes; i += kNlriPerUpdate) {
+      bgp::UpdateMessage update;
+      for (std::size_t k = i; k < i + kNlriPerUpdate && k < prefixes; ++k) {
+        update.withdrawn.push_back(nth_prefix(k));
+      }
+      speaker.handle_message(peers[p], bgp::Message{std::move(update)}, 0.0);
+    }
+  }
+  const double drain_s = drain_watch.elapsed_s();
+  if (speaker.attr_interner().live() != empty_live ||
+      speaker.rib_arena().bytes_in_use() != empty_bytes) {
+    std::fprintf(stderr,
+                 "bench_memory: drain leaked (live %zu vs %zu, arena %zu vs %zu)\n",
+                 speaker.attr_interner().live(), empty_live,
+                 speaker.rib_arena().bytes_in_use(), empty_bytes);
+    return 1;
+  }
+  auto& drain = json.add_run("churn_drain", static_cast<double>(prefixes), drain_s);
+  drain.counters.emplace_back("arena_bytes_reserved",
+                              static_cast<double>(speaker.rib_arena().bytes_reserved()));
+  std::printf("churn_drain: table withdrawn in %.2fs, interner and arena back to "
+              "baseline\n",
+              drain_s);
+
+  return json.write() ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+#include "bgp/attr_interner.h"
+
+#include "telemetry/metrics.h"
+
+namespace dbgp::bgp {
+
+namespace {
+
+// Registry mirrors, aggregated across every interner in the process (each
+// speaker owns one; the per-interner stats struct stays authoritative).
+struct InternerMetrics {
+  telemetry::Counter* hits;
+  telemetry::Counter* misses;
+  telemetry::Gauge* live;
+
+  static InternerMetrics& get() {
+    static InternerMetrics m = [] {
+      auto& reg = telemetry::MetricsRegistry::global();
+      return InternerMetrics{&reg.counter("dbgp.rib.interner.hits"),
+                             &reg.counter("dbgp.rib.interner.misses"),
+                             &reg.gauge("dbgp.rib.interner.live")};
+    }();
+    return m;
+  }
+};
+
+inline void hash_combine(std::size_t& seed, std::uint64_t v) noexcept {
+  // SplitMix64 finalizer, folded into the running seed.
+  std::uint64_t z = v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  seed ^= static_cast<std::size_t>(z ^ (z >> 31));
+}
+
+}  // namespace
+
+std::size_t hash_attrs(const PathAttributes& attrs) noexcept {
+  std::size_t seed = 0x8f3a91b7u;
+  hash_combine(seed, static_cast<std::uint64_t>(attrs.origin));
+  for (const AsPathSegment& seg : attrs.as_path.segments()) {
+    hash_combine(seed, static_cast<std::uint64_t>(seg.type));
+    hash_combine(seed, seg.asns.size());
+    for (AsNumber asn : seg.asns) hash_combine(seed, asn);
+  }
+  hash_combine(seed, attrs.next_hop.value());
+  hash_combine(seed, attrs.med ? (1ULL << 32) | *attrs.med : 0);
+  hash_combine(seed, attrs.local_pref ? (1ULL << 32) | *attrs.local_pref : 0);
+  hash_combine(seed, attrs.atomic_aggregate ? 1 : 0);
+  if (attrs.aggregator) {
+    hash_combine(seed, attrs.aggregator->first);
+    hash_combine(seed, attrs.aggregator->second.value());
+  }
+  hash_combine(seed, attrs.communities.size());
+  for (std::uint32_t c : attrs.communities) hash_combine(seed, c);
+  hash_combine(seed, attrs.unknown.size());
+  for (const UnknownAttribute& u : attrs.unknown) {
+    hash_combine(seed, (static_cast<std::uint64_t>(u.flags) << 8) | u.type);
+    hash_combine(seed, u.value.size());
+    for (std::uint8_t b : u.value) hash_combine(seed, b);
+  }
+  return seed;
+}
+
+std::size_t deep_size(const PathAttributes& attrs) noexcept {
+  std::size_t bytes = sizeof(PathAttributes);
+  for (const AsPathSegment& seg : attrs.as_path.segments()) {
+    bytes += sizeof(AsPathSegment) + seg.asns.size() * sizeof(AsNumber);
+  }
+  bytes += attrs.communities.size() * sizeof(std::uint32_t);
+  for (const UnknownAttribute& u : attrs.unknown) {
+    bytes += sizeof(UnknownAttribute) + u.value.size();
+  }
+  return bytes;
+}
+
+AttrHandle AttrInterner::intern(PathAttributes&& attrs) {
+  const std::size_t h = hash_attrs(attrs);
+  auto [lo, hi] = entries_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second->attrs == attrs) {
+      ++stats_.hits;
+      InternerMetrics::get().hits->inc();
+      ++it->second->refs;
+      return AttrHandle(it->second.get());
+    }
+  }
+  auto entry = std::make_unique<detail::AttrEntry>();
+  entry->attrs = std::move(attrs);
+  entry->hash = h;
+  entry->deep_bytes = deep_size(entry->attrs);
+  entry->refs = 1;
+  entry->owner = this;
+  ++stats_.misses;
+  ++stats_.live;
+  stats_.bytes += entry->deep_bytes;
+  auto& metrics = InternerMetrics::get();
+  metrics.misses->inc();
+  metrics.live->add(1);
+  detail::AttrEntry* raw = entry.get();
+  entries_.emplace(h, std::move(entry));
+  return AttrHandle(raw);
+}
+
+void AttrInterner::erase_entry(detail::AttrEntry* entry) noexcept {
+  --stats_.live;
+  stats_.bytes -= entry->deep_bytes;
+  InternerMetrics::get().live->add(-1);
+  auto [lo, hi] = entries_.equal_range(entry->hash);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second.get() == entry) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace dbgp::bgp

@@ -1,0 +1,167 @@
+// Hash-consed path-attribute interning (DESIGN.md §14).
+//
+// Real daemons survive full-table scale by canonicalizing: a million routes
+// share a few thousand distinct attribute sets, so the RIBs store refcounted
+// handles to canonical PathAttributes objects instead of per-route copies.
+// Within one interner, content equality IS handle identity — comparing two
+// AttrHandles is a single pointer compare, never an attribute walk — which
+// is what makes LocRib change detection and Adj-RIB-Out delta suppression
+// O(1) per route.
+//
+// Construction is funneled through AttrBuilder: call sites stage a mutable
+// PathAttributes, then finalize with std::move(builder).intern(interner).
+// After that point nothing can mutate the canonical object in place; an
+// "edited" attribute set is a new builder and a new (or rediscovered)
+// canonical entry.
+//
+// One interner belongs to one speaker (shard-local, like its RibArena) and
+// is deliberately not thread-safe: every RIB mutation on a speaker runs
+// sequentially (the thread pool only runs the pure decode/plan stages).
+// Handles must not outlive their interner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "bgp/path_attributes.h"
+
+namespace dbgp::bgp {
+
+class AttrInterner;
+
+// Content hash over every field that participates in PathAttributes
+// equality. Stable within a process run only (not a wire artifact).
+std::size_t hash_attrs(const PathAttributes& attrs) noexcept;
+
+// Deep footprint of one PathAttributes value: the struct itself plus every
+// heap block it owns (AS-path segments, communities, unknown payloads).
+// This is what a non-interned RIB would pay per route; the interner's bytes
+// accounting and bench_memory's naive-layout comparison both build on it.
+std::size_t deep_size(const PathAttributes& attrs) noexcept;
+
+namespace detail {
+// One canonical attribute set. Stable address for the lifetime of its
+// references; owned by the interner's table.
+struct AttrEntry {
+  PathAttributes attrs;
+  std::size_t hash = 0;
+  std::size_t deep_bytes = 0;
+  std::uint32_t refs = 0;
+  AttrInterner* owner = nullptr;
+};
+}  // namespace detail
+
+// Refcounted handle to one canonical attribute set. Copy = refcount bump;
+// the last handle to drop erases the entry from its interner.
+class AttrHandle {
+ public:
+  AttrHandle() noexcept = default;
+  AttrHandle(const AttrHandle& other) noexcept : entry_(other.entry_) {
+    if (entry_ != nullptr) ++entry_->refs;
+  }
+  AttrHandle(AttrHandle&& other) noexcept : entry_(other.entry_) { other.entry_ = nullptr; }
+  AttrHandle& operator=(const AttrHandle& other) noexcept {
+    if (this != &other) {
+      AttrHandle tmp(other);
+      std::swap(entry_, tmp.entry_);
+    }
+    return *this;
+  }
+  AttrHandle& operator=(AttrHandle&& other) noexcept {
+    if (this != &other) {
+      release();
+      entry_ = other.entry_;
+      other.entry_ = nullptr;
+    }
+    return *this;
+  }
+  ~AttrHandle() { release(); }
+
+  explicit operator bool() const noexcept { return entry_ != nullptr; }
+  const PathAttributes& operator*() const noexcept { return entry_->attrs; }
+  const PathAttributes* operator->() const noexcept { return &entry_->attrs; }
+  const PathAttributes* get() const noexcept {
+    return entry_ != nullptr ? &entry_->attrs : nullptr;
+  }
+
+  // Identity is content equality within one interner.
+  friend bool operator==(const AttrHandle& a, const AttrHandle& b) noexcept {
+    return a.entry_ == b.entry_;
+  }
+
+ private:
+  friend class AttrInterner;
+  explicit AttrHandle(detail::AttrEntry* entry) noexcept : entry_(entry) {}  // adopts one ref
+  inline void release() noexcept;  // defined after AttrInterner
+
+  detail::AttrEntry* entry_ = nullptr;
+};
+
+struct AttrInternerStats {
+  std::uint64_t hits = 0;    // intern() found an existing canonical entry
+  std::uint64_t misses = 0;  // intern() created a new canonical entry
+  std::size_t live = 0;      // canonical entries currently referenced
+  std::size_t bytes = 0;     // deep bytes across live canonical entries
+};
+
+class AttrInterner {
+ public:
+  AttrInterner() = default;
+  // Entries back-reference the interner; pin its address.
+  AttrInterner(const AttrInterner&) = delete;
+  AttrInterner& operator=(const AttrInterner&) = delete;
+
+  const AttrInternerStats& stats() const noexcept { return stats_; }
+  std::size_t live() const noexcept { return stats_.live; }
+  std::size_t bytes() const noexcept { return stats_.bytes; }
+  double hit_rate() const noexcept {
+    const std::uint64_t total = stats_.hits + stats_.misses;
+    return total == 0 ? 0.0 : static_cast<double>(stats_.hits) / static_cast<double>(total);
+  }
+
+ private:
+  friend class AttrBuilder;
+  friend class AttrHandle;
+
+  // Only AttrBuilder::intern may mint handles (the single-construction-path
+  // invariant); only AttrHandle::release may erase entries.
+  AttrHandle intern(PathAttributes&& attrs);
+  void erase_entry(detail::AttrEntry* entry) noexcept;
+
+  // hash -> canonical entries with that hash (collisions chain in the
+  // multimap). unique_ptr keeps entry addresses stable across rehashes.
+  std::unordered_multimap<std::size_t, std::unique_ptr<detail::AttrEntry>> entries_;
+  AttrInternerStats stats_;
+};
+
+inline void AttrHandle::release() noexcept {
+  if (entry_ != nullptr && --entry_->refs == 0) entry_->owner->erase_entry(entry_);
+  entry_ = nullptr;
+}
+
+// The single construction path for canonical attribute sets. Stage freely
+// through attrs(), then finalize exactly once:
+//
+//   AttrBuilder b(*route.attrs);      // seed from a canonical set
+//   b.attrs().as_path.prepend(asn);   // stage edits on the private copy
+//   AttrHandle h = std::move(b).intern(interner);
+class AttrBuilder {
+ public:
+  AttrBuilder() = default;
+  explicit AttrBuilder(PathAttributes seed) : attrs_(std::move(seed)) {}
+  explicit AttrBuilder(const AttrHandle& seed) : attrs_(seed ? *seed : PathAttributes{}) {}
+
+  PathAttributes& attrs() noexcept { return attrs_; }
+  const PathAttributes& attrs() const noexcept { return attrs_; }
+
+  // Finalizes the staged set into its canonical handle. Rvalue-qualified:
+  // the builder is consumed, so a staged set is interned at most once.
+  AttrHandle intern(AttrInterner& interner) && { return interner.intern(std::move(attrs_)); }
+
+ private:
+  PathAttributes attrs_;
+};
+
+}  // namespace dbgp::bgp

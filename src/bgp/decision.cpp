@@ -3,22 +3,22 @@
 namespace dbgp::bgp {
 
 bool better_route(const Route& a, const Route& b) noexcept {
-  const std::uint32_t lp_a = a.attrs.local_pref.value_or(kDefaultLocalPref);
-  const std::uint32_t lp_b = b.attrs.local_pref.value_or(kDefaultLocalPref);
+  const std::uint32_t lp_a = a.attrs->local_pref.value_or(kDefaultLocalPref);
+  const std::uint32_t lp_b = b.attrs->local_pref.value_or(kDefaultLocalPref);
   if (lp_a != lp_b) return lp_a > lp_b;
 
-  const std::size_t len_a = a.attrs.as_path.hop_count();
-  const std::size_t len_b = b.attrs.as_path.hop_count();
+  const std::size_t len_a = a.attrs->as_path.hop_count();
+  const std::size_t len_b = b.attrs->as_path.hop_count();
   if (len_a != len_b) return len_a < len_b;
 
-  if (a.attrs.origin != b.attrs.origin) {
-    return static_cast<int>(a.attrs.origin) < static_cast<int>(b.attrs.origin);
+  if (a.attrs->origin != b.attrs->origin) {
+    return static_cast<int>(a.attrs->origin) < static_cast<int>(b.attrs->origin);
   }
 
   // MED applies only between routes from the same neighboring AS.
   if (a.neighbor_as == b.neighbor_as && a.neighbor_as != 0) {
-    const std::uint32_t med_a = a.attrs.med.value_or(0);
-    const std::uint32_t med_b = b.attrs.med.value_or(0);
+    const std::uint32_t med_a = a.attrs->med.value_or(0);
+    const std::uint32_t med_b = b.attrs->med.value_or(0);
     if (med_a != med_b) return med_a < med_b;
   }
 
@@ -39,39 +39,38 @@ const char* to_string(SelectionStep step) noexcept {
 }
 
 SelectionStep deciding_step(const Route& a, const Route& b) noexcept {
-  if (a.attrs.local_pref.value_or(kDefaultLocalPref) !=
-      b.attrs.local_pref.value_or(kDefaultLocalPref)) {
+  if (a.attrs->local_pref.value_or(kDefaultLocalPref) !=
+      b.attrs->local_pref.value_or(kDefaultLocalPref)) {
     return SelectionStep::kLocalPref;
   }
-  if (a.attrs.as_path.hop_count() != b.attrs.as_path.hop_count()) {
+  if (a.attrs->as_path.hop_count() != b.attrs->as_path.hop_count()) {
     return SelectionStep::kPathLength;
   }
-  if (a.attrs.origin != b.attrs.origin) return SelectionStep::kOrigin;
+  if (a.attrs->origin != b.attrs->origin) return SelectionStep::kOrigin;
   if (a.neighbor_as == b.neighbor_as && a.neighbor_as != 0 &&
-      a.attrs.med.value_or(0) != b.attrs.med.value_or(0)) {
+      a.attrs->med.value_or(0) != b.attrs->med.value_or(0)) {
     return SelectionStep::kMed;
   }
   if (a.from_peer != b.from_peer) return SelectionStep::kPeerId;
   return SelectionStep::kArrivalOrder;
 }
 
-const Route* select_best(const std::vector<const Route*>& candidates) noexcept {
+RouteView select_best(std::span<const Route> candidates) noexcept {
   const Route* best = nullptr;
-  for (const Route* r : candidates) {
-    if (best == nullptr || better_route(*r, *best)) best = r;
+  for (const Route& r : candidates) {
+    if (best == nullptr || better_route(r, *best)) best = &r;
   }
-  return best;
+  return RouteView{best};
 }
 
-const Route* select_best(const std::vector<const Route*>& candidates,
-                         std::vector<std::string>& outcomes) {
-  const Route* best = select_best(candidates);
+RouteView select_best(std::span<const Route> candidates, std::vector<std::string>& outcomes) {
+  const RouteView best = select_best(candidates);
   outcomes.clear();
   outcomes.reserve(candidates.size());
-  for (const Route* r : candidates) {
-    outcomes.push_back(r == best
+  for (const Route& r : candidates) {
+    outcomes.push_back(&r == best.get()
                            ? std::string("selected")
-                           : std::string("lost:") + to_string(deciding_step(*best, *r)));
+                           : std::string("lost:") + to_string(deciding_step(*best, r)));
   }
   return best;
 }

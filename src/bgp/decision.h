@@ -9,6 +9,7 @@
 //   6. lowest arrival sequence (deterministic final tie-break)
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,12 +38,13 @@ const char* to_string(SelectionStep step) noexcept;
 // whole ladder ties down to the sequence number).
 SelectionStep deciding_step(const Route& a, const Route& b) noexcept;
 
-// Picks the best candidate; nullptr for an empty set.
-const Route* select_best(const std::vector<const Route*>& candidates) noexcept;
+// Picks the best candidate from a borrowed view (AdjRibIn::candidates());
+// a null view for an empty set. The view borrows the candidate storage, so
+// it is valid exactly as long as the input span.
+RouteView select_best(std::span<const Route> candidates) noexcept;
 
 // Audited variant: fills `outcomes` (parallel to `candidates`) with
 // "selected" for the winner and "lost:<step>" for everyone else.
-const Route* select_best(const std::vector<const Route*>& candidates,
-                         std::vector<std::string>& outcomes);
+RouteView select_best(std::span<const Route> candidates, std::vector<std::string>& outcomes);
 
 }  // namespace dbgp::bgp

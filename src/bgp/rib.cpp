@@ -1,58 +1,64 @@
 #include "bgp/rib.h"
 
+#include <algorithm>
+
 namespace dbgp::bgp {
 
-std::optional<Route> AdjRibIn::upsert(Route route) {
-  auto& per_peer = routes_[route.prefix];
-  auto it = per_peer.find(route.from_peer);
-  std::optional<Route> previous;
-  if (it != per_peer.end()) {
-    previous = std::move(it->second);
-    it->second = std::move(route);
-  } else {
-    per_peer.emplace(route.from_peer, std::move(route));
-    ++size_;
+bool AdjRibIn::upsert(Route route) {
+  auto& per_prefix = routes_.try_emplace(route.prefix).first->second;
+  auto it = std::lower_bound(
+      per_prefix.begin(), per_prefix.end(), route.from_peer,
+      [](const Route& r, PeerId peer) { return r.from_peer < peer; });
+  if (it != per_prefix.end() && it->from_peer == route.from_peer) {
+    *it = std::move(route);
+    return true;
   }
-  return previous;
+  per_prefix.insert(it, std::move(route));
+  ++size_;
+  return false;
 }
 
 bool AdjRibIn::remove(PeerId peer, const net::Prefix& prefix) {
   auto it = routes_.find(prefix);
   if (it == routes_.end()) return false;
-  const bool removed = it->second.erase(peer) > 0;
-  if (removed) {
-    --size_;
-    if (it->second.empty()) routes_.erase(it);
-  }
-  return removed;
+  auto& per_prefix = it->second;
+  auto rit = std::find_if(per_prefix.begin(), per_prefix.end(),
+                          [peer](const Route& r) { return r.from_peer == peer; });
+  if (rit == per_prefix.end()) return false;
+  per_prefix.erase(rit);
+  --size_;
+  if (per_prefix.empty()) routes_.erase(it);
+  return true;
 }
 
 std::vector<net::Prefix> AdjRibIn::remove_peer(PeerId peer) {
   std::vector<net::Prefix> affected;
   for (auto it = routes_.begin(); it != routes_.end();) {
-    if (it->second.erase(peer) > 0) {
+    auto& per_prefix = it->second;
+    auto rit = std::find_if(per_prefix.begin(), per_prefix.end(),
+                            [peer](const Route& r) { return r.from_peer == peer; });
+    if (rit != per_prefix.end()) {
+      per_prefix.erase(rit);
       --size_;
       affected.push_back(it->first);
     }
-    it = it->second.empty() ? routes_.erase(it) : std::next(it);
+    it = per_prefix.empty() ? routes_.erase(it) : std::next(it);
   }
   return affected;
 }
 
-std::vector<const Route*> AdjRibIn::candidates(const net::Prefix& prefix) const {
-  std::vector<const Route*> out;
+std::span<const Route> AdjRibIn::candidates(const net::Prefix& prefix) const noexcept {
   auto it = routes_.find(prefix);
-  if (it == routes_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [peer, route] : it->second) out.push_back(&route);
-  return out;
+  if (it == routes_.end()) return {};
+  return {it->second.data(), it->second.size()};
 }
 
-const Route* AdjRibIn::find(PeerId peer, const net::Prefix& prefix) const {
+RouteView AdjRibIn::find(PeerId peer, const net::Prefix& prefix) const noexcept {
   auto it = routes_.find(prefix);
-  if (it == routes_.end()) return nullptr;
-  auto pit = it->second.find(peer);
-  return pit == it->second.end() ? nullptr : &pit->second;
+  if (it == routes_.end()) return RouteView{};
+  auto rit = std::find_if(it->second.begin(), it->second.end(),
+                          [peer](const Route& r) { return r.from_peer == peer; });
+  return rit == it->second.end() ? RouteView{} : RouteView{&*rit};
 }
 
 bool LocRib::install(const Route& route) {
@@ -61,22 +67,22 @@ bool LocRib::install(const Route& route) {
       it->second.from_peer == route.from_peer) {
     return false;
   }
-  routes_[route.prefix] = route;
+  routes_.insert_or_assign(route.prefix, route);
   return true;
 }
 
 bool LocRib::remove(const net::Prefix& prefix) { return routes_.erase(prefix) > 0; }
 
-const Route* LocRib::find(const net::Prefix& prefix) const {
+RouteView LocRib::find(const net::Prefix& prefix) const noexcept {
   auto it = routes_.find(prefix);
-  return it == routes_.end() ? nullptr : &it->second;
+  return it == routes_.end() ? RouteView{} : RouteView{&it->second};
 }
 
-bool AdjRibOut::advertise(PeerId peer, const net::Prefix& prefix, const PathAttributes& attrs) {
-  auto& table = per_peer_[peer];
+bool AdjRibOut::advertise(PeerId peer, const net::Prefix& prefix, const AttrHandle& attrs) {
+  auto& table = per_peer_.try_emplace(peer).first->second;
   auto it = table.find(prefix);
   if (it != table.end() && it->second == attrs) return false;
-  table[prefix] = attrs;
+  table.insert_or_assign(prefix, attrs);
   return true;
 }
 
@@ -88,20 +94,16 @@ bool AdjRibOut::withdraw(PeerId peer, const net::Prefix& prefix) {
 
 void AdjRibOut::clear_peer(PeerId peer) { per_peer_.erase(peer); }
 
-const PathAttributes* AdjRibOut::find(PeerId peer, const net::Prefix& prefix) const {
+AttrHandle AdjRibOut::find(PeerId peer, const net::Prefix& prefix) const noexcept {
   auto it = per_peer_.find(peer);
-  if (it == per_peer_.end()) return nullptr;
+  if (it == per_peer_.end()) return {};
   auto pit = it->second.find(prefix);
-  return pit == it->second.end() ? nullptr : &pit->second;
+  return pit == it->second.end() ? AttrHandle{} : pit->second;
 }
 
-std::vector<std::pair<net::Prefix, PathAttributes>> AdjRibOut::advertised(PeerId peer) const {
-  std::vector<std::pair<net::Prefix, PathAttributes>> out;
+std::size_t AdjRibOut::advertised_count(PeerId peer) const noexcept {
   auto it = per_peer_.find(peer);
-  if (it == per_peer_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [prefix, attrs] : it->second) out.emplace_back(prefix, attrs);
-  return out;
+  return it == per_peer_.end() ? 0 : it->second.size();
 }
 
 }  // namespace dbgp::bgp

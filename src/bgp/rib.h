@@ -1,17 +1,24 @@
-// Routing Information Bases (RFC 4271 section 3.2).
+// Routing Information Bases (RFC 4271 section 3.2), handle-based.
 //
 // AdjRibIn holds the routes learned from each peer after import policy;
 // LocRib holds the selected best route per prefix; AdjRibOut tracks what was
 // last advertised to each peer so the speaker only sends deltas.
+//
+// Memory architecture (DESIGN.md §14): routes carry interned AttrHandles —
+// a Route is a fixed ~32-byte record no matter how rich its attribute set —
+// and every table allocates from the owning speaker's RibArena via std::pmr.
+// Lookups hand out borrowed views (std::span / RouteView / a visitor), never
+// allocated copies; a view is invalidated by the next mutation of its table,
+// exactly like the iterators it wraps.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <optional>
-#include <unordered_map>
+#include <memory_resource>
+#include <span>
 #include <vector>
 
-#include "bgp/path_attributes.h"
+#include "bgp/attr_interner.h"
 #include "bgp/types.h"
 #include "net/ipv4.h"
 
@@ -20,7 +27,7 @@ namespace dbgp::bgp {
 // One candidate route as stored in Adj-RIB-In.
 struct Route {
   net::Prefix prefix;
-  PathAttributes attrs;
+  AttrHandle attrs;  // canonical, interned; compare with == (pointer identity)
   PeerId from_peer = kInvalidPeer;
   AsNumber neighbor_as = 0;  // first AS of the sending peer (for MED rule)
   std::uint64_t sequence = 0;  // arrival order; final deterministic tie-break
@@ -28,61 +35,102 @@ struct Route {
   bool operator==(const Route&) const = default;
 };
 
+// Borrowed, non-owning view of one RIB entry. Null when the lookup missed;
+// valid until the owning table's next mutation.
+class RouteView {
+ public:
+  RouteView() noexcept = default;
+  explicit RouteView(const Route* route) noexcept : route_(route) {}
+
+  explicit operator bool() const noexcept { return route_ != nullptr; }
+  const Route& operator*() const noexcept { return *route_; }
+  const Route* operator->() const noexcept { return route_; }
+  const Route* get() const noexcept { return route_; }
+
+ private:
+  const Route* route_ = nullptr;
+};
+
 class AdjRibIn {
  public:
-  // Inserts/replaces the route from (peer, prefix). Returns previous route
-  // if one existed.
-  std::optional<Route> upsert(Route route);
+  explicit AdjRibIn(std::pmr::memory_resource* arena = std::pmr::get_default_resource())
+      : routes_(arena) {}
+
+  // Inserts/replaces the route from (peer, prefix); true if it replaced an
+  // existing route from that peer.
+  bool upsert(Route route);
   // Removes (peer, prefix); returns true if something was removed.
   bool remove(PeerId peer, const net::Prefix& prefix);
   // Removes everything learned from a peer (session down); returns the
   // affected prefixes.
   std::vector<net::Prefix> remove_peer(PeerId peer);
 
-  // All candidate routes for a prefix (any peer), in peer order.
-  std::vector<const Route*> candidates(const net::Prefix& prefix) const;
-  const Route* find(PeerId peer, const net::Prefix& prefix) const;
+  // All candidate routes for a prefix (any peer), in peer order — a borrowed
+  // view into the arena-backed table; no allocation.
+  std::span<const Route> candidates(const net::Prefix& prefix) const noexcept;
+  RouteView find(PeerId peer, const net::Prefix& prefix) const noexcept;
 
   std::size_t size() const noexcept { return size_; }
 
  private:
-  // prefix -> (peer -> route). std::map keeps deterministic iteration.
-  std::map<net::Prefix, std::map<PeerId, Route>> routes_;
+  // prefix -> routes sorted by from_peer. The per-prefix table is a flat
+  // arena-backed vector: candidate iteration is one contiguous scan, and the
+  // old nested map's per-route node overhead is gone.
+  std::pmr::map<net::Prefix, std::pmr::vector<Route>> routes_;
   std::size_t size_ = 0;
 };
 
 class LocRib {
  public:
-  // Installs a best route; returns true if it changed (different attrs or
-  // newly present).
+  explicit LocRib(std::pmr::memory_resource* arena = std::pmr::get_default_resource())
+      : routes_(arena) {}
+
+  // Installs a best route; returns true if it changed (newly present, new
+  // attribute handle, or new sending peer). Attribute change detection is a
+  // handle compare — one pointer — because equal attrs intern to the same
+  // canonical entry.
   bool install(const Route& route);
   // Removes the best route for a prefix; returns true if present.
   bool remove(const net::Prefix& prefix);
 
-  const Route* find(const net::Prefix& prefix) const;
-  const std::map<net::Prefix, Route>& routes() const noexcept { return routes_; }
+  RouteView find(const net::Prefix& prefix) const noexcept;
+  const std::pmr::map<net::Prefix, Route>& routes() const noexcept { return routes_; }
   std::size_t size() const noexcept { return routes_.size(); }
 
  private:
-  std::map<net::Prefix, Route> routes_;
+  std::pmr::map<net::Prefix, Route> routes_;
 };
 
-// Tracks per-peer advertised state for delta generation.
+// Tracks per-peer advertised state for delta generation. Stores only the
+// interned handle per (peer, prefix) — the exported attribute sets are
+// shared with the interner's canonical objects, not copied per peer.
 class AdjRibOut {
  public:
+  explicit AdjRibOut(std::pmr::memory_resource* arena = std::pmr::get_default_resource())
+      : per_peer_(arena) {}
+
   // Records an advertisement; returns true if it differs from what was last
-  // sent (i.e., a real UPDATE is needed).
-  bool advertise(PeerId peer, const net::Prefix& prefix, const PathAttributes& attrs);
+  // sent (i.e., a real UPDATE is needed). Handle-identity compare.
+  bool advertise(PeerId peer, const net::Prefix& prefix, const AttrHandle& attrs);
   // Records a withdrawal; returns true if the peer had the prefix.
   bool withdraw(PeerId peer, const net::Prefix& prefix);
   void clear_peer(PeerId peer);
 
-  const PathAttributes* find(PeerId peer, const net::Prefix& prefix) const;
-  // Everything currently advertised to `peer` (for initial table dump).
-  std::vector<std::pair<net::Prefix, PathAttributes>> advertised(PeerId peer) const;
+  // Last advertised attrs for (peer, prefix); null handle when none.
+  AttrHandle find(PeerId peer, const net::Prefix& prefix) const noexcept;
+  std::size_t advertised_count(PeerId peer) const noexcept;
+
+  // Visits everything currently advertised to `peer` in prefix order,
+  // without materializing a copy: visit(const net::Prefix&, const AttrHandle&).
+  template <typename Visitor>
+  void for_each_advertised(PeerId peer, Visitor&& visit) const {
+    auto it = per_peer_.find(peer);
+    if (it == per_peer_.end()) return;
+    for (const auto& [prefix, attrs] : it->second) visit(prefix, attrs);
+  }
 
  private:
-  std::map<PeerId, std::map<net::Prefix, PathAttributes>> per_peer_;
+  std::pmr::map<PeerId, std::pmr::map<net::Prefix, AttrHandle>> per_peer_;
 };
 
 }  // namespace dbgp::bgp

@@ -42,6 +42,14 @@ struct BgpMetrics {
 };
 }  // namespace
 
+BgpSpeaker::BgpSpeaker(Config config)
+    : config_(config),
+      arena_(std::make_unique<util::RibArena>()),
+      interner_(std::make_unique<AttrInterner>()),
+      adj_rib_in_(arena_->resource()),
+      loc_rib_(arena_->resource()),
+      adj_rib_out_(arena_->resource()) {}
+
 PeerId BgpSpeaker::add_peer(AsNumber peer_as, PolicyChain import_policy,
                             PolicyChain export_policy) {
   Peer peer;
@@ -195,14 +203,14 @@ bool BgpSpeaker::stage_nlri(PeerId from, const net::Prefix& prefix,
   ++stats_.prefixes_processed;
   BgpMetrics::get().prefixes_processed->inc();
   Peer& p = peers_.at(from);
-  PathAttributes attrs = update_attrs;
+  AttrBuilder builder(update_attrs);
   // RFC 4271 loop detection: our own AS in the path means discard.
-  if (attrs.as_path.contains(config_.asn)) {
+  if (builder.attrs().as_path.contains(config_.asn)) {
     ++stats_.routes_rejected_by_loop;
     BgpMetrics::get().routes_rejected_by_loop->inc();
     return adj_rib_in_.remove(from, prefix);
   }
-  if (!p.import_policy.apply(prefix, attrs, config_.asn)) {
+  if (!p.import_policy.apply(prefix, builder.attrs(), config_.asn)) {
     ++stats_.routes_rejected_by_policy;
     BgpMetrics::get().routes_rejected_by_policy->inc();
     // Policy reject acts as an implicit withdraw of the previous route.
@@ -210,7 +218,7 @@ bool BgpSpeaker::stage_nlri(PeerId from, const net::Prefix& prefix,
   }
   Route route;
   route.prefix = prefix;
-  route.attrs = std::move(attrs);
+  route.attrs = std::move(builder).intern(*interner_);
   route.from_peer = from;
   route.neighbor_as = p.asn;
   route.sequence = ++sequence_;
@@ -305,19 +313,19 @@ void BgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<Outgoing>& 
                               double now) {
   // Locally originated routes always win (they model LOCAL_PREF infinity /
   // the IGP route to our own prefix).
-  const Route* best = nullptr;
+  RouteView best;
   Route local_route;
   auto origin_it = originated_.find(prefix);
   if (origin_it != originated_.end()) {
     local_route.prefix = prefix;
     local_route.attrs = origin_it->second;
     local_route.from_peer = kInvalidPeer;
-    best = &local_route;
+    best = RouteView{&local_route};
   } else {
     best = select_best(adj_rib_in_.candidates(prefix));
   }
 
-  if (best == nullptr) {
+  if (!best) {
     // Prefix lost entirely: withdraw everywhere it was advertised.
     if (loc_rib_.remove(prefix)) {
       for (PeerId peer = 0; peer < peers_.size(); ++peer) {
@@ -342,8 +350,8 @@ void BgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<Outgoing>& 
       }
       continue;
     }
-    PathAttributes export_attrs;
-    if (!export_route(peer, *best, export_attrs)) {
+    AttrHandle export_attrs = export_route(peer, *best);
+    if (!export_attrs) {
       if (adj_rib_out_.withdraw(peer, prefix)) {
         queue_delta(peer, prefix, std::nullopt, out, now);
       }
@@ -355,28 +363,27 @@ void BgpSpeaker::run_decision(const net::Prefix& prefix, std::vector<Outgoing>& 
   }
 }
 
-bool BgpSpeaker::export_route(PeerId to, const Route& route, PathAttributes& out_attrs) const {
-  out_attrs = route.attrs;
+AttrHandle BgpSpeaker::export_route(PeerId to, const Route& route) const {
+  AttrBuilder builder(*route.attrs);
+  PathAttributes& attrs = builder.attrs();
   // eBGP export: prepend own AS, set next-hop-self, strip LOCAL_PREF and MED
   // (MED is non-transitive beyond the neighboring AS).
-  out_attrs.as_path.prepend(config_.asn);
-  out_attrs.next_hop = config_.next_hop;
-  out_attrs.local_pref.reset();
-  if (route.from_peer != kInvalidPeer) out_attrs.med.reset();
-  PathAttributes modified = out_attrs;
-  if (!peers_.at(to).export_policy.apply(route.prefix, modified, config_.asn)) return false;
-  out_attrs = std::move(modified);
-  return true;
+  attrs.as_path.prepend(config_.asn);
+  attrs.next_hop = config_.next_hop;
+  attrs.local_pref.reset();
+  if (route.from_peer != kInvalidPeer) attrs.med.reset();
+  if (!peers_.at(to).export_policy.apply(route.prefix, attrs, config_.asn)) return {};
+  return std::move(builder).intern(*interner_);
 }
 
 void BgpSpeaker::queue_delta(PeerId to, const net::Prefix& prefix,
-                             std::optional<PathAttributes> attrs, std::vector<Outgoing>& out,
+                             std::optional<AttrHandle> attrs, std::vector<Outgoing>& out,
                              double now) {
   Peer& p = peers_.at(to);
   if (config_.mrai <= 0.0) {
     UpdateMessage update;
     if (attrs) {
-      update.attributes = std::move(*attrs);
+      update.attributes = **attrs;  // canonical -> wire copy at the boundary
       update.nlri.push_back(prefix);
     } else {
       update.withdrawn.push_back(prefix);
@@ -400,7 +407,7 @@ void BgpSpeaker::flush_pending(PeerId to, std::vector<Outgoing>& out, double now
   for (auto& [prefix, attrs] : p.pending) {
     if (attrs) {
       UpdateMessage update;
-      update.attributes = std::move(*attrs);
+      update.attributes = **attrs;  // canonical -> wire copy at the boundary
       update.nlri.push_back(prefix);
       emit_update(to, update, out);
     } else {
@@ -421,8 +428,8 @@ void BgpSpeaker::emit_update(PeerId to, const UpdateMessage& update, std::vector
 void BgpSpeaker::send_full_table(PeerId to, std::vector<Outgoing>& out, double now) {
   for (const auto& [prefix, route] : loc_rib_.routes()) {
     if (route.from_peer == to) continue;
-    PathAttributes export_attrs;
-    if (!export_route(to, route, export_attrs)) continue;
+    AttrHandle export_attrs = export_route(to, route);
+    if (!export_attrs) continue;
     if (adj_rib_out_.advertise(to, prefix, export_attrs)) {
       queue_delta(to, prefix, std::move(export_attrs), out, now);
     }
@@ -459,10 +466,10 @@ std::vector<Outgoing> BgpSpeaker::tick(double now) {
 }
 
 std::vector<Outgoing> BgpSpeaker::originate(const net::Prefix& prefix, double now) {
-  PathAttributes attrs;
-  attrs.origin = Origin::kIgp;
-  attrs.next_hop = config_.next_hop;
-  originated_[prefix] = attrs;
+  AttrBuilder builder;
+  builder.attrs().origin = Origin::kIgp;
+  builder.attrs().next_hop = config_.next_hop;
+  originated_[prefix] = std::move(builder).intern(*interner_);
   std::vector<Outgoing> out;
   run_decision(prefix, out, now);
   return out;

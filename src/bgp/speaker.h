@@ -10,15 +10,18 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "bgp/attr_interner.h"
 #include "bgp/decision.h"
 #include "bgp/fsm.h"
 #include "bgp/message.h"
 #include "bgp/policy.h"
 #include "bgp/rib.h"
 #include "bgp/types.h"
+#include "util/arena.h"
 #include "util/thread_pool.h"
 
 namespace dbgp::bgp {
@@ -58,7 +61,14 @@ class BgpSpeaker {
     double mrai = 0.0;
   };
 
-  explicit BgpSpeaker(Config config) : config_(config) {}
+  explicit BgpSpeaker(Config config);
+
+  // Movable (containers keep pointing at the same heap-pinned arena and
+  // interner, which move over with the unique_ptrs), but not move-assignable:
+  // member-wise move assignment would replace the arena while arena-backed
+  // maps still reference it.
+  BgpSpeaker(BgpSpeaker&&) noexcept = default;
+  BgpSpeaker& operator=(BgpSpeaker&&) = delete;
 
   // -- Configuration ------------------------------------------------------
   PeerId add_peer(AsNumber peer_as, PolicyChain import_policy = {},
@@ -115,7 +125,10 @@ class BgpSpeaker {
   // -- Inspection ---------------------------------------------------------
   const LocRib& loc_rib() const noexcept { return loc_rib_; }
   const AdjRibIn& adj_rib_in() const noexcept { return adj_rib_in_; }
+  const AdjRibOut& adj_rib_out() const noexcept { return adj_rib_out_; }
   const SpeakerStats& stats() const noexcept { return stats_; }
+  const AttrInterner& attr_interner() const noexcept { return *interner_; }
+  const util::RibArena& rib_arena() const noexcept { return *arena_; }
 
  private:
   struct Peer {
@@ -124,9 +137,9 @@ class BgpSpeaker {
     PolicyChain import_policy;
     PolicyChain export_policy;
     // MRAI state: when we may next send, and the coalesced pending deltas
-    // (value = attributes to announce; nullopt = withdraw).
+    // (value = interned attributes to announce; nullopt = withdraw).
     double next_send = 0.0;
-    std::map<net::Prefix, std::optional<PathAttributes>> pending;
+    std::map<net::Prefix, std::optional<AttrHandle>> pending;
   };
 
   std::vector<Outgoing> process_update(PeerId from, const UpdateMessage& update, double now);
@@ -137,14 +150,13 @@ class BgpSpeaker {
   bool stage_nlri(PeerId from, const net::Prefix& prefix, const PathAttributes& update_attrs);
   // Re-runs the decision process for `prefix`; queues deltas to all peers.
   void run_decision(const net::Prefix& prefix, std::vector<Outgoing>& out, double now);
-  // Builds export attributes (policy, next-hop-self, AS prepend) for a peer;
-  // returns false if export policy rejects.
-  bool export_route(PeerId to, const Route& route, PathAttributes& out_attrs) const;
+  // Builds export attributes (policy, next-hop-self, AS prepend) for a peer
+  // and interns them; returns a null handle if export policy rejects.
+  AttrHandle export_route(PeerId to, const Route& route) const;
   // Queues one announce (attrs) or withdraw (nullopt) toward a peer,
   // applying MRAI pacing.
-  void queue_delta(PeerId to, const net::Prefix& prefix,
-                   std::optional<PathAttributes> attrs, std::vector<Outgoing>& out,
-                   double now);
+  void queue_delta(PeerId to, const net::Prefix& prefix, std::optional<AttrHandle> attrs,
+                   std::vector<Outgoing>& out, double now);
   void emit_update(PeerId to, const UpdateMessage& update, std::vector<Outgoing>& out);
   // Flushes a peer's pending deltas as batched UPDATEs.
   void flush_pending(PeerId to, std::vector<Outgoing>& out, double now);
@@ -153,11 +165,16 @@ class BgpSpeaker {
   Message make_open() const;
 
   Config config_;
+  // Declared (and so constructed) before the RIBs that allocate from them;
+  // heap-pinned so moving the speaker cannot invalidate container
+  // allocators or interned handles.
+  std::unique_ptr<util::RibArena> arena_;
+  std::unique_ptr<AttrInterner> interner_;
   std::vector<Peer> peers_;
   AdjRibIn adj_rib_in_;
   LocRib loc_rib_;
   AdjRibOut adj_rib_out_;
-  std::map<net::Prefix, PathAttributes> originated_;
+  std::map<net::Prefix, AttrHandle> originated_;
   std::uint64_t sequence_ = 0;
   SpeakerStats stats_;
   util::ThreadPool* pool_ = nullptr;  // pre-decode stage only; see set_thread_pool

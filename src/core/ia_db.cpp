@@ -69,9 +69,14 @@ std::vector<const IaRoute*> IaDb::candidates(const net::Prefix& prefix) const {
   return out;
 }
 
-const std::map<bgp::PeerId, IaRoute>* IaDb::candidate_map(const net::Prefix& prefix) const {
+const std::pmr::map<bgp::PeerId, IaRoute>* IaDb::candidate_map(const net::Prefix& prefix) const {
   auto it = routes_.find(prefix);
   return it == routes_.end() ? nullptr : &it->second;
+}
+
+void IaDb::clear() noexcept {
+  routes_.clear();
+  size_ = 0;
 }
 
 std::vector<net::Prefix> IaDb::prefixes() const {

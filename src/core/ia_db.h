@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory_resource>
 #include <optional>
 #include <vector>
 
@@ -34,12 +35,22 @@ struct IaRoute {
 
 class IaDb {
  public:
+  // Table storage (map nodes) comes from `arena` — the owning speaker's
+  // shard-local RibArena (DESIGN.md §14). The IAs themselves hold their
+  // descriptor bytes via shared (interned) OpaqueTail arenas.
+  explicit IaDb(std::pmr::memory_resource* arena = std::pmr::get_default_resource())
+      : routes_(arena) {}
+
   // Inserts or replaces the IA from (peer, prefix).
   void upsert(IaRoute route);
   // Removes (peer, prefix); true if present.
   bool remove(bgp::PeerId peer, const net::Prefix& prefix);
   // Drops everything from a peer; returns affected prefixes.
   std::vector<net::Prefix> remove_peer(bgp::PeerId peer);
+  // Drops every route (crash/restart reset) without disturbing the arena
+  // binding — unlike assigning a fresh IaDb, which std::pmr forbids to
+  // retarget allocators.
+  void clear() noexcept;
 
   const IaRoute* find(bgp::PeerId peer, const net::Prefix& prefix) const;
   IaRoute* find_mutable(bgp::PeerId peer, const net::Prefix& prefix);
@@ -50,14 +61,14 @@ class IaDb {
   // prefix, nullptr when the prefix is unknown. Iteration order (peer id)
   // matches candidates(); the pointer is invalidated by upsert/remove. The
   // decision hot path iterates this instead of materializing a vector.
-  const std::map<bgp::PeerId, IaRoute>* candidate_map(const net::Prefix& prefix) const;
+  const std::pmr::map<bgp::PeerId, IaRoute>* candidate_map(const net::Prefix& prefix) const;
   // All prefixes currently known (for full-table dumps to new peers).
   std::vector<net::Prefix> prefixes() const;
 
   std::size_t size() const noexcept { return size_; }
 
  private:
-  std::map<net::Prefix, std::map<bgp::PeerId, IaRoute>> routes_;
+  std::pmr::map<net::Prefix, std::pmr::map<bgp::PeerId, IaRoute>> routes_;
   std::size_t size_ = 0;
 };
 

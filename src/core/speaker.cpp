@@ -91,7 +91,11 @@ DbgpSpeaker::DbgpSpeaker(DbgpConfig config, LookupService* lookup)
     : config_(std::move(config)),
       lookup_(lookup),
       factory_(IaFactory::Params{config_.asn, config_.island, config_.next_hop,
-                                 /*prepend_own_as=*/true}) {
+                                 /*prepend_own_as=*/true}),
+      arena_(std::make_unique<util::RibArena>()),
+      ia_db_(arena_->resource()),
+      selected_(arena_->resource()),
+      adj_out_(arena_->resource()) {
   // Default global filters per Figure 5: unified loop detection on import;
   // island handling on export.
   import_filters_.add("loop-detection", loop_detection_filter());
@@ -435,6 +439,10 @@ std::optional<net::Prefix> DbgpSpeaker::stage_ia(bgp::PeerId from,
       SpeakerMetrics::get().rejected_by_module->inc();
     }
   }
+  // Canonicalize the descriptor tail before storing: identical tails across
+  // peers/prefixes collapse onto one shared arena, and the IA lets go of its
+  // whole-frame receive buffer.
+  desc_interner_.intern(route.ia);
   ia_db_.upsert(std::move(route));
   if (causal_ != nullptr && cause != 0) pending_cause_[prefix] = cause;
   return prefix;
@@ -461,7 +469,7 @@ std::vector<DbgpOutgoing> DbgpSpeaker::peer_up(bgp::PeerId peer, telemetry::Span
 }
 
 void DbgpSpeaker::reset_routes() {
-  ia_db_ = IaDb{};
+  ia_db_.clear();
   selected_.clear();
   adj_out_.clear();
   batch_.clear();
@@ -1004,6 +1012,7 @@ void DbgpSpeaker::restore_state(const SpeakerState& state, bool keep_adj_out) {
   for (const auto& r : state.adj_in) {
     IaRoute route;
     route.ia = ia::decode_ia(r.bytes);
+    desc_interner_.intern(route.ia);
     route.from_peer = r.from_peer;
     route.neighbor_as = r.neighbor_as;
     route.sequence = r.sequence;
@@ -1013,6 +1022,7 @@ void DbgpSpeaker::restore_state(const SpeakerState& state, bool keep_adj_out) {
   for (const auto& r : state.selected) {
     IaRoute route;
     route.ia = ia::decode_ia(r.bytes);
+    desc_interner_.intern(route.ia);
     route.from_peer = r.from_peer;
     route.neighbor_as = r.neighbor_as;
     route.sequence = r.sequence;

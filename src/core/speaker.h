@@ -33,9 +33,11 @@
 #include "core/ia_factory.h"
 #include "core/lookup_service.h"
 #include "ia/codec.h"
+#include "ia/descriptor_interner.h"
 #include "ia/frame_cache.h"
 #include "net/prefix_trie.h"
 #include "telemetry/causal.h"
+#include "util/arena.h"
 #include "util/thread_pool.h"
 
 namespace dbgp::core {
@@ -96,6 +98,12 @@ struct DbgpStats {
 class DbgpSpeaker {
  public:
   explicit DbgpSpeaker(DbgpConfig config, LookupService* lookup = nullptr);
+
+  // Movable (the arena is heap-pinned and moves over with its unique_ptr)
+  // but not move-assignable: member-wise move assignment would replace the
+  // arena while arena-backed tables still reference it.
+  DbgpSpeaker(DbgpSpeaker&&) noexcept = default;
+  DbgpSpeaker& operator=(DbgpSpeaker&&) = delete;
 
   // -- Configuration -------------------------------------------------------
   bgp::PeerId add_peer(bgp::AsNumber peer_as, bool same_island = false);
@@ -216,6 +224,8 @@ class DbgpSpeaker {
   // a synthetic route with from_peer == kInvalidPeer.
   const IaRoute* best(const net::Prefix& prefix) const;
   const IaDb& ia_db() const noexcept { return ia_db_; }
+  const ia::DescriptorInterner& descriptor_interner() const noexcept { return desc_interner_; }
+  const util::RibArena& rib_arena() const noexcept { return *arena_; }
   const DbgpStats& stats() const noexcept { return stats_; }
   std::size_t peer_count() const noexcept { return peers_.size(); }
   bgp::AsNumber peer_as(bgp::PeerId peer) const { return peers_.at(peer).asn; }
@@ -336,14 +346,21 @@ class DbgpSpeaker {
   net::PrefixTrie<ia::ProtocolId> active_ranges_;
   GlobalFilterChain import_filters_;
   GlobalFilterChain export_filters_;
+  // Shard-local arena backing the RIB tables below (DESIGN.md §14);
+  // heap-pinned and declared before them so construction and destruction
+  // order is right.
+  std::unique_ptr<util::RibArena> arena_;
   IaDb ia_db_;
+  // Canonicalizes descriptor tails across peers/prefixes; every IA entering
+  // ia_db_ or selected_ passes through it (stage_ia, restore_state).
+  ia::DescriptorInterner desc_interner_;
   // Selected best per prefix (the Loc-RIB analog).
-  std::map<net::Prefix, IaRoute> selected_;
+  std::pmr::map<net::Prefix, IaRoute> selected_;
   std::map<net::Prefix, bool> originated_;  // value unused; set semantics
   // Last advertisement frame per (peer, prefix) for delta suppression.
   // Frames are shared with the cache, so the pointer-equality fast path
   // suppresses a re-advertisement without touching the bytes.
-  std::map<bgp::PeerId, std::map<net::Prefix, ia::SharedFrame>> adj_out_;
+  std::pmr::map<bgp::PeerId, std::pmr::map<net::Prefix, ia::SharedFrame>> adj_out_;
   // Encode-once fan-out across peers (and across decisions that re-select
   // the same route).
   ia::FrameCache frame_cache_;

@@ -1,0 +1,77 @@
+// Hash-consed IA descriptor-tail interning (DESIGN.md §14).
+//
+// Decoded Integrated Advertisements keep their descriptor section as a lazy
+// OpaqueTail into the received frame's byte arena (PR 2). That is zero-copy
+// per frame, but a full table learned from several peers holds thousands of
+// frame buffers whose descriptor bytes are identical — D-BGP descriptors are
+// mostly shared island/protocol state (the paper's Section 3.2 sharing
+// argument, and the `shared_fraction` knob of the synthetic workloads).
+//
+// The DescriptorInterner canonicalizes: equal tail byte strings share one
+// tail-only arena. Rebinding an IA's OpaqueTail to the canonical arena drops
+// its reference to the original whole-frame buffer, so the frame's header
+// bytes become freeable and N identical tails cost one allocation. Handles
+// are the existing shared_ptr arena references — no new handle type — and
+// live() counts canonical tails still referenced by at least one IA.
+//
+// One interner belongs to one DbgpSpeaker. Like AttrInterner it is not
+// thread-safe: all IA staging is sequential (stage_ia); the shard planners
+// only copy shared_ptrs, whose refcounts are atomic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ia/integrated_advertisement.h"
+
+namespace dbgp::ia {
+
+struct DescriptorInternerStats {
+  std::uint64_t hits = 0;    // tail matched an existing canonical arena
+  std::uint64_t misses = 0;  // tail copied into a new canonical arena
+};
+
+class DescriptorInterner {
+ public:
+  // Tails longer than this stay on their zero-copy frame arena (the PR 2
+  // fast path): hashing + copying a bulk payload costs more than the dedup
+  // saves, and the SharedFrame refcount already de-duplicates storage for
+  // in-flight fan-out. Small descriptor sections — the island/protocol
+  // state that actually repeats across a table — are what interning wins on.
+  static constexpr std::size_t kMaxInternedTailBytes = 1024;
+
+  // Rebinds `advert`'s opaque tail to the canonical arena for its byte
+  // content (creating one on first sight). No-op for IAs without a clean
+  // tail (locally built or already-materialized-and-edited descriptors) and
+  // for tails beyond kMaxInternedTailBytes.
+  void intern(IntegratedAdvertisement& advert);
+
+  const DescriptorInternerStats& stats() const noexcept { return stats_; }
+  // Canonical tails currently referenced by at least one IA.
+  std::size_t live() const noexcept;
+  // Bytes retained across all canonical tails (referenced or cached).
+  std::size_t bytes() const noexcept { return bytes_; }
+  double hit_rate() const noexcept {
+    const std::uint64_t total = stats_.hits + stats_.misses;
+    return total == 0 ? 0.0 : static_cast<double>(stats_.hits) / static_cast<double>(total);
+  }
+
+  // Drops canonical tails no longer referenced by any IA (use_count == 1:
+  // only the interner's own reference is left). Also runs opportunistically
+  // from intern() so churny workloads do not accumulate dead tails.
+  void gc();
+
+ private:
+  using Arena = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  // content hash -> canonical tail-only arenas (collisions chain).
+  std::unordered_map<std::size_t, std::vector<Arena>> tails_;
+  std::size_t entries_ = 0;
+  std::size_t bytes_ = 0;
+  DescriptorInternerStats stats_;
+};
+
+}  // namespace dbgp::ia

@@ -1,0 +1,24 @@
+#include "util/arena.h"
+
+namespace dbgp::util {
+
+namespace {
+// RIB node sizes cluster well under 1 KiB (map nodes, small vectors of
+// 32-byte routes); a larger-than-default largest_required_pool_block keeps
+// mid-sized candidate vectors inside the pool instead of punting each one
+// to the upstream heap.
+std::pmr::pool_options rib_pool_options() noexcept {
+  std::pmr::pool_options opts;
+  opts.largest_required_pool_block = 4096;
+  return opts;
+}
+}  // namespace
+
+RibArena::RibArena()
+    : upstream_(std::pmr::new_delete_resource()),
+      pool_(rib_pool_options(), &upstream_),
+      front_(&pool_) {}
+
+void RibArena::release() { pool_.release(); }
+
+}  // namespace dbgp::util

@@ -1,0 +1,88 @@
+// Per-speaker arena memory for RIB storage (DESIGN.md §14).
+//
+// A RibArena is a shard-local std::pmr stack: a pool resource that carves
+// container nodes out of large upstream slabs, wrapped on both sides by
+// metering resources so bytes-in-use (what the containers hold right now)
+// and bytes-reserved (what the pool has grabbed from the heap) are cheap to
+// read. RIB churn recycles freed nodes inside the pool instead of hitting
+// the global allocator, and a peer flap returns the reservation to a steady
+// state instead of growing it — the arena-reuse property tests pin this.
+//
+// Not thread-safe by design: one arena belongs to one speaker (or one
+// shard), and all RIB mutation on a speaker is sequential (the thread pool
+// only runs the pure decode/plan stages).
+#pragma once
+
+#include <cstddef>
+#include <memory_resource>
+
+namespace dbgp::util {
+
+// A std::pmr::memory_resource decorator that counts bytes and calls.
+class MeteredResource final : public std::pmr::memory_resource {
+ public:
+  explicit MeteredResource(std::pmr::memory_resource* upstream) noexcept
+      : upstream_(upstream) {}
+
+  std::size_t bytes_current() const noexcept { return current_; }
+  std::size_t bytes_peak() const noexcept { return peak_; }
+  std::size_t allocation_count() const noexcept { return allocations_; }
+  std::size_t deallocation_count() const noexcept { return deallocations_; }
+
+ private:
+  void* do_allocate(std::size_t bytes, std::size_t alignment) override {
+    void* p = upstream_->allocate(bytes, alignment);
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+    ++allocations_;
+    return p;
+  }
+  void do_deallocate(void* p, std::size_t bytes, std::size_t alignment) override {
+    current_ -= bytes;
+    ++deallocations_;
+    upstream_->deallocate(p, bytes, alignment);
+  }
+  bool do_is_equal(const std::pmr::memory_resource& other) const noexcept override {
+    return this == &other;
+  }
+
+  std::pmr::memory_resource* upstream_;
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t allocations_ = 0;
+  std::size_t deallocations_ = 0;
+};
+
+class RibArena {
+ public:
+  RibArena();
+
+  // Containers allocated from the arena keep pointers into it; pinning the
+  // arena's address keeps every polymorphic_allocator valid.
+  RibArena(const RibArena&) = delete;
+  RibArena& operator=(const RibArena&) = delete;
+
+  // Hand this to std::pmr containers that should live in the arena.
+  std::pmr::memory_resource* resource() noexcept { return &front_; }
+
+  // Bytes currently held by containers backed by this arena.
+  std::size_t bytes_in_use() const noexcept { return front_.bytes_current(); }
+  // High-water mark of bytes_in_use().
+  std::size_t bytes_peak() const noexcept { return front_.bytes_peak(); }
+  // Slab bytes the pool currently holds from the heap. Stays flat across
+  // steady-state churn: freed nodes are recycled, not returned.
+  std::size_t bytes_reserved() const noexcept { return upstream_.bytes_current(); }
+  std::size_t allocation_count() const noexcept { return front_.allocation_count(); }
+
+  // Returns every slab to the heap. Only valid when all containers backed by
+  // this arena are empty (or destroyed) — the pool does not track live
+  // blocks individually.
+  void release();
+
+ private:
+  MeteredResource upstream_;  // slabs: pool <-> heap
+  std::pmr::unsynchronized_pool_resource pool_;
+  MeteredResource front_;  // live container bytes: containers <-> pool
+};
+
+}  // namespace dbgp::util

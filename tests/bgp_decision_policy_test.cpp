@@ -1,17 +1,31 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+
 #include "bgp/decision.h"
 #include "bgp/policy.h"
 
 namespace dbgp::bgp {
 namespace {
 
+// Attribute sets are immutable once interned, so test routes stage their
+// edits through a builder against a shared test interner.
+AttrInterner& test_interner() {
+  static AttrInterner interner;
+  return interner;
+}
+
 Route make_route(std::vector<AsNumber> path, PeerId peer = 0, AsNumber neighbor_as = 0,
-                 std::uint64_t seq = 0) {
+                 std::uint64_t seq = 0,
+                 const std::function<void(PathAttributes&)>& edit = {}) {
   Route r;
   r.prefix = *net::Prefix::parse("10.0.0.0/8");
-  r.attrs.as_path = AsPath(std::move(path));
-  r.attrs.next_hop = net::Ipv4Address(1, 1, 1, 1);
+  AttrBuilder builder;
+  builder.attrs().as_path = AsPath(std::move(path));
+  builder.attrs().next_hop = net::Ipv4Address(1, 1, 1, 1);
+  if (edit) edit(builder.attrs());
+  r.attrs = std::move(builder).intern(test_interner());
   r.from_peer = peer;
   r.neighbor_as = neighbor_as;
   r.sequence = seq;
@@ -19,18 +33,17 @@ Route make_route(std::vector<AsNumber> path, PeerId peer = 0, AsNumber neighbor_
 }
 
 TEST(Decision, LocalPrefDominates) {
-  Route a = make_route({1, 2, 3, 4});
-  a.attrs.local_pref = 200;
-  Route b = make_route({1});
-  b.attrs.local_pref = 100;
+  Route a = make_route({1, 2, 3, 4}, 0, 0, 0,
+                       [](PathAttributes& p) { p.local_pref = 200; });
+  Route b = make_route({1}, 0, 0, 0, [](PathAttributes& p) { p.local_pref = 100; });
   EXPECT_TRUE(better_route(a, b));
   EXPECT_FALSE(better_route(b, a));
 }
 
 TEST(Decision, AbsentLocalPrefTreatedAsDefault) {
   Route a = make_route({1, 2});
-  Route b = make_route({1, 2, 3});
-  b.attrs.local_pref = kDefaultLocalPref;  // explicit default
+  Route b = make_route({1, 2, 3}, 0, 0, 0,
+                       [](PathAttributes& p) { p.local_pref = kDefaultLocalPref; });
   EXPECT_TRUE(better_route(a, b));  // falls to path length
 }
 
@@ -39,32 +52,27 @@ TEST(Decision, ShorterPathWins) {
 }
 
 TEST(Decision, AsSetCountsAsOneHop) {
-  Route a = make_route({1});
-  a.attrs.as_path.prepend_set({10, 11, 12});  // hop_count 2
-  Route b = make_route({1, 2, 3});            // hop_count 3
+  Route a = make_route({1}, 0, 0, 0,
+                       [](PathAttributes& p) { p.as_path.prepend_set({10, 11, 12}); });
+  Route b = make_route({1, 2, 3});  // hop_count 3, vs a's hop_count 2
   EXPECT_TRUE(better_route(a, b));
 }
 
 TEST(Decision, OriginOrder) {
-  Route a = make_route({1, 2});
-  a.attrs.origin = Origin::kIgp;
-  Route b = make_route({3, 4});
-  b.attrs.origin = Origin::kEgp;
+  Route a = make_route({1, 2}, 0, 0, 0, [](PathAttributes& p) { p.origin = Origin::kIgp; });
+  Route b = make_route({3, 4}, 0, 0, 0, [](PathAttributes& p) { p.origin = Origin::kEgp; });
   EXPECT_TRUE(better_route(a, b));
-  Route c = make_route({5, 6});
-  c.attrs.origin = Origin::kIncomplete;
+  Route c = make_route({5, 6}, 0, 0, 0,
+                       [](PathAttributes& p) { p.origin = Origin::kIncomplete; });
   EXPECT_TRUE(better_route(b, c));
 }
 
 TEST(Decision, MedOnlyComparedWithinSameNeighborAs) {
-  Route a = make_route({1, 2}, 0, 65001);
-  a.attrs.med = 100;
-  Route b = make_route({1, 3}, 1, 65001);
-  b.attrs.med = 10;
+  Route a = make_route({1, 2}, 0, 65001, 0, [](PathAttributes& p) { p.med = 100; });
+  Route b = make_route({1, 3}, 1, 65001, 0, [](PathAttributes& p) { p.med = 10; });
   EXPECT_TRUE(better_route(b, a));  // same neighbor AS: lower MED wins
 
-  Route c = make_route({1, 3}, 1, 65002);
-  c.attrs.med = 10;
+  Route c = make_route({1, 3}, 1, 65002, 0, [](PathAttributes& p) { p.med = 10; });
   // Different neighbor AS: MED skipped, falls to peer id (0 < 1).
   EXPECT_TRUE(better_route(a, c));
 }
@@ -78,11 +86,23 @@ TEST(Decision, PeerIdAndSequenceBreakTies) {
 }
 
 TEST(Decision, SelectBestOverSet) {
-  Route a = make_route({1, 2, 3}, 0);
-  Route b = make_route({1, 2}, 1);
-  Route c = make_route({1, 2, 3, 4}, 2);
-  EXPECT_EQ(select_best({&a, &b, &c}), &b);
-  EXPECT_EQ(select_best({}), nullptr);
+  const std::array<Route, 3> set = {make_route({1, 2, 3}, 0), make_route({1, 2}, 1),
+                                    make_route({1, 2, 3, 4}, 2)};
+  EXPECT_EQ(select_best(set).get(), &set[1]);
+  EXPECT_FALSE(select_best(std::span<const Route>{}));
+}
+
+TEST(Decision, EqualAttrsShareOneCanonicalEntry) {
+  // Identical content interns to the same entry: handle compare is pointer
+  // compare, and the interner records a hit.
+  const auto hits_before = test_interner().stats().hits;
+  Route a = make_route({7, 8, 9});
+  Route b = make_route({7, 8, 9});
+  EXPECT_EQ(a.attrs, b.attrs);
+  EXPECT_EQ(a.attrs.get(), b.attrs.get());
+  EXPECT_GT(test_interner().stats().hits, hits_before);
+  Route c = make_route({7, 8});
+  EXPECT_NE(a.attrs, c.attrs);
 }
 
 // -- Policy ------------------------------------------------------------------------

@@ -94,10 +94,10 @@ TEST(BgpSpeaker, RoutePropagatesAcrossLine) {
   const auto prefix = *net::Prefix::parse("198.51.100.0/24");
   mesh.originate(1, prefix);
 
-  const Route* at4 = mesh.speaker(4).loc_rib().find(prefix);
-  ASSERT_NE(at4, nullptr);
-  EXPECT_EQ(at4->attrs.as_path.to_string(), "3 2 1");
-  EXPECT_EQ(at4->attrs.next_hop, net::Ipv4Address(3));  // next-hop-self at each hop
+  const RouteView at4 = mesh.speaker(4).loc_rib().find(prefix);
+  ASSERT_TRUE(at4);
+  EXPECT_EQ(at4->attrs->as_path.to_string(), "3 2 1");
+  EXPECT_EQ(at4->attrs->next_hop, net::Ipv4Address(3));  // next-hop-self at each hop
 }
 
 TEST(BgpSpeaker, PrefersShorterPathInTriangle) {
@@ -108,9 +108,9 @@ TEST(BgpSpeaker, PrefersShorterPathInTriangle) {
   mesh.connect(1, 3);
   const auto prefix = *net::Prefix::parse("203.0.113.0/24");
   mesh.originate(1, prefix);
-  const Route* at3 = mesh.speaker(3).loc_rib().find(prefix);
-  ASSERT_NE(at3, nullptr);
-  EXPECT_EQ(at3->attrs.as_path.hop_count(), 1u);  // direct from AS1
+  const RouteView at3 = mesh.speaker(3).loc_rib().find(prefix);
+  ASSERT_TRUE(at3);
+  EXPECT_EQ(at3->attrs->as_path.hop_count(), 1u);  // direct from AS1
 }
 
 TEST(BgpSpeaker, WithdrawPropagates) {
@@ -120,10 +120,10 @@ TEST(BgpSpeaker, WithdrawPropagates) {
   mesh.connect(2, 3);
   const auto prefix = *net::Prefix::parse("198.51.100.0/24");
   mesh.originate(1, prefix);
-  ASSERT_NE(mesh.speaker(3).loc_rib().find(prefix), nullptr);
+  ASSERT_TRUE(mesh.speaker(3).loc_rib().find(prefix));
   mesh.withdraw(1, prefix);
-  EXPECT_EQ(mesh.speaker(3).loc_rib().find(prefix), nullptr);
-  EXPECT_EQ(mesh.speaker(2).loc_rib().find(prefix), nullptr);
+  EXPECT_FALSE(mesh.speaker(3).loc_rib().find(prefix));
+  EXPECT_FALSE(mesh.speaker(2).loc_rib().find(prefix));
 }
 
 TEST(BgpSpeaker, FailoverToLongerPath) {
@@ -137,16 +137,16 @@ TEST(BgpSpeaker, FailoverToLongerPath) {
   const auto prefix = *net::Prefix::parse("198.51.100.0/24");
   mesh.originate(1, prefix);
 
-  const Route* before = mesh.speaker(4).loc_rib().find(prefix);
-  ASSERT_NE(before, nullptr);
-  EXPECT_EQ(before->attrs.as_path.hop_count(), 2u);
+  const RouteView before = mesh.speaker(4).loc_rib().find(prefix);
+  ASSERT_TRUE(before);
+  EXPECT_EQ(before->attrs->as_path.hop_count(), 2u);
 
   // Tear down whichever adjacency AS4 was using.
-  const AsNumber via = before->attrs.as_path.segments()[0].asns[0];
+  const AsNumber via = before->attrs->as_path.segments()[0].asns[0];
   mesh.stop_session(4, via);
-  const Route* after = mesh.speaker(4).loc_rib().find(prefix);
-  ASSERT_NE(after, nullptr);
-  EXPECT_NE(after->attrs.as_path.segments()[0].asns[0], via);
+  const RouteView after = mesh.speaker(4).loc_rib().find(prefix);
+  ASSERT_TRUE(after);
+  EXPECT_NE(after->attrs->as_path.segments()[0].asns[0], via);
 }
 
 TEST(BgpSpeaker, LoopingPathRejected) {
@@ -162,7 +162,7 @@ TEST(BgpSpeaker, LoopingPathRejected) {
   update.attributes = attrs;
   update.nlri.push_back(*net::Prefix::parse("10.0.0.0/8"));
   mesh.speaker(2).handle_message(0, Message{update}, 0.0);
-  EXPECT_EQ(mesh.speaker(2).loc_rib().find(*net::Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_FALSE(mesh.speaker(2).loc_rib().find(*net::Prefix::parse("10.0.0.0/8")));
   EXPECT_EQ(mesh.speaker(2).stats().routes_rejected_by_loop, 1u);
 }
 
@@ -176,7 +176,7 @@ TEST(BgpSpeaker, ImportPolicyRejectionActsAsWithdraw) {
   mesh.connect(2, 1, PolicyChain({reject}));  // AS2 rejects paths via AS1
   const auto prefix = *net::Prefix::parse("198.51.100.0/24");
   mesh.originate(1, prefix);
-  EXPECT_EQ(mesh.speaker(2).loc_rib().find(prefix), nullptr);
+  EXPECT_FALSE(mesh.speaker(2).loc_rib().find(prefix));
   EXPECT_GE(mesh.speaker(2).stats().routes_rejected_by_policy, 1u);
 }
 
@@ -209,10 +209,10 @@ TEST(BgpSpeaker, UnknownTransitiveAttributePassesThrough) {
   update.nlri.push_back(*net::Prefix::parse("10.0.0.0/8"));
   mesh.speaker(2).handle_message(0, Message{update}, 0.0);  // from AS1 (peer 0)
 
-  const Route* at2 = mesh.speaker(2).loc_rib().find(*net::Prefix::parse("10.0.0.0/8"));
-  ASSERT_NE(at2, nullptr);
-  ASSERT_EQ(at2->attrs.unknown.size(), 1u);
-  EXPECT_EQ(at2->attrs.unknown[0].value, (std::vector<std::uint8_t>{9, 9, 9}));
+  const RouteView at2 = mesh.speaker(2).loc_rib().find(*net::Prefix::parse("10.0.0.0/8"));
+  ASSERT_TRUE(at2);
+  ASSERT_EQ(at2->attrs->unknown.size(), 1u);
+  EXPECT_EQ(at2->attrs->unknown[0].value, (std::vector<std::uint8_t>{9, 9, 9}));
 }
 
 TEST(BgpSpeaker, SessionDownFlushesLearnedRoutes) {
@@ -222,10 +222,10 @@ TEST(BgpSpeaker, SessionDownFlushesLearnedRoutes) {
   mesh.connect(2, 3);
   const auto prefix = *net::Prefix::parse("198.51.100.0/24");
   mesh.originate(1, prefix);
-  ASSERT_NE(mesh.speaker(3).loc_rib().find(prefix), nullptr);
+  ASSERT_TRUE(mesh.speaker(3).loc_rib().find(prefix));
   mesh.stop_session(2, 1);
-  EXPECT_EQ(mesh.speaker(2).loc_rib().find(prefix), nullptr);
-  EXPECT_EQ(mesh.speaker(3).loc_rib().find(prefix), nullptr);
+  EXPECT_FALSE(mesh.speaker(2).loc_rib().find(prefix));
+  EXPECT_FALSE(mesh.speaker(3).loc_rib().find(prefix));
 }
 
 }  // namespace

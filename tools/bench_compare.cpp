@@ -6,9 +6,10 @@
 // ops_per_sec otherwise) and exits non-zero if any benchmark in the baseline
 // lost more than `threshold` (default 10%) of its throughput, or disappeared
 // from the candidate. Counters named "reconverge*" (bench_churn's simulated
-// re-convergence times) and "sweep_wall*" (the sweep benches' wall-clock
-// seconds) are additionally gated the other way around: they regress by
-// *growing* more than the threshold. Improvements and new
+// re-convergence times), "sweep_wall*" (the sweep benches' wall-clock
+// seconds), and "bytes_per_prefix*" / "load_wall*" (bench_memory's RIB
+// residency and table-load time) are additionally gated the other way
+// around: they regress by *growing* more than the threshold. Improvements and new
 // benchmarks are reported but never fail the gate, so the committed BENCH
 // file can ratchet forward. Wired up as the `dbgp_bench_check` CMake target.
 #include <cstdio>
@@ -40,7 +41,8 @@ struct Metric {
 };
 
 bool is_lower_better_counter(const std::string& counter) {
-  return counter.rfind("reconverge", 0) == 0 || counter.rfind("sweep_wall", 0) == 0;
+  return counter.rfind("reconverge", 0) == 0 || counter.rfind("sweep_wall", 0) == 0 ||
+         counter.rfind("bytes_per_prefix", 0) == 0 || counter.rfind("load_wall", 0) == 0;
 }
 
 // name -> metric for every entry of the file's "benchmarks" array; latency

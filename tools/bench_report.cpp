@@ -128,6 +128,31 @@ void report(const std::string& path) {
       }
     }
   }
+
+  // Interner effectiveness (DESIGN.md §14): hit/miss/live for the BGP
+  // attribute interner and the IA descriptor-tail interner, when the bench
+  // exercised them.
+  const Value* gauges = metrics != nullptr ? metrics->find("gauges") : nullptr;
+  auto metric = [&](const char* name) {
+    double v = counters != nullptr ? counters->number_or(name, 0.0) : 0.0;
+    if (v == 0.0 && gauges != nullptr) v = gauges->number_or(name, 0.0);
+    return v;
+  };
+  bool header_printed = false;
+  for (const char* prefix : {"dbgp.rib.interner", "dbgp.ia.interner"}) {
+    const double hits = metric((std::string(prefix) + ".hits").c_str());
+    const double misses = metric((std::string(prefix) + ".misses").c_str());
+    if (hits + misses <= 0.0) continue;
+    if (!header_printed) {
+      std::printf("\n  interner stats:\n");
+      std::printf("    %-24s %14s %14s %10s %10s\n", "interner", "hits", "misses",
+                  "hit rate", "live");
+      header_printed = true;
+    }
+    std::printf("    %-24s %14.0f %14.0f %9.2f%% %10.0f\n", prefix, hits, misses,
+                100.0 * hits / (hits + misses),
+                metric((std::string(prefix) + ".live").c_str()));
+  }
   std::printf("\n");
 }
 
