@@ -40,7 +40,8 @@ constexpr const char* kLatencyHistograms[] = {
     "dbgp.codec.encode_seconds",
 };
 
-util::json::Value compose(const std::string& name, const std::vector<BenchRun>& runs) {
+util::json::Value compose(const std::string& name, const std::vector<BenchRun>& runs,
+                          const util::json::Object& extra) {
   util::json::Object root;
   root.emplace_back("bench", name);
 
@@ -92,13 +93,15 @@ util::json::Value compose(const std::string& name, const std::vector<BenchRun>& 
   root.emplace_back("latency_source", source);
   root.emplace_back("telemetry_enabled", telemetry::enabled());
   root.emplace_back("metrics", telemetry::to_json(snapshot));
+  for (const auto& [key, value] : extra) root.emplace_back(key, value);
   return util::json::Value(std::move(root));
 }
 
-bool write_json(const std::string& name, const std::vector<BenchRun>& runs) {
+bool write_json(const std::string& name, const std::vector<BenchRun>& runs,
+                const util::json::Object& extra = {}) {
   const std::string path = output_path(name);
   try {
-    util::json::write_file(path, compose(name, runs));
+    util::json::write_file(path, compose(name, runs, extra));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_json: failed to write %s: %s\n", path.c_str(), e.what());
     return false;
@@ -159,7 +162,17 @@ BenchRun& BenchJson::add_run(const std::string& run_name, double ops, double sec
   return runs_.back();
 }
 
-bool BenchJson::write() const { return write_json(name_, runs_); }
+void BenchJson::set_extra(const std::string& key, util::json::Value value) {
+  for (auto& [k, v] : extra_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  extra_.emplace_back(key, std::move(value));
+}
+
+bool BenchJson::write() const { return write_json(name_, runs_, extra_); }
 
 int bench_main(const char* name, int argc, char** argv) {
   benchmark::Initialize(&argc, argv);

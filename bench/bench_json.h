@@ -38,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/json.h"
+
 namespace dbgp::bench {
 
 // Wall-clock stopwatch for hand-rolled bench mains.
@@ -75,6 +77,11 @@ class BenchJson {
   // prefixes, advertisements); pass 1 for a single end-to-end scenario run.
   BenchRun& add_run(const std::string& run_name, double ops, double seconds);
 
+  // Attaches an extra top-level section to the written file (e.g. "series"
+  // holding telemetry::TimeSeriesSampler::to_json output). Re-setting a key
+  // replaces the previous value.
+  void set_extra(const std::string& key, util::json::Value value);
+
   // Writes the JSON file (DBGP_BENCH_OUT or ./BENCH_<name>.json). Returns
   // true on success; prints to stderr and returns false on IO failure so
   // bench exit codes can reflect it.
@@ -86,6 +93,7 @@ class BenchJson {
  private:
   std::string name_;
   std::vector<BenchRun> runs_;
+  util::json::Object extra_;
 };
 
 // Google Benchmark driver: runs registered benchmarks with a capture

@@ -1,0 +1,242 @@
+// Observer-plane overhead: what does live observation cost the hot path?
+//
+// The telemetry plane added for the convergence oracle (DESIGN.md §15) rides
+// on the same speaker the stress test measures: the TimeSeriesSampler
+// snapshots the registry mid-replay, the EventLog appends session events,
+// and the ConvergenceOracle classifies the causal trace when the run ends.
+// This bench replays the BGP-only stress workload (bench_stress's
+// BM_Beagle_BgpOnly shape: 6 peers, tiny IAs, one DbgpSpeaker) twice:
+//
+//   * observer_off — causal-traced replay, no sampler/event log/oracle;
+//   * observer_on  — same replay with the sampler ticking every simulated
+//     500 ms and the event log recording; afterwards one oracle
+//     classification of the full trace, timed on its own.
+//
+// Both modes attach a CausalTracer so the delta isolates the *observer*
+// plane, not PR 4's tracing (whose cost is gated separately by the stress
+// bench). The throughput delta covers what runs concurrently with update
+// processing (sampler snapshots + event-log appends); the oracle is a
+// one-shot post-run analysis over the whole trace — its wall time scales
+// with trace size, not update rate, so folding it into a sub-second replay
+// window would swamp the rate it is supposed to qualify. It is reported as
+// its own oracle_classify_wall_s counter instead.
+//
+// The gated number is *direct attribution*: the wall time spent inside the
+// sampler/event-log calls during the observed replay, as a percentage of
+// that replay's wall — exactly the work the observer adds to the hot loop.
+// End-to-end off-vs-on wall deltas are also measured (median of per-pair
+// relative deltas over interleaved replays, reported as
+// overhead_walldelta_pct) but not gated: on this class of box the deltas of
+// two identical binaries swing 0-3.5% run to run from code-layout and
+// scheduler artifacts — an order of magnitude above the effect under test —
+// while the attributed cost is stable. The acceptance budget is 2%: the
+// bench exits non-zero beyond it, which is what gates it inside
+// dbgp_bench_check; bench_compare additionally tracks the budget row as
+// lower-is-better against the committed BENCH_observer.json. The sampler
+// history is embedded as a top-level "series" section so bench_report's
+// time-series table has real data to render.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/speaker.h"
+#include "protocols/bgp_module.h"
+#include "telemetry/causal.h"
+#include "telemetry/event_log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/oracle.h"
+#include "telemetry/sampler.h"
+#include "workload.h"
+
+using namespace dbgp;
+
+namespace {
+
+constexpr int kPeers = 6;
+constexpr std::size_t kUpdatesPerPeer = 3000;
+constexpr int kReps = 5;          // timed repetitions per mode (best wall wins)
+constexpr double kRoundSeconds = 0.01;  // simulated time per replay round
+constexpr double kSampleInterval = 0.5; // sampler default cadence (every 50 rounds)
+constexpr double kBudgetPct = 2.0;      // acceptance bound on the overhead
+
+struct ReplayResult {
+  double wall_s = 0.0;
+  double observer_work_s = 0.0;  // attributed sampler + event-log time
+  double classify_wall_s = 0.0;
+  std::uint64_t prefixes = 0;
+};
+
+struct ObserverOutputs {
+  std::size_t samples = 0;
+  std::size_t series = 0;
+  std::size_t events = 0;
+  std::size_t oracle_prefixes = 0;
+  util::json::Value series_json;
+};
+
+ReplayResult replay(const std::vector<std::vector<std::vector<std::uint8_t>>>& streams,
+                    bool observe, ObserverOutputs* outputs) {
+  telemetry::CausalTracer tracer;
+  telemetry::TimeSeriesSampler sampler({.interval = kSampleInterval, .capacity = 720});
+  telemetry::EventLog event_log;
+
+  core::DbgpConfig config;
+  config.asn = 65000;
+  config.next_hop = net::Ipv4Address(10, 0, 0, 1);
+  core::DbgpSpeaker speaker(config);
+  speaker.add_module(std::make_unique<protocols::BgpModule>());
+  speaker.set_causal(&tracer);
+  std::vector<bgp::PeerId> peers;
+  for (int p = 0; p < kPeers; ++p) peers.push_back(speaker.add_peer(65001 + p));
+
+  double observer_work_s = 0.0;
+  bench::Stopwatch attributed;  // restarted around every observer call
+  bench::Stopwatch timer;
+  if (observe) {
+    attributed.restart();
+    for (int p = 0; p < kPeers; ++p) {
+      event_log.record(0.0, "session_up", 65000, 65001 + static_cast<std::uint32_t>(p),
+                       "bench replay peer");
+    }
+    observer_work_s += attributed.elapsed_s();
+  }
+  for (std::size_t i = 0; i < kUpdatesPerPeer; ++i) {
+    for (int p = 0; p < kPeers; ++p) {
+      speaker.handle_frame(peers[p], streams[p][i]);
+    }
+    if (observe) {
+      attributed.restart();
+      sampler.sample(static_cast<double>(i) * kRoundSeconds);
+      observer_work_s += attributed.elapsed_s();
+    }
+  }
+  if (observe) {
+    attributed.restart();
+    sampler.sample(static_cast<double>(kUpdatesPerPeer) * kRoundSeconds, /*force=*/true);
+    observer_work_s += attributed.elapsed_s();
+  }
+  ReplayResult result;
+  result.wall_s = timer.elapsed_s();
+  result.observer_work_s = observer_work_s;
+  result.prefixes = speaker.stats().ias_received;
+
+  telemetry::ConvergenceOracle::RunReport report;
+  if (observe) {
+    timer.restart();
+    report = telemetry::ConvergenceOracle().classify(tracer);
+    result.classify_wall_s = timer.elapsed_s();
+    event_log.record(static_cast<double>(kUpdatesPerPeer) * kRoundSeconds, "oracle",
+                     65000, 0, std::string("verdict=") + to_string(report.verdict));
+  }
+
+  if (observe && outputs != nullptr) {
+    outputs->samples = sampler.sample_count();
+    outputs->series = sampler.series_names().size();
+    outputs->events = event_log.size();
+    outputs->oracle_prefixes = report.prefixes.size();
+    // A trimmed history is plenty for bench_report's rate table and keeps
+    // the committed baseline JSON reviewable.
+    outputs->series_json = sampler.to_json(/*last_n=*/50);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::vector<std::vector<std::uint8_t>>> streams;
+  for (int p = 0; p < kPeers; ++p) {
+    bench::WorkloadConfig config;
+    config.updates = kUpdatesPerPeer;
+    config.seed = static_cast<std::uint64_t>(p) + 1;
+    streams.push_back(bench::synth_ia_stream(config, /*target_bytes=*/0,
+                                             /*protocols_on_path=*/0));
+  }
+
+  // Warmup populates the registry (per-peer series included) so neither
+  // timed mode pays first-touch metric registration.
+  replay(streams, /*observe=*/true, nullptr);
+
+  // Interleaved off/on pairs: the best wall per mode feeds the throughput
+  // rows, the per-pair relative wall deltas give the (informational,
+  // noise-dominated) end-to-end median, and the gated overhead is the
+  // median attributed observer share across the on-replays.
+  ReplayResult best_off;
+  ReplayResult best_on;
+  ObserverOutputs outputs;
+  std::vector<double> pair_deltas;
+  std::vector<double> attributed_shares;
+  bool first = true;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const ReplayResult off = replay(streams, /*observe=*/false, nullptr);
+    if (first || off.wall_s < best_off.wall_s) best_off = off;
+    ObserverOutputs rep_outputs;
+    const ReplayResult on = replay(streams, /*observe=*/true, &rep_outputs);
+    if (first || on.wall_s < best_on.wall_s) {
+      best_on = on;
+      outputs = std::move(rep_outputs);
+    }
+    first = false;
+    if (off.wall_s > 0.0) {
+      pair_deltas.push_back((on.wall_s - off.wall_s) / off.wall_s);
+    }
+    if (on.wall_s > 0.0) attributed_shares.push_back(on.observer_work_s / on.wall_s);
+  }
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v.empty() ? 0.0 : v[v.size() / 2];
+  };
+  const double overhead_pct = std::max(0.0, median(attributed_shares) * 100.0);
+  const double walldelta_pct = std::max(0.0, median(pair_deltas) * 100.0);
+
+  const double rate_off = static_cast<double>(best_off.prefixes) / best_off.wall_s;
+  const double rate_on = static_cast<double>(best_on.prefixes) / best_on.wall_s;
+
+  bench::BenchJson out("observer");
+  auto& off_run = out.add_run("bgp_only/observer_off",
+                              static_cast<double>(best_off.prefixes), best_off.wall_s);
+  off_run.counters.emplace_back("prefixes/s", rate_off);
+  auto& on_run = out.add_run("bgp_only/observer_on",
+                             static_cast<double>(best_on.prefixes), best_on.wall_s);
+  on_run.counters.emplace_back("prefixes/s", rate_on);
+  // Two rows, two gates: the measured overhead is absolutely capped by this
+  // binary's own exit code (wall-clock noise makes a *relative* gate on a
+  // sub-percent number flap), while the budget constant is the row
+  // bench_compare tracks lower-is-better — quietly raising the budget in a
+  // later commit trips the baseline comparison.
+  on_run.counters.emplace_back("observe_overhead_budget_pct", kBudgetPct);
+  on_run.counters.emplace_back("overhead_measured_pct", overhead_pct);
+  on_run.counters.emplace_back("overhead_walldelta_pct", walldelta_pct);
+  on_run.counters.emplace_back("oracle_classify_wall_s", best_on.classify_wall_s);
+  on_run.counters.emplace_back("samples", static_cast<double>(outputs.samples));
+  on_run.counters.emplace_back("series", static_cast<double>(outputs.series));
+  on_run.counters.emplace_back("events", static_cast<double>(outputs.events));
+  on_run.counters.emplace_back("oracle_prefixes",
+                               static_cast<double>(outputs.oracle_prefixes));
+  out.set_extra("series", outputs.series_json);
+
+  std::printf("observer_off: %8.0f pfx/s  (best of %d, %zu prefixes, %.3fs)\n",
+              rate_off, kReps, static_cast<std::size_t>(best_off.prefixes),
+              best_off.wall_s);
+  std::printf("observer_on : %8.0f pfx/s  (%zu samples, %zu series, %zu events, "
+              "%zu oracle prefixes)\n",
+              rate_on, outputs.samples, outputs.series, outputs.events,
+              outputs.oracle_prefixes);
+  std::printf("oracle classify: %.1f ms one-shot over the full trace\n",
+              best_on.classify_wall_s * 1e3);
+  std::printf("observer overhead: %.2f%% attributed (budget %.1f%%; end-to-end wall "
+              "delta %.2f%%, informational)\n",
+              overhead_pct, kBudgetPct, walldelta_pct);
+
+  if (!out.write()) return 1;
+  if (overhead_pct > kBudgetPct) {
+    std::fprintf(stderr,
+                 "bench_observer: observer overhead %.2f%% exceeds the %.1f%% budget\n",
+                 overhead_pct, kBudgetPct);
+    return 1;
+  }
+  return 0;
+}

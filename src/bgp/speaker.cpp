@@ -58,6 +58,7 @@ PeerId BgpSpeaker::add_peer(AsNumber peer_as, PolicyChain import_policy,
   peer.import_policy = std::move(import_policy);
   peer.export_policy = std::move(export_policy);
   peers_.push_back(std::move(peer));
+  peer_metrics_.push_back(telemetry::PeerMetrics::create("bgp.peer", config_.asn, peer_as));
   return static_cast<PeerId>(peers_.size() - 1);
 }
 
@@ -106,6 +107,7 @@ std::vector<Outgoing> BgpSpeaker::handle_bytes(PeerId from, std::span<const std:
   } catch (const util::DecodeError& e) {
     ++stats_.decode_errors;
     BgpMetrics::get().decode_errors->inc();
+    peer_metrics_[from].rejects->inc();
     DBGP_LOG(util::LogLevel::kWarn, kLog) << "decode error from peer " << from << ": "
                                           << e.what();
     // RFC 4271: message error -> NOTIFICATION + close.
@@ -195,6 +197,7 @@ std::vector<Outgoing> BgpSpeaker::request_refresh(PeerId peer, double /*now*/) {
 bool BgpSpeaker::stage_withdraw(PeerId from, const net::Prefix& prefix) {
   ++stats_.prefixes_processed;
   BgpMetrics::get().prefixes_processed->inc();
+  peer_metrics_[from].withdraws_in->inc();
   return adj_rib_in_.remove(from, prefix);
 }
 
@@ -208,11 +211,13 @@ bool BgpSpeaker::stage_nlri(PeerId from, const net::Prefix& prefix,
   if (builder.attrs().as_path.contains(config_.asn)) {
     ++stats_.routes_rejected_by_loop;
     BgpMetrics::get().routes_rejected_by_loop->inc();
+    peer_metrics_[from].rejects->inc();
     return adj_rib_in_.remove(from, prefix);
   }
   if (!p.import_policy.apply(prefix, builder.attrs(), config_.asn)) {
     ++stats_.routes_rejected_by_policy;
     BgpMetrics::get().routes_rejected_by_policy->inc();
+    peer_metrics_[from].rejects->inc();
     // Policy reject acts as an implicit withdraw of the previous route.
     return adj_rib_in_.remove(from, prefix);
   }
@@ -231,6 +236,7 @@ std::vector<Outgoing> BgpSpeaker::process_update(PeerId from, const UpdateMessag
   std::vector<Outgoing> out;
   ++stats_.updates_received;
   BgpMetrics::get().updates_received->inc();
+  peer_metrics_[from].updates_in->inc();
 
   for (const auto& prefix : update.withdrawn) {
     if (stage_withdraw(from, prefix)) run_decision(prefix, out, now);
@@ -294,6 +300,7 @@ std::vector<Outgoing> BgpSpeaker::handle_batch(std::span<const Incoming> batch, 
     }
     ++stats_.updates_received;
     BgpMetrics::get().updates_received->inc();
+    peer_metrics_[msg.peer].updates_in->inc();
     const auto& update = std::get<UpdateMessage>(m);
     for (const auto& prefix : update.withdrawn) {
       if (stage_withdraw(msg.peer, prefix)) touch(prefix);
@@ -394,6 +401,7 @@ void BgpSpeaker::queue_delta(PeerId to, const net::Prefix& prefix,
   // MRAI pacing: coalesce (latest state per prefix wins) and flush when the
   // interval allows.
   p.pending[prefix] = std::move(attrs);
+  peer_metrics_[to].adj_out_depth->set(static_cast<std::int64_t>(p.pending.size()));
   if (now >= p.next_send) flush_pending(to, out, now);
 }
 
@@ -416,12 +424,17 @@ void BgpSpeaker::flush_pending(PeerId to, std::vector<Outgoing>& out, double now
   }
   if (!withdraws.withdrawn.empty()) emit_update(to, withdraws, out);
   p.pending.clear();
+  peer_metrics_[to].adj_out_depth->set(0);
   p.next_send = now + config_.mrai;
 }
 
 void BgpSpeaker::emit_update(PeerId to, const UpdateMessage& update, std::vector<Outgoing>& out) {
   ++stats_.updates_sent;
   BgpMetrics::get().updates_sent->inc();
+  peer_metrics_[to].updates_out->inc();
+  if (!update.withdrawn.empty()) {
+    peer_metrics_[to].withdraws_out->inc(update.withdrawn.size());
+  }
   out.push_back({to, encode_message(Message{update})});
 }
 
@@ -441,6 +454,8 @@ void BgpSpeaker::session_down(PeerId peer, std::vector<Outgoing>& out, double no
       << "AS" << config_.asn << ": session down with peer " << peer;
   adj_rib_out_.clear_peer(peer);
   peers_.at(peer).pending.clear();
+  peer_metrics_[peer].flaps->inc();
+  peer_metrics_[peer].adj_out_depth->set(0);
   for (const auto& prefix : adj_rib_in_.remove_peer(peer)) {
     run_decision(prefix, out, now);
   }

@@ -21,6 +21,7 @@
 #include "bgp/policy.h"
 #include "bgp/rib.h"
 #include "bgp/types.h"
+#include "telemetry/peer_metrics.h"
 #include "util/arena.h"
 #include "util/thread_pool.h"
 
@@ -171,6 +172,9 @@ class BgpSpeaker {
   std::unique_ptr<util::RibArena> arena_;
   std::unique_ptr<AttrInterner> interner_;
   std::vector<Peer> peers_;
+  // Labeled per-peer session counters ("bgp.peer.*|as=..,peer=.."), parallel
+  // to peers_; the adj_out_depth gauge tracks the MRAI pending-queue depth.
+  std::vector<telemetry::PeerMetrics> peer_metrics_;
   AdjRibIn adj_rib_in_;
   LocRib loc_rib_;
   AdjRibOut adj_rib_out_;

@@ -112,6 +112,7 @@ DbgpSpeaker::DbgpSpeaker(DbgpConfig config, LookupService* lookup)
 
 bgp::PeerId DbgpSpeaker::add_peer(bgp::AsNumber peer_as, bool same_island) {
   peers_.push_back({peer_as, same_island});
+  peer_metrics_.push_back(telemetry::PeerMetrics::create("dbgp.peer", config_.asn, peer_as));
   return static_cast<bgp::PeerId>(peers_.size() - 1);
 }
 
@@ -198,6 +199,7 @@ void DbgpSpeaker::drain_staged() {
       // counts its wire bytes — identical to the eager path's stats.
       stats_.bytes_received += s.frame->size();
       SpeakerMetrics::get().bytes_received->inc(s.frame->size());
+      peer_metrics_[s.from].rejects->inc();
       ++deferred_rejects_;
       continue;
     }
@@ -348,6 +350,10 @@ std::optional<net::Prefix> DbgpSpeaker::stage_frame(bgp::PeerId from,
   stats_.bytes_received += bytes.size();
   SpeakerMetrics::get().bytes_received->inc(bytes.size());
   util::ByteReader r(bytes);
+  // Undecodable input counts as a per-peer reject on every path: the eager
+  // caller sees the throw, the deferred drain counts its own bad frames, and
+  // both leave the same labeled counter value behind.
+  try {
   const auto type = static_cast<FrameType>(r.get_u8());
   switch (type) {
     case FrameType::kAnnounce:
@@ -357,6 +363,7 @@ std::optional<net::Prefix> DbgpSpeaker::stage_frame(bgp::PeerId from,
       const std::uint8_t len = r.get_u8();
       ++stats_.withdraws_received;
       SpeakerMetrics::get().withdraws_received->inc();
+      peer_metrics_[from].withdraws_in->inc();
       const net::Prefix prefix(net::Ipv4Address(addr), len);
       if (ia_db_.remove(from, prefix)) {
         if (causal_ != nullptr && cause != 0) pending_cause_[prefix] = cause;
@@ -390,6 +397,10 @@ std::optional<net::Prefix> DbgpSpeaker::stage_frame(bgp::PeerId from,
     }
   }
   throw util::DecodeError("unknown D-BGP frame type");
+  } catch (const util::DecodeError&) {
+    peer_metrics_[from].rejects->inc();
+    throw;
+  }
 }
 
 std::optional<net::Prefix> DbgpSpeaker::stage_ia(bgp::PeerId from,
@@ -397,6 +408,7 @@ std::optional<net::Prefix> DbgpSpeaker::stage_ia(bgp::PeerId from,
                                                  telemetry::SpanId cause) {
   ++stats_.ias_received;
   SpeakerMetrics::get().ias_received->inc();
+  peer_metrics_[from].updates_in->inc();
 
   // Stage 1: global import filters.
   FilterContext ctx;
@@ -409,6 +421,7 @@ std::optional<net::Prefix> DbgpSpeaker::stage_ia(bgp::PeerId from,
   if (!import_filters_.apply(ia, ctx, causal_ != nullptr ? &rejected_by : nullptr)) {
     ++stats_.dropped_by_global_filter;
     SpeakerMetrics::get().dropped_by_global_filter->inc();
+    peer_metrics_[from].rejects->inc();
     telemetry::SpanId drop_span = 0;
     if (causal_ != nullptr) {
       drop_span = causal_->instant(telemetry::SpanKind::kFilter, cause, trace_now(),
@@ -437,6 +450,7 @@ std::optional<net::Prefix> DbgpSpeaker::stage_ia(bgp::PeerId from,
     if (!route.eligible) {
       ++stats_.rejected_by_module;
       SpeakerMetrics::get().rejected_by_module->inc();
+      peer_metrics_[from].rejects->inc();
     }
   }
   // Canonicalize the descriptor tail before storing: identical tails across
@@ -453,6 +467,8 @@ std::vector<DbgpOutgoing> DbgpSpeaker::peer_down(bgp::PeerId peer, telemetry::Sp
   std::vector<DbgpOutgoing> out;
   peers_.at(peer).up = false;
   adj_out_.erase(peer);
+  peer_metrics_[peer].flaps->inc();
+  peer_metrics_[peer].adj_out_depth->set(0);
   external_cause_ = cause;
   for (const auto& prefix : ia_db_.remove_peer(peer)) run_decision(prefix, out);
   external_cause_ = 0;
@@ -481,6 +497,7 @@ void DbgpSpeaker::reset_routes() {
   // originated_ (a reboot does not re-originate).
   pending_cause_.clear();
   emit_parent_ = 0;
+  for (auto& pm : peer_metrics_) pm.adj_out_depth->set(0);
 }
 
 // -- Origination ---------------------------------------------------------------
@@ -812,10 +829,16 @@ void DbgpSpeaker::commit_plan(DecisionPlan& plan, std::vector<DbgpOutgoing>& out
       if (it == adj_out_.end() || it->second.erase(plan.prefix) == 0) continue;
       ++stats_.withdraws_sent;
       SpeakerMetrics::get().withdraws_sent->inc();
+      peer_metrics_[e.peer].withdraws_out->inc();
+      peer_metrics_[e.peer].adj_out_depth->set(
+          static_cast<std::int64_t>(it->second.size()));
     } else {
       adj_out_[e.peer][plan.prefix] = e.frame;
       ++stats_.ias_sent;
       SpeakerMetrics::get().ias_sent->inc();
+      peer_metrics_[e.peer].updates_out->inc();
+      peer_metrics_[e.peer].adj_out_depth->set(
+          static_cast<std::int64_t>(adj_out_[e.peer].size()));
     }
     stats_.bytes_sent += e.frame->size();
     SpeakerMetrics::get().bytes_sent->inc(e.frame->size());
@@ -870,6 +893,8 @@ void DbgpSpeaker::withdraw_from_peer(bgp::PeerId peer, const net::Prefix& prefix
   if (it == adj_out_.end() || it->second.erase(prefix) == 0) return;
   ++stats_.withdraws_sent;
   SpeakerMetrics::get().withdraws_sent->inc();
+  peer_metrics_[peer].withdraws_out->inc();
+  peer_metrics_[peer].adj_out_depth->set(static_cast<std::int64_t>(it->second.size()));
   auto frame = ia::make_shared_frame(encode_withdraw(prefix));
   stats_.bytes_sent += frame->size();
   SpeakerMetrics::get().bytes_sent->inc(frame->size());
@@ -896,6 +921,9 @@ void DbgpSpeaker::emit(bgp::PeerId peer, const net::Prefix& prefix,
   sent = frame;
   ++stats_.ias_sent;
   SpeakerMetrics::get().ias_sent->inc();
+  peer_metrics_[peer].updates_out->inc();
+  peer_metrics_[peer].adj_out_depth->set(
+      static_cast<std::int64_t>(adj_out_[peer].size()));
   telemetry::SpanId span = 0;
   if (causal_ != nullptr) {
     span = causal_->begin_span(
@@ -1032,6 +1060,11 @@ void DbgpSpeaker::restore_state(const SpeakerState& state, bool keep_adj_out) {
   if (!keep_adj_out) return;
   for (const auto& r : state.adj_out) {
     adj_out_[r.from_peer][r.prefix] = ia::make_shared_frame(r.bytes);
+  }
+  for (bgp::PeerId peer = 0; peer < peers_.size(); ++peer) {
+    const auto it = adj_out_.find(peer);
+    peer_metrics_[peer].adj_out_depth->set(
+        it == adj_out_.end() ? 0 : static_cast<std::int64_t>(it->second.size()));
   }
 }
 

@@ -37,6 +37,7 @@
 #include "ia/frame_cache.h"
 #include "net/prefix_trie.h"
 #include "telemetry/causal.h"
+#include "telemetry/peer_metrics.h"
 #include "util/arena.h"
 #include "util/thread_pool.h"
 
@@ -342,6 +343,11 @@ class DbgpSpeaker {
   LookupService* lookup_;
   IaFactory factory_;
   std::vector<Peer> peers_;
+  // Labeled per-peer session counters ("dbgp.peer.*|as=..,peer=..");
+  // parallel to peers_, resolved once at add_peer. Updated identically on
+  // the sequential (run_decision/emit) and parallel (commit_plan) paths so
+  // the shard pipeline's bit-identity extends to the telemetry plane.
+  std::vector<telemetry::PeerMetrics> peer_metrics_;
   std::vector<std::unique_ptr<DecisionModule>> modules_;
   net::PrefixTrie<ia::ProtocolId> active_ranges_;
   GlobalFilterChain import_filters_;

@@ -155,6 +155,20 @@ Scenario parse_scenario(const std::string& text) {
       if (n == 0) fail(line_no, "speaker-threads: must be >= 1");
       scenario.speaker_threads = static_cast<std::size_t>(n);
       scenario.speaker_threads_line = line_no;
+    } else if (directive == "observe") {
+      if (scenario.observe_line != 0) {
+        fail(line_no, "observe: only one directive allowed");
+      }
+      if (tokens.size() != 2) fail(line_no, "observe: need <interval-seconds>");
+      double interval = 0.0;
+      try {
+        interval = std::stod(tokens[1]);
+      } catch (const std::exception&) {
+        fail(line_no, "observe: bad interval '" + tokens[1] + "'");
+      }
+      if (interval <= 0.0) fail(line_no, "observe: interval must be > 0");
+      scenario.observe_interval = interval;
+      scenario.observe_line = line_no;
     } else if (directive == "chaos") {
       if (scenario.chaos) fail(line_no, "chaos: only one chaos stanza allowed");
       ChaosDecl decl;
@@ -256,6 +270,11 @@ Scenario parse_scenario(const std::string& text) {
     fail(scenario.server_commands.front().line,
          "server: a command timeline drives a live network and cannot be "
          "combined with a sweep stanza");
+  }
+  if (scenario.sweep && scenario.observe_line != 0) {
+    fail(scenario.observe_line,
+         "observe: samples live speakers and has no effect on a sweep — "
+         "remove one of the stanzas");
   }
   return scenario;
 }

@@ -40,6 +40,14 @@
 //       carrying a command timeline still replays bit-identically as a plain
 //       converge-once experiment. Cannot be combined with `sweep`.
 //
+//   observe <interval-seconds>
+//       Turns on the observability plane for the run: the metrics registry is
+//       sampled into time-series histories every <interval> sim seconds, and
+//       session/chaos/reconvergence events are journaled (telemetry/sampler.h,
+//       telemetry/event_log.h). `dbgp_run` writes both next to --metrics
+//       output; `dbgp_server` serves them via the series/events verbs. At
+//       most one directive; cannot be combined with `sweep`.
+//
 //   speaker-threads <n>
 //       Worker threads for each speaker's sharded batch pipeline (n >= 1;
 //       1 = sequential). Only takes effect with batched delivery
@@ -191,6 +199,10 @@ struct Scenario {
   // `speaker-threads` directive; 1 = sequential speakers (the default).
   std::size_t speaker_threads = 1;
   int speaker_threads_line = 0;  // 0 = directive absent
+  // `observe` directive: > 0 turns on time-series sampling at this sim-time
+  // interval plus the structured event log for the run.
+  double observe_interval = 0.0;
+  int observe_line = 0;  // 0 = directive absent
 };
 
 // Parses scenario text; throws std::runtime_error with a line-numbered

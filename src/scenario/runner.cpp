@@ -159,6 +159,15 @@ void Runner::build(const Scenario& scenario) {
       speaker_threads_override_.value_or(scenario.speaker_threads);
   if (tracing_) options.tracer = &tracer_;
   if (causal_tracing_) options.causal = &causal_;
+  if (const double observe = observe_override_.value_or(scenario.observe_interval);
+      observe > 0.0) {
+    telemetry::TimeSeriesSampler::Options sampler_options;
+    sampler_options.interval = observe;
+    sampler_ = std::make_unique<telemetry::TimeSeriesSampler>(sampler_options);
+    event_log_ = std::make_unique<telemetry::EventLog>();
+    options.sampler = sampler_.get();
+    options.event_log = event_log_.get();
+  }
   net_ = std::make_unique<simnet::DbgpNetwork>(&lookup_, options);
 
   for (const auto& decl : scenario.ases) {

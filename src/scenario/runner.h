@@ -106,6 +106,14 @@ class Runner {
   void set_speaker_threads(std::size_t threads) noexcept {
     speaker_threads_override_ = threads;
   }
+  // Observability plane (call before build()): > 0 samples the metrics
+  // registry at this sim-time interval and journals session/chaos/
+  // reconvergence events; wins over the scenario's `observe` stanza (0
+  // forces it off) — the CLI's --observe-interval.
+  void set_observe(double interval) noexcept { observe_override_ = interval; }
+  // nullptr while observation is off.
+  telemetry::TimeSeriesSampler* sampler() noexcept { return sampler_.get(); }
+  telemetry::EventLog* event_log() noexcept { return event_log_.get(); }
   // Replaces the seed of the scenario's chaos stanza (no effect without
   // one) — the CLI's --chaos-seed.
   void set_chaos_seed(std::uint64_t seed) noexcept { chaos_seed_ = seed; }
@@ -136,6 +144,10 @@ class Runner {
   std::optional<std::size_t> speaker_threads_override_;
   std::optional<std::uint64_t> chaos_seed_;
   std::optional<simnet::ChaosOptions> chaos_override_;
+  // Observability plane (see set_observe); created by build() when enabled.
+  std::unique_ptr<telemetry::TimeSeriesSampler> sampler_;
+  std::unique_ptr<telemetry::EventLog> event_log_;
+  std::optional<double> observe_override_;
   // Pathlet stores must outlive the speakers that reference them.
   std::map<bgp::AsNumber, std::unique_ptr<protocols::PathletStore>> pathlet_stores_;
 };

@@ -3,8 +3,13 @@
 #include <exception>
 #include <sstream>
 
+#include <algorithm>
+#include <map>
+#include <tuple>
+
 #include "ia/ids.h"
 #include "telemetry/metrics.h"
+#include "telemetry/prom_export.h"
 #include "telemetry/provenance.h"
 #include "util/strings.h"
 
@@ -84,6 +89,25 @@ std::string format_stats(const simnet::RunStats& stats, double now) {
   out << "events=" << stats.processed << " time=" << now
       << (stats.capped ? " capped" : "");
   return out.str();
+}
+
+// Splits a labeled registry name ("dbgp.peer.rejects|as=1,peer=2") into its
+// base and the as/peer label values; returns false for unlabeled names.
+bool parse_peer_label(std::string_view name, std::string& base, std::uint32_t& as,
+                      std::uint32_t& peer) {
+  const auto bar = name.find('|');
+  if (bar == std::string_view::npos) return false;
+  base = std::string(name.substr(0, bar));
+  as = 0;
+  peer = 0;
+  for (const auto& part : util::split(name.substr(bar + 1), ',')) {
+    const auto [key, value] = split_kv(util::trim(part));
+    std::uint64_t n = 0;
+    if (!util::parse_u64(value, n)) continue;
+    if (key == "as") as = static_cast<std::uint32_t>(n);
+    else if (key == "peer") peer = static_cast<std::uint32_t>(n);
+  }
+  return true;
 }
 
 }  // namespace
@@ -277,6 +301,73 @@ CommandResult ControlApi::dispatch(const std::vector<std::string>& tokens) {
     if (argc >= 1 && !deltas) fail("usage: metrics [deltas]");
     return {true, false, format_metrics(deltas)};
   }
+  if (verb == "metrics-prom") {
+    return {true, false,
+            telemetry::to_prometheus(telemetry::MetricsRegistry::global().snapshot())};
+  }
+  if (verb == "series") {
+    const telemetry::TimeSeriesSampler* sampler = server_.sampler();
+    if (sampler == nullptr) fail("observation is off (use: observe <interval>)");
+    if (argc == 0) {
+      // No metric: list what the sampler has.
+      std::ostringstream out;
+      out << "samples=" << sampler->sample_count() << " interval="
+          << sampler->options().interval;
+      for (const auto& name : sampler->series_names()) out << '\n' << name;
+      return {true, false, out.str()};
+    }
+    std::size_t last = 0;
+    bool rates = false;
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      auto [key, value] = split_kv(tokens[i]);
+      if (key == "last") last = static_cast<std::size_t>(parse_number(value));
+      else if (key == "rates") rates = true;
+      else fail("unknown series option '" + key + "'");
+    }
+    auto points = rates ? sampler->rates(tokens[1]) : sampler->series(tokens[1]);
+    if (points.empty()) fail("no series '" + tokens[1] + "' (try: series)");
+    if (last > 0 && points.size() > last) {
+      points.erase(points.begin(), points.end() - static_cast<std::ptrdiff_t>(last));
+    }
+    std::ostringstream out;
+    out << tokens[1] << (rates ? " rates " : " points ") << points.size();
+    for (const auto& p : points) out << '\n' << p.time << ' ' << p.value;
+    return {true, false, out.str()};
+  }
+  if (verb == "peers") {
+    return {true, false, format_peers()};
+  }
+  if (verb == "events") {
+    const telemetry::EventLog* log = server_.event_log();
+    if (log == nullptr) fail("observation is off (use: observe <interval>)");
+    std::size_t last = 0;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      auto [key, value] = split_kv(tokens[i]);
+      if (key == "last") last = static_cast<std::size_t>(parse_number(value));
+      else fail("unknown events option '" + key + "'");
+    }
+    auto events = log->events();
+    if (last > 0 && events.size() > last) {
+      events.erase(events.begin(), events.end() - static_cast<std::ptrdiff_t>(last));
+    }
+    std::ostringstream out;
+    out << "events " << events.size() << " (dropped " << log->dropped() << ")";
+    for (const auto& e : events) {
+      out << '\n' << telemetry::EventLog::to_json(e).dump(-1);
+    }
+    return {true, false, out.str()};
+  }
+  if (verb == "observe") {
+    need(1, "observe <interval-seconds>|off");
+    if (tokens[1] == "off") {
+      server_.set_observe(0.0);
+      return {true, false, "observation off"};
+    }
+    const double interval = parse_seconds(tokens[1]);
+    if (interval <= 0.0) fail("observe interval must be > 0 (or 'off')");
+    server_.set_observe(interval);
+    return {true, false, "observing every " + tokens[1] + "s (history reset)"};
+  }
   if (verb == "health") {
     server_.poll_divergence();
     std::size_t up = 0;
@@ -288,6 +379,22 @@ CommandResult ControlApi::dispatch(const std::vector<std::string>& tokens) {
         << " oscillating=" << server_.divergence().oscillating()
         << " commands=" << executed_ << " spans=" << server_.causal().span_count()
         << " audits=" << server_.causal().audit_count();
+    // The oracle's classification replaces the watchdog's guess as the
+    // headline verdict; the watchdog's per-prefix flip counts stay as the
+    // live early-warning lines below. Without causal tracing there is no
+    // history to classify, so the verdict line is simply absent.
+    if (server_.causal_enabled()) {
+      const telemetry::ConvergenceOracle::RunReport report = server_.classify_convergence();
+      out << " verdict=" << telemetry::to_string(report.verdict)
+          << " converged=" << report.converged << " diverged=" << report.diverged
+          << " oscillating-prefixes=" << report.oscillating;
+      for (const auto& p : report.prefixes) {
+        if (p.verdict == telemetry::Verdict::kConverged) continue;
+        out << "\n" << telemetry::to_string(p.verdict) << " AS" << p.as << ' '
+            << p.prefix << " flips=" << p.flips << " post-chaos=" << p.post_chaos_flips
+            << " — " << p.reason;
+      }
+    }
     for (const auto& [key, flips] : server_.divergence().report()) {
       out << "\noscillating " << key << " flips=" << flips;
     }
@@ -322,6 +429,56 @@ std::string ControlApi::format_metrics(bool deltas) {
   return text;
 }
 
+std::string ControlApi::format_peers() {
+  // Per-session counters live in the registry as labeled names
+  // ("dbgp.peer.updates_in|as=1,peer=2"); regroup them into one row per
+  // (as, peer) session so an operator sees each session's traffic at a
+  // glance. BgpSpeaker sessions ("bgp.peer.*") tabulate the same way.
+  struct Row {
+    std::map<std::string, double> fields;
+  };
+  std::map<std::tuple<std::string, std::uint32_t, std::uint32_t>, Row> rows;
+  const auto snapshot = telemetry::MetricsRegistry::global().snapshot();
+  std::string base;
+  std::uint32_t as = 0;
+  std::uint32_t peer = 0;
+  const auto field_of = [](const std::string& full) {
+    const auto dot = full.rfind('.');
+    return dot == std::string::npos ? full : full.substr(dot + 1);
+  };
+  const auto scope_of = [](const std::string& full) {
+    const auto dot = full.rfind('.');
+    return dot == std::string::npos ? std::string() : full.substr(0, dot);
+  };
+  for (const auto& c : snapshot.counters) {
+    if (!parse_peer_label(c.name, base, as, peer)) continue;
+    const std::string scope = scope_of(base);
+    if (scope != "dbgp.peer" && scope != "bgp.peer") continue;
+    rows[{scope, as, peer}].fields[field_of(base)] = static_cast<double>(c.value);
+  }
+  for (const auto& g : snapshot.gauges) {
+    if (!parse_peer_label(g.name, base, as, peer)) continue;
+    const std::string scope = scope_of(base);
+    if (scope != "dbgp.peer" && scope != "bgp.peer") continue;
+    rows[{scope, as, peer}].fields[field_of(base)] = static_cast<double>(g.value);
+  }
+  std::ostringstream out;
+  out << "sessions " << rows.size();
+  for (const auto& [key, row] : rows) {
+    const auto& [scope, row_as, row_peer] = key;
+    const auto field = [&](const char* name) {
+      const auto it = row.fields.find(name);
+      return it == row.fields.end() ? 0.0 : it->second;
+    };
+    out << '\n' << scope << " AS" << row_as << " -> AS" << row_peer
+        << " in=" << field("updates_in") << " out=" << field("updates_out")
+        << " wdr-in=" << field("withdraws_in") << " wdr-out=" << field("withdraws_out")
+        << " rejects=" << field("rejects") << " flaps=" << field("flaps")
+        << " adj-out=" << field("adj_out_depth");
+  }
+  return out.str();
+}
+
 std::string ControlApi::help() {
   return
       "commands:\n"
@@ -337,7 +494,9 @@ std::string ControlApi::help() {
       "  run | step <seconds>\n"
       "  snapshot <file> | restore <file>\n"
       "  rib <asn> [prefix] | why <asn> <prefix> | blame\n"
-      "  metrics [deltas] | health | help | quit";
+      "  metrics [deltas] | metrics-prom | peers | health | help | quit\n"
+      "  observe <interval>|off                         (time-series + event journal)\n"
+      "  series [<metric>] [last=<n>] [rates] | events [last=<n>]";
 }
 
 }  // namespace dbgp::server

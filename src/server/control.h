@@ -43,6 +43,8 @@ class ControlApi {
  private:
   CommandResult dispatch(const std::vector<std::string>& tokens);
   std::string format_metrics(bool deltas);
+  // One row per (as, peer) session, regrouped from the labeled registry names.
+  static std::string format_peers();
 
   RouteServer& server_;
   std::uint64_t executed_ = 0;

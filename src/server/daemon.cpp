@@ -37,6 +37,39 @@ RouteServer::RouteServer(Options options)
   restores_ = &registry.counter("server.restores");
   uptime_ = &registry.gauge("server.uptime_sim_s");
   oscillating_ = &registry.gauge("server.divergence.oscillating_prefixes");
+  if (options_.observe_interval > 0.0) set_observe(options_.observe_interval);
+}
+
+void RouteServer::set_observe(double interval) {
+  // Detach before destroying: the network holds raw pointers.
+  net_->options().sampler = nullptr;
+  net_->options().event_log = nullptr;
+  sampler_.reset();
+  event_log_.reset();
+  observe_interval_ = 0.0;
+  if (interval <= 0.0) return;
+  telemetry::TimeSeriesSampler::Options opts;
+  opts.interval = interval;
+  sampler_ = std::make_unique<telemetry::TimeSeriesSampler>(opts);
+  event_log_ = std::make_unique<telemetry::EventLog>();
+  net_->options().sampler = sampler_.get();
+  net_->options().event_log = event_log_.get();
+  observe_interval_ = interval;
+}
+
+telemetry::ConvergenceOracle::RunReport RouteServer::classify_convergence() {
+  if (!options_.causal) {
+    throw std::runtime_error("convergence oracle needs causal tracing (Options::causal)");
+  }
+  auto report = oracle_.classify(causal_);
+  if (event_log_ != nullptr) {
+    std::string detail = std::string("verdict=") + telemetry::to_string(report.verdict);
+    detail += " converged=" + std::to_string(report.converged);
+    detail += " diverged=" + std::to_string(report.diverged);
+    detail += " oscillating=" + std::to_string(report.oscillating);
+    event_log_->record(now(), "oracle", 0, 0, std::move(detail));
+  }
+  return report;
 }
 
 core::DbgpSpeaker& RouteServer::build_speaker(const scenario::AsDecl& decl) {
@@ -97,6 +130,11 @@ void RouteServer::load(const scenario::Scenario& scenario) {
     net_->originate(decl.asn, decl.prefix);
   }
   if (scenario.chaos) set_chaos(scenario::to_chaos_options(*scenario.chaos));
+  // The scenario's `observe` stanza shapes the plane unless the host already
+  // configured it (an explicit Options/--observe-interval wins).
+  if (scenario.observe_interval > 0.0 && observe_interval_ <= 0.0) {
+    set_observe(scenario.observe_interval);
+  }
 }
 
 void RouteServer::add_as(const scenario::AsDecl& decl) {
@@ -349,6 +387,10 @@ void RouteServer::restore(const Snapshot& snapshot) {
   }
   net_->events().advance_to(snapshot.sim_time);
   divergence_.clear();
+  // The gauge mirrors the detector; clearing one without the other left a
+  // stale pre-restore oscillating-prefix count visible to `metrics` until
+  // the next poll_divergence with fresh audits.
+  oscillating_->set(0);
   audit_cursor_ = causal_.audit_count();
   uptime_->set(static_cast<std::int64_t>(now()));
   restores_->inc();

@@ -37,7 +37,10 @@
 #include "simnet/network.h"
 #include "telemetry/causal.h"
 #include "telemetry/divergence.h"
+#include "telemetry/event_log.h"
 #include "telemetry/metrics.h"
+#include "telemetry/oracle.h"
+#include "telemetry/sampler.h"
 
 namespace dbgp::server {
 
@@ -56,6 +59,11 @@ class RouteServer {
     // causal tracing pins speakers to the sequential path so audit/span
     // streams stay ordered. Changeable at runtime via set_speaker_threads.
     std::size_t speaker_threads = 1;
+    // Observability plane: > 0 attaches a time-series sampler (at this
+    // sim-time interval) and the structured event log to the network from
+    // construction. 0 leaves both off until set_observe() — the benches'
+    // default.
+    double observe_interval = 0.0;
   };
 
   RouteServer() : RouteServer(Options{}) {}
@@ -132,8 +140,25 @@ class RouteServer {
   std::vector<bgp::AsNumber> as_numbers() const;
   std::size_t link_count() const noexcept;
   simnet::DbgpNetwork& network() noexcept { return *net_; }
+  bool causal_enabled() const noexcept { return options_.causal; }
   const telemetry::CausalTracer& causal() const noexcept { return causal_; }
   const telemetry::OscillationDetector& divergence() const noexcept { return divergence_; }
+
+  // -- Observability plane ----------------------------------------------------
+  // (Re)creates the sampler + event log at `interval` and attaches them to
+  // the network; interval <= 0 detaches and destroys both. Existing history
+  // is dropped on reconfiguration (the interval defines the series shape).
+  void set_observe(double interval);
+  double observe_interval() const noexcept { return observe_interval_; }
+  // nullptr while observation is off.
+  telemetry::TimeSeriesSampler* sampler() noexcept { return sampler_.get(); }
+  const telemetry::TimeSeriesSampler* sampler() const noexcept { return sampler_.get(); }
+  telemetry::EventLog* event_log() noexcept { return event_log_.get(); }
+  const telemetry::EventLog* event_log() const noexcept { return event_log_.get(); }
+  // Classifies the causal trace (telemetry/oracle.h) — the `health` verb's
+  // convergence verdict. Requires Options::causal; throws otherwise. When the
+  // event log is attached, the run verdict is journaled as an "oracle" event.
+  telemetry::ConvergenceOracle::RunReport classify_convergence();
   // FNV-1a-64 over the AS's encoded Loc-RIB (prefix + selected IA bytes) —
   // the equality probe the snapshot and reconfiguration tests compare.
   std::uint64_t loc_rib_hash(bgp::AsNumber asn) const;
@@ -173,6 +198,13 @@ class RouteServer {
   std::map<bgp::AsNumber, core::DbgpSpeaker::SpeakerState> checkpoints_;
   telemetry::OscillationDetector divergence_;
   std::size_t audit_cursor_ = 0;
+
+  // Observability plane (set_observe); heap-held so the network can keep raw
+  // pointers and reconfiguration swaps cleanly.
+  std::unique_ptr<telemetry::TimeSeriesSampler> sampler_;
+  std::unique_ptr<telemetry::EventLog> event_log_;
+  telemetry::ConvergenceOracle oracle_;
+  double observe_interval_ = 0.0;
 
   // Uptime / reconfiguration telemetry (registered in the global registry so
   // the `metrics` verb and bench gating see them).

@@ -1,6 +1,7 @@
 #include "simnet/network.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "ia/codec.h"
@@ -147,6 +148,12 @@ void DbgpNetwork::on_link_state(Link& link, LinkState state) {
   const telemetry::SpanId cause =
       chaos_instant(link.a_, link.b_, state == LinkState::kDown ? "link_down" : "link_up");
   note_disruption(cause);
+  // Both session endpoints see the transition; one event per end keeps the
+  // journal greppable by AS.
+  log_event(state == LinkState::kDown ? "session_down" : "session_up", link.a_, link.b_,
+            state == LinkState::kDown ? "link_down" : "link_up", cause);
+  log_event(state == LinkState::kDown ? "session_down" : "session_up", link.b_, link.a_,
+            state == LinkState::kDown ? "link_down" : "link_up", cause);
   const bgp::AsNumber ends[2] = {link.a_, link.b_};
   if (state == LinkState::kDown) {
     ++link.stats_.flaps;
@@ -182,6 +189,7 @@ void DbgpNetwork::crash(bgp::AsNumber asn) {
   if (!node.up) return;
   const telemetry::SpanId cause = chaos_instant(asn, 0, "crash");
   note_disruption(cause);
+  log_event("chaos", asn, 0, "crash", cause);
   node.up = false;
   ++churn_.crashes;
   NetworkMetrics::get().crashes->inc();
@@ -203,6 +211,7 @@ void DbgpNetwork::restart(bgp::AsNumber asn) {
   if (node.up) return;
   const telemetry::SpanId cause = chaos_instant(asn, 0, "restart");
   note_disruption(cause);
+  log_event("chaos", asn, 0, "restart", cause);
   node.up = true;
   ++churn_.restarts;
   NetworkMetrics::get().restarts->inc();
@@ -240,6 +249,7 @@ void DbgpNetwork::restart_warm(bgp::AsNumber asn,
   if (node.up) return;
   const telemetry::SpanId cause = chaos_instant(asn, 0, "restart", "warm");
   note_disruption(cause);
+  log_event("chaos", asn, 0, "restart-warm", cause);
   node.up = true;
   ++churn_.restarts;
   NetworkMetrics::get().restarts->inc();
@@ -463,6 +473,9 @@ void DbgpNetwork::deliver(bgp::AsNumber from, bgp::AsNumber to, const ia::Shared
                           DeliveryMode mode, telemetry::SpanId span) {
   NetworkMetrics::get().messages_in_flight->add(-1);
   if (--in_flight_ == 0) last_zero_ = events_.now();
+  // Sim-time sampling rides the delivery loop; the sampler's own interval
+  // check keeps this to one comparison per frame between samples.
+  if (options_.sampler != nullptr) options_.sampler->sample(events_.now());
   telemetry::CausalTracer* causal = options_.causal;
   // The wire transit ends here whether or not the receiver accepts the
   // frame; rejection reasons are annotated below.
@@ -518,6 +531,13 @@ void DbgpNetwork::flush_node(bgp::AsNumber asn) {
   dispatch(asn, it->second.speaker->flush());
 }
 
+void DbgpNetwork::log_event(std::string kind, std::uint32_t as, std::uint32_t peer_as,
+                            std::string detail, telemetry::SpanId span) {
+  if (options_.event_log == nullptr) return;
+  options_.event_log->record(events_.now(), std::move(kind), as, peer_as, std::move(detail),
+                             span);
+}
+
 telemetry::SpanId DbgpNetwork::chaos_instant(std::uint32_t as, std::uint32_t peer_as,
                                              std::string_view name, std::string detail) {
   if (options_.causal == nullptr) return 0;
@@ -545,6 +565,14 @@ void DbgpNetwork::close_disruption_window() {
   disruption_open_ = false;
   const double end = std::max(last_zero_, disruption_start_);
   NetworkMetrics::get().reconvergence->record(end - disruption_start_);
+  if (options_.event_log != nullptr) {
+    // Stamped at the window's end (when the last in-flight frame settled),
+    // not at the drain that detected it.
+    char detail[64];
+    std::snprintf(detail, sizeof(detail), "start=%.6f duration=%.6f", disruption_start_,
+                  end - disruption_start_);
+    options_.event_log->record(end, "reconvergence", 0, 0, detail, window_cause_);
+  }
   if (options_.causal != nullptr) {
     const telemetry::SpanId w =
         options_.causal->begin_span(telemetry::SpanKind::kWindow, window_cause_,
@@ -561,6 +589,9 @@ void DbgpNetwork::inject(bgp::AsNumber from, std::vector<core::DbgpOutgoing> out
 RunStats DbgpNetwork::run_until(double until, std::size_t max_events) {
   RunStats stats = events_.run_until(until, max_events);
   events_.advance_to(until);
+  // Close the sampling gap a sparse event schedule leaves: the history ends
+  // at `until`, not at the last delivered frame.
+  if (options_.sampler != nullptr) options_.sampler->sample(until);
   stats.link_flaps = churn_.link_flaps;
   stats.crashes = churn_.crashes;
   stats.restarts = churn_.restarts;
@@ -575,6 +606,7 @@ RunStats DbgpNetwork::run_until(double until, std::size_t max_events) {
 RunStats DbgpNetwork::run_to_convergence(std::size_t max_events) {
   RunStats stats = events_.run(max_events);
   if (!stats.capped) close_disruption_window();
+  if (options_.sampler != nullptr) options_.sampler->sample(events_.now());
   stats.link_flaps = churn_.link_flaps;
   stats.crashes = churn_.crashes;
   stats.restarts = churn_.restarts;

@@ -25,6 +25,8 @@
 #include "core/speaker.h"
 #include "simnet/event_queue.h"
 #include "simnet/link.h"
+#include "telemetry/event_log.h"
+#include "telemetry/sampler.h"
 #include "telemetry/trace.h"
 #include "util/thread_pool.h"
 
@@ -48,6 +50,15 @@ class DbgpNetwork {
     // ids and the delivery path takes no extra branches beyond one null
     // check.
     telemetry::CausalTracer* causal = nullptr;
+    // Time-series sampler: the delivery loop ticks it at event granularity
+    // (the sampler enforces its own minimum interval), so metric histories
+    // advance in sim time without a separate timer event. Unset = one null
+    // check per delivery.
+    telemetry::TimeSeriesSampler* sampler = nullptr;
+    // Structured event journal: session up/down transitions, chaos events,
+    // and reconvergence windows are recorded as JSONL-ready events carrying
+    // the causal span of their trigger (telemetry/event_log.h).
+    telemetry::EventLog* event_log = nullptr;
     // Worker threads for each speaker's sharded batch pipeline
     // (DbgpSpeaker::set_parallel). 0/1 = fully sequential (no pool is
     // created). >1 takes effect only under DeliveryMode::kBatched — the
@@ -186,6 +197,9 @@ class DbgpNetwork {
   // causal tracing is off) so session churn it provokes can chain to it.
   telemetry::SpanId chaos_instant(std::uint32_t as, std::uint32_t peer_as,
                                   std::string_view name, std::string detail = {});
+  // Appends to Options::event_log (no-op when unset), stamped at sim now.
+  void log_event(std::string kind, std::uint32_t as, std::uint32_t peer_as,
+                 std::string detail, telemetry::SpanId span = 0);
   // Re-convergence clock: a disruption (flap/crash/restart) opens a window
   // that closes at the last time the in-flight frame count touched zero.
   // `cause` is the chaos span of the disruption; the first one to open a

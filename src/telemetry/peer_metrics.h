@@ -1,0 +1,56 @@
+// Per-peer session metrics: first-class labeled counters both speakers
+// (core::DbgpSpeaker and bgp::BgpSpeaker) thread through their hot paths.
+//
+// The registry (metrics.h) is flat-name keyed; labels ride inside the name
+// behind a '|' in "k=v,k=v" form — "bgp.peer.updates_in|as=1,peer=2" — the
+// convention prom_export.h splits back into a Prometheus label block and the
+// ControlApi's `peers` verb tabulates. Pointers are resolved once per
+// (speaker, peer) at add_peer time, so the per-update cost stays a relaxed
+// atomic add, same as every other speaker metric.
+//
+// Aggregated dbgp.speaker.* / bgp.speaker.* counters are unchanged; these
+// labeled series answer the question those cannot: *which* session is
+// flapping, rejecting, or backing up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.h"
+
+namespace dbgp::telemetry {
+
+struct PeerMetrics {
+  Counter* updates_in = nullptr;    // announcements received from the peer
+  Counter* updates_out = nullptr;   // advertisements emitted toward the peer
+  Counter* withdraws_in = nullptr;
+  Counter* withdraws_out = nullptr;
+  Counter* rejects = nullptr;       // filter/module/decode rejections of its input
+  Counter* flaps = nullptr;         // session-down transitions
+  Gauge* adj_out_depth = nullptr;   // routes currently advertised to the peer
+                                    // (BgpSpeaker: MRAI queue depth instead)
+
+  // `scope` is "dbgp.peer" or "bgp.peer"; `as` the owning speaker, `peer_as`
+  // the session counterpart.
+  static PeerMetrics create(std::string_view scope, std::uint32_t as,
+                            std::uint32_t peer_as) {
+    auto& reg = MetricsRegistry::global();
+    const std::string labels =
+        "|as=" + std::to_string(as) + ",peer=" + std::to_string(peer_as);
+    auto name = [&](const char* field) {
+      return std::string(scope) + "." + field + labels;
+    };
+    PeerMetrics m;
+    m.updates_in = &reg.counter(name("updates_in"));
+    m.updates_out = &reg.counter(name("updates_out"));
+    m.withdraws_in = &reg.counter(name("withdraws_in"));
+    m.withdraws_out = &reg.counter(name("withdraws_out"));
+    m.rejects = &reg.counter(name("rejects"));
+    m.flaps = &reg.counter(name("flaps"));
+    m.adj_out_depth = &reg.gauge(name("adj_out_depth"));
+    return m;
+  }
+};
+
+}  // namespace dbgp::telemetry

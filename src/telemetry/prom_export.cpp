@@ -1,0 +1,362 @@
+#include "telemetry/prom_export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace dbgp::telemetry {
+
+namespace {
+
+std::string sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string format_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  const auto as_int = static_cast<std::int64_t>(v);
+  char buf[64];
+  if (static_cast<double>(as_int) == v && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(as_int));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  return buf;
+}
+
+// Inserts an extra label ("le") into a rendered label block.
+std::string with_extra_label(const std::string& labels, const std::string& key,
+                             const std::string& value) {
+  std::string extra = key + "=\"" + escape_label_value(value) + "\"";
+  if (labels.empty()) return "{" + extra + "}";
+  std::string out = labels;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+struct Group {
+  std::string base;
+  std::string type;
+  std::vector<std::string> lines;
+};
+
+class GroupedOutput {
+ public:
+  Group& get(const std::string& base, const char* type) {
+    auto it = index_.find(base);
+    if (it == index_.end()) {
+      groups_.push_back({base, type, {}});
+      it = index_.emplace(base, groups_.size() - 1).first;
+    }
+    return groups_[it->second];
+  }
+
+  std::string render() const {
+    std::string out;
+    for (const Group& g : groups_) {
+      out += "# TYPE " + g.base + " " + g.type + "\n";
+      for (const std::string& line : g.lines) {
+        out += line;
+        out.push_back('\n');
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Group> groups_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace
+
+PromName split_prom_name(std::string_view registry_name) {
+  PromName out;
+  const auto bar = registry_name.find('|');
+  out.base = sanitize(registry_name.substr(0, bar));
+  if (bar == std::string_view::npos) return out;
+  std::string_view block = registry_name.substr(bar + 1);
+  std::string labels = "{";
+  bool first = true;
+  while (!block.empty()) {
+    const auto comma = block.find(',');
+    std::string_view kv = block.substr(0, comma);
+    block = comma == std::string_view::npos ? std::string_view{} : block.substr(comma + 1);
+    if (kv.empty()) continue;
+    const auto eq = kv.find('=');
+    std::string key = sanitize(eq == std::string_view::npos ? kv : kv.substr(0, eq));
+    std::string value{eq == std::string_view::npos ? std::string_view{} : kv.substr(eq + 1)};
+    if (!first) labels.push_back(',');
+    labels += key + "=\"" + escape_label_value(value) + "\"";
+    first = false;
+  }
+  labels.push_back('}');
+  if (!first) out.labels = std::move(labels);
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  GroupedOutput out;
+  for (const auto& c : snapshot.counters) {
+    const PromName n = split_prom_name(c.name);
+    out.get(n.base, "counter")
+        .lines.push_back(n.base + n.labels + " " + format_value(static_cast<double>(c.value)));
+  }
+  for (const auto& g : snapshot.gauges) {
+    const PromName n = split_prom_name(g.name);
+    out.get(n.base, "gauge")
+        .lines.push_back(n.base + n.labels + " " + format_value(static_cast<double>(g.value)));
+    const std::string hw = n.base + "_high_water";
+    out.get(hw, "gauge").lines.push_back(
+        hw + n.labels + " " + format_value(static_cast<double>(g.high_water)));
+  }
+  for (const auto& h : snapshot.histograms) {
+    const PromName n = split_prom_name(h.name);
+    Group& g = out.get(n.base, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const std::string le =
+          i < h.bounds.size() ? format_value(h.bounds[i]) : std::string("+Inf");
+      g.lines.push_back(n.base + "_bucket" + with_extra_label(n.labels, "le", le) + " " +
+                        format_value(static_cast<double>(cumulative)));
+    }
+    g.lines.push_back(n.base + "_sum" + n.labels + " " + format_value(h.sum));
+    g.lines.push_back(n.base + "_count" + n.labels + " " +
+                      format_value(static_cast<double>(h.count)));
+  }
+  return out.render();
+}
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  if (name[0] >= '0' && name[0] <= '9') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool parse_number(std::string_view token, double* value) {
+  if (token == "+Inf" || token == "Inf") {
+    *value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-Inf") {
+    *value = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "NaN") {
+    *value = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  char* end = nullptr;
+  const std::string s{token};
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == s.c_str()) return false;
+  *value = v;
+  return true;
+}
+
+// Parses "{k=\"v\",...}" starting at text[pos] == '{'. Returns the position
+// past '}' or npos on malformed input. Extracts the "le" value when present
+// and rebuilds the label set minus "le" into `labels_without_le`.
+std::size_t parse_label_block(std::string_view text, std::size_t pos, std::string* le,
+                              std::string* labels_without_le) {
+  ++pos;  // past '{'
+  bool want_name = true;
+  while (pos < text.size() && text[pos] != '}') {
+    // label name
+    std::size_t name_start = pos;
+    while (pos < text.size() && text[pos] != '=') ++pos;
+    if (pos >= text.size()) return std::string_view::npos;
+    std::string name{text.substr(name_start, pos - name_start)};
+    if (!valid_metric_name(name)) return std::string_view::npos;
+    ++pos;  // '='
+    if (pos >= text.size() || text[pos] != '"') return std::string_view::npos;
+    ++pos;
+    std::string value;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      value.push_back(text[pos]);
+      ++pos;
+    }
+    if (pos >= text.size()) return std::string_view::npos;
+    ++pos;  // closing '"'
+    if (name == "le") {
+      *le = value;
+    } else {
+      if (!labels_without_le->empty()) labels_without_le->push_back(',');
+      *labels_without_le += name + "=" + value;
+    }
+    if (pos < text.size() && text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    want_name = false;
+  }
+  (void)want_name;
+  if (pos >= text.size() || text[pos] != '}') return std::string_view::npos;
+  return pos + 1;
+}
+
+}  // namespace
+
+bool validate_prometheus_text(std::string_view text, std::string* error) {
+  auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (error != nullptr) *error = "line " + std::to_string(line_no) + ": " + why;
+    return false;
+  };
+
+  std::map<std::string, std::string> types;  // name -> counter|gauge|histogram
+  struct BucketState {
+    double last_le = -std::numeric_limits<double>::infinity();
+    double last_count = -1.0;
+    bool saw_inf = false;
+    double inf_count = 0.0;
+  };
+  // (histogram name, labels-without-le) -> bucket monotonicity state
+  std::map<std::pair<std::string, std::string>, BucketState> buckets;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // Only TYPE comments carry structure; HELP/other comments pass through.
+      std::istringstream ss{std::string(line)};
+      std::string hash, keyword, name, type;
+      ss >> hash >> keyword;
+      if (keyword != "TYPE") continue;
+      if (!(ss >> name >> type)) return fail(line_no, "malformed TYPE line");
+      if (!valid_metric_name(name)) return fail(line_no, "invalid metric name in TYPE");
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return fail(line_no, "unknown metric type '" + type + "'");
+      }
+      if (types.count(name) != 0) return fail(line_no, "duplicate TYPE for '" + name + "'");
+      types[name] = type;
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    std::string name{line.substr(0, i)};
+    if (!valid_metric_name(name)) return fail(line_no, "invalid sample name '" + name + "'");
+    std::string le, labels_without_le;
+    if (i < line.size() && line[i] == '{') {
+      const std::size_t after = parse_label_block(line, i, &le, &labels_without_le);
+      if (after == std::string_view::npos) return fail(line_no, "malformed label block");
+      i = after;
+    }
+    if (i >= line.size() || line[i] != ' ') return fail(line_no, "missing sample value");
+    while (i < line.size() && line[i] == ' ') ++i;
+    double value = 0.0;
+    if (!parse_number(line.substr(i), &value)) {
+      return fail(line_no, "non-numeric sample value");
+    }
+
+    // Resolve the declared family: exact name, or histogram series suffixes.
+    std::string family = name;
+    std::string suffix;
+    if (types.count(family) == 0) {
+      for (const char* s : {"_bucket", "_sum", "_count"}) {
+        if (name.size() > std::string_view(s).size() &&
+            name.compare(name.size() - std::string_view(s).size(),
+                         std::string_view(s).size(), s) == 0) {
+          const std::string base = name.substr(0, name.size() - std::string_view(s).size());
+          const auto it = types.find(base);
+          if (it != types.end() && it->second == "histogram") {
+            family = base;
+            suffix = s;
+            break;
+          }
+        }
+      }
+    }
+    const auto type_it = types.find(family);
+    if (type_it == types.end()) {
+      return fail(line_no, "sample '" + name + "' has no preceding TYPE");
+    }
+    if (type_it->second == "histogram" && suffix.empty()) {
+      return fail(line_no, "bare histogram sample '" + name + "'");
+    }
+    if (type_it->second == "counter" && (value < 0.0 || std::isnan(value))) {
+      return fail(line_no, "negative or NaN counter value");
+    }
+
+    if (suffix == "_bucket") {
+      if (le.empty()) return fail(line_no, "histogram bucket without le label");
+      double le_value = 0.0;
+      if (!parse_number(le, &le_value)) return fail(line_no, "non-numeric le label");
+      BucketState& st = buckets[{family, labels_without_le}];
+      if (le_value <= st.last_le) return fail(line_no, "le bounds not increasing");
+      if (value < st.last_count) return fail(line_no, "bucket counts not cumulative");
+      st.last_le = le_value;
+      st.last_count = value;
+      if (std::isinf(le_value)) {
+        st.saw_inf = true;
+        st.inf_count = value;
+      }
+    } else if (suffix == "_count") {
+      const auto it = buckets.find({family, labels_without_le});
+      if (it != buckets.end() && it->second.saw_inf && it->second.inf_count != value) {
+        return fail(line_no, "_count disagrees with +Inf bucket");
+      }
+    }
+  }
+
+  // Every histogram series must close with a +Inf bucket.
+  for (const auto& [key, st] : buckets) {
+    if (!st.saw_inf) {
+      if (error != nullptr) *error = "histogram '" + key.first + "' missing +Inf bucket";
+      return false;
+    }
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace dbgp::telemetry

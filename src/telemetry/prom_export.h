@@ -1,0 +1,48 @@
+// Prometheus text exposition of a MetricsSnapshot.
+//
+// The route server's control API serves this as `metrics-prom` so any stock
+// scraper (or `curl | promtool check metrics`) can watch a live daemon; the
+// scenario tools write the same text next to their JSON exports. Rendering
+// rules:
+//
+//   * metric names are sanitized to [a-zA-Z0-9_:] (dots become underscores);
+//   * a "|k=v,k=v" suffix on the registry name — the convention the per-peer
+//     speaker metrics use ("bgp.peer.updates_in|as=1,peer=2") — is split off
+//     and rendered as a Prometheus label block;
+//   * counters render as one sample with `# TYPE ... counter`; gauges render
+//     their value plus a companion "<name>_high_water" gauge; histograms
+//     render cumulative `_bucket{le="..."}` samples, `_sum`, and `_count`.
+//
+// validate_prometheus_text is the structural inverse used by the tests and
+// trace_check: it walks the text line by line and rejects malformed names,
+// label blocks, non-numeric samples, samples without a preceding TYPE, and
+// non-cumulative histogram buckets.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.h"
+
+namespace dbgp::telemetry {
+
+// Renders the whole snapshot; deterministic (snapshot order is name-sorted).
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+// Splits a registry metric name into its base name and label block.
+// "bgp.peer.updates_in|as=1,peer=2" -> base "bgp_peer_updates_in",
+// labels `{as="1",peer="2"}`; names without '|' yield an empty label string.
+struct PromName {
+  std::string base;    // sanitized metric name
+  std::string labels;  // rendered "{k=\"v\",...}" block, possibly empty
+};
+PromName split_prom_name(std::string_view registry_name);
+
+// Structural validation of Prometheus text format. Returns true when every
+// line is a comment, a well-formed `# TYPE name counter|gauge|histogram`
+// declaration, or a `name{labels} value` sample whose name was declared and
+// whose value parses as a finite number (or +Inf bucket bounds). On failure,
+// `error` (when non-null) receives "line N: <reason>".
+bool validate_prometheus_text(std::string_view text, std::string* error = nullptr);
+
+}  // namespace dbgp::telemetry

@@ -7,8 +7,9 @@
 // lost more than `threshold` (default 10%) of its throughput, or disappeared
 // from the candidate. Counters named "reconverge*" (bench_churn's simulated
 // re-convergence times), "sweep_wall*" (the sweep benches' wall-clock
-// seconds), and "bytes_per_prefix*" / "load_wall*" (bench_memory's RIB
-// residency and table-load time) are additionally gated the other way
+// seconds), "bytes_per_prefix*" / "load_wall*" (bench_memory's RIB
+// residency and table-load time), and "observe_overhead*" (bench_observer's
+// sampler+oracle throughput tax) are additionally gated the other way
 // around: they regress by *growing* more than the threshold. Improvements and new
 // benchmarks are reported but never fail the gate, so the committed BENCH
 // file can ratchet forward. Wired up as the `dbgp_bench_check` CMake target.
@@ -42,7 +43,8 @@ struct Metric {
 
 bool is_lower_better_counter(const std::string& counter) {
   return counter.rfind("reconverge", 0) == 0 || counter.rfind("sweep_wall", 0) == 0 ||
-         counter.rfind("bytes_per_prefix", 0) == 0 || counter.rfind("load_wall", 0) == 0;
+         counter.rfind("bytes_per_prefix", 0) == 0 || counter.rfind("load_wall", 0) == 0 ||
+         counter.rfind("observe_overhead", 0) == 0;
 }
 
 // name -> metric for every entry of the file's "benchmarks" array; latency

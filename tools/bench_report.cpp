@@ -3,13 +3,19 @@
 //   bench_report <file.json> [more.json ...]
 //
 // Shows the per-benchmark throughput table, the headline latency
-// percentiles, and the busiest telemetry counters from the embedded
-// registry snapshot. Exits 2 on unreadable/malformed input.
+// percentiles, the busiest telemetry counters from the embedded registry
+// snapshot, a per-peer session table (regrouped from the labeled
+// "<scope>.<field>|as=N,peer=M" counters), and — when the bench embedded a
+// "series" section (telemetry::TimeSeriesSampler::to_json) — the hottest
+// time-series rates over the sampled window. Exits 2 on
+// unreadable/malformed input.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "util/json.h"
@@ -17,6 +23,25 @@
 namespace {
 
 using dbgp::util::json::Value;
+
+// Splits "dbgp.peer.updates_in|as=1,peer=2" into base name + label values.
+// Returns false for unlabeled names or any other label shape.
+bool parse_peer_label(const std::string& name, std::string& base, unsigned long& as,
+                      unsigned long& peer) {
+  const auto bar = name.find('|');
+  if (bar == std::string::npos) return false;
+  const std::string labels = name.substr(bar + 1);
+  if (labels.compare(0, 3, "as=") != 0) return false;
+  const auto comma = labels.find(",peer=");
+  if (comma == std::string::npos) return false;
+  char* end = nullptr;
+  as = std::strtoul(labels.c_str() + 3, &end, 10);
+  if (end != labels.c_str() + comma) return false;
+  peer = std::strtoul(labels.c_str() + comma + 6, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  base = name.substr(0, bar);
+  return true;
+}
 
 std::string format_rate(double v) {
   char buf[64];
@@ -152,6 +177,116 @@ void report(const std::string& path) {
     std::printf("    %-24s %14.0f %14.0f %9.2f%% %10.0f\n", prefix, hits, misses,
                 100.0 * hits / (hits + misses),
                 metric((std::string(prefix) + ".live").c_str()));
+  }
+
+  // Per-peer session table: the labeled counters regrouped one row per
+  // (scope, as, peer) session — the offline twin of the daemon's `peers`
+  // verb. Sorted by update volume so the busiest sessions lead.
+  {
+    std::map<std::tuple<std::string, unsigned long, unsigned long>,
+             std::map<std::string, double>> sessions;
+    std::string base;
+    unsigned long as = 0;
+    unsigned long peer = 0;
+    auto collect = [&](const Value* table) {
+      if (table == nullptr || !table->is_object()) return;
+      for (const auto& [name, value] : table->as_object()) {
+        if (!value.is_number() || !parse_peer_label(name, base, as, peer)) continue;
+        const auto dot = base.rfind('.');
+        if (dot == std::string::npos) continue;
+        sessions[{base.substr(0, dot), as, peer}][base.substr(dot + 1)] =
+            value.as_double();
+      }
+    };
+    collect(counters);
+    collect(gauges);
+    if (!sessions.empty()) {
+      std::vector<std::pair<std::tuple<std::string, unsigned long, unsigned long>,
+                            std::map<std::string, double>>> rows(sessions.begin(),
+                                                                 sessions.end());
+      auto volume = [](const std::map<std::string, double>& fields) {
+        double total = 0.0;
+        for (const char* f : {"updates_in", "updates_out", "withdraws_in",
+                              "withdraws_out"}) {
+          const auto it = fields.find(f);
+          if (it != fields.end()) total += it->second;
+        }
+        return total;
+      };
+      std::stable_sort(rows.begin(), rows.end(), [&](const auto& a, const auto& b) {
+        return volume(a.second) > volume(b.second);
+      });
+      std::printf("\n  per-peer sessions (%zu):\n", rows.size());
+      std::printf("    %-10s %-20s %10s %10s %8s %8s %8s %8s %8s\n", "scope",
+                  "session", "in", "out", "wdr-in", "wdr-out", "rejects", "flaps",
+                  "adj-out");
+      const std::size_t shown = std::min<std::size_t>(rows.size(), 12);
+      for (std::size_t i = 0; i < shown; ++i) {
+        const auto& [key, fields] = rows[i];
+        const auto field = [&](const char* name) {
+          const auto it = fields.find(name);
+          return it == fields.end() ? 0.0 : it->second;
+        };
+        char session[32];
+        std::snprintf(session, sizeof session, "AS%lu -> AS%lu", std::get<1>(key),
+                      std::get<2>(key));
+        std::printf("    %-10s %-20s %10.0f %10.0f %8.0f %8.0f %8.0f %8.0f %8.0f\n",
+                    std::get<0>(key).c_str(), session, field("updates_in"),
+                    field("updates_out"), field("withdraws_in"),
+                    field("withdraws_out"), field("rejects"), field("flaps"),
+                    field("adj_out_depth"));
+      }
+      if (rows.size() > shown) {
+        std::printf("    ... %zu more sessions\n", rows.size() - shown);
+      }
+    }
+  }
+
+  // Time-series rates: when the bench embedded its sampler history
+  // ("series", shape from telemetry::TimeSeriesSampler::to_json), show the
+  // overall per-second rate of the fastest-moving series across the sampled
+  // window — the rough live view `dbgp_server`'s `series` verb gives.
+  if (const Value* series_root = root.find("series");
+      series_root != nullptr && series_root->is_object()) {
+    const Value* table = series_root->find("series");
+    if (table != nullptr && table->is_object()) {
+      struct SeriesRow {
+        std::string name;
+        double delta = 0.0;
+        double rate = 0.0;
+        std::size_t points = 0;
+      };
+      std::vector<SeriesRow> rows;
+      for (const auto& [name, points] : table->as_object()) {
+        if (!points.is_array() || points.as_array().size() < 2) continue;
+        const auto& first = points.as_array().front();
+        const auto& last = points.as_array().back();
+        if (!first.is_array() || first.as_array().size() != 2 || !last.is_array() ||
+            last.as_array().size() != 2) {
+          continue;
+        }
+        const double dt = last.as_array()[0].as_double() - first.as_array()[0].as_double();
+        const double dv = last.as_array()[1].as_double() - first.as_array()[1].as_double();
+        if (dt <= 0.0 || dv <= 0.0) continue;
+        rows.push_back({name, dv, dv / dt, points.as_array().size()});
+      }
+      std::sort(rows.begin(), rows.end(),
+                [](const SeriesRow& a, const SeriesRow& b) { return a.rate > b.rate; });
+      if (!rows.empty()) {
+        std::printf("\n  time-series rates (%.0f samples @ %.3fs):\n",
+                    series_root->number_or("samples", 0.0),
+                    series_root->number_or("interval", 0.0));
+        std::printf("    %-44s %8s %14s %14s\n", "series", "points", "delta", "rate");
+        const std::size_t shown = std::min<std::size_t>(rows.size(), 8);
+        for (std::size_t i = 0; i < shown; ++i) {
+          std::printf("    %-44s %8zu %14.0f %14s\n", rows[i].name.c_str(),
+                      rows[i].points, rows[i].delta, format_rate(rows[i].rate).c_str());
+        }
+        if (rows.size() > shown) {
+          std::printf("    ... %zu more advancing series\n", rows.size() - shown);
+        }
+      }
+    }
   }
   std::printf("\n");
 }

@@ -33,6 +33,14 @@
 // fault schedules); --chaos-profile injects a named preset schedule
 // (flaky|lossy|corrupt|outage|full) even into scenarios without a stanza.
 //
+// --observe-interval <s> turns on the observability plane (overriding any
+// `observe` stanza); --event-log writes the session/chaos/reconvergence
+// journal as JSONL, --series the sampled metric time series as JSON (either
+// flag alone implies observation at the default 0.5 s cadence). --oracle
+// classifies every (AS, prefix) pair's convergence from the causal trace
+// (enabling causal tracing) and writes the report JSON; the one-line verdict
+// is always printed.
+//
 // Exits 0 when the network converged and every `expect` in the scenario
 // holds, 1 otherwise. See scenarios/*.dbgp for examples and
 // src/scenario/parser.h for the format.
@@ -46,9 +54,11 @@
 #include "simnet/chaos.h"
 #include "telemetry/json_export.h"
 #include "telemetry/metrics.h"
+#include "telemetry/oracle.h"
 #include "telemetry/perfetto_export.h"
 #include "telemetry/provenance.h"
 #include "util/flags.h"
+#include "util/json.h"
 
 namespace {
 
@@ -92,7 +102,8 @@ int main(int argc, char** argv) {
   dbgp::util::Flags flags;
   flags.allow({"tables", "quiet", "batched", "metrics", "trace", "trace-format",
                "explain", "chaos-seed", "chaos-profile", "threads",
-               "speaker-threads"});
+               "speaker-threads", "observe-interval", "event-log", "series",
+               "oracle"});
   std::string error;
   if (!flags.parse(argc, argv, error) || flags.positional().size() != 1) {
     if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -102,7 +113,9 @@ int main(int argc, char** argv) {
                  "                [--trace-format json|perfetto]\n"
                  "                [--explain <as>:<prefix>]\n"
                  "                [--chaos-seed <n>] [--chaos-profile <name>]\n"
-                 "                [--threads <n>] [--speaker-threads <n>]\n");
+                 "                [--threads <n>] [--speaker-threads <n>]\n"
+                 "                [--observe-interval <s>] [--event-log <file>]\n"
+                 "                [--series <file>] [--oracle <file>]\n");
     return 2;
   }
   const bool quiet = flags.get_bool("quiet", false);
@@ -112,6 +125,10 @@ int main(int argc, char** argv) {
   const std::string explain_arg = flags.get_string("explain", "");
   const std::string chaos_profile = flags.get_string("chaos-profile", "");
   const std::int64_t chaos_seed = flags.get_int("chaos-seed", -1);
+  const std::string event_log_path = flags.get_string("event-log", "");
+  const std::string series_path = flags.get_string("series", "");
+  const std::string oracle_path = flags.get_string("oracle", "");
+  const bool want_oracle = flags.has("oracle");
   if (trace_format != "json" && trace_format != "perfetto") {
     std::fprintf(stderr, "error: --trace-format must be json or perfetto\n");
     return 2;
@@ -147,8 +164,18 @@ int main(int argc, char** argv) {
 
     dbgp::scenario::Runner runner;
     if (!trace_path.empty() && trace_format == "json") runner.enable_tracing();
-    if ((!trace_path.empty() && trace_format == "perfetto") || !explain_arg.empty()) {
+    if ((!trace_path.empty() && trace_format == "perfetto") || !explain_arg.empty() ||
+        want_oracle) {
       runner.enable_causal_tracing();
+    }
+    if (flags.has("observe-interval")) {
+      const std::string interval = flags.get_string("observe-interval", "0.5");
+      runner.set_observe(std::stod(interval));
+    } else if ((!event_log_path.empty() || !series_path.empty()) &&
+               scenario.observe_interval <= 0.0) {
+      // The export flags imply observation; without a stanza or an explicit
+      // interval, sample at the sampler's default cadence.
+      runner.set_observe(0.5);
     }
     if (flags.get_bool("batched", false)) {
       runner.set_delivery(dbgp::simnet::DeliveryMode::kBatched);
@@ -239,6 +266,50 @@ int main(int argc, char** argv) {
         std::printf("perfetto trace written to %s (%zu spans, %zu audits)\n",
                     trace_path.c_str(), runner.causal().span_count(),
                     runner.causal().audit_count());
+      }
+    }
+    if (want_oracle) {
+      const dbgp::telemetry::ConvergenceOracle oracle;
+      const auto report = oracle.classify(runner.causal());
+      if (!oracle_path.empty()) {
+        dbgp::util::json::write_file(oracle_path, dbgp::telemetry::to_json(report));
+      }
+      std::printf(
+          "oracle: verdict=%s converged=%zu diverged=%zu oscillating=%zu\n",
+          dbgp::telemetry::to_string(report.verdict), report.converged,
+          report.diverged, report.oscillating);
+      // Journal the verdict (before the JSONL below is written) so the event
+      // log is a self-contained record of the run.
+      if (runner.event_log() != nullptr) {
+        std::string detail = std::string("verdict=") +
+                             dbgp::telemetry::to_string(report.verdict);
+        detail += " converged=" + std::to_string(report.converged);
+        detail += " diverged=" + std::to_string(report.diverged);
+        detail += " oscillating=" + std::to_string(report.oscillating);
+        runner.event_log()->record(runner.network().events().now(), "oracle", 0, 0,
+                                   std::move(detail));
+      }
+    }
+    if (!event_log_path.empty()) {
+      if (runner.event_log() == nullptr) {
+        std::fprintf(stderr, "error: --event-log needs observation on\n");
+        return 2;
+      }
+      runner.event_log()->write_jsonl(event_log_path);
+      if (!quiet) {
+        std::printf("event log written to %s (%zu events)\n", event_log_path.c_str(),
+                    runner.event_log()->size());
+      }
+    }
+    if (!series_path.empty()) {
+      if (runner.sampler() == nullptr) {
+        std::fprintf(stderr, "error: --series needs observation on\n");
+        return 2;
+      }
+      dbgp::util::json::write_file(series_path, runner.sampler()->to_json());
+      if (!quiet) {
+        std::printf("time series written to %s (%zu samples)\n", series_path.c_str(),
+                    runner.sampler()->sample_count());
       }
     }
     if (!explain_arg.empty()) {

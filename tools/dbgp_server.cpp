@@ -37,6 +37,13 @@
 // worker pool (effective with --batched --no-causal; causal tracing pins
 // speakers to the sequential path). Serving state stays bit-identical at any
 // value, and `set speaker-threads <n>` changes it live between drains.
+//
+// --observe-interval turns on the observability plane (time-series sampling +
+// event journal; also available live via the `observe` verb, and implied by a
+// scenario's `observe` stanza or by --event-log). While serving, the poll
+// loop wakes on a wall-clock cadence to keep the series fresh; `series`,
+// `events`, `peers`, and `metrics-prom` expose the data. --event-log writes
+// the journal as JSONL on exit.
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -118,7 +125,8 @@ struct Client {
 };
 
 // Serves stdin and (optionally) a Unix socket until stdin EOF/quit.
-int serve(ControlApi& api, const std::string& socket_path, bool quiet) {
+int serve(dbgp::server::RouteServer& server, ControlApi& api,
+          const std::string& socket_path, bool quiet) {
   SessionState stdin_session{&api, quiet, false};
   const int listen_fd = socket_path.empty() ? -1 : make_listen_socket(socket_path);
   if (!socket_path.empty() && listen_fd < 0) return 2;
@@ -136,7 +144,15 @@ int serve(ControlApi& api, const std::string& socket_path, bool quiet) {
     if (stdin_open) fds.push_back({STDIN_FILENO, POLLIN, 0});
     if (listen_fd >= 0) fds.push_back({listen_fd, POLLIN, 0});
     for (const auto& client : clients) fds.push_back({client.fd, POLLIN, 0});
-    if (::poll(fds.data(), fds.size(), -1) < 0) break;
+    // With observation on, wake periodically so the time-series keeps
+    // advancing while the console sits idle (wall-time cadence, sim-time
+    // stamps — the sampler dedups when sim time has not moved). The `observe`
+    // verb can toggle this live, so the timeout is recomputed per iteration.
+    const int timeout_ms = server.sampler() != nullptr ? 250 : -1;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) break;
+    if (server.sampler() != nullptr) server.sampler()->sample(server.now());
+    if (ready == 0) continue;
 
     std::size_t index = 0;
     if (stdin_open) {
@@ -210,7 +226,7 @@ int serve(ControlApi& api, const std::string& socket_path, bool quiet) {
 int main(int argc, char** argv) {
   dbgp::util::Flags flags;
   flags.allow({"restore", "script", "socket", "serve", "batched", "quiet", "no-causal",
-               "speaker-threads"});
+               "speaker-threads", "observe-interval", "event-log"});
   std::string error;
   if (!flags.parse(argc, argv, error) || flags.positional().size() > 1 ||
       (flags.positional().empty() && !flags.has("restore"))) {
@@ -219,7 +235,8 @@ int main(int argc, char** argv) {
                  "usage: dbgp_server [<scenario-file>] [--restore <snapshot>]\n"
                  "                   [--script <file>] [--socket <path>] [--serve]\n"
                  "                   [--batched] [--quiet] [--no-causal]\n"
-                 "                   [--speaker-threads <n>]\n");
+                 "                   [--speaker-threads <n>]\n"
+                 "                   [--observe-interval <s>] [--event-log <file>]\n");
     return 2;
   }
 
@@ -236,6 +253,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.speaker_threads = static_cast<std::size_t>(n);
+    }
+    const std::string event_log_path = flags.get_string("event-log", "");
+    if (flags.has("observe-interval")) {
+      options.observe_interval = std::stod(flags.get_string("observe-interval", "0.5"));
+      if (options.observe_interval <= 0.0) {
+        std::fprintf(stderr, "error: --observe-interval must be > 0\n");
+        return 2;
+      }
+    } else if (!event_log_path.empty()) {
+      // --event-log implies observation; the scenario's `observe` stanza (if
+      // any) re-shapes the interval at load() time.
+      options.observe_interval = 0.5;
     }
     dbgp::server::RouteServer server(options);
     dbgp::server::ControlApi api(server);
@@ -283,12 +312,29 @@ int main(int argc, char** argv) {
       }
     }
 
+    // On any exit path below, persist the event journal when asked.
+    const auto write_event_log = [&]() -> bool {
+      if (event_log_path.empty()) return true;
+      if (server.event_log() == nullptr) {
+        std::fprintf(stderr, "error: --event-log needs observation on\n");
+        return false;
+      }
+      server.event_log()->write_jsonl(event_log_path);
+      if (!quiet) {
+        std::printf("event log written to %s (%zu events)\n", event_log_path.c_str(),
+                    server.event_log()->size());
+      }
+      return true;
+    };
+
     // 3. Keep serving unless this was a batch run.
     const bool batch = !timeline.empty() || !script_path.empty();
     if (batch && !flags.get_bool("serve", false)) {
+      if (!write_event_log()) return 2;
       return session.any_error ? 1 : 0;
     }
-    const int rc = serve(api, flags.get_string("socket", ""), quiet);
+    const int rc = serve(server, api, flags.get_string("socket", ""), quiet);
+    if (!write_event_log()) return 2;
     return session.any_error ? 1 : rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

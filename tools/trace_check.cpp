@@ -1,6 +1,16 @@
-// trace_check — structural validator for exported Chrome trace-event JSON.
+// trace_check — structural validator for exported Chrome trace-event JSON
+// and for structured event-log JSONL.
 //
-//   trace_check <trace.json> [trace2.json ...]
+//   trace_check <trace.json|events.jsonl> [more ...]
+//
+// Files ending in `.jsonl` are validated as telemetry::EventLog exports:
+// every non-empty line must be a self-contained JSON object carrying a
+// non-negative numeric `time`, a known `kind` (session_up, session_down,
+// chaos, reconvergence, oracle), numeric `as`/`peer_as`/`span`, and a string
+// `detail`. Line order is write order, not time order (a reconvergence
+// window is stamped at its end, which precedes the drain that closed it),
+// so no monotonicity is demanded. Everything else is checked as a Chrome
+// trace:
 //
 // The Perfetto exporter (telemetry/perfetto_export.h) is only useful if its
 // output actually loads in chrome://tracing / ui.perfetto.dev, so this tool
@@ -21,6 +31,7 @@
 // result through this.
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -37,7 +48,56 @@ bool fail(const std::string& file, std::size_t index, const std::string& reason)
   return false;
 }
 
+bool check_jsonl(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  static const std::set<std::string> kKinds = {"session_up", "session_down", "chaos",
+                                              "reconvergence", "oracle"};
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t events = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Value ev;
+    try {
+      ev = Value::parse(line);
+    } catch (const std::exception& e) {
+      return fail(path, line_no, std::string("bad JSON: ") + e.what());
+    }
+    if (!ev.is_object()) return fail(path, line_no, "line is not an object");
+    const Value* time = ev.find("time");
+    if (time == nullptr || !time->is_number() || time->as_double() < 0.0) {
+      return fail(path, line_no, "missing/negative time");
+    }
+    const Value* kind = ev.find("kind");
+    if (kind == nullptr || !kind->is_string()) return fail(path, line_no, "missing kind");
+    if (kKinds.count(kind->as_string()) == 0) {
+      return fail(path, line_no, "unknown kind '" + kind->as_string() + "'");
+    }
+    for (const char* field : {"as", "peer_as", "span"}) {
+      const Value* v = ev.find(field);
+      if (v == nullptr || !v->is_number()) {
+        return fail(path, line_no, std::string("missing numeric ") + field);
+      }
+    }
+    const Value* detail = ev.find("detail");
+    if (detail == nullptr || !detail->is_string()) {
+      return fail(path, line_no, "missing detail");
+    }
+    ++events;
+  }
+  std::printf("%s: OK (%zu events, jsonl)\n", path.c_str(), events);
+  return true;
+}
+
 bool check_file(const std::string& path) {
+  if (path.size() > 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+    return check_jsonl(path);
+  }
   const Value doc = dbgp::util::json::parse_file(path);
   if (!doc.is_object()) return fail(path, 0, "top level is not an object");
   const Value* events = doc.find("traceEvents");
