@@ -72,4 +72,28 @@ GlobalFilterFn max_path_length_filter(std::size_t max_hops) {
   };
 }
 
+GlobalFilterFn permitted_paths_filter(net::Prefix prefix, std::vector<RankedPath> ranked) {
+  return [prefix, ranked = std::move(ranked)](ia::IntegratedAdvertisement& ia,
+                                              const FilterContext&) {
+    if (ia.destination != prefix) return true;
+    for (const auto& path : ranked) {
+      const auto& elements = ia.path_vector.elements();
+      if (elements.size() != path.hops.size()) continue;
+      bool match = true;
+      for (std::size_t i = 0; i < elements.size(); ++i) {
+        if (elements[i].kind != ia::PathElement::Kind::kAs ||
+            elements[i].asn != path.hops[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        ia.baseline.local_pref = path.local_pref;
+        return true;
+      }
+    }
+    return false;
+  };
+}
+
 }  // namespace dbgp::core

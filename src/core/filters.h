@@ -89,4 +89,20 @@ GlobalFilterFn membership_stamp_filter(ia::ProtocolId island_protocol);
 // Drops IAs whose path vector is longer than `max_hops` (sanity policy).
 GlobalFilterFn max_path_length_filter(std::size_t max_hops);
 
+// One permitted path for `permitted_paths_filter`: the exact AS-level path
+// vector (first hop first, origin last) and the LOCAL_PREF stamped on a
+// match. Higher pref = more preferred under the baseline BGP ladder.
+struct RankedPath {
+  std::vector<bgp::AsNumber> hops;
+  std::uint32_t local_pref = 100;
+};
+
+// Permitted-path import policy for one prefix: IAs for `prefix` whose path
+// vector is not exactly one of `ranked` are dropped (an implicit withdraw of
+// any prior route from that peer); matches get their LOCAL_PREF overwritten
+// with the rank value. IAs for other prefixes pass untouched. This is the
+// Gao–Rexford-violating policy knob behind topology/dispute_wheel.h: rings
+// of such filters provably oscillate.
+GlobalFilterFn permitted_paths_filter(net::Prefix prefix, std::vector<RankedPath> ranked);
+
 }  // namespace dbgp::core

@@ -33,6 +33,9 @@ inline constexpr std::uint16_t kMiroPortalAddr = 1;      // island descriptor
 inline constexpr std::uint16_t kEqBgpQos = 1;            // path descriptor
 inline constexpr std::uint16_t kRBgpBackupPath = 1;      // path descriptor
 inline constexpr std::uint16_t kLispMapping = 1;         // island descriptor
+inline constexpr std::uint16_t kFcCommitments = 1;       // path descriptor
+inline constexpr std::uint16_t kStackVector = 1;         // path descriptor
+inline constexpr std::uint16_t kStackVecGateway = 1;     // island descriptor
 }  // namespace keys
 
 struct PathDescriptor {

@@ -9,7 +9,7 @@ ProtocolRegistry::ProtocolRegistry() {
       {kProtoBgp, "bgp"},        {kProtoWiser, "wiser"}, {kProtoBgpSec, "bgpsec"},
       {kProtoPathlets, "pathlets"}, {kProtoScion, "scion"}, {kProtoMiro, "miro"},
       {kProtoEqBgp, "eq-bgp"},   {kProtoRBgp, "r-bgp"},  {kProtoLisp, "lisp"},
-      {kProtoHlp, "hlp"},
+      {kProtoHlp, "hlp"},        {kProtoFcBgp, "fcbgp"}, {kProtoStackVec, "stackvec"},
   };
   for (const auto& [id, name] : builtin) {
     names_[id] = name;

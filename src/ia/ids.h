@@ -31,6 +31,8 @@ inline constexpr ProtocolId kProtoEqBgp = 7;
 inline constexpr ProtocolId kProtoRBgp = 8;
 inline constexpr ProtocolId kProtoLisp = 9;
 inline constexpr ProtocolId kProtoHlp = 10;
+inline constexpr ProtocolId kProtoFcBgp = 11;     // forwarding commitments
+inline constexpr ProtocolId kProtoStackVec = 12;  // stack-vector tunneling
 inline constexpr ProtocolId kFirstDynamicProtocolId = 100;
 
 // Maps protocol IDs to names. A registry instance is plain data (no

@@ -68,6 +68,26 @@ std::vector<AnalysisRow> analyze(const Parameters& p) {
   return rows;
 }
 
+ProtocolOverheadRow protocol_overhead(const Parameters& p, std::string name,
+                                      Range bytes_per_unit, bool per_hop) {
+  ProtocolOverheadRow row;
+  row.name = std::move(name);
+  row.bytes_per_ad = per_hop ? mul(bytes_per_unit, p.path_length) : bytes_per_unit;
+  row.total_bytes = mul(row.bytes_per_ad, p.dbgp_prefixes);
+  return row;
+}
+
+std::string format_protocol_row(const ProtocolOverheadRow& row) {
+  auto bytes_range = [](const Range& r) {
+    return util::format_bytes(r.min) + " - " + util::format_bytes(r.max);
+  };
+  std::string out = row.name;
+  out.resize(20, ' ');
+  out += " | per-ad: " + bytes_range(row.bytes_per_ad);
+  out += " | total: " + bytes_range(row.total_bytes);
+  return out;
+}
+
 Range overhead_factor(const Parameters& params) {
   const auto rows = analyze(params);
   const AnalysisRow* sharing = nullptr;

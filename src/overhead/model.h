@@ -51,6 +51,26 @@ struct AnalysisRow {
 // protocol) from the parameters.
 std::vector<AnalysisRow> analyze(const Parameters& params);
 
+// One concrete protocol archetype's marginal overhead: what ITS control
+// information alone adds to every advertisement and in aggregate at the
+// tier-1 (Table-3-style rows for individual protocols — e.g. FC-BGP
+// forwarding commitments or StackVec gateway entries — instead of the
+// generic CI/CF envelope above).
+struct ProtocolOverheadRow {
+  std::string name;
+  Range bytes_per_ad;  // descriptor bytes added per advertisement
+  Range total_bytes;   // aggregate across Pd advertisements
+};
+
+// `bytes_per_unit` is the protocol's control-info payload per unit; per-hop
+// protocols (one commitment/gateway entry per AS on the path) multiply it by
+// the path-length range, fixed-payload protocols carry it once per IA.
+ProtocolOverheadRow protocol_overhead(const Parameters& params, std::string name,
+                                      Range bytes_per_unit, bool per_hop);
+
+// Renders a protocol row (same style as format_row).
+std::string format_protocol_row(const ProtocolOverheadRow& row);
+
 // The overhead factor of the "+ Sharing" analysis relative to "Single
 // protocol" — the paper's 1.3x (min estimates) to 2.5x (max estimates).
 Range overhead_factor(const Parameters& params);

@@ -1,0 +1,174 @@
+#include "protocols/fcbgp.h"
+
+#include "ia/descriptors.h"
+#include "util/bytes.h"
+
+namespace dbgp::protocols {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+namespace {
+
+// Domain separator folded into the path-digest slot of the authority's MAC:
+// FC commitments and BGPSec attestations must never verify against each
+// other even when (signer, target, prefix) coincide.
+constexpr std::uint64_t kFcDomain = 0xfc0fc0fc0fc0fc01ULL;
+
+// First path-vector hop of `ia` that is a plain AS entry, or 0. The next
+// hop a commitment binds must be an AS; island/AS_SET entries (abstracted
+// islands) are not attestable at AS granularity.
+bgp::AsNumber hop_as(const ia::PathElement& element) noexcept {
+  return element.kind == ia::PathElement::Kind::kAs ? element.asn : 0;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_commitments(const std::vector<ForwardingCommitment>& list) {
+  ByteWriter w;
+  w.put_varint(list.size());
+  for (const auto& c : list) {
+    w.put_varint(c.signer);
+    w.put_varint(c.next_as);
+    w.put_u64(c.mac);
+  }
+  return w.take();
+}
+
+std::vector<ForwardingCommitment> decode_commitments(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint64_t raw_n = r.get_varint();
+  r.expect_items(raw_n, 10);  // two varints + an 8-byte MAC minimum
+  const std::size_t n = static_cast<std::size_t>(raw_n);
+  std::vector<ForwardingCommitment> list;
+  list.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ForwardingCommitment c;
+    c.signer = static_cast<bgp::AsNumber>(r.get_varint());
+    c.next_as = static_cast<bgp::AsNumber>(r.get_varint());
+    c.mac = r.get_u64();
+    list.push_back(c);
+  }
+  return list;
+}
+
+std::uint64_t fc_sign(const AttestationAuthority& authority, bgp::AsNumber signer,
+                      bgp::AsNumber next_as, const net::Prefix& prefix) noexcept {
+  return authority.sign(signer, next_as, prefix, kFcDomain);
+}
+
+bool FcBgpModule::import_filter(core::IaRoute& /*route*/) { return true; }
+
+std::pair<std::size_t, std::size_t> FcBgpModule::verified_coverage(
+    const core::IaRoute& route) const {
+  const auto& elements = route.ia.path_vector.elements();
+  const std::size_t hops = route.ia.path_vector.hop_count();
+  if (authority_ == nullptr || elements.empty()) return {0, hops};
+
+  std::vector<ForwardingCommitment> list;
+  if (const auto* d =
+          route.ia.find_path_descriptor(ia::kProtoFcBgp, ia::keys::kFcCommitments)) {
+    try {
+      list = decode_commitments(d->value);
+    } catch (const util::DecodeError&) {
+      return {0, hops};  // malformed commitments = uncovered, still routable
+    }
+  }
+  if (list.empty()) return {0, hops};
+
+  std::size_t verified = 0;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const bgp::AsNumber as = hop_as(elements[i]);
+    if (as == 0) continue;
+    // The hop's real next hop toward the origin; the origin itself commits
+    // to next hop 0 (local delivery).
+    const bgp::AsNumber expected_next =
+        i + 1 < elements.size() ? hop_as(elements[i + 1]) : 0;
+    if (i + 1 < elements.size() && expected_next == 0) continue;
+    for (const auto& c : list) {
+      if (c.signer != as) continue;
+      if (c.next_as == expected_next &&
+          c.mac == fc_sign(*authority_, c.signer, c.next_as, route.ia.destination)) {
+        ++verified;
+      }
+      break;  // one commitment per signer; a mismatch is a tampered hop
+    }
+  }
+  return {verified, hops};
+}
+
+bool FcBgpModule::better(const core::IaRoute& a, const core::IaRoute& b) const {
+  // Verified coverage fraction first (see the header for why this protocol
+  // ranks assurance above everything): compare v_a/t_a vs v_b/t_b without
+  // floats. Zero-hop totals only occur for synthetic routes and compare
+  // equal (0 >= 0 both ways), falling through to the path-length rung.
+  const auto [va, ta] = verified_coverage(a);
+  const auto [vb, tb] = verified_coverage(b);
+  const std::size_t lhs = va * (tb == 0 ? 1 : tb);
+  const std::size_t rhs = vb * (ta == 0 ? 1 : ta);
+  if (lhs != rhs) return lhs > rhs;
+
+  const std::size_t len_a = a.ia.path_vector.hop_count();
+  const std::size_t len_b = b.ia.path_vector.hop_count();
+  if (len_a != len_b) return len_a < len_b;
+  // Stable tie-break: peer identity, not arrival order — sequence numbers
+  // change on every re-advertisement and would let equal candidates
+  // ping-pong forever.
+  if (a.from_peer != b.from_peer) return a.from_peer < b.from_peer;
+  return a.sequence < b.sequence;
+}
+
+std::string FcBgpModule::explain_better(const core::IaRoute& winner,
+                                        const core::IaRoute& loser) const {
+  const auto [vw, tw] = verified_coverage(winner);
+  const auto [vl, tl] = verified_coverage(loser);
+  if (vw * (tl == 0 ? 1 : tl) != vl * (tw == 0 ? 1 : tw)) return "fc-coverage";
+  if (winner.ia.path_vector.hop_count() != loser.ia.path_vector.hop_count()) {
+    return "path-length";
+  }
+  if (winner.from_peer != loser.from_peer) return "peer-id";
+  return "arrival-order";
+}
+
+void FcBgpModule::annotate_export(const core::IaRoute& best,
+                                  ia::IntegratedAdvertisement& out,
+                                  const core::ExportContext& /*ctx*/) {
+  if (authority_ == nullptr) return;
+  std::vector<ForwardingCommitment> list;
+  if (const auto* d =
+          best.ia.find_path_descriptor(ia::kProtoFcBgp, ia::keys::kFcCommitments)) {
+    try {
+      list = decode_commitments(d->value);
+    } catch (const util::DecodeError&) {
+      list.clear();
+    }
+  }
+  // Our next hop toward the origin is the first hop of the path we selected
+  // (the neighbor the route was learned from, as recorded in the path
+  // vector). The commitment is next-hop-bound, not receiver-bound, so one
+  // descriptor serves every peer — the frame cache can share frames.
+  const auto& learned = best.ia.path_vector.elements();
+  const bgp::AsNumber next_as = learned.empty() ? 0 : hop_as(learned.front());
+  ForwardingCommitment mine;
+  mine.signer = config_.asn;
+  mine.next_as = next_as;
+  mine.mac = fc_sign(*authority_, config_.asn, next_as, out.destination);
+  // Re-announcements replace our previous commitment instead of stacking.
+  std::erase_if(list, [&](const ForwardingCommitment& c) { return c.signer == config_.asn; });
+  list.push_back(mine);
+  out.set_path_descriptor(ia::kProtoFcBgp, ia::keys::kFcCommitments,
+                          encode_commitments(list));
+}
+
+void FcBgpModule::annotate_origin(ia::IntegratedAdvertisement& out,
+                                  const core::ExportContext& /*ctx*/) {
+  if (authority_ == nullptr) return;
+  ForwardingCommitment mine;
+  mine.signer = config_.asn;
+  mine.next_as = 0;  // origin: local delivery
+  mine.mac = fc_sign(*authority_, config_.asn, 0, out.destination);
+  out.set_path_descriptor(ia::kProtoFcBgp, ia::keys::kFcCommitments,
+                          encode_commitments({mine}));
+}
+
+}  // namespace dbgp::protocols

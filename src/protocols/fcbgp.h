@@ -1,0 +1,101 @@
+// FC-BGP-like verifiable forwarding commitments as a D-BGP critical fix
+// (arXiv 2309.13271).
+//
+// Each upgraded AS appends a *forwarding commitment* under its key: a signed
+// statement "for this prefix I forward traffic to <next hop>", where the
+// next hop is the path-vector hop the advertisement was learned from. Unlike
+// BGPSec's attestation chain — which a single gulf AS breaks end to end —
+// commitments verify *independently per hop*: a receiver checks each one
+// against the path position its signer occupies, counts the covered hops,
+// and treats partially covered paths as degraded but routable. That per-hop
+// independence is exactly what makes FC-BGP deployable as a critical fix:
+// partial islands lose assurance, never reachability.
+//
+// Substitution note (DESIGN.md): like BGPSec, signatures are modeled with
+// the keyed 64-bit MAC of the shared in-process AttestationAuthority instead
+// of real asymmetric crypto. Everything the evaluation exercises —
+// commitment construction, per-hop verification, tamper/mismatch detection,
+// coverage-ranked selection — survives the substitution.
+//
+// Selection ranks *verified coverage first* (fraction of path hops with a
+// valid commitment), then path length. This is deliberately the opposite of
+// BgpSecModule's security-as-tie-break placement: a chain metric ranked
+// first is gadget-prone because one gulf hop zeroes it, but per-hop coverage
+// is monotone under partial deployment — and ranking it first is what lets
+// an upgraded AS pin its fully attested path and anchor a dispute wheel
+// (topology/dispute_wheel.h) that local-pref games would otherwise keep
+// oscillating forever.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/decision_module.h"
+#include "protocols/bgpsec.h"
+
+namespace dbgp::protocols {
+
+// One hop's commitment: `signer` forwards traffic for the IA's prefix to
+// `next_as` (0 = the signer originates the prefix and delivers locally).
+struct ForwardingCommitment {
+  bgp::AsNumber signer = 0;
+  bgp::AsNumber next_as = 0;
+  std::uint64_t mac = 0;
+
+  bool operator==(const ForwardingCommitment&) const = default;
+};
+
+// Payload codec for keys::kFcCommitments (varint count, then per entry two
+// varints + an 8-byte MAC). Throws util::DecodeError on malformed input.
+std::vector<std::uint8_t> encode_commitments(const std::vector<ForwardingCommitment>& list);
+std::vector<ForwardingCommitment> decode_commitments(std::span<const std::uint8_t> payload);
+
+// MAC over (signer, next hop, prefix) under the signer's authority key; the
+// domain constant keeps FC MACs disjoint from BGPSec attestation MACs even
+// though both draw keys from the same authority.
+std::uint64_t fc_sign(const AttestationAuthority& authority, bgp::AsNumber signer,
+                      bgp::AsNumber next_as, const net::Prefix& prefix) noexcept;
+
+class FcBgpModule : public core::DecisionModule {
+ public:
+  struct Config {
+    bgp::AsNumber asn = 0;
+    ia::IslandId island;
+  };
+
+  FcBgpModule(Config config, const AttestationAuthority* authority)
+      : config_(config), authority_(authority) {}
+
+  ia::ProtocolId protocol() const noexcept override { return ia::kProtoFcBgp; }
+  std::string name() const override { return "fcbgp"; }
+
+  // Partial-deployment critical fix: unverified routes stay selectable
+  // (they lose on coverage in `better`), so FC-BGP never blackholes routes
+  // from legacy neighbors.
+  bool import_filter(core::IaRoute& route) override;
+
+  // Coverage-first ladder: higher verified fraction, then shorter path,
+  // then stable peer/sequence tie-breaks.
+  bool better(const core::IaRoute& a, const core::IaRoute& b) const override;
+  std::string explain_better(const core::IaRoute& winner,
+                             const core::IaRoute& loser) const override;
+
+  void annotate_export(const core::IaRoute& best, ia::IntegratedAdvertisement& out,
+                       const core::ExportContext& ctx) override;
+  void annotate_origin(ia::IntegratedAdvertisement& out,
+                       const core::ExportContext& ctx) override;
+
+  // (verified hops, path hops) for a route: how many path-vector positions
+  // carry a commitment whose signer, claimed next hop, and MAC all match
+  // the position. Stateless (recomputed per call) so parallel pipelines can
+  // compare candidates concurrently.
+  std::pair<std::size_t, std::size_t> verified_coverage(const core::IaRoute& route) const;
+
+ private:
+  Config config_;
+  const AttestationAuthority* authority_;
+};
+
+}  // namespace dbgp::protocols

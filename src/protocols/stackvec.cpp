@@ -1,0 +1,102 @@
+#include "protocols/stackvec.h"
+
+#include "ia/descriptors.h"
+#include "util/bytes.h"
+
+namespace dbgp::protocols {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+std::vector<std::uint8_t> encode_stack_vector(const std::vector<StackVecEntry>& entries) {
+  ByteWriter w;
+  w.put_varint(entries.size());
+  for (const auto& e : entries) {
+    w.put_varint(e.gateway_as);
+    w.put_u32(e.endpoint.value());
+  }
+  return w.take();
+}
+
+std::vector<StackVecEntry> decode_stack_vector(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint64_t raw_n = r.get_varint();
+  r.expect_items(raw_n, 5);  // one varint + a 4-byte address minimum
+  const std::size_t n = static_cast<std::size_t>(raw_n);
+  std::vector<StackVecEntry> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    StackVecEntry e;
+    e.gateway_as = static_cast<bgp::AsNumber>(r.get_varint());
+    e.endpoint = net::Ipv4Address(r.get_u32());
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+std::vector<StackVecEntry> stack_vector_of(const ia::IntegratedAdvertisement& ia) {
+  const auto* d = ia.find_path_descriptor(ia::kProtoStackVec, ia::keys::kStackVector);
+  if (d == nullptr) return {};
+  try {
+    return decode_stack_vector(d->value);
+  } catch (const util::DecodeError&) {
+    return {};
+  }
+}
+
+bool StackVecModule::better(const core::IaRoute& a, const core::IaRoute& b) const {
+  const std::size_t len_a = a.ia.path_vector.hop_count();
+  const std::size_t len_b = b.ia.path_vector.hop_count();
+  if (len_a != len_b) return len_a < len_b;
+  const std::size_t gw_a = stack_vector_of(a.ia).size();
+  const std::size_t gw_b = stack_vector_of(b.ia).size();
+  if (gw_a != gw_b) return gw_a > gw_b;
+  // Stable tie-break: peer identity, not arrival order (sequence numbers
+  // change on re-advertisement; ordering on them alone never converges).
+  if (a.from_peer != b.from_peer) return a.from_peer < b.from_peer;
+  return a.sequence < b.sequence;
+}
+
+std::string StackVecModule::explain_better(const core::IaRoute& winner,
+                                           const core::IaRoute& loser) const {
+  if (winner.ia.path_vector.hop_count() != loser.ia.path_vector.hop_count()) {
+    return "path-length";
+  }
+  if (stack_vector_of(winner.ia).size() != stack_vector_of(loser.ia).size()) {
+    return "tunnel-gateways";
+  }
+  if (winner.from_peer != loser.from_peer) return "peer-id";
+  return "arrival-order";
+}
+
+void StackVecModule::annotate_export(const core::IaRoute& best,
+                                     ia::IntegratedAdvertisement& out,
+                                     const core::ExportContext& ctx) {
+  // Only the gateway role pushes an entry: exports that stay inside the
+  // island add nothing (traffic reaches this island's gateway via the entry
+  // that gateway pushed when the route left the island).
+  if (ctx.to_peer_in_same_island) return;
+  auto entries = stack_vector_of(best.ia);
+  // Re-announcements replace our previous entry instead of stacking.
+  std::erase_if(entries,
+                [&](const StackVecEntry& e) { return e.gateway_as == config_.asn; });
+  StackVecEntry mine{config_.asn, config_.endpoint};
+  // Nearest gateway first: we are now the closest tunnel hop to any
+  // downstream receiver.
+  entries.insert(entries.begin(), mine);
+  out.set_path_descriptor(ia::kProtoStackVec, ia::keys::kStackVector,
+                          encode_stack_vector(entries));
+}
+
+void StackVecModule::annotate_origin(ia::IntegratedAdvertisement& out,
+                                     const core::ExportContext& /*ctx*/) {
+  const StackVecEntry mine{config_.asn, config_.endpoint};
+  out.set_path_descriptor(ia::kProtoStackVec, ia::keys::kStackVector,
+                          encode_stack_vector({mine}));
+  if (config_.island.valid()) {
+    out.add_island_descriptor(config_.island, ia::kProtoStackVec,
+                              ia::keys::kStackVecGateway, encode_stack_vector({mine}));
+  }
+}
+
+}  // namespace dbgp::protocols

@@ -1,0 +1,83 @@
+// Stack-vector automatic tunneling (after the stack-vector routing proposal,
+// arXiv 1901.08326) as a D-BGP custom protocol deployed gateway-style.
+//
+// Upgraded islands advertise a *stack vector* alongside the route: the
+// ordered list of tunnel gateways (one per upgraded island crossed, nearest
+// island first) that traffic must traverse to reach the origin. Each island
+// gateway — the border AS exporting toward a peer outside its island —
+// pushes its own entry onto the vector; gulf ASes pass the descriptor
+// through untouched (CF-R1). A source that understands the protocol turns
+// the vector into a stack of tunnel headers on the multi-network-protocol
+// data plane (simnet/dataplane.h): the innermost header is the plain IPv4
+// destination, and each gateway entry wraps it in one tunnel header, popped
+// at that gateway. Traffic therefore hops gateway-to-gateway across gulfs
+// automatically — no manual tunnel configuration, which is the proposal's
+// point.
+//
+// Islands additionally publish their gateway endpoint in an island
+// descriptor so sources can tunnel to an island even when its border AS is
+// abstracted out of the path vector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/decision_module.h"
+#include "net/ipv4.h"
+
+namespace dbgp::protocols {
+
+// One gateway hop of the stack vector.
+struct StackVecEntry {
+  bgp::AsNumber gateway_as = 0;
+  net::Ipv4Address endpoint;  // tunnel endpoint address at that gateway
+
+  bool operator==(const StackVecEntry&) const = default;
+};
+
+// Payload codec for keys::kStackVector (path descriptor) and
+// keys::kStackVecGateway (island descriptor, single entry). Throws
+// util::DecodeError on malformed input.
+std::vector<std::uint8_t> encode_stack_vector(const std::vector<StackVecEntry>& entries);
+std::vector<StackVecEntry> decode_stack_vector(std::span<const std::uint8_t> payload);
+
+// The tunnel endpoints a source must traverse, nearest gateway first —
+// exactly the order tunnel headers are pushed (innermost = farthest). Empty
+// when the route carries no stack vector.
+std::vector<StackVecEntry> stack_vector_of(const ia::IntegratedAdvertisement& ia);
+
+class StackVecModule : public core::DecisionModule {
+ public:
+  struct Config {
+    bgp::AsNumber asn = 0;
+    ia::IslandId island;
+    net::Ipv4Address endpoint;  // this AS's tunnel endpoint
+  };
+
+  explicit StackVecModule(Config config) : config_(config) {}
+
+  ia::ProtocolId protocol() const noexcept override { return ia::kProtoStackVec; }
+  std::string name() const override { return "stackvec"; }
+
+  // Shortest path wins; a longer stack vector (more tunnel-capable
+  // gateways en route, hence more of the path coverable by automatic
+  // tunnels) breaks ties — the scion/pathlet "richer info breaks ties"
+  // idiom, which is convergence-safe because the metric only grows with
+  // information the path actually carries.
+  bool better(const core::IaRoute& a, const core::IaRoute& b) const override;
+  std::string explain_better(const core::IaRoute& winner,
+                             const core::IaRoute& loser) const override;
+
+  // Gateway-style: pushes this AS's entry only when exporting *out of* the
+  // island (the gateway role); intra-island exports leave the vector as-is.
+  void annotate_export(const core::IaRoute& best, ia::IntegratedAdvertisement& out,
+                       const core::ExportContext& ctx) override;
+  void annotate_origin(ia::IntegratedAdvertisement& out,
+                       const core::ExportContext& ctx) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace dbgp::protocols

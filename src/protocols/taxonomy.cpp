@@ -44,12 +44,30 @@ constexpr std::array<ProtocolInfo, 14> kTaxonomy = {{
     {"HLP", Scenario::kReplacement, "path costs", false, false, false, ia::kProtoHlp},
 }};
 
+// Post-paper archetypes (see the header): appended after the frozen Table 1
+// rows so extended_protocol_taxonomy() is Table 1 plus these.
+constexpr std::array<ProtocolInfo, 16> kExtendedTaxonomy = {{
+    kTaxonomy[0], kTaxonomy[1], kTaxonomy[2], kTaxonomy[3], kTaxonomy[4], kTaxonomy[5],
+    kTaxonomy[6], kTaxonomy[7], kTaxonomy[8], kTaxonomy[9], kTaxonomy[10], kTaxonomy[11],
+    kTaxonomy[12], kTaxonomy[13],
+    {"FC-BGP", Scenario::kCriticalFix, "forwarding commitments", false, false, false,
+     ia::kProtoFcBgp},
+    {"StackVec", Scenario::kCustom, "tunnel gateway stack vectors", true, false, false,
+     ia::kProtoStackVec},
+}};
+
 }  // namespace
 
-std::span<const ProtocolInfo> protocol_taxonomy() noexcept { return kTaxonomy; }
+std::span<const ProtocolInfo> protocol_taxonomy() noexcept {
+  return std::span<const ProtocolInfo>(kExtendedTaxonomy).first(kTaxonomy.size());
+}
+
+std::span<const ProtocolInfo> extended_protocol_taxonomy() noexcept {
+  return kExtendedTaxonomy;
+}
 
 const ProtocolInfo* find_protocol_info(std::string_view name) noexcept {
-  for (const auto& info : kTaxonomy) {
+  for (const auto& info : kExtendedTaxonomy) {
     if (info.name == name) return &info;
   }
   return nullptr;

@@ -37,7 +37,16 @@ struct ProtocolInfo {
 // All 14 rows of Table 1, in paper order.
 std::span<const ProtocolInfo> protocol_taxonomy() noexcept;
 
-// Row lookup by name; nullptr if absent.
+// Table 1 plus the post-paper adversarial archetypes the library bolted on
+// to stress the IA machinery beyond the paper's own cast: FC-BGP verifiable
+// forwarding commitments (arXiv 2309.13271, critical fix) and stack-vector
+// automatic tunneling (arXiv 1901.08326, custom protocol deployed
+// gateway-style). The paper table stays frozen at 14 rows; extensions only
+// ever append here.
+std::span<const ProtocolInfo> extended_protocol_taxonomy() noexcept;
+
+// Row lookup by name over the extended table (a superset of Table 1);
+// nullptr if absent.
 const ProtocolInfo* find_protocol_info(std::string_view name) noexcept;
 
 }  // namespace dbgp::protocols

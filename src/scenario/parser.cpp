@@ -225,6 +225,38 @@ Scenario parse_scenario(const std::string& text) {
       }
       if (decl.nodes == 0) fail(line_no, "sweep: nodes must be > 0");
       scenario.sweep = std::move(decl);
+    } else if (directive == "dispute-wheel") {
+      if (scenario.dispute_wheel) {
+        fail(line_no, "dispute-wheel: only one stanza allowed");
+      }
+      DisputeWheelDecl decl;
+      decl.line = line_no;
+      decl.prefix = parse_prefix(line_no, "10.99.0.0/16");
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        auto [key, value] = split_kv(tokens[i]);
+        if (key == "spokes") decl.spokes = static_cast<std::size_t>(parse_number(line_no, value));
+        else if (key == "fc-adoption") {
+          try {
+            decl.fc_adoption = std::stod(value);
+          } catch (const std::exception&) {
+            fail(line_no, "dispute-wheel: bad fc-adoption '" + value + "'");
+          }
+        }
+        else if (key == "seed") decl.seed = parse_number(line_no, value);
+        else if (key == "hub") decl.hub = static_cast<bgp::AsNumber>(parse_number(line_no, value));
+        else if (key == "first-spoke") decl.first_spoke = static_cast<bgp::AsNumber>(parse_number(line_no, value));
+        else if (key == "prefix") decl.prefix = parse_prefix(line_no, value);
+        else fail(line_no, "dispute-wheel: unknown option '" + key + "'");
+      }
+      if (decl.spokes < 3 || decl.spokes % 2 == 0) {
+        fail(line_no,
+             "dispute-wheel: spokes must be odd and >= 3 (even rings have "
+             "stable assignments and do not oscillate)");
+      }
+      if (decl.fc_adoption < 0.0 || decl.fc_adoption > 1.0) {
+        fail(line_no, "dispute-wheel: fc-adoption must lie in [0, 1]");
+      }
+      scenario.dispute_wheel = decl;
     } else if (directive == "expect") {
       if (tokens.size() < 4) fail(line_no, "expect: too few arguments");
       Expectation e;
@@ -275,6 +307,22 @@ Scenario parse_scenario(const std::string& text) {
     fail(scenario.observe_line,
          "observe: samples live speakers and has no effect on a sweep — "
          "remove one of the stanzas");
+  }
+  if (scenario.dispute_wheel) {
+    const int line = scenario.dispute_wheel->line;
+    if (scenario.sweep) {
+      fail(line,
+           "dispute-wheel: generates a live network and cannot be combined "
+           "with a sweep stanza");
+    }
+    if (!scenario.ases.empty() || !scenario.links.empty() ||
+        !scenario.originations.empty() || !scenario.pathlets.empty() ||
+        !scenario.scion_paths.empty() || !scenario.strips.empty() ||
+        !scenario.server_commands.empty()) {
+      fail(line,
+           "dispute-wheel: generates its own ASes, links, and origination — "
+           "remove the explicit network directives");
+    }
   }
   return scenario;
 }

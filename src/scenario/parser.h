@@ -57,6 +57,21 @@
 //       cannot be combined with `sweep` (use the sweep's own threads= for
 //       that engine).
 //
+//   dispute-wheel spokes=<n> [fc-adoption=<f>] [seed=<n>] [hub=<asn>]
+//                 [first-spoke=<asn>] [prefix=<p>]
+//       Generates a Gao–Rexford-violating policy ring (topology/
+//       dispute_wheel.h) instead of explicit as/link directives: a hub AS
+//       originating <p> (default 10.99.0.0/16), an odd ring of <n> spokes
+//       whose permitted-path import filters prefer the path through their
+//       clockwise neighbor, and — at fc-adoption > 0 — a seeded fraction of
+//       spokes upgraded to FC-BGP, whose verified-commitment ranking pins
+//       the direct path and provably breaks the wheel. With fc-adoption=0
+//       the ring has NO stable state: runs oscillate forever and only make
+//       sense under a bounded drain (dbgp_run --max-events, or run_until in
+//       tests) with the convergence oracle classifying the trajectory.
+//       Cannot be combined with `sweep` or with explicit network directives
+//       (as/link/originate/pathlet/scion-path/strip/server).
+//
 //   chaos [seed=<n>] [start=<s>] [horizon=<s>] [flap-fraction=<f>]
 //         [mean-up=<s>] [mean-down=<s>] [loss=<f>] [duplicate=<f>]
 //         [reorder=<f>] [reorder-delay=<s>] [corrupt=<f>]
@@ -151,6 +166,19 @@ struct ChaosDecl {
   double mean_downtime = 0.5;
 };
 
+// Plain data mirror of topology::DisputeWheelSpec (the parser does not link
+// against dbgp_topology); the runner expands it into ASes, links, an
+// origination, and permitted-path import filters. Field semantics match 1:1.
+struct DisputeWheelDecl {
+  std::size_t spokes = 3;
+  double fc_adoption = 0.0;
+  std::uint64_t seed = 1;
+  bgp::AsNumber hub = 100;
+  bgp::AsNumber first_spoke = 1;
+  net::Prefix prefix;  // the parser defaults this to 10.99.0.0/16
+  int line = 0;
+};
+
 // Plain data mirror of sim::SweepConfig (the parser does not link against
 // dbgp_sim); the runner converts. Field semantics match 1:1.
 struct SweepDecl {
@@ -195,6 +223,7 @@ struct Scenario {
   std::vector<ServerCmdDecl> server_commands;
   std::optional<ChaosDecl> chaos;
   std::optional<SweepDecl> sweep;
+  std::optional<DisputeWheelDecl> dispute_wheel;
   std::vector<Expectation> expectations;
   // `speaker-threads` directive; 1 = sequential speakers (the default).
   std::size_t speaker_threads = 1;

@@ -5,10 +5,13 @@
 
 #include "protocols/bgp_module.h"
 #include "protocols/eqbgp.h"
+#include "protocols/fcbgp.h"
 #include "protocols/lisp.h"
 #include "protocols/rbgp.h"
 #include "protocols/scion.h"
+#include "protocols/stackvec.h"
 #include "protocols/wiser.h"
+#include "topology/dispute_wheel.h"
 
 namespace dbgp::scenario {
 
@@ -78,6 +81,13 @@ std::unique_ptr<core::DecisionModule> make_protocol_module(
       return std::make_unique<protocols::ScionModule>(
           protocols::ScionModule::Config{island, std::move(paths)});
     }
+    case ia::kProtoFcBgp:
+      return std::make_unique<protocols::FcBgpModule>(
+          protocols::FcBgpModule::Config{decl.asn, island}, &authority);
+    case ia::kProtoStackVec:
+      return std::make_unique<protocols::StackVecModule>(
+          protocols::StackVecModule::Config{decl.asn, island,
+                                            net::Ipv4Address(decl.asn)});
     case ia::kProtoPathlets: {
       auto store = std::make_unique<protocols::PathletStore>();
       for (const auto& p : pathlets) {
@@ -153,13 +163,48 @@ void Runner::enable_causal_tracing() { causal_tracing_ = true; }
 
 void Runner::build(const Scenario& scenario) {
   scenario_ = scenario;
+  // A dispute-wheel stanza expands into plain network declarations up front,
+  // so everything downstream (speaker construction, snapshots, dump_tables)
+  // sees an ordinary scenario. The permitted-path import filters that make
+  // the ring oscillate are installed after the speakers exist, below.
+  std::optional<topology::DisputeWheel> wheel;
+  if (scenario_.dispute_wheel) {
+    const DisputeWheelDecl& decl = *scenario_.dispute_wheel;
+    topology::DisputeWheelSpec spec;
+    spec.spokes = decl.spokes;
+    spec.hub_as = decl.hub;
+    spec.first_spoke_as = decl.first_spoke;
+    spec.fc_adoption = decl.fc_adoption;
+    spec.seed = decl.seed;
+    wheel = topology::make_dispute_wheel(spec);
+    AsDecl hub;
+    hub.asn = wheel->spec.hub_as;
+    hub.protocol = wheel->any_upgraded() ? "fcbgp" : "bgp";
+    scenario_.ases.push_back(hub);
+    for (std::size_t i = 0; i < wheel->spoke_as.size(); ++i) {
+      AsDecl spoke;
+      spoke.asn = wheel->spoke_as[i];
+      spoke.protocol = wheel->upgraded[i] ? "fcbgp" : "bgp";
+      scenario_.ases.push_back(spoke);
+    }
+    for (const auto& [a, b] : wheel->links) {
+      LinkDecl link;
+      link.a = a;
+      link.b = b;
+      scenario_.links.push_back(link);
+    }
+    OriginateDecl origin;
+    origin.asn = wheel->spec.hub_as;
+    origin.prefix = decl.prefix;
+    scenario_.originations.push_back(origin);
+  }
   simnet::DbgpNetwork::Options options;
   options.delivery = delivery_;
   options.speaker_threads =
-      speaker_threads_override_.value_or(scenario.speaker_threads);
+      speaker_threads_override_.value_or(scenario_.speaker_threads);
   if (tracing_) options.tracer = &tracer_;
   if (causal_tracing_) options.causal = &causal_;
-  if (const double observe = observe_override_.value_or(scenario.observe_interval);
+  if (const double observe = observe_override_.value_or(scenario_.observe_interval);
       observe > 0.0) {
     telemetry::TimeSeriesSampler::Options sampler_options;
     sampler_options.interval = observe;
@@ -170,30 +215,47 @@ void Runner::build(const Scenario& scenario) {
   }
   net_ = std::make_unique<simnet::DbgpNetwork>(&lookup_, options);
 
-  for (const auto& decl : scenario.ases) {
+  for (const auto& decl : scenario_.ases) {
     auto& speaker = net_->add_as(config_for_decl(decl));
     auto module = make_protocol_module(decl, protocol_id_for(decl.protocol),
                                        authority_, pathlet_stores_,
-                                       scenario.pathlets, scenario.scion_paths);
+                                       scenario_.pathlets, scenario_.scion_paths);
     if (module != nullptr) speaker.add_module(std::move(module));
     speaker.add_module(std::make_unique<protocols::BgpModule>());
   }
 
   // Pathlets declared at ASes not running the protocol are a scenario bug.
-  for (const auto& decl : scenario.pathlets) {
+  for (const auto& decl : scenario_.pathlets) {
     if (pathlet_stores_.count(decl.asn) == 0) {
       throw std::runtime_error("pathlet declared at AS " + std::to_string(decl.asn) +
                                " which does not run protocol=pathlets");
     }
   }
 
-  for (const auto& decl : scenario.strips) {
+  for (const auto& decl : scenario_.strips) {
     net_->speaker(decl.asn).import_filters().add(
         "strip-" + decl.protocol,
         core::strip_protocol_filter(protocol_id_for(decl.protocol)));
   }
 
-  for (const auto& link : scenario.links) {
+  if (wheel) {
+    // Spoke i permits exactly its direct path [hub] and the indirect path
+    // [i+1, hub] through its clockwise neighbor, preferring the latter — the
+    // Gao–Rexford violation that makes an odd ring oscillate. Everything
+    // else is dropped at import (an implicit withdraw), which is what keeps
+    // stale indirect routes from falsely stabilizing the wheel.
+    const net::Prefix prefix = scenario_.dispute_wheel->prefix;
+    for (const auto& policy : wheel->policies) {
+      std::vector<core::RankedPath> ranked;
+      ranked.push_back({{wheel->spec.hub_as}, policy.direct_pref});
+      ranked.push_back({{policy.indirect_via, wheel->spec.hub_as}, policy.indirect_pref});
+      net_->speaker(policy.spoke_as)
+          .import_filters()
+          .add("dispute-wheel", core::permitted_paths_filter(prefix, std::move(ranked)));
+    }
+  }
+
+  for (const auto& link : scenario_.links) {
     net_->add_link(link.a, link.b, link.same_island, link.latency);
   }
 }
@@ -213,7 +275,7 @@ RunResult Runner::run() {
     simnet::ChaosPolicy policy(*chaos);
     policy.inject(*net_);
   }
-  const simnet::RunStats drained = net_->run_to_convergence();
+  const simnet::RunStats drained = net_->run_to_convergence(max_events_);
   result.events = drained.processed;
   result.converged = !drained.capped;
   result.stats = drained;

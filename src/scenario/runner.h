@@ -120,6 +120,11 @@ class Runner {
   // Injects this chaos schedule regardless of any stanza in the scenario
   // (the stanza, if present, is ignored) — the CLI's --chaos-profile.
   void set_chaos(const simnet::ChaosOptions& options) { chaos_override_ = options; }
+  // Event cap for run()'s drain (default 10M) — the CLI's --max-events.
+  // Dispute-wheel scenarios at fc-adoption=0 have NO stable state, so a full
+  // drain never terminates on its own: cap the run low and read
+  // RunResult::converged == false as the expected oscillation.
+  void set_max_events(std::size_t cap) noexcept { max_events_ = cap; }
 
   // Builds the network (throws std::runtime_error on inconsistent
   // scenarios: unknown ASes in links, pathlets at non-pathlet ASes, ...).
@@ -128,6 +133,10 @@ class Runner {
   RunResult run();
 
   simnet::DbgpNetwork& network() noexcept { return *net_; }
+  // The scenario as built — with a dispute-wheel stanza already expanded
+  // into its ASes, links, and origination (reports should prefer this over
+  // the parsed scenario they handed to build()).
+  const Scenario& scenario() const noexcept { return scenario_; }
   // Per-AS route-table dump for the report.
   std::string dump_tables() const;
 
@@ -144,6 +153,7 @@ class Runner {
   std::optional<std::size_t> speaker_threads_override_;
   std::optional<std::uint64_t> chaos_seed_;
   std::optional<simnet::ChaosOptions> chaos_override_;
+  std::size_t max_events_ = 10'000'000;
   // Observability plane (see set_observe); created by build() when enabled.
   std::unique_ptr<telemetry::TimeSeriesSampler> sampler_;
   std::unique_ptr<telemetry::EventLog> event_log_;

@@ -1,0 +1,52 @@
+#include "topology/dispute_wheel.h"
+
+#include <stdexcept>
+
+#include "topology/adoption.h"
+#include "util/rng.h"
+
+namespace dbgp::topology {
+
+bool DisputeWheel::any_upgraded() const noexcept {
+  for (const bool u : upgraded) {
+    if (u) return true;
+  }
+  return false;
+}
+
+DisputeWheel make_dispute_wheel(const DisputeWheelSpec& spec) {
+  if (spec.spokes < 3 || spec.spokes % 2 == 0) {
+    throw std::invalid_argument(
+        "dispute wheel needs an odd ring of >= 3 spokes (even rings have "
+        "stable assignments and do not oscillate)");
+  }
+  if (spec.fc_adoption < 0.0 || spec.fc_adoption > 1.0) {
+    throw std::invalid_argument("dispute wheel fc adoption must lie in [0, 1]");
+  }
+  DisputeWheel wheel;
+  wheel.spec = spec;
+  wheel.spoke_as.reserve(spec.spokes);
+  for (std::size_t i = 0; i < spec.spokes; ++i) {
+    wheel.spoke_as.push_back(spec.first_spoke_as + static_cast<std::uint32_t>(i));
+  }
+
+  util::Rng rng(spec.seed);
+  wheel.upgraded = random_adoption(spec.spokes, spec.fc_adoption, rng);
+
+  for (std::size_t i = 0; i < spec.spokes; ++i) {
+    SpokePolicy policy;
+    policy.spoke_as = wheel.spoke_as[i];
+    policy.indirect_via = wheel.spoke_as[(i + 1) % spec.spokes];
+    wheel.policies.push_back(policy);
+  }
+
+  for (const std::uint32_t spoke : wheel.spoke_as) {
+    wheel.links.emplace_back(spec.hub_as, spoke);
+  }
+  for (std::size_t i = 0; i < spec.spokes; ++i) {
+    wheel.links.emplace_back(wheel.spoke_as[i], wheel.spoke_as[(i + 1) % spec.spokes]);
+  }
+  return wheel;
+}
+
+}  // namespace dbgp::topology

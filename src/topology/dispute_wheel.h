@@ -1,0 +1,73 @@
+// Dispute-wheel generator: parameterized Gao–Rexford-violating policy rings
+// that provably oscillate ("BGP Stability is Precarious", arXiv 1108.0192;
+// Griffin's BAD GADGET is the size-3 instance).
+//
+// The wheel is a hub AS originating one prefix, surrounded by a ring of n
+// spokes. Every spoke links to the hub and to its clockwise ring neighbor.
+// Spoke i's policy permits exactly two paths to the prefix —
+//
+//   direct   (i, hub)                       local-pref 100
+//   indirect (i, i+1, hub)                  local-pref 200   (preferred)
+//
+// — and rejects everything else at import. A stable assignment must satisfy
+// "i selects indirect  iff  i+1 selects direct" (the indirect path only
+// exists while i+1 advertises its direct route), i.e. x_i = ¬x_{i+1} around
+// the ring. For odd n that equation has no solution, so no stable state
+// exists and any fair execution oscillates forever — the provable oscillator
+// the convergence oracle's matrix tests classify.
+//
+// The mixed-adoption repair: spokes marked `upgraded` (and the hub) run the
+// FC-BGP module instead of plain BGP. FC-BGP ranks verified-commitment
+// coverage above local-pref games, so an upgraded spoke pins its fully
+// attested direct path permanently. That anchors x_i = false at one ring
+// position, the ¬-chain unravels from there, and the wheel converges for
+// ANY adoption > 0 — partial deployment of a critical fix breaking a policy
+// oscillation end to end.
+//
+// This header is plain data (AS numbers, link pairs, permitted-path
+// policies); scenario/runner.cpp turns a spec into speakers, links, and
+// import filters, and scenarios/dispute_wheel_*.dbgp expose it to the
+// scenario grammar via the `dispute-wheel` stanza.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dbgp::topology {
+
+struct DisputeWheelSpec {
+  // Ring size; must be odd and >= 3 for the no-stable-state argument above.
+  std::size_t spokes = 3;
+  // AS numbers: the hub plus consecutively numbered spokes.
+  std::uint32_t hub_as = 100;
+  std::uint32_t first_spoke_as = 1;
+  // Fraction of spokes upgraded to FC-BGP (rounded; chosen with `seed`).
+  double fc_adoption = 0.0;
+  std::uint64_t seed = 1;
+};
+
+// One spoke's permitted-path policy, ready to install as an import filter.
+struct SpokePolicy {
+  std::uint32_t spoke_as = 0;
+  std::uint32_t indirect_via = 0;  // the clockwise ring neighbor
+  std::uint32_t direct_pref = 100;
+  std::uint32_t indirect_pref = 200;
+};
+
+struct DisputeWheel {
+  DisputeWheelSpec spec;
+  std::vector<std::uint32_t> spoke_as;  // ring order
+  std::vector<bool> upgraded;           // per spoke; hub is upgraded iff any spoke is
+  std::vector<SpokePolicy> policies;    // one per spoke, ring order
+  // Hub-spoke links first, then the ring links (i, i+1 mod n).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> links;
+
+  bool any_upgraded() const noexcept;
+};
+
+// Builds the wheel. Throws std::invalid_argument unless `spokes` is odd and
+// >= 3 (an even ring has stable assignments and does not oscillate) or the
+// adoption fraction lies outside [0, 1].
+DisputeWheel make_dispute_wheel(const DisputeWheelSpec& spec);
+
+}  // namespace dbgp::topology

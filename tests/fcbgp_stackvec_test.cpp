@@ -1,0 +1,443 @@
+// Property tests for the two newest protocol archetypes' descriptor codecs
+// (FC-BGP forwarding commitments, StackVec gateway stacks) and for the
+// robustness contracts around them:
+//
+//   * seeded random round-trips at the payload level (encode == decode) and
+//     at the IA level, where the eager decode, the lazy decode, and the
+//     splice re-encode (the CF-R1 pass-through fast path) must all agree —
+//     the splice must be *byte-identical* to the original wire frame;
+//   * truncated / overclaimed / garbage payloads throw util::DecodeError,
+//     and a speaker fed a corrupt announce frame rejects it without
+//     touching its adj-in (the eager staging path throws before any RIB
+//     mutation);
+//   * FC signature tampering — a flipped MAC, a re-signed wrong next hop, a
+//     signer not on the path, a duplicate-signer shadow entry — drops
+//     verified_coverage exactly one hop per tampered commitment, and
+//     coverage-first selection prefers a fully attested path over a shorter
+//     unverified one.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/speaker.h"
+#include "ia/codec.h"
+#include "ia/descriptors.h"
+#include "protocols/bgp_module.h"
+#include "protocols/fcbgp.h"
+#include "protocols/stackvec.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace dbgp {
+namespace {
+
+using protocols::AttestationAuthority;
+using protocols::FcBgpModule;
+using protocols::ForwardingCommitment;
+using protocols::StackVecEntry;
+
+std::vector<ForwardingCommitment> random_commitments(util::Rng& rng, std::size_t n) {
+  std::vector<ForwardingCommitment> list;
+  list.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ForwardingCommitment c;
+    // Mix small and large AS numbers so single- and multi-byte varints are
+    // both exercised.
+    c.signer = rng.next_bool(0.5) ? rng.next_below(200) + 1
+                                  : rng.next_u32() | 0x10000u;
+    c.next_as = rng.next_bool(0.2) ? 0 : rng.next_u32();
+    c.mac = rng.next_u64();
+    list.push_back(c);
+  }
+  return list;
+}
+
+std::vector<StackVecEntry> random_stack(util::Rng& rng, std::size_t n) {
+  std::vector<StackVecEntry> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    StackVecEntry e;
+    e.gateway_as = rng.next_bool(0.5) ? rng.next_below(500) + 1 : rng.next_u32();
+    e.endpoint = net::Ipv4Address(rng.next_u32());
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+// A random IA carrying both new descriptor kinds, an unknown-protocol
+// descriptor (pass-through cargo), and occasionally a duplicated payload so
+// the blob-table sharing path is part of what the splice must preserve.
+ia::IntegratedAdvertisement random_ia(util::Rng& rng) {
+  ia::IntegratedAdvertisement ia;
+  ia.destination = *net::Prefix::parse(
+      "10." + std::to_string(rng.next_below(256)) + ".0.0/16");
+  const std::size_t hops = 1 + rng.next_below(6);
+  for (std::size_t i = 0; i < hops; ++i) {
+    ia.path_vector.prepend_as(rng.next_below(60000) + 1);
+  }
+  ia.baseline.as_path = ia.path_vector.to_bgp_as_path();
+  ia.baseline.next_hop = net::Ipv4Address(rng.next_u32());
+
+  const auto fc_payload =
+      protocols::encode_commitments(random_commitments(rng, rng.next_below(6)));
+  ia.set_path_descriptor(ia::kProtoFcBgp, ia::keys::kFcCommitments, fc_payload);
+  const auto sv_payload =
+      protocols::encode_stack_vector(random_stack(rng, rng.next_below(5)));
+  ia.set_path_descriptor(ia::kProtoStackVec, ia::keys::kStackVector, sv_payload);
+  if (rng.next_bool(0.5)) {
+    ia.add_island_descriptor(ia::IslandId::assigned(rng.next_below(40) + 1),
+                             ia::kProtoStackVec, ia::keys::kStackVecGateway,
+                             protocols::encode_stack_vector(random_stack(rng, 1)));
+  }
+  // Unknown protocol the receiver has no module for; sometimes an exact
+  // duplicate of the FC payload to hit the shared-blob case.
+  ia.set_path_descriptor(77, 3,
+                         rng.next_bool(0.3)
+                             ? fc_payload
+                             : std::vector<std::uint8_t>{0xca, 0xfe,
+                                                         static_cast<std::uint8_t>(
+                                                             rng.next_below(256))});
+  return ia;
+}
+
+TEST(FcCodec, RandomRoundTrip) {
+  util::Rng rng(0xfc01);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto list = random_commitments(rng, rng.next_below(16));
+    const auto payload = protocols::encode_commitments(list);
+    EXPECT_EQ(protocols::decode_commitments(payload), list) << "iter=" << iter;
+  }
+}
+
+TEST(StackVecCodec, RandomRoundTrip) {
+  util::Rng rng(0x51ac);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto entries = random_stack(rng, rng.next_below(16));
+    const auto payload = protocols::encode_stack_vector(entries);
+    EXPECT_EQ(protocols::decode_stack_vector(payload), entries) << "iter=" << iter;
+  }
+}
+
+TEST(FcCodec, EveryTruncationRejected) {
+  util::Rng rng(0xfc02);
+  const auto payload = protocols::encode_commitments(random_commitments(rng, 5));
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(payload.begin(),
+                                              payload.begin() +
+                                                  static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(protocols::decode_commitments(truncated), util::DecodeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(StackVecCodec, EveryTruncationRejected) {
+  util::Rng rng(0x51ad);
+  const auto payload = protocols::encode_stack_vector(random_stack(rng, 5));
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(payload.begin(),
+                                              payload.begin() +
+                                                  static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(protocols::decode_stack_vector(truncated), util::DecodeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(FcCodec, OverclaimedCountRejected) {
+  // A count varint promising more entries than the payload can possibly
+  // hold must fail the expect_items pre-check, not allocate or loop.
+  util::ByteWriter w;
+  w.put_varint(100000);
+  w.put_varint(1);
+  const auto payload = w.take();
+  EXPECT_THROW(protocols::decode_commitments(payload), util::DecodeError);
+  EXPECT_THROW(protocols::decode_stack_vector(payload), util::DecodeError);
+}
+
+TEST(FcCodec, MalformedPayloadIsUncoveredButRoutable) {
+  // A garbage commitment list must degrade to zero coverage, never to an
+  // import rejection: FC-BGP is a critical fix, and partial deployment must
+  // not blackhole routes (header contract).
+  const AttestationAuthority authority;
+  FcBgpModule module({.asn = 999, .island = {}}, &authority);
+  core::IaRoute route;
+  route.ia.destination = *net::Prefix::parse("10.1.0.0/16");
+  route.ia.path_vector.prepend_as(30);
+  route.ia.path_vector.prepend_as(20);
+  route.ia.set_path_descriptor(ia::kProtoFcBgp, ia::keys::kFcCommitments,
+                               {0xff, 0xff, 0xff});
+  EXPECT_TRUE(module.import_filter(route));
+  const auto [verified, hops] = module.verified_coverage(route);
+  EXPECT_EQ(verified, 0u);
+  EXPECT_EQ(hops, 2u);
+}
+
+TEST(StackVecCodec, MalformedVectorReadsEmpty) {
+  ia::IntegratedAdvertisement ia;
+  ia.destination = *net::Prefix::parse("10.2.0.0/16");
+  ia.set_path_descriptor(ia::kProtoStackVec, ia::keys::kStackVector, {0x09, 0x01});
+  EXPECT_TRUE(protocols::stack_vector_of(ia).empty());
+  ia.remove_path_descriptors(ia::kProtoStackVec);
+  EXPECT_TRUE(protocols::stack_vector_of(ia).empty());
+}
+
+TEST(FcStackIaCodec, EagerLazyAndSpliceAgree) {
+  // The three ways an IA carrying the new descriptors crosses the codec —
+  // eager materialization, lazy tail, and the pass-through splice — must be
+  // observationally identical, and the splice must reproduce the original
+  // frame byte for byte (that is the CF-R1 fast path the gulf ASes take).
+  util::Rng rng(0x1a51ac);
+  for (int iter = 0; iter < 64; ++iter) {
+    const auto original = random_ia(rng);
+    const auto bytes = ia::encode_ia(original);
+
+    const auto lazy = ia::decode_ia(bytes);
+    ASSERT_TRUE(lazy.has_opaque_tail()) << "iter=" << iter;
+    ASSERT_FALSE(lazy.descriptors_materialized()) << "iter=" << iter;
+
+    auto eager = ia::decode_ia(bytes);
+    eager.materialize_descriptors();
+    ASSERT_TRUE(eager.descriptors_materialized()) << "iter=" << iter;
+
+    EXPECT_EQ(eager, original) << "iter=" << iter;
+    EXPECT_EQ(lazy, original) << "iter=" << iter;
+    EXPECT_EQ(lazy, eager) << "iter=" << iter;
+
+    // Splice re-encode: both the untouched lazy copy and the materialized-
+    // but-unedited eager copy still carry an exact tail.
+    EXPECT_EQ(ia::encode_ia(lazy), bytes) << "iter=" << iter;
+    EXPECT_EQ(ia::encode_ia(eager), bytes) << "iter=" << iter;
+
+    // A descriptor edit dirties the tail; the full re-encode must still
+    // round-trip to the same content.
+    auto edited = ia::decode_ia(bytes);
+    edited.mutable_path_descriptors();
+    EXPECT_FALSE(edited.has_opaque_tail()) << "iter=" << iter;
+    EXPECT_EQ(ia::decode_ia(ia::encode_ia(edited)), original) << "iter=" << iter;
+  }
+}
+
+TEST(FcStackIaCodec, DescriptorAccessDoesNotForceFullMaterialization) {
+  // stack_vector_of / verified_coverage read descriptors through the lazy
+  // accessors; afterwards the IA is materialized but the tail stays exact,
+  // so a later re-export still splices.
+  util::Rng rng(0x1a51ad);
+  const auto original = random_ia(rng);
+  const auto bytes = ia::encode_ia(original);
+  const auto decoded = ia::decode_ia(bytes);
+  (void)protocols::stack_vector_of(decoded);
+  EXPECT_TRUE(decoded.descriptors_materialized());
+  EXPECT_TRUE(decoded.has_opaque_tail());
+  EXPECT_EQ(ia::encode_ia(decoded), bytes);
+}
+
+// ---------------------------------------------------------------------------
+// FC signature tampering.
+
+struct FcFixture {
+  AttestationAuthority authority;
+  FcBgpModule module{{.asn = 999, .island = {}}, &authority};
+  net::Prefix prefix = *net::Prefix::parse("10.9.0.0/16");
+
+  // Route via path 10 -> 20 -> 30 (origin), fully committed: each hop signs
+  // its true next hop toward the origin; the origin signs next hop 0.
+  core::IaRoute route_with(const std::vector<ForwardingCommitment>& list) const {
+    core::IaRoute route;
+    route.ia.destination = prefix;
+    route.ia.path_vector.prepend_as(30);
+    route.ia.path_vector.prepend_as(20);
+    route.ia.path_vector.prepend_as(10);
+    route.ia.set_path_descriptor(ia::kProtoFcBgp, ia::keys::kFcCommitments,
+                                 protocols::encode_commitments(list));
+    return route;
+  }
+
+  ForwardingCommitment signed_entry(bgp::AsNumber signer, bgp::AsNumber next) const {
+    return {signer, next, protocols::fc_sign(authority, signer, next, prefix)};
+  }
+
+  std::vector<ForwardingCommitment> full_chain() const {
+    return {signed_entry(10, 20), signed_entry(20, 30), signed_entry(30, 0)};
+  }
+};
+
+TEST(FcVerify, FullChainCoversEveryHop) {
+  const FcFixture fx;
+  const auto [verified, hops] = fx.module.verified_coverage(fx.route_with(fx.full_chain()));
+  EXPECT_EQ(verified, 3u);
+  EXPECT_EQ(hops, 3u);
+}
+
+TEST(FcVerify, CommitmentOrderIsIrrelevant) {
+  const FcFixture fx;
+  auto list = fx.full_chain();
+  std::swap(list[0], list[2]);
+  const auto [verified, hops] = fx.module.verified_coverage(fx.route_with(list));
+  EXPECT_EQ(verified, 3u);
+  EXPECT_EQ(hops, 3u);
+}
+
+TEST(FcVerify, FlippedMacDropsExactlyThatHop) {
+  const FcFixture fx;
+  auto list = fx.full_chain();
+  list[1].mac ^= 1;
+  const auto [verified, hops] = fx.module.verified_coverage(fx.route_with(list));
+  EXPECT_EQ(verified, 2u);
+  EXPECT_EQ(hops, 3u);
+}
+
+TEST(FcVerify, ResignedWrongNextHopDetected) {
+  // The attacker *can* produce a valid MAC for a false next hop (MACs are
+  // per-signer, not per-path); verification catches the claim because the
+  // committed next hop disagrees with the hop's actual path position.
+  const FcFixture fx;
+  auto list = fx.full_chain();
+  list[0] = fx.signed_entry(10, 99);
+  const auto [verified, hops] = fx.module.verified_coverage(fx.route_with(list));
+  EXPECT_EQ(verified, 2u);
+  EXPECT_EQ(hops, 3u);
+}
+
+TEST(FcVerify, SignerNotOnPathDoesNotCount) {
+  const FcFixture fx;
+  auto list = fx.full_chain();
+  list[1] = fx.signed_entry(21, 30);  // valid commitment, wrong AS
+  const auto [verified, hops] = fx.module.verified_coverage(fx.route_with(list));
+  EXPECT_EQ(verified, 2u);
+  EXPECT_EQ(hops, 3u);
+}
+
+TEST(FcVerify, DuplicateSignerShadowEntryDetected) {
+  // One commitment per signer: a tampered entry inserted ahead of the
+  // genuine one shadows it (first match wins), so the hop reads as
+  // tampered rather than letting an attacker stack a bad claim in front of
+  // a good one and have verification skip to the good one.
+  const FcFixture fx;
+  auto list = fx.full_chain();
+  auto shadow = list[1];
+  shadow.mac ^= 0xdead;
+  list.insert(list.begin() + 1, shadow);
+  const auto [verified, hops] = fx.module.verified_coverage(fx.route_with(list));
+  EXPECT_EQ(verified, 2u);
+  EXPECT_EQ(hops, 3u);
+}
+
+TEST(FcVerify, CoverageOutranksPathLength) {
+  // Coverage-first selection: a fully attested 3-hop path beats a shorter
+  // uncovered one — the property that anchors the dispute wheel.
+  const FcFixture fx;
+  auto covered = fx.route_with(fx.full_chain());
+  covered.from_peer = 0;
+  covered.sequence = 1;
+
+  core::IaRoute bare;
+  bare.ia.destination = fx.prefix;
+  bare.ia.path_vector.prepend_as(40);
+  bare.from_peer = 1;
+  bare.sequence = 2;
+
+  EXPECT_TRUE(fx.module.better(covered, bare));
+  EXPECT_FALSE(fx.module.better(bare, covered));
+  EXPECT_EQ(fx.module.explain_better(covered, bare), "fc-coverage");
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt frames must not touch the adj-in.
+
+std::string state_fingerprint(const core::DbgpSpeaker& speaker) {
+  const auto state = speaker.export_state();
+  std::string out;
+  auto append = [&out](const char* table,
+                       const std::vector<core::DbgpSpeaker::RouteRecord>& records) {
+    for (const auto& r : records) {
+      out += table;
+      out += ' ';
+      out += r.prefix.to_string();
+      out += " peer=" + std::to_string(r.from_peer);
+      out += " as=" + std::to_string(r.neighbor_as);
+      out += " seq=" + std::to_string(r.sequence);
+      out += r.eligible ? " eligible" : " ineligible";
+      out += " bytes=";
+      for (const std::uint8_t b : r.bytes) {
+        static const char* hex = "0123456789abcdef";
+        out += hex[b >> 4];
+        out += hex[b & 0xf];
+      }
+      out += '\n';
+    }
+  };
+  append("adj_in", state.adj_in);
+  append("selected", state.selected);
+  append("adj_out", state.adj_out);
+  return out;
+}
+
+TEST(SpeakerRobustness, CorruptFramesRejectedWithoutTouchingAdjIn) {
+  const AttestationAuthority authority;
+  core::DbgpConfig config;
+  config.asn = 100;
+  config.next_hop = net::Ipv4Address(100);
+  config.active_protocol = ia::kProtoFcBgp;
+  core::DbgpSpeaker speaker(config);
+  speaker.add_module(std::make_unique<protocols::BgpModule>());
+  speaker.add_module(std::make_unique<FcBgpModule>(
+      FcBgpModule::Config{.asn = 100, .island = {}}, &authority));
+  const bgp::PeerId from = speaker.add_peer(20);
+  speaker.add_peer(300);
+
+  // Seed the RIB with one good route carrying both descriptor kinds.
+  ia::IntegratedAdvertisement good;
+  good.destination = *net::Prefix::parse("10.5.0.0/16");
+  good.path_vector.prepend_as(30);
+  good.path_vector.prepend_as(20);
+  good.baseline.as_path = good.path_vector.to_bgp_as_path();
+  good.baseline.next_hop = net::Ipv4Address(20);
+  good.set_path_descriptor(
+      ia::kProtoFcBgp, ia::keys::kFcCommitments,
+      protocols::encode_commitments(
+          {{30, 0, protocols::fc_sign(authority, 30, 0, good.destination)}}));
+  good.set_path_descriptor(ia::kProtoStackVec, ia::keys::kStackVector,
+                           protocols::encode_stack_vector({{20, net::Ipv4Address(20)}}));
+  const auto good_frame = core::DbgpSpeaker::encode_announce(good, {});
+  ASSERT_FALSE(speaker.handle_frame(from, good_frame).empty());
+  ASSERT_NE(speaker.best(good.destination), nullptr);
+  const std::string before = state_fingerprint(speaker);
+  const auto stats_before = speaker.stats().ias_received;
+
+  // A different prefix, so a buggy partial stage would be visible as a new
+  // adj-in row rather than an overwrite of the seeded one.
+  ia::IntegratedAdvertisement other = good;
+  other.destination = *net::Prefix::parse("10.6.0.0/16");
+  const auto other_frame = core::DbgpSpeaker::encode_announce(other, {});
+
+  std::vector<std::vector<std::uint8_t>> corrupt;
+  auto truncated = other_frame;
+  truncated.resize(truncated.size() - 3);
+  corrupt.push_back(truncated);
+  auto bad_version = other_frame;
+  bad_version[1] = 99;  // byte 0 is the frame type; byte 1 the IA version
+  corrupt.push_back(bad_version);
+  auto trailing = other_frame;
+  trailing.push_back(0x00);
+  corrupt.push_back(trailing);
+  corrupt.push_back({static_cast<std::uint8_t>(core::FrameType::kAnnounce), 0xff, 0x00});
+
+  for (std::size_t i = 0; i < corrupt.size(); ++i) {
+    EXPECT_THROW(speaker.handle_frame(from, corrupt[i]), util::DecodeError)
+        << "frame " << i;
+    EXPECT_THROW(speaker.enqueue_frame(from, corrupt[i]), util::DecodeError)
+        << "frame " << i;
+    EXPECT_EQ(speaker.pending_batch(), 0u) << "frame " << i;
+  }
+  EXPECT_TRUE(speaker.flush().empty());
+  EXPECT_EQ(state_fingerprint(speaker), before);
+  EXPECT_EQ(speaker.stats().ias_received, stats_before);
+  EXPECT_EQ(speaker.best(other.destination), nullptr);
+
+  // The intact frame still lands afterwards: rejection poisoned nothing.
+  EXPECT_FALSE(speaker.handle_frame(from, other_frame).empty());
+  EXPECT_NE(speaker.best(other.destination), nullptr);
+}
+
+}  // namespace
+}  // namespace dbgp

@@ -188,6 +188,106 @@ TEST(Oracle, CrashWithoutRepairDiverges) {
   EXPECT_TRUE(downstream_diverged);
 }
 
+// -- Classification matrix: dispute wheels ------------------------------------
+
+// `dispute-wheel` scenario text for one matrix cell. The chaos stanza is the
+// "flaky" column: link flaps + light loss inside a bounded window, with the
+// post-repair trajectory being what the oracle classifies.
+std::string wheel_text(std::size_t spokes, double fc_adoption, bool flaky) {
+  char head[128];
+  std::snprintf(head, sizeof head, "dispute-wheel spokes=%zu fc-adoption=%.2f seed=1\n",
+                spokes, fc_adoption);
+  std::string text = head;
+  if (flaky) {
+    text +=
+        "chaos seed=5 start=0.3 horizon=1.0 flap-fraction=0.4 "
+        "mean-up=0.4 mean-down=0.1 loss=0.03\n";
+  }
+  return text;
+}
+
+TEST(Oracle, DisputeWheelMatrixLandsExpectedVerdicts) {
+  // Rings of 3/5/7 spokes x {fault-free, flaky} x {0%, 50%, 100%} FC-BGP
+  // adoption. The policy ring has no stable assignment at 0% adoption
+  // (odd-ring dispute wheel), so those runs are bounded drains that the
+  // oracle must flag as oscillating with a resolvable span cycle; any
+  // positive adoption anchors enough spokes to their attested direct path
+  // that the wheel breaks and every AS converges — including under chaos,
+  // where the verdict covers the post-repair trajectory.
+  for (const std::size_t spokes : {std::size_t{3}, std::size_t{5}, std::size_t{7}}) {
+    for (const bool flaky : {false, true}) {
+      for (const double adoption : {0.0, 0.5, 1.0}) {
+        SCOPED_TRACE("spokes=" + std::to_string(spokes) +
+                     " adoption=" + std::to_string(adoption) +
+                     (flaky ? " flaky" : " fault-free"));
+        const bool expect_converged = adoption > 0.0;
+
+        scenario::Runner runner;
+        runner.enable_causal_tracing();
+        runner.build(scenario::parse_scenario(wheel_text(spokes, adoption, flaky)));
+        // An oscillating ring would hit the default 10M-event cap; keep the
+        // drain short — the trajectory sample is what the oracle reads.
+        if (!expect_converged) runner.set_max_events(20000);
+        const auto result = runner.run();
+        EXPECT_EQ(result.converged, expect_converged);
+
+        const auto report = ConvergenceOracle().classify(runner.causal());
+        const auto spans = runner.causal().spans();
+        if (expect_converged) {
+          EXPECT_EQ(report.verdict, Verdict::kConverged);
+          EXPECT_EQ(report.diverged, 0u);
+          EXPECT_EQ(report.oscillating, 0u);
+          // Hub plus every spoke settles on the one originated prefix.
+          EXPECT_EQ(report.converged, spokes + 1);
+        } else {
+          EXPECT_EQ(report.verdict, Verdict::kOscillating);
+          EXPECT_GT(report.oscillating, 0u);
+          bool found_evidence = false;
+          for (const auto& p : report.prefixes) {
+            if (p.verdict != Verdict::kOscillating) continue;
+            found_evidence = true;
+            ASSERT_FALSE(p.evidence.empty()) << "AS" << p.as << " " << p.prefix;
+            for (const SpanId id : p.evidence) {
+              EXPECT_GE(id, 1u);
+              EXPECT_LE(id, spans.size());
+            }
+          }
+          EXPECT_TRUE(found_evidence) << "oscillating verdict without a span cycle";
+        }
+      }
+    }
+  }
+}
+
+TEST(Oracle, DisputeWheelHubCrashDiverges) {
+  // Third verdict class on the same generator: a fully upgraded wheel
+  // converges, then the hub — the only origin — crashes and never returns.
+  // Spokes lose the prefix with no withdraw-origin to justify it.
+  scenario::Runner runner;
+  runner.enable_causal_tracing();
+  runner.build(scenario::parse_scenario(wheel_text(5, 1.0, false)));
+  ASSERT_TRUE(runner.run().converged);
+
+  auto& net = runner.network();
+  net.crash(100);  // the default hub AS
+  net.run_until(net.events().now() + 5.0);
+  const auto prefix = *net::Prefix::parse("10.99.0.0/16");
+  ASSERT_EQ(net.speaker(1).best(prefix), nullptr);
+
+  const auto report = ConvergenceOracle().classify(runner.causal());
+  EXPECT_EQ(report.verdict, Verdict::kDiverged);
+  EXPECT_GT(report.diverged, 0u);
+  bool spoke_diverged = false;
+  for (const auto& p : report.prefixes) {
+    if (p.as != 100 && p.verdict == Verdict::kDiverged) {
+      spoke_diverged = true;
+      EXPECT_TRUE(p.final_path.empty());
+      EXPECT_FALSE(p.reason.empty());
+    }
+  }
+  EXPECT_TRUE(spoke_diverged);
+}
+
 TEST(Oracle, DeliberateWithdrawalIsConvergedNotDiverged) {
   CausalTracer tracer;
   simnet::DbgpNetwork::Options options;

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "core/speaker.h"
+#include "ia/codec.h"
 #include "ia/ids.h"
+#include "protocols/bgp_module.h"
 #include "protocols/taxonomy.h"
 
 namespace dbgp::protocols {
@@ -98,6 +104,101 @@ TEST(Taxonomy, NineOfFourteenImplemented) {
   std::size_t implemented = 0;
   for (const auto& info : protocol_taxonomy()) implemented += info.implemented_as != 0;
   EXPECT_EQ(implemented, 9u);
+}
+
+TEST(Taxonomy, ExtendedTableAppendsNewArchetypesAfterFrozenPaperRows) {
+  // Table 1 stays frozen at 14 rows; the post-paper archetypes only ever
+  // append to the extended view.
+  const auto paper = protocol_taxonomy();
+  const auto extended = extended_protocol_taxonomy();
+  ASSERT_EQ(paper.size(), 14u);
+  ASSERT_EQ(extended.size(), 16u);
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    EXPECT_EQ(paper[i].name, extended[i].name) << "row " << i;
+    EXPECT_NE(paper[i].name, "FC-BGP");
+    EXPECT_NE(paper[i].name, "StackVec");
+  }
+
+  const auto* fc = find_protocol_info("FC-BGP");
+  ASSERT_NE(fc, nullptr);
+  EXPECT_EQ(fc->scenario, Scenario::kCriticalFix);
+  EXPECT_EQ(fc->implemented_as, ia::kProtoFcBgp);
+  // Critical fix: baseline forwarding, no tunnels, no custom headers.
+  EXPECT_FALSE(fc->needs_tunnels);
+  EXPECT_FALSE(fc->needs_custom_forwarding);
+  EXPECT_FALSE(fc->needs_multi_proto_headers);
+
+  const auto* sv = find_protocol_info("StackVec");
+  ASSERT_NE(sv, nullptr);
+  EXPECT_EQ(sv->scenario, Scenario::kCustom);
+  EXPECT_EQ(sv->implemented_as, ia::kProtoStackVec);
+  // Custom protocol reaching specific islands: tunnels (that is the point
+  // of the stack vector).
+  EXPECT_TRUE(sv->needs_tunnels);
+}
+
+TEST(Taxonomy, ExtendedIdsResolveInTheDefaultRegistry) {
+  const auto& registry = ia::default_registry();
+  EXPECT_EQ(registry.name(ia::kProtoFcBgp), "fcbgp");
+  EXPECT_EQ(registry.name(ia::kProtoStackVec), "stackvec");
+}
+
+TEST(Taxonomy, UnknownProtocolDescriptorsSurviveLegacySpliceByteIdentical) {
+  // The evolvability contract behind the whole taxonomy (CF-R1): a legacy
+  // hop — a gulf AS running only baseline BGP — must forward control
+  // information of protocols it has never heard of with the descriptor
+  // section spliced from the incoming wire bytes, byte for byte. Protocol
+  // IDs far beyond anything registered (a future 15th/20th/1000th row of
+  // the table) ride along unchanged; if the legacy hop ever re-encoded the
+  // tail from materialized descriptors, an ID-table or varint-width bug
+  // would corrupt exactly these.
+  ia::IntegratedAdvertisement in;
+  in.destination = *net::Prefix::parse("10.42.0.0/16");
+  in.path_vector.prepend_as(60);
+  in.path_vector.prepend_as(49);
+  in.baseline.as_path = in.path_vector.to_bgp_as_path();
+  in.baseline.next_hop = net::Ipv4Address(49);
+  // Known-new and unknown-future protocols, interleaved; one ID near the
+  // top of the varint range, plus a duplicated payload so the blob table's
+  // sharing is part of what the splice must preserve.
+  const std::vector<std::uint8_t> shared = {0xde, 0xad, 0xbe, 0xef};
+  in.set_path_descriptor(ia::kProtoFcBgp, ia::keys::kFcCommitments, {0x01, 0x02});
+  in.set_path_descriptor(77, 1, shared);
+  in.set_path_descriptor(4000000000u, 9, shared);
+  in.add_island_descriptor(ia::IslandId::assigned(5), 123456789u, 2, {0x55});
+
+  const auto in_frame = core::DbgpSpeaker::encode_announce(in, {});
+  const auto in_tail = ia::decode_ia(std::span(in_frame).subspan(1)).opaque_tail();
+  ASSERT_TRUE(in_tail.valid());
+
+  core::DbgpConfig config;
+  config.asn = 50;  // gulf AS: no island, baseline module only
+  config.next_hop = net::Ipv4Address(50);
+  core::DbgpSpeaker legacy(config);
+  legacy.add_module(std::make_unique<BgpModule>());
+  const bgp::PeerId from = legacy.add_peer(49);
+  legacy.add_peer(51);
+
+  const auto out = legacy.handle_frame(from, in_frame);
+  ASSERT_EQ(out.size(), 1u);
+  const auto forwarded = ia::decode_ia(std::span(out[0].bytes()).subspan(1));
+
+  // The descriptor tail of the forwarded frame is the incoming one,
+  // verbatim.
+  ASSERT_TRUE(forwarded.opaque_tail().valid());
+  const auto in_bytes = in_tail.bytes();
+  const auto fwd_bytes = forwarded.opaque_tail().bytes();
+  EXPECT_EQ(std::vector<std::uint8_t>(fwd_bytes.begin(), fwd_bytes.end()),
+            std::vector<std::uint8_t>(in_bytes.begin(), in_bytes.end()));
+
+  // And it still parses to the same content, unknown IDs intact.
+  ASSERT_NE(forwarded.find_path_descriptor(4000000000u, 9), nullptr);
+  EXPECT_EQ(forwarded.find_path_descriptor(4000000000u, 9)->value, shared);
+  ASSERT_NE(forwarded.find_path_descriptor(77, 1), nullptr);
+  ASSERT_NE(forwarded.find_island_descriptor(ia::IslandId::assigned(5), 123456789u, 2),
+            nullptr);
+  ASSERT_NE(forwarded.find_path_descriptor(ia::kProtoFcBgp, ia::keys::kFcCommitments),
+            nullptr);
 }
 
 TEST(Taxonomy, ScenarioNames) {

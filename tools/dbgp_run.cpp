@@ -4,7 +4,7 @@
 //            [--metrics <file>] [--trace <file>] [--trace-format json|perfetto]
 //            [--explain <as>:<prefix>]
 //            [--chaos-seed <n>] [--chaos-profile <name>]
-//            [--threads <n>] [--speaker-threads <n>]
+//            [--threads <n>] [--speaker-threads <n>] [--max-events <n>]
 //
 // A scenario with a `sweep` stanza is an experiment description rather than
 // a network: dbgp_run executes the Figure 9/10 incremental-benefit sweep on
@@ -40,6 +40,12 @@
 // classifies every (AS, prefix) pair's convergence from the causal trace
 // (enabling causal tracing) and writes the report JSON; the one-line verdict
 // is always printed.
+//
+// --max-events <n> bounds the event drain. Scenarios with no stable state
+// (dispute-wheel at fc-adoption=0) never drain on their own; with an
+// explicit cap the truncation is the point of the run — pair it with
+// --oracle to classify the oscillation — and a capped drain does not force
+// a non-zero exit.
 //
 // Exits 0 when the network converged and every `expect` in the scenario
 // holds, 1 otherwise. See scenarios/*.dbgp for examples and
@@ -103,7 +109,7 @@ int main(int argc, char** argv) {
   flags.allow({"tables", "quiet", "batched", "metrics", "trace", "trace-format",
                "explain", "chaos-seed", "chaos-profile", "threads",
                "speaker-threads", "observe-interval", "event-log", "series",
-               "oracle"});
+               "oracle", "max-events"});
   std::string error;
   if (!flags.parse(argc, argv, error) || flags.positional().size() != 1) {
     if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -115,7 +121,8 @@ int main(int argc, char** argv) {
                  "                [--chaos-seed <n>] [--chaos-profile <name>]\n"
                  "                [--threads <n>] [--speaker-threads <n>]\n"
                  "                [--observe-interval <s>] [--event-log <file>]\n"
-                 "                [--series <file>] [--oracle <file>]\n");
+                 "                [--series <file>] [--oracle <file>]\n"
+                 "                [--max-events <n>]\n");
     return 2;
   }
   const bool quiet = flags.get_bool("quiet", false);
@@ -194,13 +201,28 @@ int main(int argc, char** argv) {
     if (chaos_seed >= 0) {
       runner.set_chaos_seed(static_cast<std::uint64_t>(chaos_seed));
     }
+    // --max-events bounds the drain. Dispute-wheel scenarios at
+    // fc-adoption=0 have no stable state, so an unbounded drain would only
+    // stop at the 10M safety valve; an explicit cap makes the truncation the
+    // point of the run (the oracle classifies the trajectory), so a capped
+    // result is not an error exit below.
+    const bool explicit_cap = flags.has("max-events");
+    if (explicit_cap) {
+      const std::int64_t n = flags.get_int("max-events", 0);
+      if (n < 1) {
+        std::fprintf(stderr, "error: --max-events must be >= 1\n");
+        return 2;
+      }
+      runner.set_max_events(static_cast<std::size_t>(n));
+    }
     runner.build(scenario);
     const auto result = runner.run();
 
     if (!quiet) {
       std::printf("%s after %zu events; %zu ASes, %zu originations\n",
                   result.converged ? "converged" : "NOT CONVERGED (event cap hit)",
-                  result.events, scenario.ases.size(), scenario.originations.size());
+                  result.events, runner.scenario().ases.size(),
+                  runner.scenario().originations.size());
       const auto& s = result.stats;
       if (s.link_flaps + s.crashes + s.frames_lost + s.frames_duplicated +
               s.frames_reordered + s.frames_corrupted + s.frames_rejected >
@@ -323,7 +345,7 @@ int main(int argc, char** argv) {
                    "(telemetry.causal.dropped); chains may be incomplete\n",
                    runner.causal().dropped());
     }
-    return result.all_passed() && result.converged ? 0 : 1;
+    return result.all_passed() && (result.converged || explicit_cap) ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

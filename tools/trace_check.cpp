@@ -1,7 +1,16 @@
-// trace_check — structural validator for exported Chrome trace-event JSON
-// and for structured event-log JSONL.
+// trace_check — structural validator for exported Chrome trace-event JSON,
+// structured event-log JSONL, and scenario files.
 //
-//   trace_check <trace.json|events.jsonl> [more ...]
+//   trace_check <trace.json|events.jsonl|scenario.dbgp> [more ...]
+//
+// Files ending in `.dbgp` are linted as scenario files: they must parse
+// (which already enforces grammar, stanza exclusivity, and the dispute-wheel
+// stanza's odd-ring/adoption-range rules), and a `dispute-wheel` stanza is
+// additionally cross-checked against the rest of the file — the hub AS must
+// not collide with the generated spoke range, and every `expect` must name
+// an AS the wheel actually generates and the prefix it originates (the
+// classic way a wheel scenario rots is an expectation against an AS number
+// from an earlier spoke count).
 //
 // Files ending in `.jsonl` are validated as telemetry::EventLog exports:
 // every non-empty line must be a self-contained JSON object carrying a
@@ -37,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/parser.h"
 #include "util/json.h"
 
 namespace {
@@ -94,9 +104,55 @@ bool check_jsonl(const std::string& path) {
   return true;
 }
 
+bool check_scenario(const std::string& path) {
+  dbgp::scenario::Scenario scenario;
+  try {
+    scenario = dbgp::scenario::load_scenario(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  if (scenario.dispute_wheel) {
+    auto lint_fail = [&path](int line, const std::string& reason) {
+      std::fprintf(stderr, "%s: line %d: %s\n", path.c_str(), line, reason.c_str());
+      return false;
+    };
+    const auto& wheel = *scenario.dispute_wheel;
+    const auto spoke_lo = static_cast<std::uint64_t>(wheel.first_spoke);
+    const auto spoke_hi = spoke_lo + wheel.spokes;  // exclusive
+    if (wheel.hub >= spoke_lo && wheel.hub < spoke_hi) {
+      return lint_fail(wheel.line,
+                       "dispute-wheel hub AS collides with the generated spoke range");
+    }
+    for (const auto& e : scenario.expectations) {
+      const bool is_hub = e.asn == wheel.hub;
+      const bool is_spoke = e.asn >= spoke_lo && e.asn < spoke_hi;
+      if (!is_hub && !is_spoke) {
+        return lint_fail(e.line, "expect names AS " + std::to_string(e.asn) +
+                                     ", which the dispute wheel does not generate");
+      }
+      if (e.prefix != wheel.prefix) {
+        return lint_fail(e.line, "expect names prefix " + e.prefix.to_string() +
+                                     " but the wheel originates " +
+                                     wheel.prefix.to_string());
+      }
+    }
+    std::printf("%s: OK (dispute-wheel spokes=%zu fc-adoption=%.2f, %zu expectations)\n",
+                path.c_str(), wheel.spokes, wheel.fc_adoption,
+                scenario.expectations.size());
+  } else {
+    std::printf("%s: OK (scenario, %zu ASes, %zu expectations)\n", path.c_str(),
+                scenario.ases.size(), scenario.expectations.size());
+  }
+  return true;
+}
+
 bool check_file(const std::string& path) {
   if (path.size() > 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
     return check_jsonl(path);
+  }
+  if (path.size() > 5 && path.compare(path.size() - 5, 5, ".dbgp") == 0) {
+    return check_scenario(path);
   }
   const Value doc = dbgp::util::json::parse_file(path);
   if (!doc.is_object()) return fail(path, 0, "top level is not an object");
